@@ -1,0 +1,87 @@
+// Ablation A2 (google-benchmark, wall-clock): subject dispatch cost — the
+// subscription trie versus a naive linear pattern scan versus Linda-style attribute
+// qualification (paper §6: "subject-based addressing scales more easily, and has
+// better performance, than attribute qualification").
+#include <benchmark/benchmark.h>
+
+#include "src/baseline/attribute_matcher.h"
+#include "src/subject/subject.h"
+#include "src/subject/trie.h"
+#include "src/types/data_object.h"
+
+namespace ibus {
+namespace {
+
+std::vector<std::string> MakeSubjects(int n) {
+  std::vector<std::string> subjects;
+  subjects.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    subjects.push_back("fab" + std::to_string(i % 10) + ".cc.station" + std::to_string(i) +
+                       ".reading");
+  }
+  return subjects;
+}
+
+void BM_TrieMatch(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::vector<std::string> subjects = MakeSubjects(n);
+  SubjectTrie trie;
+  for (int i = 0; i < n; ++i) {
+    trie.Insert(subjects[static_cast<size_t>(i)], static_cast<uint64_t>(i)).ok();
+  }
+  size_t i = 0;
+  std::vector<uint64_t> hits;
+  for (auto _ : state) {
+    hits.clear();
+    trie.Match(subjects[i++ % subjects.size()], &hits);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrieMatch)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_LinearMatch(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::vector<std::string> subjects = MakeSubjects(n);
+  size_t i = 0;
+  std::vector<uint64_t> hits;
+  for (auto _ : state) {
+    hits.clear();
+    const std::string& subject = subjects[i++ % subjects.size()];
+    for (size_t p = 0; p < subjects.size(); ++p) {
+      if (SubjectMatches(subjects[p], subject)) {
+        hits.push_back(p);
+      }
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LinearMatch)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_AttributeQualification(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  AttributeMatcher matcher;
+  for (int i = 0; i < n; ++i) {
+    matcher.Insert(static_cast<uint64_t>(i),
+                   AttributeQuery()
+                       .Where("station", AttributeQuery::Op::kEq,
+                              Value("station" + std::to_string(i)))
+                       .Where("fab", AttributeQuery::Op::kEq,
+                              Value("fab" + std::to_string(i % 10))));
+  }
+  auto obj = MakeObject("reading", {{"station", Value("station7")},
+                                    {"fab", Value("fab7")},
+                                    {"thickness", Value(8.1)}});
+  for (auto _ : state) {
+    auto hits = matcher.Match(*obj);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AttributeQualification)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace ibus
+
+BENCHMARK_MAIN();

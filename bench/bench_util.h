@@ -1,0 +1,127 @@
+// Shared harness for the appendix-figure reproductions: the paper's testbed topology
+// (fifteen hosts on one lightly loaded 10 Mbit/s Ethernet, one publisher, up to
+// fourteen consumers, one daemon per host) plus simple statistics helpers.
+//
+// Calibration: host_cpu_us_per_frame models the SunOS-4.1.1 UDP send path that capped
+// the authors' throughput near 300 KB/s on a 10 Mbit medium (paper appendix). All
+// numbers reported by these benches are *simulated* time, so results are exactly
+// reproducible on any machine.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bus/client.h"
+#include "src/bus/daemon.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+
+namespace ibus {
+namespace bench {
+
+// The 1993 testbed knob: ~4.3 ms of protocol-stack time per frame reproduces the
+// ~300 KB/s raw-UDP ceiling the authors report ("it is difficult to drive more than
+// 300 Kb/sec through Ethernet with a raw UDP socket").
+constexpr double kSunOsCpuUsPerFrame = 4300;
+
+struct Testbed {
+  std::unique_ptr<Simulator> sim;
+  std::unique_ptr<Network> net;
+  SegmentId lan = 0;
+  std::vector<HostId> hosts;
+  std::vector<std::unique_ptr<BusDaemon>> daemons;
+  std::vector<std::unique_ptr<BusClient>> clients;  // clients[0] = publisher
+  BusConfig bus_config;
+
+  BusClient* publisher() { return clients[0].get(); }
+};
+
+inline Testbed MakeTestbed(int n_hosts, bool batching, int n_clients = -1,
+                           double cpu_us_per_frame = kSunOsCpuUsPerFrame) {
+  Testbed tb;
+  tb.sim = std::make_unique<Simulator>();
+  tb.net = std::make_unique<Network>(tb.sim.get());
+  SegmentConfig seg;
+  seg.host_cpu_us_per_frame = cpu_us_per_frame;
+  tb.lan = tb.net->AddSegment(seg);
+  tb.bus_config.reliable.batching_enabled = batching;
+  // Don't flood the control plane during setup-heavy benches.
+  tb.bus_config.announce_subscriptions = false;
+  for (int i = 0; i < n_hosts; ++i) {
+    tb.hosts.push_back(tb.net->AddHost("host" + std::to_string(i), tb.lan));
+    auto daemon = BusDaemon::Start(tb.net.get(), tb.hosts.back(), tb.bus_config);
+    tb.daemons.push_back(daemon.take());
+  }
+  if (n_clients < 0) {
+    n_clients = n_hosts;
+  }
+  for (int i = 0; i < n_clients; ++i) {
+    auto client = BusClient::Connect(tb.net.get(), tb.hosts[static_cast<size_t>(i)],
+                                     "client" + std::to_string(i), tb.bus_config);
+    tb.clients.push_back(client.take());
+  }
+  tb.sim->RunFor(50 * kMillisecond);
+  return tb;
+}
+
+struct Stats {
+  double mean = 0;
+  double stddev = 0;
+  double variance = 0;
+  double ci99_half = 0;  // half-width of the 99% confidence interval
+  size_t n = 0;
+};
+
+inline Stats Summarize(const std::vector<double>& xs) {
+  Stats s;
+  s.n = xs.size();
+  if (xs.empty()) {
+    return s;
+  }
+  double sum = 0;
+  for (double x : xs) {
+    sum += x;
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double sq = 0;
+  for (double x : xs) {
+    sq += (x - s.mean) * (x - s.mean);
+  }
+  s.variance = xs.size() > 1 ? sq / static_cast<double>(xs.size() - 1) : 0;
+  s.stddev = std::sqrt(s.variance);
+  // z=2.576 for 99% (large-sample normal approximation, as in the paper's figures).
+  s.ci99_half = 2.576 * s.stddev / std::sqrt(static_cast<double>(xs.size()));
+  return s;
+}
+
+// Encodes the send timestamp at the head of a payload of `size` bytes (>= 8).
+inline Bytes TimestampedPayload(SimTime now, size_t size) {
+  Bytes b(std::max<size_t>(size, 8), 0xA5);
+  for (int i = 0; i < 8; ++i) {
+    b[static_cast<size_t>(i)] = static_cast<uint8_t>(now >> (8 * i));
+  }
+  return b;
+}
+
+inline SimTime DecodeTimestamp(const Bytes& b) {
+  SimTime t = 0;
+  for (int i = 7; i >= 0; --i) {
+    t = (t << 8) | b[static_cast<size_t>(i)];
+  }
+  return t;
+}
+
+// The message sizes swept in Figures 5-8.
+inline std::vector<size_t> FigureSizes() {
+  return {64, 128, 256, 512, 1024, 2048, 4096, 5000, 8192, 10000};
+}
+
+}  // namespace bench
+}  // namespace ibus
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,110 @@
+// Service-availability ablation (R1): how long does a client-visible outage last when
+// the primary of a fault-tolerant server pair crashes? Measures, in simulated time,
+// the window between the primary's death and the first successful call served by the
+// elected backup — as a function of the election's leader timeout.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/rmi/client.h"
+#include "src/rmi/election.h"
+#include "src/rmi/server.h"
+
+namespace ibus {
+namespace bench {
+namespace {
+
+std::shared_ptr<DynamicService> PingService() {
+  auto svc = std::make_shared<DynamicService>("ping");
+  OperationDef op;
+  op.name = "ping";
+  op.result_type = "string";
+  svc->AddOperation(op, [](const std::vector<Value>&) -> Result<Value> {
+    return Value(std::string("pong"));
+  });
+  return svc;
+}
+
+// Returns the outage window in ms, or a negative value on failure.
+double MeasureFailover(SimTime leader_timeout_us) {
+  Testbed tb = MakeTestbed(3, /*batching=*/false, 3);
+  auto server1 = RmiServer::Create(tb.clients[0].get(), "svc.ft", PingService()).take();
+  auto server2 = RmiServer::Create(tb.clients[1].get(), "svc.ft", PingService()).take();
+  server1->set_answering(false);
+  server2->set_answering(false);
+  ElectionConfig ecfg;
+  ecfg.leader_timeout_us = leader_timeout_us;
+  auto elect1 = Election::Join(tb.clients[0].get(), "svc.ft", 100,
+                               [s = server1.get()](bool lead) { s->set_answering(lead); },
+                               ecfg)
+                    .take();
+  auto elect2 = Election::Join(tb.clients[1].get(), "svc.ft", 50,
+                               [s = server2.get()](bool lead) { s->set_answering(lead); },
+                               ecfg)
+                    .take();
+  tb.sim->RunFor(2 * kSecond);
+  if (!elect1->is_leader()) {
+    return -1;
+  }
+
+  // Kill the primary, then poll the subject until a call succeeds again.
+  SimTime crash_at = tb.sim->Now();
+  tb.net->SetHostUp(tb.hosts[0], false);
+
+  RmiClientConfig ccfg;
+  ccfg.discovery_timeout_us = 20 * kMillisecond;
+  ccfg.call_timeout_us = 100 * kMillisecond;
+  SimTime recovered_at = -1;
+  while (tb.sim->Now() - crash_at < 30 * kSecond) {
+    bool round_done = false;
+    bool ok = false;
+    RmiClient::Connect(tb.clients[2].get(), "svc.ft", ccfg,
+                       [&](Result<std::shared_ptr<RemoteService>> r) {
+                         if (!r.ok()) {
+                           round_done = true;
+                           return;
+                         }
+                         auto service = r.take();
+                         service->Call("ping", {}, [&, service](Result<Value> v) {
+                           ok = v.ok();
+                           round_done = true;
+                         });
+                       });
+    while (!round_done) {
+      tb.sim->RunFor(10 * kMillisecond);
+    }
+    if (ok) {
+      recovered_at = tb.sim->Now();
+      break;
+    }
+    tb.sim->RunFor(20 * kMillisecond);
+  }
+  if (recovered_at < 0) {
+    return -2;
+  }
+  return static_cast<double>(recovered_at - crash_at) / 1000.0;
+}
+
+void Run() {
+  std::printf("=== Failover latency: fault-tolerant server pair (R1) ===\n");
+  std::printf("primary crashes; backup is elected and answers on the same subject\n\n");
+  std::printf("%24s %24s\n", "leader timeout (ms)", "client outage (ms)");
+  for (SimTime timeout : {150 * kMillisecond, 350 * kMillisecond, 1000 * kMillisecond}) {
+    double outage = MeasureFailover(timeout);
+    if (outage < 0) {
+      std::printf("%24lld %24s\n", static_cast<long long>(timeout / 1000), "FAILED");
+    } else {
+      std::printf("%24lld %24.1f\n", static_cast<long long>(timeout / 1000), outage);
+    }
+  }
+  std::printf("\nShape check: the outage tracks the election's leader timeout (detection"
+              " dominates;\nre-election and re-discovery add tens of milliseconds).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ibus
+
+int main() {
+  ibus::bench::Run();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 5 reproduction: publish/subscribe latency versus message size.
+// Topology per the paper's appendix: one publisher and fourteen consumers spread over
+// fifteen hosts on a 10 Mbit/s Ethernet; batching OFF ("the batch parameter was
+// turned off to avoid intentionally delaying the publications"); reliable delivery.
+// Also reproduces the claim "latency is independent of the number of consumers".
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace ibus {
+namespace bench {
+namespace {
+
+struct LatencyResult {
+  Stats ms;
+};
+
+LatencyResult MeasureLatency(int n_consumers, size_t msg_size, int n_messages) {
+  Testbed tb = MakeTestbed(15, /*batching=*/false, 1 + n_consumers);
+  std::vector<double> latencies_ms;
+  for (int i = 1; i <= n_consumers; ++i) {
+    tb.clients[static_cast<size_t>(i)]
+        ->Subscribe("bench.latency",
+                    [&, sim = tb.sim.get()](const Message& m) {
+                      latencies_ms.push_back(
+                          static_cast<double>(sim->Now() - DecodeTimestamp(m.payload)) / 1000.0);
+                    })
+        .ok();
+  }
+  tb.sim->RunFor(50 * kMillisecond);
+  for (int i = 0; i < n_messages; ++i) {
+    tb.publisher()->Publish("bench.latency", TimestampedPayload(tb.sim->Now(), msg_size)).ok();
+    // Space publications out so queueing never contaminates the latency measurement.
+    tb.sim->RunFor(173 * kMillisecond);
+  }
+  tb.sim->RunFor(1 * kSecond);
+  return LatencyResult{Summarize(latencies_ms)};
+}
+
+void Run() {
+  std::printf("=== Figure 5: Latency of Publish/Subscribe Paradigm (millisec) ===\n");
+  std::printf("topology: 1 publisher, 14 consumers, 15 hosts, 10 Mbit/s Ethernet, "
+              "batching OFF\n\n");
+  std::printf("%10s %14s %16s %14s\n", "msg bytes", "latency (ms)", "99%-CI +/- (ms)",
+              "variance");
+  for (size_t size : FigureSizes()) {
+    LatencyResult r = MeasureLatency(14, size, 30);
+    std::printf("%10zu %14.3f %16.3f %14.5f\n", size, r.ms.mean, r.ms.ci99_half, r.ms.variance);
+  }
+
+  std::printf("\n--- Claim: latency is independent of the number of consumers ---\n");
+  std::printf("%12s %14s\n", "consumers", "latency (ms)");
+  for (int consumers : {1, 2, 4, 8, 14}) {
+    LatencyResult r = MeasureLatency(consumers, 1024, 30);
+    std::printf("%12d %14.3f\n", consumers, r.ms.mean);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ibus
+
+int main() {
+  ibus::bench::Run();
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 6 reproduction: throughput in messages/second versus message size, one
+// publisher on one subject, fourteen consumers, batching ON. Also verifies the
+// appendix claim that the publication rate is independent of the number of
+// subscribers (cumulative throughput proportional to subscriber count).
+#include <cstdio>
+
+#include "bench/throughput_common.h"
+
+namespace ibus {
+namespace bench {
+namespace {
+
+void Run() {
+  std::printf("=== Figure 6: Throughput of Publish/Subscribe Paradigm (Msgs/Sec) ===\n");
+  std::printf("topology: 1 publisher, 1 subject, 14 consumers, batching ON\n\n");
+  std::printf("%10s %14s %16s\n", "msg bytes", "msgs/sec", "variance");
+  for (size_t size : FigureSizes()) {
+    int n = size <= 512 ? 3000 : (size <= 4096 ? 1200 : 600);
+    ThroughputResult r = MeasureThroughput(14, size, n, {"bench.throughput"});
+    std::printf("%10zu %14.1f %16.2f\n", size, r.msgs_per_sec, r.variance_msgs);
+  }
+
+  std::printf("\n--- Claim: cumulative throughput proportional to #subscribers ---\n");
+  std::printf("%12s %16s %22s\n", "subscribers", "per-sub msgs/s", "cumulative msgs/s");
+  for (int subs : {1, 2, 4, 8, 14}) {
+    ThroughputResult r = MeasureThroughput(subs, 1024, 1500, {"bench.throughput"});
+    std::printf("%12d %16.1f %22.1f\n", subs, r.msgs_per_sec, r.cumulative_msgs_per_sec);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ibus
+
+int main() {
+  ibus::bench::Run();
+  return 0;
+}

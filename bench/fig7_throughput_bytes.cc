@@ -1,0 +1,33 @@
+// Figure 7 reproduction: throughput in bytes/second versus message size (same data
+// collection as Figure 6, reported in bytes). The paper's shape: rising with message
+// size, then saturating near the raw-UDP ceiling (~300 KB/s on their testbed) for
+// messages >= 5000 bytes — "the device bandwidth becomes the limiting factor ...
+// suggesting that the Information Bus represents a low overhead."
+#include <cstdio>
+
+#include "bench/throughput_common.h"
+
+namespace ibus {
+namespace bench {
+namespace {
+
+void Run() {
+  std::printf("=== Figure 7: Throughput of Publish/Subscribe Paradigm (Bytes/Sec) ===\n");
+  std::printf("topology: 1 publisher, 1 subject, 14 consumers, batching ON\n");
+  std::printf("raw-UDP ceiling of the modelled testbed: ~300 KB/s\n\n");
+  std::printf("%10s %16s %14s\n", "msg bytes", "bytes/sec", "KB/sec");
+  for (size_t size : FigureSizes()) {
+    int n = size <= 512 ? 3000 : (size <= 4096 ? 1200 : 600);
+    ThroughputResult r = MeasureThroughput(14, size, n, {"bench.throughput"});
+    std::printf("%10zu %16.0f %14.1f\n", size, r.bytes_per_sec, r.bytes_per_sec / 1024.0);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ibus
+
+int main() {
+  ibus::bench::Run();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 8 reproduction: effect of the number of subjects on throughput. "the
+// publisher published on ten thousand different subjects instead of one, and the
+// fourteen consumers subscribed to all ten thousand subjects. ... the number of
+// subjects has an insignificant influence on the throughput." The subscription trie
+// in every daemon is what makes dispatch insensitive to subject count.
+#include <cstdio>
+
+#include "bench/throughput_common.h"
+
+namespace ibus {
+namespace bench {
+namespace {
+
+std::vector<std::string> ManySubjects(int n) {
+  std::vector<std::string> subjects;
+  subjects.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    subjects.push_back("bench.s" + std::to_string(i));
+  }
+  return subjects;
+}
+
+void Run() {
+  std::printf("=== Figure 8: Throughput - Effect of the Number of Subjects ===\n");
+  std::printf("topology: 1 publisher cycling over N subjects, 14 consumers subscribed "
+              "to all N, batching ON\n\n");
+  std::printf("%10s %12s %14s %16s\n", "subjects", "msg bytes", "msgs/sec", "bytes/sec");
+  for (int n_subjects : {1, 100, 1000, 10000}) {
+    std::vector<std::string> subjects = ManySubjects(n_subjects);
+    for (size_t size : {size_t{512}, size_t{2048}}) {
+      ThroughputResult r = MeasureThroughput(14, size, 1000, subjects);
+      std::printf("%10d %12zu %14.1f %16.0f\n", n_subjects, size, r.msgs_per_sec,
+                  r.bytes_per_sec);
+    }
+  }
+  std::printf("\n(subscription setup time is excluded, as in the paper: \"these requests"
+              " are performed once at start-up time\")\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ibus
+
+int main() {
+  ibus::bench::Run();
+  return 0;
+}

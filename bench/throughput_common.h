@@ -1,0 +1,91 @@
+// Shared measurement for Figures 6, 7 and 8: sustained publish/subscribe throughput
+// on the paper's testbed (1 publisher, 14 consumers, batching ON).
+#ifndef BENCH_THROUGHPUT_COMMON_H_
+#define BENCH_THROUGHPUT_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace ibus {
+namespace bench {
+
+struct ThroughputResult {
+  double msgs_per_sec = 0;   // per subscriber (equal across subscribers)
+  double bytes_per_sec = 0;  // payload bytes per subscriber
+  double cumulative_msgs_per_sec = 0;  // across all subscribers
+  double variance_msgs = 0;  // across per-window rates
+};
+
+// Publishes `n_messages` of `msg_size` bytes as fast as the bus accepts them, cycling
+// over `subjects` (all of which every consumer subscribes to), and measures the
+// steady-state delivery rate at the consumers.
+inline ThroughputResult MeasureThroughput(int n_consumers, size_t msg_size, int n_messages,
+                                          const std::vector<std::string>& subjects) {
+  Testbed tb = MakeTestbed(15, /*batching=*/true, 1 + n_consumers);
+  std::vector<uint64_t> received(static_cast<size_t>(n_consumers), 0);
+  std::vector<SimTime> first_at(static_cast<size_t>(n_consumers), -1);
+  std::vector<SimTime> last_at(static_cast<size_t>(n_consumers), 0);
+  // Per-100ms-window delivery counts at consumer 0, for the variance the paper plots.
+  std::vector<double> window_rates;
+  uint64_t window_count = 0;
+  SimTime window_start = 0;
+
+  for (int i = 0; i < n_consumers; ++i) {
+    size_t idx = static_cast<size_t>(i);
+    for (const std::string& subject : subjects) {
+      tb.clients[idx + 1]
+          ->Subscribe(subject,
+                      [&, idx, sim = tb.sim.get()](const Message&) {
+                        if (first_at[idx] < 0) {
+                          first_at[idx] = sim->Now();
+                        }
+                        last_at[idx] = sim->Now();
+                        received[idx]++;
+                        if (idx == 0) {
+                          if (sim->Now() - window_start >= 100 * kMillisecond) {
+                            if (window_start != 0) {
+                              window_rates.push_back(static_cast<double>(window_count) /
+                                                     0.1);
+                            }
+                            window_start = sim->Now();
+                            window_count = 0;
+                          }
+                          window_count++;
+                        }
+                      })
+          .ok();
+    }
+  }
+  tb.sim->RunFor(100 * kMillisecond);
+
+  Bytes payload(msg_size, 0x5A);
+  for (int i = 0; i < n_messages; ++i) {
+    tb.publisher()->Publish(subjects[static_cast<size_t>(i) % subjects.size()], payload).ok();
+  }
+  // Drain everything (generously).
+  tb.sim->RunFor(600 * kSecond);
+
+  ThroughputResult r;
+  double per_sub_rates = 0;
+  for (int i = 0; i < n_consumers; ++i) {
+    size_t idx = static_cast<size_t>(i);
+    double seconds =
+        static_cast<double>(last_at[idx] - first_at[idx]) / static_cast<double>(kSecond);
+    if (seconds <= 0 || received[idx] < 2) {
+      continue;
+    }
+    per_sub_rates += static_cast<double>(received[idx] - 1) / seconds;
+  }
+  r.msgs_per_sec = per_sub_rates / n_consumers;
+  r.bytes_per_sec = r.msgs_per_sec * static_cast<double>(msg_size);
+  r.cumulative_msgs_per_sec = per_sub_rates;
+  r.variance_msgs = Summarize(window_rates).variance;
+  return r;
+}
+
+}  // namespace bench
+}  // namespace ibus
+
+#endif  // BENCH_THROUGHPUT_COMMON_H_

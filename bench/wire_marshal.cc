@@ -1,0 +1,67 @@
+// Ablation A7b (google-benchmark, wall-clock): marshalling cost of self-describing
+// objects — the price of P2 on the wire. Attribute names and kind tags travel with
+// every instance; this measures encode/decode rates for realistic story objects.
+#include <benchmark/benchmark.h>
+
+#include "src/bus/message.h"
+#include "src/types/codec.h"
+#include "src/types/data_object.h"
+
+namespace ibus {
+namespace {
+
+DataObjectPtr SampleStory(int body_words) {
+  std::string body;
+  for (int i = 0; i < body_words; ++i) {
+    body += "word ";
+  }
+  auto source = MakeObject("source", {{"agency", Value("DJ")}, {"desk", Value("detroit")}});
+  return MakeObject("dj_story",
+                    {{"serial", Value(int64_t{123456})},
+                     {"category", Value("equity")},
+                     {"ticker", Value("gmc")},
+                     {"headline", Value("GM announces record quarter")},
+                     {"industries", Value(Value::List{Value("auto"), Value("mfg")})},
+                     {"body", Value(body)},
+                     {"origin", Value(source)}});
+}
+
+void BM_MarshalObject(benchmark::State& state) {
+  auto story = SampleStory(static_cast<int>(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    Bytes b = MarshalObject(*story);
+    bytes = b.size();
+    benchmark::DoNotOptimize(b);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) * state.iterations());
+  state.counters["wire_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_MarshalObject)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_UnmarshalObject(benchmark::State& state) {
+  auto story = SampleStory(static_cast<int>(state.range(0)));
+  Bytes b = MarshalObject(*story);
+  for (auto _ : state) {
+    auto obj = UnmarshalObject(b);
+    benchmark::DoNotOptimize(obj);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(b.size()) * state.iterations());
+}
+BENCHMARK(BM_UnmarshalObject)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_MessageRoundTrip(benchmark::State& state) {
+  auto story = SampleStory(100);
+  Message m = Message::ForObject("news.equity.gmc", *story);
+  for (auto _ : state) {
+    Bytes b = m.Marshal();
+    auto back = Message::Unmarshal(b);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_MessageRoundTrip);
+
+}  // namespace
+}  // namespace ibus
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+#include "src/adapters/feed_sim.h"
+
+#include <algorithm>
+#include <iterator>
+
+namespace ibus {
+
+namespace {
+
+const char* const kCategories[] = {"equity", "bond", "commodity"};
+const char* const kTickers[] = {"gmc", "ibm", "tsm", "amd", "f", "ge", "t10", "oil", "gold"};
+const char* const kSubjectsOfNews[] = {"earnings", "merger", "strike", "upgrade",
+                                       "downgrade", "yield", "fab expansion", "recall"};
+const char* const kIndustries[] = {"auto", "semis", "energy", "metals", "telecom", "banking"};
+const char* const kBodyWords[] = {
+    "shares", "rose",   "fell",    "sharply", "after",   "the",     "company", "announced",
+    "record", "quarter", "results", "analysts", "expect",  "further", "gains",   "losses",
+    "amid",   "strong",  "demand",  "for",     "chips",   "vehicles", "production", "capacity"};
+
+}  // namespace
+
+FeedStory StoryGenerator::Next() {
+  FeedStory s;
+  s.serial = ++serial_;
+  s.category = kCategories[rng_.NextBelow(std::size(kCategories))];
+  s.ticker = kTickers[rng_.NextBelow(std::size(kTickers))];
+  s.headline = std::string(kTickers[rng_.NextBelow(std::size(kTickers))]) + " " +
+               kSubjectsOfNews[rng_.NextBelow(std::size(kSubjectsOfNews))];
+  size_t n_ind = 1 + rng_.NextBelow(2);
+  for (size_t i = 0; i < n_ind; ++i) {
+    std::string ind = kIndustries[rng_.NextBelow(std::size(kIndustries))];
+    if (std::find(s.industries.begin(), s.industries.end(), ind) == s.industries.end()) {
+      s.industries.push_back(ind);
+    }
+  }
+  size_t words = 20 + rng_.NextBelow(30);
+  for (size_t i = 0; i < words; ++i) {
+    if (i != 0) {
+      s.body += ' ';
+    }
+    s.body += kBodyWords[rng_.NextBelow(std::size(kBodyWords))];
+  }
+  return s;
+}
+
+Bytes DowJonesFeed::Encode(const FeedStory& story) {
+  std::string out = "DJ|" + std::to_string(story.serial) + "|" + story.category + "|" +
+                    story.ticker + "|" + story.headline + "|";
+  for (size_t i = 0; i < story.industries.size(); ++i) {
+    if (i != 0) {
+      out += ',';
+    }
+    out += story.industries[i];
+  }
+  out += "|" + story.body;
+  return ToBytes(out);
+}
+
+Bytes DowJonesFeed::NextRaw(FeedStory* story) {
+  FeedStory s = gen_.Next();
+  Bytes raw = Encode(s);
+  if (story != nullptr) {
+    *story = std::move(s);
+  }
+  return raw;
+}
+
+Bytes ReutersFeed::Encode(const FeedStory& story) {
+  std::string out = "ZCZC\n";
+  out += "SER " + std::to_string(story.serial) + "\n";
+  out += "CAT " + story.category + "\n";
+  out += "TIC " + story.ticker + "\n";
+  out += "HED " + story.headline + "\n";
+  for (const std::string& ind : story.industries) {
+    out += "IND " + ind + "\n";
+  }
+  out += "TXT " + story.body + "\n";
+  out += "NNNN\n";
+  return ToBytes(out);
+}
+
+Bytes ReutersFeed::NextRaw(FeedStory* story) {
+  FeedStory s = gen_.Next();
+  Bytes raw = Encode(s);
+  if (story != nullptr) {
+    *story = std::move(s);
+  }
+  return raw;
+}
+
+}  // namespace ibus

@@ -1,0 +1,65 @@
+// Synthetic news-feed generators standing in for the paper's Dow Jones and Reuters
+// communication feeds (substitution documented in DESIGN.md). Each vendor emits a
+// distinct raw wire format; the adapters must parse both into typed Story subtypes.
+// Output is deterministic given the seed.
+#ifndef SRC_ADAPTERS_FEED_SIM_H_
+#define SRC_ADAPTERS_FEED_SIM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+
+namespace ibus {
+
+// The logical content of a generated story (used by tests to check parsing).
+struct FeedStory {
+  uint64_t serial = 0;
+  std::string category;  // "equity", "bond", "commodity"
+  std::string ticker;    // "gmc", "ibm", ...
+  std::string headline;
+  std::vector<std::string> industries;
+  std::string body;
+};
+
+// Common synthetic story generator.
+class StoryGenerator {
+ public:
+  explicit StoryGenerator(uint64_t seed) : rng_(seed) {}
+  FeedStory Next();
+
+ private:
+  Rng rng_;
+  uint64_t serial_ = 0;
+};
+
+// "DJ" vendor: single-line pipe-delimited records:
+//   DJ|<serial>|<category>|<ticker>|<headline>|<ind1,ind2>|<body>
+class DowJonesFeed {
+ public:
+  explicit DowJonesFeed(uint64_t seed) : gen_(seed) {}
+  // Returns the raw record and (via out-param) the story it encodes.
+  Bytes NextRaw(FeedStory* story = nullptr);
+  static Bytes Encode(const FeedStory& story);
+
+ private:
+  StoryGenerator gen_;
+};
+
+// "RT" vendor: multi-line tagged records:
+//   ZCZC\nSER <serial>\nCAT <category>\nTIC <ticker>\nHED <headline>\n
+//   IND <ind1>\nIND <ind2>\nTXT <body>\nNNNN\n
+class ReutersFeed {
+ public:
+  explicit ReutersFeed(uint64_t seed) : gen_(seed) {}
+  Bytes NextRaw(FeedStory* story = nullptr);
+  static Bytes Encode(const FeedStory& story);
+
+ private:
+  StoryGenerator gen_;
+};
+
+}  // namespace ibus
+
+#endif  // SRC_ADAPTERS_FEED_SIM_H_

@@ -1,0 +1,230 @@
+#include "src/adapters/legacy_wip.h"
+
+#include <sstream>
+
+namespace ibus {
+
+// ---------------------------------------------------------------------------------
+// GreenScreenWip
+// ---------------------------------------------------------------------------------
+
+GreenScreenWip::GreenScreenWip() = default;
+
+void GreenScreenWip::SeedLot(const std::string& lot_id, const std::string& station,
+                             int64_t quantity) {
+  lots_[lot_id] = Lot{station, quantity};
+}
+
+void GreenScreenWip::SendKeys(const std::string& keys) {
+  for (char c : keys) {
+    if (c == '\n') {
+      HandleEnter();
+    } else {
+      input_ += c;
+    }
+  }
+}
+
+void GreenScreenWip::HandleEnter() {
+  std::string entry = input_;
+  input_.clear();
+  switch (screen_) {
+    case Screen::kMainMenu:
+      if (entry == "1") {
+        screen_ = Screen::kLotStatusPrompt;
+      } else if (entry == "2") {
+        screen_ = Screen::kMovePromptLot;
+      }
+      // anything else: stay on the menu, like the real thing
+      break;
+    case Screen::kLotStatusPrompt: {
+      auto it = lots_.find(entry);
+      if (it == lots_.end()) {
+        last_result_ = "LOT " + entry + " NOT ON FILE";
+      } else {
+        last_result_ = "LOT " + entry + " AT " + it->second.station + " QTY " +
+                       std::to_string(it->second.quantity);
+      }
+      screen_ = Screen::kLotStatusResult;
+      break;
+    }
+    case Screen::kLotStatusResult:
+    case Screen::kMoveResult:
+      screen_ = Screen::kMainMenu;  // any ENTER returns to the menu
+      break;
+    case Screen::kMovePromptLot:
+      pending_lot_ = entry;
+      screen_ = Screen::kMovePromptStation;
+      break;
+    case Screen::kMovePromptStation: {
+      auto it = lots_.find(pending_lot_);
+      if (it == lots_.end()) {
+        last_result_ = "MOVE REJECTED - LOT " + pending_lot_ + " NOT ON FILE";
+      } else if (entry.empty()) {
+        last_result_ = "MOVE REJECTED - STATION REQUIRED";
+      } else {
+        it->second.station = entry;
+        last_result_ = "MOVE OK - LOT " + pending_lot_ + " NOW AT " + entry;
+      }
+      pending_lot_.clear();
+      screen_ = Screen::kMoveResult;
+      break;
+    }
+  }
+}
+
+std::string GreenScreenWip::ReadScreen() const {
+  std::string s = "+------------------------------------------+\n";
+  s += "| ACME FAB  WORK-IN-PROCESS  SYSTEM  V2.3  |\n";
+  s += "+------------------------------------------+\n";
+  switch (screen_) {
+    case Screen::kMainMenu:
+      s += "  1. LOT STATUS INQUIRY\n";
+      s += "  2. MOVE LOT\n";
+      s += "  SELECT OPTION: " + input_ + "\n";
+      break;
+    case Screen::kLotStatusPrompt:
+      s += "  LOT STATUS INQUIRY\n";
+      s += "  ENTER LOT ID: " + input_ + "\n";
+      break;
+    case Screen::kLotStatusResult:
+      s += "  " + last_result_ + "\n";
+      s += "  PRESS ENTER TO CONTINUE\n";
+      break;
+    case Screen::kMovePromptLot:
+      s += "  MOVE LOT\n";
+      s += "  ENTER LOT ID: " + input_ + "\n";
+      break;
+    case Screen::kMovePromptStation:
+      s += "  MOVE LOT " + pending_lot_ + "\n";
+      s += "  ENTER TARGET STATION: " + input_ + "\n";
+      break;
+    case Screen::kMoveResult:
+      s += "  " + last_result_ + "\n";
+      s += "  PRESS ENTER TO CONTINUE\n";
+      break;
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------------
+// WipAdapter
+// ---------------------------------------------------------------------------------
+
+Status RegisterWipTypes(TypeRegistry* registry) {
+  TypeDescriptor move("wip_move", kRootTypeName);
+  move.AddAttribute("lot", "string");
+  move.AddAttribute("to_station", "string");
+  IBUS_RETURN_IF_ERROR(registry->Define(move));
+
+  TypeDescriptor status("wip_status", kRootTypeName);
+  status.AddAttribute("lot", "string");
+  status.AddAttribute("station", "string");
+  status.AddAttribute("quantity", "i64");
+  status.AddAttribute("on_file", "bool");
+  return registry->Define(status);
+}
+
+Result<std::unique_ptr<WipAdapter>> WipAdapter::Create(BusClient* bus, TypeRegistry* registry,
+                                                       GreenScreenWip* legacy) {
+  IBUS_RETURN_IF_ERROR(RegisterWipTypes(registry));
+  auto adapter = std::unique_ptr<WipAdapter>(new WipAdapter(bus, registry, legacy));
+
+  auto sub = bus->SubscribeObjects(
+      "fab.wip.move", [a = adapter.get()](const Message& m, const DataObjectPtr& move) {
+        if (move != nullptr && move->type_name() == "wip_move") {
+          a->HandleMove(m, move);
+        }
+      });
+  if (!sub.ok()) {
+    return sub.status();
+  }
+  adapter->move_sub_ = *sub;
+
+  // RMI face: status(lot) answered by screen-scraping the terminal.
+  auto service = std::make_shared<DynamicService>("wip_service");
+  OperationDef status_op;
+  status_op.name = "status";
+  status_op.result_type = "wip_status";
+  status_op.params = {ParamDef{"lot", "string"}};
+  service->AddOperation(status_op,
+                        [a = adapter.get()](const std::vector<Value>& args) -> Result<Value> {
+                          if (args.size() != 1 || !args[0].is_string()) {
+                            return InvalidArgument("status(lot)");
+                          }
+                          a->stats_.status_queries++;
+                          auto obj = a->ScrapeStatus(args[0].AsString());
+                          if (!obj.ok()) {
+                            return obj.status();
+                          }
+                          return Value(obj.take());
+                        });
+  auto rmi = RmiServer::Create(bus, "svc.wip", service);
+  if (!rmi.ok()) {
+    return rmi.status();
+  }
+  adapter->rmi_ = rmi.take();
+  return adapter;
+}
+
+WipAdapter::~WipAdapter() {
+  if (move_sub_ != 0) {
+    bus_->Unsubscribe(move_sub_);
+  }
+}
+
+void WipAdapter::HandleMove(const Message& m, const DataObjectPtr& move) {
+  const std::string lot = move->Get("lot").is_string() ? move->Get("lot").AsString() : "";
+  const std::string to =
+      move->Get("to_station").is_string() ? move->Get("to_station").AsString() : "";
+  // Virtual user: menu option 2, lot id, target station.
+  legacy_->SendKeys("2\n" + lot + "\n" + to + "\n");
+  std::string screen = legacy_->ReadScreen();
+  bool ok = screen.find("MOVE OK") != std::string::npos;
+  legacy_->SendKeys("\n");  // back to the menu
+  if (ok) {
+    stats_.moves_executed++;
+  } else {
+    stats_.moves_failed++;
+  }
+  // Publish the post-move status so the rest of the factory reacts (event-driven).
+  auto status = ScrapeStatus(lot);
+  if (status.ok()) {
+    bus_->PublishObject("fab.wip.status." + lot, **status);
+  }
+}
+
+Result<DataObjectPtr> WipAdapter::ScrapeStatus(const std::string& lot_id) {
+  legacy_->SendKeys("1\n" + lot_id + "\n");
+  std::string screen = legacy_->ReadScreen();
+  legacy_->SendKeys("\n");  // dismiss the result screen
+
+  auto status = registry_->NewInstance("wip_status");
+  if (!status.ok()) {
+    return status.status();
+  }
+  (*status)->Set("lot", Value(lot_id)).ok();
+  // Scrape "LOT <id> AT <station> QTY <n>" or "LOT <id> NOT ON FILE".
+  std::istringstream lines(screen);
+  std::string line;
+  while (std::getline(lines, line)) {
+    size_t at = line.find("LOT " + lot_id + " AT ");
+    if (at != std::string::npos) {
+      std::istringstream fields(line.substr(at));
+      std::string kw_lot, id, kw_at, station, kw_qty;
+      int64_t qty = 0;
+      fields >> kw_lot >> id >> kw_at >> station >> kw_qty >> qty;
+      (*status)->Set("station", Value(station)).ok();
+      (*status)->Set("quantity", Value(qty)).ok();
+      (*status)->Set("on_file", Value(true)).ok();
+      return *status;
+    }
+    if (line.find("LOT " + lot_id + " NOT ON FILE") != std::string::npos) {
+      (*status)->Set("on_file", Value(false)).ok();
+      return *status;
+    }
+  }
+  return DataLoss("wip adapter: could not scrape status screen");
+}
+
+}  // namespace ibus

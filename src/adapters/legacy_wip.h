@@ -1,0 +1,95 @@
+// The legacy Work-In-Process system and its adapter (paper §4): "the existing WIP
+// software is written in Cobol, and there is only a primitive terminal interface. The
+// adapter must act as a virtual user to the terminal interface."
+//
+// GreenScreenWip simulates that legacy application: the ONLY interface is keystrokes
+// in and a 24-line screen out — no API, no data access. WipAdapter drives it like a
+// human operator: navigating menus, filling forms, and screen-scraping results, while
+// presenting modern bus semantics (typed objects, subjects, RMI) to the rest of the
+// system.
+#ifndef SRC_ADAPTERS_LEGACY_WIP_H_
+#define SRC_ADAPTERS_LEGACY_WIP_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bus/client.h"
+#include "src/rmi/server.h"
+#include "src/types/registry.h"
+
+namespace ibus {
+
+// The untouchable legacy system. 1970s discipline: fixed screens, numbered menus.
+class GreenScreenWip {
+ public:
+  GreenScreenWip();
+
+  // Terminal-only interface.
+  void SendKeys(const std::string& keys);  // '\n' is ENTER
+  std::string ReadScreen() const;          // the full current screen text
+
+  // Factory-floor backdoor used only by tests/examples to seed inventory (stands in
+  // for decades of production data).
+  void SeedLot(const std::string& lot_id, const std::string& station, int64_t quantity);
+  size_t lot_count() const { return lots_.size(); }
+
+ private:
+  enum class Screen { kMainMenu, kLotStatusPrompt, kLotStatusResult, kMovePromptLot,
+                      kMovePromptStation, kMoveResult };
+
+  struct Lot {
+    std::string station;
+    int64_t quantity = 0;
+  };
+
+  void HandleEnter();
+
+  Screen screen_ = Screen::kMainMenu;
+  std::string input_;          // keys typed since the last ENTER
+  std::string pending_lot_;    // lot id captured on multi-step forms
+  std::string last_result_;    // message shown on result screens
+  std::map<std::string, Lot> lots_;
+};
+
+// Bus-facing object types published/consumed by the adapter.
+Status RegisterWipTypes(TypeRegistry* registry);
+
+struct WipAdapterStats {
+  uint64_t moves_executed = 0;
+  uint64_t moves_failed = 0;
+  uint64_t status_queries = 0;
+};
+
+class WipAdapter {
+ public:
+  // Subscribes to "fab.wip.move" (wip_move objects) and serves "svc.wip" over RMI
+  // with operation status(lot) -> wip_status.
+  static Result<std::unique_ptr<WipAdapter>> Create(BusClient* bus, TypeRegistry* registry,
+                                                    GreenScreenWip* legacy);
+  ~WipAdapter();
+  WipAdapter(const WipAdapter&) = delete;
+  WipAdapter& operator=(const WipAdapter&) = delete;
+
+  const WipAdapterStats& stats() const { return stats_; }
+
+ private:
+  WipAdapter(BusClient* bus, TypeRegistry* registry, GreenScreenWip* legacy)
+      : bus_(bus), registry_(registry), legacy_(legacy) {}
+
+  void HandleMove(const Message& m, const DataObjectPtr& move);
+  // Drives the terminal to answer "where is this lot?"; returns a wip_status object.
+  Result<DataObjectPtr> ScrapeStatus(const std::string& lot_id);
+
+  BusClient* bus_;
+  TypeRegistry* registry_;
+  GreenScreenWip* legacy_;
+  uint64_t move_sub_ = 0;
+  std::unique_ptr<RmiServer> rmi_;
+  WipAdapterStats stats_;
+};
+
+}  // namespace ibus
+
+#endif  // SRC_ADAPTERS_LEGACY_WIP_H_

@@ -1,0 +1,144 @@
+#include "src/adapters/news_adapter.h"
+
+#include <sstream>
+
+namespace ibus {
+
+Status NewsAdapter::RegisterStoryTypes(TypeRegistry* registry) {
+  TypeDescriptor story("story", kRootTypeName);
+  story.AddAttribute("serial", "i64");
+  story.AddAttribute("category", "string");
+  story.AddAttribute("ticker", "string");
+  story.AddAttribute("headline", "string");
+  story.AddAttribute("industries", "list");
+  story.AddAttribute("body", "string");
+  IBUS_RETURN_IF_ERROR(registry->Define(story));
+
+  TypeDescriptor dj("dj_story", "story");
+  dj.AddAttribute("dj_wire_code", "string");
+  IBUS_RETURN_IF_ERROR(registry->Define(dj));
+
+  TypeDescriptor rt("rt_story", "story");
+  rt.AddAttribute("rt_service_level", "string");
+  return registry->Define(rt);
+}
+
+std::string NewsAdapter::SubjectFor(const DataObject& story) {
+  return "news." + story.Get("category").AsString() + "." + story.Get("ticker").AsString();
+}
+
+Result<DataObjectPtr> NewsAdapter::Parse(const Bytes& raw) const {
+  std::string text = ToString(raw);
+  return vendor_ == NewsVendor::kDowJones ? ParseDowJones(text) : ParseReuters(text);
+}
+
+Result<DataObjectPtr> NewsAdapter::ParseDowJones(const std::string& raw) const {
+  // DJ|serial|category|ticker|headline|ind1,ind2|body
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (fields.size() < 6) {
+    size_t bar = raw.find('|', start);
+    if (bar == std::string::npos) {
+      return DataLoss("dj: short record");
+    }
+    fields.push_back(raw.substr(start, bar - start));
+    start = bar + 1;
+  }
+  fields.push_back(raw.substr(start));  // body (may contain anything but '|')
+  if (fields[0] != "DJ") {
+    return DataLoss("dj: bad magic '" + fields[0] + "'");
+  }
+  auto obj = registry_->NewInstance("dj_story");
+  if (!obj.ok()) {
+    return obj.status();
+  }
+  char* end = nullptr;
+  long long serial = std::strtoll(fields[1].c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return DataLoss("dj: bad serial");
+  }
+  (*obj)->Set("serial", Value(static_cast<int64_t>(serial))).ok();
+  (*obj)->Set("category", Value(fields[2])).ok();
+  (*obj)->Set("ticker", Value(fields[3])).ok();
+  (*obj)->Set("headline", Value(fields[4])).ok();
+  Value::List industries;
+  std::stringstream inds(fields[5]);
+  std::string ind;
+  while (std::getline(inds, ind, ',')) {
+    if (!ind.empty()) {
+      industries.push_back(Value(ind));
+    }
+  }
+  (*obj)->Set("industries", Value(std::move(industries))).ok();
+  (*obj)->Set("body", Value(fields[6])).ok();
+  (*obj)->Set("dj_wire_code", Value("DJ-" + fields[1])).ok();
+  return *obj;
+}
+
+Result<DataObjectPtr> NewsAdapter::ParseReuters(const std::string& raw) const {
+  std::stringstream in(raw);
+  std::string line;
+  if (!std::getline(in, line) || line != "ZCZC") {
+    return DataLoss("rt: missing start-of-message");
+  }
+  auto obj = registry_->NewInstance("rt_story");
+  if (!obj.ok()) {
+    return obj.status();
+  }
+  Value::List industries;
+  bool terminated = false;
+  while (std::getline(in, line)) {
+    if (line == "NNNN") {
+      terminated = true;
+      break;
+    }
+    if (line.size() < 4) {
+      return DataLoss("rt: malformed line '" + line + "'");
+    }
+    std::string tag = line.substr(0, 3);
+    std::string value = line.substr(4);
+    if (tag == "SER") {
+      char* end = nullptr;
+      long long serial = std::strtoll(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        return DataLoss("rt: bad serial");
+      }
+      (*obj)->Set("serial", Value(static_cast<int64_t>(serial))).ok();
+    } else if (tag == "CAT") {
+      (*obj)->Set("category", Value(value)).ok();
+    } else if (tag == "TIC") {
+      (*obj)->Set("ticker", Value(value)).ok();
+    } else if (tag == "HED") {
+      (*obj)->Set("headline", Value(value)).ok();
+    } else if (tag == "IND") {
+      industries.push_back(Value(value));
+    } else if (tag == "TXT") {
+      (*obj)->Set("body", Value(value)).ok();
+    }  // unknown tags are skipped: feeds add fields over time (R2 in the small)
+  }
+  if (!terminated) {
+    return DataLoss("rt: missing end-of-message");
+  }
+  (*obj)->Set("industries", Value(std::move(industries))).ok();
+  (*obj)->Set("rt_service_level", Value(std::string("standard"))).ok();
+  return *obj;
+}
+
+Status NewsAdapter::Ingest(const Bytes& raw) {
+  auto story = Parse(raw);
+  if (!story.ok()) {
+    stats_.parse_errors++;
+    return story.status();
+  }
+  if ((*story)->Get("category").is_null() || (*story)->Get("ticker").is_null()) {
+    stats_.parse_errors++;
+    return DataLoss("news adapter: story missing routing fields");
+  }
+  Status s = bus_->PublishObject(SubjectFor(**story), **story);
+  if (s.ok()) {
+    stats_.published++;
+  }
+  return s;
+}
+
+}  // namespace ibus

@@ -1,0 +1,55 @@
+// News adapters (paper §5, Figure 3): "Two news adapters receive news stories from
+// communication feeds connected to outside news services ... Each adapter parses the
+// received data into an appropriate vendor-specific subtype of a common Story
+// supertype, and publishes each story on the Information Bus under a subject
+// describing the story's primary topic (for example, 'news.equity.gmc')."
+#ifndef SRC_ADAPTERS_NEWS_ADAPTER_H_
+#define SRC_ADAPTERS_NEWS_ADAPTER_H_
+
+#include <string>
+
+#include "src/adapters/feed_sim.h"
+#include "src/bus/client.h"
+#include "src/types/registry.h"
+
+namespace ibus {
+
+enum class NewsVendor { kDowJones, kReuters };
+
+struct NewsAdapterStats {
+  uint64_t published = 0;
+  uint64_t parse_errors = 0;
+};
+
+class NewsAdapter {
+ public:
+  // Registers the Story type family: story (supertype), dj_story, rt_story.
+  // Idempotent; every process hosting news components calls this.
+  static Status RegisterStoryTypes(TypeRegistry* registry);
+
+  NewsAdapter(BusClient* bus, TypeRegistry* registry, NewsVendor vendor)
+      : bus_(bus), registry_(registry), vendor_(vendor) {}
+
+  // Parses one raw vendor record into a typed story object (vendor-specific subtype).
+  Result<DataObjectPtr> Parse(const Bytes& raw) const;
+
+  // Parses and publishes under "news.<category>.<ticker>".
+  Status Ingest(const Bytes& raw);
+
+  static std::string SubjectFor(const DataObject& story);
+
+  const NewsAdapterStats& stats() const { return stats_; }
+
+ private:
+  Result<DataObjectPtr> ParseDowJones(const std::string& raw) const;
+  Result<DataObjectPtr> ParseReuters(const std::string& raw) const;
+
+  BusClient* bus_;
+  TypeRegistry* registry_;
+  NewsVendor vendor_;
+  NewsAdapterStats stats_;
+};
+
+}  // namespace ibus
+
+#endif  // SRC_ADAPTERS_NEWS_ADAPTER_H_

@@ -1,0 +1,205 @@
+#include "src/appbuilder/app_builder.h"
+
+namespace ibus {
+
+AppBuilder::AppBuilder(BusClient* bus, TypeRegistry* registry)
+    : bus_(bus), registry_(registry), interp_(registry), alive_(std::make_shared<bool>(true)) {
+  InstallBusBindings();
+}
+
+AppBuilder::~AppBuilder() {
+  *alive_ = false;
+  for (uint64_t sub : subs_) {
+    bus_->Unsubscribe(sub);
+  }
+}
+
+void AppBuilder::InstallBusBindings() {
+  interp_.DefineNative("bus-publish", [this](std::vector<Datum>& args) -> Result<Datum> {
+    if (args.size() != 2 || !args[0].is_string() || !args[1].is_object() ||
+        args[1].AsObject() == nullptr) {
+      return InvalidArgument("(bus-publish \"subject\" obj)");
+    }
+    Status s = bus_->PublishObject(args[0].AsString(), *args[1].AsObject());
+    if (!s.ok()) {
+      return s;
+    }
+    return Datum(true);
+  });
+
+  interp_.DefineNative("bus-subscribe", [this](std::vector<Datum>& args) -> Result<Datum> {
+    if (args.size() != 2 || !args[0].is_string() || !args[1].is_callable()) {
+      return InvalidArgument("(bus-subscribe \"pattern\" handler)");
+    }
+    Datum handler = args[1];
+    auto sub = bus_->SubscribeObjects(
+        args[0].AsString(),
+        [this, handler, alive = alive_](const Message& m, const DataObjectPtr& obj) {
+          if (!*alive || obj == nullptr) {
+            return;
+          }
+          std::vector<Datum> call_args{Datum(m.subject), Datum(obj)};
+          interp_.Apply(handler, call_args);
+        });
+    if (!sub.ok()) {
+      return sub.status();
+    }
+    subs_.push_back(*sub);
+    return Datum(static_cast<int64_t>(*sub));
+  });
+
+  interp_.DefineNative("bus-invoke", [this](std::vector<Datum>& args) -> Result<Datum> {
+    if (args.size() != 4 || !args[0].is_string() || !args[1].is_string() ||
+        !args[2].is_list() || !args[3].is_callable()) {
+      return InvalidArgument("(bus-invoke \"subject\" \"op\" (list args) callback)");
+    }
+    std::string subject = args[0].AsString();
+    std::string op = args[1].AsString();
+    std::vector<Value> call_args;
+    for (const Datum& d : args[2].AsList()) {
+      auto v = d.ToValue();
+      if (!v.ok()) {
+        return v.status();
+      }
+      call_args.push_back(v.take());
+    }
+    Datum callback = args[3];
+
+    auto run_call = [this, op, call_args, callback](std::shared_ptr<RemoteService> service) {
+      service->Call(op, call_args, [this, callback, alive = alive_](Result<Value> r) {
+        if (!*alive) {
+          return;
+        }
+        std::vector<Datum> cb_args;
+        if (r.ok()) {
+          cb_args = {Datum(true), Datum::FromValue(*r)};
+        } else {
+          cb_args = {Datum(false), Datum(r.status().ToString())};
+        }
+        interp_.Apply(callback, cb_args);
+      });
+    };
+
+    auto cached = services_.find(subject);
+    if (cached != services_.end() && cached->second->connected()) {
+      run_call(cached->second);
+      return Datum(true);
+    }
+    Status s = RmiClient::Connect(
+        bus_, subject, RmiClientConfig{},
+        [this, subject, run_call, callback, alive = alive_](
+            Result<std::shared_ptr<RemoteService>> r) {
+          if (!*alive) {
+            return;
+          }
+          if (!r.ok()) {
+            std::vector<Datum> cb_args{Datum(false), Datum(r.status().ToString())};
+            interp_.Apply(callback, cb_args);
+            return;
+          }
+          // Another concurrent bus-invoke may have connected first; keep the existing
+          // (possibly busy) service rather than destroying it mid-call.
+          auto& slot = services_[subject];
+          if (slot == nullptr || !slot->connected()) {
+            slot = *r;
+          }
+          run_call(slot);
+        });
+    if (!s.ok()) {
+      return s;
+    }
+    return Datum(true);
+  });
+
+  interp_.DefineNative("define-service", [this](std::vector<Datum>& args) -> Result<Datum> {
+    if (args.size() != 3 || !args[0].is_string() || !args[1].is_object() ||
+        args[1].AsObject() == nullptr || !args[2].is_list()) {
+      return InvalidArgument("(define-service \"subject\" instance (list 'op...))");
+    }
+    const std::string& subject = args[0].AsString();
+    DataObjectPtr instance = args[1].AsObject();
+    auto service =
+        std::make_shared<DynamicService>(instance->type_name() + "_service");
+    for (const Datum& op_name : args[2].AsList()) {
+      if (!op_name.is_symbol()) {
+        return InvalidArgument("define-service: operation names must be symbols");
+      }
+      const std::string op = op_name.AsSymbol();
+      OperationDef def;
+      def.name = op;
+      def.result_type = "any";
+      def.params = {ParamDef{"args", "list"}};
+      service->AddOperation(
+          def, [this, op, instance, alive = alive_](
+                   const std::vector<Value>& call_args) -> Result<Value> {
+            if (!*alive) {
+              return Unavailable("application gone");
+            }
+            // Dispatch to the TDL generic: (op instance arg1 arg2 ...).
+            std::vector<Datum> tdl_args{Datum(instance)};
+            for (const Value& v : call_args) {
+              tdl_args.push_back(Datum::FromValue(v));
+            }
+            auto r = interp_.CallGeneric(op, std::move(tdl_args));
+            if (!r.ok()) {
+              return r.status();
+            }
+            return r->ToValue();
+          });
+    }
+    auto server = RmiServer::Create(bus_, subject, std::move(service));
+    if (!server.ok()) {
+      return server.status();
+    }
+    script_servers_.push_back(server.take());
+    return Datum(true);
+  });
+
+  interp_.DefineNative("list-services", [this](std::vector<Datum>& args) -> Result<Datum> {
+    if (args.size() != 1 || !args[0].is_callable()) {
+      return InvalidArgument("(list-services callback)");
+    }
+    Datum callback = args[0];
+    Status s = ServiceDirectory::List(
+        bus_, 100 * kMillisecond,
+        [this, callback, alive = alive_](std::vector<RmiAdvert> adverts) {
+          if (!*alive) {
+            return;
+          }
+          Datum::List services;
+          for (const RmiAdvert& a : adverts) {
+            services.push_back(Datum(Datum::List{Datum(a.subject), Datum(a.server_name),
+                                                 Datum(a.interface.name())}));
+          }
+          std::vector<Datum> cb_args{Datum(std::move(services))};
+          interp_.Apply(callback, cb_args);
+        });
+    if (!s.ok()) {
+      return s;
+    }
+    return Datum(true);
+  });
+}
+
+std::string AppBuilder::BuildMenu(const TypeDescriptor& iface) {
+  std::string out = "=== " + iface.name() + " ===\n";
+  int i = 1;
+  for (const OperationDef& op : iface.operations()) {
+    out += "  " + std::to_string(i++) + ". " + op.Signature() + "\n";
+  }
+  if (iface.operations().empty()) {
+    out += "  (no operations)\n";
+  }
+  return out;
+}
+
+std::string AppBuilder::BuildDialog(const OperationDef& op) {
+  std::string out = "--- " + op.name + " ---\n";
+  for (const ParamDef& p : op.params) {
+    out += "  " + p.name + " (" + p.type_name + "): _____\n";
+  }
+  out += "  [OK] -> " + op.result_type + "\n";
+  return out;
+}
+
+}  // namespace ibus

@@ -1,0 +1,70 @@
+// Graphical Application Builder (paper §5.1), headless reproduction: "an
+// interpreter-driven, user interface toolkit ... All high-level application behavior
+// is encoded in the interpreted language; only low-level behavior that is common to
+// many applications is actually compiled."
+//
+// AppBuilder embeds a TDL interpreter and binds it to the Information Bus:
+//   (bus-publish "subject" obj)                  publish a data object
+//   (bus-subscribe "pattern" (lambda (subj obj) ...))   event-driven handlers
+//   (bus-invoke "svc.x" "op" (list ...) (lambda (status result) ...))   call services
+//   (list-services (lambda (services) ...))      enumerate services on the bus
+//   (define-service "svc.x" instance (list 'op1 'op2))   serve an object over RMI:
+//       each op becomes an operation dispatched to the TDL generic (opN instance
+//       args...), so whole services are written in the interpreted language (P3)
+// plus UI generation from self-describing service interfaces: "menus listing the
+// operations in the interface can be popped up, and dialogue boxes that are based on
+// the operations' signatures can lead the user through interactions" (§5.2).
+#ifndef SRC_APPBUILDER_APP_BUILDER_H_
+#define SRC_APPBUILDER_APP_BUILDER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/bus/client.h"
+#include "src/rmi/client.h"
+#include "src/rmi/directory.h"
+#include "src/rmi/server.h"
+#include "src/tdl/interp.h"
+
+namespace ibus {
+
+class AppBuilder {
+ public:
+  AppBuilder(BusClient* bus, TypeRegistry* registry);
+  ~AppBuilder();
+  AppBuilder(const AppBuilder&) = delete;
+  AppBuilder& operator=(const AppBuilder&) = delete;
+
+  TdlInterp* interp() { return &interp_; }
+
+  // Evaluates an application script. Handlers registered by the script keep firing
+  // as bus traffic arrives (the simulator drives them).
+  Result<Datum> RunScript(std::string_view source) { return interp_.EvalProgram(source); }
+
+  // Text the script produced via (print ...).
+  std::string TakeOutput() { return interp_.TakeOutput(); }
+
+  // --- Generic service UI generation (no compilation involved) ---------------------
+  // A numbered menu of every operation in the interface.
+  static std::string BuildMenu(const TypeDescriptor& iface);
+  // A "dialogue box": one prompt per parameter, derived from the signature.
+  static std::string BuildDialog(const OperationDef& op);
+
+ private:
+  void InstallBusBindings();
+
+  BusClient* bus_;
+  TypeRegistry* registry_;
+  TdlInterp interp_;
+  std::vector<uint64_t> subs_;
+  // Cached connections per service subject (scripts call repeatedly).
+  std::map<std::string, std::shared_ptr<RemoteService>> services_;
+  // RMI servers created by scripts via (define-service ...), kept alive with the app.
+  std::vector<std::unique_ptr<RmiServer>> script_servers_;
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace ibus
+
+#endif  // SRC_APPBUILDER_APP_BUILDER_H_

@@ -1,0 +1,64 @@
+#include "src/baseline/attribute_matcher.h"
+
+#include <algorithm>
+
+namespace ibus {
+
+bool AttributeQuery::Matches(const DataObject& obj) const {
+  for (const Cond& cond : conds) {
+    const Value& v = obj.Get(cond.attribute);
+    switch (cond.op) {
+      case Op::kEq:
+        if (!(v == cond.value)) {
+          return false;
+        }
+        break;
+      case Op::kNe:
+        if (v == cond.value) {
+          return false;
+        }
+        break;
+      case Op::kLt:
+        if (!(v.is_number() && cond.value.is_number() &&
+              v.NumberAsF64() < cond.value.NumberAsF64())) {
+          return false;
+        }
+        break;
+      case Op::kGt:
+        if (!(v.is_number() && cond.value.is_number() &&
+              v.NumberAsF64() > cond.value.NumberAsF64())) {
+          return false;
+        }
+        break;
+      case Op::kContains:
+        if (!v.is_string() || !cond.value.is_string() ||
+            v.AsString().find(cond.value.AsString()) == std::string::npos) {
+          return false;
+        }
+        break;
+    }
+  }
+  return true;
+}
+
+bool AttributeMatcher::Remove(uint64_t id) {
+  auto it = std::find_if(queries_.begin(), queries_.end(),
+                         [id](const auto& entry) { return entry.first == id; });
+  if (it == queries_.end()) {
+    return false;
+  }
+  queries_.erase(it);
+  return true;
+}
+
+std::vector<uint64_t> AttributeMatcher::Match(const DataObject& obj) const {
+  std::vector<uint64_t> out;
+  for (const auto& [id, query] : queries_) {
+    if (query.Matches(obj)) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace ibus

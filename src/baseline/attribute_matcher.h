@@ -1,0 +1,62 @@
+// Linda-style attribute qualification baseline (paper §6): "Linda accesses data based
+// on attribute qualification, just as relational databases do. Though this access
+// mechanism is more powerful than subject-based addressing, we believe that it is more
+// general than most applications require ... subject-based addressing scales more
+// easily, and has better performance."
+//
+// Each subscription is a conjunction of attribute predicates; matching a published
+// object means evaluating every registered query against its attributes — O(queries)
+// per message versus the subject trie's O(subject depth). The ablate_matching bench
+// measures the gap.
+#ifndef SRC_BASELINE_ATTRIBUTE_MATCHER_H_
+#define SRC_BASELINE_ATTRIBUTE_MATCHER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/types/data_object.h"
+#include "src/types/value.h"
+
+namespace ibus {
+
+struct AttributeQuery {
+  enum class Op { kEq, kNe, kLt, kGt, kContains /* substring on strings */ };
+
+  struct Cond {
+    std::string attribute;
+    Op op = Op::kEq;
+    Value value;
+  };
+
+  std::vector<Cond> conds;  // ANDed; empty matches everything
+
+  AttributeQuery& Where(std::string attribute, Op op, Value value) {
+    conds.push_back(Cond{std::move(attribute), op, std::move(value)});
+    return *this;
+  }
+
+  bool Matches(const DataObject& obj) const;
+};
+
+class AttributeMatcher {
+ public:
+  void Insert(uint64_t id, AttributeQuery query) {
+    queries_.emplace_back(id, std::move(query));
+  }
+  bool Remove(uint64_t id);
+
+  // Evaluates every registered query against the object (the inherent cost of
+  // attribute qualification).
+  std::vector<uint64_t> Match(const DataObject& obj) const;
+
+  size_t size() const { return queries_.size(); }
+
+ private:
+  std::vector<std::pair<uint64_t, AttributeQuery>> queries_;
+};
+
+}  // namespace ibus
+
+#endif  // SRC_BASELINE_ATTRIBUTE_MATCHER_H_

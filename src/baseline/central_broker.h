@@ -1,0 +1,78 @@
+// Centralized-broker baseline (paper §6, the Zephyr comparison): a single location
+// server holds the subscription table; publishers unicast each message to the broker,
+// which unicasts a copy to every matching subscriber ("subscription multicasting").
+// Contrast with the Information Bus: two unicast hops and per-subscriber copies on
+// the wire versus one hardware broadcast — "this mechanism is inefficient if the
+// number of interested clients is very large". The ablate_broker bench quantifies it.
+//
+// Built directly on simulator sockets (it bypasses the bus daemons entirely).
+#ifndef SRC_BASELINE_CENTRAL_BROKER_H_
+#define SRC_BASELINE_CENTRAL_BROKER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/sim/network.h"
+#include "src/subject/trie.h"
+
+namespace ibus {
+
+struct BrokerStats {
+  uint64_t publishes = 0;
+  uint64_t deliveries = 0;
+};
+
+class CentralBroker {
+ public:
+  static Result<std::unique_ptr<CentralBroker>> Start(Network* net, HostId host, Port port);
+
+  HostId host() const { return socket_->host(); }
+  Port port() const { return socket_->port(); }
+  const BrokerStats& stats() const { return stats_; }
+
+ private:
+  explicit CentralBroker(Network* net) : net_(net) {}
+  void HandleDatagram(const Datagram& d);
+
+  Network* net_;
+  std::unique_ptr<UdpSocket> socket_;
+  struct Subscriber {
+    HostId host;
+    Port port;
+  };
+  uint64_t next_sub_ = 1;
+  std::unordered_map<uint64_t, Subscriber> subscribers_;
+  SubjectTrie trie_;
+  BrokerStats stats_;
+};
+
+class BrokerClient {
+ public:
+  using Handler = std::function<void(const std::string& subject, const Bytes& payload)>;
+
+  static Result<std::unique_ptr<BrokerClient>> Connect(Network* net, HostId host,
+                                                       HostId broker_host, Port broker_port);
+
+  Status Subscribe(const std::string& pattern);
+  Status Publish(const std::string& subject, const Bytes& payload);
+  void SetHandler(Handler handler) { handler_ = std::move(handler); }
+
+  uint64_t received() const { return received_; }
+
+ private:
+  BrokerClient(Network* net, HostId broker_host, Port broker_port)
+      : net_(net), broker_host_(broker_host), broker_port_(broker_port) {}
+  void HandleDatagram(const Datagram& d);
+
+  Network* net_;
+  HostId broker_host_;
+  Port broker_port_;
+  std::unique_ptr<UdpSocket> socket_;
+  Handler handler_;
+  uint64_t received_ = 0;
+};
+
+}  // namespace ibus
+
+#endif  // SRC_BASELINE_CENTRAL_BROKER_H_

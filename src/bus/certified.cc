@@ -1,0 +1,240 @@
+#include "src/bus/certified.h"
+
+#include "src/types/codec.h"
+#include "src/wire/wire.h"
+
+namespace ibus {
+
+namespace {
+constexpr uint8_t kLogPublish = 1;
+constexpr uint8_t kLogRetire = 2;
+constexpr char kAckType[] = "_cert.ack";
+}  // namespace
+
+// ---------------------------------------------------------------------------------
+// CertifiedPublisher
+// ---------------------------------------------------------------------------------
+
+Result<std::unique_ptr<CertifiedPublisher>> CertifiedPublisher::Create(
+    BusClient* bus, StableStore* store, const std::string& ledger_name,
+    const CertifiedConfig& config) {
+  auto pub = std::unique_ptr<CertifiedPublisher>(
+      new CertifiedPublisher(bus, store, ledger_name, config));
+  auto sub = bus->Subscribe(pub->ack_subject(),
+                            [p = pub.get()](const Message& m) { p->HandleAck(m); });
+  if (!sub.ok()) {
+    return sub.status();
+  }
+  pub->ack_sub_ = *sub;
+  return pub;
+}
+
+CertifiedPublisher::CertifiedPublisher(BusClient* bus, StableStore* store,
+                                       std::string ledger_name, const CertifiedConfig& config)
+    : bus_(bus),
+      store_(store),
+      ledger_name_(std::move(ledger_name)),
+      config_(config),
+      alive_(std::make_shared<bool>(true)) {}
+
+CertifiedPublisher::~CertifiedPublisher() {
+  *alive_ = false;
+  if (ack_sub_ != 0) {
+    bus_->Unsubscribe(ack_sub_);
+  }
+}
+
+std::string CertifiedPublisher::ack_subject() const { return "_ibus.cert.ack." + ledger_name_; }
+
+Bytes CertifiedPublisher::LogRecordPublish(uint64_t id, const PendingMessage& pm) const {
+  WireWriter w;
+  w.PutU8(kLogPublish);
+  w.PutU64(id);
+  w.PutString(pm.subject);
+  w.PutString(pm.type_name);
+  w.PutBytes(pm.payload);
+  return w.Take();
+}
+
+Bytes CertifiedPublisher::LogRecordRetire(uint64_t id) const {
+  WireWriter w;
+  w.PutU8(kLogRetire);
+  w.PutU64(id);
+  return w.Take();
+}
+
+Status CertifiedPublisher::Publish(const std::string& subject, Bytes payload,
+                                   std::string type_name) {
+  uint64_t id = next_id_++;
+  PendingMessage pm;
+  pm.subject = subject;
+  pm.type_name = std::move(type_name);
+  pm.payload = std::move(payload);
+
+  auto logged = store_->Append(LogRecordPublish(id, pm));
+  if (!logged.ok()) {
+    return logged.status();
+  }
+  stats_.published++;
+  // The paper's ordering: stable write completes before the message hits the wire.
+  bus_->sim()->ScheduleAfter(store_->WriteLatency(), [this, id, alive = alive_]() {
+    if (!*alive) {
+      return;
+    }
+    auto it = pending_.find(id);
+    if (it != pending_.end()) {
+      SendCertified(id, it->second);
+    }
+  });
+  pending_.emplace(id, std::move(pm));
+  ScheduleRetry();
+  return OkStatus();
+}
+
+Status CertifiedPublisher::PublishObject(const std::string& subject, const DataObject& obj) {
+  WireWriter w;
+  MarshalObject(obj, &w);
+  return Publish(subject, w.Take(), obj.type_name());
+}
+
+void CertifiedPublisher::SendCertified(uint64_t id, const PendingMessage& pm) {
+  Message m;
+  m.subject = pm.subject;
+  m.type_name = pm.type_name;
+  m.payload = pm.payload;
+  m.certified_id = id;
+  m.reply_subject = ack_subject();
+  bus_->Publish(std::move(m));
+}
+
+Status CertifiedPublisher::Recover() {
+  auto records = store_->ReadFrom(0);
+  if (!records.ok()) {
+    return records.status();
+  }
+  pending_.clear();
+  uint64_t max_id = 0;
+  for (const Bytes& rec : *records) {
+    WireReader r(rec);
+    auto kind = r.ReadU8();
+    auto id = r.ReadU64();
+    if (!kind.ok() || !id.ok()) {
+      continue;  // torn record; ignore
+    }
+    max_id = std::max(max_id, *id);
+    if (*kind == kLogPublish) {
+      PendingMessage pm;
+      auto subject = r.ReadString();
+      auto type_name = r.ReadString();
+      auto payload = r.ReadBytes();
+      if (!subject.ok() || !type_name.ok() || !payload.ok()) {
+        continue;
+      }
+      pm.subject = subject.take();
+      pm.type_name = type_name.take();
+      pm.payload = payload.take();
+      pending_.emplace(*id, std::move(pm));
+    } else if (*kind == kLogRetire) {
+      pending_.erase(*id);
+    }
+  }
+  next_id_ = max_id + 1;
+  // Republish everything unacknowledged (at-least-once across the crash).
+  for (const auto& [id, pm] : pending_) {
+    SendCertified(id, pm);
+    stats_.retransmits++;
+  }
+  ScheduleRetry();
+  return OkStatus();
+}
+
+void CertifiedPublisher::HandleAck(const Message& m) {
+  if (m.type_name != kAckType) {
+    return;
+  }
+  WireReader r(m.payload);
+  auto id = r.ReadU64();
+  auto consumer = r.ReadString();
+  if (!id.ok() || !consumer.ok()) {
+    return;
+  }
+  auto it = pending_.find(*id);
+  if (it == pending_.end()) {
+    return;  // already retired
+  }
+  it->second.ackers.insert(*consumer);
+  if (static_cast<int>(it->second.ackers.size()) >= config_.required_acks) {
+    store_->Append(LogRecordRetire(*id));
+    pending_.erase(it);
+    stats_.retired++;
+  }
+}
+
+void CertifiedPublisher::ScheduleRetry() {
+  if (retry_scheduled_ || pending_.empty()) {
+    return;
+  }
+  retry_scheduled_ = true;
+  bus_->sim()->ScheduleAfter(config_.retry_interval_us, [this, alive = alive_]() {
+    if (!*alive) {
+      return;
+    }
+    retry_scheduled_ = false;
+    for (const auto& [id, pm] : pending_) {
+      SendCertified(id, pm);
+      stats_.retransmits++;
+    }
+    ScheduleRetry();
+  });
+}
+
+// ---------------------------------------------------------------------------------
+// CertifiedSubscriber
+// ---------------------------------------------------------------------------------
+
+Result<std::unique_ptr<CertifiedSubscriber>> CertifiedSubscriber::Create(
+    BusClient* bus, const std::string& pattern, const std::string& consumer_name,
+    BusClient::MessageHandler handler) {
+  auto sub = std::unique_ptr<CertifiedSubscriber>(
+      new CertifiedSubscriber(bus, consumer_name, std::move(handler)));
+  auto id = bus->Subscribe(pattern, [s = sub.get()](const Message& m) { s->HandleMessage(m); });
+  if (!id.ok()) {
+    return id.status();
+  }
+  sub->sub_id_ = *id;
+  return sub;
+}
+
+CertifiedSubscriber::~CertifiedSubscriber() {
+  if (sub_id_ != 0) {
+    bus_->Unsubscribe(sub_id_);
+  }
+}
+
+void CertifiedSubscriber::HandleMessage(const Message& m) {
+  if (m.certified_id == 0 || m.reply_subject.empty()) {
+    handler_(m);  // plain reliable message on the same pattern
+    return;
+  }
+  auto& seen = seen_[m.reply_subject];
+  const bool duplicate = seen.count(m.certified_id) > 0;
+  if (duplicate) {
+    stats_.duplicates_dropped++;
+  } else {
+    seen.insert(m.certified_id);
+    stats_.delivered++;
+    handler_(m);
+  }
+  // Always (re-)acknowledge: the publisher may have missed an earlier ack.
+  Message ack;
+  ack.subject = m.reply_subject;
+  ack.type_name = kAckType;
+  WireWriter w;
+  w.PutU64(m.certified_id);
+  w.PutString(consumer_name_);
+  ack.payload = w.Take();
+  stats_.acks_sent++;
+  bus_->Publish(std::move(ack));
+}
+
+}  // namespace ibus

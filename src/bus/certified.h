@@ -1,0 +1,132 @@
+// Guaranteed ("certified") message delivery (paper §3.1): "the message is logged to
+// non-volatile storage before it is sent. The message is guaranteed to be delivered at
+// least once, regardless of failures. The publisher will retransmit the message at
+// appropriate times until a reply is received."
+//
+// CertifiedPublisher writes each message to a StableStore, charges the stable-write
+// latency, then publishes with a certified id; it retransmits periodically until the
+// configured number of distinct consumers acknowledge. After a crash, Recover()
+// replays the log and resumes retransmission of unacknowledged messages.
+// CertifiedSubscriber deduplicates by (publisher, certified id) — so the application
+// sees each message exactly once when there are no failures — and acknowledges on the
+// publisher's ack subject.
+#ifndef SRC_BUS_CERTIFIED_H_
+#define SRC_BUS_CERTIFIED_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/bus/client.h"
+#include "src/sim/stable_store.h"
+
+namespace ibus {
+
+struct CertifiedConfig {
+  SimTime retry_interval_us = 200 * 1000;
+  // How many distinct consumers must acknowledge before a message is retired. With the
+  // default of 1 the semantics match the paper's "until a reply is received".
+  int required_acks = 1;
+};
+
+struct CertifiedPublisherStats {
+  uint64_t published = 0;
+  uint64_t retransmits = 0;
+  uint64_t retired = 0;
+};
+
+class CertifiedPublisher {
+ public:
+  // `ledger_name` must be stable across restarts of the same logical publisher; it
+  // keys the ack subject so subscribers can reach the restarted instance.
+  static Result<std::unique_ptr<CertifiedPublisher>> Create(BusClient* bus,
+                                                            StableStore* store,
+                                                            const std::string& ledger_name,
+                                                            const CertifiedConfig& config = {});
+  ~CertifiedPublisher();
+  CertifiedPublisher(const CertifiedPublisher&) = delete;
+  CertifiedPublisher& operator=(const CertifiedPublisher&) = delete;
+
+  // Logs then publishes. The bus send happens only after the simulated stable write
+  // completes.
+  Status Publish(const std::string& subject, Bytes payload, std::string type_name = "");
+  Status PublishObject(const std::string& subject, const DataObject& obj);
+
+  // Replays the stable log after a restart: pending (unacked) messages are republished
+  // and retransmission resumes.
+  Status Recover();
+
+  size_t pending() const { return pending_.size(); }
+  const CertifiedPublisherStats& stats() const { return stats_; }
+  std::string ack_subject() const;
+
+ private:
+  CertifiedPublisher(BusClient* bus, StableStore* store, std::string ledger_name,
+                     const CertifiedConfig& config);
+
+  struct PendingMessage {
+    std::string subject;
+    std::string type_name;
+    Bytes payload;
+    std::set<std::string> ackers;
+  };
+
+  void HandleAck(const Message& m);
+  void SendCertified(uint64_t id, const PendingMessage& pm);
+  void ScheduleRetry();
+  Bytes LogRecordPublish(uint64_t id, const PendingMessage& pm) const;
+  Bytes LogRecordRetire(uint64_t id) const;
+
+  BusClient* bus_;
+  StableStore* store_;
+  std::string ledger_name_;
+  CertifiedConfig config_;
+  uint64_t next_id_ = 1;
+  std::map<uint64_t, PendingMessage> pending_;
+  uint64_t ack_sub_ = 0;
+  bool retry_scheduled_ = false;
+  CertifiedPublisherStats stats_;
+  std::shared_ptr<bool> alive_;
+};
+
+struct CertifiedSubscriberStats {
+  uint64_t delivered = 0;
+  uint64_t duplicates_dropped = 0;
+  uint64_t acks_sent = 0;
+};
+
+class CertifiedSubscriber {
+ public:
+  // `consumer_name` identifies this consumer in acknowledgements; it must be stable
+  // across restarts for exactly-once-per-consumer accounting at the publisher.
+  static Result<std::unique_ptr<CertifiedSubscriber>> Create(
+      BusClient* bus, const std::string& pattern, const std::string& consumer_name,
+      BusClient::MessageHandler handler);
+  ~CertifiedSubscriber();
+  CertifiedSubscriber(const CertifiedSubscriber&) = delete;
+  CertifiedSubscriber& operator=(const CertifiedSubscriber&) = delete;
+
+  const CertifiedSubscriberStats& stats() const { return stats_; }
+
+ private:
+  CertifiedSubscriber(BusClient* bus, std::string consumer_name,
+                      BusClient::MessageHandler handler)
+      : bus_(bus), consumer_name_(std::move(consumer_name)), handler_(std::move(handler)) {}
+
+  void HandleMessage(const Message& m);
+
+  BusClient* bus_;
+  std::string consumer_name_;
+  BusClient::MessageHandler handler_;
+  uint64_t sub_id_ = 0;
+  // Seen certified ids per publisher ledger (ack subject keys the ledger).
+  std::unordered_map<std::string, std::unordered_set<uint64_t>> seen_;
+  CertifiedSubscriberStats stats_;
+};
+
+}  // namespace ibus
+
+#endif  // SRC_BUS_CERTIFIED_H_

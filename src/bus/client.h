@@ -1,0 +1,93 @@
+// BusClient: the application-facing handle onto the Information Bus. An application
+// connects to its host's daemon, then publishes labelled messages and subscribes to
+// subject patterns; producers and consumers never learn each other's identity or
+// location (paper P4, anonymous communication).
+#ifndef SRC_BUS_CLIENT_H_
+#define SRC_BUS_CLIENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/bus/daemon.h"
+#include "src/bus/message.h"
+#include "src/common/id.h"
+#include "src/sim/network.h"
+
+namespace ibus {
+
+struct BusClientStats {
+  uint64_t published = 0;
+  uint64_t received = 0;
+};
+
+class BusClient {
+ public:
+  using MessageHandler = std::function<void(const Message&)>;
+  // Convenience form: payload already decoded into a data object.
+  using ObjectHandler = std::function<void(const Message&, const DataObjectPtr&)>;
+
+  // Connects to the daemon on `host` (which must already be running).
+  static Result<std::unique_ptr<BusClient>> Connect(Network* net, HostId host,
+                                                    const std::string& name,
+                                                    const BusConfig& config = BusConfig());
+  ~BusClient();
+  BusClient(const BusClient&) = delete;
+  BusClient& operator=(const BusClient&) = delete;
+
+  const std::string& name() const { return name_; }
+  HostId host() const { return host_; }
+  Network* network() { return net_; }
+  Simulator* sim() { return net_->sim(); }
+  // Stable identity of this client across the bus (host:port derived).
+  uint64_t client_id() const;
+
+  // --- Publish ----------------------------------------------------------------------
+  // Validates the subject and hands the message to the local daemon for broadcast.
+  Status Publish(Message m);
+  Status Publish(const std::string& subject, Bytes payload);
+  Status PublishObject(const std::string& subject, const DataObject& obj);
+
+  // --- Subscribe --------------------------------------------------------------------
+  // Subscribes to a subject pattern; the handler runs for every matching message, in
+  // per-publisher order. Returns a subscription id for Unsubscribe.
+  Result<uint64_t> Subscribe(const std::string& pattern, MessageHandler handler);
+  Result<uint64_t> SubscribeObjects(const std::string& pattern, ObjectHandler handler);
+  Status Unsubscribe(uint64_t sub_id);
+
+  // --- Request/reply over publish/subscribe -----------------------------------------
+  // The demand-driven style of Figure 1 without a point-to-point connection: the
+  // request is published with a private reply inbox; the first response wins.
+  // Responders remain anonymous and interchangeable (P4).
+  using RequestDone = std::function<void(Result<Message>)>;
+  Status Request(Message m, SimTime timeout_us, RequestDone done);
+
+  // Responder convenience: publishes `response` on `request`'s reply subject.
+  Status Reply(const Message& request, Message response);
+
+  // Fresh private subject for replies: "_inbox.h<host>.p<port>.<n>".
+  std::string CreateInboxSubject();
+
+  const BusClientStats& stats() const { return stats_; }
+
+ private:
+  BusClient(Network* net, HostId host, std::string name, const BusConfig& config);
+
+  void HandleDatagram(const Datagram& d);
+  Status SendToDaemon(uint8_t packet_type, const Bytes& payload);
+
+  Network* net_;
+  HostId host_;
+  std::string name_;
+  BusConfig config_;
+  std::unique_ptr<UdpSocket> socket_;
+  uint64_t next_sub_id_ = 1;
+  uint64_t next_inbox_ = 1;
+  std::unordered_map<uint64_t, MessageHandler> handlers_;
+  BusClientStats stats_;
+};
+
+}  // namespace ibus
+
+#endif  // SRC_BUS_CLIENT_H_

@@ -1,0 +1,247 @@
+#include "src/bus/daemon.h"
+
+#include "src/common/logging.h"
+#include "src/wire/wire.h"
+
+namespace ibus {
+
+Result<std::unique_ptr<BusDaemon>> BusDaemon::Start(Network* net, HostId host,
+                                                    const BusConfig& config) {
+  auto daemon = std::unique_ptr<BusDaemon>(new BusDaemon(net, host, config));
+  auto socket = net->OpenSocket(host, config.daemon_port,
+                                [d = daemon.get()](const Datagram& dg) { d->HandleDatagram(dg); });
+  if (!socket.ok()) {
+    return socket.status();
+  }
+  daemon->socket_ = socket.take();
+  // One broadcast stream per daemon; the host id keys it uniquely on the bus.
+  const uint64_t stream_id = static_cast<uint64_t>(host) + 1;
+  daemon->sender_ = std::make_unique<ReliableSender>(net->sim(), daemon->socket_.get(),
+                                                     config.daemon_port, stream_id,
+                                                     config.reliable);
+  daemon->receiver_ = std::make_unique<ReliableReceiver>(
+      net->sim(), daemon->socket_.get(), config.reliable,
+      [d = daemon.get()](uint64_t stream, const Bytes& bytes) { d->DispatchInbound(bytes); });
+  return daemon;
+}
+
+BusDaemon::BusDaemon(Network* net, HostId host, const BusConfig& config)
+    : net_(net), host_(host), config_(config) {}
+
+BusDaemon::~BusDaemon() = default;
+
+void BusDaemon::HandleDatagram(const Datagram& d) {
+  auto frame = ParseFrame(d.payload);
+  if (!frame.ok()) {
+    IBUS_WARN() << "daemon@" << host_ << ": dropping bad frame: " << frame.status().ToString();
+    return;
+  }
+  switch (frame->frame_type) {
+    case kPktData: {
+      auto pkt = DataPacket::Unmarshal(frame->payload);
+      if (pkt.ok()) {
+        receiver_->HandleData(*pkt, d.src_host, d.src_port);
+      }
+      break;
+    }
+    case kPktBatch: {
+      auto pkt = BatchPacket::Unmarshal(frame->payload);
+      if (pkt.ok()) {
+        receiver_->HandleBatch(*pkt, d.src_host, d.src_port);
+      }
+      break;
+    }
+    case kPktHeartbeat: {
+      auto pkt = HeartbeatPacket::Unmarshal(frame->payload);
+      if (pkt.ok()) {
+        receiver_->HandleHeartbeat(*pkt, d.src_host, d.src_port);
+      }
+      break;
+    }
+    case kPktNak: {
+      auto pkt = NakPacket::Unmarshal(frame->payload);
+      if (pkt.ok() && pkt->stream_id == sender_->stream_id()) {
+        sender_->HandleNak(*pkt, d.src_host, d.src_port);
+      }
+      break;
+    }
+    case kPktClientRegister:
+      HandleClientRegister(d, frame->payload);
+      break;
+    case kPktClientUnregister:
+      HandleClientUnregister(d);
+      break;
+    case kPktSubscribe:
+      HandleSubscribe(d, frame->payload);
+      break;
+    case kPktUnsubscribe:
+      HandleUnsubscribe(d, frame->payload);
+      break;
+    case kPktClientMessage:
+      HandleClientPublish(d, frame->payload);
+      break;
+    default:
+      IBUS_WARN() << "daemon@" << host_ << ": unknown frame type "
+                  << static_cast<int>(frame->frame_type);
+      break;
+  }
+}
+
+void BusDaemon::HandleClientRegister(const Datagram& d, const Bytes& payload) {
+  WireReader r(payload);
+  auto name = r.ReadString();
+  if (!name.ok()) {
+    return;
+  }
+  clients_[d.src_port] = ClientInfo{name.take()};
+}
+
+void BusDaemon::HandleClientUnregister(const Datagram& d) {
+  clients_.erase(d.src_port);
+  // Remove all subscriptions held by this client.
+  std::vector<uint64_t> to_remove;
+  for (const auto& [key, sub] : subs_) {
+    if (sub.client_port == d.src_port) {
+      to_remove.push_back(key);
+    }
+  }
+  for (uint64_t key : to_remove) {
+    const Sub& sub = subs_[key];
+    trie_.Remove(sub.pattern, key);
+    if (--pattern_refs_[sub.pattern] == 0) {
+      pattern_refs_.erase(sub.pattern);
+      AnnounceSubscription(false, sub.pattern, sub.client_name);
+    }
+    subs_.erase(key);
+  }
+}
+
+void BusDaemon::HandleSubscribe(const Datagram& d, const Bytes& payload) {
+  WireReader r(payload);
+  auto client_sub_id = r.ReadU64();
+  auto pattern = r.ReadString();
+  if (!client_sub_id.ok() || !pattern.ok()) {
+    return;
+  }
+  Sub sub;
+  sub.client_port = d.src_port;
+  sub.client_sub_id = *client_sub_id;
+  sub.pattern = pattern.take();
+  auto cit = clients_.find(d.src_port);
+  sub.client_name = cit != clients_.end() ? cit->second.name : "";
+  uint64_t key = next_sub_key_++;
+  if (!trie_.Insert(sub.pattern, key).ok()) {
+    return;  // invalid pattern; the client validated too, so this is defensive
+  }
+  bool fresh = ++pattern_refs_[sub.pattern] == 1;
+  std::string pattern_copy = sub.pattern;
+  std::string client_name = sub.client_name;
+  subs_[key] = std::move(sub);
+  if (fresh) {
+    AnnounceSubscription(true, pattern_copy, client_name);
+  }
+}
+
+void BusDaemon::HandleUnsubscribe(const Datagram& d, const Bytes& payload) {
+  WireReader r(payload);
+  auto client_sub_id = r.ReadU64();
+  if (!client_sub_id.ok()) {
+    return;
+  }
+  for (auto it = subs_.begin(); it != subs_.end(); ++it) {
+    if (it->second.client_port == d.src_port && it->second.client_sub_id == *client_sub_id) {
+      trie_.Remove(it->second.pattern, it->first);
+      if (--pattern_refs_[it->second.pattern] == 0) {
+        pattern_refs_.erase(it->second.pattern);
+        AnnounceSubscription(false, it->second.pattern, it->second.client_name);
+      }
+      subs_.erase(it);
+      return;
+    }
+  }
+}
+
+void BusDaemon::HandleClientPublish(const Datagram& d, const Bytes& payload) {
+  stats_.publishes++;
+  // The daemon treats the marshalled message as opaque: it goes straight onto the
+  // reliable broadcast stream. Subject matching happens at every receiving daemon
+  // (including this one, via medium loopback).
+  sender_->Publish(payload);
+}
+
+Status BusDaemon::PublishFromDaemon(const Message& m) { return sender_->Publish(m.Marshal()); }
+
+void BusDaemon::DispatchInbound(const Bytes& message_bytes) {
+  auto msg = Message::Unmarshal(message_bytes);
+  if (!msg.ok()) {
+    IBUS_WARN() << "daemon@" << host_ << ": undecodable message: " << msg.status().ToString();
+    return;
+  }
+  if (config_.announce_subscriptions && msg->subject == kSubQuerySubject &&
+      !msg->reply_subject.empty()) {
+    AnswerSubQuery(*msg);
+  }
+  std::vector<uint64_t> matches = trie_.Match(msg->subject);
+  if (matches.empty()) {
+    stats_.no_match++;
+    return;
+  }
+  stats_.dispatched_messages++;
+  // Group matched subscriptions by client so each client gets one delivery datagram.
+  std::map<Port, std::vector<uint64_t>> by_client;
+  for (uint64_t key : matches) {
+    auto it = subs_.find(key);
+    if (it != subs_.end()) {
+      by_client[it->second.client_port].push_back(it->second.client_sub_id);
+    }
+  }
+  for (const auto& [port, sub_ids] : by_client) {
+    WireWriter w;
+    w.PutVarint(sub_ids.size());
+    for (uint64_t id : sub_ids) {
+      w.PutU64(id);
+    }
+    w.PutRaw(message_bytes);
+    socket_->SendTo(host_, port, FrameMessage(kPktClientDeliver, w.Take()));
+    stats_.deliveries++;
+  }
+}
+
+void BusDaemon::AnnounceSubscription(bool added, const std::string& pattern,
+                                     const std::string& client_name) {
+  if (!config_.announce_subscriptions) {
+    return;
+  }
+  Message m;
+  m.subject = kSubEventSubject;
+  WireWriter w;
+  w.PutBool(added);
+  w.PutString(pattern);
+  w.PutString(client_name);
+  m.payload = w.Take();
+  PublishFromDaemon(m);
+}
+
+void BusDaemon::AnswerSubQuery(const Message& query) {
+  Message reply;
+  reply.subject = query.reply_subject;
+  WireWriter w;
+  w.PutVarint(pattern_refs_.size());
+  for (const auto& [pattern, refs] : pattern_refs_) {
+    w.PutString(pattern);
+    // Routers need the owning clients' names to filter out their own subscriptions;
+    // report the first client holding this pattern.
+    std::string owner;
+    for (const auto& [key, sub] : subs_) {
+      if (sub.pattern == pattern) {
+        owner = sub.client_name;
+        break;
+      }
+    }
+    w.PutString(owner);
+  }
+  reply.payload = w.Take();
+  PublishFromDaemon(reply);
+}
+
+}  // namespace ibus

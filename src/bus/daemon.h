@@ -1,0 +1,101 @@
+// Per-host bus daemon (paper §3.1): "we use a daemon on every host. Each application
+// registers with its local daemon, and tells the daemon to which subjects it has
+// subscribed. The daemon forwards each message to each application that has
+// subscribed."
+//
+// The daemon owns the host's broadcast socket. Outbound publishes from local clients
+// are broadcast over one reliable stream per daemon; inbound broadcasts (including the
+// daemon's own, which loop back over the medium) are reordered/dedupped by the
+// reliable receiver and dispatched through a subscription trie to local clients over
+// loopback datagrams.
+#ifndef SRC_BUS_DAEMON_H_
+#define SRC_BUS_DAEMON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/bus/message.h"
+#include "src/proto/reliable.h"
+#include "src/sim/network.h"
+#include "src/subject/trie.h"
+
+namespace ibus {
+
+struct BusConfig {
+  Port daemon_port = 7500;
+  ReliableConfig reliable;
+  // When true the daemon broadcasts subscription add/remove events on
+  // kSubEventSubject and answers kSubQuerySubject — consumed by information routers.
+  bool announce_subscriptions = true;
+};
+
+struct DaemonStats {
+  uint64_t publishes = 0;           // accepted from local clients
+  uint64_t dispatched_messages = 0; // inbound messages matching >=1 local subscription
+  uint64_t deliveries = 0;          // client deliveries sent (one per client match)
+  uint64_t no_match = 0;            // inbound messages with no local subscriber
+};
+
+class BusDaemon {
+ public:
+  static Result<std::unique_ptr<BusDaemon>> Start(Network* net, HostId host,
+                                                  const BusConfig& config = BusConfig());
+  ~BusDaemon();
+  BusDaemon(const BusDaemon&) = delete;
+  BusDaemon& operator=(const BusDaemon&) = delete;
+
+  HostId host() const { return host_; }
+  const DaemonStats& stats() const { return stats_; }
+  const ReliableSenderStats& sender_stats() const { return sender_->stats(); }
+  const ReliableReceiverStats& receiver_stats() const { return receiver_->stats(); }
+  size_t subscription_count() const { return subs_.size(); }
+
+ private:
+  BusDaemon(Network* net, HostId host, const BusConfig& config);
+
+  void HandleDatagram(const Datagram& d);
+  void HandleClientRegister(const Datagram& d, const Bytes& payload);
+  void HandleClientUnregister(const Datagram& d);
+  void HandleSubscribe(const Datagram& d, const Bytes& payload);
+  void HandleUnsubscribe(const Datagram& d, const Bytes& payload);
+  void HandleClientPublish(const Datagram& d, const Bytes& payload);
+
+  // Called by the reliable receiver with every in-order message on the bus.
+  void DispatchInbound(const Bytes& message_bytes);
+  void AnnounceSubscription(bool added, const std::string& pattern,
+                            const std::string& client_name);
+  void AnswerSubQuery(const Message& query);
+  Status PublishFromDaemon(const Message& m);
+
+  Network* net_;
+  HostId host_;
+  BusConfig config_;
+
+  std::unique_ptr<UdpSocket> socket_;
+  std::unique_ptr<ReliableSender> sender_;
+  std::unique_ptr<ReliableReceiver> receiver_;
+
+  struct ClientInfo {
+    std::string name;
+  };
+  struct Sub {
+    Port client_port = 0;
+    uint64_t client_sub_id = 0;
+    std::string pattern;
+    std::string client_name;
+  };
+
+  std::unordered_map<Port, ClientInfo> clients_;
+  uint64_t next_sub_key_ = 1;
+  std::unordered_map<uint64_t, Sub> subs_;
+  SubjectTrie trie_;
+  std::map<std::string, int> pattern_refs_;
+
+  DaemonStats stats_;
+};
+
+}  // namespace ibus
+
+#endif  // SRC_BUS_DAEMON_H_

@@ -1,0 +1,68 @@
+#include "src/bus/discovery.h"
+
+namespace ibus {
+
+Status DiscoveryQuery::Run(BusClient* bus, const std::string& subject, SimTime timeout_us,
+                           DoneFn done, Bytes query_payload) {
+  std::string inbox = bus->CreateInboxSubject();
+  auto responses = std::make_shared<std::vector<Message>>();
+  auto sub = bus->Subscribe(inbox, [responses](const Message& m) {
+    if (m.type_name == kDiscoveryResponseType) {
+      responses->push_back(m);
+    }
+  });
+  if (!sub.ok()) {
+    return sub.status();
+  }
+  uint64_t sub_id = *sub;
+
+  Message query;
+  query.subject = subject;
+  query.reply_subject = inbox;
+  query.type_name = kDiscoveryQueryType;
+  query.payload = std::move(query_payload);
+  Status s = bus->Publish(std::move(query));
+  if (!s.ok()) {
+    bus->Unsubscribe(sub_id);
+    return s;
+  }
+
+  bus->sim()->ScheduleAfter(timeout_us, [bus, sub_id, responses, done = std::move(done)]() {
+    bus->Unsubscribe(sub_id);
+    done(std::move(*responses));
+  });
+  return OkStatus();
+}
+
+Result<std::unique_ptr<DiscoveryResponder>> DiscoveryResponder::Create(
+    BusClient* bus, const std::string& subject, DescribeFn describe) {
+  auto responder =
+      std::unique_ptr<DiscoveryResponder>(new DiscoveryResponder(bus, std::move(describe)));
+  auto sub = bus->Subscribe(subject, [r = responder.get(), bus](const Message& m) {
+    if (m.type_name != kDiscoveryQueryType || m.reply_subject.empty()) {
+      return;
+    }
+    Bytes description = r->describe_(m);
+    if (description.empty()) {
+      return;  // a responder with nothing to say stays silent
+    }
+    Message reply;
+    reply.subject = m.reply_subject;
+    reply.type_name = kDiscoveryResponseType;
+    reply.payload = std::move(description);
+    bus->Publish(std::move(reply));
+  });
+  if (!sub.ok()) {
+    return sub.status();
+  }
+  responder->sub_id_ = *sub;
+  return responder;
+}
+
+DiscoveryResponder::~DiscoveryResponder() {
+  if (sub_id_ != 0) {
+    bus_->Unsubscribe(sub_id_);
+  }
+}
+
+}  // namespace ibus

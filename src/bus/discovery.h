@@ -1,0 +1,61 @@
+// Dynamic discovery (paper §3.2): "One participant publishes 'Who's out there?' under
+// a subject. The other participants publish 'I am' and other information describing
+// their state, if they serve the subject in question." The subject alone is enough to
+// make contact — the network itself is the name service, preserving P4.
+#ifndef SRC_BUS_DISCOVERY_H_
+#define SRC_BUS_DISCOVERY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bus/client.h"
+
+namespace ibus {
+
+// Type-name markers distinguishing discovery traffic from ordinary data on a subject.
+inline constexpr char kDiscoveryQueryType[] = "_discovery.query";
+inline constexpr char kDiscoveryResponseType[] = "_discovery.response";
+
+// One-shot "Who's out there?" query. Collects every "I am" that arrives within
+// `timeout_us` and passes them to `done`. The object manages its own lifetime.
+class DiscoveryQuery {
+ public:
+  using DoneFn = std::function<void(std::vector<Message> responses)>;
+
+  // `query_payload` rides along with the question (service-specific refinement).
+  static Status Run(BusClient* bus, const std::string& subject, SimTime timeout_us,
+                    DoneFn done, Bytes query_payload = Bytes());
+
+ private:
+  DiscoveryQuery() = default;
+};
+
+// Standing responder: answers every discovery query on `subject` with the payload
+// produced by `describe` (e.g. a server's point-to-point address and current load).
+// A describe function returning empty bytes suppresses the answer — used by gated
+// responders (election backups, type resolvers without the type).
+class DiscoveryResponder {
+ public:
+  using DescribeFn = std::function<Bytes(const Message& query)>;
+
+  static Result<std::unique_ptr<DiscoveryResponder>> Create(BusClient* bus,
+                                                            const std::string& subject,
+                                                            DescribeFn describe);
+  ~DiscoveryResponder();
+  DiscoveryResponder(const DiscoveryResponder&) = delete;
+  DiscoveryResponder& operator=(const DiscoveryResponder&) = delete;
+
+ private:
+  DiscoveryResponder(BusClient* bus, DescribeFn describe)
+      : bus_(bus), describe_(std::move(describe)) {}
+
+  BusClient* bus_;
+  DescribeFn describe_;
+  uint64_t sub_id_ = 0;
+};
+
+}  // namespace ibus
+
+#endif  // SRC_BUS_DISCOVERY_H_

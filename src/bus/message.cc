@@ -1,0 +1,65 @@
+#include "src/bus/message.h"
+
+#include "src/types/codec.h"
+#include "src/wire/wire.h"
+
+namespace ibus {
+
+Bytes Message::Marshal() const {
+  WireWriter w;
+  w.PutString(subject);
+  w.PutString(reply_subject);
+  w.PutString(type_name);
+  w.PutString(sender);
+  w.PutU64(certified_id);
+  w.PutU64(publisher_id);
+  w.PutU8(hops);
+  w.PutString(via);
+  w.PutBytes(payload);
+  return w.Take();
+}
+
+Result<Message> Message::Unmarshal(const Bytes& b) {
+  WireReader r(b);
+  Message m;
+  auto subject = r.ReadString();
+  auto reply = r.ReadString();
+  auto type_name = r.ReadString();
+  auto sender = r.ReadString();
+  auto certified = r.ReadU64();
+  auto publisher = r.ReadU64();
+  auto hops = r.ReadU8();
+  auto via = r.ReadString();
+  auto payload = r.ReadBytes();
+  if (!subject.ok() || !reply.ok() || !type_name.ok() || !sender.ok() || !certified.ok() ||
+      !publisher.ok() || !hops.ok() || !via.ok() || !payload.ok()) {
+    return DataLoss("message: truncated");
+  }
+  m.hops = *hops;
+  m.via = via.take();
+  m.subject = subject.take();
+  m.reply_subject = reply.take();
+  m.type_name = type_name.take();
+  m.sender = sender.take();
+  m.certified_id = *certified;
+  m.publisher_id = *publisher;
+  m.payload = payload.take();
+  return m;
+}
+
+Message Message::ForObject(std::string subject, const DataObject& obj) {
+  Message m;
+  m.subject = std::move(subject);
+  m.type_name = obj.type_name();
+  m.payload = MarshalObject(obj);
+  return m;
+}
+
+Result<DataObjectPtr> Message::DecodeObject() const {
+  if (type_name.empty()) {
+    return FailedPrecondition("message carries no data object");
+  }
+  return UnmarshalObject(payload);
+}
+
+}  // namespace ibus

@@ -1,0 +1,50 @@
+#include "src/common/bytes.h"
+
+#include <array>
+#include <cstdio>
+
+namespace ibus {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t len) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = kTable[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string HexDump(const Bytes& b, size_t max_bytes) {
+  std::string out;
+  size_t n = b.size() < max_bytes ? b.size() : max_bytes;
+  char buf[4];
+  for (size_t i = 0; i < n; ++i) {
+    std::snprintf(buf, sizeof(buf), "%02x", b[i]);
+    if (i != 0) {
+      out += ' ';
+    }
+    out += buf;
+  }
+  if (n < b.size()) {
+    out += " ...";
+  }
+  return out;
+}
+
+}  // namespace ibus

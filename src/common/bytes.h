@@ -1,0 +1,27 @@
+// Byte-buffer helpers shared by the wire format, the protocols, and the simulator.
+#ifndef SRC_COMMON_BYTES_H_
+#define SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ibus {
+
+using Bytes = std::vector<uint8_t>;
+
+inline Bytes ToBytes(std::string_view s) { return Bytes(s.begin(), s.end()); }
+
+inline std::string ToString(const Bytes& b) { return std::string(b.begin(), b.end()); }
+
+// CRC32 (IEEE 802.3 polynomial, reflected), used by the frame layer to detect corruption.
+uint32_t Crc32(const uint8_t* data, size_t len);
+inline uint32_t Crc32(const Bytes& b) { return Crc32(b.data(), b.size()); }
+
+// Hex dump for diagnostics: "de ad be ef".
+std::string HexDump(const Bytes& b, size_t max_bytes = 64);
+
+}  // namespace ibus
+
+#endif  // SRC_COMMON_BYTES_H_

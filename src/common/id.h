@@ -1,0 +1,31 @@
+// Small unique-id helpers. Ids are process-local monotonic counters combined with a
+// caller-supplied space (e.g. the simulated host), which keeps them deterministic
+// across runs (no wall clock, no real randomness).
+#ifndef SRC_COMMON_ID_H_
+#define SRC_COMMON_ID_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ibus {
+
+// A 64-bit unique id: high 16 bits name the space, low 48 bits count up.
+class IdGenerator {
+ public:
+  explicit IdGenerator(uint16_t space) : space_(space) {}
+
+  uint64_t Next() { return (static_cast<uint64_t>(space_) << 48) | ++counter_; }
+
+  // "s<space>-<counter>" — human-readable form used for inbox subjects and stream names.
+  std::string NextString(const std::string& prefix) {
+    return prefix + std::to_string(space_) + "-" + std::to_string(++counter_);
+  }
+
+ private:
+  uint16_t space_;
+  uint64_t counter_ = 0;
+};
+
+}  // namespace ibus
+
+#endif  // SRC_COMMON_ID_H_

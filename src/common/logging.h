@@ -1,0 +1,51 @@
+// Minimal leveled logging. Quiet by default so tests and benchmarks stay clean;
+// raise the level with ibus::SetLogLevel or the IBUS_LOG environment variable.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ibus {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+namespace log_internal {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LogLine() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+#define IBUS_LOG(level)                                         \
+  if (::ibus::GetLogLevel() <= ::ibus::LogLevel::level)         \
+  ::ibus::log_internal::LogLine(::ibus::LogLevel::level, __FILE__, __LINE__)
+
+#define IBUS_TRACE() IBUS_LOG(kTrace)
+#define IBUS_DEBUG() IBUS_LOG(kDebug)
+#define IBUS_INFO() IBUS_LOG(kInfo)
+#define IBUS_WARN() IBUS_LOG(kWarn)
+#define IBUS_ERROR() IBUS_LOG(kError)
+
+}  // namespace ibus
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,119 @@
+// Status and Result<T>: the error-handling vocabulary used across the Information Bus
+// libraries. The core never throws; fallible operations return Status or Result<T>.
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ibus {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnavailable,      // peer down, partitioned, or not yet discovered
+  kDeadlineExceeded, // timed out waiting for a reply
+  kDataLoss,         // framing/checksum failure or unrecoverable gap
+  kUnimplemented,
+  kInternal,
+};
+
+// Human-readable name for a status code ("OK", "NOT_FOUND", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A cheap value type carrying success or (code, message).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "NOT_FOUND: no such table".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status InvalidArgument(std::string m) {
+  return Status(StatusCode::kInvalidArgument, std::move(m));
+}
+inline Status NotFound(std::string m) { return Status(StatusCode::kNotFound, std::move(m)); }
+inline Status AlreadyExists(std::string m) {
+  return Status(StatusCode::kAlreadyExists, std::move(m));
+}
+inline Status FailedPrecondition(std::string m) {
+  return Status(StatusCode::kFailedPrecondition, std::move(m));
+}
+inline Status OutOfRange(std::string m) { return Status(StatusCode::kOutOfRange, std::move(m)); }
+inline Status Unavailable(std::string m) { return Status(StatusCode::kUnavailable, std::move(m)); }
+inline Status DeadlineExceeded(std::string m) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(m));
+}
+inline Status DataLoss(std::string m) { return Status(StatusCode::kDataLoss, std::move(m)); }
+inline Status Unimplemented(std::string m) {
+  return Status(StatusCode::kUnimplemented, std::move(m));
+}
+inline Status Internal(std::string m) { return Status(StatusCode::kInternal, std::move(m)); }
+
+// Result<T> holds either a value or a non-OK status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT: implicit by design
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() { return *value_; }
+  const T& value() const { return *value_; }
+  T&& take() { return std::move(*value_); }
+
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+  T& operator*() { return *value_; }
+  const T& operator*() const { return *value_; }
+
+  // Returns the contained value or `fallback` when this result holds an error.
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define IBUS_RETURN_IF_ERROR(expr)        \
+  do {                                    \
+    ::ibus::Status _s = (expr);           \
+    if (!_s.ok()) {                       \
+      return _s;                          \
+    }                                     \
+  } while (0)
+
+#define IBUS_ASSIGN_OR_RETURN(lhs, expr)  \
+  auto _result_##__LINE__ = (expr);       \
+  if (!_result_##__LINE__.ok()) {         \
+    return _result_##__LINE__.status();   \
+  }                                       \
+  lhs = _result_##__LINE__.take();
+
+}  // namespace ibus
+
+#endif  // SRC_COMMON_STATUS_H_

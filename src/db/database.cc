@@ -1,0 +1,456 @@
+#include "src/db/database.h"
+
+#include <algorithm>
+
+namespace ibus {
+
+// ---------------------------------------------------------------------------------
+// Table
+// ---------------------------------------------------------------------------------
+
+std::string Table::IndexKey(const Value& v) {
+  // Encoded form for hash lookups; kind prefix avoids 1 == "1" collisions.
+  switch (v.kind()) {
+    case ValueKind::kNull:
+      return "n";
+    case ValueKind::kBool:
+      return v.AsBool() ? "b1" : "b0";
+    case ValueKind::kI32:
+      return "i" + std::to_string(v.AsI32());
+    case ValueKind::kI64:
+      return "i" + std::to_string(v.AsI64());
+    case ValueKind::kF64:
+      return "f" + std::to_string(v.AsF64());
+    case ValueKind::kString:
+      return "s" + v.AsString();
+    case ValueKind::kBytes:
+      return "y" + ToString(v.AsBytes());
+    default:
+      return "?";
+  }
+}
+
+Status Table::CheckRow(const Row& row) const {
+  if (row.size() != schema_.columns.size()) {
+    return InvalidArgument("table '" + schema_.name + "': row has " +
+                           std::to_string(row.size()) + " cells, schema has " +
+                           std::to_string(schema_.columns.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    IBUS_RETURN_IF_ERROR(CheckCell(schema_.columns[i], row[i]));
+  }
+  return OkStatus();
+}
+
+Status Table::Insert(Row row) {
+  IBUS_RETURN_IF_ERROR(CheckRow(row));
+  std::string pk_key;
+  if (!schema_.primary_key.empty()) {
+    int pk_col = schema_.ColumnIndex(schema_.primary_key);
+    pk_key = IndexKey(row[static_cast<size_t>(pk_col)]);
+    if (pk_index_.count(pk_key) > 0) {
+      return AlreadyExists("table '" + schema_.name + "': duplicate primary key");
+    }
+  }
+  size_t pos;
+  if (!free_.empty()) {
+    pos = free_.back();
+    free_.pop_back();
+    rows_[pos] = std::move(row);
+    live_[pos] = true;
+  } else {
+    pos = rows_.size();
+    rows_.push_back(std::move(row));
+    live_.push_back(true);
+  }
+  if (!schema_.primary_key.empty()) {
+    pk_index_[pk_key] = pos;
+  }
+  IndexInsert(pos);
+  return OkStatus();
+}
+
+void Table::IndexInsert(size_t row_pos) {
+  for (auto& [column, index] : indexes_) {
+    int col = schema_.ColumnIndex(column);
+    index.emplace(IndexKey(rows_[row_pos][static_cast<size_t>(col)]), row_pos);
+  }
+}
+
+void Table::IndexErase(size_t row_pos) {
+  for (auto& [column, index] : indexes_) {
+    int col = schema_.ColumnIndex(column);
+    auto range = index.equal_range(IndexKey(rows_[row_pos][static_cast<size_t>(col)]));
+    for (auto it = range.first; it != range.second; ++it) {
+      if (it->second == row_pos) {
+        index.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+Status Table::UpdateByPk(const Value& pk, Row row) {
+  if (schema_.primary_key.empty()) {
+    return FailedPrecondition("table '" + schema_.name + "' has no primary key");
+  }
+  IBUS_RETURN_IF_ERROR(CheckRow(row));
+  auto it = pk_index_.find(IndexKey(pk));
+  if (it == pk_index_.end()) {
+    return NotFound("table '" + schema_.name + "': no such primary key");
+  }
+  int pk_col = schema_.ColumnIndex(schema_.primary_key);
+  if (IndexKey(row[static_cast<size_t>(pk_col)]) != it->first) {
+    return InvalidArgument("update must not change the primary key");
+  }
+  IndexErase(it->second);
+  rows_[it->second] = std::move(row);
+  IndexInsert(it->second);
+  return OkStatus();
+}
+
+Status Table::DeleteByPk(const Value& pk) {
+  if (schema_.primary_key.empty()) {
+    return FailedPrecondition("table '" + schema_.name + "' has no primary key");
+  }
+  auto it = pk_index_.find(IndexKey(pk));
+  if (it == pk_index_.end()) {
+    return NotFound("table '" + schema_.name + "': no such primary key");
+  }
+  size_t pos = it->second;
+  IndexErase(pos);
+  pk_index_.erase(it);
+  live_[pos] = false;
+  rows_[pos].clear();
+  free_.push_back(pos);
+  return OkStatus();
+}
+
+Result<Row> Table::GetByPk(const Value& pk) const {
+  if (schema_.primary_key.empty()) {
+    return FailedPrecondition("table '" + schema_.name + "' has no primary key");
+  }
+  auto it = pk_index_.find(IndexKey(pk));
+  if (it == pk_index_.end()) {
+    return NotFound("table '" + schema_.name + "': no such primary key");
+  }
+  return rows_[it->second];
+}
+
+int CompareCells(const Value& a, const Value& b) {
+  if (a.is_number() && b.is_number()) {
+    double x = a.NumberAsF64();
+    double y = b.NumberAsF64();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a.is_string() && b.is_string()) {
+    int c = a.AsString().compare(b.AsString());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (a.is_bool() && b.is_bool()) {
+    return static_cast<int>(a.AsBool()) - static_cast<int>(b.AsBool());
+  }
+  return a == b ? 0 : 2;  // incomparable kinds: only equality is meaningful
+}
+
+namespace {
+// Internal alias kept for readability of the predicate code below.
+int CompareValues(const Value& a, const Value& b) { return CompareCells(a, b); }
+}  // namespace
+
+bool Table::RowMatches(const Row& row, const Predicate& pred) const {
+  for (const Predicate::Cond& cond : pred.conds) {
+    int col = schema_.ColumnIndex(cond.column);
+    if (col < 0) {
+      return false;
+    }
+    const Value& cell = row[static_cast<size_t>(col)];
+    switch (cond.op) {
+      case Predicate::Op::kEq:
+        if (!(cell == cond.value)) {
+          // Allow numeric cross-kind equality (i32 vs i64 widening on insert).
+          if (!(cell.is_number() && cond.value.is_number() &&
+                CompareValues(cell, cond.value) == 0)) {
+            return false;
+          }
+        }
+        break;
+      case Predicate::Op::kNe:
+        if (cell == cond.value) {
+          return false;
+        }
+        break;
+      case Predicate::Op::kLt:
+        if (CompareValues(cell, cond.value) >= 0 || CompareValues(cell, cond.value) == 2) {
+          return false;
+        }
+        break;
+      case Predicate::Op::kLe:
+        if (CompareValues(cell, cond.value) > 0) {
+          return false;
+        }
+        break;
+      case Predicate::Op::kGt: {
+        int c = CompareValues(cell, cond.value);
+        if (c <= 0 || c == 2) {
+          return false;
+        }
+        break;
+      }
+      case Predicate::Op::kGe: {
+        int c = CompareValues(cell, cond.value);
+        if (c < 0 || c == 2) {
+          return false;
+        }
+        break;
+      }
+      case Predicate::Op::kPrefix:
+        if (!cell.is_string() || !cond.value.is_string() ||
+            cell.AsString().rfind(cond.value.AsString(), 0) != 0) {
+          return false;
+        }
+        break;
+    }
+  }
+  return true;
+}
+
+std::vector<Row> Table::Select(const Predicate& pred) const {
+  std::vector<Row> out;
+  // Use an index if some equality condition is covered by one.
+  for (const Predicate::Cond& cond : pred.conds) {
+    if (cond.op != Predicate::Op::kEq) {
+      continue;
+    }
+    auto idx = indexes_.find(cond.column);
+    if (idx == indexes_.end()) {
+      if (cond.column == schema_.primary_key) {
+        auto it = pk_index_.find(IndexKey(cond.value));
+        if (it != pk_index_.end() && RowMatches(rows_[it->second], pred)) {
+          out.push_back(rows_[it->second]);
+        }
+        return out;
+      }
+      continue;
+    }
+    auto range = idx->second.equal_range(IndexKey(cond.value));
+    for (auto it = range.first; it != range.second; ++it) {
+      if (live_[it->second] && RowMatches(rows_[it->second], pred)) {
+        out.push_back(rows_[it->second]);
+      }
+    }
+    return out;
+  }
+  // Full scan.
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (live_[i] && RowMatches(rows_[i], pred)) {
+      out.push_back(rows_[i]);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Row>> Table::Select(const Predicate& pred,
+                                       const QueryOptions& options) const {
+  int order_col = -1;
+  if (!options.order_by.empty()) {
+    order_col = schema_.ColumnIndex(options.order_by);
+    if (order_col < 0) {
+      return NotFound("table '" + schema_.name + "': no order-by column '" +
+                      options.order_by + "'");
+    }
+  }
+  std::vector<int> projection_cols;
+  for (const std::string& name : options.projection) {
+    int col = schema_.ColumnIndex(name);
+    if (col < 0) {
+      return NotFound("table '" + schema_.name + "': no projected column '" + name + "'");
+    }
+    projection_cols.push_back(col);
+  }
+
+  std::vector<Row> rows = Select(pred);
+  if (order_col >= 0) {
+    std::stable_sort(rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
+      // NULLs sort first ascending (last descending), as in most engines.
+      const Value& x = a[static_cast<size_t>(order_col)];
+      const Value& y = b[static_cast<size_t>(order_col)];
+      if (x.is_null() != y.is_null()) {
+        return options.descending ? y.is_null() : x.is_null();
+      }
+      int c = CompareCells(x, y);
+      if (c == 2 || c == 0) {
+        return false;
+      }
+      return options.descending ? c > 0 : c < 0;
+    });
+  }
+  if (rows.size() > options.limit) {
+    rows.resize(options.limit);
+  }
+  if (!projection_cols.empty()) {
+    for (Row& row : rows) {
+      Row projected;
+      projected.reserve(projection_cols.size());
+      for (int col : projection_cols) {
+        projected.push_back(row[static_cast<size_t>(col)]);  // copy: columns may repeat
+      }
+      row = std::move(projected);
+    }
+  }
+  return rows;
+}
+
+size_t Table::Count(const Predicate& pred) const { return Select(pred).size(); }
+
+Result<Value> Table::Aggregate(const Predicate& pred, const std::string& column,
+                               AggregateOp op) const {
+  int col = schema_.ColumnIndex(column);
+  if (col < 0) {
+    return NotFound("table '" + schema_.name + "': no column '" + column + "'");
+  }
+  std::vector<Row> rows = Select(pred);
+  int64_t count = 0;
+  double sum = 0;
+  const Value* best = nullptr;
+  for (const Row& row : rows) {
+    const Value& cell = row[static_cast<size_t>(col)];
+    if (cell.is_null()) {
+      continue;  // SQL semantics: NULLs don't participate
+    }
+    ++count;
+    switch (op) {
+      case AggregateOp::kCount:
+        break;
+      case AggregateOp::kSum:
+      case AggregateOp::kAvg:
+        if (!cell.is_number()) {
+          return InvalidArgument("aggregate: SUM/AVG need a numeric column");
+        }
+        sum += cell.NumberAsF64();
+        break;
+      case AggregateOp::kMin:
+        if (best == nullptr || CompareCells(cell, *best) == -1) {
+          best = &cell;
+        }
+        break;
+      case AggregateOp::kMax:
+        if (best == nullptr || CompareCells(cell, *best) == 1) {
+          best = &cell;
+        }
+        break;
+    }
+  }
+  switch (op) {
+    case AggregateOp::kCount:
+      return Value(count);
+    case AggregateOp::kSum:
+      return Value(sum);
+    case AggregateOp::kAvg:
+      return count == 0 ? Value() : Value(sum / static_cast<double>(count));
+    case AggregateOp::kMin:
+    case AggregateOp::kMax:
+      return best == nullptr ? Value() : *best;
+  }
+  return Internal("unknown aggregate");
+}
+
+Status Table::DeleteWhere(const Predicate& pred) {
+  if (!schema_.primary_key.empty()) {
+    int pk_col = schema_.ColumnIndex(schema_.primary_key);
+    std::vector<Value> keys;
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (live_[i] && RowMatches(rows_[i], pred)) {
+        keys.push_back(rows_[i][static_cast<size_t>(pk_col)]);
+      }
+    }
+    for (const Value& k : keys) {
+      IBUS_RETURN_IF_ERROR(DeleteByPk(k));
+    }
+    return OkStatus();
+  }
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (live_[i] && RowMatches(rows_[i], pred)) {
+      IndexErase(i);
+      live_[i] = false;
+      rows_[i].clear();
+      free_.push_back(i);
+    }
+  }
+  return OkStatus();
+}
+
+Status Table::CreateIndex(const std::string& column) {
+  if (schema_.ColumnIndex(column) < 0) {
+    return NotFound("table '" + schema_.name + "': no column '" + column + "'");
+  }
+  if (indexes_.count(column) > 0) {
+    return OkStatus();  // idempotent
+  }
+  auto& index = indexes_[column];
+  int col = schema_.ColumnIndex(column);
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (live_[i]) {
+      index.emplace(IndexKey(rows_[i][static_cast<size_t>(col)]), i);
+    }
+  }
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------------
+// Database
+// ---------------------------------------------------------------------------------
+
+Status Database::CreateTable(TableSchema schema) {
+  IBUS_RETURN_IF_ERROR(schema.Validate());
+  if (tables_.count(schema.name) > 0) {
+    return AlreadyExists("table '" + schema.name + "' exists");
+  }
+  std::string name = schema.name;
+  tables_[name] = std::make_unique<Table>(std::move(schema));
+  return OkStatus();
+}
+
+Status Database::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return NotFound("table '" + name + "' does not exist");
+  }
+  return OkStatus();
+}
+
+Table* Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, table] : tables_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+Status Database::Insert(const std::string& table, Row row) {
+  Table* t = GetTable(table);
+  if (t == nullptr) {
+    return NotFound("table '" + table + "' does not exist");
+  }
+  return t->Insert(std::move(row));
+}
+
+Result<std::vector<Row>> Database::Select(const std::string& table,
+                                          const Predicate& pred) const {
+  const Table* t = GetTable(table);
+  if (t == nullptr) {
+    return NotFound("table '" + table + "' does not exist");
+  }
+  return t->Select(pred);
+}
+
+}  // namespace ibus

@@ -1,0 +1,121 @@
+// In-memory relational engine: dynamic DDL (the repository creates tables for new
+// types on the fly), typed inserts/updates, primary-key and secondary hash indexes,
+// and conjunctive predicate scans.
+#ifndef SRC_DB_DATABASE_H_
+#define SRC_DB_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/db/schema.h"
+
+namespace ibus {
+
+// A conjunction of simple column conditions (ANDed). An empty predicate matches all.
+struct Predicate {
+  enum class Op { kEq, kNe, kLt, kLe, kGt, kGe, kPrefix /* text starts-with */ };
+
+  struct Cond {
+    std::string column;
+    Op op = Op::kEq;
+    Value value;
+  };
+
+  std::vector<Cond> conds;
+
+  Predicate() = default;
+  static Predicate True() { return Predicate(); }
+  static Predicate Eq(std::string column, Value value) {
+    Predicate p;
+    p.conds.push_back(Cond{std::move(column), Op::kEq, std::move(value)});
+    return p;
+  }
+  Predicate& And(std::string column, Op op, Value value) {
+    conds.push_back(Cond{std::move(column), op, std::move(value)});
+    return *this;
+  }
+};
+
+// Ordering, truncation and projection applied after predicate filtering.
+struct QueryOptions {
+  std::string order_by;  // column name; empty = storage order
+  bool descending = false;
+  size_t limit = SIZE_MAX;
+  // Columns (by name, in output order); empty = all columns in schema order.
+  std::vector<std::string> projection;
+};
+
+enum class AggregateOp { kCount, kSum, kMin, kMax, kAvg };
+
+// Total order over comparable cells; used by ORDER BY and range predicates.
+// Returns -1/0/+1 for comparable values and 2 for incomparable kinds.
+int CompareCells(const Value& a, const Value& b);
+
+class Table {
+ public:
+  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+  const TableSchema& schema() const { return schema_; }
+  size_t row_count() const { return rows_.size() - free_.size(); }
+
+  Status Insert(Row row);
+  // Updates the row whose primary key equals `pk` (requires a primary key).
+  Status UpdateByPk(const Value& pk, Row row);
+  Status DeleteByPk(const Value& pk);
+  Result<Row> GetByPk(const Value& pk) const;
+
+  // Returns copies of all rows satisfying `pred`, using an index when one covers an
+  // equality condition.
+  std::vector<Row> Select(const Predicate& pred) const;
+  // Select with ordering / limit / projection. Fails on unknown column names.
+  Result<std::vector<Row>> Select(const Predicate& pred, const QueryOptions& options) const;
+  size_t Count(const Predicate& pred) const;
+  // COUNT/SUM/MIN/MAX/AVG over one column of the matching rows. NULL cells are
+  // skipped (SQL semantics); SUM/AVG require a numeric column.
+  Result<Value> Aggregate(const Predicate& pred, const std::string& column,
+                          AggregateOp op) const;
+  Status DeleteWhere(const Predicate& pred);
+
+  // Builds a secondary hash index over an existing column (equality lookups).
+  Status CreateIndex(const std::string& column);
+  bool HasIndex(const std::string& column) const { return indexes_.count(column) > 0; }
+
+ private:
+  static std::string IndexKey(const Value& v);
+  Status CheckRow(const Row& row) const;
+  bool RowMatches(const Row& row, const Predicate& pred) const;
+  void IndexInsert(size_t row_pos);
+  void IndexErase(size_t row_pos);
+
+  TableSchema schema_;
+  std::vector<Row> rows_;       // slot list; erased slots go to free_
+  std::vector<bool> live_;
+  std::vector<size_t> free_;
+  std::unordered_map<std::string, size_t> pk_index_;
+  // column -> (encoded value -> row positions)
+  std::unordered_map<std::string, std::unordered_multimap<std::string, size_t>> indexes_;
+};
+
+class Database {
+ public:
+  Status CreateTable(TableSchema schema);
+  Status DropTable(const std::string& name);
+  bool HasTable(const std::string& name) const { return tables_.count(name) > 0; }
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  // Convenience forwarding helpers (error if the table is missing).
+  Status Insert(const std::string& table, Row row);
+  Result<std::vector<Row>> Select(const std::string& table, const Predicate& pred) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace ibus
+
+#endif  // SRC_DB_DATABASE_H_

@@ -1,0 +1,112 @@
+#include "src/db/schema.h"
+
+#include <unordered_set>
+
+namespace ibus {
+
+const char* ColumnTypeName(ColumnType t) {
+  switch (t) {
+    case ColumnType::kBool:
+      return "bool";
+    case ColumnType::kI64:
+      return "i64";
+    case ColumnType::kF64:
+      return "f64";
+    case ColumnType::kText:
+      return "text";
+    case ColumnType::kBlob:
+      return "blob";
+  }
+  return "?";
+}
+
+const Column* TableSchema::FindColumn(const std::string& column_name) const {
+  for (const Column& c : columns) {
+    if (c.name == column_name) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+int TableSchema::ColumnIndex(const std::string& column_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column_name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Status TableSchema::Validate() const {
+  if (name.empty()) {
+    return InvalidArgument("schema: empty table name");
+  }
+  if (columns.empty()) {
+    return InvalidArgument("schema: table '" + name + "' has no columns");
+  }
+  std::unordered_set<std::string> seen;
+  for (const Column& c : columns) {
+    if (c.name.empty()) {
+      return InvalidArgument("schema: table '" + name + "' has an unnamed column");
+    }
+    if (!seen.insert(c.name).second) {
+      return InvalidArgument("schema: table '" + name + "' duplicates column '" + c.name + "'");
+    }
+  }
+  if (!primary_key.empty()) {
+    const Column* pk = FindColumn(primary_key);
+    if (pk == nullptr) {
+      return InvalidArgument("schema: table '" + name + "' names missing primary key '" +
+                             primary_key + "'");
+    }
+    if (pk->nullable) {
+      return InvalidArgument("schema: primary key '" + primary_key + "' must be NOT NULL");
+    }
+  }
+  return OkStatus();
+}
+
+Status CheckCell(const Column& column, const Value& cell) {
+  if (cell.is_null()) {
+    if (!column.nullable) {
+      return InvalidArgument("column '" + column.name + "' is NOT NULL");
+    }
+    return OkStatus();
+  }
+  switch (column.type) {
+    case ColumnType::kBool:
+      if (!cell.is_bool()) {
+        return InvalidArgument("column '" + column.name + "' wants bool, got " +
+                               cell.kind_name());
+      }
+      return OkStatus();
+    case ColumnType::kI64:
+      if (!cell.is_i64() && !cell.is_i32()) {
+        return InvalidArgument("column '" + column.name + "' wants i64, got " +
+                               cell.kind_name());
+      }
+      return OkStatus();
+    case ColumnType::kF64:
+      if (!cell.is_number()) {
+        return InvalidArgument("column '" + column.name + "' wants f64, got " +
+                               cell.kind_name());
+      }
+      return OkStatus();
+    case ColumnType::kText:
+      if (!cell.is_string()) {
+        return InvalidArgument("column '" + column.name + "' wants text, got " +
+                               cell.kind_name());
+      }
+      return OkStatus();
+    case ColumnType::kBlob:
+      if (!cell.is_bytes()) {
+        return InvalidArgument("column '" + column.name + "' wants blob, got " +
+                               cell.kind_name());
+      }
+      return OkStatus();
+  }
+  return Internal("unknown column type");
+}
+
+}  // namespace ibus

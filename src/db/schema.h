@@ -1,0 +1,50 @@
+// Relational schema model for the embedded database substrate. The paper's Object
+// Repository sits on "a commercially available relational database system"; this
+// module provides the equivalent substrate: flat tables of typed columns with dynamic
+// DDL, which is exactly what the repository's object-to-relational mapping needs.
+#ifndef SRC_DB_SCHEMA_H_
+#define SRC_DB_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/types/value.h"
+
+namespace ibus {
+
+enum class ColumnType { kBool, kI64, kF64, kText, kBlob };
+
+const char* ColumnTypeName(ColumnType t);
+
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kText;
+  bool nullable = true;
+
+  bool operator==(const Column&) const = default;
+};
+
+struct TableSchema {
+  std::string name;
+  std::vector<Column> columns;
+  // Optional: name of the unique, indexed primary-key column ("" = none).
+  std::string primary_key;
+
+  const Column* FindColumn(const std::string& column_name) const;
+  int ColumnIndex(const std::string& column_name) const;  // -1 if absent
+  Status Validate() const;
+
+  bool operator==(const TableSchema&) const = default;
+};
+
+// A row is one Value per column, in schema order. Cells are restricted to
+// null/bool/i64/f64/string/bytes (i32 widens to i64 on insert).
+using Row = std::vector<Value>;
+
+// Checks a single cell against a column definition.
+Status CheckCell(const Column& column, const Value& cell);
+
+}  // namespace ibus
+
+#endif  // SRC_DB_SCHEMA_H_

@@ -1,0 +1,126 @@
+#include "src/proto/packets.h"
+
+namespace ibus {
+
+Bytes DataPacket::Marshal() const {
+  WireWriter w;
+  w.PutU64(stream_id);
+  w.PutU64(seq);
+  w.PutU16(frag_index);
+  w.PutU16(frag_count);
+  w.PutRaw(chunk);
+  return w.Take();
+}
+
+Result<DataPacket> DataPacket::Unmarshal(const Bytes& payload) {
+  WireReader r(payload);
+  DataPacket p;
+  auto stream = r.ReadU64();
+  auto seq = r.ReadU64();
+  auto idx = r.ReadU16();
+  auto cnt = r.ReadU16();
+  if (!stream.ok() || !seq.ok() || !idx.ok() || !cnt.ok()) {
+    return DataLoss("data packet: truncated header");
+  }
+  p.stream_id = *stream;
+  p.seq = *seq;
+  p.frag_index = *idx;
+  p.frag_count = *cnt;
+  if (p.frag_count == 0 || p.frag_index >= p.frag_count) {
+    return DataLoss("data packet: bad fragment indices");
+  }
+  p.chunk = Bytes(payload.begin() + static_cast<ptrdiff_t>(r.position()), payload.end());
+  return p;
+}
+
+Bytes BatchPacket::Marshal() const {
+  WireWriter w;
+  w.PutU64(stream_id);
+  w.PutU64(first_seq);
+  w.PutVarint(messages.size());
+  for (const Bytes& m : messages) {
+    w.PutBytes(m);
+  }
+  return w.Take();
+}
+
+Result<BatchPacket> BatchPacket::Unmarshal(const Bytes& payload) {
+  WireReader r(payload);
+  BatchPacket p;
+  auto stream = r.ReadU64();
+  auto first = r.ReadU64();
+  auto count = r.ReadVarint();
+  if (!stream.ok() || !first.ok() || !count.ok()) {
+    return DataLoss("batch packet: truncated header");
+  }
+  p.stream_id = *stream;
+  p.first_seq = *first;
+  if (*count > r.remaining()) {
+    return DataLoss("batch packet: implausible count");
+  }
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto m = r.ReadBytes();
+    if (!m.ok()) {
+      return m.status();
+    }
+    p.messages.push_back(m.take());
+  }
+  return p;
+}
+
+Bytes HeartbeatPacket::Marshal() const {
+  WireWriter w;
+  w.PutU64(stream_id);
+  w.PutU64(highest_seq);
+  w.PutU64(lowest_retained);
+  return w.Take();
+}
+
+Result<HeartbeatPacket> HeartbeatPacket::Unmarshal(const Bytes& payload) {
+  WireReader r(payload);
+  HeartbeatPacket p;
+  auto stream = r.ReadU64();
+  auto high = r.ReadU64();
+  auto low = r.ReadU64();
+  if (!stream.ok() || !high.ok() || !low.ok()) {
+    return DataLoss("heartbeat packet: truncated");
+  }
+  p.stream_id = *stream;
+  p.highest_seq = *high;
+  p.lowest_retained = *low;
+  return p;
+}
+
+Bytes NakPacket::Marshal() const {
+  WireWriter w;
+  w.PutU64(stream_id);
+  w.PutVarint(missing.size());
+  for (uint64_t s : missing) {
+    w.PutU64(s);
+  }
+  return w.Take();
+}
+
+Result<NakPacket> NakPacket::Unmarshal(const Bytes& payload) {
+  WireReader r(payload);
+  NakPacket p;
+  auto stream = r.ReadU64();
+  auto count = r.ReadVarint();
+  if (!stream.ok() || !count.ok()) {
+    return DataLoss("nak packet: truncated");
+  }
+  p.stream_id = *stream;
+  if (*count > r.remaining()) {
+    return DataLoss("nak packet: implausible count");
+  }
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto s = r.ReadU64();
+    if (!s.ok()) {
+      return s.status();
+    }
+    p.missing.push_back(*s);
+  }
+  return p;
+}
+
+}  // namespace ibus

@@ -1,0 +1,465 @@
+#include "src/proto/reliable.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/wire/wire.h"
+
+namespace ibus {
+
+// ---------------------------------------------------------------------------------
+// ReliableSender
+// ---------------------------------------------------------------------------------
+
+ReliableSender::ReliableSender(Simulator* sim, UdpSocket* socket, Port dst_port,
+                               uint64_t stream_id, const ReliableConfig& config)
+    : sim_(sim),
+      socket_(socket),
+      dst_port_(dst_port),
+      stream_id_(stream_id),
+      config_(config),
+      alive_(std::make_shared<bool>(true)) {}
+
+ReliableSender::~ReliableSender() { *alive_ = false; }
+
+Status ReliableSender::Publish(Bytes message) {
+  uint64_t seq = next_seq_++;
+  Retain(seq, message);
+  last_activity_ = sim_->Now();
+  stats_.published++;
+
+  Status result;
+  if (config_.batching_enabled && message.size() <= config_.chunk_size) {
+    // Pack small messages together; flush when full or when the delay timer fires.
+    const size_t packed = message.size() + 4;  // length prefix overhead
+    if (!batch_.empty() && batch_bytes_ + packed > config_.batch_max_bytes) {
+      Flush();
+    }
+    if (batch_.empty()) {
+      batch_first_seq_ = seq;
+      ScheduleBatchFlush();
+    }
+    batch_bytes_ += packed;
+    batch_.push_back(std::move(message));
+    if (batch_bytes_ >= config_.batch_max_bytes) {
+      Flush();
+    }
+  } else {
+    // Large (or unbatched) message: preserve sequence order by flushing first.
+    Flush();
+    result = SendMessageAsPackets(seq, message);
+  }
+  ScheduleHeartbeat();
+  return result;
+}
+
+void ReliableSender::Flush() {
+  if (batch_.empty()) {
+    return;
+  }
+  if (batch_timer_ != 0) {
+    sim_->Cancel(batch_timer_);
+    batch_timer_ = 0;
+  }
+  if (batch_.size() == 1) {
+    // No point paying batch framing for a single message.
+    SendMessageAsPackets(batch_first_seq_, batch_[0]);
+  } else {
+    BatchPacket pkt;
+    pkt.stream_id = stream_id_;
+    pkt.first_seq = batch_first_seq_;
+    pkt.messages = std::move(batch_);
+    socket_->Broadcast(dst_port_, FrameMessage(kPktBatch, pkt.Marshal()));
+    stats_.packets_sent++;
+    stats_.batches_sent++;
+  }
+  batch_.clear();
+  batch_bytes_ = 0;
+  batch_first_seq_ = 0;
+}
+
+void ReliableSender::ScheduleBatchFlush() {
+  if (batch_timer_ != 0) {
+    return;
+  }
+  batch_timer_ = sim_->ScheduleAfter(config_.batch_delay_us, [this, alive = alive_]() {
+    if (!*alive) {
+      return;
+    }
+    batch_timer_ = 0;
+    Flush();
+  });
+}
+
+Status ReliableSender::SendMessageAsPackets(uint64_t seq, const Bytes& message) {
+  const size_t chunk_size = config_.chunk_size;
+  const size_t frag_count = message.empty() ? 1 : (message.size() + chunk_size - 1) / chunk_size;
+  if (frag_count > 0xFFFF) {
+    return InvalidArgument("message too large to fragment");
+  }
+  Status last;
+  for (size_t i = 0; i < frag_count; ++i) {
+    DataPacket pkt;
+    pkt.stream_id = stream_id_;
+    pkt.seq = seq;
+    pkt.frag_index = static_cast<uint16_t>(i);
+    pkt.frag_count = static_cast<uint16_t>(frag_count);
+    size_t begin = i * chunk_size;
+    size_t end = std::min(message.size(), begin + chunk_size);
+    pkt.chunk = Bytes(message.begin() + static_cast<ptrdiff_t>(begin),
+                      message.begin() + static_cast<ptrdiff_t>(end));
+    Status s = socket_->Broadcast(dst_port_, FrameMessage(kPktData, pkt.Marshal()));
+    stats_.packets_sent++;
+    if (!s.ok()) {
+      last = s;
+    }
+  }
+  return last;
+}
+
+void ReliableSender::Retain(uint64_t seq, Bytes message) {
+  retained_.emplace_back(seq, std::move(message));
+  while (retained_.size() > config_.retain_messages) {
+    last_retransmit_.erase(retained_.front().first);
+    retained_.pop_front();
+  }
+}
+
+void ReliableSender::HandleNak(const NakPacket& nak, HostId from_host, Port from_port) {
+  stats_.naks_received++;
+  if (retained_.empty()) {
+    SendHeartbeat();  // tells the receiver what is (not) retransmittable
+    return;
+  }
+  const uint64_t lowest = retained_.front().first;
+  bool aged_out = false;
+  for (uint64_t seq : nak.missing) {
+    if (seq < lowest || seq >= lowest + retained_.size()) {
+      aged_out = aged_out || seq < lowest;
+      continue;  // aged out of the retransmit buffer; receiver will declare a gap
+    }
+    auto it = last_retransmit_.find(seq);
+    if (it != last_retransmit_.end() &&
+        sim_->Now() - it->second < config_.retransmit_min_gap_us) {
+      continue;  // another receiver just triggered this retransmit
+    }
+    last_retransmit_[seq] = sim_->Now();
+    const Bytes& message = retained_[seq - lowest].second;
+    // Rebroadcast so every receiver missing it recovers from one retransmission.
+    SendMessageAsPackets(seq, message);
+    stats_.retransmits++;
+  }
+  if (aged_out) {
+    // The receiver asked for history we no longer hold: a heartbeat carries
+    // lowest_retained so it can declare the gap immediately instead of timing out.
+    SendHeartbeat();
+  }
+}
+
+void ReliableSender::ScheduleHeartbeat() {
+  if (heartbeat_scheduled_) {
+    return;
+  }
+  heartbeat_scheduled_ = true;
+  sim_->ScheduleAfter(config_.heartbeat_interval_us, [this, alive = alive_]() {
+    if (!*alive) {
+      return;
+    }
+    heartbeat_scheduled_ = false;
+    SendHeartbeat();
+    if (sim_->Now() - last_activity_ < config_.heartbeat_idle_cutoff_us) {
+      ScheduleHeartbeat();
+    }
+  });
+}
+
+void ReliableSender::SendHeartbeat() {
+  HeartbeatPacket pkt;
+  pkt.stream_id = stream_id_;
+  pkt.highest_seq = next_seq_ - 1;
+  pkt.lowest_retained = retained_.empty() ? next_seq_ : retained_.front().first;
+  socket_->Broadcast(dst_port_, FrameMessage(kPktHeartbeat, pkt.Marshal()));
+  stats_.heartbeats_sent++;
+}
+
+// ---------------------------------------------------------------------------------
+// ReliableReceiver
+// ---------------------------------------------------------------------------------
+
+ReliableReceiver::ReliableReceiver(Simulator* sim, UdpSocket* socket,
+                                   const ReliableConfig& config, DeliverFn deliver,
+                                   GapFn on_gap)
+    : sim_(sim),
+      socket_(socket),
+      config_(config),
+      deliver_(std::move(deliver)),
+      on_gap_(std::move(on_gap)),
+      alive_(std::make_shared<bool>(true)) {}
+
+ReliableReceiver::~ReliableReceiver() { *alive_ = false; }
+
+void ReliableReceiver::NoteSender(Stream& s, HostId host, Port port) {
+  s.sender_host = host;
+  s.sender_port = port;
+  s.last_packet_at = sim_->Now();
+}
+
+ReliableReceiver::Stream& ReliableReceiver::EnsureStarted(uint64_t stream_id) {
+  Stream& s = streams_[stream_id];
+  if (!s.started) {
+    s.started = true;
+    s.syncing = true;
+    sim_->ScheduleAfter(config_.sync_hold_us, [this, stream_id, alive = alive_]() {
+      if (!*alive) {
+        return;
+      }
+      auto it = streams_.find(stream_id);
+      if (it != streams_.end() && it->second.syncing) {
+        FinishSync(stream_id, it->second);
+      }
+    });
+  }
+  return s;
+}
+
+void ReliableReceiver::HandleData(const DataPacket& pkt, HostId from_host, Port from_port) {
+  Stream& s = EnsureStarted(pkt.stream_id);
+  NoteSender(s, from_host, from_port);
+  if ((!s.syncing && pkt.seq < s.expected) || s.ready.count(pkt.seq) > 0) {
+    stats_.duplicates_dropped++;
+    return;
+  }
+  if (pkt.frag_count == 1) {
+    Ingest(pkt.stream_id, pkt.seq, pkt.chunk, from_host, from_port);
+    return;
+  }
+  Partial& partial = s.partials[pkt.seq];
+  if (partial.chunks.empty()) {
+    partial.chunks.resize(pkt.frag_count);
+  }
+  if (pkt.frag_count != partial.chunks.size()) {
+    return;  // inconsistent retransmit; ignore
+  }
+  if (!partial.chunks[pkt.frag_index].empty()) {
+    stats_.duplicates_dropped++;
+    return;
+  }
+  partial.chunks[pkt.frag_index] = pkt.chunk;
+  partial.received++;
+  partial.last_update = sim_->Now();
+  if (pkt.frag_index + 1u == pkt.frag_count && pkt.chunk.empty()) {
+    // Guard: empty final chunk still counts as received (set above); nothing special.
+  }
+  s.highest_seen = std::max(s.highest_seen, pkt.seq);
+  if (partial.received == partial.chunks.size()) {
+    Bytes whole;
+    for (Bytes& c : partial.chunks) {
+      whole.insert(whole.end(), c.begin(), c.end());
+    }
+    s.partials.erase(pkt.seq);
+    Ingest(pkt.stream_id, pkt.seq, std::move(whole), from_host, from_port);
+  } else {
+    // A fragmented message implies in-flight sequences; watch for loss.
+    if (!s.syncing) {
+      MaybeScheduleNak(pkt.stream_id);
+    }
+  }
+}
+
+void ReliableReceiver::HandleBatch(const BatchPacket& pkt, HostId from_host, Port from_port) {
+  uint64_t seq = pkt.first_seq;
+  for (const Bytes& m : pkt.messages) {
+    Stream& s = EnsureStarted(pkt.stream_id);
+    NoteSender(s, from_host, from_port);
+    if ((!s.syncing && seq < s.expected) || s.ready.count(seq) > 0) {
+      stats_.duplicates_dropped++;
+    } else {
+      Ingest(pkt.stream_id, seq, m, from_host, from_port);
+    }
+    ++seq;
+  }
+}
+
+void ReliableReceiver::HandleHeartbeat(const HeartbeatPacket& pkt, HostId from_host,
+                                       Port from_port) {
+  Stream& s = streams_[pkt.stream_id];
+  NoteSender(s, from_host, from_port);
+  if (!s.started) {
+    // A late joiner starts fresh from the next message; no history fetch (new
+    // subscribers receive "new objects being published", paper §3.1).
+    s.started = true;
+    s.expected = pkt.highest_seq + 1;
+    s.highest_seen = pkt.highest_seq;
+    return;
+  }
+  if (s.syncing) {
+    // A heartbeat ends the initial hold window authoritatively.
+    FinishSync(pkt.stream_id, s);
+  }
+  s.highest_seen = std::max(s.highest_seen, pkt.highest_seq);
+  if (s.expected < pkt.lowest_retained) {
+    // The sender can no longer retransmit what we are missing: unrecoverable gap.
+    uint64_t first = s.expected;
+    uint64_t last = pkt.lowest_retained - 1;
+    stats_.gaps += last - first + 1;
+    if (on_gap_) {
+      on_gap_(pkt.stream_id, first, last);
+    }
+    s.expected = pkt.lowest_retained;
+    // Drop stale partial state below the new horizon.
+    while (!s.partials.empty() && s.partials.begin()->first < s.expected) {
+      s.partials.erase(s.partials.begin());
+    }
+    DrainReady(pkt.stream_id, s);
+  }
+  if (s.expected <= s.highest_seen) {
+    MaybeScheduleNak(pkt.stream_id);
+  }
+}
+
+void ReliableReceiver::Ingest(uint64_t stream_id, uint64_t seq, Bytes message,
+                              HostId from_host, Port from_port) {
+  Stream& s = EnsureStarted(stream_id);
+  if ((!s.syncing && seq < s.expected) || s.ready.count(seq) > 0) {
+    stats_.duplicates_dropped++;
+    return;
+  }
+  s.highest_seen = std::max(s.highest_seen, seq);
+  s.ready.emplace(seq, std::move(message));
+  if (s.syncing) {
+    return;  // delivery deferred until the hold window closes
+  }
+  DrainReady(stream_id, s);
+  if (s.expected <= s.highest_seen &&
+      (s.ready.empty() ? true : s.ready.begin()->first != s.expected)) {
+    MaybeScheduleNak(stream_id);
+  }
+}
+
+void ReliableReceiver::FinishSync(uint64_t stream_id, Stream& s) {
+  s.syncing = false;
+  if (!s.ready.empty() && !s.partials.empty()) {
+    s.expected = std::min(s.ready.begin()->first, s.partials.begin()->first);
+  } else if (!s.ready.empty()) {
+    s.expected = s.ready.begin()->first;
+  } else if (!s.partials.empty()) {
+    s.expected = s.partials.begin()->first;
+  } else {
+    s.expected = s.highest_seen + 1;
+  }
+  DrainReady(stream_id, s);
+  if (s.expected <= s.highest_seen) {
+    MaybeScheduleNak(stream_id);
+  }
+}
+
+void ReliableReceiver::DrainReady(uint64_t stream_id, Stream& s) {
+  while (!s.ready.empty() && s.ready.begin()->first == s.expected) {
+    Bytes message = std::move(s.ready.begin()->second);
+    s.ready.erase(s.ready.begin());
+    s.expected++;
+    stats_.delivered++;
+    deliver_(stream_id, message);
+  }
+  while (!s.partials.empty() && s.partials.begin()->first < s.expected) {
+    s.partials.erase(s.partials.begin());
+  }
+}
+
+void ReliableReceiver::MaybeScheduleNak(uint64_t stream_id) {
+  Stream& s = streams_[stream_id];
+  if (s.nak_scheduled) {
+    return;
+  }
+  s.nak_scheduled = true;
+  sim_->ScheduleAfter(config_.nak_delay_us, [this, stream_id, alive = alive_]() {
+    if (!*alive) {
+      return;
+    }
+    NakScan(stream_id);
+  });
+}
+
+void ReliableReceiver::NakScan(uint64_t stream_id) {
+  auto sit = streams_.find(stream_id);
+  if (sit == streams_.end()) {
+    return;
+  }
+  Stream& s = sit->second;
+  if (s.syncing) {
+    s.nak_scheduled = false;
+    return;
+  }
+  // Determine the missing head-of-line sequences.
+  std::vector<uint64_t> missing;
+  uint64_t horizon = s.highest_seen;
+  if (!s.partials.empty()) {
+    horizon = std::max(horizon, s.partials.rbegin()->first);
+  }
+  for (uint64_t seq = s.expected; seq <= horizon && missing.size() < 64; ++seq) {
+    if (s.ready.count(seq) > 0) {
+      continue;
+    }
+    auto pit = s.partials.find(seq);
+    if (pit != s.partials.end() &&
+        sim_->Now() - pit->second.last_update < config_.partial_stall_us) {
+      continue;  // reassembly in progress; don't request a full resend yet
+    }
+    missing.push_back(seq);
+  }
+  if (missing.empty()) {
+    if (!s.partials.empty()) {
+      // Nothing to request yet, but reassemblies are pending: keep watching so a
+      // stalled partial (lost final fragment) eventually gets NAKed.
+      sim_->ScheduleAfter(config_.nak_retry_us, [this, stream_id, alive = alive_]() {
+        if (*alive) {
+          NakScan(stream_id);
+        }
+      });
+      return;
+    }
+    s.nak_scheduled = false;
+    s.cur_nak_retry = 0;
+    return;
+  }
+  // Give up only when the sender has gone silent (crash or partition): as long as
+  // packets keep arriving, the gap stays recoverable and we keep asking.
+  if (sim_->Now() - s.last_packet_at > config_.sender_silence_give_up_us) {
+    uint64_t first = s.expected;
+    uint64_t last = s.ready.empty() ? horizon : s.ready.begin()->first - 1;
+    stats_.gaps += last - first + 1;
+    if (on_gap_) {
+      on_gap_(stream_id, first, last);
+    }
+    s.expected = last + 1;
+    s.cur_nak_retry = 0;
+    DrainReady(stream_id, s);
+    if (s.expected > s.highest_seen) {
+      s.nak_scheduled = false;
+      return;
+    }
+  } else if (s.sender_host != kNoHost) {
+    NakPacket nak;
+    nak.stream_id = stream_id;
+    nak.missing = missing;
+    socket_->SendTo(s.sender_host, s.sender_port, FrameMessage(kPktNak, nak.Marshal()));
+    stats_.naks_sent++;
+    s.last_nak_at = sim_->Now();
+  }
+  // Exponential backoff while the same head sequence resists recovery (retransmits
+  // of large messages may be queued behind a congested medium); reset on progress.
+  if (missing.front() == s.gap_head_seq && s.cur_nak_retry > 0) {
+    s.cur_nak_retry = std::min(2 * s.cur_nak_retry, config_.nak_retry_max_us);
+  } else {
+    s.gap_head_seq = missing.front();
+    s.cur_nak_retry = config_.nak_retry_us;
+  }
+  sim_->ScheduleAfter(s.cur_nak_retry, [this, stream_id, alive = alive_]() {
+    if (!*alive) {
+      return;
+    }
+    NakScan(stream_id);
+  });
+}
+
+}  // namespace ibus

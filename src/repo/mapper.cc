@@ -1,0 +1,367 @@
+#include "src/repo/mapper.h"
+
+#include <algorithm>
+
+#include "src/types/codec.h"
+#include "src/wire/wire.h"
+
+namespace ibus {
+
+namespace {
+
+constexpr char kIdColumn[] = "_id";
+constexpr char kPropsColumn[] = "_props";
+
+Bytes MarshalProps(const DataObject& obj) {
+  WireWriter w;
+  w.PutVarint(obj.properties().size());
+  for (const auto& [name, value] : obj.properties()) {
+    w.PutString(name);
+    MarshalValue(value, &w);
+  }
+  return w.Take();
+}
+
+Status UnmarshalProps(const Bytes& b, DataObject* obj) {
+  WireReader r(b);
+  auto count = r.ReadVarint();
+  if (!count.ok()) {
+    return count.status();
+  }
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto name = r.ReadString();
+    if (!name.ok()) {
+      return name.status();
+    }
+    auto value = UnmarshalValue(&r);
+    if (!value.ok()) {
+      return value.status();
+    }
+    obj->SetProperty(*name, value.take());
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+bool ObjectMapper::IsScalarAttribute(const std::string& attr_type) {
+  return attr_type == "bool" || attr_type == "i32" || attr_type == "i64" ||
+         attr_type == "f64" || attr_type == "string" || attr_type == "bytes";
+}
+
+ColumnType ObjectMapper::ScalarColumnType(const std::string& attr_type) {
+  if (attr_type == "bool") {
+    return ColumnType::kBool;
+  }
+  if (attr_type == "i32" || attr_type == "i64") {
+    return ColumnType::kI64;
+  }
+  if (attr_type == "f64") {
+    return ColumnType::kF64;
+  }
+  if (attr_type == "bytes") {
+    return ColumnType::kBlob;
+  }
+  return ColumnType::kText;
+}
+
+TableSchema ObjectMapper::BuildMainSchema(const std::string& type_name,
+                                          const std::vector<AttributeDef>& attrs) const {
+  TableSchema schema;
+  schema.name = MainTableName(type_name);
+  schema.primary_key = kIdColumn;
+  schema.columns.push_back(Column{kIdColumn, ColumnType::kText, /*nullable=*/false});
+  for (const AttributeDef& a : attrs) {
+    if (IsScalarAttribute(a.type_name)) {
+      schema.columns.push_back(Column{a.name, ScalarColumnType(a.type_name), true});
+    }
+  }
+  schema.columns.push_back(Column{kPropsColumn, ColumnType::kBlob, true});
+  return schema;
+}
+
+TableSchema ObjectMapper::BuildChildSchema(const std::string& table_name) {
+  TableSchema schema;
+  schema.name = table_name;
+  schema.columns = {
+      Column{"parent_id", ColumnType::kText, false}, Column{"ordinal", ColumnType::kI64, false},
+      Column{"kind", ColumnType::kText, false},      Column{"v_bool", ColumnType::kBool, true},
+      Column{"v_i64", ColumnType::kI64, true},       Column{"v_f64", ColumnType::kF64, true},
+      Column{"v_text", ColumnType::kText, true},     Column{"v_blob", ColumnType::kBlob, true},
+      Column{"child_type", ColumnType::kText, true}, Column{"child_id", ColumnType::kText, true},
+  };
+  return schema;
+}
+
+Status ObjectMapper::EnsureSchema(const std::string& type_name) {
+  auto attrs = registry_->AllAttributes(type_name);
+  if (!attrs.ok()) {
+    return attrs.status();
+  }
+  TableSchema desired = BuildMainSchema(type_name, *attrs);
+  Table* existing = db_->GetTable(desired.name);
+  if (existing == nullptr) {
+    IBUS_RETURN_IF_ERROR(db_->CreateTable(desired));
+  } else if (!(existing->schema() == desired)) {
+    // Dynamic schema evolution (R2): rebuild the main table, carrying rows over by
+    // column name; attributes new to the type become NULL.
+    const TableSchema old_schema = existing->schema();
+    std::vector<Row> old_rows = existing->Select(Predicate::True());
+    IBUS_RETURN_IF_ERROR(db_->DropTable(desired.name));
+    IBUS_RETURN_IF_ERROR(db_->CreateTable(desired));
+    Table* rebuilt = db_->GetTable(desired.name);
+    for (const Row& old_row : old_rows) {
+      Row row(desired.columns.size());
+      for (size_t i = 0; i < desired.columns.size(); ++i) {
+        int old_idx = old_schema.ColumnIndex(desired.columns[i].name);
+        if (old_idx >= 0) {
+          row[i] = old_row[static_cast<size_t>(old_idx)];
+        }
+      }
+      IBUS_RETURN_IF_ERROR(rebuilt->Insert(std::move(row)));
+    }
+  }
+  // Child tables for every non-scalar attribute.
+  for (const AttributeDef& a : *attrs) {
+    if (IsScalarAttribute(a.type_name)) {
+      continue;
+    }
+    std::string child_name = ChildTableName(type_name, a.name);
+    if (db_->GetTable(child_name) == nullptr) {
+      IBUS_RETURN_IF_ERROR(db_->CreateTable(BuildChildSchema(child_name)));
+      IBUS_RETURN_IF_ERROR(db_->GetTable(child_name)->CreateIndex("parent_id"));
+    }
+  }
+  return OkStatus();
+}
+
+Status ObjectMapper::StoreChildValue(const std::string& table, const std::string& parent_id,
+                                     int64_t ordinal, const Value& v) {
+  Row row(10);
+  row[0] = Value(parent_id);
+  row[1] = Value(ordinal);
+  switch (v.kind()) {
+    case ValueKind::kNull:
+      row[2] = Value(std::string("null"));
+      break;
+    case ValueKind::kBool:
+      row[2] = Value(std::string("bool"));
+      row[3] = v;
+      break;
+    case ValueKind::kI32:
+      row[2] = Value(std::string("i32"));  // kind tag preserves the width round trip
+      row[4] = Value(static_cast<int64_t>(v.AsI32()));
+      break;
+    case ValueKind::kI64:
+      row[2] = Value(std::string("i64"));
+      row[4] = v;
+      break;
+    case ValueKind::kF64:
+      row[2] = Value(std::string("f64"));
+      row[5] = v;
+      break;
+    case ValueKind::kString:
+      row[2] = Value(std::string("string"));
+      row[6] = v;
+      break;
+    case ValueKind::kBytes:
+      row[2] = Value(std::string("bytes"));
+      row[7] = v;
+      break;
+    case ValueKind::kList: {
+      // A nested list inside a child value keeps its full structure as a blob.
+      row[2] = Value(std::string("nested"));
+      WireWriter w;
+      MarshalValue(v, &w);
+      row[7] = Value(w.Take());
+      break;
+    }
+    case ValueKind::kObject: {
+      if (v.AsObject() == nullptr) {
+        row[2] = Value(std::string("null"));
+        break;
+      }
+      const DataObject& child = *v.AsObject();
+      std::string child_id = NewChildId();
+      // Nested objects of never-seen types are derivable from the instance (P2).
+      IBUS_RETURN_IF_ERROR(DeriveTypeFromInstance(registry_, child));
+      IBUS_RETURN_IF_ERROR(EnsureSchema(child.type_name()));
+      IBUS_RETURN_IF_ERROR(StoreObject(child, child_id));
+      row[2] = Value(std::string("object"));
+      row[8] = Value(child.type_name());
+      row[9] = Value(child_id);
+      break;
+    }
+  }
+  return db_->Insert(table, std::move(row));
+}
+
+Result<Value> ObjectMapper::LoadChildValue(const Row& row) {
+  const std::string& kind = row[2].AsString();
+  if (kind == "null") {
+    return Value();
+  }
+  if (kind == "bool") {
+    return row[3];
+  }
+  if (kind == "i32") {
+    return Value(static_cast<int32_t>(row[4].AsI64()));
+  }
+  if (kind == "i64") {
+    return row[4];
+  }
+  if (kind == "f64") {
+    return row[5];
+  }
+  if (kind == "string") {
+    return row[6];
+  }
+  if (kind == "bytes") {
+    return row[7];
+  }
+  if (kind == "nested") {
+    WireReader r(row[7].AsBytes());
+    return UnmarshalValue(&r);
+  }
+  if (kind == "object") {
+    auto obj = LoadObject(row[8].AsString(), row[9].AsString());
+    if (!obj.ok()) {
+      return obj.status();
+    }
+    return Value(obj.take());
+  }
+  return DataLoss("mapper: unknown child kind '" + kind + "'");
+}
+
+Status ObjectMapper::StoreObject(const DataObject& obj, const std::string& id) {
+  auto attrs = registry_->AllAttributes(obj.type_name());
+  if (!attrs.ok()) {
+    return attrs.status();
+  }
+  Table* main = db_->GetTable(MainTableName(obj.type_name()));
+  if (main == nullptr) {
+    return FailedPrecondition("mapper: no schema for type '" + obj.type_name() + "'");
+  }
+  const TableSchema& schema = main->schema();
+  Row row(schema.columns.size());
+  row[0] = Value(id);
+  for (const AttributeDef& a : *attrs) {
+    const Value& v = obj.Get(a.name);
+    if (IsScalarAttribute(a.type_name)) {
+      int col = schema.ColumnIndex(a.name);
+      if (col < 0) {
+        return Internal("mapper: schema out of date for '" + obj.type_name() + "'");
+      }
+      row[static_cast<size_t>(col)] =
+          v.is_i32() ? Value(static_cast<int64_t>(v.AsI32())) : v;
+    } else {
+      const std::string table = ChildTableName(obj.type_name(), a.name);
+      if (v.is_list()) {
+        int64_t ordinal = 0;
+        for (const Value& element : v.AsList()) {
+          IBUS_RETURN_IF_ERROR(StoreChildValue(table, id, ordinal++, element));
+        }
+      } else if (!v.is_null()) {
+        IBUS_RETURN_IF_ERROR(StoreChildValue(table, id, -1, v));
+      }
+    }
+  }
+  if (!obj.properties().empty()) {
+    int props_col = schema.ColumnIndex(kPropsColumn);
+    row[static_cast<size_t>(props_col)] = Value(MarshalProps(obj));
+  }
+  return main->Insert(std::move(row));
+}
+
+Result<DataObjectPtr> ObjectMapper::LoadObject(const std::string& type_name,
+                                               const std::string& id) {
+  auto attrs = registry_->AllAttributes(type_name);
+  if (!attrs.ok()) {
+    return attrs.status();
+  }
+  Table* main = db_->GetTable(MainTableName(type_name));
+  if (main == nullptr) {
+    return NotFound("mapper: no table for type '" + type_name + "'");
+  }
+  auto row = main->GetByPk(Value(id));
+  if (!row.ok()) {
+    return row.status();
+  }
+  const TableSchema& schema = main->schema();
+  auto obj = std::make_shared<DataObject>(type_name);
+  for (const AttributeDef& a : *attrs) {
+    if (IsScalarAttribute(a.type_name)) {
+      int col = schema.ColumnIndex(a.name);
+      Value cell = col >= 0 ? (*row)[static_cast<size_t>(col)] : Value();
+      if (a.type_name == "i32" && cell.is_i64()) {
+        cell = Value(static_cast<int32_t>(cell.AsI64()));
+      }
+      obj->AddAttribute(a.name, std::move(cell));
+      continue;
+    }
+    Table* child = db_->GetTable(ChildTableName(type_name, a.name));
+    if (child == nullptr) {
+      obj->AddAttribute(a.name);
+      continue;
+    }
+    std::vector<Row> rows = child->Select(Predicate::Eq("parent_id", Value(id)));
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& x, const Row& y) { return x[1].AsI64() < y[1].AsI64(); });
+    if (rows.empty()) {
+      // No rows: an "any"/object attribute was null, or a list attribute was empty.
+      obj->AddAttribute(a.name, a.type_name == "list" ? Value(Value::List{}) : Value());
+    } else if (rows.size() == 1 && rows[0][1].AsI64() == -1) {
+      auto v = LoadChildValue(rows[0]);
+      if (!v.ok()) {
+        return v.status();
+      }
+      obj->AddAttribute(a.name, v.take());
+    } else {
+      Value::List list;
+      for (const Row& r : rows) {
+        auto v = LoadChildValue(r);
+        if (!v.ok()) {
+          return v.status();
+        }
+        list.push_back(v.take());
+      }
+      obj->AddAttribute(a.name, Value(std::move(list)));
+    }
+  }
+  int props_col = schema.ColumnIndex(kPropsColumn);
+  if (props_col >= 0 && (*row)[static_cast<size_t>(props_col)].is_bytes()) {
+    IBUS_RETURN_IF_ERROR(
+        UnmarshalProps((*row)[static_cast<size_t>(props_col)].AsBytes(), obj.get()));
+  }
+  return obj;
+}
+
+Status ObjectMapper::DeleteObject(const std::string& type_name, const std::string& id) {
+  auto attrs = registry_->AllAttributes(type_name);
+  if (!attrs.ok()) {
+    return attrs.status();
+  }
+  Table* main = db_->GetTable(MainTableName(type_name));
+  if (main == nullptr) {
+    return NotFound("mapper: no table for type '" + type_name + "'");
+  }
+  for (const AttributeDef& a : *attrs) {
+    if (IsScalarAttribute(a.type_name)) {
+      continue;
+    }
+    Table* child = db_->GetTable(ChildTableName(type_name, a.name));
+    if (child == nullptr) {
+      continue;
+    }
+    // Recursively delete nested objects referenced from child rows.
+    for (const Row& row : child->Select(Predicate::Eq("parent_id", Value(id)))) {
+      if (row[2].is_string() && row[2].AsString() == "object") {
+        IBUS_RETURN_IF_ERROR(DeleteObject(row[8].AsString(), row[9].AsString()));
+      }
+    }
+    IBUS_RETURN_IF_ERROR(child->DeleteWhere(Predicate::Eq("parent_id", Value(id))));
+  }
+  return main->DeleteByPk(Value(id));
+}
+
+}  // namespace ibus

@@ -1,0 +1,72 @@
+// Metadata-driven object-to-relational mapping (paper §4): "our conversion algorithm
+// decomposes a complex object into one or more database tables and reconstructs a
+// complex object from one or more database tables ... only the type information is
+// necessary to do the transformation."
+//
+// Mapping rules, driven entirely by the TypeDescriptor:
+//  - type T -> main table "obj_<T>" with a generated text primary key "_id", one typed
+//    column per fundamental scalar attribute, and a "_props" blob holding marshalled
+//    dynamic properties;
+//  - each list / nested-object / "any" attribute -> child table "obj_<T>__<attr>" with
+//    a generic (parent_id, ordinal, kind, scalar columns, child_type, child_id) schema;
+//    nested objects are stored recursively in their own type's tables and referenced
+//    by (child_type, child_id). ordinal -1 marks a single (non-list) value.
+#ifndef SRC_REPO_MAPPER_H_
+#define SRC_REPO_MAPPER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/db/database.h"
+#include "src/types/data_object.h"
+#include "src/types/registry.h"
+
+namespace ibus {
+
+class ObjectMapper {
+ public:
+  ObjectMapper(TypeRegistry* registry, Database* db) : registry_(registry), db_(db) {}
+
+  static std::string MainTableName(const std::string& type_name) { return "obj_" + type_name; }
+  static std::string ChildTableName(const std::string& type_name, const std::string& attr) {
+    return "obj_" + type_name + "__" + attr;
+  }
+
+  // True when the declared attribute type maps to an inline scalar column.
+  static bool IsScalarAttribute(const std::string& attr_type);
+  static ColumnType ScalarColumnType(const std::string& attr_type);
+
+  // Creates (or migrates) the tables for `type_name`. Called lazily by Store and
+  // eagerly by the repository's registry observer (dynamic schema evolution, R2).
+  Status EnsureSchema(const std::string& type_name);
+
+  // Decomposes `obj` into rows under the given id. The type's schema must exist.
+  Status StoreObject(const DataObject& obj, const std::string& id);
+
+  // Recomposes the object stored under (type_name, id).
+  Result<DataObjectPtr> LoadObject(const std::string& type_name, const std::string& id);
+
+  // Removes all rows belonging to (type_name, id), including child rows. Nested
+  // objects are removed recursively.
+  Status DeleteObject(const std::string& type_name, const std::string& id);
+
+  uint64_t next_child_id() const { return next_child_id_; }
+
+ private:
+  TableSchema BuildMainSchema(const std::string& type_name,
+                              const std::vector<AttributeDef>& attrs) const;
+  static TableSchema BuildChildSchema(const std::string& table_name);
+
+  Status StoreChildValue(const std::string& table, const std::string& parent_id,
+                         int64_t ordinal, const Value& v);
+  Result<Value> LoadChildValue(const Row& row);
+  std::string NewChildId() { return "c" + std::to_string(++next_child_id_); }
+
+  TypeRegistry* registry_;
+  Database* db_;
+  uint64_t next_child_id_ = 0;
+};
+
+}  // namespace ibus
+
+#endif  // SRC_REPO_MAPPER_H_

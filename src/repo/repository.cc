@@ -1,0 +1,221 @@
+#include "src/repo/repository.h"
+
+#include "src/types/codec.h"
+
+namespace ibus {
+
+Repository::Repository(TypeRegistry* registry, Database* db)
+    : registry_(registry), db_(db), mapper_(registry, db) {
+  // Eager schema generation whenever a new type is defined anywhere in the process
+  // (e.g. a TDL defclass or a descriptor learned off the bus).
+  registry_->AddDefineObserver([this](const TypeDescriptor& desc) {
+    mapper_.EnsureSchema(desc.name());
+  });
+}
+
+Result<std::string> Repository::Store(const DataObject& obj) {
+  // Derive the type from the instance's self-describing payload if unknown (P2): the
+  // repository accepts types it has never seen a descriptor for.
+  IBUS_RETURN_IF_ERROR(DeriveTypeFromInstance(registry_, obj));
+  IBUS_RETURN_IF_ERROR(mapper_.EnsureSchema(obj.type_name()));
+  std::string id = "oid-" + std::to_string(++next_id_);
+  IBUS_RETURN_IF_ERROR(mapper_.StoreObject(obj, id));
+  ++stored_;
+  return id;
+}
+
+Result<DataObjectPtr> Repository::Load(const std::string& type_name, const std::string& id) {
+  return mapper_.LoadObject(type_name, id);
+}
+
+Status Repository::Delete(const std::string& type_name, const std::string& id) {
+  return mapper_.DeleteObject(type_name, id);
+}
+
+Result<std::vector<DataObjectPtr>> Repository::Query(const RepoQuery& query) {
+  if (!registry_->Has(query.type_name)) {
+    return NotFound("repository: unknown type '" + query.type_name + "'");
+  }
+  std::vector<std::string> types =
+      query.include_subtypes ? registry_->SubtypeClosure(query.type_name)
+                             : std::vector<std::string>{query.type_name};
+  std::vector<DataObjectPtr> out;
+  for (const std::string& type : types) {
+    const Table* table = db_->GetTable(ObjectMapper::MainTableName(type));
+    if (table == nullptr) {
+      continue;  // type registered but nothing ever stored
+    }
+    // Conditions on attributes this type lacks can never match.
+    bool applicable = true;
+    for (const Predicate::Cond& cond : query.predicate.conds) {
+      if (table->schema().ColumnIndex(cond.column) < 0) {
+        applicable = false;
+        break;
+      }
+    }
+    if (!applicable) {
+      continue;
+    }
+    int id_col = table->schema().ColumnIndex("_id");
+    for (const Row& row : table->Select(query.predicate)) {
+      auto obj = mapper_.LoadObject(type, row[static_cast<size_t>(id_col)].AsString());
+      if (!obj.ok()) {
+        return obj.status();
+      }
+      out.push_back(obj.take());
+    }
+  }
+  return out;
+}
+
+Result<size_t> Repository::Count(const std::string& type_name, bool include_subtypes) {
+  RepoQuery q;
+  q.type_name = type_name;
+  q.include_subtypes = include_subtypes;
+  auto r = Query(q);
+  if (!r.ok()) {
+    return r.status();
+  }
+  return r->size();
+}
+
+// ---------------------------------------------------------------------------------
+// CaptureServer
+// ---------------------------------------------------------------------------------
+
+Result<std::unique_ptr<CaptureServer>> CaptureServer::Create(
+    BusClient* bus, Repository* repo, const std::vector<std::string>& patterns) {
+  auto server = std::unique_ptr<CaptureServer>(new CaptureServer(bus, repo));
+  for (const std::string& pattern : patterns) {
+    auto sub = bus->SubscribeObjects(
+        pattern, [s = server.get()](const Message& m, const DataObjectPtr& obj) {
+          if (obj == nullptr) {
+            return;  // not a data object (control traffic, raw bytes)
+          }
+          if (s->repo_->Store(*obj).ok()) {
+            s->captured_++;
+          } else {
+            s->failed_++;
+          }
+        });
+    if (!sub.ok()) {
+      return sub.status();
+    }
+    server->subs_.push_back(*sub);
+  }
+  return server;
+}
+
+CaptureServer::~CaptureServer() {
+  for (uint64_t sub : subs_) {
+    bus_->Unsubscribe(sub);
+  }
+}
+
+// ---------------------------------------------------------------------------------
+// QueryServer
+// ---------------------------------------------------------------------------------
+
+namespace {
+
+Result<Predicate::Op> ParseOp(const std::string& op) {
+  if (op == "==" || op == "eq") {
+    return Predicate::Op::kEq;
+  }
+  if (op == "!=" || op == "ne") {
+    return Predicate::Op::kNe;
+  }
+  if (op == "<") {
+    return Predicate::Op::kLt;
+  }
+  if (op == "<=") {
+    return Predicate::Op::kLe;
+  }
+  if (op == ">") {
+    return Predicate::Op::kGt;
+  }
+  if (op == ">=") {
+    return Predicate::Op::kGe;
+  }
+  if (op == "prefix") {
+    return Predicate::Op::kPrefix;
+  }
+  return InvalidArgument("query server: unknown operator '" + op + "'");
+}
+
+}  // namespace
+
+Result<std::unique_ptr<QueryServer>> QueryServer::Create(BusClient* bus, Repository* repo,
+                                                         const std::string& subject) {
+  auto service = std::make_shared<DynamicService>("object_repository");
+
+  OperationDef count_op;
+  count_op.name = "count";
+  count_op.result_type = "i64";
+  count_op.params = {ParamDef{"type", "string"}};
+  service->AddOperation(count_op, [repo](const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 1 || !args[0].is_string()) {
+      return InvalidArgument("count(type)");
+    }
+    auto n = repo->Count(args[0].AsString());
+    if (!n.ok()) {
+      return n.status();
+    }
+    return Value(static_cast<int64_t>(*n));
+  });
+
+  OperationDef query_op;
+  query_op.name = "query";
+  query_op.result_type = "list";
+  query_op.params = {ParamDef{"type", "string"}, ParamDef{"attr", "string"},
+                     ParamDef{"op", "string"}, ParamDef{"value", "any"}};
+  service->AddOperation(query_op, [repo](const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 4 || !args[0].is_string() || !args[1].is_string() ||
+        !args[2].is_string()) {
+      return InvalidArgument("query(type, attr, op, value)");
+    }
+    RepoQuery q;
+    q.type_name = args[0].AsString();
+    if (!args[1].AsString().empty()) {
+      auto op = ParseOp(args[2].AsString());
+      if (!op.ok()) {
+        return op.status();
+      }
+      q.predicate.And(args[1].AsString(), *op, args[3]);
+    }
+    auto objs = repo->Query(q);
+    if (!objs.ok()) {
+      return objs.status();
+    }
+    Value::List out;
+    for (const DataObjectPtr& obj : *objs) {
+      out.push_back(Value(obj));
+    }
+    return Value(std::move(out));
+  });
+
+  OperationDef store_op;
+  store_op.name = "store";
+  store_op.result_type = "string";
+  store_op.params = {ParamDef{"object", "object"}};
+  service->AddOperation(store_op, [repo](const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 1 || !args[0].is_object() || args[0].AsObject() == nullptr) {
+      return InvalidArgument("store(object)");
+    }
+    auto id = repo->Store(*args[0].AsObject());
+    if (!id.ok()) {
+      return id.status();
+    }
+    return Value(*id);
+  });
+
+  auto rmi = RmiServer::Create(bus, subject, service);
+  if (!rmi.ok()) {
+    return rmi.status();
+  }
+  auto qs = std::unique_ptr<QueryServer>(new QueryServer());
+  qs->server_ = rmi.take();
+  return qs;
+}
+
+}  // namespace ibus

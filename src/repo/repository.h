@@ -1,0 +1,103 @@
+// The Object Repository (paper §4): a sophisticated adapter integrating a relational
+// database into the Information Bus. Objects are decomposed into relations purely from
+// metadata (P2); previously unknown types get tables generated on first contact (P3 +
+// R2); queries respect the type hierarchy, so "all stories matching X" also returns
+// instances of story subtypes — including subtypes introduced after the query was
+// written.
+//
+// The repository "may be configured in any number of ways": CaptureServer subscribes
+// to subjects and inserts everything it hears; QueryServer exposes the store over RMI.
+#ifndef SRC_REPO_REPOSITORY_H_
+#define SRC_REPO_REPOSITORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bus/client.h"
+#include "src/db/database.h"
+#include "src/repo/mapper.h"
+#include "src/rmi/server.h"
+#include "src/types/registry.h"
+
+namespace ibus {
+
+// A hierarchy-aware attribute query. Only scalar (inline-column) attributes are
+// queryable; conditions on attributes a subtype does not have simply never match.
+struct RepoQuery {
+  std::string type_name;
+  bool include_subtypes = true;
+  Predicate predicate;  // column names = attribute names
+};
+
+class Repository {
+ public:
+  Repository(TypeRegistry* registry, Database* db);
+
+  // Stores a (possibly deep) object; returns its generated repository id. If the
+  // object's type is unknown, a descriptor is derived from the instance itself and
+  // registered — the paper's "capable of generating one or more new database tables
+  // to represent the new type".
+  Result<std::string> Store(const DataObject& obj);
+
+  Result<DataObjectPtr> Load(const std::string& type_name, const std::string& id);
+  Status Delete(const std::string& type_name, const std::string& id);
+
+  // Returns all matching objects of the type and (optionally) its subtypes.
+  Result<std::vector<DataObjectPtr>> Query(const RepoQuery& query);
+  Result<size_t> Count(const std::string& type_name, bool include_subtypes = true);
+
+  TypeRegistry* registry() { return registry_; }
+  Database* db() { return db_; }
+  ObjectMapper* mapper() { return &mapper_; }
+
+  uint64_t stored_count() const { return stored_; }
+
+ private:
+  TypeRegistry* registry_;
+  Database* db_;
+  ObjectMapper mapper_;
+  uint64_t next_id_ = 0;
+  uint64_t stored_ = 0;
+};
+
+// Capture configuration: subscribe and persist every data object heard.
+class CaptureServer {
+ public:
+  static Result<std::unique_ptr<CaptureServer>> Create(BusClient* bus, Repository* repo,
+                                                       const std::vector<std::string>& patterns);
+  ~CaptureServer();
+  CaptureServer(const CaptureServer&) = delete;
+  CaptureServer& operator=(const CaptureServer&) = delete;
+
+  uint64_t captured() const { return captured_; }
+  uint64_t failed() const { return failed_; }
+
+ private:
+  CaptureServer(BusClient* bus, Repository* repo) : bus_(bus), repo_(repo) {}
+
+  BusClient* bus_;
+  Repository* repo_;
+  std::vector<uint64_t> subs_;
+  uint64_t captured_ = 0;
+  uint64_t failed_ = 0;
+};
+
+// Query configuration: an RMI service answering attribute queries over the store.
+// Operations: count(type), query(type, attr, op, value) -> list of objects,
+//             store(object) -> id.
+class QueryServer {
+ public:
+  static Result<std::unique_ptr<QueryServer>> Create(BusClient* bus, Repository* repo,
+                                                     const std::string& subject);
+
+  RmiServer* server() { return server_.get(); }
+
+ private:
+  QueryServer() = default;
+  std::unique_ptr<RmiServer> server_;
+};
+
+}  // namespace ibus
+
+#endif  // SRC_REPO_REPOSITORY_H_

@@ -1,0 +1,106 @@
+// RMI client (paper §3.3, Figure 2): (1) discover servers by publishing a query on the
+// service's subject; (2) pick one (or all) according to a selection policy; (3) open a
+// point-to-point connection and exchange request/reply. Calls are exactly-once under
+// normal operation and at-most-once under failure: a timeout or broken connection
+// surfaces as an error, never as a blind retry.
+#ifndef SRC_RMI_CLIENT_H_
+#define SRC_RMI_CLIENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/bus/client.h"
+#include "src/rmi/protocol.h"
+
+namespace ibus {
+
+// How to choose among multiple servers answering on the same subject (paper: "our
+// system allows an application to choose between several different policies").
+enum class ServerSelection {
+  kFirst,        // lowest-latency responder
+  kLeastLoaded,  // minimize reported load
+};
+
+struct RmiClientConfig {
+  SimTime discovery_timeout_us = 100 * 1000;
+  SimTime call_timeout_us = 2 * 1000 * 1000;
+  ServerSelection selection = ServerSelection::kFirst;
+};
+
+// A bound, connected remote service. Obtained via RmiClient::Connect.
+class RemoteService {
+ public:
+  using CallDone = std::function<void(Result<Value>)>;
+
+  ~RemoteService();
+  RemoteService(const RemoteService&) = delete;
+  RemoteService& operator=(const RemoteService&) = delete;
+
+  const RmiAdvert& advert() const { return advert_; }
+  // Introspection without a network round trip: the interface learned at discovery.
+  const TypeDescriptor& interface() const { return advert_.interface; }
+  bool connected() const { return conn_ != nullptr && conn_->open(); }
+
+  // Invokes `operation`; `done` receives the result or an error (timeout, closed
+  // connection, remote fault).
+  void Call(const std::string& operation, std::vector<Value> args, CallDone done);
+
+  // Fetches the interface over the wire (exercises remote introspection).
+  void Describe(std::function<void(Result<TypeDescriptor>)> done);
+
+ private:
+  friend class RmiClient;
+  RemoteService(Simulator* sim, RmiAdvert advert, ConnectionPtr conn, SimTime call_timeout);
+
+  void HandleReply(const Bytes& bytes);
+  void FailAll(const Status& status);
+
+  Simulator* sim_;
+  RmiAdvert advert_;
+  ConnectionPtr conn_;
+  SimTime call_timeout_;
+  uint64_t next_request_ = 1;
+  struct PendingCall {
+    CallDone done;
+    EventId timeout_event = 0;
+    bool describe = false;
+  };
+  std::unordered_map<uint64_t, PendingCall> pending_;
+  std::shared_ptr<bool> alive_;
+};
+
+class RmiClient {
+ public:
+  using ConnectDone = std::function<void(Result<std::shared_ptr<RemoteService>>)>;
+  using DiscoverDone = std::function<void(std::vector<RmiAdvert>)>;
+
+  // Full discover+select+connect pipeline.
+  static Status Connect(BusClient* bus, const std::string& subject,
+                        const RmiClientConfig& config, ConnectDone done);
+
+  // Discovery only: every server currently answering on the subject ("the client can
+  // receive every response from all of the servers and then decide").
+  static Status Discover(BusClient* bus, const std::string& subject,
+                         const RmiClientConfig& config, DiscoverDone done);
+
+  // Connects to an already-known advert (e.g. chosen from Discover results).
+  static void ConnectTo(BusClient* bus, const RmiAdvert& advert, const RmiClientConfig& config,
+                        ConnectDone done);
+};
+
+// The layer the paper sketches above standard RMI (§3.3): "Customer-specific
+// requirements such as exactly-once semantics ... can be built on a layer above
+// standard RMI." RetryingCall re-discovers and re-invokes on failure, surviving a
+// server crash mid-call when a replacement answers the same subject (e.g. an election
+// backup). Semantics are at-least-once — exactly-once when the operation is
+// idempotent, which is the caller's contract to uphold.
+void RetryingCall(BusClient* bus, const std::string& subject, const std::string& operation,
+                  std::vector<Value> args, int max_attempts, const RmiClientConfig& config,
+                  RemoteService::CallDone done);
+
+}  // namespace ibus
+
+#endif  // SRC_RMI_CLIENT_H_

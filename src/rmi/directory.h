@@ -1,0 +1,32 @@
+// Service directory: "It is possible to examine the list of available services on the
+// Information Bus by using various name services. Services are self-describing, so
+// users can inspect the interface description for each service." (paper §5.1)
+//
+// There is no central registry: listing services is just a discovery query on the
+// shared directory subject, answered by every advertising RmiServer (P4 preserved).
+#ifndef SRC_RMI_DIRECTORY_H_
+#define SRC_RMI_DIRECTORY_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/rmi/client.h"
+#include "src/rmi/server.h"
+
+namespace ibus {
+
+class ServiceDirectory {
+ public:
+  using ListDone = std::function<void(std::vector<RmiAdvert>)>;
+
+  // Collects every service advert heard within the timeout.
+  static Status List(BusClient* bus, SimTime timeout_us, ListDone done) {
+    RmiClientConfig config;
+    config.discovery_timeout_us = timeout_us;
+    return RmiClient::Discover(bus, kServiceDirectorySubject, config, std::move(done));
+  }
+};
+
+}  // namespace ibus
+
+#endif  // SRC_RMI_DIRECTORY_H_

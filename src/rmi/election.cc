@@ -1,0 +1,160 @@
+#include "src/rmi/election.h"
+
+#include "src/wire/wire.h"
+
+namespace ibus {
+
+namespace {
+constexpr char kCandidacyType[] = "_elect.candidacy";
+constexpr char kHeartbeatType[] = "_elect.heartbeat";
+
+Bytes IdPayload(uint64_t id) {
+  WireWriter w;
+  w.PutU64(id);
+  return w.Take();
+}
+
+uint64_t ReadId(const Bytes& b) {
+  WireReader r(b);
+  auto id = r.ReadU64();
+  return id.ok() ? *id : 0;
+}
+}  // namespace
+
+Result<std::unique_ptr<Election>> Election::Join(BusClient* bus, const std::string& group,
+                                                 uint64_t member_id, LeadershipFn on_change,
+                                                 const ElectionConfig& config) {
+  if (member_id == 0) {
+    return InvalidArgument("election: member id 0 is reserved");
+  }
+  auto election = std::unique_ptr<Election>(
+      new Election(bus, group, member_id, std::move(on_change), config));
+  auto sub = bus->Subscribe(election->Subject(),
+                            [e = election.get()](const Message& m) { e->HandleMessage(m); });
+  if (!sub.ok()) {
+    return sub.status();
+  }
+  election->sub_ = *sub;
+  election->StartElection();
+  return election;
+}
+
+Election::~Election() {
+  *alive_ = false;
+  if (sub_ != 0) {
+    bus_->Unsubscribe(sub_);
+  }
+}
+
+void Election::StartElection() {
+  if (electing_) {
+    return;
+  }
+  electing_ = true;
+  highest_seen_ = 0;
+  Message m;
+  m.subject = Subject();
+  m.type_name = kCandidacyType;
+  m.payload = IdPayload(member_id_);
+  bus_->Publish(std::move(m));
+  bus_->sim()->ScheduleAfter(config_.candidacy_window_us, [this, alive = alive_]() {
+    if (!*alive) {
+      return;
+    }
+    electing_ = false;
+    if (highest_seen_ <= member_id_) {
+      BecomeLeader();
+    } else {
+      // A rival with a higher id is out there; wait for its heartbeats.
+      leader_id_ = highest_seen_;
+      last_leader_heartbeat_ = bus_->sim()->Now();
+      WatchLeader();
+    }
+  });
+}
+
+void Election::HandleMessage(const Message& m) {
+  uint64_t id = ReadId(m.payload);
+  if (id == 0 || id == member_id_) {
+    return;  // our own publication looped back
+  }
+  if (m.type_name == kCandidacyType) {
+    highest_seen_ = std::max(highest_seen_, id);
+    if (is_leader_) {
+      if (id > member_id_) {
+        StepDown(id);
+      } else {
+        SendHeartbeat();  // a lower-id candidate joined: assert leadership promptly
+      }
+    } else if (!electing_ && id > std::max(leader_id_, member_id_)) {
+      leader_id_ = id;  // a stronger member joined
+      last_leader_heartbeat_ = bus_->sim()->Now();
+      WatchLeader();
+    }
+    return;
+  }
+  if (m.type_name == kHeartbeatType) {
+    if (id > member_id_) {
+      if (is_leader_) {
+        StepDown(id);  // e.g. a healed partition reveals a higher leader
+      }
+      leader_id_ = id;
+      last_leader_heartbeat_ = bus_->sim()->Now();
+    } else if (is_leader_ && id < member_id_) {
+      SendHeartbeat();  // the weaker leader will observe us and step down
+    }
+  }
+}
+
+void Election::BecomeLeader() {
+  if (is_leader_) {
+    return;
+  }
+  is_leader_ = true;
+  leader_id_ = member_id_;
+  SendHeartbeat();
+  if (on_change_) {
+    on_change_(true);
+  }
+}
+
+void Election::StepDown(uint64_t new_leader) {
+  if (!is_leader_) {
+    return;
+  }
+  is_leader_ = false;
+  leader_id_ = new_leader;
+  last_leader_heartbeat_ = bus_->sim()->Now();
+  WatchLeader();
+  if (on_change_) {
+    on_change_(false);
+  }
+}
+
+void Election::SendHeartbeat() {
+  Message m;
+  m.subject = Subject();
+  m.type_name = kHeartbeatType;
+  m.payload = IdPayload(member_id_);
+  bus_->Publish(std::move(m));
+  bus_->sim()->ScheduleAfter(config_.heartbeat_interval_us, [this, alive = alive_]() {
+    if (*alive && is_leader_) {
+      SendHeartbeat();
+    }
+  });
+}
+
+void Election::WatchLeader() {
+  bus_->sim()->ScheduleAfter(config_.leader_timeout_us, [this, alive = alive_]() {
+    if (!*alive || is_leader_ || electing_) {
+      return;
+    }
+    if (bus_->sim()->Now() - last_leader_heartbeat_ >= config_.leader_timeout_us) {
+      StartElection();  // the leader went silent
+    } else {
+      WatchLeader();
+    }
+  });
+}
+
+}  // namespace ibus

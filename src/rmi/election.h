@@ -1,0 +1,81 @@
+// Leader election over publish/subscribe, for fault-tolerant server groups. The paper
+// (§3.3): "More than one server can respond to requests on a subject. Several server
+// objects can be used to provide load balancing or fault-tolerance ... The servers can
+// decide among themselves which one will respond to a request from the client."
+//
+// This is the "decide among themselves" policy: members of a group run a bully-style
+// election on a control subject ("_ibus.elect.<group>"); the member with the highest
+// id leads and heartbeats; when its heartbeats stop (crash, partition), the remaining
+// members elect a successor. An RmiServer gated on election answers discovery only
+// while leading, so clients always reach exactly one (live) primary — and fail over
+// transparently, by subject alone (P4).
+#ifndef SRC_RMI_ELECTION_H_
+#define SRC_RMI_ELECTION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/bus/client.h"
+
+namespace ibus {
+
+struct ElectionConfig {
+  SimTime candidacy_window_us = 50 * 1000;   // collect rival candidacies this long
+  SimTime heartbeat_interval_us = 100 * 1000;
+  SimTime leader_timeout_us = 350 * 1000;    // silence after which the leader is dead
+};
+
+class Election {
+ public:
+  // `on_change` fires with true when this member becomes leader and false when it
+  // loses leadership (a higher id appeared, e.g. after a partition heals).
+  using LeadershipFn = std::function<void(bool is_leader)>;
+
+  static Result<std::unique_ptr<Election>> Join(BusClient* bus, const std::string& group,
+                                                uint64_t member_id, LeadershipFn on_change,
+                                                const ElectionConfig& config = {});
+  ~Election();
+  Election(const Election&) = delete;
+  Election& operator=(const Election&) = delete;
+
+  bool is_leader() const { return is_leader_; }
+  uint64_t leader_id() const { return leader_id_; }
+  uint64_t member_id() const { return member_id_; }
+
+ private:
+  Election(BusClient* bus, std::string group, uint64_t member_id, LeadershipFn on_change,
+           const ElectionConfig& config)
+      : bus_(bus),
+        group_(std::move(group)),
+        member_id_(member_id),
+        on_change_(std::move(on_change)),
+        config_(config),
+        alive_(std::make_shared<bool>(true)) {}
+
+  std::string Subject() const { return "_ibus.elect." + group_; }
+  void StartElection();
+  void HandleMessage(const Message& m);
+  void BecomeLeader();
+  void StepDown(uint64_t new_leader);
+  void SendHeartbeat();
+  void WatchLeader();
+
+  BusClient* bus_;
+  std::string group_;
+  uint64_t member_id_;
+  LeadershipFn on_change_;
+  ElectionConfig config_;
+
+  uint64_t sub_ = 0;
+  bool is_leader_ = false;
+  bool electing_ = false;
+  uint64_t highest_seen_ = 0;   // highest rival candidacy during the window
+  uint64_t leader_id_ = 0;
+  SimTime last_leader_heartbeat_ = 0;
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace ibus
+
+#endif  // SRC_RMI_ELECTION_H_

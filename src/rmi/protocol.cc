@@ -1,0 +1,110 @@
+#include "src/rmi/protocol.h"
+
+#include "src/types/codec.h"
+#include "src/wire/wire.h"
+
+namespace ibus {
+
+Bytes RmiAdvert::Marshal() const {
+  WireWriter w;
+  w.PutString(server_name);
+  w.PutString(subject);
+  w.PutU32(host);
+  w.PutU16(port);
+  w.PutU64(load);
+  interface.ToWire(&w);
+  return w.Take();
+}
+
+Result<RmiAdvert> RmiAdvert::Unmarshal(const Bytes& b) {
+  WireReader r(b);
+  RmiAdvert a;
+  auto name = r.ReadString();
+  auto subject = r.ReadString();
+  auto host = r.ReadU32();
+  auto port = r.ReadU16();
+  auto load = r.ReadU64();
+  if (!name.ok() || !subject.ok() || !host.ok() || !port.ok() || !load.ok()) {
+    return DataLoss("rmi advert: truncated");
+  }
+  a.server_name = name.take();
+  a.subject = subject.take();
+  a.host = *host;
+  a.port = *port;
+  a.load = *load;
+  auto iface = TypeDescriptor::FromWire(&r);
+  if (!iface.ok()) {
+    return iface.status();
+  }
+  a.interface = iface.take();
+  return a;
+}
+
+Bytes RmiRequest::Marshal() const {
+  WireWriter w;
+  w.PutU64(request_id);
+  w.PutU8(static_cast<uint8_t>(call));
+  w.PutString(operation);
+  w.PutVarint(args.size());
+  for (const Value& v : args) {
+    MarshalValue(v, &w);
+  }
+  return w.Take();
+}
+
+Result<RmiRequest> RmiRequest::Unmarshal(const Bytes& b) {
+  WireReader r(b);
+  RmiRequest req;
+  auto id = r.ReadU64();
+  auto call = r.ReadU8();
+  auto op = r.ReadString();
+  auto argc = r.ReadVarint();
+  if (!id.ok() || !call.ok() || !op.ok() || !argc.ok()) {
+    return DataLoss("rmi request: truncated");
+  }
+  req.request_id = *id;
+  req.call = static_cast<RmiCall>(*call);
+  req.operation = op.take();
+  if (*argc > r.remaining()) {
+    return DataLoss("rmi request: implausible arg count");
+  }
+  for (uint64_t i = 0; i < *argc; ++i) {
+    auto v = UnmarshalValue(&r);
+    if (!v.ok()) {
+      return v.status();
+    }
+    req.args.push_back(v.take());
+  }
+  return req;
+}
+
+Bytes RmiReply::Marshal() const {
+  WireWriter w;
+  w.PutU64(request_id);
+  w.PutU8(static_cast<uint8_t>(code));
+  w.PutString(error_message);
+  MarshalValue(result, &w);
+  return w.Take();
+}
+
+Result<RmiReply> RmiReply::Unmarshal(const Bytes& b) {
+  WireReader r(b);
+  RmiReply rep;
+  auto id = r.ReadU64();
+  auto code = r.ReadU8();
+  auto msg = r.ReadString();
+  if (!id.ok() || !code.ok() || !msg.ok()) {
+    return DataLoss("rmi reply: truncated");
+  }
+  rep.request_id = *id;
+  rep.code = static_cast<StatusCode>(*code);
+  rep.error_message = msg.take();
+  auto v = UnmarshalValue(&r);
+  if (!v.ok()) {
+    return v.status();
+  }
+  rep.result = v.take();
+  return rep;
+}
+
+}  // namespace ibus

@@ -1,0 +1,88 @@
+// RMI server (paper §3.3): "Servers are named with subjects." The server answers
+// discovery queries on its subject with a point-to-point address and current load,
+// then serves request/reply traffic over accepted connections. Several servers may
+// share a subject for load balancing or fault tolerance; selection is the client's
+// policy.
+#ifndef SRC_RMI_SERVER_H_
+#define SRC_RMI_SERVER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/bus/client.h"
+#include "src/bus/discovery.h"
+#include "src/rmi/protocol.h"
+#include "src/rmi/service.h"
+
+namespace ibus {
+
+struct RmiServerConfig {
+  // Listening port for point-to-point traffic; 0 picks 9000 + a per-host counter.
+  Port listen_port = 0;
+  // Simulated execution time charged per invocation before the reply is sent.
+  SimTime service_time_us = 200;
+  // Also answer discovery queries on the bus-wide directory subject, so generic tools
+  // (application builder, monitors) can enumerate available services (paper §5.1).
+  bool advertise_in_directory = true;
+};
+
+// Directory subject every advertising RmiServer responds on.
+inline constexpr char kServiceDirectorySubject[] = "_svc.directory";
+
+struct RmiServerStats {
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  uint64_t connections_accepted = 0;
+};
+
+class RmiServer {
+ public:
+  static Result<std::unique_ptr<RmiServer>> Create(BusClient* bus, const std::string& subject,
+                                                   std::shared_ptr<ServiceObject> service,
+                                                   const RmiServerConfig& config = {});
+  ~RmiServer() = default;
+  RmiServer(const RmiServer&) = delete;
+  RmiServer& operator=(const RmiServer&) = delete;
+
+  const std::string& subject() const { return subject_; }
+  Port port() const { return listener_->port(); }
+  uint64_t load() const { return in_flight_; }
+  const RmiServerStats& stats() const { return stats_; }
+
+  // Gates discovery responses. A server in a fault-tolerant group answers only while
+  // it holds leadership (see rmi/election.h); accepted connections keep working either
+  // way, so a demoted primary drains its outstanding requests.
+  void set_answering(bool answering) { answering_ = answering; }
+  bool answering() const { return answering_; }
+
+ private:
+  RmiServer(BusClient* bus, std::string subject, std::shared_ptr<ServiceObject> service,
+            const RmiServerConfig& config)
+      : bus_(bus),
+        subject_(std::move(subject)),
+        service_(std::move(service)),
+        config_(config),
+        alive_(std::make_shared<bool>(true)) {}
+
+  void Accept(ConnectionPtr conn);
+  void HandleRequest(const ConnectionPtr& conn, const Bytes& bytes);
+
+  BusClient* bus_;
+  std::string subject_;
+  std::shared_ptr<ServiceObject> service_;
+  RmiServerConfig config_;
+  std::unique_ptr<Listener> listener_;
+  std::unique_ptr<DiscoveryResponder> responder_;
+  std::unique_ptr<DiscoveryResponder> directory_responder_;
+  std::vector<ConnectionPtr> connections_;
+  bool answering_ = true;
+  uint64_t in_flight_ = 0;
+  RmiServerStats stats_;
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace ibus
+
+#endif  // SRC_RMI_SERVER_H_

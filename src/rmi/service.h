@@ -1,0 +1,67 @@
+// Service objects (paper §3): large-grained objects that encapsulate resources and are
+// invoked where they reside via remote method invocation. Every service is
+// self-describing — it exposes a TypeDescriptor listing its operations, which lets
+// generic tools (the application builder, the News Monitor's service menus) construct
+// interactions with services they have never been compiled against.
+#ifndef SRC_RMI_SERVICE_H_
+#define SRC_RMI_SERVICE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/types/type_descriptor.h"
+#include "src/types/value.h"
+
+namespace ibus {
+
+class ServiceObject {
+ public:
+  virtual ~ServiceObject() = default;
+
+  // The meta-object protocol for services: name, operations, signatures.
+  virtual const TypeDescriptor& interface() const = 0;
+
+  // Executes an operation. Argument count/kinds are the callee's responsibility to
+  // validate (the dispatcher checks the operation exists).
+  virtual Result<Value> Invoke(const std::string& operation,
+                               const std::vector<Value>& args) = 0;
+};
+
+// A service assembled at run-time from individual operation handlers; the common way
+// to implement services in this library (and the only way from TDL).
+class DynamicService : public ServiceObject {
+ public:
+  using OperationFn = std::function<Result<Value>(const std::vector<Value>& args)>;
+
+  explicit DynamicService(std::string type_name, std::string supertype = "object")
+      : interface_(std::move(type_name), std::move(supertype)) {}
+
+  // Registers an operation with its signature and implementation.
+  DynamicService& AddOperation(OperationDef def, OperationFn fn) {
+    handlers_[def.name] = std::move(fn);
+    interface_.AddOperation(std::move(def));
+    return *this;
+  }
+
+  const TypeDescriptor& interface() const override { return interface_; }
+
+  Result<Value> Invoke(const std::string& operation, const std::vector<Value>& args) override {
+    auto it = handlers_.find(operation);
+    if (it == handlers_.end()) {
+      return NotFound("service " + interface_.name() + ": no operation '" + operation + "'");
+    }
+    return it->second(args);
+  }
+
+ private:
+  TypeDescriptor interface_;
+  std::unordered_map<std::string, OperationFn> handlers_;
+};
+
+}  // namespace ibus
+
+#endif  // SRC_RMI_SERVICE_H_

@@ -1,0 +1,125 @@
+// Information routers (paper §3.1): "To the Information Bus, these routers look like
+// ordinary applications, but they actually integrate multiple instances of the bus.
+// Messages are received by one router using a subscription, transmitted to another
+// router, and then re-published on another bus. The router is intelligent about which
+// messages are sent to which routers: messages are only re-published on buses for
+// which there exists a subscription on that subject; the router can also perform
+// other functions, such as transforming subjects or logging messages to non-volatile
+// storage."
+//
+// Implementation: each InfoRouter is a bus client on its LAN, paired with a remote
+// peer over a point-to-point (WAN) connection. Routers learn their LAN's subscription
+// set from the daemons' control plane (kSubEventSubject events plus a kSubQuerySubject
+// sweep at startup), advertise it to the peer, and subscribe locally to whatever the
+// *peer's* LAN wants — so only traffic with a remote subscriber crosses the WAN.
+#ifndef SRC_ROUTER_ROUTER_H_
+#define SRC_ROUTER_ROUTER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/bus/client.h"
+#include "src/sim/stable_store.h"
+
+namespace ibus {
+
+// Prefix rewrite applied to subjects crossing this router outbound (paper:
+// "transforming subjects"). A subject "fab5.x" with {"fab5", "site2.fab5"} becomes
+// "site2.fab5.x".
+struct SubjectRewrite {
+  std::string from_prefix;
+  std::string to_prefix;
+};
+
+struct RouterConfig {
+  // Loop cap for multi-router topologies (rings).
+  uint8_t max_hops = 8;
+  // Outbound subject rewrites.
+  std::vector<SubjectRewrite> rewrites;
+  // Optional store-and-forward log: every forwarded message is appended before being
+  // sent over the WAN link.
+  StableStore* forward_log = nullptr;
+  // Don't forward bus-internal control subjects across the WAN.
+  bool forward_internal = false;
+  // Dial-side resilience: when the WAN link drops (or the first dial fails), retry
+  // this often. 0 disables redialing.
+  SimTime redial_interval_us = 2 * 1000 * 1000;
+};
+
+struct RouterStats {
+  uint64_t forwarded = 0;       // messages sent to the peer
+  uint64_t republished = 0;     // messages received from the peer and republished
+  uint64_t suppressed_loop = 0; // dropped by via/hop-cap checks
+  uint64_t adverts_sent = 0;
+  uint64_t remote_patterns = 0; // current count of peer-requested subscriptions
+};
+
+class InfoRouter {
+ public:
+  // Creates the listening half of a router pair on `bus`'s host.
+  static Result<std::unique_ptr<InfoRouter>> Listen(BusClient* bus, const std::string& name,
+                                                    Port port,
+                                                    const RouterConfig& config = {});
+  // Creates the connecting half; dials the peer at (peer_host, peer_port).
+  static Result<std::unique_ptr<InfoRouter>> Connect(BusClient* bus, const std::string& name,
+                                                     HostId peer_host, Port peer_port,
+                                                     const RouterConfig& config = {});
+  ~InfoRouter();
+  InfoRouter(const InfoRouter&) = delete;
+  InfoRouter& operator=(const InfoRouter&) = delete;
+
+  const std::string& name() const { return name_; }
+  bool linked() const { return link_ != nullptr && link_->open(); }
+  const RouterStats& stats() const { return stats_; }
+
+ private:
+  InfoRouter(BusClient* bus, std::string name, const RouterConfig& config);
+
+  Status Init();                      // control-plane subscriptions + startup sweep
+  void AttachLink(ConnectionPtr link);
+  void HandleLinkMessage(const Bytes& bytes);
+  void HandleLinkClosed();
+  void Dial();                        // connect-side: (re)establish the WAN link
+
+  // Local subscription tracking -> peer advertisement.
+  void NoteLocalPattern(const std::string& pattern, const std::string& owner, bool added);
+  void SendAdvert();
+
+  // Peer wants these patterns: mirror them as local subscriptions.
+  void ApplyPeerAdvert(const std::vector<std::string>& patterns);
+  void ForwardToPeer(const Message& m);
+  void RepublishFromPeer(Message m);
+  std::string RewriteSubject(const std::string& subject) const;
+  // Maps a peer-requested pattern (expressed in OUR outbound namespace) back to the
+  // local namespace, so the mirror subscription matches local traffic. The inverse of
+  // RewriteSubject on prefixes; patterns not under any rewritten prefix pass through.
+  std::string InverseRewritePattern(const std::string& pattern) const;
+
+  BusClient* bus_;
+  std::string name_;
+  RouterConfig config_;
+
+  std::unique_ptr<Listener> listener_;
+  ConnectionPtr link_;
+  bool advert_pending_ = false;
+  // Set on the dialing side; kNoHost on the listening side.
+  HostId peer_host_ = kNoHost;
+  Port peer_port_ = 0;
+  bool dialing_ = false;
+
+  // Patterns subscribed somewhere on the local LAN (by non-router clients) with a
+  // reference count across daemons.
+  std::map<std::string, int> local_patterns_;
+  // Patterns the peer asked for -> our local subscription id.
+  std::map<std::string, uint64_t> peer_subs_;
+  std::vector<uint64_t> control_subs_;
+  RouterStats stats_;
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace ibus
+
+#endif  // SRC_ROUTER_ROUTER_H_

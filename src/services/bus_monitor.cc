@@ -1,0 +1,134 @@
+#include "src/services/bus_monitor.h"
+
+#include <cstdio>
+
+#include "src/wire/wire.h"
+
+namespace ibus {
+
+namespace {
+constexpr char kStatsPrefix[] = "_ibus.stats.";
+}  // namespace
+
+Bytes DaemonStatsSnapshot::Marshal() const {
+  WireWriter w;
+  w.PutString(host_name);
+  w.PutI64(reported_at);
+  w.PutU64(publishes);
+  w.PutU64(dispatched);
+  w.PutU64(deliveries);
+  w.PutU64(subscriptions);
+  w.PutU64(wire_packets_sent);
+  w.PutU64(retransmits);
+  w.PutU64(receiver_gaps);
+  return w.Take();
+}
+
+Result<DaemonStatsSnapshot> DaemonStatsSnapshot::Unmarshal(const Bytes& b) {
+  WireReader r(b);
+  DaemonStatsSnapshot s;
+  auto host = r.ReadString();
+  auto at = r.ReadI64();
+  auto pubs = r.ReadU64();
+  auto dispatched = r.ReadU64();
+  auto deliveries = r.ReadU64();
+  auto subs = r.ReadU64();
+  auto packets = r.ReadU64();
+  auto retrans = r.ReadU64();
+  auto gaps = r.ReadU64();
+  if (!host.ok() || !at.ok() || !pubs.ok() || !dispatched.ok() || !deliveries.ok() ||
+      !subs.ok() || !packets.ok() || !retrans.ok() || !gaps.ok()) {
+    return DataLoss("stats snapshot: truncated");
+  }
+  s.host_name = host.take();
+  s.reported_at = *at;
+  s.publishes = *pubs;
+  s.dispatched = *dispatched;
+  s.deliveries = *deliveries;
+  s.subscriptions = *subs;
+  s.wire_packets_sent = *packets;
+  s.retransmits = *retrans;
+  s.receiver_gaps = *gaps;
+  return s;
+}
+
+Result<std::unique_ptr<StatsReporter>> StatsReporter::Create(BusClient* bus,
+                                                             const BusDaemon* daemon,
+                                                             SimTime interval_us) {
+  if (interval_us <= 0) {
+    return InvalidArgument("stats reporter: interval must be positive");
+  }
+  auto reporter =
+      std::unique_ptr<StatsReporter>(new StatsReporter(bus, daemon, interval_us));
+  reporter->PublishSnapshot();
+  return reporter;
+}
+
+StatsReporter::~StatsReporter() { *alive_ = false; }
+
+void StatsReporter::PublishSnapshot() {
+  DaemonStatsSnapshot s;
+  s.host_name = bus_->network()->HostName(bus_->host());
+  s.reported_at = bus_->sim()->Now();
+  s.publishes = daemon_->stats().publishes;
+  s.dispatched = daemon_->stats().dispatched_messages;
+  s.deliveries = daemon_->stats().deliveries;
+  s.subscriptions = daemon_->subscription_count();
+  s.wire_packets_sent = daemon_->sender_stats().packets_sent;
+  s.retransmits = daemon_->sender_stats().retransmits;
+  s.receiver_gaps = daemon_->receiver_stats().gaps;
+  Message m;
+  m.subject = kStatsPrefix + s.host_name;
+  m.type_name = "_ibus.stats";
+  m.payload = s.Marshal();
+  if (bus_->Publish(std::move(m)).ok()) {
+    reports_++;
+  }
+  bus_->sim()->ScheduleAfter(interval_us_, [this, alive = alive_]() {
+    if (*alive) {
+      PublishSnapshot();
+    }
+  });
+}
+
+Result<std::unique_ptr<StatsCollector>> StatsCollector::Create(BusClient* bus) {
+  auto collector = std::unique_ptr<StatsCollector>(new StatsCollector(bus));
+  auto sub = bus->Subscribe(std::string(kStatsPrefix) + ">",
+                            [c = collector.get()](const Message& m) {
+                              auto s = DaemonStatsSnapshot::Unmarshal(m.payload);
+                              if (s.ok()) {
+                                c->snapshots_[s->host_name] = s.take();
+                              }
+                            });
+  if (!sub.ok()) {
+    return sub.status();
+  }
+  collector->sub_ = *sub;
+  return collector;
+}
+
+StatsCollector::~StatsCollector() {
+  if (sub_ != 0) {
+    bus_->Unsubscribe(sub_);
+  }
+}
+
+std::string StatsCollector::RenderTable() const {
+  std::string out =
+      "host             pubs   disp  deliv   subs  wire-pkts  retrans  gaps\n";
+  char line[160];
+  for (const auto& [host, s] : snapshots_) {
+    std::snprintf(line, sizeof(line), "%-14s %6llu %6llu %6llu %6llu %10llu %8llu %5llu\n",
+                  host.c_str(), static_cast<unsigned long long>(s.publishes),
+                  static_cast<unsigned long long>(s.dispatched),
+                  static_cast<unsigned long long>(s.deliveries),
+                  static_cast<unsigned long long>(s.subscriptions),
+                  static_cast<unsigned long long>(s.wire_packets_sent),
+                  static_cast<unsigned long long>(s.retransmits),
+                  static_cast<unsigned long long>(s.receiver_gaps));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace ibus

@@ -1,0 +1,81 @@
+// Bus observability: each host runs a StatsReporter next to its daemon, periodically
+// publishing the daemon's counters on "_ibus.stats.<hostname>"; a StatsCollector
+// anywhere on the bus aggregates them into a live table. Operations staff in the
+// paper's installations watched exactly this kind of feed — and it is itself just
+// subject-based pub/sub (the bus monitoring the bus).
+#ifndef SRC_SERVICES_BUS_MONITOR_H_
+#define SRC_SERVICES_BUS_MONITOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/bus/client.h"
+
+namespace ibus {
+
+struct DaemonStatsSnapshot {
+  std::string host_name;
+  SimTime reported_at = 0;
+  uint64_t publishes = 0;
+  uint64_t dispatched = 0;
+  uint64_t deliveries = 0;
+  uint64_t subscriptions = 0;
+  uint64_t wire_packets_sent = 0;
+  uint64_t retransmits = 0;
+  uint64_t receiver_gaps = 0;
+
+  Bytes Marshal() const;
+  static Result<DaemonStatsSnapshot> Unmarshal(const Bytes& b);
+};
+
+class StatsReporter {
+ public:
+  static Result<std::unique_ptr<StatsReporter>> Create(BusClient* bus, const BusDaemon* daemon,
+                                                       SimTime interval_us = kSecond);
+  ~StatsReporter();
+  StatsReporter(const StatsReporter&) = delete;
+  StatsReporter& operator=(const StatsReporter&) = delete;
+
+  uint64_t reports_published() const { return reports_; }
+
+ private:
+  StatsReporter(BusClient* bus, const BusDaemon* daemon, SimTime interval_us)
+      : bus_(bus),
+        daemon_(daemon),
+        interval_us_(interval_us),
+        alive_(std::make_shared<bool>(true)) {}
+
+  void PublishSnapshot();
+
+  BusClient* bus_;
+  const BusDaemon* daemon_;
+  SimTime interval_us_;
+  uint64_t reports_ = 0;
+  std::shared_ptr<bool> alive_;
+};
+
+class StatsCollector {
+ public:
+  static Result<std::unique_ptr<StatsCollector>> Create(BusClient* bus);
+  ~StatsCollector();
+  StatsCollector(const StatsCollector&) = delete;
+  StatsCollector& operator=(const StatsCollector&) = delete;
+
+  // Latest snapshot per host name.
+  const std::map<std::string, DaemonStatsSnapshot>& snapshots() const { return snapshots_; }
+
+  // A fleet-health table for operator consoles.
+  std::string RenderTable() const;
+
+ private:
+  explicit StatsCollector(BusClient* bus) : bus_(bus) {}
+
+  BusClient* bus_;
+  uint64_t sub_ = 0;
+  std::map<std::string, DaemonStatsSnapshot> snapshots_;
+};
+
+}  // namespace ibus
+
+#endif  // SRC_SERVICES_BUS_MONITOR_H_

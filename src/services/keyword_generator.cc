@@ -1,0 +1,137 @@
+#include "src/services/keyword_generator.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace ibus {
+
+namespace {
+
+std::string Lowered(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+}  // namespace
+
+std::string StoryRef(const DataObject& story) {
+  // Keyed by concrete type + serial: vendors number their wires independently.
+  return story.type_name() + ":" + std::to_string(story.Get("serial").NumberAsI64());
+}
+
+Result<std::unique_ptr<KeywordGenerator>> KeywordGenerator::Create(
+    BusClient* bus, TypeRegistry* registry, const std::string& pattern,
+    std::map<std::string, std::vector<std::string>> categories) {
+  auto gen = std::unique_ptr<KeywordGenerator>(
+      new KeywordGenerator(bus, registry, std::move(categories)));
+
+  auto sub = bus->SubscribeObjects(
+      pattern, [g = gen.get()](const Message& m, const DataObjectPtr& obj) {
+        // Skip non-objects and our own Property publications (they arrive on the same
+        // subjects we subscribe to).
+        if (obj == nullptr || obj->type_name() == "property") {
+          return;
+        }
+        g->HandleStory(m, obj);
+      });
+  if (!sub.ok()) {
+    return sub.status();
+  }
+  gen->sub_ = *sub;
+
+  // Interactive browse interface as a self-describing service.
+  auto service = std::make_shared<DynamicService>("keyword_service");
+  OperationDef cats;
+  cats.name = "categories";
+  cats.result_type = "list";
+  service->AddOperation(cats, [g = gen.get()](const std::vector<Value>&) -> Result<Value> {
+    Value::List out;
+    for (const auto& [name, words] : g->categories_) {
+      out.push_back(Value(name));
+    }
+    return Value(std::move(out));
+  });
+  OperationDef words;
+  words.name = "keywords";
+  words.result_type = "list";
+  words.params = {ParamDef{"category", "string"}};
+  service->AddOperation(words, [g = gen.get()](const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 1 || !args[0].is_string()) {
+      return InvalidArgument("keywords(category)");
+    }
+    auto it = g->categories_.find(args[0].AsString());
+    if (it == g->categories_.end()) {
+      return NotFound("no category '" + args[0].AsString() + "'");
+    }
+    Value::List out;
+    for (const std::string& w : it->second) {
+      out.push_back(Value(w));
+    }
+    return Value(std::move(out));
+  });
+  OperationDef add;
+  add.name = "add_keyword";
+  add.result_type = "bool";
+  add.params = {ParamDef{"category", "string"}, ParamDef{"word", "string"}};
+  service->AddOperation(add, [g = gen.get()](const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 2 || !args[0].is_string() || !args[1].is_string()) {
+      return InvalidArgument("add_keyword(category, word)");
+    }
+    g->categories_[args[0].AsString()].push_back(args[1].AsString());
+    return Value(true);
+  });
+  auto rmi = RmiServer::Create(bus, "svc.keywords", service);
+  if (!rmi.ok()) {
+    return rmi.status();
+  }
+  gen->rmi_ = rmi.take();
+  return gen;
+}
+
+KeywordGenerator::~KeywordGenerator() {
+  if (sub_ != 0) {
+    bus_->Unsubscribe(sub_);
+  }
+}
+
+std::vector<std::string> KeywordGenerator::ExtractKeywords(const DataObject& story) const {
+  std::string text = Lowered(story.Get("headline").is_string() ? story.Get("headline").AsString()
+                                                               : "");
+  text += ' ';
+  text += Lowered(story.Get("body").is_string() ? story.Get("body").AsString() : "");
+  std::vector<std::string> found;
+  for (const auto& [category, words] : categories_) {
+    for (const std::string& word : words) {
+      if (text.find(Lowered(word)) != std::string::npos) {
+        found.push_back(word);
+      }
+    }
+  }
+  return found;
+}
+
+void KeywordGenerator::HandleStory(const Message& m, const DataObjectPtr& story) {
+  stats_.stories_scanned++;
+  std::vector<std::string> keywords = ExtractKeywords(*story);
+  if (keywords.empty()) {
+    return;
+  }
+  auto prop = registry_->NewInstance("property");
+  if (!prop.ok()) {
+    return;
+  }
+  (*prop)->Set("object_ref", Value(StoryRef(*story))).ok();
+  (*prop)->Set("name", Value(std::string("keywords"))).ok();
+  Value::List list;
+  for (const std::string& k : keywords) {
+    list.push_back(Value(k));
+  }
+  (*prop)->Set("value", Value(std::move(list))).ok();
+  if (bus_->PublishObject(m.subject, **prop).ok()) {
+    stats_.properties_published++;
+  }
+}
+
+}  // namespace ibus

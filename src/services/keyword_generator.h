@@ -1,0 +1,66 @@
+// Keyword Generator (paper §5.2, Figure 4): "subscribes to stories on major subjects
+// and searches the text of each story for 'keywords' that have been designated under
+// several major 'categories'. For each Story object, a list of keywords is
+// constructed as a named Property object of the Story object and published under the
+// same subject. It also supports an interactive interface that allows clients to
+// browse categories and associated keywords."
+//
+// Because the Property objects appear on the very subjects consumers already watch,
+// every existing subscriber (e.g. the News Monitor) starts receiving the enrichment
+// the moment this service comes on-line — no reconfiguration anywhere (P4).
+#ifndef SRC_SERVICES_KEYWORD_GENERATOR_H_
+#define SRC_SERVICES_KEYWORD_GENERATOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bus/client.h"
+#include "src/rmi/server.h"
+#include "src/types/registry.h"
+
+namespace ibus {
+
+// Stable reference to a story used in Property object_refs: "story:<serial>".
+std::string StoryRef(const DataObject& story);
+
+struct KeywordGeneratorStats {
+  uint64_t stories_scanned = 0;
+  uint64_t properties_published = 0;
+};
+
+class KeywordGenerator {
+ public:
+  // `categories` maps a category name to the keywords designated under it.
+  static Result<std::unique_ptr<KeywordGenerator>> Create(
+      BusClient* bus, TypeRegistry* registry, const std::string& pattern,
+      std::map<std::string, std::vector<std::string>> categories);
+  ~KeywordGenerator();
+  KeywordGenerator(const KeywordGenerator&) = delete;
+  KeywordGenerator& operator=(const KeywordGenerator&) = delete;
+
+  // Pure matching logic (exposed for tests): keywords found in the story text,
+  // grouped in designation order.
+  std::vector<std::string> ExtractKeywords(const DataObject& story) const;
+
+  const KeywordGeneratorStats& stats() const { return stats_; }
+
+ private:
+  KeywordGenerator(BusClient* bus, TypeRegistry* registry,
+                   std::map<std::string, std::vector<std::string>> categories)
+      : bus_(bus), registry_(registry), categories_(std::move(categories)) {}
+
+  void HandleStory(const Message& m, const DataObjectPtr& story);
+
+  BusClient* bus_;
+  TypeRegistry* registry_;
+  std::map<std::string, std::vector<std::string>> categories_;
+  uint64_t sub_ = 0;
+  std::unique_ptr<RmiServer> rmi_;  // the interactive browse interface
+  KeywordGeneratorStats stats_;
+};
+
+}  // namespace ibus
+
+#endif  // SRC_SERVICES_KEYWORD_GENERATOR_H_

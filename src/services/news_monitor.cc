@@ -1,0 +1,130 @@
+#include "src/services/news_monitor.h"
+
+#include "src/services/keyword_generator.h"
+#include "src/types/printer.h"
+
+namespace ibus {
+
+Result<std::unique_ptr<NewsMonitor>> NewsMonitor::Create(
+    BusClient* bus, TypeRegistry* registry, const std::vector<std::string>& patterns,
+    ViewDef view) {
+  auto monitor = std::unique_ptr<NewsMonitor>(new NewsMonitor(bus, registry, std::move(view)));
+  for (const std::string& pattern : patterns) {
+    auto sub = bus->SubscribeObjects(
+        pattern, [m = monitor.get()](const Message& msg, const DataObjectPtr& obj) {
+          if (obj != nullptr) {
+            m->HandleObject(msg, obj);
+          }
+        });
+    if (!sub.ok()) {
+      return sub.status();
+    }
+    monitor->subs_.push_back(*sub);
+  }
+  return monitor;
+}
+
+NewsMonitor::~NewsMonitor() {
+  for (uint64_t sub : subs_) {
+    bus_->Unsubscribe(sub);
+  }
+}
+
+void NewsMonitor::HandleObject(const Message& m, const DataObjectPtr& obj) {
+  if (obj->type_name() == "property") {
+    // §5.2: "configured to accept Property objects, to associate them with the
+    // objects they reference, and to display them along with the attributes".
+    const Value& ref = obj->Get("object_ref");
+    const Value& name = obj->Get("name");
+    if (!ref.is_string() || !name.is_string()) {
+      return;
+    }
+    auto it = stories_.find(ref.AsString());
+    if (it != stories_.end()) {
+      it->second->SetProperty(name.AsString(), obj->Get("value"));
+    } else {
+      orphan_properties_.emplace(ref.AsString(), obj);
+    }
+    return;
+  }
+  // Anything with a serial is treated as a story-like object; the monitor does not
+  // hard-code the concrete subtype (new vendor subtypes display immediately, P2).
+  if (obj->Get("serial").is_null()) {
+    return;
+  }
+  std::string ref = StoryRef(*obj);
+  if (stories_.emplace(ref, obj).second) {
+    order_.push_back(ref);
+  } else {
+    stories_[ref] = obj;
+  }
+  // Attach any properties that arrived first.
+  auto range = orphan_properties_.equal_range(ref);
+  for (auto it = range.first; it != range.second; ++it) {
+    obj->SetProperty(it->second->Get("name").AsString(), it->second->Get("value"));
+  }
+  orphan_properties_.erase(range.first, range.second);
+}
+
+namespace {
+
+std::string Cell(const Value& v, size_t width) {
+  std::string s;
+  if (v.is_string()) {
+    s = v.AsString();
+  } else if (!v.is_null()) {
+    s = v.ToString();
+  }
+  if (s.size() > width) {
+    s = s.substr(0, width - 1) + "~";
+  }
+  s.resize(width, ' ');
+  return s;
+}
+
+}  // namespace
+
+std::string NewsMonitor::RenderSummary() const {
+  std::string out = "=== " + view_.name + " ===\n";
+  out += Cell(Value(std::string("ref")), 12);
+  for (const std::string& col : view_.columns) {
+    out += " | " + Cell(Value(col), view_.column_width);
+  }
+  out += "\n";
+  for (const std::string& ref : order_) {
+    const DataObjectPtr& story = stories_.at(ref);
+    out += Cell(Value(ref), 12);
+    for (const std::string& col : view_.columns) {
+      out += " | " + Cell(story->Get(col), view_.column_width);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<std::string> NewsMonitor::RenderStory(const std::string& ref) const {
+  auto it = stories_.find(ref);
+  if (it == stories_.end()) {
+    return NotFound("news monitor: no story '" + ref + "'");
+  }
+  PrintOptions opt;
+  opt.registry = registry_;
+  return PrintObject(*it->second, opt);
+}
+
+size_t NewsMonitor::annotated_count() const {
+  size_t n = 0;
+  for (const auto& [ref, story] : stories_) {
+    if (!story->properties().empty()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+DataObjectPtr NewsMonitor::story(const std::string& ref) const {
+  auto it = stories_.find(ref);
+  return it == stories_.end() ? nullptr : it->second;
+}
+
+}  // namespace ibus

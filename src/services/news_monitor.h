@@ -1,0 +1,71 @@
+// News Monitor (paper §5): "subscribes to and displays all stories of interest to its
+// user. Incoming stories are first displayed in a 'headline summary list.' This list
+// format is defined by a 'view' that specifies a set of named attributes from incoming
+// objects and formatting information. When the user selects a story in the summary
+// list, the entire story is displayed" — via the object's metadata (P2). Property
+// objects arriving on the same subjects are associated with the stories they
+// reference and displayed alongside the attributes (§5.2).
+//
+// Headless by design: rendering produces text, which tests assert against and the
+// examples print.
+#ifndef SRC_SERVICES_NEWS_MONITOR_H_
+#define SRC_SERVICES_NEWS_MONITOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bus/client.h"
+#include "src/types/registry.h"
+
+namespace ibus {
+
+// "This list format is defined by a 'view' that specifies a set of named attributes
+// from incoming objects and formatting information."
+struct ViewDef {
+  std::string name;
+  std::vector<std::string> columns;  // attribute names to show in the summary list
+  size_t column_width = 24;
+};
+
+class NewsMonitor {
+ public:
+  static Result<std::unique_ptr<NewsMonitor>> Create(BusClient* bus, TypeRegistry* registry,
+                                                     const std::vector<std::string>& patterns,
+                                                     ViewDef view);
+  ~NewsMonitor();
+  NewsMonitor(const NewsMonitor&) = delete;
+  NewsMonitor& operator=(const NewsMonitor&) = delete;
+
+  // The headline summary list: one row per story, columns per the view.
+  std::string RenderSummary() const;
+
+  // Full display of one story (by ref, e.g. "story:17"): every attribute plus any
+  // associated properties, via the metadata-driven printer.
+  Result<std::string> RenderStory(const std::string& ref) const;
+
+  size_t story_count() const { return order_.size(); }
+  // Number of stories that have at least one associated property.
+  size_t annotated_count() const;
+  DataObjectPtr story(const std::string& ref) const;
+
+ private:
+  NewsMonitor(BusClient* bus, TypeRegistry* registry, ViewDef view)
+      : bus_(bus), registry_(registry), view_(std::move(view)) {}
+
+  void HandleObject(const Message& m, const DataObjectPtr& obj);
+
+  BusClient* bus_;
+  TypeRegistry* registry_;
+  ViewDef view_;
+  std::vector<uint64_t> subs_;
+  std::map<std::string, DataObjectPtr> stories_;  // ref -> story
+  std::vector<std::string> order_;                // arrival order of refs
+  // Properties that arrived before their story (associated on arrival).
+  std::multimap<std::string, DataObjectPtr> orphan_properties_;
+};
+
+}  // namespace ibus
+
+#endif  // SRC_SERVICES_NEWS_MONITOR_H_

@@ -1,0 +1,154 @@
+#include "src/services/type_gossip.h"
+
+#include "src/wire/wire.h"
+
+namespace ibus {
+
+namespace {
+
+bool IsBuiltin(const std::string& name) { return name == kRootTypeName || name == "property"; }
+
+// Marshals the descriptor chain for `name`, supertype-first (so a learner can define
+// them in order), excluding builtins every registry already has.
+Bytes MarshalChain(const TypeRegistry& registry, const std::string& name) {
+  std::vector<const TypeDescriptor*> chain;
+  std::string cur = name;
+  while (!cur.empty() && !IsBuiltin(cur)) {
+    const TypeDescriptor* d = registry.Find(cur);
+    if (d == nullptr) {
+      break;
+    }
+    chain.push_back(d);
+    cur = d->supertype();
+  }
+  WireWriter w;
+  w.PutVarint(chain.size());
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    (*it)->ToWire(&w);
+  }
+  return w.Take();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TypeGossip>> TypeGossip::Create(BusClient* bus, TypeRegistry* registry) {
+  auto gossip = std::unique_ptr<TypeGossip>(new TypeGossip(bus, registry));
+
+  // Learn every announcement heard on the bus.
+  auto sub = bus->Subscribe(kTypeAnnounceSubject, [g = gossip.get()](const Message& m) {
+    g->LearnChain(m.payload);
+  });
+  if (!sub.ok()) {
+    return sub.status();
+  }
+  gossip->announce_sub_ = *sub;
+
+  // Answer on-demand queries for types we know.
+  auto responder = DiscoveryResponder::Create(
+      bus, kTypeQuerySubject, [g = gossip.get()](const Message& query) {
+        std::string wanted = ToString(query.payload);
+        if (!g->registry_->Has(wanted)) {
+          return Bytes();  // empty answer = "don't know"
+        }
+        g->stats_.answered++;
+        return MarshalChain(*g->registry_, wanted);
+      });
+  if (!responder.ok()) {
+    return responder.status();
+  }
+  gossip->query_responder_ = responder.take();
+
+  // Announce everything defined locally from now on.
+  registry->AddDefineObserver([g = gossip.get(), alive = gossip->alive_](
+                                  const TypeDescriptor& desc) {
+    if (*alive && !g->announcing_) {
+      g->Announce(desc);
+    }
+  });
+  return gossip;
+}
+
+TypeGossip::~TypeGossip() {
+  *alive_ = false;
+  if (announce_sub_ != 0) {
+    bus_->Unsubscribe(announce_sub_);
+  }
+}
+
+void TypeGossip::Announce(const TypeDescriptor& desc) {
+  if (IsBuiltin(desc.name())) {
+    return;
+  }
+  Message m;
+  m.subject = kTypeAnnounceSubject;
+  m.type_name = "_type.announce";
+  m.payload = MarshalChain(*registry_, desc.name());
+  if (bus_->Publish(std::move(m)).ok()) {
+    stats_.announced++;
+  }
+}
+
+Status TypeGossip::AnnounceAll() {
+  for (const std::string& name : registry_->TypeNames()) {
+    if (!IsBuiltin(name)) {
+      Announce(*registry_->Find(name));
+    }
+  }
+  return OkStatus();
+}
+
+Status TypeGossip::LearnChain(const Bytes& payload) {
+  WireReader r(payload);
+  auto count = r.ReadVarint();
+  if (!count.ok()) {
+    return count.status();
+  }
+  announcing_ = true;  // learned types must not echo back as announcements
+  Status last;
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto desc = TypeDescriptor::FromWire(&r);
+    if (!desc.ok()) {
+      announcing_ = false;
+      return desc.status();
+    }
+    bool fresh = !registry_->Has(desc->name());
+    Status s = registry_->Define(*desc);
+    if (s.ok() && fresh) {
+      stats_.learned++;
+    }
+    if (!s.ok() && s.code() != StatusCode::kAlreadyExists) {
+      last = s;
+    }
+  }
+  announcing_ = false;
+  return last;
+}
+
+void TypeGossip::Resolve(const std::string& type_name, SimTime timeout_us,
+                         std::function<void(Status)> done) {
+  if (registry_->Has(type_name)) {
+    done(OkStatus());
+    return;
+  }
+  Status s = DiscoveryQuery::Run(
+      bus_, kTypeQuerySubject, timeout_us,
+      [this, type_name, done = std::move(done), alive = alive_](std::vector<Message> answers) {
+        if (!*alive) {
+          return;
+        }
+        for (const Message& m : answers) {
+          if (!m.payload.empty() && LearnChain(m.payload).ok() &&
+              registry_->Has(type_name)) {
+            done(OkStatus());
+            return;
+          }
+        }
+        done(NotFound("type '" + type_name + "' unknown on the bus"));
+      },
+      ToBytes(type_name));
+  if (!s.ok()) {
+    done(s);
+  }
+}
+
+}  // namespace ibus

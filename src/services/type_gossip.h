@@ -1,0 +1,72 @@
+// TypeGossip: the meta-object protocol over the wire. Data objects travel
+// self-describing at the structural level (attribute names + kind tags), but the full
+// TypeDescriptor — supertype links and operation signatures — lives in each process's
+// TypeRegistry. TypeGossip keeps registries converging across the bus:
+//
+//  * every new local definition is announced on "_ibus.types.announce" and learned by
+//    every other gossip instance (P3 propagates without coordination);
+//  * Resolve(name) fetches a descriptor on demand via the standard discovery exchange
+//    on "_ibus.types.query" (P4: whoever knows the type answers).
+//
+// This is what lets a receiver that got an instance of a brand-new subtype also learn
+// its place in the hierarchy and its operations — e.g. the News Monitor popping up
+// menus for a service type it has never seen (paper §5.2).
+#ifndef SRC_SERVICES_TYPE_GOSSIP_H_
+#define SRC_SERVICES_TYPE_GOSSIP_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/bus/client.h"
+#include "src/bus/discovery.h"
+#include "src/types/registry.h"
+
+namespace ibus {
+
+inline constexpr char kTypeAnnounceSubject[] = "_ibus.types.announce";
+inline constexpr char kTypeQuerySubject[] = "_ibus.types.query";
+
+struct TypeGossipStats {
+  uint64_t announced = 0;
+  uint64_t learned = 0;
+  uint64_t answered = 0;
+};
+
+class TypeGossip {
+ public:
+  static Result<std::unique_ptr<TypeGossip>> Create(BusClient* bus, TypeRegistry* registry);
+  ~TypeGossip();
+  TypeGossip(const TypeGossip&) = delete;
+  TypeGossip& operator=(const TypeGossip&) = delete;
+
+  // Announces every currently registered (non-builtin) type; future definitions are
+  // announced automatically via the registry observer.
+  Status AnnounceAll();
+
+  // Ensures `type_name` is registered locally, asking the bus if necessary. The
+  // callback receives OK once the type (and, transitively, its supertypes) is known.
+  void Resolve(const std::string& type_name, SimTime timeout_us,
+               std::function<void(Status)> done);
+
+  const TypeGossipStats& stats() const { return stats_; }
+
+ private:
+  TypeGossip(BusClient* bus, TypeRegistry* registry)
+      : bus_(bus), registry_(registry), alive_(std::make_shared<bool>(true)) {}
+
+  void Announce(const TypeDescriptor& desc);
+  Status LearnChain(const Bytes& payload);
+
+  BusClient* bus_;
+  TypeRegistry* registry_;
+  uint64_t announce_sub_ = 0;
+  std::unique_ptr<DiscoveryResponder> query_responder_;
+  bool announcing_ = false;  // guards against re-announcing what we just learned
+  TypeGossipStats stats_;
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace ibus
+
+#endif  // SRC_SERVICES_TYPE_GOSSIP_H_

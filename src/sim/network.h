@@ -1,0 +1,266 @@
+// Simulated internetwork: hosts attached to shared-medium segments (Ethernet-like LANs
+// or point-to-point WAN links), a UDP-style datagram service with hardware broadcast,
+// and configurable fault injection (loss, duplication, jitter/reordering, partitions,
+// host crashes). This substitutes for the paper's SunOS workstations on a lightly
+// loaded 10 Mbit/s Ethernet; the medium model (per-frame serialization time on a
+// shared half-duplex segment plus propagation delay) is what gives the appendix
+// benchmarks their characteristic shapes.
+#ifndef SRC_SIM_NETWORK_H_
+#define SRC_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/sim/simulator.h"
+
+namespace ibus {
+
+using HostId = uint32_t;
+using SegmentId = uint32_t;
+using Port = uint16_t;
+
+constexpr HostId kNoHost = 0xFFFFFFFFu;
+constexpr HostId kBroadcastHost = 0xFFFFFFFEu;
+
+// Shared-medium segment parameters. Defaults model the paper's testbed: a lightly
+// loaded 10 Mbit/s Ethernet with ~1500-byte frames.
+struct SegmentConfig {
+  double bandwidth_bps = 10.0 * 1000 * 1000;  // 10 Mbit/s Ethernet
+  SimTime propagation_us = 50;                // cable + switch-free medium propagation
+  size_t mtu = 1500;                          // max frame size, including frame overhead
+  size_t frame_overhead = 42;                 // Ethernet + IP + UDP headers per frame
+  bool broadcast_capable = true;              // WAN links are not
+  // Host protocol-stack cost charged per frame in addition to wire serialization.
+  // The paper's SPARCstation-2/SunOS-4.1.1 testbed could not "drive more than 300
+  // Kb/sec through Ethernet with a raw UDP socket" — the send path, not the 10 Mbit
+  // medium, was the bottleneck. Modelled as extra occupancy of the shared resource
+  // (exact for a single sender, conservative for several).
+  double host_cpu_us_per_frame = 0;
+};
+
+// Stochastic fault plan applied to datagram frames on a segment.
+struct FaultPlan {
+  double drop_prob = 0.0;       // independent per-frame loss
+  double dup_prob = 0.0;        // independent per-frame duplication
+  SimTime jitter_us = 0;        // extra uniform delay in [0, jitter]; causes reordering
+};
+
+struct Datagram {
+  HostId src_host = kNoHost;
+  Port src_port = 0;
+  HostId dst_host = kNoHost;    // kBroadcastHost for segment broadcast
+  Port dst_port = 0;
+  Bytes payload;
+};
+
+class Network;
+
+// A bound datagram endpoint. Closing (destroying) the socket releases the port.
+class UdpSocket {
+ public:
+  using Handler = std::function<void(const Datagram&)>;
+
+  ~UdpSocket();
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  HostId host() const { return host_; }
+  Port port() const { return port_; }
+
+  // Sends to a specific host/port. Fails if the payload exceeds the segment MTU
+  // (minus frame overhead); higher layers fragment.
+  Status SendTo(HostId dst, Port dst_port, Bytes payload);
+
+  // Segment-wide hardware broadcast; every socket bound to `dst_port` on an up host in
+  // the same partition group receives it (including the sender's own host).
+  Status Broadcast(Port dst_port, Bytes payload);
+
+  void SetHandler(Handler handler) { handler_ = std::move(handler); }
+
+ private:
+  friend class Network;
+  UdpSocket(Network* net, HostId host, Port port) : net_(net), host_(host), port_(port) {}
+
+  Network* net_;
+  HostId host_;
+  Port port_;
+  Handler handler_;
+};
+
+// TCP-like reliable, ordered, message-oriented connection. Messages of any size are
+// chunked into MTU frames that consume segment bandwidth; delivery is in order and
+// loss-free (retransmission is abstracted away), but partitions and host crashes break
+// the connection.
+class Connection {
+ public:
+  using MessageHandler = std::function<void(const Bytes&)>;
+  using CloseHandler = std::function<void()>;
+
+  HostId local_host() const { return local_host_; }
+  HostId remote_host() const { return remote_host_; }
+  bool open() const { return open_; }
+
+  Status Send(Bytes message);
+  void SetMessageHandler(MessageHandler handler) { on_message_ = std::move(handler); }
+  void SetCloseHandler(CloseHandler handler) { on_close_ = std::move(handler); }
+  void Close();
+
+ private:
+  friend class Network;
+  Connection(Network* net, uint64_t id, HostId local, HostId remote)
+      : net_(net), id_(id), local_host_(local), remote_host_(remote) {}
+
+  Network* net_;
+  uint64_t id_;
+  HostId local_host_;
+  HostId remote_host_;
+  bool open_ = true;
+  MessageHandler on_message_;
+  CloseHandler on_close_;
+};
+
+using ConnectionPtr = std::shared_ptr<Connection>;
+
+// Accepts inbound connections on (host, port).
+class Listener {
+ public:
+  using AcceptHandler = std::function<void(ConnectionPtr)>;
+
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  HostId host() const { return host_; }
+  Port port() const { return port_; }
+
+ private:
+  friend class Network;
+  Listener(Network* net, HostId host, Port port, AcceptHandler handler)
+      : net_(net), host_(host), port_(port), handler_(std::move(handler)) {}
+
+  Network* net_;
+  HostId host_;
+  Port port_;
+  AcceptHandler handler_;
+};
+
+class Network {
+ public:
+  explicit Network(Simulator* sim, uint64_t fault_seed = 42);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  Simulator* sim() { return sim_; }
+
+  // --- Topology -------------------------------------------------------------------
+  SegmentId AddSegment(const SegmentConfig& config = SegmentConfig());
+  HostId AddHost(const std::string& name, SegmentId segment);
+  const std::string& HostName(HostId h) const;
+  SegmentId HostSegment(HostId h) const;
+  std::vector<HostId> HostsOnSegment(SegmentId s) const;
+
+  // --- Fault injection ------------------------------------------------------------
+  void SetFaultPlan(SegmentId segment, const FaultPlan& plan);
+  // Marks a host down: in-flight traffic to/from it is dropped, its connections break.
+  void SetHostUp(HostId h, bool up);
+  bool HostUp(HostId h) const;
+  // Splits hosts into partition groups; traffic crosses only within a group.
+  // An empty map heals all partitions.
+  void SetPartitionGroups(const std::unordered_map<HostId, int>& groups);
+  bool CanCommunicate(HostId a, HostId b) const;
+
+  // --- Datagram service -----------------------------------------------------------
+  // Binds a socket. port==0 picks an ephemeral port. Fails if the port is taken.
+  Result<std::unique_ptr<UdpSocket>> OpenSocket(HostId host, Port port,
+                                                UdpSocket::Handler handler);
+  // Maximum datagram payload the given host's segment can carry in one frame.
+  size_t MaxDatagramPayload(HostId host) const;
+
+  // --- Connection service ---------------------------------------------------------
+  Result<std::unique_ptr<Listener>> Listen(HostId host, Port port,
+                                           Listener::AcceptHandler handler);
+  // Asynchronous connect; the handler receives the connection or an error after the
+  // simulated handshake completes.
+  void Connect(HostId src, HostId dst, Port dst_port,
+               std::function<void(Result<ConnectionPtr>)> done);
+
+  // --- Statistics -----------------------------------------------------------------
+  struct Stats {
+    uint64_t frames_sent = 0;
+    uint64_t frames_delivered = 0;
+    uint64_t frames_dropped_fault = 0;
+    uint64_t frames_dropped_down = 0;
+    uint64_t frames_duplicated = 0;
+    uint64_t bytes_on_wire = 0;  // includes frame overhead
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+ private:
+  friend class UdpSocket;
+  friend class Connection;
+  friend class Listener;
+
+  struct Segment {
+    SegmentConfig config;
+    FaultPlan faults;
+    SimTime busy_until = 0;  // shared half-duplex medium: next free transmit time
+    std::vector<HostId> hosts;
+  };
+
+  struct Host {
+    std::string name;
+    SegmentId segment;
+    bool up = true;
+    int partition_group = 0;
+    Port next_ephemeral = 49152;
+    // Local IPC is FIFO: a small datagram must not overtake a large one queued
+    // earlier on the same host (kernels serialize the copy).
+    SimTime loopback_tail = 0;
+    std::unordered_map<Port, UdpSocket*> sockets;
+    std::unordered_map<Port, Listener*> listeners;
+  };
+
+  struct ConnState {
+    ConnectionPtr a;  // initiator side handle
+    ConnectionPtr b;  // acceptor side handle
+    // Per-direction queue tail: delivery time of the last in-flight message, used to
+    // preserve FIFO ordering per connection.
+    SimTime a_to_b_tail = 0;
+    SimTime b_to_a_tail = 0;
+  };
+
+  // Schedules delivery of one already-validated frame on a segment. `wire_bytes`
+  // includes the frame overhead. Returns the time the frame finishes serializing.
+  SimTime TransmitFrame(Segment& seg, size_t wire_bytes);
+  void DeliverDatagram(Datagram d, SimTime at);
+  Status SendDatagram(const Datagram& d);
+  Status BroadcastDatagram(const Datagram& d);
+
+  Status ConnectionSend(Connection* conn, Bytes message);
+  void ConnectionClose(Connection* conn, bool notify_peer);
+  void CloseSocket(UdpSocket* s);
+  void CloseListener(Listener* l);
+
+  SimTime LocalLoopbackDelay(size_t bytes) const;
+
+  Simulator* sim_;
+  Rng rng_;
+  std::vector<Segment> segments_;
+  std::vector<Host> hosts_;
+  uint64_t next_conn_id_ = 1;
+  std::unordered_map<uint64_t, ConnState> connections_;
+  Stats stats_;
+};
+
+}  // namespace ibus
+
+#endif  // SRC_SIM_NETWORK_H_

@@ -1,0 +1,67 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+namespace ibus {
+
+EventId Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
+  if (t < now_) {
+    t = now_;
+  }
+  EventId id = next_id_++;
+  heap_.push(Event{t, id, std::move(fn)});
+  return id;
+}
+
+void Simulator::Cancel(EventId id) {
+  if (id != 0 && id < next_id_) {
+    cancelled_.insert(id);
+  }
+}
+
+bool Simulator::Step() {
+  while (!heap_.empty()) {
+    Event ev = heap_.top();
+    heap_.pop();
+    auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.time;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+size_t Simulator::Run(size_t max_events) {
+  size_t count = 0;
+  while (count < max_events && Step()) {
+    ++count;
+  }
+  return count;
+}
+
+size_t Simulator::RunUntil(SimTime t) {
+  size_t count = 0;
+  while (!heap_.empty()) {
+    const Event& top = heap_.top();
+    if (cancelled_.count(top.id) > 0) {
+      cancelled_.erase(top.id);
+      heap_.pop();
+      continue;
+    }
+    if (top.time > t) {
+      break;
+    }
+    Step();
+    ++count;
+  }
+  if (now_ < t) {
+    now_ = t;
+  }
+  return count;
+}
+
+}  // namespace ibus

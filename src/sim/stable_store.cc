@@ -1,0 +1,147 @@
+#include "src/sim/stable_store.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace ibus {
+
+// ---------------------------------------------------------------------------------
+// MemoryStableStore
+// ---------------------------------------------------------------------------------
+
+Result<uint64_t> MemoryStableStore::Append(const Bytes& record) {
+  records_.push_back(record);
+  return base_seq_ + records_.size() - 1;
+}
+
+Result<std::vector<Bytes>> MemoryStableStore::ReadFrom(uint64_t from_seq) const {
+  std::vector<Bytes> out;
+  for (uint64_t s = std::max(from_seq, base_seq_); s < base_seq_ + records_.size(); ++s) {
+    out.push_back(records_[s - base_seq_]);
+  }
+  return out;
+}
+
+Status MemoryStableStore::TruncateBefore(uint64_t seq) {
+  if (seq <= base_seq_) {
+    return OkStatus();
+  }
+  uint64_t limit = base_seq_ + records_.size();
+  uint64_t cut = std::min(seq, limit);
+  records_.erase(records_.begin(), records_.begin() + static_cast<ptrdiff_t>(cut - base_seq_));
+  base_seq_ = cut;
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------------
+// FileStableStore
+//
+// On-disk format: repeated records of
+//   u32 length | u32 crc32(payload) | payload bytes
+// in little-endian. A short or corrupt tail (torn write at crash) is dropped on open.
+// ---------------------------------------------------------------------------------
+
+namespace {
+
+void PutU32(Bytes& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+uint32_t ReadU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<FileStableStore>> FileStableStore::Open(const std::string& path,
+                                                               SimTime write_latency_us) {
+  auto store = std::unique_ptr<FileStableStore>(new FileStableStore(path, write_latency_us));
+  Status s = store->LoadExisting();
+  if (!s.ok()) {
+    return s;
+  }
+  return store;
+}
+
+Status FileStableStore::LoadExisting() {
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) {
+    return OkStatus();  // fresh log
+  }
+  Bytes header(8);
+  while (true) {
+    size_t got = std::fread(header.data(), 1, 8, f);
+    if (got < 8) {
+      break;  // clean EOF or torn header: stop
+    }
+    uint32_t len = ReadU32(header.data());
+    uint32_t crc = ReadU32(header.data() + 4);
+    if (len > 64u * 1024 * 1024) {
+      break;  // implausible length: treat as corruption
+    }
+    Bytes payload(len);
+    if (std::fread(payload.data(), 1, len, f) < len) {
+      break;  // torn record
+    }
+    if (Crc32(payload) != crc) {
+      break;  // corrupt record: drop it and everything after
+    }
+    records_.push_back(std::move(payload));
+  }
+  std::fclose(f);
+  return OkStatus();
+}
+
+Status FileStableStore::AppendToFile(const Bytes& record) {
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  if (f == nullptr) {
+    return Internal("cannot open stable log " + path_);
+  }
+  Bytes framed;
+  framed.reserve(record.size() + 8);
+  PutU32(framed, static_cast<uint32_t>(record.size()));
+  PutU32(framed, Crc32(record));
+  framed.insert(framed.end(), record.begin(), record.end());
+  size_t wrote = std::fwrite(framed.data(), 1, framed.size(), f);
+  std::fflush(f);
+  std::fclose(f);
+  if (wrote != framed.size()) {
+    return Internal("short write to stable log " + path_);
+  }
+  return OkStatus();
+}
+
+Result<uint64_t> FileStableStore::Append(const Bytes& record) {
+  Status s = AppendToFile(record);
+  if (!s.ok()) {
+    return s;
+  }
+  records_.push_back(record);
+  return base_seq_ + records_.size() - 1;
+}
+
+Result<std::vector<Bytes>> FileStableStore::ReadFrom(uint64_t from_seq) const {
+  std::vector<Bytes> out;
+  for (uint64_t s = std::max(from_seq, base_seq_); s < base_seq_ + records_.size(); ++s) {
+    out.push_back(records_[s - base_seq_]);
+  }
+  return out;
+}
+
+Status FileStableStore::TruncateBefore(uint64_t seq) {
+  // Logical truncation only: readers skip trimmed records; the file keeps history.
+  if (seq <= base_seq_) {
+    return OkStatus();
+  }
+  uint64_t limit = base_seq_ + records_.size();
+  uint64_t cut = std::min(seq, limit);
+  records_.erase(records_.begin(), records_.begin() + static_cast<ptrdiff_t>(cut - base_seq_));
+  base_seq_ = cut;
+  return OkStatus();
+}
+
+}  // namespace ibus

@@ -1,0 +1,130 @@
+#include "src/subject/subject.h"
+
+namespace ibus {
+
+std::vector<std::string> SplitSubject(std::string_view subject) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t dot = subject.find(kSubjectSeparator, start);
+    if (dot == std::string_view::npos) {
+      parts.emplace_back(subject.substr(start));
+      break;
+    }
+    parts.emplace_back(subject.substr(start, dot - start));
+    start = dot + 1;
+  }
+  return parts;
+}
+
+namespace {
+
+bool ElementHasBadChar(std::string_view e) {
+  for (char c : e) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == kSubjectSeparator) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Status ValidateSubject(std::string_view subject) {
+  if (subject.empty()) {
+    return InvalidArgument("subject: empty");
+  }
+  for (const std::string& e : SplitSubject(subject)) {
+    if (e.empty()) {
+      return InvalidArgument("subject: empty element in '" + std::string(subject) + "'");
+    }
+    if (e.find(kWildcardOne) != std::string::npos || e.find(kWildcardRest) != std::string::npos) {
+      return InvalidArgument("subject: wildcard in concrete subject '" + std::string(subject) +
+                             "'");
+    }
+    if (ElementHasBadChar(e)) {
+      return InvalidArgument("subject: illegal character in '" + std::string(subject) + "'");
+    }
+  }
+  return OkStatus();
+}
+
+Status ValidatePattern(std::string_view pattern) {
+  if (pattern.empty()) {
+    return InvalidArgument("pattern: empty");
+  }
+  std::vector<std::string> parts = SplitSubject(pattern);
+  for (size_t i = 0; i < parts.size(); ++i) {
+    const std::string& e = parts[i];
+    if (e.empty()) {
+      return InvalidArgument("pattern: empty element in '" + std::string(pattern) + "'");
+    }
+    if (ElementHasBadChar(e)) {
+      return InvalidArgument("pattern: illegal character in '" + std::string(pattern) + "'");
+    }
+    if (e == std::string(1, kWildcardRest)) {
+      if (i + 1 != parts.size()) {
+        return InvalidArgument("pattern: '>' must be the final element in '" +
+                               std::string(pattern) + "'");
+      }
+      continue;
+    }
+    if (e.size() > 1 &&
+        (e.find(kWildcardOne) != std::string::npos || e.find(kWildcardRest) != std::string::npos)) {
+      return InvalidArgument("pattern: wildcard must be a whole element in '" +
+                             std::string(pattern) + "'");
+    }
+  }
+  return OkStatus();
+}
+
+bool SubjectMatches(std::string_view pattern, std::string_view subject) {
+  std::vector<std::string> p = SplitSubject(pattern);
+  std::vector<std::string> s = SplitSubject(subject);
+  size_t i = 0;
+  for (; i < p.size(); ++i) {
+    if (p[i].size() == 1 && p[i][0] == kWildcardRest) {
+      return i < s.size();  // '>' needs at least one remaining element
+    }
+    if (i >= s.size()) {
+      return false;
+    }
+    if (p[i].size() == 1 && p[i][0] == kWildcardOne) {
+      continue;
+    }
+    if (p[i] != s[i]) {
+      return false;
+    }
+  }
+  return i == s.size();
+}
+
+bool PatternCovers(std::string_view wide, std::string_view narrow) {
+  std::vector<std::string> w = SplitSubject(wide);
+  std::vector<std::string> n = SplitSubject(narrow);
+  size_t i = 0;
+  for (; i < w.size(); ++i) {
+    if (w[i].size() == 1 && w[i][0] == kWildcardRest) {
+      // '>' covers any non-empty remainder, including a remainder that itself ends
+      // in '>' or contains '*'.
+      return i < n.size();
+    }
+    if (i >= n.size()) {
+      return false;
+    }
+    bool n_rest = n[i].size() == 1 && n[i][0] == kWildcardRest;
+    if (n_rest) {
+      return false;  // narrow matches unboundedly many tails, wide is bounded here
+    }
+    if (w[i].size() == 1 && w[i][0] == kWildcardOne) {
+      continue;  // '*' covers any single element, including '*'
+    }
+    bool n_one = n[i].size() == 1 && n[i][0] == kWildcardOne;
+    if (n_one || w[i] != n[i]) {
+      return false;
+    }
+  }
+  return i == n.size();
+}
+
+}  // namespace ibus

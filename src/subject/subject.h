@@ -1,0 +1,39 @@
+// Subject-Based Addressing (paper §3, P4). Subjects are hierarchical dot-separated
+// strings ("fab5.cc.litho8.thick", "news.equity.gmc"). Consumers may subscribe with
+// patterns: '*' matches exactly one element, '>' matches one or more trailing
+// elements. The bus core attaches no meaning to subjects beyond matching (P1).
+#ifndef SRC_SUBJECT_SUBJECT_H_
+#define SRC_SUBJECT_SUBJECT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ibus {
+
+// Splits "a.b.c" into {"a","b","c"}. No validation.
+std::vector<std::string> SplitSubject(std::string_view subject);
+
+// A concrete subject must have 1+ non-empty elements without wildcards or whitespace.
+// Elements starting with '_' are reserved for bus-internal protocols but valid.
+Status ValidateSubject(std::string_view subject);
+
+// A pattern additionally allows '*' elements anywhere and '>' as the final element.
+Status ValidatePattern(std::string_view pattern);
+
+// True when `pattern` matches the concrete `subject`.
+bool SubjectMatches(std::string_view pattern, std::string_view subject);
+
+// True when the set of subjects matched by `narrow` is a subset of those matched by
+// `wide` (used by routers to decide whether a remote subscription is already covered).
+bool PatternCovers(std::string_view wide, std::string_view narrow);
+
+constexpr char kSubjectSeparator = '.';
+constexpr char kWildcardOne = '*';
+constexpr char kWildcardRest = '>';
+
+}  // namespace ibus
+
+#endif  // SRC_SUBJECT_SUBJECT_H_

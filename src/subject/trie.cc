@@ -1,0 +1,132 @@
+#include "src/subject/trie.h"
+
+#include <algorithm>
+
+namespace ibus {
+
+Status SubjectTrie::Insert(std::string_view pattern, uint64_t id) {
+  IBUS_RETURN_IF_ERROR(ValidatePattern(pattern));
+  std::vector<std::string> elems = SplitSubject(pattern);
+  Node* node = root_.get();
+  for (size_t i = 0; i < elems.size(); ++i) {
+    const std::string& e = elems[i];
+    if (e.size() == 1 && e[0] == kWildcardRest) {
+      node->rest_ids.push_back(id);
+      ++size_;
+      return OkStatus();
+    }
+    if (e.size() == 1 && e[0] == kWildcardOne) {
+      if (node->star == nullptr) {
+        node->star = std::make_unique<Node>();
+      }
+      node = node->star.get();
+      continue;
+    }
+    auto it = node->children.find(e);
+    if (it == node->children.end()) {
+      it = node->children.emplace(e, std::make_unique<Node>()).first;
+    }
+    node = it->second.get();
+  }
+  node->terminal_ids.push_back(id);
+  ++size_;
+  return OkStatus();
+}
+
+bool SubjectTrie::Remove(std::string_view pattern, uint64_t id) {
+  if (!ValidatePattern(pattern).ok()) {
+    return false;
+  }
+  std::vector<std::string> elems = SplitSubject(pattern);
+  // Walk down, remembering the path so empty nodes can be pruned on the way back.
+  std::vector<std::pair<Node*, std::string>> path;  // (parent, edge taken)
+  Node* node = root_.get();
+  std::vector<uint64_t>* bucket = nullptr;
+  for (size_t i = 0; i < elems.size(); ++i) {
+    const std::string& e = elems[i];
+    if (e.size() == 1 && e[0] == kWildcardRest) {
+      bucket = &node->rest_ids;
+      break;
+    }
+    if (e.size() == 1 && e[0] == kWildcardOne) {
+      if (node->star == nullptr) {
+        return false;
+      }
+      path.emplace_back(node, "*");
+      node = node->star.get();
+      continue;
+    }
+    auto it = node->children.find(e);
+    if (it == node->children.end()) {
+      return false;
+    }
+    path.emplace_back(node, e);
+    node = it->second.get();
+  }
+  if (bucket == nullptr) {
+    bucket = &node->terminal_ids;
+  }
+  auto it = std::find(bucket->begin(), bucket->end(), id);
+  if (it == bucket->end()) {
+    return false;
+  }
+  bucket->erase(it);
+  --size_;
+  // Prune now-empty nodes bottom-up.
+  while (!path.empty() && node->Unused()) {
+    auto [parent, edge] = path.back();
+    path.pop_back();
+    if (edge == "*") {
+      parent->star.reset();
+    } else {
+      parent->children.erase(edge);
+    }
+    node = parent;
+  }
+  return true;
+}
+
+void SubjectTrie::MatchWalk(const Node* node, const std::vector<std::string>& elems, size_t depth,
+                            std::vector<uint64_t>* out) {
+  // '>' at this node matches if at least one element remains.
+  if (depth < elems.size()) {
+    out->insert(out->end(), node->rest_ids.begin(), node->rest_ids.end());
+  }
+  if (depth == elems.size()) {
+    out->insert(out->end(), node->terminal_ids.begin(), node->terminal_ids.end());
+    return;
+  }
+  auto it = node->children.find(elems[depth]);
+  if (it != node->children.end()) {
+    MatchWalk(it->second.get(), elems, depth + 1, out);
+  }
+  if (node->star != nullptr) {
+    MatchWalk(node->star.get(), elems, depth + 1, out);
+  }
+}
+
+void SubjectTrie::Match(std::string_view subject, std::vector<uint64_t>* out) const {
+  std::vector<std::string> elems = SplitSubject(subject);
+  MatchWalk(root_.get(), elems, 0, out);
+}
+
+bool SubjectTrie::AnyWalk(const Node* node, const std::vector<std::string>& elems, size_t depth) {
+  if (depth < elems.size() && !node->rest_ids.empty()) {
+    return true;
+  }
+  if (depth == elems.size()) {
+    return !node->terminal_ids.empty();
+  }
+  auto it = node->children.find(elems[depth]);
+  if (it != node->children.end() && AnyWalk(it->second.get(), elems, depth + 1)) {
+    return true;
+  }
+  return node->star != nullptr && AnyWalk(node->star.get(), elems, depth + 1);
+}
+
+bool SubjectTrie::MatchesAny(std::string_view subject) const {
+  std::vector<std::string> elems = SplitSubject(subject);
+  return AnyWalk(root_.get(), elems, 0);
+}
+
+}  // namespace ibus

@@ -1,0 +1,67 @@
+// Subscription trie: maps subject patterns to subscriber ids and answers
+// "which subscriptions match this subject?" in time proportional to the subject's
+// depth rather than the number of subscriptions. This is what makes throughput
+// insensitive to the number of subjects (paper Appendix, Figure 8) and what backs the
+// §6 claim that subject-based addressing scales better than attribute qualification.
+#ifndef SRC_SUBJECT_TRIE_H_
+#define SRC_SUBJECT_TRIE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/subject/subject.h"
+
+namespace ibus {
+
+class SubjectTrie {
+ public:
+  SubjectTrie() : root_(std::make_unique<Node>()) {}
+
+  // Registers `id` under `pattern` (validated). The same id may appear under several
+  // patterns; each (pattern, id) pair is tracked separately.
+  Status Insert(std::string_view pattern, uint64_t id);
+
+  // Removes one (pattern, id) registration. Returns true if it existed.
+  bool Remove(std::string_view pattern, uint64_t id);
+
+  // Appends the ids of all registrations whose pattern matches `subject`.
+  void Match(std::string_view subject, std::vector<uint64_t>* out) const;
+  std::vector<uint64_t> Match(std::string_view subject) const {
+    std::vector<uint64_t> out;
+    Match(subject, &out);
+    return out;
+  }
+
+  // True if any registration matches `subject` (early-exit form).
+  bool MatchesAny(std::string_view subject) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  struct Node {
+    std::map<std::string, std::unique_ptr<Node>, std::less<>> children;
+    std::unique_ptr<Node> star;          // '*' branch
+    std::vector<uint64_t> terminal_ids;  // patterns ending exactly here
+    std::vector<uint64_t> rest_ids;      // patterns ending in '>' at this depth
+
+    bool Unused() const {
+      return children.empty() && star == nullptr && terminal_ids.empty() && rest_ids.empty();
+    }
+  };
+
+  static void MatchWalk(const Node* node, const std::vector<std::string>& elems, size_t depth,
+                        std::vector<uint64_t>* out);
+  static bool AnyWalk(const Node* node, const std::vector<std::string>& elems, size_t depth);
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace ibus
+
+#endif  // SRC_SUBJECT_TRIE_H_

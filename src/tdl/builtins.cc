@@ -1,0 +1,455 @@
+// Native builtins installed into every TdlInterp global environment.
+#include <algorithm>
+#include <cctype>
+
+#include "src/tdl/interp.h"
+#include "src/types/printer.h"
+
+namespace ibus {
+
+namespace {
+
+bool AllNumbers(const std::vector<Datum>& args) {
+  return std::all_of(args.begin(), args.end(), [](const Datum& d) { return d.is_number(); });
+}
+
+bool AllInts(const std::vector<Datum>& args) {
+  return std::all_of(args.begin(), args.end(), [](const Datum& d) { return d.is_int(); });
+}
+
+std::string Display(const Datum& d) { return d.is_string() ? d.AsString() : d.ToString(); }
+
+Result<Datum> NumericFold(const std::vector<Datum>& args, int64_t unit,
+                          int64_t (*fi)(int64_t, int64_t), double (*fd)(double, double),
+                          bool allow_unary_invert) {
+  if (!AllNumbers(args)) {
+    return InvalidArgument("tdl: arithmetic on non-number");
+  }
+  if (args.empty()) {
+    return Datum(unit);
+  }
+  if (AllInts(args)) {
+    int64_t acc = args[0].AsInt();
+    if (args.size() == 1 && allow_unary_invert) {
+      return Datum(fi(unit, acc));
+    }
+    for (size_t i = 1; i < args.size(); ++i) {
+      acc = fi(acc, args[i].AsInt());
+    }
+    return Datum(acc);
+  }
+  double acc = args[0].NumberAsDouble();
+  if (args.size() == 1 && allow_unary_invert) {
+    return Datum(fd(static_cast<double>(unit), acc));
+  }
+  for (size_t i = 1; i < args.size(); ++i) {
+    acc = fd(acc, args[i].NumberAsDouble());
+  }
+  return Datum(acc);
+}
+
+Result<Datum> Compare(const std::vector<Datum>& args, bool (*cmp)(double, double)) {
+  if (args.size() < 2 || !AllNumbers(args)) {
+    return InvalidArgument("tdl: comparison needs 2+ numbers");
+  }
+  for (size_t i = 0; i + 1 < args.size(); ++i) {
+    if (!cmp(args[i].NumberAsDouble(), args[i + 1].NumberAsDouble())) {
+      return Datum(false);
+    }
+  }
+  return Datum(true);
+}
+
+}  // namespace
+
+void TdlInterp::InstallBuiltins() {
+  DefineNative("+", [](std::vector<Datum>& a) {
+    return NumericFold(a, 0, [](int64_t x, int64_t y) { return x + y; },
+                       [](double x, double y) { return x + y; }, false);
+  });
+  DefineNative("-", [](std::vector<Datum>& a) {
+    return NumericFold(a, 0, [](int64_t x, int64_t y) { return x - y; },
+                       [](double x, double y) { return x - y; }, true);
+  });
+  DefineNative("*", [](std::vector<Datum>& a) {
+    return NumericFold(a, 1, [](int64_t x, int64_t y) { return x * y; },
+                       [](double x, double y) { return x * y; }, false);
+  });
+  DefineNative("/", [](std::vector<Datum>& a) -> Result<Datum> {
+    if (a.size() != 2 || !AllNumbers(a)) {
+      return InvalidArgument("tdl: / takes two numbers");
+    }
+    if (a[1].NumberAsDouble() == 0.0) {
+      return InvalidArgument("tdl: division by zero");
+    }
+    if (AllInts(a)) {
+      return Datum(a[0].AsInt() / a[1].AsInt());
+    }
+    return Datum(a[0].NumberAsDouble() / a[1].NumberAsDouble());
+  });
+  DefineNative("mod", [](std::vector<Datum>& a) -> Result<Datum> {
+    if (a.size() != 2 || !AllInts(a) || a[1].AsInt() == 0) {
+      return InvalidArgument("tdl: mod takes two non-zero integers");
+    }
+    return Datum(a[0].AsInt() % a[1].AsInt());
+  });
+  DefineNative("=", [](std::vector<Datum>& a) {
+    return Compare(a, [](double x, double y) { return x == y; });
+  });
+  DefineNative("<", [](std::vector<Datum>& a) {
+    return Compare(a, [](double x, double y) { return x < y; });
+  });
+  DefineNative(">", [](std::vector<Datum>& a) {
+    return Compare(a, [](double x, double y) { return x > y; });
+  });
+  DefineNative("<=", [](std::vector<Datum>& a) {
+    return Compare(a, [](double x, double y) { return x <= y; });
+  });
+  DefineNative(">=", [](std::vector<Datum>& a) {
+    return Compare(a, [](double x, double y) { return x >= y; });
+  });
+  DefineNative("eq", [](std::vector<Datum>& a) -> Result<Datum> {
+    if (a.size() != 2) {
+      return InvalidArgument("tdl: eq takes two args");
+    }
+    return Datum(a[0] == a[1]);
+  });
+  DefineNative("not", [](std::vector<Datum>& a) -> Result<Datum> {
+    if (a.size() != 1) {
+      return InvalidArgument("tdl: not takes one arg");
+    }
+    return Datum(!a[0].Truthy());
+  });
+
+  // --- Lists ------------------------------------------------------------------------
+  DefineNative("list", [](std::vector<Datum>& a) -> Result<Datum> {
+    return Datum(Datum::List(a.begin(), a.end()));
+  });
+  DefineNative("first", [](std::vector<Datum>& a) -> Result<Datum> {
+    if (a.size() != 1 || !a[0].is_list()) {
+      return InvalidArgument("tdl: first takes a list");
+    }
+    return a[0].AsList().empty() ? Datum() : a[0].AsList().front();
+  });
+  DefineNative("rest", [](std::vector<Datum>& a) -> Result<Datum> {
+    if (a.size() != 1 || !a[0].is_list()) {
+      return InvalidArgument("tdl: rest takes a list");
+    }
+    const Datum::List& l = a[0].AsList();
+    return Datum(l.empty() ? Datum::List{} : Datum::List(l.begin() + 1, l.end()));
+  });
+  DefineNative("cons", [](std::vector<Datum>& a) -> Result<Datum> {
+    if (a.size() != 2 || !a[1].is_list()) {
+      return InvalidArgument("tdl: cons takes a value and a list");
+    }
+    Datum::List out{a[0]};
+    out.insert(out.end(), a[1].AsList().begin(), a[1].AsList().end());
+    return Datum(std::move(out));
+  });
+  DefineNative("append", [](std::vector<Datum>& a) -> Result<Datum> {
+    Datum::List out;
+    for (const Datum& d : a) {
+      if (!d.is_list()) {
+        return InvalidArgument("tdl: append takes lists");
+      }
+      out.insert(out.end(), d.AsList().begin(), d.AsList().end());
+    }
+    return Datum(std::move(out));
+  });
+  DefineNative("length", [](std::vector<Datum>& a) -> Result<Datum> {
+    if (a.size() != 1) {
+      return InvalidArgument("tdl: length takes one arg");
+    }
+    if (a[0].is_list()) {
+      return Datum(static_cast<int64_t>(a[0].AsList().size()));
+    }
+    if (a[0].is_string()) {
+      return Datum(static_cast<int64_t>(a[0].AsString().size()));
+    }
+    return InvalidArgument("tdl: length takes a list or string");
+  });
+  DefineNative("nth", [](std::vector<Datum>& a) -> Result<Datum> {
+    if (a.size() != 2 || !a[0].is_int() || !a[1].is_list()) {
+      return InvalidArgument("tdl: nth takes an index and a list");
+    }
+    int64_t i = a[0].AsInt();
+    const Datum::List& l = a[1].AsList();
+    if (i < 0 || static_cast<size_t>(i) >= l.size()) {
+      return Datum();
+    }
+    return l[static_cast<size_t>(i)];
+  });
+  DefineNative("reverse", [](std::vector<Datum>& a) -> Result<Datum> {
+    if (a.size() != 1 || !a[0].is_list()) {
+      return InvalidArgument("tdl: reverse takes a list");
+    }
+    Datum::List out(a[0].AsList().rbegin(), a[0].AsList().rend());
+    return Datum(std::move(out));
+  });
+  DefineNative("mapcar", [this](std::vector<Datum>& a) -> Result<Datum> {
+    if (a.size() != 2 || !a[1].is_list()) {
+      return InvalidArgument("tdl: mapcar takes a function and a list");
+    }
+    Datum::List out;
+    for (const Datum& item : a[1].AsList()) {
+      std::vector<Datum> call_args{item};
+      auto r = Apply(a[0], call_args);
+      if (!r.ok()) {
+        return r.status();
+      }
+      out.push_back(r.take());
+    }
+    return Datum(std::move(out));
+  });
+  DefineNative("filter", [this](std::vector<Datum>& a) -> Result<Datum> {
+    if (a.size() != 2 || !a[1].is_list()) {
+      return InvalidArgument("tdl: filter takes a predicate and a list");
+    }
+    Datum::List out;
+    for (const Datum& item : a[1].AsList()) {
+      std::vector<Datum> call_args{item};
+      auto r = Apply(a[0], call_args);
+      if (!r.ok()) {
+        return r.status();
+      }
+      if (r->Truthy()) {
+        out.push_back(item);
+      }
+    }
+    return Datum(std::move(out));
+  });
+
+  DefineNative("second", [](std::vector<Datum>& a) -> Result<Datum> {
+    if (a.size() != 1 || !a[0].is_list()) {
+      return InvalidArgument("tdl: second takes a list");
+    }
+    const Datum::List& l = a[0].AsList();
+    return l.size() < 2 ? Datum() : l[1];
+  });
+  DefineNative("last", [](std::vector<Datum>& a) -> Result<Datum> {
+    if (a.size() != 1 || !a[0].is_list()) {
+      return InvalidArgument("tdl: last takes a list");
+    }
+    const Datum::List& l = a[0].AsList();
+    return l.empty() ? Datum() : l.back();
+  });
+  DefineNative("assoc", [](std::vector<Datum>& a) -> Result<Datum> {
+    // (assoc key ((k1 v1) (k2 v2) ...)) -> (k v) or nil
+    if (a.size() != 2 || !a[1].is_list()) {
+      return InvalidArgument("tdl: assoc takes a key and an association list");
+    }
+    for (const Datum& pair : a[1].AsList()) {
+      if (pair.is_list() && !pair.AsList().empty() && pair.AsList()[0] == a[0]) {
+        return pair;
+      }
+    }
+    return Datum();
+  });
+  DefineNative("min", [](std::vector<Datum>& a) -> Result<Datum> {
+    if (a.empty() || !AllNumbers(a)) {
+      return InvalidArgument("tdl: min takes numbers");
+    }
+    Datum best = a[0];
+    for (const Datum& d : a) {
+      if (d.NumberAsDouble() < best.NumberAsDouble()) {
+        best = d;
+      }
+    }
+    return best;
+  });
+  DefineNative("max", [](std::vector<Datum>& a) -> Result<Datum> {
+    if (a.empty() || !AllNumbers(a)) {
+      return InvalidArgument("tdl: max takes numbers");
+    }
+    Datum best = a[0];
+    for (const Datum& d : a) {
+      if (d.NumberAsDouble() > best.NumberAsDouble()) {
+        best = d;
+      }
+    }
+    return best;
+  });
+  DefineNative("abs", [](std::vector<Datum>& a) -> Result<Datum> {
+    if (a.size() != 1 || !a[0].is_number()) {
+      return InvalidArgument("tdl: abs takes a number");
+    }
+    if (a[0].is_int()) {
+      return Datum(a[0].AsInt() < 0 ? -a[0].AsInt() : a[0].AsInt());
+    }
+    return Datum(a[0].AsDouble() < 0 ? -a[0].AsDouble() : a[0].AsDouble());
+  });
+
+  // --- Strings ------------------------------------------------------------------------
+  DefineNative("string-split", [](std::vector<Datum>& a) -> Result<Datum> {
+    if (a.size() != 2 || !a[0].is_string() || !a[1].is_string() || a[1].AsString().empty()) {
+      return InvalidArgument("tdl: string-split takes a string and a non-empty separator");
+    }
+    const std::string& s = a[0].AsString();
+    const std::string& sep = a[1].AsString();
+    Datum::List out;
+    size_t start = 0;
+    while (true) {
+      size_t pos = s.find(sep, start);
+      if (pos == std::string::npos) {
+        out.push_back(Datum(s.substr(start)));
+        break;
+      }
+      out.push_back(Datum(s.substr(start, pos - start)));
+      start = pos + sep.size();
+    }
+    return Datum(std::move(out));
+  });
+  DefineNative("concat", [](std::vector<Datum>& a) -> Result<Datum> {
+    std::string out;
+    for (const Datum& d : a) {
+      out += Display(d);
+    }
+    return Datum(std::move(out));
+  });
+  DefineNative("to-string", [](std::vector<Datum>& a) -> Result<Datum> {
+    if (a.size() != 1) {
+      return InvalidArgument("tdl: to-string takes one arg");
+    }
+    return Datum(Display(a[0]));
+  });
+  DefineNative("string-contains", [](std::vector<Datum>& a) -> Result<Datum> {
+    if (a.size() != 2 || !a[0].is_string() || !a[1].is_string()) {
+      return InvalidArgument("tdl: string-contains takes two strings");
+    }
+    return Datum(a[0].AsString().find(a[1].AsString()) != std::string::npos);
+  });
+  DefineNative("string-downcase", [](std::vector<Datum>& a) -> Result<Datum> {
+    if (a.size() != 1 || !a[0].is_string()) {
+      return InvalidArgument("tdl: string-downcase takes a string");
+    }
+    std::string s = a[0].AsString();
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return Datum(std::move(s));
+  });
+
+  // --- Objects and the meta-object protocol ----------------------------------------
+  DefineNative("make-instance", [this](std::vector<Datum>& a) -> Result<Datum> {
+    if (a.empty() || !a[0].is_symbol()) {
+      return InvalidArgument("tdl: make-instance needs a class name");
+    }
+    auto obj = registry_->NewInstance(a[0].AsSymbol());
+    if (!obj.ok()) {
+      return obj.status();
+    }
+    // Keyword initializers: :slot value pairs.
+    for (size_t i = 1; i + 1 < a.size(); i += 2) {
+      if (!a[i].is_symbol() || a[i].AsSymbol().empty() || a[i].AsSymbol()[0] != ':') {
+        return InvalidArgument("tdl: make-instance initializers must be :slot value pairs");
+      }
+      std::string slot = a[i].AsSymbol().substr(1);
+      auto v = a[i + 1].ToValue();
+      if (!v.ok()) {
+        return v.status();
+      }
+      Status s = (*obj)->Set(slot, v.take());
+      if (!s.ok()) {
+        return s;
+      }
+    }
+    return Datum(*obj);
+  });
+  DefineNative("slot-value", [](std::vector<Datum>& a) -> Result<Datum> {
+    if (a.size() != 2 || !a[0].is_object() || a[0].AsObject() == nullptr ||
+        !a[1].is_symbol()) {
+      return InvalidArgument("tdl: slot-value takes an object and a slot symbol");
+    }
+    return Datum::FromValue(a[0].AsObject()->Get(a[1].AsSymbol()));
+  });
+  DefineNative("set-slot-value!", [](std::vector<Datum>& a) -> Result<Datum> {
+    if (a.size() != 3 || !a[0].is_object() || a[0].AsObject() == nullptr ||
+        !a[1].is_symbol()) {
+      return InvalidArgument("tdl: set-slot-value! takes object, slot, value");
+    }
+    auto v = a[2].ToValue();
+    if (!v.ok()) {
+      return v.status();
+    }
+    Status s = a[0].AsObject()->Set(a[1].AsSymbol(), v.take());
+    if (!s.ok()) {
+      return s;
+    }
+    return a[2];
+  });
+  DefineNative("type-of", [](std::vector<Datum>& a) -> Result<Datum> {
+    if (a.size() != 1) {
+      return InvalidArgument("tdl: type-of takes one arg");
+    }
+    if (a[0].is_object() && a[0].AsObject() != nullptr) {
+      return Datum::Symbol(a[0].AsObject()->type_name());
+    }
+    if (a[0].is_string()) {
+      return Datum::Symbol("string");
+    }
+    if (a[0].is_int()) {
+      return Datum::Symbol("i64");
+    }
+    if (a[0].is_double()) {
+      return Datum::Symbol("f64");
+    }
+    if (a[0].is_bool()) {
+      return Datum::Symbol("bool");
+    }
+    if (a[0].is_list()) {
+      return Datum::Symbol("list");
+    }
+    return Datum::Symbol("null");
+  });
+  DefineNative("isa?", [this](std::vector<Datum>& a) -> Result<Datum> {
+    if (a.size() != 2 || !a[0].is_object() || a[0].AsObject() == nullptr ||
+        !a[1].is_symbol()) {
+      return InvalidArgument("tdl: isa? takes an object and a class symbol");
+    }
+    return Datum(registry_->IsSubtype(a[0].AsObject()->type_name(), a[1].AsSymbol()));
+  });
+  DefineNative("attributes", [this](std::vector<Datum>& a) -> Result<Datum> {
+    // Introspection: (attributes obj-or-class) -> ((name type) ...)
+    if (a.size() != 1) {
+      return InvalidArgument("tdl: attributes takes one arg");
+    }
+    std::string type_name;
+    if (a[0].is_object() && a[0].AsObject() != nullptr) {
+      type_name = a[0].AsObject()->type_name();
+    } else if (a[0].is_symbol()) {
+      type_name = a[0].AsSymbol();
+    } else {
+      return InvalidArgument("tdl: attributes takes an object or class symbol");
+    }
+    auto attrs = registry_->AllAttributes(type_name);
+    if (!attrs.ok()) {
+      return attrs.status();
+    }
+    Datum::List out;
+    for (const AttributeDef& attr : *attrs) {
+      out.push_back(Datum(Datum::List{Datum::Symbol(attr.name), Datum::Symbol(attr.type_name)}));
+    }
+    return Datum(std::move(out));
+  });
+  DefineNative("describe", [this](std::vector<Datum>& a) -> Result<Datum> {
+    // The generic print utility, bound into TDL.
+    if (a.size() != 1 || !a[0].is_object() || a[0].AsObject() == nullptr) {
+      return InvalidArgument("tdl: describe takes an object");
+    }
+    PrintOptions opt;
+    opt.registry = registry_;
+    return Datum(PrintObject(*a[0].AsObject(), opt));
+  });
+  DefineNative("print", [this](std::vector<Datum>& a) -> Result<Datum> {
+    std::string line;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (i != 0) {
+        line += ' ';
+      }
+      line += Display(a[i]);
+    }
+    output_ += line + "\n";
+    return a.empty() ? Datum() : a.back();
+  });
+}
+
+}  // namespace ibus

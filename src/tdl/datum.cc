@@ -1,0 +1,131 @@
+#include "src/tdl/datum.h"
+
+namespace ibus {
+
+bool Datum::operator==(const Datum& other) const {
+  if (v_.index() != other.v_.index()) {
+    return false;
+  }
+  if (is_object()) {
+    const DataObjectPtr& a = AsObject();
+    const DataObjectPtr& b = other.AsObject();
+    if (a == b) {
+      return true;
+    }
+    return a != nullptr && b != nullptr && *a == *b;
+  }
+  if (is_lambda() || is_native()) {
+    return false;  // functions compare by identity only (handled by index+ptr above)
+  }
+  return v_ == other.v_;
+}
+
+std::string Datum::ToString() const {
+  if (is_nil()) {
+    return "nil";
+  }
+  if (is_bool()) {
+    return AsBool() ? "t" : "nil";
+  }
+  if (is_int()) {
+    return std::to_string(AsInt());
+  }
+  if (is_double()) {
+    return std::to_string(AsDouble());
+  }
+  if (is_string()) {
+    return "\"" + AsString() + "\"";
+  }
+  if (is_symbol()) {
+    return AsSymbol();
+  }
+  if (is_list()) {
+    std::string out = "(";
+    const List& l = AsList();
+    for (size_t i = 0; i < l.size(); ++i) {
+      if (i != 0) {
+        out += ' ';
+      }
+      out += l[i].ToString();
+    }
+    out += ')';
+    return out;
+  }
+  if (is_object()) {
+    const DataObjectPtr& o = AsObject();
+    return o == nullptr ? "#<object nil>" : "#<" + o->type_name() + ">";
+  }
+  if (is_lambda()) {
+    return "#<lambda>";
+  }
+  return "#<native>";
+}
+
+Result<Value> Datum::ToValue() const {
+  if (is_nil()) {
+    return Value();
+  }
+  if (is_bool()) {
+    return Value(AsBool());
+  }
+  if (is_int()) {
+    return Value(AsInt());
+  }
+  if (is_double()) {
+    return Value(AsDouble());
+  }
+  if (is_string()) {
+    return Value(AsString());
+  }
+  if (is_symbol()) {
+    return Value(AsSymbol());  // symbols become strings on the bus
+  }
+  if (is_object()) {
+    return Value(AsObject());
+  }
+  if (is_list()) {
+    Value::List out;
+    for (const Datum& d : AsList()) {
+      auto v = d.ToValue();
+      if (!v.ok()) {
+        return v.status();
+      }
+      out.push_back(v.take());
+    }
+    return Value(std::move(out));
+  }
+  return InvalidArgument("tdl: functions cannot be converted to bus values");
+}
+
+Datum Datum::FromValue(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::kNull:
+      return Datum();
+    case ValueKind::kBool:
+      return Datum(v.AsBool());
+    case ValueKind::kI32:
+      return Datum(static_cast<int64_t>(v.AsI32()));
+    case ValueKind::kI64:
+      return Datum(v.AsI64());
+    case ValueKind::kF64:
+      return Datum(v.AsF64());
+    case ValueKind::kString:
+      return Datum(v.AsString());
+    case ValueKind::kBytes: {
+      const Bytes& b = v.AsBytes();
+      return Datum(std::string(b.begin(), b.end()));
+    }
+    case ValueKind::kList: {
+      Datum::List out;
+      for (const Value& e : v.AsList()) {
+        out.push_back(FromValue(e));
+      }
+      return Datum(std::move(out));
+    }
+    case ValueKind::kObject:
+      return Datum(v.AsObject());
+  }
+  return Datum();
+}
+
+}  // namespace ibus

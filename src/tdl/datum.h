@@ -1,0 +1,105 @@
+// TDL runtime values. TDL (paper §3) is "a small, interpreted language based on CLOS
+// ... a subset that supports a full object model, but that could be supported in a
+// small, efficient run-time environment." Data objects in TDL are the same
+// ibus::DataObject instances the bus carries, so classes defined in TDL are instantly
+// publishable.
+#ifndef SRC_TDL_DATUM_H_
+#define SRC_TDL_DATUM_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/types/data_object.h"
+#include "src/types/value.h"
+
+namespace ibus {
+
+class Datum;
+class TdlEnv;
+using TdlEnvPtr = std::shared_ptr<TdlEnv>;
+
+// A user-defined function (lambda or method body).
+struct TdlLambda {
+  std::vector<std::string> params;
+  std::vector<Datum> body;
+  TdlEnvPtr closure;
+};
+
+struct TdlSymbol {
+  std::string name;
+  bool operator==(const TdlSymbol&) const = default;
+};
+
+class Datum {
+ public:
+  using List = std::vector<Datum>;
+  using NativeFn = std::function<Result<Datum>(std::vector<Datum>& args)>;
+
+  Datum() : v_(std::monostate{}) {}  // nil
+  Datum(bool b) : v_(b) {}                                    // NOLINT
+  Datum(int64_t i) : v_(i) {}                                 // NOLINT
+  Datum(double d) : v_(d) {}                                  // NOLINT
+  Datum(std::string s) : v_(std::move(s)) {}                  // NOLINT
+  Datum(TdlSymbol s) : v_(std::move(s)) {}                    // NOLINT
+  Datum(List l) : v_(std::move(l)) {}                         // NOLINT
+  Datum(DataObjectPtr o) : v_(std::move(o)) {}                // NOLINT
+  Datum(std::shared_ptr<TdlLambda> fn) : v_(std::move(fn)) {} // NOLINT
+  Datum(std::shared_ptr<NativeFn> fn) : v_(std::move(fn)) {}  // NOLINT
+
+  static Datum Symbol(std::string name) { return Datum(TdlSymbol{std::move(name)}); }
+  static Datum Native(NativeFn fn) {
+    return Datum(std::make_shared<NativeFn>(std::move(fn)));
+  }
+
+  bool is_nil() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_symbol() const { return std::holds_alternative<TdlSymbol>(v_); }
+  bool is_list() const { return std::holds_alternative<List>(v_); }
+  bool is_object() const { return std::holds_alternative<DataObjectPtr>(v_); }
+  bool is_lambda() const { return std::holds_alternative<std::shared_ptr<TdlLambda>>(v_); }
+  bool is_native() const { return std::holds_alternative<std::shared_ptr<NativeFn>>(v_); }
+  bool is_callable() const { return is_lambda() || is_native(); }
+
+  bool AsBool() const { return std::get<bool>(v_); }
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  double NumberAsDouble() const { return is_int() ? static_cast<double>(AsInt()) : AsDouble(); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+  const std::string& AsSymbol() const { return std::get<TdlSymbol>(v_).name; }
+  const List& AsList() const { return std::get<List>(v_); }
+  List& AsList() { return std::get<List>(v_); }
+  const DataObjectPtr& AsObject() const { return std::get<DataObjectPtr>(v_); }
+  const std::shared_ptr<TdlLambda>& AsLambda() const {
+    return std::get<std::shared_ptr<TdlLambda>>(v_);
+  }
+  const NativeFn& AsNative() const { return *std::get<std::shared_ptr<NativeFn>>(v_); }
+
+  // Lisp truthiness: everything except nil and false is true.
+  bool Truthy() const { return !is_nil() && !(is_bool() && !AsBool()); }
+
+  bool operator==(const Datum& other) const;
+
+  // Reader-style rendering: (defclass story ...) prints back as s-expression text.
+  std::string ToString() const;
+
+  // Conversion to/from the bus Value model (for slot values and publishing).
+  Result<Value> ToValue() const;
+  static Datum FromValue(const Value& v);
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string, TdlSymbol, List,
+               DataObjectPtr, std::shared_ptr<TdlLambda>, std::shared_ptr<NativeFn>>
+      v_;
+};
+
+}  // namespace ibus
+
+#endif  // SRC_TDL_DATUM_H_

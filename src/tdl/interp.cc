@@ -1,0 +1,488 @@
+#include "src/tdl/interp.h"
+
+#include <cmath>
+
+#include "src/types/printer.h"
+
+namespace ibus {
+
+namespace {
+
+Status Arity(const std::string& form, const Datum::List& list, size_t min, size_t max) {
+  size_t argc = list.size() - 1;
+  if (argc < min || argc > max) {
+    return InvalidArgument("tdl: " + form + " takes " + std::to_string(min) +
+                           (max == min ? "" : ".." + std::to_string(max)) + " args, got " +
+                           std::to_string(argc));
+  }
+  return OkStatus();
+}
+
+bool IsKeyword(const Datum& d) { return d.is_symbol() && !d.AsSymbol().empty() &&
+                                        d.AsSymbol()[0] == ':'; }
+
+}  // namespace
+
+TdlInterp::TdlInterp(TypeRegistry* registry)
+    : registry_(registry), global_(std::make_shared<TdlEnv>()) {
+  InstallBuiltins();
+}
+
+void TdlInterp::DefineNative(const std::string& name, Datum::NativeFn fn) {
+  global_->Define(name, Datum::Native(std::move(fn)));
+}
+
+void TdlInterp::DefineGlobal(const std::string& name, Datum value) {
+  global_->Define(name, std::move(value));
+}
+
+Result<Datum> TdlInterp::EvalProgram(std::string_view source) {
+  auto forms = ParseTdl(source);
+  if (!forms.ok()) {
+    return forms.status();
+  }
+  Datum last;
+  for (const Datum& form : *forms) {
+    auto r = Eval(form, global_);
+    if (!r.ok()) {
+      return r.status();
+    }
+    last = r.take();
+  }
+  return last;
+}
+
+Result<Datum> TdlInterp::Eval(const Datum& form, const TdlEnvPtr& env) {
+  if (form.is_symbol()) {
+    const std::string& name = form.AsSymbol();
+    if (IsKeyword(form)) {
+      return form;  // keywords evaluate to themselves
+    }
+    const Datum* bound = env->Lookup(name);
+    if (bound != nullptr) {
+      return *bound;
+    }
+    if (generics_.count(name) > 0) {
+      return form;  // generic functions are applied by name
+    }
+    return NotFound("tdl: unbound symbol '" + name + "'");
+  }
+  if (form.is_list()) {
+    if (form.AsList().empty()) {
+      return Datum();  // () is nil
+    }
+    return EvalList(form.AsList(), env);
+  }
+  return form;  // self-evaluating atom
+}
+
+Result<Datum> TdlInterp::EvalBody(const std::vector<Datum>& body, const TdlEnvPtr& env) {
+  Datum last;
+  for (const Datum& form : body) {
+    auto r = Eval(form, env);
+    if (!r.ok()) {
+      return r.status();
+    }
+    last = r.take();
+  }
+  return last;
+}
+
+Result<Datum> TdlInterp::EvalList(const Datum::List& list, const TdlEnvPtr& env) {
+  const Datum& head = list[0];
+  if (head.is_symbol()) {
+    const std::string& op = head.AsSymbol();
+
+    if (op == "quote") {
+      IBUS_RETURN_IF_ERROR(Arity(op, list, 1, 1));
+      return list[1];
+    }
+    if (op == "if") {
+      IBUS_RETURN_IF_ERROR(Arity(op, list, 2, 3));
+      auto cond = Eval(list[1], env);
+      if (!cond.ok()) {
+        return cond.status();
+      }
+      if (cond->Truthy()) {
+        return Eval(list[2], env);
+      }
+      return list.size() > 3 ? Eval(list[3], env) : Result<Datum>(Datum());
+    }
+    if (op == "cond") {
+      for (size_t i = 1; i < list.size(); ++i) {
+        if (!list[i].is_list() || list[i].AsList().empty()) {
+          return InvalidArgument("tdl: cond clause must be a non-empty list");
+        }
+        const Datum::List& clause = list[i].AsList();
+        auto test = Eval(clause[0], env);
+        if (!test.ok()) {
+          return test.status();
+        }
+        if (test->Truthy()) {
+          if (clause.size() == 1) {
+            return test;
+          }
+          return EvalBody(std::vector<Datum>(clause.begin() + 1, clause.end()), env);
+        }
+      }
+      return Datum();
+    }
+    if (op == "and") {
+      Datum last(true);
+      for (size_t i = 1; i < list.size(); ++i) {
+        auto r = Eval(list[i], env);
+        if (!r.ok()) {
+          return r.status();
+        }
+        if (!r->Truthy()) {
+          return r;
+        }
+        last = r.take();
+      }
+      return last;
+    }
+    if (op == "or") {
+      for (size_t i = 1; i < list.size(); ++i) {
+        auto r = Eval(list[i], env);
+        if (!r.ok()) {
+          return r.status();
+        }
+        if (r->Truthy()) {
+          return r;
+        }
+      }
+      return Datum();
+    }
+    if (op == "let" || op == "let*") {
+      if (list.size() < 2 || !list[1].is_list()) {
+        return InvalidArgument("tdl: let needs a binding list");
+      }
+      auto scope = std::make_shared<TdlEnv>(env);
+      const TdlEnvPtr& eval_env = op == "let*" ? scope : env;
+      for (const Datum& binding : list[1].AsList()) {
+        if (!binding.is_list() || binding.AsList().size() != 2 ||
+            !binding.AsList()[0].is_symbol()) {
+          return InvalidArgument("tdl: let binding must be (name expr)");
+        }
+        auto value = Eval(binding.AsList()[1], eval_env);
+        if (!value.ok()) {
+          return value.status();
+        }
+        scope->Define(binding.AsList()[0].AsSymbol(), value.take());
+      }
+      return EvalBody(std::vector<Datum>(list.begin() + 2, list.end()), scope);
+    }
+    if (op == "lambda") {
+      if (list.size() < 3 || !list[1].is_list()) {
+        return InvalidArgument("tdl: lambda needs (params) body");
+      }
+      auto fn = std::make_shared<TdlLambda>();
+      for (const Datum& p : list[1].AsList()) {
+        if (!p.is_symbol()) {
+          return InvalidArgument("tdl: lambda params must be symbols");
+        }
+        fn->params.push_back(p.AsSymbol());
+      }
+      fn->body.assign(list.begin() + 2, list.end());
+      fn->closure = env;
+      return Datum(fn);
+    }
+    if (op == "setq") {
+      IBUS_RETURN_IF_ERROR(Arity(op, list, 2, 2));
+      if (!list[1].is_symbol()) {
+        return InvalidArgument("tdl: setq needs a symbol");
+      }
+      auto value = Eval(list[2], env);
+      if (!value.ok()) {
+        return value.status();
+      }
+      env->Set(list[1].AsSymbol(), *value);
+      return value;
+    }
+    if (op == "progn") {
+      return EvalBody(std::vector<Datum>(list.begin() + 1, list.end()), env);
+    }
+    if (op == "when" || op == "unless") {
+      if (list.size() < 2) {
+        return InvalidArgument("tdl: " + op + " needs a condition");
+      }
+      auto cond = Eval(list[1], env);
+      if (!cond.ok()) {
+        return cond.status();
+      }
+      bool run = op == "when" ? cond->Truthy() : !cond->Truthy();
+      if (!run) {
+        return Datum();
+      }
+      return EvalBody(std::vector<Datum>(list.begin() + 2, list.end()), env);
+    }
+    if (op == "dolist") {
+      // (dolist (x list-expr) body...)
+      if (list.size() < 2 || !list[1].is_list() || list[1].AsList().size() != 2 ||
+          !list[1].AsList()[0].is_symbol()) {
+        return InvalidArgument("tdl: dolist (var list) body");
+      }
+      auto items = Eval(list[1].AsList()[1], env);
+      if (!items.ok()) {
+        return items.status();
+      }
+      if (!items->is_list()) {
+        return InvalidArgument("tdl: dolist needs a list");
+      }
+      auto scope = std::make_shared<TdlEnv>(env);
+      const std::string& var = list[1].AsList()[0].AsSymbol();
+      Datum last;
+      for (const Datum& item : items->AsList()) {
+        scope->Define(var, item);
+        auto r = EvalBody(std::vector<Datum>(list.begin() + 2, list.end()), scope);
+        if (!r.ok()) {
+          return r.status();
+        }
+        last = r.take();
+      }
+      return last;
+    }
+    if (op == "while") {
+      if (list.size() < 2) {
+        return InvalidArgument("tdl: while needs a condition");
+      }
+      Datum last;
+      int guard = 0;
+      while (true) {
+        auto cond = Eval(list[1], env);
+        if (!cond.ok()) {
+          return cond.status();
+        }
+        if (!cond->Truthy()) {
+          break;
+        }
+        auto r = EvalBody(std::vector<Datum>(list.begin() + 2, list.end()), env);
+        if (!r.ok()) {
+          return r.status();
+        }
+        last = r.take();
+        if (++guard > 1000000) {
+          return FailedPrecondition("tdl: while iteration limit exceeded");
+        }
+      }
+      return last;
+    }
+    if (op == "defun") {
+      if (list.size() < 4 || !list[1].is_symbol() || !list[2].is_list()) {
+        return InvalidArgument("tdl: defun name (params) body");
+      }
+      auto fn = std::make_shared<TdlLambda>();
+      for (const Datum& p : list[2].AsList()) {
+        if (!p.is_symbol()) {
+          return InvalidArgument("tdl: defun params must be symbols");
+        }
+        fn->params.push_back(p.AsSymbol());
+      }
+      fn->body.assign(list.begin() + 3, list.end());
+      fn->closure = global_;
+      global_->Define(list[1].AsSymbol(), Datum(fn));
+      return Datum::Symbol(list[1].AsSymbol());
+    }
+    if (op == "defclass") {
+      return FormDefclass(list, env);
+    }
+    if (op == "defmethod") {
+      return FormDefmethod(list, env);
+    }
+
+    // Not a special form: either a bound callable or a generic function.
+    const Datum* bound = env->Lookup(op);
+    if (bound == nullptr && generics_.count(op) > 0) {
+      std::vector<Datum> args;
+      for (size_t i = 1; i < list.size(); ++i) {
+        auto a = Eval(list[i], env);
+        if (!a.ok()) {
+          return a.status();
+        }
+        args.push_back(a.take());
+      }
+      return DispatchGeneric(op, args);
+    }
+  }
+
+  // Standard application: evaluate head and arguments.
+  auto fn = Eval(head, env);
+  if (!fn.ok()) {
+    return fn.status();
+  }
+  std::vector<Datum> args;
+  for (size_t i = 1; i < list.size(); ++i) {
+    auto a = Eval(list[i], env);
+    if (!a.ok()) {
+      return a.status();
+    }
+    args.push_back(a.take());
+  }
+  return Apply(*fn, args);
+}
+
+Result<Datum> TdlInterp::Apply(const Datum& fn, std::vector<Datum>& args) {
+  if (fn.is_native()) {
+    return fn.AsNative()(args);
+  }
+  if (fn.is_lambda()) {
+    const TdlLambda& lambda = *fn.AsLambda();
+    if (args.size() != lambda.params.size()) {
+      return InvalidArgument("tdl: function expects " + std::to_string(lambda.params.size()) +
+                             " args, got " + std::to_string(args.size()));
+    }
+    auto scope = std::make_shared<TdlEnv>(lambda.closure);
+    for (size_t i = 0; i < args.size(); ++i) {
+      scope->Define(lambda.params[i], std::move(args[i]));
+    }
+    return EvalBody(lambda.body, scope);
+  }
+  if (fn.is_symbol() && generics_.count(fn.AsSymbol()) > 0) {
+    return DispatchGeneric(fn.AsSymbol(), args);
+  }
+  return InvalidArgument("tdl: not callable: " + fn.ToString());
+}
+
+Result<Datum> TdlInterp::CallGeneric(const std::string& name, std::vector<Datum> args) {
+  return DispatchGeneric(name, args);
+}
+
+Result<Datum> TdlInterp::DispatchGeneric(const std::string& name, std::vector<Datum>& args) {
+  auto it = generics_.find(name);
+  if (it == generics_.end()) {
+    return NotFound("tdl: no generic function '" + name + "'");
+  }
+  if (args.empty()) {
+    return InvalidArgument("tdl: generic '" + name + "' needs at least one argument");
+  }
+  // Build the class chain of the dispatch argument, most specific first.
+  std::vector<std::string> chain;
+  if (args[0].is_object() && args[0].AsObject() != nullptr) {
+    std::string cur = args[0].AsObject()->type_name();
+    while (!cur.empty()) {
+      chain.push_back(cur);
+      const TypeDescriptor* d = registry_->Find(cur);
+      cur = d != nullptr ? d->supertype() : "";
+    }
+  } else {
+    if (args[0].is_string()) {
+      chain.push_back("string");
+    } else if (args[0].is_int()) {
+      chain.push_back("i64");
+    } else if (args[0].is_double()) {
+      chain.push_back("f64");
+    } else if (args[0].is_bool()) {
+      chain.push_back("bool");
+    } else if (args[0].is_list()) {
+      chain.push_back("list");
+    }
+    chain.push_back(kRootTypeName);
+  }
+  if (chain.empty() || chain.back() != kRootTypeName) {
+    chain.push_back(kRootTypeName);
+  }
+  for (const std::string& cls : chain) {
+    for (const Method& m : it->second) {
+      if (m.specializer == cls) {
+        if (args.size() != m.params.size()) {
+          return InvalidArgument("tdl: method '" + name + "' expects " +
+                                 std::to_string(m.params.size()) + " args");
+        }
+        auto scope = std::make_shared<TdlEnv>(m.closure);
+        for (size_t i = 0; i < args.size(); ++i) {
+          scope->Define(m.params[i], args[i]);
+        }
+        return EvalBody(m.body, scope);
+      }
+    }
+  }
+  return NotFound("tdl: no applicable method '" + name + "' for " +
+                  (args[0].is_object() && args[0].AsObject() != nullptr
+                       ? args[0].AsObject()->type_name()
+                       : args[0].ToString()));
+}
+
+Result<Datum> TdlInterp::FormDefclass(const Datum::List& list, const TdlEnvPtr& env) {
+  // (defclass name (supertype) ((slot :type string) (slot2 :type i32)))
+  if (list.size() < 3 || !list[1].is_symbol() || !list[2].is_list()) {
+    return InvalidArgument("tdl: defclass name (supertype) (slots...)");
+  }
+  const std::string& name = list[1].AsSymbol();
+  std::string supertype = kRootTypeName;
+  if (!list[2].AsList().empty()) {
+    if (!list[2].AsList()[0].is_symbol()) {
+      return InvalidArgument("tdl: defclass supertype must be a symbol");
+    }
+    supertype = list[2].AsList()[0].AsSymbol();
+  }
+  TypeDescriptor desc(name, supertype);
+  if (list.size() > 3) {
+    if (!list[3].is_list()) {
+      return InvalidArgument("tdl: defclass slot list must be a list");
+    }
+    for (const Datum& slot : list[3].AsList()) {
+      if (slot.is_symbol()) {
+        desc.AddAttribute(slot.AsSymbol(), "any");
+        continue;
+      }
+      if (!slot.is_list() || slot.AsList().empty() || !slot.AsList()[0].is_symbol()) {
+        return InvalidArgument("tdl: defclass slot must be a symbol or (name :type t)");
+      }
+      const Datum::List& spec = slot.AsList();
+      std::string slot_type = "any";
+      for (size_t i = 1; i + 1 < spec.size(); i += 2) {
+        if (IsKeyword(spec[i]) && spec[i].AsSymbol() == ":type" && spec[i + 1].is_symbol()) {
+          slot_type = spec[i + 1].AsSymbol();
+        }
+      }
+      desc.AddAttribute(spec[0].AsSymbol(), slot_type);
+    }
+  }
+  Status s = registry_->Define(desc);
+  if (!s.ok()) {
+    return s;
+  }
+  return Datum::Symbol(name);
+}
+
+Result<Datum> TdlInterp::FormDefmethod(const Datum::List& list, const TdlEnvPtr& env) {
+  // (defmethod name ((self class) other-param ...) body...)
+  if (list.size() < 4 || !list[1].is_symbol() || !list[2].is_list() ||
+      list[2].AsList().empty()) {
+    return InvalidArgument("tdl: defmethod name ((self class) args...) body");
+  }
+  const std::string& name = list[1].AsSymbol();
+  Method m;
+  const Datum::List& params = list[2].AsList();
+  const Datum& first = params[0];
+  if (!first.is_list() || first.AsList().size() != 2 || !first.AsList()[0].is_symbol() ||
+      !first.AsList()[1].is_symbol()) {
+    return InvalidArgument("tdl: defmethod first parameter must be (name class)");
+  }
+  m.params.push_back(first.AsList()[0].AsSymbol());
+  m.specializer = first.AsList()[1].AsSymbol();
+  for (size_t i = 1; i < params.size(); ++i) {
+    if (params[i].is_symbol()) {
+      m.params.push_back(params[i].AsSymbol());
+    } else if (params[i].is_list() && params[i].AsList().size() == 2 &&
+               params[i].AsList()[0].is_symbol()) {
+      m.params.push_back(params[i].AsList()[0].AsSymbol());  // specializer ignored: single dispatch
+    } else {
+      return InvalidArgument("tdl: defmethod parameter must be a symbol");
+    }
+  }
+  m.body.assign(list.begin() + 3, list.end());
+  m.closure = global_;
+  // Replace an existing method with the same specializer (redefinition), else add.
+  auto& methods = generics_[name];
+  for (Method& existing : methods) {
+    if (existing.specializer == m.specializer && existing.params.size() == m.params.size()) {
+      existing = std::move(m);
+      return Datum::Symbol(name);
+    }
+  }
+  methods.push_back(std::move(m));
+  return Datum::Symbol(name);
+}
+
+}  // namespace ibus

@@ -1,0 +1,114 @@
+// The TDL interpreter (paper P3): defclass registers types in a TypeRegistry at
+// run-time, make-instance builds bus-publishable DataObjects, and defmethod provides
+// CLOS-style generic functions with single dispatch along the supertype chain.
+//
+// Special forms: quote, if, cond, and, or, let, let*, lambda, setq, progn, while,
+//                defun, defclass, defmethod
+// Core builtins: arithmetic/comparison, list ops, string ops, slot-value,
+//                set-slot-value!, make-instance, type-of, isa?, describe, print.
+#ifndef SRC_TDL_INTERP_H_
+#define SRC_TDL_INTERP_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/tdl/datum.h"
+#include "src/tdl/parser.h"
+#include "src/types/registry.h"
+
+namespace ibus {
+
+class TdlEnv {
+ public:
+  explicit TdlEnv(TdlEnvPtr parent = nullptr) : parent_(std::move(parent)) {}
+
+  const Datum* Lookup(const std::string& name) const {
+    for (const TdlEnv* env = this; env != nullptr; env = env->parent_.get()) {
+      auto it = env->vars_.find(name);
+      if (it != env->vars_.end()) {
+        return &it->second;
+      }
+    }
+    return nullptr;
+  }
+
+  void Define(const std::string& name, Datum value) { vars_[name] = std::move(value); }
+
+  // Assigns in the scope where `name` is bound, or the current scope if unbound.
+  void Set(const std::string& name, Datum value) {
+    for (TdlEnv* env = this; env != nullptr; env = env->parent_.get()) {
+      auto it = env->vars_.find(name);
+      if (it != env->vars_.end()) {
+        it->second = std::move(value);
+        return;
+      }
+    }
+    vars_[name] = std::move(value);
+  }
+
+ private:
+  TdlEnvPtr parent_;
+  std::unordered_map<std::string, Datum> vars_;
+};
+
+class TdlInterp {
+ public:
+  // The interpreter defines classes into (and dispatches methods using) `registry`,
+  // which is shared with the rest of the process (bus codecs, repository, ...).
+  explicit TdlInterp(TypeRegistry* registry);
+
+  // Evaluates a whole program; returns the value of the last form.
+  Result<Datum> EvalProgram(std::string_view source);
+
+  // Evaluates one already-parsed form in the global environment.
+  Result<Datum> Eval(const Datum& form) { return Eval(form, global_); }
+
+  Result<Datum> Eval(const Datum& form, const TdlEnvPtr& env);
+
+  // Host interop: expose a native function or constant to scripts.
+  void DefineNative(const std::string& name, Datum::NativeFn fn);
+  void DefineGlobal(const std::string& name, Datum value);
+
+  // Calls a generic function (as defmethod'd in scripts) from C++.
+  Result<Datum> CallGeneric(const std::string& name, std::vector<Datum> args);
+
+  // Applies a callable datum (lambda/native/generic name) to already-evaluated
+  // arguments; the host-interop entry point for callbacks into scripts.
+  Result<Datum> Apply(const Datum& fn, std::vector<Datum>& args);
+
+  TypeRegistry* registry() { return registry_; }
+
+  // Output produced by (print ...), collected for embedding hosts (e.g. the
+  // application builder renders it); cleared by TakeOutput.
+  std::string TakeOutput() { return std::move(output_); }
+
+ private:
+  struct Method {
+    std::string specializer;  // class name of the first parameter
+    std::vector<std::string> params;
+    std::vector<Datum> body;
+    TdlEnvPtr closure;
+  };
+
+  Result<Datum> EvalList(const Datum::List& list, const TdlEnvPtr& env);
+  Result<Datum> EvalBody(const std::vector<Datum>& body, const TdlEnvPtr& env);
+  Result<Datum> DispatchGeneric(const std::string& name, std::vector<Datum>& args);
+
+  Result<Datum> FormDefclass(const Datum::List& list, const TdlEnvPtr& env);
+  Result<Datum> FormDefmethod(const Datum::List& list, const TdlEnvPtr& env);
+
+  void InstallBuiltins();
+
+  TypeRegistry* registry_;
+  TdlEnvPtr global_;
+  std::map<std::string, std::vector<Method>> generics_;
+  std::string output_;
+};
+
+}  // namespace ibus
+
+#endif  // SRC_TDL_INTERP_H_

@@ -1,0 +1,196 @@
+#include "src/tdl/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace ibus {
+
+namespace {
+
+struct Lexer {
+  std::string_view src;
+  size_t pos = 0;
+  int line = 1;
+
+  void SkipWhitespaceAndComments() {
+    while (pos < src.size()) {
+      char c = src[pos];
+      if (c == '\n') {
+        ++line;
+        ++pos;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos;
+      } else if (c == ';') {
+        while (pos < src.size() && src[pos] != '\n') {
+          ++pos;
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool AtEnd() {
+    SkipWhitespaceAndComments();
+    return pos >= src.size();
+  }
+
+  Status ErrorHere(const std::string& what) {
+    return InvalidArgument("tdl parse error (line " + std::to_string(line) + "): " + what);
+  }
+};
+
+bool IsSymbolChar(char c) {
+  return !std::isspace(static_cast<unsigned char>(c)) && c != '(' && c != ')' && c != '"' &&
+         c != '\'' && c != ';';
+}
+
+Result<Datum> ParseForm(Lexer& lex);
+
+Result<Datum> ParseList(Lexer& lex) {
+  ++lex.pos;  // consume '('
+  Datum::List items;
+  while (true) {
+    lex.SkipWhitespaceAndComments();
+    if (lex.pos >= lex.src.size()) {
+      return lex.ErrorHere("unterminated list");
+    }
+    if (lex.src[lex.pos] == ')') {
+      ++lex.pos;
+      return Datum(std::move(items));
+    }
+    auto item = ParseForm(lex);
+    if (!item.ok()) {
+      return item.status();
+    }
+    items.push_back(item.take());
+  }
+}
+
+Result<Datum> ParseString(Lexer& lex) {
+  ++lex.pos;  // consume opening quote
+  std::string out;
+  while (lex.pos < lex.src.size()) {
+    char c = lex.src[lex.pos++];
+    if (c == '"') {
+      return Datum(std::move(out));
+    }
+    if (c == '\\') {
+      if (lex.pos >= lex.src.size()) {
+        break;
+      }
+      char esc = lex.src[lex.pos++];
+      switch (esc) {
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '"':
+          out += '"';
+          break;
+        default:
+          out += esc;
+          break;
+      }
+    } else {
+      if (c == '\n') {
+        ++lex.line;
+      }
+      out += c;
+    }
+  }
+  return lex.ErrorHere("unterminated string");
+}
+
+Result<Datum> ParseAtom(Lexer& lex) {
+  size_t start = lex.pos;
+  while (lex.pos < lex.src.size() && IsSymbolChar(lex.src[lex.pos])) {
+    ++lex.pos;
+  }
+  std::string token(lex.src.substr(start, lex.pos - start));
+  if (token.empty()) {
+    return lex.ErrorHere("unexpected character '" + std::string(1, lex.src[lex.pos]) + "'");
+  }
+  // Numeric?
+  char* end = nullptr;
+  if (token.find_first_not_of("+-0123456789") == std::string::npos && token != "+" &&
+      token != "-") {
+    long long v = std::strtoll(token.c_str(), &end, 10);
+    if (end != nullptr && *end == '\0') {
+      return Datum(static_cast<int64_t>(v));
+    }
+  }
+  if (token.find_first_of("0123456789") != std::string::npos &&
+      token.find_first_not_of("+-.eE0123456789") == std::string::npos) {
+    double d = std::strtod(token.c_str(), &end);
+    if (end != nullptr && *end == '\0') {
+      return Datum(d);
+    }
+  }
+  if (token == "nil") {
+    return Datum();
+  }
+  if (token == "t") {
+    return Datum(true);
+  }
+  return Datum::Symbol(std::move(token));
+}
+
+Result<Datum> ParseForm(Lexer& lex) {
+  lex.SkipWhitespaceAndComments();
+  if (lex.pos >= lex.src.size()) {
+    return lex.ErrorHere("unexpected end of input");
+  }
+  char c = lex.src[lex.pos];
+  if (c == '(') {
+    return ParseList(lex);
+  }
+  if (c == ')') {
+    return lex.ErrorHere("unexpected ')'");
+  }
+  if (c == '"') {
+    return ParseString(lex);
+  }
+  if (c == '\'') {
+    ++lex.pos;
+    auto quoted = ParseForm(lex);
+    if (!quoted.ok()) {
+      return quoted.status();
+    }
+    return Datum(Datum::List{Datum::Symbol("quote"), quoted.take()});
+  }
+  return ParseAtom(lex);
+}
+
+}  // namespace
+
+Result<std::vector<Datum>> ParseTdl(std::string_view source) {
+  Lexer lex{source};
+  std::vector<Datum> forms;
+  while (!lex.AtEnd()) {
+    auto form = ParseForm(lex);
+    if (!form.ok()) {
+      return form.status();
+    }
+    forms.push_back(form.take());
+  }
+  return forms;
+}
+
+Result<Datum> ParseTdlOne(std::string_view source) {
+  auto forms = ParseTdl(source);
+  if (!forms.ok()) {
+    return forms.status();
+  }
+  if (forms->size() != 1) {
+    return InvalidArgument("tdl: expected exactly one form");
+  }
+  return (*forms)[0];
+}
+
+}  // namespace ibus

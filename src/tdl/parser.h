@@ -1,0 +1,23 @@
+// TDL reader: tokenizes and parses s-expression source text into Datum trees.
+// Supports integers, floats, strings with escapes, symbols, t/nil literals, quote
+// ('x => (quote x)), and ; line comments.
+#ifndef SRC_TDL_PARSER_H_
+#define SRC_TDL_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/tdl/datum.h"
+
+namespace ibus {
+
+// Parses a whole program: a sequence of top-level forms.
+Result<std::vector<Datum>> ParseTdl(std::string_view source);
+
+// Parses exactly one form (convenience for REPL-style use).
+Result<Datum> ParseTdlOne(std::string_view source);
+
+}  // namespace ibus
+
+#endif  // SRC_TDL_PARSER_H_

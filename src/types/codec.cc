@@ -1,0 +1,231 @@
+#include "src/types/codec.h"
+
+namespace ibus {
+
+namespace {
+// Recursion guard against hostile or corrupt buffers.
+constexpr int kMaxDepth = 64;
+
+Result<Value> UnmarshalValueDepth(WireReader* r, int depth);
+Result<DataObjectPtr> UnmarshalObjectDepth(WireReader* r, int depth);
+}  // namespace
+
+void MarshalValue(const Value& v, WireWriter* w) {
+  w->PutU8(static_cast<uint8_t>(v.kind()));
+  switch (v.kind()) {
+    case ValueKind::kNull:
+      break;
+    case ValueKind::kBool:
+      w->PutBool(v.AsBool());
+      break;
+    case ValueKind::kI32:
+      w->PutU32(static_cast<uint32_t>(v.AsI32()));
+      break;
+    case ValueKind::kI64:
+      w->PutI64(v.AsI64());
+      break;
+    case ValueKind::kF64:
+      w->PutF64(v.AsF64());
+      break;
+    case ValueKind::kString:
+      w->PutString(v.AsString());
+      break;
+    case ValueKind::kBytes:
+      w->PutBytes(v.AsBytes());
+      break;
+    case ValueKind::kList: {
+      const Value::List& l = v.AsList();
+      w->PutVarint(l.size());
+      for (const Value& e : l) {
+        MarshalValue(e, w);
+      }
+      break;
+    }
+    case ValueKind::kObject:
+      if (v.AsObject() == nullptr) {
+        // A nil object marshals as a zero marker so it round-trips to nil.
+        w->PutU8(0);
+      } else {
+        w->PutU8(1);
+        MarshalObject(*v.AsObject(), w);
+      }
+      break;
+  }
+}
+
+namespace {
+
+Result<Value> UnmarshalValueDepth(WireReader* r, int depth) {
+  if (depth > kMaxDepth) {
+    return DataLoss("value: nesting too deep");
+  }
+  auto tag = r->ReadU8();
+  if (!tag.ok()) {
+    return tag.status();
+  }
+  switch (static_cast<ValueKind>(*tag)) {
+    case ValueKind::kNull:
+      return Value();
+    case ValueKind::kBool: {
+      auto v = r->ReadBool();
+      if (!v.ok()) {
+        return v.status();
+      }
+      return Value(*v);
+    }
+    case ValueKind::kI32: {
+      auto v = r->ReadU32();
+      if (!v.ok()) {
+        return v.status();
+      }
+      return Value(static_cast<int32_t>(*v));
+    }
+    case ValueKind::kI64: {
+      auto v = r->ReadI64();
+      if (!v.ok()) {
+        return v.status();
+      }
+      return Value(*v);
+    }
+    case ValueKind::kF64: {
+      auto v = r->ReadF64();
+      if (!v.ok()) {
+        return v.status();
+      }
+      return Value(*v);
+    }
+    case ValueKind::kString: {
+      auto v = r->ReadString();
+      if (!v.ok()) {
+        return v.status();
+      }
+      return Value(*v);
+    }
+    case ValueKind::kBytes: {
+      auto v = r->ReadBytes();
+      if (!v.ok()) {
+        return v.status();
+      }
+      return Value(*v);
+    }
+    case ValueKind::kList: {
+      auto count = r->ReadVarint();
+      if (!count.ok()) {
+        return count.status();
+      }
+      if (*count > r->remaining()) {
+        return DataLoss("value: implausible list length");
+      }
+      Value::List l;
+      l.reserve(*count);
+      for (uint64_t i = 0; i < *count; ++i) {
+        auto e = UnmarshalValueDepth(r, depth + 1);
+        if (!e.ok()) {
+          return e.status();
+        }
+        l.push_back(e.take());
+      }
+      return Value(std::move(l));
+    }
+    case ValueKind::kObject: {
+      auto marker = r->ReadU8();
+      if (!marker.ok()) {
+        return marker.status();
+      }
+      if (*marker == 0) {
+        return Value(DataObjectPtr());
+      }
+      auto obj = UnmarshalObjectDepth(r, depth + 1);
+      if (!obj.ok()) {
+        return obj.status();
+      }
+      return Value(obj.take());
+    }
+  }
+  return DataLoss("value: unknown kind tag");
+}
+
+Result<DataObjectPtr> UnmarshalObjectDepth(WireReader* r, int depth) {
+  if (depth > kMaxDepth) {
+    return DataLoss("object: nesting too deep");
+  }
+  auto type_name = r->ReadString();
+  if (!type_name.ok()) {
+    return type_name.status();
+  }
+  auto attr_count = r->ReadVarint();
+  if (!attr_count.ok()) {
+    return attr_count.status();
+  }
+  if (*attr_count > r->remaining()) {
+    return DataLoss("object: implausible attribute count");
+  }
+  auto obj = std::make_shared<DataObject>(*type_name);
+  for (uint64_t i = 0; i < *attr_count; ++i) {
+    auto name = r->ReadString();
+    if (!name.ok()) {
+      return name.status();
+    }
+    auto value = UnmarshalValueDepth(r, depth + 1);
+    if (!value.ok()) {
+      return value.status();
+    }
+    obj->AddAttribute(*name, value.take());
+  }
+  auto prop_count = r->ReadVarint();
+  if (!prop_count.ok()) {
+    return prop_count.status();
+  }
+  if (*prop_count > r->remaining()) {
+    return DataLoss("object: implausible property count");
+  }
+  for (uint64_t i = 0; i < *prop_count; ++i) {
+    auto name = r->ReadString();
+    if (!name.ok()) {
+      return name.status();
+    }
+    auto value = UnmarshalValueDepth(r, depth + 1);
+    if (!value.ok()) {
+      return value.status();
+    }
+    obj->SetProperty(*name, value.take());
+  }
+  return obj;
+}
+
+}  // namespace
+
+Result<Value> UnmarshalValue(WireReader* r) { return UnmarshalValueDepth(r, 0); }
+
+void MarshalObject(const DataObject& obj, WireWriter* w) {
+  w->PutString(obj.type_name());
+  w->PutVarint(obj.attributes().size());
+  for (const auto& [name, value] : obj.attributes()) {
+    w->PutString(name);
+    MarshalValue(value, w);
+  }
+  w->PutVarint(obj.properties().size());
+  for (const auto& [name, value] : obj.properties()) {
+    w->PutString(name);
+    MarshalValue(value, w);
+  }
+}
+
+Result<DataObjectPtr> UnmarshalObject(WireReader* r) { return UnmarshalObjectDepth(r, 0); }
+
+Bytes MarshalObject(const DataObject& obj) {
+  WireWriter w;
+  MarshalObject(obj, &w);
+  return w.Take();
+}
+
+Result<DataObjectPtr> UnmarshalObject(const Bytes& b) {
+  WireReader r(b);
+  auto obj = UnmarshalObject(&r);
+  if (obj.ok() && !r.AtEnd()) {
+    return DataLoss("object: trailing bytes");
+  }
+  return obj;
+}
+
+}  // namespace ibus

@@ -1,0 +1,27 @@
+// Marshalling of Values and DataObjects to the wire. Objects travel fully
+// self-describing: type name, attribute names, kind-tagged values, and attached
+// properties — so any receiver can inspect and print an instance without the class
+// definition (paper P2). Operation metadata travels separately via TypeDescriptor.
+#ifndef SRC_TYPES_CODEC_H_
+#define SRC_TYPES_CODEC_H_
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/types/data_object.h"
+#include "src/types/value.h"
+#include "src/wire/wire.h"
+
+namespace ibus {
+
+void MarshalValue(const Value& v, WireWriter* w);
+Result<Value> UnmarshalValue(WireReader* r);
+
+void MarshalObject(const DataObject& obj, WireWriter* w);
+Result<DataObjectPtr> UnmarshalObject(WireReader* r);
+
+Bytes MarshalObject(const DataObject& obj);
+Result<DataObjectPtr> UnmarshalObject(const Bytes& b);
+
+}  // namespace ibus
+
+#endif  // SRC_TYPES_CODEC_H_

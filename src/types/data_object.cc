@@ -1,0 +1,107 @@
+#include "src/types/data_object.h"
+
+namespace ibus {
+
+namespace {
+const Value kNullValue;
+}  // namespace
+
+int DataObject::FindIndex(std::string_view name) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].first == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+const Value& DataObject::Get(std::string_view name) const {
+  int idx = FindIndex(name);
+  return idx < 0 ? kNullValue : attrs_[static_cast<size_t>(idx)].second;
+}
+
+Status DataObject::Set(std::string_view name, Value value) {
+  int idx = FindIndex(name);
+  if (idx < 0) {
+    return NotFound("object " + type_name_ + " has no attribute '" + std::string(name) + "'");
+  }
+  attrs_[static_cast<size_t>(idx)].second = std::move(value);
+  return OkStatus();
+}
+
+void DataObject::AddAttribute(std::string name, Value value) {
+  attrs_.emplace_back(std::move(name), std::move(value));
+}
+
+const Value& DataObject::GetProperty(std::string_view name) const {
+  for (const auto& [n, v] : props_) {
+    if (n == name) {
+      return v;
+    }
+  }
+  return kNullValue;
+}
+
+void DataObject::SetProperty(std::string_view name, Value value) {
+  for (auto& [n, v] : props_) {
+    if (n == name) {
+      v = std::move(value);
+      return;
+    }
+  }
+  props_.emplace_back(std::string(name), std::move(value));
+}
+
+bool DataObject::HasProperty(std::string_view name) const {
+  for (const auto& [n, v] : props_) {
+    if (n == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+Value CloneValue(const Value& v) {
+  if (v.is_object() && v.AsObject() != nullptr) {
+    return Value(v.AsObject()->Clone());
+  }
+  if (v.is_list()) {
+    Value::List out;
+    out.reserve(v.AsList().size());
+    for (const Value& e : v.AsList()) {
+      out.push_back(CloneValue(e));
+    }
+    return Value(std::move(out));
+  }
+  return v;
+}
+
+}  // namespace
+
+DataObjectPtr DataObject::Clone() const {
+  auto copy = std::make_shared<DataObject>(type_name_);
+  for (const auto& [name, value] : attrs_) {
+    copy->AddAttribute(name, CloneValue(value));
+  }
+  for (const auto& [name, value] : props_) {
+    copy->SetProperty(name, CloneValue(value));
+  }
+  return copy;
+}
+
+bool DataObject::operator==(const DataObject& other) const {
+  return type_name_ == other.type_name_ && attrs_ == other.attrs_ && props_ == other.props_;
+}
+
+DataObjectPtr MakeObject(std::string type_name,
+                         std::vector<std::pair<std::string, Value>> attrs) {
+  auto obj = std::make_shared<DataObject>(std::move(type_name));
+  for (auto& [name, value] : attrs) {
+    obj->AddAttribute(std::move(name), std::move(value));
+  }
+  return obj;
+}
+
+}  // namespace ibus

@@ -1,0 +1,70 @@
+// Self-describing data objects (paper P2). Every instance carries its type name and
+// its attribute names alongside the attribute values, so a receiver can inspect an
+// object it has never seen the class definition for. Objects also carry dynamically
+// attached Properties (OMG-style name/value pairs, paper §5.2).
+#ifndef SRC_TYPES_DATA_OBJECT_H_
+#define SRC_TYPES_DATA_OBJECT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/types/value.h"
+
+namespace ibus {
+
+class DataObject {
+ public:
+  explicit DataObject(std::string type_name) : type_name_(std::move(type_name)) {}
+
+  const std::string& type_name() const { return type_name_; }
+
+  // --- Attributes -----------------------------------------------------------------
+  // Ordered list of (name, value); order is the declaration order when created via
+  // TypeRegistry::NewInstance.
+  const std::vector<std::pair<std::string, Value>>& attributes() const { return attrs_; }
+
+  bool HasAttribute(std::string_view name) const { return FindIndex(name) >= 0; }
+
+  // Null value when absent (mirrors introspective access: callers that care should
+  // consult metadata first).
+  const Value& Get(std::string_view name) const;
+
+  // Sets an existing attribute. Fails with kNotFound if the attribute was never added.
+  Status Set(std::string_view name, Value value);
+
+  // Adds a new attribute slot (used by NewInstance and by unmarshalling).
+  void AddAttribute(std::string name, Value value = Value());
+
+  size_t attribute_count() const { return attrs_.size(); }
+
+  // --- Properties (dynamic name/value annotations) ---------------------------------
+  const std::vector<std::pair<std::string, Value>>& properties() const { return props_; }
+  const Value& GetProperty(std::string_view name) const;
+  void SetProperty(std::string_view name, Value value);
+  bool HasProperty(std::string_view name) const;
+
+  // Deep copy (attribute objects cloned recursively).
+  DataObjectPtr Clone() const;
+
+  bool operator==(const DataObject& other) const;
+
+ private:
+  int FindIndex(std::string_view name) const;
+
+  std::string type_name_;
+  std::vector<std::pair<std::string, Value>> attrs_;
+  std::vector<std::pair<std::string, Value>> props_;
+};
+
+// Convenience builder for ad-hoc objects in tests and adapters:
+//   MakeObject("story", {{"headline", "x"}, {"body", "y"}});
+DataObjectPtr MakeObject(std::string type_name,
+                         std::vector<std::pair<std::string, Value>> attrs = {});
+
+}  // namespace ibus
+
+#endif  // SRC_TYPES_DATA_OBJECT_H_

@@ -1,0 +1,103 @@
+#include "src/types/printer.h"
+
+namespace ibus {
+
+namespace {
+
+void Indent(std::string* out, int depth, const PrintOptions& opt) {
+  out->append(static_cast<size_t>(depth * opt.indent_width), ' ');
+}
+
+void PrintValueRec(const Value& v, int depth, const PrintOptions& opt, std::string* out);
+
+void PrintObjectRec(const DataObject& obj, int depth, const PrintOptions& opt,
+                    std::string* out) {
+  *out += obj.type_name();
+  if (opt.registry != nullptr) {
+    const TypeDescriptor* d = opt.registry->Find(obj.type_name());
+    if (d != nullptr && !d->supertype().empty()) {
+      *out += " (isa " + d->supertype() + ")";
+    }
+  }
+  *out += " {\n";
+  if (depth >= opt.max_depth) {
+    Indent(out, depth + 1, opt);
+    *out += "...\n";
+  } else {
+    for (const auto& [name, value] : obj.attributes()) {
+      Indent(out, depth + 1, opt);
+      *out += name;
+      if (opt.registry != nullptr) {
+        const TypeDescriptor* d = opt.registry->Find(obj.type_name());
+        // Search the whole chain for the declared attribute type.
+        std::string cur = obj.type_name();
+        while (d != nullptr && !cur.empty()) {
+          const AttributeDef* a = d->FindAttribute(name);
+          if (a != nullptr) {
+            *out += " : " + a->type_name;
+            break;
+          }
+          cur = d->supertype();
+          d = cur.empty() ? nullptr : opt.registry->Find(cur);
+        }
+      }
+      *out += " = ";
+      PrintValueRec(value, depth + 1, opt, out);
+      *out += "\n";
+    }
+    for (const auto& [name, value] : obj.properties()) {
+      Indent(out, depth + 1, opt);
+      *out += "@" + name + " = ";
+      PrintValueRec(value, depth + 1, opt, out);
+      *out += "\n";
+    }
+  }
+  Indent(out, depth, opt);
+  *out += "}";
+}
+
+void PrintValueRec(const Value& v, int depth, const PrintOptions& opt, std::string* out) {
+  switch (v.kind()) {
+    case ValueKind::kObject:
+      if (v.AsObject() == nullptr) {
+        *out += "nil";
+      } else {
+        PrintObjectRec(*v.AsObject(), depth, opt, out);
+      }
+      break;
+    case ValueKind::kList: {
+      if (v.AsList().empty()) {
+        *out += "[]";
+        break;
+      }
+      *out += "[\n";
+      for (const Value& e : v.AsList()) {
+        Indent(out, depth + 1, opt);
+        PrintValueRec(e, depth + 1, opt, out);
+        *out += "\n";
+      }
+      Indent(out, depth, opt);
+      *out += "]";
+      break;
+    }
+    default:
+      *out += v.ToString();
+      break;
+  }
+}
+
+}  // namespace
+
+std::string PrintValue(const Value& v, const PrintOptions& options) {
+  std::string out;
+  PrintValueRec(v, 0, options, &out);
+  return out;
+}
+
+std::string PrintObject(const DataObject& obj, const PrintOptions& options) {
+  std::string out;
+  PrintObjectRec(obj, 0, options, &out);
+  return out;
+}
+
+}  // namespace ibus

@@ -1,0 +1,28 @@
+// The generic "print" utility from paper §3 (P2): accepts an object of any type and
+// produces a text description by recursively descending through its metadata. It only
+// understands fundamental kinds but prints instances of arbitrary composed types.
+#ifndef SRC_TYPES_PRINTER_H_
+#define SRC_TYPES_PRINTER_H_
+
+#include <string>
+
+#include "src/types/data_object.h"
+#include "src/types/registry.h"
+#include "src/types/value.h"
+
+namespace ibus {
+
+struct PrintOptions {
+  int indent_width = 2;
+  int max_depth = 16;
+  // When a registry is available the printer also annotates each attribute with its
+  // declared type and the object with its supertype chain.
+  const TypeRegistry* registry = nullptr;
+};
+
+std::string PrintValue(const Value& v, const PrintOptions& options = PrintOptions());
+std::string PrintObject(const DataObject& obj, const PrintOptions& options = PrintOptions());
+
+}  // namespace ibus
+
+#endif  // SRC_TYPES_PRINTER_H_

@@ -1,0 +1,230 @@
+#include "src/types/registry.h"
+
+#include <unordered_set>
+
+namespace ibus {
+
+TypeRegistry::TypeRegistry() {
+  // The root type and the built-in Property type (paper §5.2) always exist.
+  TypeDescriptor root(kRootTypeName, "");
+  types_.emplace(kRootTypeName, root);
+
+  TypeDescriptor property("property", kRootTypeName);
+  property.AddAttribute("object_ref", "string");  // identity of the referenced object
+  property.AddAttribute("name", "string");
+  property.AddAttribute("value", "any");
+  types_.emplace("property", property);
+}
+
+Status TypeRegistry::Define(const TypeDescriptor& desc) {
+  if (desc.name().empty()) {
+    return InvalidArgument("type: empty name");
+  }
+  if (desc.name() == kRootTypeName) {
+    return InvalidArgument("type: cannot redefine root type");
+  }
+  if (IsFundamentalTypeName(desc.name())) {
+    return InvalidArgument("type: '" + desc.name() + "' is a reserved fundamental type");
+  }
+  if (desc.supertype().empty() || types_.count(desc.supertype()) == 0) {
+    return FailedPrecondition("type " + desc.name() + ": unknown supertype '" +
+                              desc.supertype() + "'");
+  }
+  // Attribute names must be unique across the whole inheritance chain.
+  std::unordered_set<std::string> seen;
+  auto inherited = AllAttributes(desc.supertype());
+  if (inherited.ok()) {
+    for (const AttributeDef& a : *inherited) {
+      seen.insert(a.name);
+    }
+  }
+  for (const AttributeDef& a : desc.attributes()) {
+    if (a.name.empty()) {
+      return InvalidArgument("type " + desc.name() + ": empty attribute name");
+    }
+    if (!seen.insert(a.name).second) {
+      return InvalidArgument("type " + desc.name() + ": duplicate attribute '" + a.name + "'");
+    }
+  }
+  auto it = types_.find(desc.name());
+  if (it != types_.end()) {
+    if (it->second == desc) {
+      return OkStatus();  // idempotent re-definition
+    }
+    if (desc.version() <= it->second.version()) {
+      return AlreadyExists("type " + desc.name() +
+                           ": conflicting definition at same or older version");
+    }
+    // Versioned evolution: the new descriptor replaces the old one.
+  }
+  types_[desc.name()] = desc;
+  for (const DefineObserver& obs : observers_) {
+    obs(desc);
+  }
+  return OkStatus();
+}
+
+Status TypeRegistry::DefineFromWire(const Bytes& marshalled) {
+  auto desc = TypeDescriptor::Unmarshal(marshalled);
+  if (!desc.ok()) {
+    return desc.status();
+  }
+  return Define(*desc);
+}
+
+const TypeDescriptor* TypeRegistry::Find(const std::string& name) const {
+  auto it = types_.find(name);
+  return it == types_.end() ? nullptr : &it->second;
+}
+
+Result<std::vector<AttributeDef>> TypeRegistry::AllAttributes(const std::string& name) const {
+  // Walk up the supertype chain, then emit supertype-first.
+  std::vector<const TypeDescriptor*> chain;
+  std::string cur = name;
+  while (!cur.empty()) {
+    const TypeDescriptor* d = Find(cur);
+    if (d == nullptr) {
+      return NotFound("type '" + cur + "' not registered");
+    }
+    chain.push_back(d);
+    cur = d->supertype();
+  }
+  std::vector<AttributeDef> out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    for (const AttributeDef& a : (*it)->attributes()) {
+      out.push_back(a);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<OperationDef>> TypeRegistry::AllOperations(const std::string& name) const {
+  std::vector<const TypeDescriptor*> chain;
+  std::string cur = name;
+  while (!cur.empty()) {
+    const TypeDescriptor* d = Find(cur);
+    if (d == nullptr) {
+      return NotFound("type '" + cur + "' not registered");
+    }
+    chain.push_back(d);
+    cur = d->supertype();
+  }
+  std::vector<OperationDef> out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    for (const OperationDef& o : (*it)->operations()) {
+      out.push_back(o);
+    }
+  }
+  return out;
+}
+
+bool TypeRegistry::IsSubtype(const std::string& name, const std::string& ancestor) const {
+  std::string cur = name;
+  while (!cur.empty()) {
+    if (cur == ancestor) {
+      return true;
+    }
+    const TypeDescriptor* d = Find(cur);
+    if (d == nullptr) {
+      return false;
+    }
+    cur = d->supertype();
+  }
+  return false;
+}
+
+std::vector<std::string> TypeRegistry::SubtypeClosure(const std::string& name) const {
+  std::vector<std::string> out;
+  for (const auto& [n, d] : types_) {
+    if (IsSubtype(n, name)) {
+      out.push_back(n);
+    }
+  }
+  return out;
+}
+
+Result<DataObjectPtr> TypeRegistry::NewInstance(const std::string& type_name) const {
+  auto attrs = AllAttributes(type_name);
+  if (!attrs.ok()) {
+    return attrs.status();
+  }
+  auto obj = std::make_shared<DataObject>(type_name);
+  for (const AttributeDef& a : *attrs) {
+    obj->AddAttribute(a.name);
+  }
+  return obj;
+}
+
+Status TypeRegistry::Validate(const DataObject& obj) const {
+  auto attrs = AllAttributes(obj.type_name());
+  if (!attrs.ok()) {
+    return attrs.status();
+  }
+  for (const AttributeDef& a : *attrs) {
+    if (!obj.HasAttribute(a.name)) {
+      return FailedPrecondition("object of type " + obj.type_name() + " missing attribute '" +
+                                a.name + "'");
+    }
+    const Value& v = obj.Get(a.name);
+    if (v.is_null()) {
+      continue;  // null permitted everywhere
+    }
+    if (a.type_name == "any" || a.type_name == "list" || !IsFundamentalTypeName(a.type_name)) {
+      // Non-fundamental attribute types are class names; structural check is that the
+      // value is an object (or list of them) — enforced loosely by design.
+      continue;
+    }
+    if (std::string(v.kind_name()) != a.type_name) {
+      return FailedPrecondition("object of type " + obj.type_name() + ": attribute '" + a.name +
+                                "' has kind " + v.kind_name() + ", expected " + a.type_name);
+    }
+  }
+  return OkStatus();
+}
+
+Status DeriveTypeFromInstance(TypeRegistry* registry, const DataObject& obj) {
+  if (registry->Has(obj.type_name())) {
+    return OkStatus();
+  }
+  TypeDescriptor desc(obj.type_name(), kRootTypeName);
+  for (const auto& [name, value] : obj.attributes()) {
+    switch (value.kind()) {
+      case ValueKind::kBool:
+        desc.AddAttribute(name, "bool");
+        break;
+      case ValueKind::kI32:
+        desc.AddAttribute(name, "i32");
+        break;
+      case ValueKind::kI64:
+        desc.AddAttribute(name, "i64");
+        break;
+      case ValueKind::kF64:
+        desc.AddAttribute(name, "f64");
+        break;
+      case ValueKind::kString:
+        desc.AddAttribute(name, "string");
+        break;
+      case ValueKind::kBytes:
+        desc.AddAttribute(name, "bytes");
+        break;
+      case ValueKind::kList:
+        desc.AddAttribute(name, "list");
+        break;
+      default:
+        desc.AddAttribute(name, "any");
+        break;
+    }
+  }
+  return registry->Define(desc);
+}
+
+std::vector<std::string> TypeRegistry::TypeNames() const {
+  std::vector<std::string> out;
+  out.reserve(types_.size());
+  for (const auto& [n, d] : types_) {
+    out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace ibus

@@ -1,0 +1,78 @@
+// TypeRegistry: the dynamic classing service (paper P3). New types can be defined at
+// run-time — from local code, from TDL `defclass` forms, or from descriptors learned
+// off the bus — and instances created immediately. The registry also answers the
+// introspective queries (P2): attribute lists with inheritance, subtype tests, and
+// subtype closures (used by the Object Repository to answer hierarchy-aware queries).
+#ifndef SRC_TYPES_REGISTRY_H_
+#define SRC_TYPES_REGISTRY_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/types/data_object.h"
+#include "src/types/type_descriptor.h"
+
+namespace ibus {
+
+class TypeRegistry {
+ public:
+  TypeRegistry();
+
+  // Defines a new type. The supertype must already be registered. Redefining an
+  // identical descriptor is idempotent; redefining with a higher version replaces the
+  // old descriptor (dynamic evolution); any other conflict is an error.
+  Status Define(const TypeDescriptor& desc);
+
+  // Defines a type from its wire form (used when a descriptor is learned off the bus).
+  Status DefineFromWire(const Bytes& marshalled);
+
+  bool Has(const std::string& name) const { return types_.count(name) > 0; }
+  const TypeDescriptor* Find(const std::string& name) const;
+
+  // All attributes including inherited ones, supertype-first.
+  Result<std::vector<AttributeDef>> AllAttributes(const std::string& name) const;
+
+  // All operations including inherited ones, supertype-first.
+  Result<std::vector<OperationDef>> AllOperations(const std::string& name) const;
+
+  // True when `name` equals `ancestor` or is a (transitive) subtype of it.
+  bool IsSubtype(const std::string& name, const std::string& ancestor) const;
+
+  // `name` plus every registered transitive subtype.
+  std::vector<std::string> SubtypeClosure(const std::string& name) const;
+
+  // Creates an instance with every (inherited + own) attribute present, initialized to
+  // null values.
+  Result<DataObjectPtr> NewInstance(const std::string& type_name) const;
+
+  // Verifies an object structurally conforms to its registered type: every declared
+  // attribute present and fundamental attribute kinds consistent (null always allowed).
+  Status Validate(const DataObject& obj) const;
+
+  std::vector<std::string> TypeNames() const;
+  size_t size() const { return types_.size(); }
+
+  // Observer invoked after each successful (re)definition; used to push new types to
+  // interested components (repository schema generation, bus type announcements).
+  using DefineObserver = std::function<void(const TypeDescriptor&)>;
+  void AddDefineObserver(DefineObserver observer) {
+    observers_.push_back(std::move(observer));
+  }
+
+ private:
+  std::unordered_map<std::string, TypeDescriptor> types_;
+  std::vector<DefineObserver> observers_;
+};
+
+// Derives a TypeDescriptor from a self-describing instance (attribute types from the
+// value kinds) and registers it. Used when a component receives an object whose type
+// it has never seen a descriptor for (pure P2: the instance is the description).
+// No-op if the type is already registered.
+Status DeriveTypeFromInstance(TypeRegistry* registry, const DataObject& obj);
+
+}  // namespace ibus
+
+#endif  // SRC_TYPES_REGISTRY_H_

@@ -1,0 +1,127 @@
+#include "src/types/type_descriptor.h"
+
+namespace ibus {
+
+bool IsFundamentalTypeName(const std::string& name) {
+  return name == "i32" || name == "i64" || name == "f64" || name == "bool" ||
+         name == "string" || name == "bytes" || name == "list" || name == "any" ||
+         name == "null";
+}
+
+std::string OperationDef::Signature() const {
+  std::string s = name + "(";
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (i != 0) {
+      s += ", ";
+    }
+    s += params[i].type_name + " " + params[i].name;
+  }
+  s += ") -> " + result_type;
+  return s;
+}
+
+const AttributeDef* TypeDescriptor::FindAttribute(const std::string& name) const {
+  for (const AttributeDef& a : attrs_) {
+    if (a.name == name) {
+      return &a;
+    }
+  }
+  return nullptr;
+}
+
+const OperationDef* TypeDescriptor::FindOperation(const std::string& name) const {
+  for (const OperationDef& o : ops_) {
+    if (o.name == name) {
+      return &o;
+    }
+  }
+  return nullptr;
+}
+
+void TypeDescriptor::ToWire(WireWriter* w) const {
+  w->PutString(name_);
+  w->PutString(supertype_);
+  w->PutU32(version_);
+  w->PutVarint(attrs_.size());
+  for (const AttributeDef& a : attrs_) {
+    w->PutString(a.name);
+    w->PutString(a.type_name);
+  }
+  w->PutVarint(ops_.size());
+  for (const OperationDef& o : ops_) {
+    w->PutString(o.name);
+    w->PutString(o.result_type);
+    w->PutVarint(o.params.size());
+    for (const ParamDef& p : o.params) {
+      w->PutString(p.name);
+      w->PutString(p.type_name);
+    }
+  }
+}
+
+Result<TypeDescriptor> TypeDescriptor::FromWire(WireReader* r) {
+  auto name = r->ReadString();
+  if (!name.ok()) {
+    return name.status();
+  }
+  auto supertype = r->ReadString();
+  if (!supertype.ok()) {
+    return supertype.status();
+  }
+  auto version = r->ReadU32();
+  if (!version.ok()) {
+    return version.status();
+  }
+  TypeDescriptor d(*name, *supertype);
+  d.set_version(*version);
+  auto attr_count = r->ReadVarint();
+  if (!attr_count.ok()) {
+    return attr_count.status();
+  }
+  for (uint64_t i = 0; i < *attr_count; ++i) {
+    auto an = r->ReadString();
+    auto at = r->ReadString();
+    if (!an.ok() || !at.ok()) {
+      return DataLoss("descriptor: truncated attribute");
+    }
+    d.AddAttribute(*an, *at);
+  }
+  auto op_count = r->ReadVarint();
+  if (!op_count.ok()) {
+    return op_count.status();
+  }
+  for (uint64_t i = 0; i < *op_count; ++i) {
+    OperationDef op;
+    auto on = r->ReadString();
+    auto ot = r->ReadString();
+    auto pc = r->ReadVarint();
+    if (!on.ok() || !ot.ok() || !pc.ok()) {
+      return DataLoss("descriptor: truncated operation");
+    }
+    op.name = *on;
+    op.result_type = *ot;
+    for (uint64_t j = 0; j < *pc; ++j) {
+      auto pn = r->ReadString();
+      auto pt = r->ReadString();
+      if (!pn.ok() || !pt.ok()) {
+        return DataLoss("descriptor: truncated parameter");
+      }
+      op.params.push_back(ParamDef{*pn, *pt});
+    }
+    d.AddOperation(std::move(op));
+  }
+  return d;
+}
+
+Bytes TypeDescriptor::Marshal() const {
+  WireWriter w;
+  ToWire(&w);
+  return w.Take();
+}
+
+Result<TypeDescriptor> TypeDescriptor::Unmarshal(const Bytes& b) {
+  WireReader r(b);
+  return FromWire(&r);
+}
+
+}  // namespace ibus

@@ -1,0 +1,92 @@
+// Type descriptors: the metadata half of the meta-object protocol (paper P2). A type
+// is an interface — named attributes and operation signatures — arranged in a
+// supertype/subtype hierarchy. Descriptors marshal to the wire so types defined in one
+// process can be learned by any other at run-time (paper P3, dynamic classing).
+#ifndef SRC_TYPES_TYPE_DESCRIPTOR_H_
+#define SRC_TYPES_TYPE_DESCRIPTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/wire/wire.h"
+
+namespace ibus {
+
+// Root of the type hierarchy; every type is ultimately a subtype of "object".
+inline constexpr char kRootTypeName[] = "object";
+
+// Fundamental attribute type names understood by every generic tool.
+bool IsFundamentalTypeName(const std::string& name);  // i32,i64,f64,bool,string,bytes,list,any
+
+struct AttributeDef {
+  std::string name;
+  // Fundamental type name, "list", "any", or the name of another (possibly
+  // dynamically defined) type.
+  std::string type_name;
+
+  bool operator==(const AttributeDef&) const = default;
+};
+
+struct ParamDef {
+  std::string name;
+  std::string type_name;
+
+  bool operator==(const ParamDef&) const = default;
+};
+
+struct OperationDef {
+  std::string name;
+  std::string result_type;  // "null" for void
+  std::vector<ParamDef> params;
+
+  bool operator==(const OperationDef&) const = default;
+  std::string Signature() const;  // "summarize(story s) -> string"
+};
+
+class TypeDescriptor {
+ public:
+  TypeDescriptor() = default;
+  TypeDescriptor(std::string name, std::string supertype)
+      : name_(std::move(name)), supertype_(std::move(supertype)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& supertype() const { return supertype_; }
+  uint32_t version() const { return version_; }
+  void set_version(uint32_t v) { version_ = v; }
+
+  const std::vector<AttributeDef>& attributes() const { return attrs_; }
+  const std::vector<OperationDef>& operations() const { return ops_; }
+
+  TypeDescriptor& AddAttribute(std::string name, std::string type_name) {
+    attrs_.push_back(AttributeDef{std::move(name), std::move(type_name)});
+    return *this;
+  }
+  TypeDescriptor& AddOperation(OperationDef op) {
+    ops_.push_back(std::move(op));
+    return *this;
+  }
+
+  const AttributeDef* FindAttribute(const std::string& name) const;
+  const OperationDef* FindOperation(const std::string& name) const;
+
+  bool operator==(const TypeDescriptor&) const = default;
+
+  // Wire form, used to gossip type definitions across the bus.
+  void ToWire(WireWriter* w) const;
+  static Result<TypeDescriptor> FromWire(WireReader* r);
+  Bytes Marshal() const;
+  static Result<TypeDescriptor> Unmarshal(const Bytes& b);
+
+ private:
+  std::string name_;
+  std::string supertype_ = kRootTypeName;
+  uint32_t version_ = 1;
+  std::vector<AttributeDef> attrs_;
+  std::vector<OperationDef> ops_;
+};
+
+}  // namespace ibus
+
+#endif  // SRC_TYPES_TYPE_DESCRIPTOR_H_

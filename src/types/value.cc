@@ -1,0 +1,128 @@
+#include "src/types/value.h"
+
+#include <cmath>
+
+#include "src/types/data_object.h"
+
+namespace ibus {
+
+const char* ValueKindName(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kBool:
+      return "bool";
+    case ValueKind::kI32:
+      return "i32";
+    case ValueKind::kI64:
+      return "i64";
+    case ValueKind::kF64:
+      return "f64";
+    case ValueKind::kString:
+      return "string";
+    case ValueKind::kBytes:
+      return "bytes";
+    case ValueKind::kList:
+      return "list";
+    case ValueKind::kObject:
+      return "object";
+  }
+  return "unknown";
+}
+
+int64_t Value::NumberAsI64() const {
+  switch (kind()) {
+    case ValueKind::kI32:
+      return AsI32();
+    case ValueKind::kI64:
+      return AsI64();
+    case ValueKind::kF64:
+      return static_cast<int64_t>(std::llround(AsF64()));
+    default:
+      return 0;
+  }
+}
+
+double Value::NumberAsF64() const {
+  switch (kind()) {
+    case ValueKind::kI32:
+      return AsI32();
+    case ValueKind::kI64:
+      return static_cast<double>(AsI64());
+    case ValueKind::kF64:
+      return AsF64();
+    default:
+      return 0.0;
+  }
+}
+
+bool Value::operator==(const Value& other) const {
+  if (kind() != other.kind()) {
+    return false;
+  }
+  if (kind() == ValueKind::kObject) {
+    const DataObjectPtr& a = AsObject();
+    const DataObjectPtr& b = other.AsObject();
+    if (a == b) {
+      return true;
+    }
+    if (a == nullptr || b == nullptr) {
+      return false;
+    }
+    return *a == *b;
+  }
+  return v_ == other.v_;
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueKind::kI32:
+      return std::to_string(AsI32());
+    case ValueKind::kI64:
+      return std::to_string(AsI64());
+    case ValueKind::kF64: {
+      std::string s = std::to_string(AsF64());
+      return s;
+    }
+    case ValueKind::kString:
+      return "\"" + AsString() + "\"";
+    case ValueKind::kBytes:
+      return "bytes[" + std::to_string(AsBytes().size()) + "]";
+    case ValueKind::kList: {
+      std::string s = "[";
+      const List& l = AsList();
+      for (size_t i = 0; i < l.size(); ++i) {
+        if (i != 0) {
+          s += ", ";
+        }
+        s += l[i].ToString();
+      }
+      s += "]";
+      return s;
+    }
+    case ValueKind::kObject: {
+      const DataObjectPtr& o = AsObject();
+      if (o == nullptr) {
+        return "object(nil)";
+      }
+      std::string s = o->type_name() + "{";
+      bool first = true;
+      for (const auto& [name, value] : o->attributes()) {
+        if (!first) {
+          s += ", ";
+        }
+        first = false;
+        s += name + "=" + value.ToString();
+      }
+      s += "}";
+      return s;
+    }
+  }
+  return "?";
+}
+
+}  // namespace ibus

@@ -1,0 +1,96 @@
+// Dynamically typed values carried by data objects. A Value is either a fundamental
+// (null, bool, i32, i64, f64, string, bytes), a list of values, or a nested data
+// object. The generic tools (printer, Object Repository, application builder) operate
+// on Values plus metadata only — they never need compile-time knowledge of a type.
+#ifndef SRC_TYPES_VALUE_H_
+#define SRC_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace ibus {
+
+class DataObject;
+using DataObjectPtr = std::shared_ptr<DataObject>;
+
+enum class ValueKind : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kI32 = 2,
+  kI64 = 3,
+  kF64 = 4,
+  kString = 5,
+  kBytes = 6,
+  kList = 7,
+  kObject = 8,
+};
+
+// Name of a value kind ("i32", "string", ...), matching attribute type names.
+const char* ValueKindName(ValueKind kind);
+
+class Value {
+ public:
+  using List = std::vector<Value>;
+
+  Value() : v_(std::monostate{}) {}
+  Value(bool b) : v_(b) {}                        // NOLINT: implicit by design
+  Value(int32_t i) : v_(i) {}                     // NOLINT
+  Value(int64_t i) : v_(i) {}                     // NOLINT
+  Value(double d) : v_(d) {}                      // NOLINT
+  Value(const char* s) : v_(std::string(s)) {}    // NOLINT
+  Value(std::string s) : v_(std::move(s)) {}      // NOLINT
+  Value(Bytes b) : v_(std::move(b)) {}            // NOLINT
+  Value(List l) : v_(std::move(l)) {}             // NOLINT
+  Value(DataObjectPtr o) : v_(std::move(o)) {}    // NOLINT
+
+  ValueKind kind() const { return static_cast<ValueKind>(v_.index()); }
+  const char* kind_name() const { return ValueKindName(kind()); }
+
+  bool is_null() const { return kind() == ValueKind::kNull; }
+  bool is_bool() const { return kind() == ValueKind::kBool; }
+  bool is_i32() const { return kind() == ValueKind::kI32; }
+  bool is_i64() const { return kind() == ValueKind::kI64; }
+  bool is_f64() const { return kind() == ValueKind::kF64; }
+  bool is_string() const { return kind() == ValueKind::kString; }
+  bool is_bytes() const { return kind() == ValueKind::kBytes; }
+  bool is_list() const { return kind() == ValueKind::kList; }
+  bool is_object() const { return kind() == ValueKind::kObject; }
+  bool is_number() const { return is_i32() || is_i64() || is_f64(); }
+
+  bool AsBool() const { return std::get<bool>(v_); }
+  int32_t AsI32() const { return std::get<int32_t>(v_); }
+  int64_t AsI64() const { return std::get<int64_t>(v_); }
+  double AsF64() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+  const Bytes& AsBytes() const { return std::get<Bytes>(v_); }
+  const List& AsList() const { return std::get<List>(v_); }
+  List& AsList() { return std::get<List>(v_); }
+  const DataObjectPtr& AsObject() const { return std::get<DataObjectPtr>(v_); }
+
+  // Numeric widening: any of i32/i64/f64 read as i64 or double.
+  int64_t NumberAsI64() const;
+  double NumberAsF64() const;
+
+  // Deep structural equality (object attributes compared recursively).
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  // Single-line rendering for diagnostics; the metadata-driven printer produces the
+  // full recursive form.
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, bool, int32_t, int64_t, double, std::string, Bytes, List,
+               DataObjectPtr>
+      v_;
+};
+
+}  // namespace ibus
+
+#endif  // SRC_TYPES_VALUE_H_

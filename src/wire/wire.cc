@@ -1,0 +1,188 @@
+#include "src/wire/wire.h"
+
+#include <cstring>
+
+namespace ibus {
+
+void WireWriter::PutU16(uint16_t v) {
+  PutU8(static_cast<uint8_t>(v));
+  PutU8(static_cast<uint8_t>(v >> 8));
+}
+
+void WireWriter::PutU32(uint32_t v) {
+  PutU16(static_cast<uint16_t>(v));
+  PutU16(static_cast<uint16_t>(v >> 16));
+}
+
+void WireWriter::PutU64(uint64_t v) {
+  PutU32(static_cast<uint32_t>(v));
+  PutU32(static_cast<uint32_t>(v >> 32));
+}
+
+void WireWriter::PutF64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void WireWriter::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    PutU8(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  PutU8(static_cast<uint8_t>(v));
+}
+
+void WireWriter::PutString(std::string_view s) {
+  PutVarint(s.size());
+  PutRaw(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+void WireWriter::PutBytes(const Bytes& b) {
+  PutVarint(b.size());
+  PutRaw(b);
+}
+
+Result<uint8_t> WireReader::ReadU8() {
+  IBUS_RETURN_IF_ERROR(Need(1));
+  return data_[pos_++];
+}
+
+Result<uint16_t> WireReader::ReadU16() {
+  IBUS_RETURN_IF_ERROR(Need(2));
+  uint16_t v = static_cast<uint16_t>(data_[pos_]) |
+               static_cast<uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+Result<uint32_t> WireReader::ReadU32() {
+  IBUS_RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | data_[pos_ + static_cast<size_t>(i)];
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> WireReader::ReadU64() {
+  IBUS_RETURN_IF_ERROR(Need(8));
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | data_[pos_ + static_cast<size_t>(i)];
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<int64_t> WireReader::ReadI64() {
+  auto r = ReadU64();
+  if (!r.ok()) {
+    return r.status();
+  }
+  return static_cast<int64_t>(*r);
+}
+
+Result<double> WireReader::ReadF64() {
+  auto r = ReadU64();
+  if (!r.ok()) {
+    return r.status();
+  }
+  double v;
+  uint64_t bits = *r;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<bool> WireReader::ReadBool() {
+  auto r = ReadU8();
+  if (!r.ok()) {
+    return r.status();
+  }
+  return *r != 0;
+}
+
+Result<uint64_t> WireReader::ReadVarint() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    IBUS_RETURN_IF_ERROR(Need(1));
+    uint8_t byte = data_[pos_++];
+    if (shift >= 64) {
+      return DataLoss("wire: varint overflow");
+    }
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      break;
+    }
+    shift += 7;
+  }
+  return v;
+}
+
+Result<std::string> WireReader::ReadString() {
+  auto len = ReadVarint();
+  if (!len.ok()) {
+    return len.status();
+  }
+  IBUS_RETURN_IF_ERROR(Need(*len));
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), *len);
+  pos_ += *len;
+  return s;
+}
+
+Result<Bytes> WireReader::ReadBytes() {
+  auto len = ReadVarint();
+  if (!len.ok()) {
+    return len.status();
+  }
+  IBUS_RETURN_IF_ERROR(Need(*len));
+  Bytes b(data_ + pos_, data_ + pos_ + *len);
+  pos_ += *len;
+  return b;
+}
+
+Bytes FrameMessage(uint8_t frame_type, const Bytes& payload) {
+  WireWriter w;
+  w.PutU16(kFrameMagic);
+  w.PutU8(kWireVersion);
+  w.PutU8(frame_type);
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutU32(Crc32(payload));
+  w.PutRaw(payload);
+  return w.Take();
+}
+
+Result<ParsedFrame> ParseFrame(const Bytes& frame) {
+  if (frame.size() < kFrameHeaderSize) {
+    return DataLoss("frame: too short");
+  }
+  WireReader r(frame);
+  auto magic = r.ReadU16();
+  if (!magic.ok() || *magic != kFrameMagic) {
+    return DataLoss("frame: bad magic");
+  }
+  auto version = r.ReadU8();
+  if (!version.ok() || *version != kWireVersion) {
+    return DataLoss("frame: version mismatch");
+  }
+  auto type = r.ReadU8();
+  auto len = r.ReadU32();
+  auto crc = r.ReadU32();
+  if (!type.ok() || !len.ok() || !crc.ok()) {
+    return DataLoss("frame: truncated header");
+  }
+  if (r.remaining() != *len) {
+    return DataLoss("frame: length mismatch");
+  }
+  ParsedFrame out;
+  out.frame_type = *type;
+  out.payload = Bytes(frame.begin() + static_cast<ptrdiff_t>(kFrameHeaderSize), frame.end());
+  if (Crc32(out.payload) != *crc) {
+    return DataLoss("frame: checksum failure");
+  }
+  return out;
+}
+
+}  // namespace ibus

@@ -1,0 +1,98 @@
+// Self-delimiting binary wire format used for everything that crosses the simulated
+// network: bus frames, protocol control messages, marshalled data objects, RMI
+// requests. Integers are little-endian; variable-length values carry explicit sizes;
+// Reader is fully bounds-checked and never reads past the buffer.
+#ifndef SRC_WIRE_WIRE_H_
+#define SRC_WIRE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace ibus {
+
+class WireWriter {
+ public:
+  WireWriter() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutF64(double v);
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  // LEB128-style unsigned varint.
+  void PutVarint(uint64_t v);
+
+  // Length-prefixed (varint) byte string.
+  void PutString(std::string_view s);
+  void PutBytes(const Bytes& b);
+
+  // Raw append without a length prefix (caller manages framing).
+  void PutRaw(const uint8_t* data, size_t len) { buf_.insert(buf_.end(), data, data + len); }
+  void PutRaw(const Bytes& b) { PutRaw(b.data(), b.size()); }
+
+  const Bytes& data() const { return buf_; }
+  Bytes Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(const Bytes& buf) : data_(buf.data()), size_(buf.size()) {}
+  WireReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint16_t> ReadU16();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int64_t> ReadI64();
+  Result<double> ReadF64();
+  Result<bool> ReadBool();
+  Result<uint64_t> ReadVarint();
+  Result<std::string> ReadString();
+  Result<Bytes> ReadBytes();
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+  size_t position() const { return pos_; }
+
+ private:
+  Status Need(size_t n) const {
+    if (size_ - pos_ < n) {
+      return DataLoss("wire: truncated buffer");
+    }
+    return OkStatus();
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// Framing for datagrams and connection messages:
+//   u16 magic 'IB' | u8 version | u8 frame_type | u32 payload_len | u32 crc | payload
+// Detects corruption and version skew before any payload parsing happens.
+constexpr uint16_t kFrameMagic = 0x4942;  // "IB"
+constexpr uint8_t kWireVersion = 1;
+constexpr size_t kFrameHeaderSize = 12;
+
+Bytes FrameMessage(uint8_t frame_type, const Bytes& payload);
+
+struct ParsedFrame {
+  uint8_t frame_type = 0;
+  Bytes payload;
+};
+Result<ParsedFrame> ParseFrame(const Bytes& frame);
+
+}  // namespace ibus
+
+#endif  // SRC_WIRE_WIRE_H_

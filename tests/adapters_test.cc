@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "src/adapters/feed_sim.h"
+#include "src/adapters/legacy_wip.h"
+#include "src/adapters/news_adapter.h"
+#include "src/rmi/client.h"
+#include "tests/bus_fixture.h"
+
+namespace ibus {
+namespace {
+
+TEST(FeedSimTest, DeterministicGivenSeed) {
+  DowJonesFeed a(7);
+  DowJonesFeed b(7);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(a.NextRaw(), b.NextRaw());
+  }
+  DowJonesFeed c(8);
+  EXPECT_NE(a.NextRaw(), c.NextRaw());
+}
+
+TEST(FeedSimTest, VendorsEncodeTheSameContentDifferently) {
+  FeedStory s;
+  s.serial = 42;
+  s.category = "equity";
+  s.ticker = "gmc";
+  s.headline = "gm strike";
+  s.industries = {"auto"};
+  s.body = "the body";
+  std::string dj = ToString(DowJonesFeed::Encode(s));
+  std::string rt = ToString(ReutersFeed::Encode(s));
+  EXPECT_EQ(dj, "DJ|42|equity|gmc|gm strike|auto|the body");
+  EXPECT_NE(dj, rt);
+  EXPECT_NE(rt.find("ZCZC"), std::string::npos);
+  EXPECT_NE(rt.find("TIC gmc"), std::string::npos);
+  EXPECT_NE(rt.find("NNNN"), std::string::npos);
+}
+
+class NewsAdapterTest : public BusFixture {
+ protected:
+  void SetUp() override {
+    SetUpBus(2);
+    ASSERT_TRUE(NewsAdapter::RegisterStoryTypes(&registry_).ok());
+    bus_client_ = MakeClient(0, "adapter");
+  }
+  TypeRegistry registry_;
+  std::unique_ptr<BusClient> bus_client_;
+};
+
+TEST_F(NewsAdapterTest, ParsesDowJonesIntoSubtype) {
+  NewsAdapter adapter(bus_client_.get(), &registry_, NewsVendor::kDowJones);
+  FeedStory expected;
+  DowJonesFeed feed(11);
+  Bytes raw = feed.NextRaw(&expected);
+  auto story = adapter.Parse(raw);
+  ASSERT_TRUE(story.ok()) << story.status().ToString();
+  EXPECT_EQ((*story)->type_name(), "dj_story");
+  EXPECT_EQ((*story)->Get("serial").AsI64(), static_cast<int64_t>(expected.serial));
+  EXPECT_EQ((*story)->Get("category").AsString(), expected.category);
+  EXPECT_EQ((*story)->Get("ticker").AsString(), expected.ticker);
+  EXPECT_EQ((*story)->Get("headline").AsString(), expected.headline);
+  EXPECT_EQ((*story)->Get("body").AsString(), expected.body);
+  EXPECT_EQ((*story)->Get("industries").AsList().size(), expected.industries.size());
+  // The subtype is a story (type hierarchy intact).
+  EXPECT_TRUE(registry_.IsSubtype("dj_story", "story"));
+}
+
+TEST_F(NewsAdapterTest, ParsesReutersIntoSubtype) {
+  NewsAdapter adapter(bus_client_.get(), &registry_, NewsVendor::kReuters);
+  FeedStory expected;
+  ReutersFeed feed(13);
+  Bytes raw = feed.NextRaw(&expected);
+  auto story = adapter.Parse(raw);
+  ASSERT_TRUE(story.ok()) << story.status().ToString();
+  EXPECT_EQ((*story)->type_name(), "rt_story");
+  EXPECT_EQ((*story)->Get("headline").AsString(), expected.headline);
+  EXPECT_EQ((*story)->Get("rt_service_level").AsString(), "standard");
+}
+
+TEST_F(NewsAdapterTest, MalformedInputRejected) {
+  NewsAdapter dj(bus_client_.get(), &registry_, NewsVendor::kDowJones);
+  EXPECT_FALSE(dj.Parse(ToBytes("garbage")).ok());
+  EXPECT_FALSE(dj.Parse(ToBytes("XX|1|equity|gmc|h|auto|b")).ok());
+  EXPECT_FALSE(dj.Parse(ToBytes("DJ|notanumber|equity|gmc|h|auto|b")).ok());
+  NewsAdapter rt(bus_client_.get(), &registry_, NewsVendor::kReuters);
+  EXPECT_FALSE(rt.Parse(ToBytes("SER 1\n")).ok());           // no ZCZC
+  EXPECT_FALSE(rt.Parse(ToBytes("ZCZC\nSER 1\n")).ok());     // no NNNN
+  EXPECT_EQ(dj.stats().parse_errors, 0u);                    // Parse() alone doesn't count
+}
+
+TEST_F(NewsAdapterTest, IngestPublishesUnderTopicSubject) {
+  NewsAdapter adapter(bus_client_.get(), &registry_, NewsVendor::kDowJones);
+  auto sub_client = MakeClient(1, "monitor");
+  std::vector<std::string> subjects;
+  ASSERT_TRUE(sub_client
+                  ->Subscribe("news.>",
+                              [&](const Message& m) { subjects.push_back(m.subject); })
+                  .ok());
+  Settle(10 * kMillisecond);
+  FeedStory content;
+  DowJonesFeed feed(5);
+  ASSERT_TRUE(adapter.Ingest(feed.NextRaw(&content)).ok());
+  Settle();
+  ASSERT_EQ(subjects.size(), 1u);
+  EXPECT_EQ(subjects[0], "news." + content.category + "." + content.ticker);
+  EXPECT_EQ(adapter.stats().published, 1u);
+}
+
+TEST(GreenScreenTest, MenuNavigationAndForms) {
+  GreenScreenWip wip;
+  wip.SeedLot("L100", "etch2", 24);
+  EXPECT_NE(wip.ReadScreen().find("SELECT OPTION"), std::string::npos);
+
+  // Status inquiry via the terminal only.
+  wip.SendKeys("1\n");
+  EXPECT_NE(wip.ReadScreen().find("ENTER LOT ID"), std::string::npos);
+  wip.SendKeys("L100\n");
+  EXPECT_NE(wip.ReadScreen().find("LOT L100 AT etch2 QTY 24"), std::string::npos);
+  wip.SendKeys("\n");
+
+  // Move form.
+  wip.SendKeys("2\nL100\nlitho8\n");
+  EXPECT_NE(wip.ReadScreen().find("MOVE OK - LOT L100 NOW AT litho8"), std::string::npos);
+  wip.SendKeys("\n");
+  wip.SendKeys("1\nL100\n");
+  EXPECT_NE(wip.ReadScreen().find("LOT L100 AT litho8"), std::string::npos);
+}
+
+TEST(GreenScreenTest, RejectsUnknownLotAndEmptyStation) {
+  GreenScreenWip wip;
+  wip.SendKeys("2\nGHOST\nsomewhere\n");
+  EXPECT_NE(wip.ReadScreen().find("MOVE REJECTED - LOT GHOST NOT ON FILE"), std::string::npos);
+  wip.SendKeys("\n");
+  wip.SeedLot("L1", "start", 1);
+  wip.SendKeys("2\nL1\n\n");
+  EXPECT_NE(wip.ReadScreen().find("STATION REQUIRED"), std::string::npos);
+  wip.SendKeys("\n");
+  wip.SendKeys("1\nNOPE\n");
+  EXPECT_NE(wip.ReadScreen().find("LOT NOPE NOT ON FILE"), std::string::npos);
+}
+
+class WipAdapterTest : public BusFixture {};
+
+TEST_F(WipAdapterTest, BusMessageDrivesTerminalMove) {
+  SetUpBus(2);
+  TypeRegistry registry;
+  GreenScreenWip legacy;
+  legacy.SeedLot("L7", "etch2", 25);
+  auto adapter_bus = MakeClient(0, "wip-adapter");
+  auto adapter = WipAdapter::Create(adapter_bus.get(), &registry, &legacy);
+  ASSERT_TRUE(adapter.ok()) << adapter.status().ToString();
+  Settle(10 * kMillisecond);
+
+  // A modern application publishes a typed move request; it neither knows nor cares
+  // that a Cobol terminal sits behind the subject (R3).
+  auto app = MakeClient(1, "cell-controller");
+  TypeRegistry app_registry;
+  ASSERT_TRUE(RegisterWipTypes(&app_registry).ok());
+  DataObjectPtr status_seen;
+  ASSERT_TRUE(app->SubscribeObjects("fab.wip.status.L7",
+                                    [&](const Message&, const DataObjectPtr& o) {
+                                      status_seen = o;
+                                    })
+                  .ok());
+  Settle(10 * kMillisecond);
+  auto move = app_registry.NewInstance("wip_move").take();
+  move->Set("lot", Value("L7")).ok();
+  move->Set("to_station", Value("litho8")).ok();
+  ASSERT_TRUE(app->PublishObject("fab.wip.move", *move).ok());
+  Settle();
+
+  EXPECT_EQ((*adapter)->stats().moves_executed, 1u);
+  ASSERT_NE(status_seen, nullptr);
+  EXPECT_EQ(status_seen->Get("station").AsString(), "litho8");
+  EXPECT_EQ(status_seen->Get("quantity").AsI64(), 25);
+  EXPECT_TRUE(status_seen->Get("on_file").AsBool());
+  // And the legacy screen agrees.
+  legacy.SendKeys("1\nL7\n");
+  EXPECT_NE(legacy.ReadScreen().find("LOT L7 AT litho8"), std::string::npos);
+}
+
+TEST_F(WipAdapterTest, RmiStatusQueryScrapesScreen) {
+  SetUpBus(2);
+  TypeRegistry registry;
+  GreenScreenWip legacy;
+  legacy.SeedLot("L9", "implant1", 13);
+  auto adapter_bus = MakeClient(0, "wip-adapter");
+  auto adapter = WipAdapter::Create(adapter_bus.get(), &registry, &legacy);
+  ASSERT_TRUE(adapter.ok());
+  Settle(10 * kMillisecond);
+
+  auto client_bus = MakeClient(1, "dashboard");
+  std::shared_ptr<RemoteService> remote;
+  RmiClient::Connect(client_bus.get(), "svc.wip", RmiClientConfig{},
+                     [&](auto r) { remote = r.take(); });
+  Settle();
+  ASSERT_NE(remote, nullptr);
+
+  DataObjectPtr status;
+  remote->Call("status", {Value("L9")}, [&](Result<Value> r) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    status = r->AsObject();
+  });
+  Settle();
+  ASSERT_NE(status, nullptr);
+  EXPECT_EQ(status->Get("station").AsString(), "implant1");
+  EXPECT_EQ(status->Get("quantity").AsI64(), 13);
+
+  DataObjectPtr missing;
+  remote->Call("status", {Value("GHOST")}, [&](Result<Value> r) {
+    ASSERT_TRUE(r.ok());
+    missing = r->AsObject();
+  });
+  Settle();
+  ASSERT_NE(missing, nullptr);
+  EXPECT_FALSE(missing->Get("on_file").AsBool());
+}
+
+}  // namespace
+}  // namespace ibus

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "src/appbuilder/app_builder.h"
+#include "src/rmi/server.h"
+#include "tests/bus_fixture.h"
+
+namespace ibus {
+namespace {
+
+std::shared_ptr<DynamicService> EchoService() {
+  auto svc = std::make_shared<DynamicService>("echo_service");
+  OperationDef echo;
+  echo.name = "echo";
+  echo.result_type = "string";
+  echo.params = {ParamDef{"text", "string"}};
+  svc->AddOperation(echo, [](const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 1 || !args[0].is_string()) {
+      return InvalidArgument("echo(text)");
+    }
+    return Value("echo: " + args[0].AsString());
+  });
+  return svc;
+}
+
+class AppBuilderTest : public BusFixture {
+ protected:
+  void SetUp() override { SetUpBus(3); }
+  TypeRegistry registry_;
+};
+
+TEST_F(AppBuilderTest, ScriptPublishesAndSubscribes) {
+  auto bus_a = MakeClient(0, "app-a");
+  auto bus_b = MakeClient(1, "app-b");
+  AppBuilder app_a(bus_a.get(), &registry_);
+  AppBuilder app_b(bus_b.get(), &registry_);
+
+  // Receiver app: define the class, subscribe, display what arrives.
+  ASSERT_TRUE(app_b.RunScript(R"tdl(
+      (defclass quote-tick (object) ((ticker :type string) (price :type f64)))
+      (bus-subscribe "quotes.>"
+        (lambda (subj obj)
+          (print subj (slot-value obj 'ticker) (slot-value obj 'price))))
+    )tdl")
+                  .ok());
+  Settle(10 * kMillisecond);
+
+  // Publisher app: same class (defined independently), publish a tick.
+  ASSERT_TRUE(app_a.RunScript(R"tdl(
+      (defclass quote-tick (object) ((ticker :type string) (price :type f64)))
+      (bus-publish "quotes.nyse.gmc"
+        (make-instance 'quote-tick :ticker "gmc" :price 41.25))
+    )tdl")
+                  .ok());
+  Settle();
+  std::string output = app_b.TakeOutput();
+  EXPECT_NE(output.find("quotes.nyse.gmc gmc 41.25"), std::string::npos);
+}
+
+TEST_F(AppBuilderTest, ScriptInvokesRemoteService) {
+  auto server_bus = MakeClient(1, "echo-server");
+  auto server = RmiServer::Create(server_bus.get(), "svc.echo", EchoService());
+  ASSERT_TRUE(server.ok());
+  Settle(10 * kMillisecond);
+
+  auto app_bus = MakeClient(0, "script-app");
+  AppBuilder app(app_bus.get(), &registry_);
+  ASSERT_TRUE(app.RunScript(R"tdl(
+      (bus-invoke "svc.echo" "echo" (list "hello from tdl")
+        (lambda (ok result) (print (if ok result "FAILED"))))
+    )tdl")
+                  .ok());
+  Settle();
+  EXPECT_NE(app.TakeOutput().find("echo: hello from tdl"), std::string::npos);
+}
+
+TEST_F(AppBuilderTest, InvokeFailureReachesScript) {
+  auto app_bus = MakeClient(0, "script-app");
+  AppBuilder app(app_bus.get(), &registry_);
+  ASSERT_TRUE(app.RunScript(R"tdl(
+      (bus-invoke "svc.nothing" "op" (list)
+        (lambda (ok result) (print (if ok "OK" (concat "error: " result)))))
+    )tdl")
+                  .ok());
+  Settle();
+  EXPECT_NE(app.TakeOutput().find("error: "), std::string::npos);
+}
+
+TEST_F(AppBuilderTest, ListServicesEnumeratesDirectory) {
+  auto s1_bus = MakeClient(1, "echo-server");
+  auto s1 = RmiServer::Create(s1_bus.get(), "svc.echo", EchoService());
+  ASSERT_TRUE(s1.ok());
+  auto s2_bus = MakeClient(2, "echo-server-2");
+  auto s2 = RmiServer::Create(s2_bus.get(), "svc.echo2", EchoService());
+  ASSERT_TRUE(s2.ok());
+  Settle(10 * kMillisecond);
+
+  auto app_bus = MakeClient(0, "browser");
+  AppBuilder app(app_bus.get(), &registry_);
+  ASSERT_TRUE(app.RunScript(R"tdl(
+      (list-services
+        (lambda (services)
+          (print "count:" (length services))
+          (mapcar (lambda (s) (print "svc:" (first s))) services)))
+    )tdl")
+                  .ok());
+  Settle();
+  std::string output = app.TakeOutput();
+  EXPECT_NE(output.find("count: 2"), std::string::npos);
+  EXPECT_NE(output.find("svc: svc.echo"), std::string::npos);
+  EXPECT_NE(output.find("svc: svc.echo2"), std::string::npos);
+}
+
+TEST(AppBuilderUiTest, MenuFromInterface) {
+  auto svc = EchoService();
+  std::string menu = AppBuilder::BuildMenu(svc->interface());
+  EXPECT_NE(menu.find("echo_service"), std::string::npos);
+  EXPECT_NE(menu.find("1. echo(string text) -> string"), std::string::npos);
+
+  TypeDescriptor empty("bare_service", "object");
+  EXPECT_NE(AppBuilder::BuildMenu(empty).find("(no operations)"), std::string::npos);
+}
+
+TEST(AppBuilderUiTest, DialogFromSignature) {
+  OperationDef op;
+  op.name = "move_lot";
+  op.result_type = "wip_status";
+  op.params = {ParamDef{"lot", "string"}, ParamDef{"to_station", "string"}};
+  std::string dialog = AppBuilder::BuildDialog(op);
+  EXPECT_NE(dialog.find("move_lot"), std::string::npos);
+  EXPECT_NE(dialog.find("lot (string)"), std::string::npos);
+  EXPECT_NE(dialog.find("to_station (string)"), std::string::npos);
+  EXPECT_NE(dialog.find("-> wip_status"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ibus
+
+namespace ibus {
+namespace {
+
+class ScriptServiceTest : public BusFixture {
+ protected:
+  void SetUp() override { SetUpBus(2); }
+  TypeRegistry registry_;
+};
+
+TEST_F(ScriptServiceTest, ServiceImplementedEntirelyInTdl) {
+  // A stateful counter service written in the interpreted language (P3), served over
+  // RMI, and consumed by another script on a different host.
+  auto server_bus = MakeClient(0, "counter-app");
+  AppBuilder server_app(server_bus.get(), &registry_);
+  ASSERT_TRUE(server_app
+                  .RunScript(R"tdl(
+        (defclass counter (object) ((count :type i64)))
+        (defmethod increment ((c counter) amount)
+          (set-slot-value! c 'count (+ (slot-value c 'count) amount))
+          (slot-value c 'count))
+        (defmethod current ((c counter)) (slot-value c 'count))
+        (setq the-counter (make-instance 'counter :count 0))
+        (define-service "svc.counter" the-counter (list 'increment 'current))
+      )tdl")
+                  .ok())
+      << server_app.TakeOutput();
+  Settle(10 * kMillisecond);
+
+  TypeRegistry client_registry;
+  auto client_bus = MakeClient(1, "client-app");
+  AppBuilder client_app(client_bus.get(), &client_registry);
+  ASSERT_TRUE(client_app
+                  .RunScript(R"tdl(
+        (bus-invoke "svc.counter" "increment" (list 5)
+          (lambda (ok result) (print "after +5:" result)))
+      )tdl")
+                  .ok());
+  Settle();
+  ASSERT_TRUE(client_app
+                  .RunScript(R"tdl(
+        (bus-invoke "svc.counter" "increment" (list 37)
+          (lambda (ok result) (print "after +37:" result)))
+        (bus-invoke "svc.counter" "current" (list)
+          (lambda (ok result) (print "current:" result)))
+      )tdl")
+                  .ok());
+  Settle();
+  std::string output = client_app.TakeOutput();
+  EXPECT_NE(output.find("after +5: 5"), std::string::npos) << output;
+  EXPECT_NE(output.find("after +37: 42"), std::string::npos) << output;
+  EXPECT_NE(output.find("current: 42"), std::string::npos) << output;
+
+  // Remote errors (no applicable method) propagate as RMI errors.
+  ASSERT_TRUE(client_app
+                  .RunScript(R"tdl(
+        (bus-invoke "svc.counter" "reset" (list)
+          (lambda (ok result) (print (if ok "unexpected" "reset failed as expected"))))
+      )tdl")
+                  .ok());
+  Settle();
+  EXPECT_NE(client_app.TakeOutput().find("reset failed as expected"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ibus

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "src/baseline/attribute_matcher.h"
+#include "src/baseline/central_broker.h"
+#include "src/sim/simulator.h"
+
+namespace ibus {
+namespace {
+
+class BrokerTest : public ::testing::Test {
+ protected:
+  BrokerTest() : net_(&sim_) {
+    seg_ = net_.AddSegment();
+    broker_host_ = net_.AddHost("broker", seg_);
+    for (int i = 0; i < 3; ++i) {
+      hosts_.push_back(net_.AddHost("h" + std::to_string(i), seg_));
+    }
+    auto broker = CentralBroker::Start(&net_, broker_host_, 7000);
+    EXPECT_TRUE(broker.ok());
+    broker_ = broker.take();
+  }
+
+  std::unique_ptr<BrokerClient> Client(HostId h) {
+    auto c = BrokerClient::Connect(&net_, h, broker_host_, 7000);
+    EXPECT_TRUE(c.ok());
+    return c.take();
+  }
+
+  Simulator sim_;
+  Network net_;
+  SegmentId seg_;
+  HostId broker_host_;
+  std::vector<HostId> hosts_;
+  std::unique_ptr<CentralBroker> broker_;
+};
+
+TEST_F(BrokerTest, PubSubThroughBroker) {
+  auto sub = Client(hosts_[0]);
+  std::vector<std::string> got;
+  sub->SetHandler([&](const std::string& subject, const Bytes& payload) {
+    got.push_back(subject + "=" + ToString(payload));
+  });
+  ASSERT_TRUE(sub->Subscribe("quotes.*").ok());
+  sim_.Run();
+  auto pub = Client(hosts_[1]);
+  ASSERT_TRUE(pub->Publish("quotes.gmc", ToBytes("41")).ok());
+  ASSERT_TRUE(pub->Publish("news.gmc", ToBytes("x")).ok());
+  sim_.Run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "quotes.gmc=41");
+  EXPECT_EQ(broker_->stats().publishes, 2u);
+  EXPECT_EQ(broker_->stats().deliveries, 1u);
+}
+
+TEST_F(BrokerTest, FanOutCostsOneUnicastPerSubscriber) {
+  std::vector<std::unique_ptr<BrokerClient>> subs;
+  int total = 0;
+  for (int i = 0; i < 3; ++i) {
+    subs.push_back(Client(hosts_[static_cast<size_t>(i)]));
+    subs.back()->SetHandler([&](const std::string&, const Bytes&) { ++total; });
+    ASSERT_TRUE(subs.back()->Subscribe("feed").ok());
+  }
+  sim_.Run();
+  net_.ResetStats();
+  auto pub = Client(hosts_[0]);
+  ASSERT_TRUE(pub->Publish("feed", Bytes(100)).ok());
+  sim_.Run();
+  EXPECT_EQ(total, 3);
+  // 1 publish frame in + 3 delivery frames out = 4 transmissions on the wire,
+  // versus 1 broadcast frame on the Information Bus.
+  EXPECT_GE(net_.stats().frames_sent, 4u);
+}
+
+TEST(AttributeQueryTest, PredicateEvaluation) {
+  auto story = MakeObject("story", {{"ticker", Value("gmc")},
+                                    {"words", Value(int64_t{250})},
+                                    {"headline", Value("GM strike vote")}});
+  EXPECT_TRUE(AttributeQuery().Matches(*story));  // empty query matches all
+  EXPECT_TRUE(AttributeQuery()
+                  .Where("ticker", AttributeQuery::Op::kEq, Value("gmc"))
+                  .Matches(*story));
+  EXPECT_FALSE(AttributeQuery()
+                   .Where("ticker", AttributeQuery::Op::kEq, Value("ibm"))
+                   .Matches(*story));
+  EXPECT_TRUE(AttributeQuery()
+                  .Where("words", AttributeQuery::Op::kGt, Value(int64_t{100}))
+                  .Where("headline", AttributeQuery::Op::kContains, Value("strike"))
+                  .Matches(*story));
+  EXPECT_FALSE(AttributeQuery()
+                   .Where("words", AttributeQuery::Op::kLt, Value(int64_t{100}))
+                   .Matches(*story));
+  EXPECT_FALSE(AttributeQuery()
+                   .Where("missing", AttributeQuery::Op::kEq, Value("x"))
+                   .Matches(*story));
+}
+
+TEST(AttributeMatcherTest, MatchAndRemove) {
+  AttributeMatcher matcher;
+  matcher.Insert(1, AttributeQuery().Where("ticker", AttributeQuery::Op::kEq, Value("gmc")));
+  matcher.Insert(2, AttributeQuery().Where("words", AttributeQuery::Op::kGt,
+                                           Value(int64_t{100})));
+  matcher.Insert(3, AttributeQuery().Where("ticker", AttributeQuery::Op::kEq, Value("ibm")));
+  auto story = MakeObject("story", {{"ticker", Value("gmc")}, {"words", Value(int64_t{250})}});
+  auto hits = matcher.Match(*story);
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<uint64_t>{1, 2}));
+  EXPECT_TRUE(matcher.Remove(2));
+  EXPECT_FALSE(matcher.Remove(2));
+  hits = matcher.Match(*story);
+  EXPECT_EQ(hits, (std::vector<uint64_t>{1}));
+}
+
+}  // namespace
+}  // namespace ibus

@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include "src/db/database.h"
+
+namespace ibus {
+namespace {
+
+TableSchema PeopleSchema() {
+  TableSchema s;
+  s.name = "people";
+  s.columns = {Column{"id", ColumnType::kText, false}, Column{"name", ColumnType::kText, false},
+               Column{"age", ColumnType::kI64, true}, Column{"score", ColumnType::kF64, true},
+               Column{"active", ColumnType::kBool, true}};
+  s.primary_key = "id";
+  return s;
+}
+
+Row Person(const char* id, const char* name, int64_t age, double score, bool active) {
+  return Row{Value(std::string(id)), Value(std::string(name)), Value(age), Value(score),
+             Value(active)};
+}
+
+TEST(SchemaTest, ValidationCatchesProblems) {
+  TableSchema s = PeopleSchema();
+  EXPECT_TRUE(s.Validate().ok());
+
+  TableSchema empty;
+  empty.name = "t";
+  EXPECT_FALSE(empty.Validate().ok());
+
+  TableSchema dup = PeopleSchema();
+  dup.columns.push_back(Column{"id", ColumnType::kText, false});
+  EXPECT_FALSE(dup.Validate().ok());
+
+  TableSchema bad_pk = PeopleSchema();
+  bad_pk.primary_key = "ghost";
+  EXPECT_FALSE(bad_pk.Validate().ok());
+
+  TableSchema nullable_pk = PeopleSchema();
+  nullable_pk.columns[0].nullable = true;
+  EXPECT_FALSE(nullable_pk.Validate().ok());
+}
+
+TEST(SchemaTest, CellChecks) {
+  Column text{"c", ColumnType::kText, false};
+  EXPECT_TRUE(CheckCell(text, Value("x")).ok());
+  EXPECT_FALSE(CheckCell(text, Value(int64_t{1})).ok());
+  EXPECT_FALSE(CheckCell(text, Value()).ok());  // NOT NULL
+
+  Column i64{"c", ColumnType::kI64, true};
+  EXPECT_TRUE(CheckCell(i64, Value(int64_t{1})).ok());
+  EXPECT_TRUE(CheckCell(i64, Value(int32_t{1})).ok());  // widening
+  EXPECT_TRUE(CheckCell(i64, Value()).ok());
+  EXPECT_FALSE(CheckCell(i64, Value(1.5)).ok());
+}
+
+class TableTest : public ::testing::Test {
+ protected:
+  TableTest() : table_(PeopleSchema()) {
+    EXPECT_TRUE(table_.Insert(Person("p1", "ada", 36, 9.5, true)).ok());
+    EXPECT_TRUE(table_.Insert(Person("p2", "bob", 25, 7.1, false)).ok());
+    EXPECT_TRUE(table_.Insert(Person("p3", "cam", 36, 8.8, true)).ok());
+  }
+  Table table_;
+};
+
+TEST_F(TableTest, InsertAndPkLookup) {
+  EXPECT_EQ(table_.row_count(), 3u);
+  auto row = table_.GetByPk(Value("p2"));
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[1].AsString(), "bob");
+  EXPECT_FALSE(table_.GetByPk(Value("ghost")).ok());
+}
+
+TEST_F(TableTest, DuplicatePkRejected) {
+  EXPECT_EQ(table_.Insert(Person("p1", "dup", 1, 1, true)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(TableTest, TypeMismatchRejected) {
+  Row bad = Person("p4", "dee", 1, 1, true);
+  bad[2] = Value("not a number");
+  EXPECT_FALSE(table_.Insert(bad).ok());
+  Row short_row{Value("p5")};
+  EXPECT_FALSE(table_.Insert(short_row).ok());
+}
+
+TEST_F(TableTest, SelectWithPredicates) {
+  auto rows = table_.Select(Predicate::Eq("age", Value(int64_t{36})));
+  EXPECT_EQ(rows.size(), 2u);
+  rows = table_.Select(Predicate().And("age", Predicate::Op::kGt, Value(int64_t{30})));
+  EXPECT_EQ(rows.size(), 2u);
+  rows = table_.Select(Predicate()
+                           .And("age", Predicate::Op::kGe, Value(int64_t{25}))
+                           .And("active", Predicate::Op::kEq, Value(true)));
+  EXPECT_EQ(rows.size(), 2u);
+  rows = table_.Select(Predicate().And("name", Predicate::Op::kPrefix, Value("b")));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][1].AsString(), "bob");
+  rows = table_.Select(Predicate::True());
+  EXPECT_EQ(rows.size(), 3u);
+  rows = table_.Select(Predicate::Eq("ghost_column", Value(int64_t{1})));
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST_F(TableTest, UpdateByPk) {
+  ASSERT_TRUE(table_.UpdateByPk(Value("p2"), Person("p2", "bobby", 26, 7.5, true)).ok());
+  auto row = table_.GetByPk(Value("p2"));
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[1].AsString(), "bobby");
+  // Changing the pk in an update is rejected.
+  EXPECT_FALSE(table_.UpdateByPk(Value("p2"), Person("p9", "x", 1, 1, true)).ok());
+  EXPECT_FALSE(table_.UpdateByPk(Value("ghost"), Person("ghost", "x", 1, 1, true)).ok());
+}
+
+TEST_F(TableTest, DeleteByPkAndReuse) {
+  ASSERT_TRUE(table_.DeleteByPk(Value("p2")).ok());
+  EXPECT_EQ(table_.row_count(), 2u);
+  EXPECT_FALSE(table_.GetByPk(Value("p2")).ok());
+  EXPECT_FALSE(table_.DeleteByPk(Value("p2")).ok());
+  // The freed slot is reused.
+  ASSERT_TRUE(table_.Insert(Person("p4", "dan", 40, 5.0, false)).ok());
+  EXPECT_EQ(table_.row_count(), 3u);
+  EXPECT_EQ(table_.Select(Predicate::True()).size(), 3u);
+}
+
+TEST_F(TableTest, SecondaryIndexServesEqualityQueries) {
+  ASSERT_TRUE(table_.CreateIndex("age").ok());
+  EXPECT_TRUE(table_.HasIndex("age"));
+  auto rows = table_.Select(Predicate::Eq("age", Value(int64_t{36})));
+  EXPECT_EQ(rows.size(), 2u);
+  // Index stays correct across mutation.
+  ASSERT_TRUE(table_.DeleteByPk(Value("p1")).ok());
+  rows = table_.Select(Predicate::Eq("age", Value(int64_t{36})));
+  EXPECT_EQ(rows.size(), 1u);
+  ASSERT_TRUE(table_.Insert(Person("p9", "zoe", 36, 2.0, true)).ok());
+  rows = table_.Select(Predicate::Eq("age", Value(int64_t{36})));
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST_F(TableTest, DeleteWhere) {
+  ASSERT_TRUE(table_.DeleteWhere(Predicate::Eq("active", Value(true))).ok());
+  EXPECT_EQ(table_.row_count(), 1u);
+  EXPECT_EQ(table_.Select(Predicate::True())[0][1].AsString(), "bob");
+}
+
+TEST(DatabaseTest, TableLifecycle) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(PeopleSchema()).ok());
+  EXPECT_TRUE(db.HasTable("people"));
+  EXPECT_EQ(db.CreateTable(PeopleSchema()).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(db.TableNames(), (std::vector<std::string>{"people"}));
+  ASSERT_TRUE(db.Insert("people", Person("p1", "ada", 36, 9.5, true)).ok());
+  auto rows = db.Select("people", Predicate::True());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+  EXPECT_FALSE(db.Insert("ghost", Row{}).ok());
+  EXPECT_FALSE(db.Select("ghost", Predicate::True()).ok());
+  ASSERT_TRUE(db.DropTable("people").ok());
+  EXPECT_FALSE(db.HasTable("people"));
+  EXPECT_FALSE(db.DropTable("people").ok());
+}
+
+TEST(DatabaseTest, NoPkTableScansStillWork) {
+  TableSchema s;
+  s.name = "log";
+  s.columns = {Column{"line", ColumnType::kText, false}};
+  Database db;
+  ASSERT_TRUE(db.CreateTable(s).ok());
+  Table* t = db.GetTable("log");
+  ASSERT_TRUE(t->Insert(Row{Value("a")}).ok());
+  ASSERT_TRUE(t->Insert(Row{Value("b")}).ok());
+  EXPECT_EQ(t->Select(Predicate::True()).size(), 2u);
+  EXPECT_FALSE(t->GetByPk(Value("a")).ok());  // no pk defined
+  ASSERT_TRUE(t->DeleteWhere(Predicate::Eq("line", Value("a"))).ok());
+  EXPECT_EQ(t->row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace ibus
+
+namespace ibus {
+namespace {
+
+class QueryOptionsTest : public ::testing::Test {
+ protected:
+  QueryOptionsTest() : table_(PeopleSchema()) {
+    table_.Insert(Person("p1", "ada", 36, 9.5, true)).ok();
+    table_.Insert(Person("p2", "bob", 25, 7.1, false)).ok();
+    table_.Insert(Person("p3", "cam", 36, 8.8, true)).ok();
+    table_.Insert(Person("p4", "dee", 52, 6.0, false)).ok();
+    Row no_age = Person("p5", "eve", 0, 5.5, true);
+    no_age[2] = Value();  // NULL age
+    table_.Insert(no_age).ok();
+  }
+  Table table_;
+};
+
+TEST_F(QueryOptionsTest, OrderByAscendingAndDescending) {
+  QueryOptions opt;
+  opt.order_by = "age";
+  auto rows = table_.Select(Predicate::True(), opt);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 5u);
+  EXPECT_TRUE((*rows)[0][2].is_null());  // NULLs first ascending
+  EXPECT_EQ((*rows)[1][2].AsI64(), 25);
+  EXPECT_EQ((*rows)[4][2].AsI64(), 52);
+
+  opt.descending = true;
+  rows = table_.Select(Predicate::True(), opt);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][2].AsI64(), 52);
+  EXPECT_TRUE((*rows)[4][2].is_null());  // NULLs last descending
+}
+
+TEST_F(QueryOptionsTest, OrderIsStableForTies) {
+  QueryOptions opt;
+  opt.order_by = "age";
+  auto rows = table_.Select(Predicate::True(), opt);
+  ASSERT_TRUE(rows.ok());
+  // ada (p1) and cam (p3) both 36: insertion order preserved.
+  EXPECT_EQ((*rows)[2][0].AsString(), "p1");
+  EXPECT_EQ((*rows)[3][0].AsString(), "p3");
+}
+
+TEST_F(QueryOptionsTest, LimitAndProjection) {
+  QueryOptions opt;
+  opt.order_by = "score";
+  opt.descending = true;
+  opt.limit = 2;
+  opt.projection = {"name", "score"};
+  auto rows = table_.Select(Predicate::True(), opt);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  ASSERT_EQ((*rows)[0].size(), 2u);
+  EXPECT_EQ((*rows)[0][0].AsString(), "ada");
+  EXPECT_DOUBLE_EQ((*rows)[0][1].AsF64(), 9.5);
+  EXPECT_EQ((*rows)[1][0].AsString(), "cam");
+}
+
+TEST_F(QueryOptionsTest, UnknownColumnsRejected) {
+  QueryOptions opt;
+  opt.order_by = "ghost";
+  EXPECT_FALSE(table_.Select(Predicate::True(), opt).ok());
+  opt.order_by = "";
+  opt.projection = {"name", "ghost"};
+  EXPECT_FALSE(table_.Select(Predicate::True(), opt).ok());
+}
+
+TEST_F(QueryOptionsTest, Aggregates) {
+  auto count = table_.Aggregate(Predicate::True(), "age", AggregateOp::kCount);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->AsI64(), 4);  // NULL age excluded
+
+  auto sum = table_.Aggregate(Predicate::True(), "age", AggregateOp::kSum);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(sum->AsF64(), 36 + 25 + 36 + 52);
+
+  auto avg = table_.Aggregate(Predicate::True(), "score", AggregateOp::kAvg);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_NEAR(avg->AsF64(), (9.5 + 7.1 + 8.8 + 6.0 + 5.5) / 5, 1e-9);
+
+  auto min = table_.Aggregate(Predicate::True(), "name", AggregateOp::kMin);
+  ASSERT_TRUE(min.ok());
+  EXPECT_EQ(min->AsString(), "ada");
+  auto max = table_.Aggregate(Predicate::True(), "age", AggregateOp::kMax);
+  ASSERT_TRUE(max.ok());
+  EXPECT_EQ(max->AsI64(), 52);
+
+  // Aggregates respect the predicate.
+  auto active_count = table_.Aggregate(Predicate::Eq("active", Value(true)), "age",
+                                       AggregateOp::kCount);
+  ASSERT_TRUE(active_count.ok());
+  EXPECT_EQ(active_count->AsI64(), 2);
+
+  // SUM over text fails; aggregates over empty sets are NULL (except COUNT=0).
+  EXPECT_FALSE(table_.Aggregate(Predicate::True(), "name", AggregateOp::kSum).ok());
+  auto empty_avg = table_.Aggregate(Predicate::Eq("name", Value("nobody")), "age",
+                                    AggregateOp::kAvg);
+  ASSERT_TRUE(empty_avg.ok());
+  EXPECT_TRUE(empty_avg->is_null());
+  EXPECT_FALSE(table_.Aggregate(Predicate::True(), "ghost", AggregateOp::kCount).ok());
+}
+
+}  // namespace
+}  // namespace ibus

@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include "src/repo/repository.h"
+#include "src/rmi/client.h"
+#include "tests/bus_fixture.h"
+
+namespace ibus {
+namespace {
+
+class RepoTest : public ::testing::Test {
+ protected:
+  RepoTest() : repo_(&registry_, &db_) {
+    TypeDescriptor story("story", "object");
+    story.AddAttribute("headline", "string");
+    story.AddAttribute("word_count", "i64");
+    story.AddAttribute("sources", "list");
+    EXPECT_TRUE(registry_.Define(story).ok());
+
+    TypeDescriptor dj("dj_story", "story");
+    dj.AddAttribute("dj_code", "string");
+    EXPECT_TRUE(registry_.Define(dj).ok());
+  }
+
+  DataObjectPtr NewStory(const std::string& headline, int64_t words) {
+    auto obj = registry_.NewInstance("story");
+    EXPECT_TRUE(obj.ok());
+    (*obj)->Set("headline", Value(headline)).ok();
+    (*obj)->Set("word_count", Value(words)).ok();
+    (*obj)->Set("sources", Value(Value::List{Value("dj"), Value("rt")})).ok();
+    return *obj;
+  }
+
+  TypeRegistry registry_;
+  Database db_;
+  Repository repo_;
+};
+
+TEST_F(RepoTest, SchemaGeneratedFromMetadata) {
+  ASSERT_TRUE(repo_.mapper()->EnsureSchema("story").ok());
+  ASSERT_TRUE(db_.HasTable("obj_story"));
+  ASSERT_TRUE(db_.HasTable("obj_story__sources"));
+  const Table* t = db_.GetTable("obj_story");
+  EXPECT_GE(t->schema().ColumnIndex("headline"), 0);
+  EXPECT_GE(t->schema().ColumnIndex("word_count"), 0);
+  EXPECT_EQ(t->schema().ColumnIndex("sources"), -1);  // lists live in the child table
+}
+
+TEST_F(RepoTest, StoreAndLoadRoundTrip) {
+  auto story = NewStory("Fab yields up", 350);
+  story->SetProperty("keywords", Value(Value::List{Value("yield")}));
+  auto id = repo_.Store(*story);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  auto loaded = repo_.Load("story", *id);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(**loaded, *story);
+}
+
+TEST_F(RepoTest, NestedObjectsDecomposeIntoTheirOwnTables) {
+  TypeDescriptor source("source", "object");
+  source.AddAttribute("agency", "string");
+  ASSERT_TRUE(registry_.Define(source).ok());
+  TypeDescriptor rich("rich_story", "story");
+  rich.AddAttribute("origin", "source");
+  ASSERT_TRUE(registry_.Define(rich).ok());
+
+  auto origin = registry_.NewInstance("source").take();
+  origin->Set("agency", Value("Reuters")).ok();
+  auto story = registry_.NewInstance("rich_story").take();
+  story->Set("headline", Value("h")).ok();
+  story->Set("word_count", Value(int64_t{10})).ok();
+  story->Set("sources", Value(Value::List{})).ok();
+  story->Set("origin", Value(origin)).ok();
+
+  auto id = repo_.Store(*story);
+  ASSERT_TRUE(id.ok());
+  // The nested object landed in its own type's table.
+  ASSERT_TRUE(db_.HasTable("obj_source"));
+  EXPECT_EQ(db_.GetTable("obj_source")->row_count(), 1u);
+
+  auto loaded = repo_.Load("rich_story", *id);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE((*loaded)->Get("origin").is_object());
+  EXPECT_EQ((*loaded)->Get("origin").AsObject()->Get("agency").AsString(), "Reuters");
+}
+
+TEST_F(RepoTest, QueryByAttribute) {
+  repo_.Store(*NewStory("alpha", 100)).ok();
+  repo_.Store(*NewStory("beta", 200)).ok();
+  repo_.Store(*NewStory("gamma", 300)).ok();
+
+  RepoQuery q;
+  q.type_name = "story";
+  q.predicate.And("word_count", Predicate::Op::kGt, Value(int64_t{150}));
+  auto result = repo_.Query(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST_F(RepoTest, QueriesRespectTypeHierarchy) {
+  repo_.Store(*NewStory("plain", 100)).ok();
+  auto dj = registry_.NewInstance("dj_story").take();
+  dj->Set("headline", Value("dj special")).ok();
+  dj->Set("word_count", Value(int64_t{50})).ok();
+  dj->Set("sources", Value(Value::List{})).ok();
+  dj->Set("dj_code", Value("X9")).ok();
+  repo_.Store(*dj).ok();
+
+  // Paper §4: "queries ... return all objects that satisfy a constraint, including
+  // objects that are instances of a subtype."
+  auto all = repo_.Count("story");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, 2u);
+  auto exact = repo_.Count("story", /*include_subtypes=*/false);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(*exact, 1u);
+
+  // The subtype instance comes back as its real type.
+  RepoQuery q;
+  q.type_name = "story";
+  q.predicate.And("word_count", Predicate::Op::kLt, Value(int64_t{60}));
+  auto result = repo_.Query(q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0]->type_name(), "dj_story");
+  EXPECT_EQ((*result)[0]->Get("dj_code").AsString(), "X9");
+}
+
+TEST_F(RepoTest, OldQueriesStillWorkWhenNewSubtypesAppear) {
+  repo_.Store(*NewStory("before", 10)).ok();
+  // A brand-new subtype shows up at run-time (R2).
+  TypeDescriptor bw("bloomberg_story", "story");
+  bw.AddAttribute("terminal_code", "string");
+  ASSERT_TRUE(registry_.Define(bw).ok());
+  auto obj = registry_.NewInstance("bloomberg_story").take();
+  obj->Set("headline", Value("after")).ok();
+  obj->Set("word_count", Value(int64_t{20})).ok();
+  obj->Set("sources", Value(Value::List{})).ok();
+  obj->Set("terminal_code", Value("BBG1")).ok();
+  ASSERT_TRUE(repo_.Store(*obj).ok());
+  auto count = repo_.Count("story");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 2u);  // the old "all stories" query picks up the new subtype
+}
+
+TEST_F(RepoTest, UnknownTypeDerivedFromInstance) {
+  // An object of a type the repository never saw a descriptor for (pure P2).
+  auto alien = MakeObject("sensor_sweep", {{"station", Value("litho8")},
+                                           {"readings", Value(Value::List{Value(1.5), Value(2.5)})},
+                                           {"ok", Value(true)}});
+  auto id = repo_.Store(*alien);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_TRUE(registry_.Has("sensor_sweep"));
+  EXPECT_TRUE(db_.HasTable("obj_sensor_sweep"));
+  auto loaded = repo_.Load("sensor_sweep", *id);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(**loaded, *alien);
+}
+
+TEST_F(RepoTest, SchemaEvolvesWhenTypeGainsAttributes) {
+  auto id = repo_.Store(*NewStory("old", 10));
+  ASSERT_TRUE(id.ok());
+  // Evolve the type: version 2 adds a byline.
+  TypeDescriptor story2("story", "object");
+  story2.AddAttribute("headline", "string");
+  story2.AddAttribute("word_count", "i64");
+  story2.AddAttribute("sources", "list");
+  story2.AddAttribute("byline", "string");
+  story2.set_version(2);
+  ASSERT_TRUE(registry_.Define(story2).ok());  // observer migrates the table
+
+  // The old row is still there, with a NULL byline.
+  auto loaded = repo_.Load("story", *id);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->Get("headline").AsString(), "old");
+  EXPECT_TRUE((*loaded)->Get("byline").is_null());
+
+  // New instances persist the new attribute.
+  auto obj = registry_.NewInstance("story").take();
+  obj->Set("headline", Value("new")).ok();
+  obj->Set("word_count", Value(int64_t{20})).ok();
+  obj->Set("sources", Value(Value::List{})).ok();
+  obj->Set("byline", Value("a. reporter")).ok();
+  auto id2 = repo_.Store(*obj);
+  ASSERT_TRUE(id2.ok());
+  auto loaded2 = repo_.Load("story", *id2);
+  ASSERT_TRUE(loaded2.ok());
+  EXPECT_EQ((*loaded2)->Get("byline").AsString(), "a. reporter");
+}
+
+TEST_F(RepoTest, DeleteRemovesAllRows) {
+  auto id = repo_.Store(*NewStory("gone", 5));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(repo_.Delete("story", *id).ok());
+  EXPECT_FALSE(repo_.Load("story", *id).ok());
+  EXPECT_EQ(db_.GetTable("obj_story__sources")->row_count(), 0u);
+}
+
+class RepoBusTest : public BusFixture {};
+
+TEST_F(RepoBusTest, CaptureServerStoresPublishedObjects) {
+  SetUpBus(2);
+  TypeRegistry registry;
+  Database db;
+  Repository repo(&registry, &db);
+  auto repo_bus = MakeClient(1, "repository");
+  auto capture = CaptureServer::Create(repo_bus.get(), &repo, {"news.>"});
+  ASSERT_TRUE(capture.ok());
+  Settle(10 * kMillisecond);
+
+  auto pub = MakeClient(0, "feed");
+  auto story = MakeObject("story", {{"headline", Value("GM up")}, {"ticker", Value("gmc")}});
+  ASSERT_TRUE(pub->PublishObject("news.equity.gmc", *story).ok());
+  ASSERT_TRUE(pub->PublishObject("news.equity.ibm", *story).ok());
+  ASSERT_TRUE(pub->Publish("sports.scores", ToBytes("not news")).ok());
+  Settle();
+  EXPECT_EQ((*capture)->captured(), 2u);
+  auto count = repo.Count("story");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 2u);
+}
+
+TEST_F(RepoBusTest, QueryServerAnswersOverRmi) {
+  SetUpBus(2);
+  TypeRegistry registry;
+  Database db;
+  Repository repo(&registry, &db);
+  auto story = MakeObject("story", {{"headline", Value("one")}, {"words", Value(int64_t{10})}});
+  ASSERT_TRUE(repo.Store(*story).ok());
+  auto story2 = MakeObject("story", {{"headline", Value("two")}, {"words", Value(int64_t{99})}});
+  ASSERT_TRUE(repo.Store(*story2).ok());
+
+  auto server_bus = MakeClient(1, "repo-server");
+  auto qs = QueryServer::Create(server_bus.get(), &repo, "svc.repository");
+  ASSERT_TRUE(qs.ok());
+  Settle(10 * kMillisecond);
+
+  auto client_bus = MakeClient(0, "analyst");
+  std::shared_ptr<RemoteService> remote;
+  RmiClient::Connect(client_bus.get(), "svc.repository", RmiClientConfig{},
+                     [&](auto r) { remote = r.take(); });
+  Settle();
+  ASSERT_NE(remote, nullptr);
+
+  int64_t count = -1;
+  remote->Call("count", {Value("story")}, [&](Result<Value> r) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    count = r->AsI64();
+  });
+  Settle();
+  EXPECT_EQ(count, 2);
+
+  std::vector<std::string> headlines;
+  remote->Call("query", {Value("story"), Value("words"), Value(">"), Value(int64_t{50})},
+               [&](Result<Value> r) {
+                 ASSERT_TRUE(r.ok()) << r.status().ToString();
+                 for (const Value& v : r->AsList()) {
+                   headlines.push_back(v.AsObject()->Get("headline").AsString());
+                 }
+               });
+  Settle();
+  EXPECT_EQ(headlines, (std::vector<std::string>{"two"}));
+
+  // Store a new object remotely.
+  auto story3 = MakeObject("story", {{"headline", Value("three")}, {"words", Value(int64_t{1})}});
+  std::string stored_id;
+  remote->Call("store", {Value(story3)}, [&](Result<Value> r) {
+    ASSERT_TRUE(r.ok());
+    stored_id = r->AsString();
+  });
+  Settle();
+  EXPECT_FALSE(stored_id.empty());
+  auto total = repo.Count("story");
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 3u);
+}
+
+}  // namespace
+}  // namespace ibus

@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include "src/rmi/client.h"
+#include "src/rmi/server.h"
+#include "src/rmi/service.h"
+#include "tests/bus_fixture.h"
+
+namespace ibus {
+namespace {
+
+// A small calculator service used throughout.
+std::shared_ptr<DynamicService> MakeCalculator() {
+  auto svc = std::make_shared<DynamicService>("calculator");
+  OperationDef add;
+  add.name = "add";
+  add.result_type = "i64";
+  add.params = {ParamDef{"a", "i64"}, ParamDef{"b", "i64"}};
+  svc->AddOperation(add, [](const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 2 || !args[0].is_number() || !args[1].is_number()) {
+      return InvalidArgument("add wants two numbers");
+    }
+    return Value(args[0].NumberAsI64() + args[1].NumberAsI64());
+  });
+  OperationDef fail;
+  fail.name = "always_fails";
+  fail.result_type = "null";
+  svc->AddOperation(fail, [](const std::vector<Value>&) -> Result<Value> {
+    return Internal("deliberate failure");
+  });
+  return svc;
+}
+
+class RmiTest : public BusFixture {};
+
+TEST_F(RmiTest, DiscoverConnectInvoke) {
+  SetUpBus(2);
+  auto server_bus = MakeClient(1, "calc-server");
+  auto server = RmiServer::Create(server_bus.get(), "svc.calc", MakeCalculator());
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  Settle(10 * kMillisecond);
+
+  auto client_bus = MakeClient(0, "calc-client");
+  std::shared_ptr<RemoteService> remote;
+  ASSERT_TRUE(RmiClient::Connect(client_bus.get(), "svc.calc", RmiClientConfig{},
+                                 [&](Result<std::shared_ptr<RemoteService>> r) {
+                                   ASSERT_TRUE(r.ok()) << r.status().ToString();
+                                   remote = r.take();
+                                 })
+                  .ok());
+  Settle();
+  ASSERT_NE(remote, nullptr);
+  EXPECT_TRUE(remote->connected());
+
+  int64_t sum = 0;
+  remote->Call("add", {Value(int64_t{40}), Value(int64_t{2})}, [&](Result<Value> r) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    sum = r->AsI64();
+  });
+  Settle();
+  EXPECT_EQ(sum, 42);
+  EXPECT_EQ((*server)->stats().requests, 1u);
+}
+
+TEST_F(RmiTest, RemoteErrorPropagates) {
+  SetUpBus(2);
+  auto server_bus = MakeClient(1, "calc-server");
+  auto server = RmiServer::Create(server_bus.get(), "svc.calc", MakeCalculator());
+  ASSERT_TRUE(server.ok());
+  Settle(10 * kMillisecond);
+  auto client_bus = MakeClient(0, "client");
+  std::shared_ptr<RemoteService> remote;
+  RmiClient::Connect(client_bus.get(), "svc.calc", RmiClientConfig{},
+                     [&](Result<std::shared_ptr<RemoteService>> r) { remote = r.take(); });
+  Settle();
+  ASSERT_NE(remote, nullptr);
+
+  Status got;
+  remote->Call("always_fails", {}, [&](Result<Value> r) { got = r.status(); });
+  Settle();
+  EXPECT_EQ(got.code(), StatusCode::kInternal);
+  EXPECT_EQ(got.message(), "deliberate failure");
+
+  Status missing;
+  remote->Call("no_such_op", {}, [&](Result<Value> r) { missing = r.status(); });
+  Settle();
+  EXPECT_EQ(missing.code(), StatusCode::kNotFound);
+}
+
+TEST_F(RmiTest, NoServerMeansUnavailable) {
+  SetUpBus(1);
+  auto client_bus = MakeClient(0, "client");
+  Status got;
+  RmiClient::Connect(client_bus.get(), "svc.ghost", RmiClientConfig{},
+                     [&](Result<std::shared_ptr<RemoteService>> r) { got = r.status(); });
+  Settle();
+  EXPECT_EQ(got.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(RmiTest, InterfaceLearnedAtDiscovery) {
+  SetUpBus(2);
+  auto server_bus = MakeClient(1, "calc-server");
+  auto server = RmiServer::Create(server_bus.get(), "svc.calc", MakeCalculator());
+  ASSERT_TRUE(server.ok());
+  Settle(10 * kMillisecond);
+  auto client_bus = MakeClient(0, "client");
+  std::shared_ptr<RemoteService> remote;
+  RmiClient::Connect(client_bus.get(), "svc.calc", RmiClientConfig{},
+                     [&](Result<std::shared_ptr<RemoteService>> r) { remote = r.take(); });
+  Settle();
+  ASSERT_NE(remote, nullptr);
+  // P2 for services: the client can enumerate operations it was never compiled with.
+  const TypeDescriptor& iface = remote->interface();
+  EXPECT_EQ(iface.name(), "calculator");
+  ASSERT_NE(iface.FindOperation("add"), nullptr);
+  EXPECT_EQ(iface.FindOperation("add")->Signature(), "add(i64 a, i64 b) -> i64");
+}
+
+TEST_F(RmiTest, DescribeOverTheWire) {
+  SetUpBus(2);
+  auto server_bus = MakeClient(1, "calc-server");
+  auto server = RmiServer::Create(server_bus.get(), "svc.calc", MakeCalculator());
+  ASSERT_TRUE(server.ok());
+  Settle(10 * kMillisecond);
+  auto client_bus = MakeClient(0, "client");
+  std::shared_ptr<RemoteService> remote;
+  RmiClient::Connect(client_bus.get(), "svc.calc", RmiClientConfig{},
+                     [&](Result<std::shared_ptr<RemoteService>> r) { remote = r.take(); });
+  Settle();
+  ASSERT_NE(remote, nullptr);
+  TypeDescriptor iface;
+  remote->Describe([&](Result<TypeDescriptor> r) {
+    ASSERT_TRUE(r.ok());
+    iface = r.take();
+  });
+  Settle();
+  EXPECT_EQ(iface.name(), "calculator");
+  EXPECT_EQ(iface.operations().size(), 2u);
+}
+
+TEST_F(RmiTest, MultipleServersDiscovered) {
+  SetUpBus(3);
+  auto bus1 = MakeClient(1, "server-a");
+  auto bus2 = MakeClient(2, "server-b");
+  auto s1 = RmiServer::Create(bus1.get(), "svc.multi", MakeCalculator());
+  auto s2 = RmiServer::Create(bus2.get(), "svc.multi", MakeCalculator());
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  Settle(10 * kMillisecond);
+
+  auto client_bus = MakeClient(0, "client");
+  std::vector<RmiAdvert> adverts;
+  RmiClient::Discover(client_bus.get(), "svc.multi", RmiClientConfig{},
+                      [&](std::vector<RmiAdvert> a) { adverts = std::move(a); });
+  Settle();
+  ASSERT_EQ(adverts.size(), 2u);
+  std::vector<std::string> names{adverts[0].server_name, adverts[1].server_name};
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"server-a", "server-b"}));
+}
+
+TEST_F(RmiTest, LeastLoadedSelectionAvoidsBusyServer) {
+  SetUpBus(3);
+  auto bus1 = MakeClient(1, "busy");
+  auto bus2 = MakeClient(2, "idle");
+  RmiServerConfig slow_cfg;
+  slow_cfg.service_time_us = 5 * kSecond;  // requests pile up
+  auto busy = RmiServer::Create(bus1.get(), "svc.lb", MakeCalculator(), slow_cfg);
+  auto idle = RmiServer::Create(bus2.get(), "svc.lb", MakeCalculator());
+  ASSERT_TRUE(busy.ok());
+  ASSERT_TRUE(idle.ok());
+  Settle(10 * kMillisecond);
+
+  // Occupy the busy server with work from a helper client.
+  auto helper_bus = MakeClient(0, "helper");
+  std::shared_ptr<RemoteService> helper;
+  RmiAdvert busy_advert;
+  busy_advert.server_name = "busy";
+  busy_advert.subject = "svc.lb";
+  busy_advert.host = hosts_[1];
+  busy_advert.port = (*busy)->port();
+  RmiClient::ConnectTo(helper_bus.get(), busy_advert, RmiClientConfig{},
+                       [&](auto r) { helper = r.take(); });
+  Settle();
+  ASSERT_NE(helper, nullptr);
+  for (int i = 0; i < 5; ++i) {
+    helper->Call("add", {Value(int64_t{1}), Value(int64_t{1})}, [](Result<Value>) {});
+  }
+  Settle(50 * kMillisecond);
+  EXPECT_GT((*busy)->load(), 0u);
+
+  auto client_bus = MakeClient(0, "chooser");
+  RmiClientConfig cfg;
+  cfg.selection = ServerSelection::kLeastLoaded;
+  std::shared_ptr<RemoteService> remote;
+  RmiClient::Connect(client_bus.get(), "svc.lb", cfg,
+                     [&](Result<std::shared_ptr<RemoteService>> r) { remote = r.take(); });
+  Settle();
+  ASSERT_NE(remote, nullptr);
+  EXPECT_EQ(remote->advert().server_name, "idle");
+}
+
+TEST_F(RmiTest, ServerCrashFailsPendingCalls) {
+  SetUpBus(2);
+  auto server_bus = MakeClient(1, "calc-server");
+  RmiServerConfig cfg;
+  cfg.service_time_us = 1 * kSecond;  // slow enough to crash mid-request
+  auto server = RmiServer::Create(server_bus.get(), "svc.calc", MakeCalculator(), cfg);
+  ASSERT_TRUE(server.ok());
+  Settle(10 * kMillisecond);
+  auto client_bus = MakeClient(0, "client");
+  std::shared_ptr<RemoteService> remote;
+  RmiClient::Connect(client_bus.get(), "svc.calc", RmiClientConfig{},
+                     [&](Result<std::shared_ptr<RemoteService>> r) { remote = r.take(); });
+  Settle();
+  ASSERT_NE(remote, nullptr);
+
+  Status got;
+  bool done = false;
+  remote->Call("add", {Value(int64_t{1}), Value(int64_t{2})}, [&](Result<Value> r) {
+    done = true;
+    got = r.status();
+  });
+  sim_.RunFor(100 * kMillisecond);
+  net_->SetHostUp(hosts_[1], false);  // crash mid-service
+  Settle(5 * kSecond);
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(got.ok());  // at-most-once: the client sees a failure, not a hang
+}
+
+TEST_F(RmiTest, CallTimesOutWhenReplyNeverComes) {
+  SetUpBus(2);
+  auto server_bus = MakeClient(1, "slow-server");
+  RmiServerConfig cfg;
+  cfg.service_time_us = 10 * kSecond;
+  auto server = RmiServer::Create(server_bus.get(), "svc.slow", MakeCalculator(), cfg);
+  ASSERT_TRUE(server.ok());
+  Settle(10 * kMillisecond);
+  auto client_bus = MakeClient(0, "client");
+  RmiClientConfig ccfg;
+  ccfg.call_timeout_us = 500 * kMillisecond;
+  std::shared_ptr<RemoteService> remote;
+  RmiClient::Connect(client_bus.get(), "svc.slow", ccfg,
+                     [&](Result<std::shared_ptr<RemoteService>> r) { remote = r.take(); });
+  Settle();
+  ASSERT_NE(remote, nullptr);
+  Status got;
+  remote->Call("add", {Value(int64_t{1}), Value(int64_t{2})}, [&](Result<Value> r) {
+    got = r.status();
+  });
+  Settle(2 * kSecond);
+  EXPECT_EQ(got.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(RmiTest, NewServerTransparentlyReplacesOld) {
+  // R1 scenario: upgrade a live service. The old server goes away, a new one answers
+  // on the same subject; clients reconnect by subject and never name either server.
+  SetUpBus(3);
+  auto old_bus = MakeClient(1, "server-v1");
+  auto old_server = RmiServer::Create(old_bus.get(), "svc.upgrade", MakeCalculator());
+  ASSERT_TRUE(old_server.ok());
+  Settle(10 * kMillisecond);
+
+  auto client_bus = MakeClient(0, "client");
+  std::shared_ptr<RemoteService> remote;
+  RmiClient::Connect(client_bus.get(), "svc.upgrade", RmiClientConfig{},
+                     [&](auto r) { remote = r.take(); });
+  Settle();
+  ASSERT_NE(remote, nullptr);
+  EXPECT_EQ(remote->advert().server_name, "server-v1");
+
+  // Retire v1; bring up v2 on a different host.
+  old_server->reset();
+  old_bus.reset();
+  auto new_bus = MakeClient(2, "server-v2");
+  auto new_server = RmiServer::Create(new_bus.get(), "svc.upgrade", MakeCalculator());
+  ASSERT_TRUE(new_server.ok());
+  Settle(10 * kMillisecond);
+
+  std::shared_ptr<RemoteService> remote2;
+  RmiClient::Connect(client_bus.get(), "svc.upgrade", RmiClientConfig{},
+                     [&](auto r) { remote2 = r.take(); });
+  Settle();
+  ASSERT_NE(remote2, nullptr);
+  EXPECT_EQ(remote2->advert().server_name, "server-v2");
+  int64_t sum = 0;
+  remote2->Call("add", {Value(int64_t{20}), Value(int64_t{22})}, [&](Result<Value> r) {
+    ASSERT_TRUE(r.ok());
+    sum = r->AsI64();
+  });
+  Settle();
+  EXPECT_EQ(sum, 42);
+}
+
+TEST_F(RmiTest, ConcurrentCallsMultiplexOneConnection) {
+  SetUpBus(2);
+  auto server_bus = MakeClient(1, "calc");
+  auto server = RmiServer::Create(server_bus.get(), "svc.calc", MakeCalculator());
+  ASSERT_TRUE(server.ok());
+  Settle(10 * kMillisecond);
+  auto client_bus = MakeClient(0, "client");
+  std::shared_ptr<RemoteService> remote;
+  RmiClient::Connect(client_bus.get(), "svc.calc", RmiClientConfig{},
+                     [&](auto r) { remote = r.take(); });
+  Settle();
+  ASSERT_NE(remote, nullptr);
+  std::vector<int64_t> results;
+  for (int i = 0; i < 10; ++i) {
+    remote->Call("add", {Value(int64_t{i}), Value(int64_t{100})}, [&, i](Result<Value> r) {
+      ASSERT_TRUE(r.ok());
+      results.push_back(r->AsI64());
+    });
+  }
+  Settle();
+  ASSERT_EQ(results.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(results[static_cast<size_t>(i)], 100 + i);
+  }
+}
+
+}  // namespace
+}  // namespace ibus

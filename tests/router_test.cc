@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include "src/router/router.h"
+#include "src/sim/stable_store.h"
+#include "tests/bus_fixture.h"
+
+namespace ibus {
+namespace {
+
+// Two LANs joined by a router pair over the implicit WAN.
+class RouterTest : public ::testing::Test {
+ protected:
+  void SetUpTwoLans() {
+    net_ = std::make_unique<Network>(&sim_);
+    lan_a_ = net_->AddSegment();
+    lan_b_ = net_->AddSegment();
+    for (int i = 0; i < 2; ++i) {
+      a_hosts_.push_back(net_->AddHost("a" + std::to_string(i), lan_a_));
+      b_hosts_.push_back(net_->AddHost("b" + std::to_string(i), lan_b_));
+    }
+    for (HostId h : a_hosts_) {
+      auto d = BusDaemon::Start(net_.get(), h, config_);
+      ASSERT_TRUE(d.ok());
+      daemons_.push_back(d.take());
+    }
+    for (HostId h : b_hosts_) {
+      auto d = BusDaemon::Start(net_.get(), h, config_);
+      ASSERT_TRUE(d.ok());
+      daemons_.push_back(d.take());
+    }
+  }
+
+  void LinkRouters(const RouterConfig& cfg_a = {}, const RouterConfig& cfg_b = {}) {
+    router_bus_a_ = Client(a_hosts_[0], "_router:A");
+    router_bus_b_ = Client(b_hosts_[0], "_router:B");
+    auto ra = InfoRouter::Listen(router_bus_a_.get(), "_router:A", 8700, cfg_a);
+    ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+    router_a_ = ra.take();
+    sim_.RunFor(50 * kMillisecond);
+    auto rb = InfoRouter::Connect(router_bus_b_.get(), "_router:B", a_hosts_[0], 8700, cfg_b);
+    ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+    router_b_ = rb.take();
+    sim_.RunFor(200 * kMillisecond);
+    ASSERT_TRUE(router_a_->linked());
+    ASSERT_TRUE(router_b_->linked());
+  }
+
+  std::unique_ptr<BusClient> Client(HostId host, const std::string& name) {
+    auto c = BusClient::Connect(net_.get(), host, name, config_);
+    EXPECT_TRUE(c.ok());
+    return c.ok() ? c.take() : nullptr;
+  }
+
+  void Settle(SimTime t = 2 * kSecond) { sim_.RunFor(t); }
+
+  Simulator sim_;
+  std::unique_ptr<Network> net_;
+  BusConfig config_;
+  SegmentId lan_a_ = 0, lan_b_ = 0;
+  std::vector<HostId> a_hosts_, b_hosts_;
+  std::vector<std::unique_ptr<BusDaemon>> daemons_;
+  std::unique_ptr<BusClient> router_bus_a_, router_bus_b_;
+  std::unique_ptr<InfoRouter> router_a_, router_b_;
+};
+
+TEST_F(RouterTest, CrossLanPublishReachesRemoteSubscriber) {
+  SetUpTwoLans();
+  LinkRouters();
+
+  auto sub = Client(b_hosts_[1], "consumer-b");
+  std::vector<std::string> got;
+  ASSERT_TRUE(sub->Subscribe("news.equity.gmc",
+                             [&](const Message& m) { got.push_back(ToString(m.payload)); })
+                  .ok());
+  Settle(500 * kMillisecond);  // subscription event + advert must cross the WAN
+
+  auto pub = Client(a_hosts_[1], "publisher-a");
+  ASSERT_TRUE(pub->Publish("news.equity.gmc", ToBytes("GM +3%")).ok());
+  Settle();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "GM +3%");
+  EXPECT_EQ(router_a_->stats().forwarded, 1u);
+  EXPECT_EQ(router_b_->stats().republished, 1u);
+}
+
+TEST_F(RouterTest, UnwantedTrafficStaysLocal) {
+  SetUpTwoLans();
+  LinkRouters();
+  // LAN B subscribes only to news.*; LAN A chatter on other subjects must not cross.
+  auto sub = Client(b_hosts_[1], "consumer-b");
+  int got = 0;
+  ASSERT_TRUE(sub->Subscribe("news.>", [&](const Message&) { ++got; }).ok());
+  Settle(500 * kMillisecond);
+
+  auto pub = Client(a_hosts_[1], "publisher-a");
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(pub->Publish("telemetry.fab5.t" + std::to_string(i), ToBytes("x")).ok());
+  }
+  ASSERT_TRUE(pub->Publish("news.equity.ibm", ToBytes("IBM")).ok());
+  Settle();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(router_a_->stats().forwarded, 1u);  // only the news message crossed
+}
+
+TEST_F(RouterTest, BidirectionalForwarding) {
+  SetUpTwoLans();
+  LinkRouters();
+  auto sub_a = Client(a_hosts_[1], "consumer-a");
+  auto sub_b = Client(b_hosts_[1], "consumer-b");
+  std::string got_a, got_b;
+  ASSERT_TRUE(
+      sub_a->Subscribe("from.b", [&](const Message& m) { got_a = ToString(m.payload); }).ok());
+  ASSERT_TRUE(
+      sub_b->Subscribe("from.a", [&](const Message& m) { got_b = ToString(m.payload); }).ok());
+  Settle(500 * kMillisecond);
+
+  auto pub_a = Client(a_hosts_[1], "pub-a");
+  auto pub_b = Client(b_hosts_[1], "pub-b");
+  ASSERT_TRUE(pub_a->Publish("from.a", ToBytes("hello-b")).ok());
+  ASSERT_TRUE(pub_b->Publish("from.b", ToBytes("hello-a")).ok());
+  Settle();
+  EXPECT_EQ(got_a, "hello-a");
+  EXPECT_EQ(got_b, "hello-b");
+}
+
+TEST_F(RouterTest, NoDuplicateWhenBothSidesSubscribe) {
+  SetUpTwoLans();
+  LinkRouters();
+  auto sub_a = Client(a_hosts_[1], "consumer-a");
+  auto sub_b = Client(b_hosts_[1], "consumer-b");
+  int got_a = 0, got_b = 0;
+  ASSERT_TRUE(sub_a->Subscribe("shared.topic", [&](const Message&) { ++got_a; }).ok());
+  ASSERT_TRUE(sub_b->Subscribe("shared.topic", [&](const Message&) { ++got_b; }).ok());
+  Settle(500 * kMillisecond);
+
+  auto pub = Client(a_hosts_[1], "pub-a");
+  ASSERT_TRUE(pub->Publish("shared.topic", ToBytes("once")).ok());
+  Settle();
+  // Local subscriber sees it once; remote subscriber sees it once; no echo storm.
+  EXPECT_EQ(got_a, 1);
+  EXPECT_EQ(got_b, 1);
+  EXPECT_GT(router_b_->stats().suppressed_loop, 0u);
+}
+
+TEST_F(RouterTest, WildcardSubscriptionsPropagate) {
+  SetUpTwoLans();
+  LinkRouters();
+  auto sub = Client(b_hosts_[1], "consumer-b");
+  std::vector<std::string> subjects;
+  ASSERT_TRUE(
+      sub->Subscribe("fab5.>", [&](const Message& m) { subjects.push_back(m.subject); }).ok());
+  Settle(500 * kMillisecond);
+  auto pub = Client(a_hosts_[1], "pub-a");
+  ASSERT_TRUE(pub->Publish("fab5.cc.litho8.thick", ToBytes("8.1")).ok());
+  ASSERT_TRUE(pub->Publish("fab5.cc.etch2.temp", ToBytes("350")).ok());
+  Settle();
+  EXPECT_EQ(subjects.size(), 2u);
+}
+
+TEST_F(RouterTest, SubjectRewriteOnForward) {
+  SetUpTwoLans();
+  RouterConfig cfg_b;  // B forwards LAN-B subjects to A rewritten under site2.*
+  cfg_b.rewrites.push_back(SubjectRewrite{"fab5", "site2.fab5"});
+  LinkRouters({}, cfg_b);
+
+  auto sub = Client(a_hosts_[1], "hq-monitor");
+  std::vector<std::string> subjects;
+  ASSERT_TRUE(sub->Subscribe("site2.fab5.>",
+                             [&](const Message& m) { subjects.push_back(m.subject); })
+                  .ok());
+  Settle(500 * kMillisecond);
+
+  // HQ (LAN A) subscribes under the rewritten namespace "site2.fab5.>"; router B
+  // inverse-rewrites the advertised pattern and mirrors "fab5.>" locally, so plant
+  // equipment on LAN B publishes under its natural local subjects.
+  auto pub = Client(b_hosts_[1], "fab-b");
+  ASSERT_TRUE(pub->Publish("fab5.cc.litho8.thick", ToBytes("8.1")).ok());
+  Settle();
+  ASSERT_EQ(subjects.size(), 1u);
+  EXPECT_EQ(subjects[0], "site2.fab5.cc.litho8.thick");
+
+  // Local subscribers on LAN B keep seeing the un-rewritten subject.
+  std::vector<std::string> local_subjects;
+  auto local_sub = Client(b_hosts_[1], "local-b");
+  ASSERT_TRUE(local_sub->Subscribe("fab5.>",
+                                   [&](const Message& m) { local_subjects.push_back(m.subject); })
+                  .ok());
+  Settle(500 * kMillisecond);
+  ASSERT_TRUE(pub->Publish("fab5.cc.etch2.temp", ToBytes("351")).ok());
+  Settle();
+  ASSERT_EQ(local_subjects.size(), 1u);
+  EXPECT_EQ(local_subjects[0], "fab5.cc.etch2.temp");
+}
+
+TEST_F(RouterTest, ForwardLogRecordsMessages) {
+  SetUpTwoLans();
+  MemoryStableStore log;
+  RouterConfig cfg_a;
+  cfg_a.forward_log = &log;
+  LinkRouters(cfg_a, {});
+  auto sub = Client(b_hosts_[1], "consumer-b");
+  ASSERT_TRUE(sub->Subscribe("logged.topic", [](const Message&) {}).ok());
+  Settle(500 * kMillisecond);
+  auto pub = Client(a_hosts_[1], "pub-a");
+  ASSERT_TRUE(pub->Publish("logged.topic", ToBytes("persist me")).ok());
+  Settle();
+  auto records = log.ReadFrom(0);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  auto logged = Message::Unmarshal((*records)[0]);
+  ASSERT_TRUE(logged.ok());
+  EXPECT_EQ(logged->subject, "logged.topic");
+  EXPECT_EQ(ToString(logged->payload), "persist me");
+}
+
+TEST_F(RouterTest, UnsubscribeStopsWanTraffic) {
+  SetUpTwoLans();
+  LinkRouters();
+  auto sub = Client(b_hosts_[1], "consumer-b");
+  auto id = sub->Subscribe("ephemeral.topic", [](const Message&) {});
+  ASSERT_TRUE(id.ok());
+  Settle(500 * kMillisecond);
+  auto pub = Client(a_hosts_[1], "pub-a");
+  ASSERT_TRUE(pub->Publish("ephemeral.topic", ToBytes("1")).ok());
+  Settle();
+  EXPECT_EQ(router_a_->stats().forwarded, 1u);
+
+  ASSERT_TRUE(sub->Unsubscribe(*id).ok());
+  Settle(500 * kMillisecond);
+  ASSERT_TRUE(pub->Publish("ephemeral.topic", ToBytes("2")).ok());
+  Settle();
+  EXPECT_EQ(router_a_->stats().forwarded, 1u);  // no longer crosses the WAN
+}
+
+TEST_F(RouterTest, InternalControlSubjectsNeverCross) {
+  SetUpTwoLans();
+  LinkRouters();
+  Settle(1 * kSecond);
+  // Daemons publish _ibus.sub.event traffic constantly during setup; none of it may
+  // be forwarded.
+  auto pub = Client(a_hosts_[1], "pub-a");
+  auto sub = Client(b_hosts_[1], "sub-b");
+  ASSERT_TRUE(sub->Subscribe("normal.topic", [](const Message&) {}).ok());
+  Settle(500 * kMillisecond);
+  uint64_t before = router_a_->stats().forwarded;
+  ASSERT_TRUE(pub->Publish("normal.topic", ToBytes("x")).ok());
+  Settle();
+  EXPECT_EQ(router_a_->stats().forwarded, before + 1);
+}
+
+}  // namespace
+}  // namespace ibus
+
+namespace ibus {
+namespace {
+
+class RouterReconnectTest : public RouterTest {};
+
+TEST_F(RouterReconnectTest, LinkOutageHealsByRedial) {
+  SetUpTwoLans();
+  RouterConfig dial_cfg;
+  dial_cfg.redial_interval_us = 500 * kMillisecond;
+  LinkRouters({}, dial_cfg);
+
+  auto sub = Client(b_hosts_[1], "consumer-b");
+  std::vector<std::string> got;
+  ASSERT_TRUE(sub->Subscribe("outage.topic",
+                             [&](const Message& m) { got.push_back(ToString(m.payload)); })
+                  .ok());
+  sim_.RunFor(500 * kMillisecond);
+
+  auto pub = Client(a_hosts_[1], "pub-a");
+  ASSERT_TRUE(pub->Publish("outage.topic", ToBytes("before")).ok());
+  sim_.RunFor(2 * kSecond);
+  ASSERT_EQ(got.size(), 1u);
+
+  // Partition the two router hosts: the WAN connection breaks.
+  net_->SetPartitionGroups({{a_hosts_[0], 1}, {a_hosts_[1], 1}});
+  sim_.RunFor(kSecond);
+  EXPECT_FALSE(router_b_->linked());
+  // Traffic during the outage is lost across the WAN (reliable, not guaranteed).
+  ASSERT_TRUE(pub->Publish("outage.topic", ToBytes("during")).ok());
+  sim_.RunFor(kSecond);
+
+  // Heal: the dialing side re-establishes the link and re-sends its advert.
+  net_->SetPartitionGroups({});
+  sim_.RunFor(5 * kSecond);
+  EXPECT_TRUE(router_b_->linked());
+  ASSERT_TRUE(pub->Publish("outage.topic", ToBytes("after")).ok());
+  sim_.RunFor(3 * kSecond);
+  ASSERT_GE(got.size(), 2u);
+  EXPECT_EQ(got.back(), "after");
+}
+
+}  // namespace
+}  // namespace ibus

@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include "src/adapters/feed_sim.h"
+#include "src/adapters/news_adapter.h"
+#include "src/rmi/client.h"
+#include "src/services/keyword_generator.h"
+#include "src/services/news_monitor.h"
+#include "tests/bus_fixture.h"
+
+namespace ibus {
+namespace {
+
+DataObjectPtr TestStory(TypeRegistry* registry, int64_t serial, const std::string& headline,
+                        const std::string& body) {
+  auto story = registry->NewInstance("story").take();
+  story->Set("serial", Value(serial)).ok();
+  story->Set("category", Value(std::string("equity"))).ok();
+  story->Set("ticker", Value(std::string("gmc"))).ok();
+  story->Set("headline", Value(headline)).ok();
+  story->Set("industries", Value(Value::List{})).ok();
+  story->Set("body", Value(body)).ok();
+  return story;
+}
+
+class KeywordTest : public BusFixture {
+ protected:
+  void SetUp() override {
+    SetUpBus(3);
+    ASSERT_TRUE(NewsAdapter::RegisterStoryTypes(&registry_).ok());
+  }
+  std::map<std::string, std::vector<std::string>> Categories() {
+    return {{"autos", {"strike", "recall", "production"}},
+            {"chips", {"fab", "yield", "wafer"}}};
+  }
+  TypeRegistry registry_;
+};
+
+TEST_F(KeywordTest, ExtractFindsDesignatedWords) {
+  auto bus = MakeClient(0, "kwgen");
+  auto gen = KeywordGenerator::Create(bus.get(), &registry_, "news.>", Categories());
+  ASSERT_TRUE(gen.ok());
+  auto story = TestStory(&registry_, 1, "GM strike widens",
+                         "production halted as fab output drops");
+  std::vector<std::string> found = (*gen)->ExtractKeywords(*story);
+  std::sort(found.begin(), found.end());
+  EXPECT_EQ(found, (std::vector<std::string>{"fab", "production", "strike"}));
+}
+
+TEST_F(KeywordTest, PropertyPublishedOnSameSubject) {
+  auto gen_bus = MakeClient(0, "kwgen");
+  auto gen = KeywordGenerator::Create(gen_bus.get(), &registry_, "news.>", Categories());
+  ASSERT_TRUE(gen.ok());
+
+  auto watcher = MakeClient(1, "watcher");
+  std::vector<DataObjectPtr> props;
+  ASSERT_TRUE(watcher
+                  ->SubscribeObjects("news.equity.gmc",
+                                     [&](const Message&, const DataObjectPtr& o) {
+                                       if (o != nullptr && o->type_name() == "property") {
+                                         props.push_back(o);
+                                       }
+                                     })
+                  .ok());
+  Settle(10 * kMillisecond);
+
+  auto pub = MakeClient(2, "feed");
+  auto story = TestStory(&registry_, 42, "strike news", "a recall too");
+  ASSERT_TRUE(pub->PublishObject("news.equity.gmc", *story).ok());
+  Settle();
+
+  ASSERT_EQ(props.size(), 1u);
+  EXPECT_EQ(props[0]->Get("object_ref").AsString(), "story:42");
+  EXPECT_EQ(props[0]->Get("name").AsString(), "keywords");
+  EXPECT_EQ(props[0]->Get("value").AsList().size(), 2u);
+  EXPECT_EQ((*gen)->stats().stories_scanned, 1u);
+  EXPECT_EQ((*gen)->stats().properties_published, 1u);
+}
+
+TEST_F(KeywordTest, NoPropertyWhenNothingMatches) {
+  auto gen_bus = MakeClient(0, "kwgen");
+  auto gen = KeywordGenerator::Create(gen_bus.get(), &registry_, "news.>", Categories());
+  ASSERT_TRUE(gen.ok());
+  Settle(10 * kMillisecond);
+  auto pub = MakeClient(1, "feed");
+  auto story = TestStory(&registry_, 1, "boring headline", "nothing of note");
+  ASSERT_TRUE(pub->PublishObject("news.equity.gmc", *story).ok());
+  Settle();
+  EXPECT_EQ((*gen)->stats().stories_scanned, 1u);
+  EXPECT_EQ((*gen)->stats().properties_published, 0u);
+}
+
+TEST_F(KeywordTest, DoesNotScanItsOwnProperties) {
+  auto gen_bus = MakeClient(0, "kwgen");
+  auto gen = KeywordGenerator::Create(gen_bus.get(), &registry_, "news.>", Categories());
+  ASSERT_TRUE(gen.ok());
+  Settle(10 * kMillisecond);
+  auto pub = MakeClient(1, "feed");
+  auto story = TestStory(&registry_, 1, "strike!", "yield up");
+  ASSERT_TRUE(pub->PublishObject("news.equity.gmc", *story).ok());
+  Settle(5 * kSecond);
+  // One story scanned, one property out, no feedback loop.
+  EXPECT_EQ((*gen)->stats().stories_scanned, 1u);
+  EXPECT_EQ((*gen)->stats().properties_published, 1u);
+}
+
+TEST_F(KeywordTest, InteractiveInterfaceBrowsable) {
+  auto gen_bus = MakeClient(0, "kwgen");
+  auto gen = KeywordGenerator::Create(gen_bus.get(), &registry_, "news.>", Categories());
+  ASSERT_TRUE(gen.ok());
+  Settle(10 * kMillisecond);
+
+  auto client_bus = MakeClient(1, "browser");
+  std::shared_ptr<RemoteService> remote;
+  RmiClient::Connect(client_bus.get(), "svc.keywords", RmiClientConfig{},
+                     [&](auto r) { remote = r.take(); });
+  Settle();
+  ASSERT_NE(remote, nullptr);
+
+  std::vector<std::string> cats;
+  remote->Call("categories", {}, [&](Result<Value> r) {
+    ASSERT_TRUE(r.ok());
+    for (const Value& v : r->AsList()) {
+      cats.push_back(v.AsString());
+    }
+  });
+  Settle();
+  std::sort(cats.begin(), cats.end());
+  EXPECT_EQ(cats, (std::vector<std::string>{"autos", "chips"}));
+
+  bool added = false;
+  remote->Call("add_keyword", {Value("chips"), Value("lithography")}, [&](Result<Value> r) {
+    ASSERT_TRUE(r.ok());
+    added = r->AsBool();
+  });
+  Settle();
+  EXPECT_TRUE(added);
+  std::vector<std::string> words;
+  remote->Call("keywords", {Value("chips")}, [&](Result<Value> r) {
+    ASSERT_TRUE(r.ok());
+    for (const Value& v : r->AsList()) {
+      words.push_back(v.AsString());
+    }
+  });
+  Settle();
+  EXPECT_EQ(words.size(), 4u);
+  EXPECT_EQ(words.back(), "lithography");
+}
+
+class MonitorTest : public BusFixture {
+ protected:
+  void SetUp() override {
+    SetUpBus(3);
+    ASSERT_TRUE(NewsAdapter::RegisterStoryTypes(&registry_).ok());
+  }
+  TypeRegistry registry_;
+};
+
+TEST_F(MonitorTest, SummaryListShowsViewColumns) {
+  auto mon_bus = MakeClient(0, "monitor");
+  ViewDef view{"Equity Desk", {"ticker", "headline"}, 20};
+  auto monitor = NewsMonitor::Create(mon_bus.get(), &registry_, {"news.equity.>"}, view);
+  ASSERT_TRUE(monitor.ok());
+  Settle(10 * kMillisecond);
+
+  auto pub = MakeClient(1, "feed");
+  ASSERT_TRUE(
+      pub->PublishObject("news.equity.gmc", *TestStory(&registry_, 1, "GM rallies", "b")).ok());
+  ASSERT_TRUE(
+      pub->PublishObject("news.equity.ibm", *TestStory(&registry_, 2, "IBM dips", "b")).ok());
+  ASSERT_TRUE(
+      pub->PublishObject("news.bond.t10", *TestStory(&registry_, 3, "bonds quiet", "b")).ok());
+  Settle();
+
+  EXPECT_EQ((*monitor)->story_count(), 2u);
+  std::string summary = (*monitor)->RenderSummary();
+  EXPECT_NE(summary.find("Equity Desk"), std::string::npos);
+  EXPECT_NE(summary.find("GM rallies"), std::string::npos);
+  EXPECT_NE(summary.find("IBM dips"), std::string::npos);
+  EXPECT_EQ(summary.find("bonds quiet"), std::string::npos);
+}
+
+TEST_F(MonitorTest, SelectingAStoryShowsEverythingViaMetadata) {
+  auto mon_bus = MakeClient(0, "monitor");
+  auto monitor = NewsMonitor::Create(mon_bus.get(), &registry_, {"news.>"},
+                                     ViewDef{"All", {"headline"}, 30});
+  ASSERT_TRUE(monitor.ok());
+  Settle(10 * kMillisecond);
+  auto pub = MakeClient(1, "feed");
+  ASSERT_TRUE(pub->PublishObject("news.equity.gmc",
+                                 *TestStory(&registry_, 7, "Full story", "body text here"))
+                  .ok());
+  Settle();
+  auto text = (*monitor)->RenderStory("story:7");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("headline"), std::string::npos);
+  EXPECT_NE(text->find("body text here"), std::string::npos);
+  EXPECT_NE(text->find("isa"), std::string::npos);  // registry-annotated print
+  EXPECT_FALSE((*monitor)->RenderStory("story:999").ok());
+}
+
+TEST_F(MonitorTest, PropertiesAssociateWithStories) {
+  // The full §5.2 flow: monitor + keyword generator, no coupling between them.
+  auto mon_bus = MakeClient(0, "monitor");
+  auto monitor = NewsMonitor::Create(mon_bus.get(), &registry_, {"news.>"},
+                                     ViewDef{"All", {"headline"}, 30});
+  ASSERT_TRUE(monitor.ok());
+  auto gen_bus = MakeClient(1, "kwgen");
+  auto gen = KeywordGenerator::Create(gen_bus.get(), &registry_, "news.>",
+                                      {{"autos", {"strike"}}});
+  ASSERT_TRUE(gen.ok());
+  Settle(10 * kMillisecond);
+
+  auto pub = MakeClient(2, "feed");
+  ASSERT_TRUE(pub->PublishObject("news.equity.gmc",
+                                 *TestStory(&registry_, 5, "strike looms", "strike vote"))
+                  .ok());
+  Settle();
+  EXPECT_EQ((*monitor)->story_count(), 1u);
+  EXPECT_EQ((*monitor)->annotated_count(), 1u);
+  auto story = (*monitor)->story("story:5");
+  ASSERT_NE(story, nullptr);
+  ASSERT_TRUE(story->HasProperty("keywords"));
+  auto text = (*monitor)->RenderStory("story:5");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("@keywords"), std::string::npos);
+}
+
+TEST_F(MonitorTest, PropertyArrivingBeforeStoryStillAssociates) {
+  auto mon_bus = MakeClient(0, "monitor");
+  auto monitor = NewsMonitor::Create(mon_bus.get(), &registry_, {"news.>"},
+                                     ViewDef{"All", {"headline"}, 30});
+  ASSERT_TRUE(monitor.ok());
+  Settle(10 * kMillisecond);
+  auto pub = MakeClient(1, "feed");
+
+  auto prop = registry_.NewInstance("property").take();
+  prop->Set("object_ref", Value(std::string("story:9"))).ok();
+  prop->Set("name", Value(std::string("keywords"))).ok();
+  prop->Set("value", Value(Value::List{Value("early")})).ok();
+  ASSERT_TRUE(pub->PublishObject("news.equity.gmc", *prop).ok());
+  Settle();
+  ASSERT_TRUE(pub->PublishObject("news.equity.gmc",
+                                 *TestStory(&registry_, 9, "late story", "b"))
+                  .ok());
+  Settle();
+  auto story = (*monitor)->story("story:9");
+  ASSERT_NE(story, nullptr);
+  EXPECT_TRUE(story->HasProperty("keywords"));
+}
+
+TEST_F(MonitorTest, NewVendorSubtypeDisplaysWithoutChanges) {
+  // §5.2's core claim: a subtype the monitor has never seen renders immediately.
+  auto mon_bus = MakeClient(0, "monitor");
+  auto monitor = NewsMonitor::Create(mon_bus.get(), &registry_, {"news.>"},
+                                     ViewDef{"All", {"headline", "bbg_terminal"}, 24});
+  ASSERT_TRUE(monitor.ok());
+  Settle(10 * kMillisecond);
+
+  // A remote process defines a brand-new subtype and publishes an instance.
+  TypeRegistry remote_registry;
+  ASSERT_TRUE(NewsAdapter::RegisterStoryTypes(&remote_registry).ok());
+  TypeDescriptor bbg("bbg_story", "story");
+  bbg.AddAttribute("bbg_terminal", "string");
+  ASSERT_TRUE(remote_registry.Define(bbg).ok());
+  auto story = remote_registry.NewInstance("bbg_story").take();
+  story->Set("serial", Value(int64_t{11})).ok();
+  story->Set("category", Value(std::string("equity"))).ok();
+  story->Set("ticker", Value(std::string("tsm"))).ok();
+  story->Set("headline", Value(std::string("TSMC beats"))).ok();
+  story->Set("industries", Value(Value::List{})).ok();
+  story->Set("body", Value(std::string("b"))).ok();
+  story->Set("bbg_terminal", Value(std::string("BBG<GO>"))).ok();
+
+  auto pub = MakeClient(1, "bbg-adapter");
+  ASSERT_TRUE(pub->PublishObject("news.equity.tsm", *story).ok());
+  Settle();
+  EXPECT_EQ((*monitor)->story_count(), 1u);
+  std::string summary = (*monitor)->RenderSummary();
+  // The monitor displays the unknown subtype's attribute purely from the
+  // self-describing instance.
+  EXPECT_NE(summary.find("TSMC beats"), std::string::npos);
+  EXPECT_NE(summary.find("BBG<GO>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ibus

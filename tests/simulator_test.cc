@@ -1,0 +1,127 @@
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ibus {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAfter(30, [&] { order.push_back(3); });
+  sim.ScheduleAfter(10, [&] { order.push_back(1); });
+  sim.ScheduleAfter(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(SimulatorTest, FifoAmongEqualTimes) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAfter(5, [&] { order.push_back(1); });
+  sim.ScheduleAfter(5, [&] { order.push_back(2); });
+  sim.ScheduleAfter(5, [&] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.ScheduleAfter(1234, [&] { seen = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(seen, 1234);
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.ScheduleAfter(10, [&] {
+    times.push_back(sim.Now());
+    sim.ScheduleAfter(15, [&] { times.push_back(sim.Now()); });
+  });
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 25}));
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  EventId id = sim.ScheduleAfter(10, [&] { ran = true; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, CancelUnknownIdIsSafe) {
+  Simulator sim;
+  sim.Cancel(0);
+  sim.Cancel(99999);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.RunUntil(500);
+  EXPECT_EQ(sim.Now(), 500);
+}
+
+TEST(SimulatorTest, RunUntilLeavesLaterEventsPending) {
+  Simulator sim;
+  bool early = false;
+  bool late = false;
+  sim.ScheduleAfter(100, [&] { early = true; });
+  sim.ScheduleAfter(200, [&] { late = true; });
+  sim.RunUntil(150);
+  EXPECT_TRUE(early);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(sim.Now(), 150);
+  sim.Run();
+  EXPECT_TRUE(late);
+}
+
+TEST(SimulatorTest, RunForIsRelative) {
+  Simulator sim;
+  sim.RunFor(100);
+  sim.RunFor(100);
+  EXPECT_EQ(sim.Now(), 200);
+}
+
+TEST(SimulatorTest, ScheduleInPastClampsToNow) {
+  Simulator sim;
+  sim.RunUntil(100);
+  SimTime seen = -1;
+  sim.ScheduleAt(50, [&] { seen = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(SimulatorTest, RunWithMaxEventsStopsEarly) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAfter(i, [&] { ++count; });
+  }
+  EXPECT_EQ(sim.Run(4), 4u);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Step());
+  sim.ScheduleAfter(1, [] {});
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+}  // namespace
+}  // namespace ibus

@@ -1,0 +1,127 @@
+// Property tests for subject matching: the trie must agree exactly with brute-force
+// pattern evaluation on randomly generated pattern/subject populations, and
+// PatternCovers must be sound with respect to SubjectMatches.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/subject/subject.h"
+#include "src/subject/trie.h"
+
+namespace ibus {
+namespace {
+
+std::string RandomSubject(Rng& rng, int max_depth) {
+  int depth = 1 + static_cast<int>(rng.NextBelow(static_cast<uint64_t>(max_depth)));
+  std::string s;
+  for (int i = 0; i < depth; ++i) {
+    if (i != 0) {
+      s += '.';
+    }
+    // Small element alphabet so collisions (and therefore matches) are common.
+    s += "e" + std::to_string(rng.NextBelow(5));
+  }
+  return s;
+}
+
+std::string RandomPattern(Rng& rng, int max_depth) {
+  int depth = 1 + static_cast<int>(rng.NextBelow(static_cast<uint64_t>(max_depth)));
+  std::string s;
+  for (int i = 0; i < depth; ++i) {
+    if (i != 0) {
+      s += '.';
+    }
+    uint64_t roll = rng.NextBelow(10);
+    if (roll == 0 && i == depth - 1) {
+      s += '>';
+      return s;
+    }
+    if (roll <= 2) {
+      s += '*';
+    } else {
+      s += "e" + std::to_string(rng.NextBelow(5));
+    }
+  }
+  return s;
+}
+
+class SubjectPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SubjectPropertyTest, TrieAgreesWithBruteForce) {
+  Rng rng(GetParam());
+  SubjectTrie trie;
+  std::vector<std::string> patterns;
+  for (uint64_t i = 0; i < 200; ++i) {
+    std::string p = RandomPattern(rng, 5);
+    ASSERT_TRUE(trie.Insert(p, i).ok()) << p;
+    patterns.push_back(p);
+  }
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string subject = RandomSubject(rng, 6);
+    std::vector<uint64_t> trie_hits = trie.Match(subject);
+    std::sort(trie_hits.begin(), trie_hits.end());
+    std::vector<uint64_t> brute_hits;
+    for (uint64_t i = 0; i < patterns.size(); ++i) {
+      if (SubjectMatches(patterns[i], subject)) {
+        brute_hits.push_back(i);
+      }
+    }
+    ASSERT_EQ(trie_hits, brute_hits) << "subject=" << subject;
+    EXPECT_EQ(trie.MatchesAny(subject), !brute_hits.empty());
+  }
+}
+
+TEST_P(SubjectPropertyTest, TrieRemovalRestoresBruteForceAgreement) {
+  Rng rng(GetParam() ^ 0xABCD);
+  SubjectTrie trie;
+  std::vector<std::pair<std::string, bool>> patterns;  // (pattern, still present)
+  for (uint64_t i = 0; i < 120; ++i) {
+    std::string p = RandomPattern(rng, 4);
+    ASSERT_TRUE(trie.Insert(p, i).ok());
+    patterns.emplace_back(p, true);
+  }
+  // Remove a random half.
+  for (uint64_t i = 0; i < patterns.size(); ++i) {
+    if (rng.Chance(0.5)) {
+      ASSERT_TRUE(trie.Remove(patterns[i].first, i));
+      patterns[i].second = false;
+    }
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string subject = RandomSubject(rng, 5);
+    std::vector<uint64_t> trie_hits = trie.Match(subject);
+    std::sort(trie_hits.begin(), trie_hits.end());
+    std::vector<uint64_t> brute_hits;
+    for (uint64_t i = 0; i < patterns.size(); ++i) {
+      if (patterns[i].second && SubjectMatches(patterns[i].first, subject)) {
+        brute_hits.push_back(i);
+      }
+    }
+    ASSERT_EQ(trie_hits, brute_hits) << "subject=" << subject;
+  }
+}
+
+TEST_P(SubjectPropertyTest, PatternCoversIsSound) {
+  // If PatternCovers(wide, narrow), every subject matched by narrow must be matched
+  // by wide (soundness; completeness is not required of the implementation).
+  Rng rng(GetParam() ^ 0x5EED);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string wide = RandomPattern(rng, 4);
+    std::string narrow = RandomPattern(rng, 4);
+    if (!PatternCovers(wide, narrow)) {
+      continue;
+    }
+    for (int s = 0; s < 100; ++s) {
+      std::string subject = RandomSubject(rng, 5);
+      if (SubjectMatches(narrow, subject)) {
+        EXPECT_TRUE(SubjectMatches(wide, subject))
+            << wide << " claims to cover " << narrow << " but misses " << subject;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubjectPropertyTest,
+                         ::testing::Values(1u, 42u, 1234u, 987654321u));
+
+}  // namespace
+}  // namespace ibus

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include "src/tdl/interp.h"
+#include "src/tdl/parser.h"
+#include "src/types/registry.h"
+
+namespace ibus {
+namespace {
+
+class TdlTest : public ::testing::Test {
+ protected:
+  TdlTest() : interp_(&registry_) {}
+
+  Datum Eval(const std::string& src) {
+    auto r = interp_.EvalProgram(src);
+    EXPECT_TRUE(r.ok()) << src << " => " << r.status().ToString();
+    return r.ok() ? r.take() : Datum();
+  }
+
+  Status EvalError(const std::string& src) {
+    auto r = interp_.EvalProgram(src);
+    EXPECT_FALSE(r.ok()) << src << " unexpectedly succeeded with " << r->ToString();
+    return r.status();
+  }
+
+  TypeRegistry registry_;
+  TdlInterp interp_;
+};
+
+TEST_F(TdlTest, ParserBasics) {
+  auto forms = ParseTdl("(+ 1 2) ; comment\n'sym \"str\\n\" 3.5 -7 t nil");
+  ASSERT_TRUE(forms.ok());
+  ASSERT_EQ(forms->size(), 7u);
+  EXPECT_EQ((*forms)[0].ToString(), "(+ 1 2)");
+  EXPECT_EQ((*forms)[1].ToString(), "(quote sym)");
+  EXPECT_EQ((*forms)[2].AsString(), "str\n");
+  EXPECT_DOUBLE_EQ((*forms)[3].AsDouble(), 3.5);
+  EXPECT_EQ((*forms)[4].AsInt(), -7);
+  EXPECT_TRUE((*forms)[5].AsBool());
+  EXPECT_TRUE((*forms)[6].is_nil());
+}
+
+TEST_F(TdlTest, ParserErrors) {
+  EXPECT_FALSE(ParseTdl("(unclosed").ok());
+  EXPECT_FALSE(ParseTdl(")").ok());
+  EXPECT_FALSE(ParseTdl("\"unterminated").ok());
+}
+
+TEST_F(TdlTest, Arithmetic) {
+  EXPECT_EQ(Eval("(+ 1 2 3)").AsInt(), 6);
+  EXPECT_EQ(Eval("(- 10 4)").AsInt(), 6);
+  EXPECT_EQ(Eval("(- 5)").AsInt(), -5);
+  EXPECT_EQ(Eval("(* 2 3 4)").AsInt(), 24);
+  EXPECT_EQ(Eval("(/ 10 3)").AsInt(), 3);
+  EXPECT_DOUBLE_EQ(Eval("(/ 10.0 4)").AsDouble(), 2.5);
+  EXPECT_EQ(Eval("(mod 10 3)").AsInt(), 1);
+  EXPECT_DOUBLE_EQ(Eval("(+ 1 2.5)").AsDouble(), 3.5);
+  EXPECT_FALSE(EvalError("(/ 1 0)").ok());
+  EXPECT_FALSE(EvalError("(+ 1 \"x\")").ok());
+}
+
+TEST_F(TdlTest, ComparisonAndLogic) {
+  EXPECT_TRUE(Eval("(< 1 2 3)").AsBool());
+  EXPECT_FALSE(Eval("(< 1 3 2)").AsBool());
+  EXPECT_TRUE(Eval("(= 2 2)").AsBool());
+  EXPECT_TRUE(Eval("(eq \"a\" \"a\")").AsBool());
+  EXPECT_FALSE(Eval("(eq 'a 'b)").AsBool());
+  EXPECT_TRUE(Eval("(not nil)").AsBool());
+  EXPECT_TRUE(Eval("(and t 1 \"x\")").Truthy());
+  EXPECT_FALSE(Eval("(and t nil t)").Truthy());
+  EXPECT_EQ(Eval("(or nil 5)").AsInt(), 5);
+}
+
+TEST_F(TdlTest, ControlFlow) {
+  EXPECT_EQ(Eval("(if (> 2 1) 'yes 'no)").AsSymbol(), "yes");
+  EXPECT_TRUE(Eval("(if nil 'yes)").is_nil());
+  EXPECT_EQ(Eval("(cond ((= 1 2) 'a) ((= 1 1) 'b) (t 'c))").AsSymbol(), "b");
+  EXPECT_EQ(Eval("(progn 1 2 3)").AsInt(), 3);
+  EXPECT_EQ(
+      Eval("(let ((i 0) (acc 0)) (while (< i 5) (setq acc (+ acc i)) (setq i (+ i 1))) acc)")
+          .AsInt(),
+      10);
+}
+
+TEST_F(TdlTest, LetScoping) {
+  EXPECT_EQ(Eval("(let ((x 1)) (let ((x 2)) x))").AsInt(), 2);
+  EXPECT_EQ(Eval("(let ((x 1)) (let ((x 2)) x) x)").AsInt(), 1);
+  EXPECT_EQ(Eval("(let* ((x 2) (y (* x 3))) y)").AsInt(), 6);
+}
+
+TEST_F(TdlTest, LambdasAndClosures) {
+  EXPECT_EQ(Eval("((lambda (a b) (+ a b)) 3 4)").AsInt(), 7);
+  EXPECT_EQ(Eval("(let ((n 10)) ((lambda (x) (+ x n)) 5))").AsInt(), 15);
+  Eval("(defun twice (f x) (f (f x)))");
+  EXPECT_EQ(Eval("(twice (lambda (x) (* x 3)) 2)").AsInt(), 18);
+}
+
+TEST_F(TdlTest, ListOps) {
+  EXPECT_EQ(Eval("(length (list 1 2 3))").AsInt(), 3);
+  EXPECT_EQ(Eval("(first '(a b c))").AsSymbol(), "a");
+  EXPECT_EQ(Eval("(rest '(a b c))").ToString(), "(b c)");
+  EXPECT_EQ(Eval("(cons 1 '(2 3))").ToString(), "(1 2 3)");
+  EXPECT_EQ(Eval("(append '(1) '(2 3))").ToString(), "(1 2 3)");
+  EXPECT_EQ(Eval("(nth 1 '(a b c))").AsSymbol(), "b");
+  EXPECT_TRUE(Eval("(nth 9 '(a))").is_nil());
+  EXPECT_EQ(Eval("(reverse '(1 2 3))").ToString(), "(3 2 1)");
+  EXPECT_EQ(Eval("(mapcar (lambda (x) (* x x)) '(1 2 3))").ToString(), "(1 4 9)");
+  EXPECT_EQ(Eval("(filter (lambda (x) (> x 1)) '(1 2 3))").ToString(), "(2 3)");
+}
+
+TEST_F(TdlTest, StringOps) {
+  EXPECT_EQ(Eval("(concat \"a\" \"b\" 3)").AsString(), "ab3");
+  EXPECT_TRUE(Eval("(string-contains \"General Motors\" \"Motors\")").AsBool());
+  EXPECT_FALSE(Eval("(string-contains \"abc\" \"z\")").AsBool());
+  EXPECT_EQ(Eval("(string-downcase \"GM Rises\")").AsString(), "gm rises");
+}
+
+TEST_F(TdlTest, DefclassRegistersType) {
+  Eval("(defclass story (object) ((headline :type string) (body :type string)))");
+  ASSERT_TRUE(registry_.Has("story"));
+  auto attrs = registry_.AllAttributes("story");
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->size(), 2u);
+  EXPECT_EQ((*attrs)[0].type_name, "string");
+}
+
+TEST_F(TdlTest, DefclassInheritance) {
+  Eval("(defclass story (object) ((headline :type string)))");
+  Eval("(defclass dj-story (story) ((dj-code :type string)))");
+  EXPECT_TRUE(registry_.IsSubtype("dj-story", "story"));
+  auto attrs = registry_.AllAttributes("dj-story");
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->size(), 2u);
+}
+
+TEST_F(TdlTest, MakeInstanceAndSlots) {
+  Eval("(defclass story (object) ((headline :type string) (words :type i64)))");
+  Eval("(setq s (make-instance 'story :headline \"Chips!\" :words 99))");
+  EXPECT_EQ(Eval("(slot-value s 'headline)").AsString(), "Chips!");
+  EXPECT_EQ(Eval("(slot-value s 'words)").AsInt(), 99);
+  Eval("(set-slot-value! s 'words 120)");
+  EXPECT_EQ(Eval("(slot-value s 'words)").AsInt(), 120);
+  EXPECT_EQ(Eval("(type-of s)").AsSymbol(), "story");
+  EXPECT_FALSE(EvalError("(make-instance 'ghost)").ok());
+  EXPECT_FALSE(EvalError("(make-instance 'story :nope 1)").ok());
+}
+
+TEST_F(TdlTest, GenericDispatchAlongHierarchy) {
+  Eval("(defclass story (object) ((headline :type string)))");
+  Eval("(defclass dj-story (story) ((dj-code :type string)))");
+  Eval("(defmethod summarize ((s story)) (concat \"story: \" (slot-value s 'headline)))");
+  Eval("(defmethod summarize ((s dj-story)) (concat \"DJ \" (slot-value s 'dj-code)))");
+  EXPECT_EQ(Eval("(summarize (make-instance 'story :headline \"h\"))").AsString(), "story: h");
+  EXPECT_EQ(Eval("(summarize (make-instance 'dj-story :dj-code \"X1\"))").AsString(), "DJ X1");
+  // A subtype without its own method inherits the supertype's.
+  Eval("(defclass rt-story (story) ())");
+  EXPECT_EQ(Eval("(summarize (make-instance 'rt-story :headline \"r\"))").AsString(),
+            "story: r");
+}
+
+TEST_F(TdlTest, GenericOnFundamentalsAndDefault) {
+  Eval("(defmethod show ((x string)) (concat \"str:\" x))");
+  Eval("(defmethod show ((x i64)) (concat \"int:\" x))");
+  Eval("(defmethod show ((x object)) \"other\")");
+  EXPECT_EQ(Eval("(show \"a\")").AsString(), "str:a");
+  EXPECT_EQ(Eval("(show 7)").AsString(), "int:7");
+  EXPECT_EQ(Eval("(show 2.5)").AsString(), "other");
+}
+
+TEST_F(TdlTest, NoApplicableMethodFails) {
+  Eval("(defclass widget (object) ())");
+  Eval("(defmethod render ((w widget)) \"ok\")");
+  EXPECT_FALSE(EvalError("(render 42)").ok());
+}
+
+TEST_F(TdlTest, MethodRedefinitionReplaces) {
+  Eval("(defclass w (object) ())");
+  Eval("(defmethod f ((x w)) 1)");
+  Eval("(defmethod f ((x w)) 2)");
+  EXPECT_EQ(Eval("(f (make-instance 'w))").AsInt(), 2);
+}
+
+TEST_F(TdlTest, IntrospectionBuiltins) {
+  Eval("(defclass story (object) ((headline :type string)))");
+  Eval("(setq s (make-instance 'story :headline \"x\"))");
+  EXPECT_TRUE(Eval("(isa? s 'object)").AsBool());
+  EXPECT_TRUE(Eval("(isa? s 'story)").AsBool());
+  EXPECT_EQ(Eval("(attributes 'story)").ToString(), "((headline string))");
+  std::string described = Eval("(describe s)").AsString();
+  EXPECT_NE(described.find("headline"), std::string::npos);
+}
+
+TEST_F(TdlTest, PrintCollectsOutput) {
+  Eval("(print \"hello\" 42)");
+  Eval("(print 'done)");
+  EXPECT_EQ(interp_.TakeOutput(), "hello 42\ndone\n");
+  EXPECT_EQ(interp_.TakeOutput(), "");
+}
+
+TEST_F(TdlTest, HostInterop) {
+  int called_with = 0;
+  interp_.DefineNative("host-fn", [&](std::vector<Datum>& args) -> Result<Datum> {
+    called_with = static_cast<int>(args[0].AsInt());
+    return Datum(int64_t{99});
+  });
+  interp_.DefineGlobal("host-const", Datum(int64_t{7}));
+  EXPECT_EQ(Eval("(host-fn (+ host-const 1))").AsInt(), 99);
+  EXPECT_EQ(called_with, 8);
+
+  // Host calling a script-defined generic.
+  Eval("(defclass t1 (object) ())");
+  Eval("(defmethod greet ((x t1)) \"hi\")");
+  auto obj = registry_.NewInstance("t1");
+  ASSERT_TRUE(obj.ok());
+  auto r = interp_.CallGeneric("greet", {Datum(*obj)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsString(), "hi");
+}
+
+TEST_F(TdlTest, TdlObjectsAreBusObjects) {
+  // Classes defined in TDL create the same DataObjects the bus marshals (P3 + P2).
+  Eval("(defclass reading (object) ((station :type string) (thickness :type f64)))");
+  Eval("(setq r (make-instance 'reading :station \"litho8\" :thickness 8.25))");
+  auto r = interp_.EvalProgram("r");
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->is_object());
+  DataObjectPtr obj = r->AsObject();
+  EXPECT_EQ(obj->type_name(), "reading");
+  EXPECT_EQ(obj->Get("station").AsString(), "litho8");
+  EXPECT_DOUBLE_EQ(obj->Get("thickness").AsF64(), 8.25);
+}
+
+TEST_F(TdlTest, WhileGuardAgainstInfiniteLoop) {
+  EXPECT_FALSE(EvalError("(while t 1)").ok());
+}
+
+TEST_F(TdlTest, UnboundSymbolError) {
+  EXPECT_EQ(EvalError("unbound-thing").code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ibus
+
+namespace ibus {
+namespace {
+
+class TdlExtrasTest : public ::testing::Test {
+ protected:
+  TdlExtrasTest() : interp_(&registry_) {}
+  Datum Eval(const std::string& src) {
+    auto r = interp_.EvalProgram(src);
+    EXPECT_TRUE(r.ok()) << src << " => " << r.status().ToString();
+    return r.ok() ? r.take() : Datum();
+  }
+  TypeRegistry registry_;
+  TdlInterp interp_;
+};
+
+TEST_F(TdlExtrasTest, WhenUnless) {
+  EXPECT_EQ(Eval("(when (> 2 1) 'a 'b)").AsSymbol(), "b");
+  EXPECT_TRUE(Eval("(when nil 'a)").is_nil());
+  EXPECT_EQ(Eval("(unless nil 'a)").AsSymbol(), "a");
+  EXPECT_TRUE(Eval("(unless t 'a)").is_nil());
+}
+
+TEST_F(TdlExtrasTest, Dolist) {
+  EXPECT_EQ(Eval("(let ((acc 0)) (dolist (x '(1 2 3 4)) (setq acc (+ acc x))) acc)").AsInt(),
+            10);
+  EXPECT_TRUE(Eval("(dolist (x '()) x)").is_nil());
+}
+
+TEST_F(TdlExtrasTest, ListExtras) {
+  EXPECT_EQ(Eval("(second '(a b c))").AsSymbol(), "b");
+  EXPECT_TRUE(Eval("(second '(a))").is_nil());
+  EXPECT_EQ(Eval("(last '(a b c))").AsSymbol(), "c");
+  EXPECT_EQ(Eval("(assoc 'b '((a 1) (b 2)))").ToString(), "(b 2)");
+  EXPECT_TRUE(Eval("(assoc 'z '((a 1)))").is_nil());
+}
+
+TEST_F(TdlExtrasTest, NumericExtras) {
+  EXPECT_EQ(Eval("(min 3 1 2)").AsInt(), 1);
+  EXPECT_EQ(Eval("(max 3 1 2)").AsInt(), 3);
+  EXPECT_DOUBLE_EQ(Eval("(min 1.5 2)").AsDouble(), 1.5);
+  EXPECT_EQ(Eval("(abs -7)").AsInt(), 7);
+  EXPECT_DOUBLE_EQ(Eval("(abs -2.5)").AsDouble(), 2.5);
+}
+
+TEST_F(TdlExtrasTest, StringSplit) {
+  EXPECT_EQ(Eval("(string-split \"a,b,c\" \",\")").ToString(), "(\"a\" \"b\" \"c\")");
+  EXPECT_EQ(Eval("(string-split \"one\" \",\")").ToString(), "(\"one\")");
+  EXPECT_EQ(Eval("(length (string-split \"a::b::\" \"::\"))").AsInt(), 3);
+}
+
+}  // namespace
+}  // namespace ibus

@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include "src/types/codec.h"
+#include "src/types/data_object.h"
+#include "src/types/printer.h"
+#include "src/types/registry.h"
+#include "src/types/type_descriptor.h"
+#include "src/types/value.h"
+
+namespace ibus {
+namespace {
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(int32_t{5}).is_i32());
+  EXPECT_TRUE(Value(int64_t{5}).is_i64());
+  EXPECT_TRUE(Value(2.5).is_f64());
+  EXPECT_TRUE(Value("hi").is_string());
+  EXPECT_TRUE(Value(Bytes{1, 2}).is_bytes());
+  EXPECT_TRUE(Value(Value::List{}).is_list());
+  EXPECT_EQ(Value(int32_t{5}).AsI32(), 5);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, NumericWidening) {
+  EXPECT_EQ(Value(int32_t{7}).NumberAsI64(), 7);
+  EXPECT_EQ(Value(int64_t{1} << 40).NumberAsI64(), int64_t{1} << 40);
+  EXPECT_DOUBLE_EQ(Value(int32_t{7}).NumberAsF64(), 7.0);
+  EXPECT_EQ(Value(2.6).NumberAsI64(), 3);
+}
+
+TEST(ValueTest, DeepEquality) {
+  auto a = MakeObject("t", {{"x", Value(int32_t{1})}});
+  auto b = MakeObject("t", {{"x", Value(int32_t{1})}});
+  auto c = MakeObject("t", {{"x", Value(int32_t{2})}});
+  EXPECT_EQ(Value(a), Value(b));
+  EXPECT_NE(Value(a), Value(c));
+  EXPECT_EQ(Value(Value::List{Value(1.5), Value("s")}),
+            Value(Value::List{Value(1.5), Value("s")}));
+  EXPECT_NE(Value(int32_t{1}), Value(int64_t{1}));  // different kinds
+}
+
+TEST(DataObjectTest, AttributesAndProperties) {
+  DataObject obj("story");
+  obj.AddAttribute("headline", Value("IPO"));
+  obj.AddAttribute("words", Value(int32_t{120}));
+  EXPECT_TRUE(obj.HasAttribute("headline"));
+  EXPECT_EQ(obj.Get("headline").AsString(), "IPO");
+  EXPECT_TRUE(obj.Get("missing").is_null());
+  EXPECT_TRUE(obj.Set("words", Value(int32_t{121})).ok());
+  EXPECT_EQ(obj.Get("words").AsI32(), 121);
+  EXPECT_FALSE(obj.Set("missing", Value(int32_t{1})).ok());
+
+  EXPECT_FALSE(obj.HasProperty("keywords"));
+  obj.SetProperty("keywords", Value(Value::List{Value("auto")}));
+  EXPECT_TRUE(obj.HasProperty("keywords"));
+  EXPECT_EQ(obj.GetProperty("keywords").AsList().size(), 1u);
+  obj.SetProperty("keywords", Value(Value::List{Value("auto"), Value("gm")}));
+  EXPECT_EQ(obj.GetProperty("keywords").AsList().size(), 2u);
+}
+
+TEST(DataObjectTest, CloneIsDeep) {
+  auto inner = MakeObject("inner", {{"v", Value(int32_t{1})}});
+  auto outer = MakeObject("outer", {{"child", Value(inner)}});
+  DataObjectPtr copy = outer->Clone();
+  inner->Set("v", Value(int32_t{99})).ok();
+  EXPECT_EQ(copy->Get("child").AsObject()->Get("v").AsI32(), 1);
+}
+
+TEST(CodecTest, AllValueKindsRoundTrip) {
+  Value::List list{Value(), Value(true), Value(int32_t{-5}), Value(int64_t{1} << 40),
+                   Value(3.25),  Value("str"), Value(Bytes{9, 8, 7})};
+  list.push_back(Value(Value::List{Value(int32_t{1}), Value(int32_t{2})}));
+  list.push_back(Value(MakeObject("nested", {{"a", Value("b")}})));
+  Value original{list};
+
+  WireWriter w;
+  MarshalValue(original, &w);
+  Bytes data = w.Take();
+  WireReader r(data);
+  auto back = UnmarshalValue(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, original);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(CodecTest, ObjectWithPropertiesRoundTrips) {
+  auto obj = MakeObject("story", {{"headline", Value("Chips up")},
+                                  {"sources", Value(Value::List{Value("dj"), Value("rt")})}});
+  obj->SetProperty("keywords", Value(Value::List{Value("semis")}));
+  Bytes data = MarshalObject(*obj);
+  auto back = UnmarshalObject(data);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(**back, *obj);
+}
+
+TEST(CodecTest, NilNestedObjectRoundTrips) {
+  auto obj = MakeObject("holder", {{"child", Value(DataObjectPtr())}});
+  auto back = UnmarshalObject(MarshalObject(*obj));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE((*back)->Get("child").is_object());
+  EXPECT_EQ((*back)->Get("child").AsObject(), nullptr);
+}
+
+TEST(CodecTest, CorruptBufferRejected) {
+  auto obj = MakeObject("t", {{"a", Value(int32_t{1})}});
+  Bytes data = MarshalObject(*obj);
+  data.resize(data.size() / 2);
+  EXPECT_FALSE(UnmarshalObject(data).ok());
+}
+
+TEST(CodecTest, TrailingGarbageRejected) {
+  auto obj = MakeObject("t", {{"a", Value(int32_t{1})}});
+  Bytes data = MarshalObject(*obj);
+  data.push_back(0x00);
+  EXPECT_FALSE(UnmarshalObject(data).ok());
+}
+
+TEST(DescriptorTest, WireRoundTrip) {
+  TypeDescriptor d("story", "object");
+  d.AddAttribute("headline", "string");
+  d.AddAttribute("word_count", "i32");
+  OperationDef op;
+  op.name = "summarize";
+  op.result_type = "string";
+  op.params.push_back(ParamDef{"max_words", "i32"});
+  d.AddOperation(op);
+  d.set_version(3);
+
+  auto back = TypeDescriptor::Unmarshal(d.Marshal());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, d);
+  EXPECT_EQ(back->FindOperation("summarize")->Signature(), "summarize(i32 max_words) -> string");
+}
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  RegistryTest() {
+    TypeDescriptor story("story", "object");
+    story.AddAttribute("headline", "string");
+    story.AddAttribute("body", "string");
+    EXPECT_TRUE(registry_.Define(story).ok());
+
+    TypeDescriptor dj("dj_story", "story");
+    dj.AddAttribute("dj_code", "string");
+    EXPECT_TRUE(registry_.Define(dj).ok());
+  }
+
+  TypeRegistry registry_;
+};
+
+TEST_F(RegistryTest, BuiltinsPresent) {
+  EXPECT_TRUE(registry_.Has("object"));
+  EXPECT_TRUE(registry_.Has("property"));
+}
+
+TEST_F(RegistryTest, InheritanceInAttributes) {
+  auto attrs = registry_.AllAttributes("dj_story");
+  ASSERT_TRUE(attrs.ok());
+  ASSERT_EQ(attrs->size(), 3u);
+  EXPECT_EQ((*attrs)[0].name, "headline");  // supertype attributes come first
+  EXPECT_EQ((*attrs)[2].name, "dj_code");
+}
+
+TEST_F(RegistryTest, SubtypeQueries) {
+  EXPECT_TRUE(registry_.IsSubtype("dj_story", "story"));
+  EXPECT_TRUE(registry_.IsSubtype("dj_story", "object"));
+  EXPECT_TRUE(registry_.IsSubtype("story", "story"));
+  EXPECT_FALSE(registry_.IsSubtype("story", "dj_story"));
+  auto closure = registry_.SubtypeClosure("story");
+  std::sort(closure.begin(), closure.end());
+  EXPECT_EQ(closure, (std::vector<std::string>{"dj_story", "story"}));
+}
+
+TEST_F(RegistryTest, NewInstanceHasAllSlots) {
+  auto obj = registry_.NewInstance("dj_story");
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ((*obj)->attribute_count(), 3u);
+  EXPECT_TRUE((*obj)->Get("headline").is_null());
+  EXPECT_TRUE(registry_.Validate(**obj).ok());
+}
+
+TEST_F(RegistryTest, UnknownSupertypeRejected) {
+  TypeDescriptor bad("orphan", "ghost");
+  EXPECT_FALSE(registry_.Define(bad).ok());
+}
+
+TEST_F(RegistryTest, DuplicateAttributeAcrossChainRejected) {
+  TypeDescriptor clash("clash", "story");
+  clash.AddAttribute("headline", "string");  // already on story
+  EXPECT_FALSE(registry_.Define(clash).ok());
+}
+
+TEST_F(RegistryTest, IdempotentRedefinitionOk) {
+  TypeDescriptor story("story", "object");
+  story.AddAttribute("headline", "string");
+  story.AddAttribute("body", "string");
+  EXPECT_TRUE(registry_.Define(story).ok());
+}
+
+TEST_F(RegistryTest, ConflictingRedefinitionRejectedUnlessVersionBumped) {
+  TypeDescriptor story2("story", "object");
+  story2.AddAttribute("headline", "string");
+  story2.AddAttribute("body", "string");
+  story2.AddAttribute("byline", "string");
+  EXPECT_FALSE(registry_.Define(story2).ok());  // same version, different shape
+  story2.set_version(2);
+  EXPECT_TRUE(registry_.Define(story2).ok());  // dynamic evolution
+  auto attrs = registry_.AllAttributes("story");
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->size(), 3u);
+}
+
+TEST_F(RegistryTest, ValidateCatchesKindMismatch) {
+  auto obj = registry_.NewInstance("story");
+  ASSERT_TRUE(obj.ok());
+  ASSERT_TRUE((*obj)->Set("headline", Value(int32_t{5})).ok());
+  EXPECT_FALSE(registry_.Validate(**obj).ok());
+}
+
+TEST_F(RegistryTest, DefineFromWireLearnsRemoteType) {
+  TypeDescriptor remote("rt_story", "story");
+  remote.AddAttribute("rt_tag", "string");
+  TypeRegistry other;
+  TypeDescriptor story("story", "object");
+  story.AddAttribute("headline", "string");
+  story.AddAttribute("body", "string");
+  ASSERT_TRUE(other.Define(story).ok());
+  ASSERT_TRUE(other.DefineFromWire(remote.Marshal()).ok());
+  EXPECT_TRUE(other.IsSubtype("rt_story", "story"));
+}
+
+TEST_F(RegistryTest, ObserverFires) {
+  std::vector<std::string> seen;
+  registry_.AddDefineObserver([&](const TypeDescriptor& d) { seen.push_back(d.name()); });
+  TypeDescriptor t("fresh", "object");
+  ASSERT_TRUE(registry_.Define(t).ok());
+  EXPECT_EQ(seen, (std::vector<std::string>{"fresh"}));
+}
+
+TEST_F(RegistryTest, ReservedNamesRejected) {
+  EXPECT_FALSE(registry_.Define(TypeDescriptor("i32", "object")).ok());
+  EXPECT_FALSE(registry_.Define(TypeDescriptor("object", "object")).ok());
+  EXPECT_FALSE(registry_.Define(TypeDescriptor("", "object")).ok());
+}
+
+TEST(PrinterTest, PrintsAnyTypeRecursively) {
+  // The paper's generic print utility: understands only fundamental kinds but prints
+  // arbitrary composed objects.
+  auto source = MakeObject("source", {{"agency", Value("DJ")}});
+  auto story = MakeObject("story", {{"headline", Value("Fab yields up")},
+                                    {"word_count", Value(int32_t{340})},
+                                    {"source", Value(source)},
+                                    {"codes", Value(Value::List{Value("semi"), Value("mfg")})}});
+  story->SetProperty("keywords", Value(Value::List{Value("yield")}));
+
+  std::string text = PrintObject(*story);
+  EXPECT_NE(text.find("story {"), std::string::npos);
+  EXPECT_NE(text.find("headline = \"Fab yields up\""), std::string::npos);
+  EXPECT_NE(text.find("word_count = 340"), std::string::npos);
+  EXPECT_NE(text.find("source {"), std::string::npos);
+  EXPECT_NE(text.find("agency = \"DJ\""), std::string::npos);
+  EXPECT_NE(text.find("@keywords"), std::string::npos);
+}
+
+TEST(PrinterTest, RegistryAnnotatesTypes) {
+  TypeRegistry registry;
+  TypeDescriptor story("story", "object");
+  story.AddAttribute("headline", "string");
+  ASSERT_TRUE(registry.Define(story).ok());
+  auto obj = registry.NewInstance("story");
+  ASSERT_TRUE(obj.ok());
+  ASSERT_TRUE((*obj)->Set("headline", Value("x")).ok());
+  PrintOptions opt;
+  opt.registry = &registry;
+  std::string text = PrintObject(**obj, opt);
+  EXPECT_NE(text.find("isa object"), std::string::npos);
+  EXPECT_NE(text.find("headline : string"), std::string::npos);
+}
+
+TEST(PrinterTest, DepthLimited) {
+  // Build a deeply nested chain and make sure the printer cuts off.
+  auto leaf = MakeObject("leaf");
+  Value v(leaf);
+  for (int i = 0; i < 40; ++i) {
+    v = Value(MakeObject("level", {{"child", v}}));
+  }
+  PrintOptions opt;
+  opt.max_depth = 5;
+  std::string text = PrintValue(v, opt);
+  EXPECT_NE(text.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ibus

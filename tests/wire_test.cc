@@ -1,0 +1,132 @@
+#include "src/wire/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace ibus {
+namespace {
+
+TEST(WireTest, RoundTripFixedWidth) {
+  WireWriter w;
+  w.PutU8(0xAB);
+  w.PutU16(0xBEEF);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutI64(-42);
+  w.PutF64(3.14159);
+  w.PutBool(true);
+
+  WireReader r(w.data());
+  EXPECT_EQ(r.ReadU8().value(), 0xAB);
+  EXPECT_EQ(r.ReadU16().value(), 0xBEEF);
+  EXPECT_EQ(r.ReadU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.ReadU64().value(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.ReadI64().value(), -42);
+  EXPECT_DOUBLE_EQ(r.ReadF64().value(), 3.14159);
+  EXPECT_TRUE(r.ReadBool().value());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireTest, VarintBoundaries) {
+  const uint64_t cases[] = {0,    1,    127,  128,   16383, 16384,
+                            1u << 21, 1ull << 35, std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : cases) {
+    WireWriter w;
+    w.PutVarint(v);
+    WireReader r(w.data());
+    auto got = r.ReadVarint();
+    ASSERT_TRUE(got.ok()) << v;
+    EXPECT_EQ(*got, v);
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(WireTest, StringAndBytesRoundTrip) {
+  WireWriter w;
+  w.PutString("hello bus");
+  w.PutString("");
+  Bytes blob{1, 2, 3, 0, 255};
+  w.PutBytes(blob);
+
+  WireReader r(w.data());
+  EXPECT_EQ(r.ReadString().value(), "hello bus");
+  EXPECT_EQ(r.ReadString().value(), "");
+  EXPECT_EQ(r.ReadBytes().value(), blob);
+}
+
+TEST(WireTest, TruncatedReadsFail) {
+  WireWriter w;
+  w.PutU32(7);
+  Bytes data = w.Take();
+  data.pop_back();
+  WireReader r(data);
+  EXPECT_FALSE(r.ReadU32().ok());
+}
+
+TEST(WireTest, StringWithBadLengthFails) {
+  WireWriter w;
+  w.PutVarint(1000);  // claims 1000 bytes but provides none
+  WireReader r(w.data());
+  EXPECT_FALSE(r.ReadString().ok());
+}
+
+TEST(WireTest, EmptyReaderFailsEverything) {
+  Bytes empty;
+  WireReader r(empty);
+  EXPECT_FALSE(r.ReadU8().ok());
+  EXPECT_FALSE(r.ReadVarint().ok());
+  EXPECT_FALSE(r.ReadString().ok());
+}
+
+TEST(WireFrameTest, FrameRoundTrip) {
+  Bytes payload = ToBytes("some payload");
+  Bytes frame = FrameMessage(7, payload);
+  auto parsed = ParseFrame(frame);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->frame_type, 7);
+  EXPECT_EQ(parsed->payload, payload);
+}
+
+TEST(WireFrameTest, EmptyPayloadFrame) {
+  Bytes frame = FrameMessage(1, Bytes());
+  auto parsed = ParseFrame(frame);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->payload.empty());
+}
+
+TEST(WireFrameTest, CorruptedPayloadDetected) {
+  Bytes frame = FrameMessage(7, ToBytes("some payload"));
+  frame[frame.size() - 1] ^= 0xFF;
+  auto parsed = ParseFrame(frame);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(WireFrameTest, BadMagicDetected) {
+  Bytes frame = FrameMessage(7, ToBytes("x"));
+  frame[0] = 0x00;
+  EXPECT_FALSE(ParseFrame(frame).ok());
+}
+
+TEST(WireFrameTest, TruncatedFrameDetected) {
+  Bytes frame = FrameMessage(7, ToBytes("payload"));
+  frame.resize(frame.size() - 3);
+  EXPECT_FALSE(ParseFrame(frame).ok());
+}
+
+TEST(WireFrameTest, TooShortBufferDetected) {
+  Bytes tiny{0x42, 0x49};
+  EXPECT_FALSE(ParseFrame(tiny).ok());
+}
+
+TEST(CrcTest, KnownValue) {
+  // CRC32("123456789") is the classic check value 0xCBF43926.
+  Bytes b = ToBytes("123456789");
+  EXPECT_EQ(Crc32(b), 0xCBF43926u);
+}
+
+TEST(CrcTest, EmptyIsZero) { EXPECT_EQ(Crc32(Bytes{}), 0u); }
+
+}  // namespace
+}  // namespace ibus
