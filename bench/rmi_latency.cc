@@ -52,7 +52,7 @@ void Run() {
     for (int i = 0; i < 30; ++i) {
       SimTime start = tb.sim->Now();
       bool done = false;
-      remote->Call("echo", {Value(Bytes(size, 0x7E))}, [&](Result<Value> r) {
+      remote->Call("echo", {Value(Bytes(size, 0x7E))}, [&](Result<Value> /*r*/) {
         done = true;
         rtts.push_back(static_cast<double>(tb.sim->Now() - start) / 1000.0);
       });

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# One-shot correctness gate: configure with sanitizers + -Werror, build everything,
+# run the tier1 suite, the repo-wide buslint pass, and the determinism replay check.
+# See docs/TOOLING.md.
+#
+#   scripts/check.sh                 # full gate in build-check/
+#   BUILD_DIR=build scripts/check.sh # reuse an existing build dir
+#   IB_SANITIZE= scripts/check.sh    # skip sanitizers (e.g. on toolchains without ASan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-check}
+JOBS=${JOBS:-$(nproc)}
+IB_SANITIZE=${IB_SANITIZE-address,undefined}
+
+echo "== configure (${BUILD_DIR}: IB_SANITIZE='${IB_SANITIZE}' IB_WERROR=ON)"
+cmake -B "${BUILD_DIR}" -S . -DIB_SANITIZE="${IB_SANITIZE}" -DIB_WERROR=ON "$@"
+
+echo "== build"
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+echo "== tier1 tests (unit + integration + examples + sim_replay_check)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" -L tier1
+
+echo "== buslint over src/ bench/ examples/ tools/"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L lint
+
+echo "== clang-tidy (skips when not installed)"
+cmake --build "${BUILD_DIR}" --target lint-tidy
+
+echo "== all checks passed"

@@ -41,7 +41,9 @@ class DowJonesFeed {
   explicit DowJonesFeed(uint64_t seed) : gen_(seed) {}
   // Returns the raw record and (via out-param) the story it encodes.
   Bytes NextRaw(FeedStory* story = nullptr);
-  static Bytes Encode(const FeedStory& story);
+  // Decoding lives in NewsAdapter::ParseDowJones: vendor feeds are one-way sources,
+  // so the encode/decode pair intentionally spans two modules.
+  static Bytes Encode(const FeedStory& story);  // buslint: allow(decode-pair)
 
  private:
   StoryGenerator gen_;
@@ -54,7 +56,8 @@ class ReutersFeed {
  public:
   explicit ReutersFeed(uint64_t seed) : gen_(seed) {}
   Bytes NextRaw(FeedStory* story = nullptr);
-  static Bytes Encode(const FeedStory& story);
+  // Decoded by NewsAdapter::ParseReuters (see above).
+  static Bytes Encode(const FeedStory& story);  // buslint: allow(decode-pair)
 
  private:
   StoryGenerator gen_;

@@ -173,7 +173,7 @@ WipAdapter::~WipAdapter() {
   }
 }
 
-void WipAdapter::HandleMove(const Message& m, const DataObjectPtr& move) {
+void WipAdapter::HandleMove(const Message& /*m*/, const DataObjectPtr& move) {
   const std::string lot = move->Get("lot").is_string() ? move->Get("lot").AsString() : "";
   const std::string to =
       move->Get("to_station").is_string() ? move->Get("to_station").AsString() : "";

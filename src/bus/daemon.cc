@@ -21,7 +21,7 @@ Result<std::unique_ptr<BusDaemon>> BusDaemon::Start(Network* net, HostId host,
                                                      config.reliable);
   daemon->receiver_ = std::make_unique<ReliableReceiver>(
       net->sim(), daemon->socket_.get(), config.reliable,
-      [d = daemon.get()](uint64_t stream, const Bytes& bytes) { d->DispatchInbound(bytes); });
+      [d = daemon.get()](uint64_t /*stream*/, const Bytes& bytes) { d->DispatchInbound(bytes); });
   return daemon;
 }
 
@@ -161,7 +161,7 @@ void BusDaemon::HandleUnsubscribe(const Datagram& d, const Bytes& payload) {
   }
 }
 
-void BusDaemon::HandleClientPublish(const Datagram& d, const Bytes& payload) {
+void BusDaemon::HandleClientPublish(const Datagram& /*from*/, const Bytes& payload) {
   stats_.publishes++;
   // The daemon treats the marshalled message as opaque: it goes straight onto the
   // reliable broadcast stream. Subject matching happens at every receiving daemon

@@ -33,7 +33,7 @@ uint32_t Crc32(const uint8_t* data, size_t len) {
 std::string HexDump(const Bytes& b, size_t max_bytes) {
   std::string out;
   size_t n = b.size() < max_bytes ? b.size() : max_bytes;
-  char buf[4];
+  char buf[4] = {0};
   for (size_t i = 0; i < n; ++i) {
     std::snprintf(buf, sizeof(buf), "%02x", b[i]);
     if (i != 0) {

@@ -107,6 +107,8 @@ class Result {
     }                                     \
   } while (0)
 
+// `lhs` may be a declaration (`auto x`), so it cannot be parenthesized.
+// NOLINTNEXTLINE(bugprone-macro-parentheses)
 #define IBUS_ASSIGN_OR_RETURN(lhs, expr)  \
   auto _result_##__LINE__ = (expr);       \
   if (!_result_##__LINE__.ok()) {         \

@@ -125,7 +125,8 @@ void ReliableSender::Retain(uint64_t seq, Bytes message) {
   }
 }
 
-void ReliableSender::HandleNak(const NakPacket& nak, HostId from_host, Port from_port) {
+void ReliableSender::HandleNak(const NakPacket& nak, HostId /*from_host*/,
+                               Port /*from_port*/) {
   stats_.naks_received++;
   if (retained_.empty()) {
     SendHeartbeat();  // tells the receiver what is (not) retransmittable
@@ -318,7 +319,7 @@ void ReliableReceiver::HandleHeartbeat(const HeartbeatPacket& pkt, HostId from_h
 }
 
 void ReliableReceiver::Ingest(uint64_t stream_id, uint64_t seq, Bytes message,
-                              HostId from_host, Port from_port) {
+                              HostId /*from_host*/, Port /*from_port*/) {
   Stream& s = EnsureStarted(stream_id);
   if ((!s.syncing && seq < s.expected) || s.ready.count(seq) > 0) {
     stats_.duplicates_dropped++;

@@ -88,7 +88,7 @@ Result<std::unique_ptr<CaptureServer>> CaptureServer::Create(
   auto server = std::unique_ptr<CaptureServer>(new CaptureServer(bus, repo));
   for (const std::string& pattern : patterns) {
     auto sub = bus->SubscribeObjects(
-        pattern, [s = server.get()](const Message& m, const DataObjectPtr& obj) {
+        pattern, [s = server.get()](const Message& /*m*/, const DataObjectPtr& obj) {
           if (obj == nullptr) {
             return;  // not a data object (control traffic, raw bytes)
           }

@@ -30,7 +30,7 @@ NewsMonitor::~NewsMonitor() {
   }
 }
 
-void NewsMonitor::HandleObject(const Message& m, const DataObjectPtr& obj) {
+void NewsMonitor::HandleObject(const Message& /*m*/, const DataObjectPtr& obj) {
   if (obj->type_name() == "property") {
     // §5.2: "configured to accept Property objects, to associate them with the
     // objects they reference, and to display them along with the attributes".

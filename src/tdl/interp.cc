@@ -1,5 +1,6 @@
 #include "src/tdl/interp.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/types/printer.h"
@@ -23,9 +24,30 @@ bool IsKeyword(const Datum& d) { return d.is_symbol() && !d.AsSymbol().empty() &
 
 }  // namespace
 
-TdlInterp::TdlInterp(TypeRegistry* registry)
-    : registry_(registry), global_(std::make_shared<TdlEnv>()) {
+TdlInterp::TdlInterp(TypeRegistry* registry) : registry_(registry) {
+  global_ = MakeEnv(nullptr);
   InstallBuiltins();
+}
+
+TdlInterp::~TdlInterp() {
+  // Sever every surviving environment. Bindings like (defun f ...) make the env
+  // hold a lambda whose closure is that same env; without this sweep those
+  // cycles (and everything they pin) outlive the interpreter.
+  for (const auto& weak : env_registry_) {
+    if (auto env = weak.lock()) {
+      env->Clear();
+    }
+  }
+}
+
+TdlEnvPtr TdlInterp::MakeEnv(TdlEnvPtr parent) {
+  auto env = std::make_shared<TdlEnv>(std::move(parent));
+  if (env_registry_.size() >= env_prune_threshold_) {
+    std::erase_if(env_registry_, [](const std::weak_ptr<TdlEnv>& w) { return w.expired(); });
+    env_prune_threshold_ = std::max<size_t>(64, env_registry_.size() * 2);
+  }
+  env_registry_.push_back(env);
+  return env;
 }
 
 void TdlInterp::DefineNative(const std::string& name, Datum::NativeFn fn) {
@@ -157,7 +179,7 @@ Result<Datum> TdlInterp::EvalList(const Datum::List& list, const TdlEnvPtr& env)
       if (list.size() < 2 || !list[1].is_list()) {
         return InvalidArgument("tdl: let needs a binding list");
       }
-      auto scope = std::make_shared<TdlEnv>(env);
+      auto scope = MakeEnv(env);
       const TdlEnvPtr& eval_env = op == "let*" ? scope : env;
       for (const Datum& binding : list[1].AsList()) {
         if (!binding.is_list() || binding.AsList().size() != 2 ||
@@ -229,7 +251,7 @@ Result<Datum> TdlInterp::EvalList(const Datum::List& list, const TdlEnvPtr& env)
       if (!items->is_list()) {
         return InvalidArgument("tdl: dolist needs a list");
       }
-      auto scope = std::make_shared<TdlEnv>(env);
+      auto scope = MakeEnv(env);
       const std::string& var = list[1].AsList()[0].AsSymbol();
       Datum last;
       for (const Datum& item : items->AsList()) {
@@ -331,7 +353,7 @@ Result<Datum> TdlInterp::Apply(const Datum& fn, std::vector<Datum>& args) {
       return InvalidArgument("tdl: function expects " + std::to_string(lambda.params.size()) +
                              " args, got " + std::to_string(args.size()));
     }
-    auto scope = std::make_shared<TdlEnv>(lambda.closure);
+    auto scope = MakeEnv(lambda.closure);
     for (size_t i = 0; i < args.size(); ++i) {
       scope->Define(lambda.params[i], std::move(args[i]));
     }
@@ -388,7 +410,7 @@ Result<Datum> TdlInterp::DispatchGeneric(const std::string& name, std::vector<Da
           return InvalidArgument("tdl: method '" + name + "' expects " +
                                  std::to_string(m.params.size()) + " args");
         }
-        auto scope = std::make_shared<TdlEnv>(m.closure);
+        auto scope = MakeEnv(m.closure);
         for (size_t i = 0; i < args.size(); ++i) {
           scope->Define(m.params[i], args[i]);
         }
@@ -402,7 +424,7 @@ Result<Datum> TdlInterp::DispatchGeneric(const std::string& name, std::vector<Da
                        : args[0].ToString()));
 }
 
-Result<Datum> TdlInterp::FormDefclass(const Datum::List& list, const TdlEnvPtr& env) {
+Result<Datum> TdlInterp::FormDefclass(const Datum::List& list, const TdlEnvPtr& /*env*/) {
   // (defclass name (supertype) ((slot :type string) (slot2 :type i32)))
   if (list.size() < 3 || !list[1].is_symbol() || !list[2].is_list()) {
     return InvalidArgument("tdl: defclass name (supertype) (slots...)");
@@ -445,7 +467,7 @@ Result<Datum> TdlInterp::FormDefclass(const Datum::List& list, const TdlEnvPtr& 
   return Datum::Symbol(name);
 }
 
-Result<Datum> TdlInterp::FormDefmethod(const Datum::List& list, const TdlEnvPtr& env) {
+Result<Datum> TdlInterp::FormDefmethod(const Datum::List& list, const TdlEnvPtr& /*env*/) {
   // (defmethod name ((self class) other-param ...) body...)
   if (list.size() < 4 || !list[1].is_symbol() || !list[2].is_list() ||
       list[2].AsList().empty()) {

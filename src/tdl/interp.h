@@ -38,6 +38,13 @@ class TdlEnv {
 
   void Define(const std::string& name, Datum value) { vars_[name] = std::move(value); }
 
+  // Drops all bindings and the parent link. Used by ~TdlInterp to break
+  // env -> closure -> env reference cycles; the env is unusable afterwards.
+  void Clear() {
+    vars_.clear();
+    parent_.reset();
+  }
+
   // Assigns in the scope where `name` is bound, or the current scope if unbound.
   void Set(const std::string& name, Datum value) {
     for (TdlEnv* env = this; env != nullptr; env = env->parent_.get()) {
@@ -60,6 +67,11 @@ class TdlInterp {
   // The interpreter defines classes into (and dispatches methods using) `registry`,
   // which is shared with the rest of the process (bus codecs, repository, ...).
   explicit TdlInterp(TypeRegistry* registry);
+
+  // Environments and closures form reference cycles (an env binds a lambda whose
+  // closure is that same env, e.g. any defun). The interpreter is the GC root:
+  // it records every environment it creates and severs them all on destruction.
+  ~TdlInterp();
 
   // Evaluates a whole program; returns the value of the last form.
   Result<Datum> EvalProgram(std::string_view source);
@@ -103,10 +115,18 @@ class TdlInterp {
 
   void InstallBuiltins();
 
+  // All environment creation funnels through here so ~TdlInterp can find and
+  // sever every env that is still alive (see env_registry_).
+  TdlEnvPtr MakeEnv(TdlEnvPtr parent);
+
   TypeRegistry* registry_;
   TdlEnvPtr global_;
   std::map<std::string, std::vector<Method>> generics_;
   std::string output_;
+  // Weak handles to every env ever created; expired entries are pruned
+  // opportunistically so the registry tracks live envs, not call history.
+  std::vector<std::weak_ptr<TdlEnv>> env_registry_;
+  size_t env_prune_threshold_ = 64;
 };
 
 }  // namespace ibus

@@ -20,7 +20,7 @@ void WireWriter::PutU64(uint64_t v) {
 }
 
 void WireWriter::PutF64(double v) {
-  uint64_t bits;
+  uint64_t bits = 0;
   std::memcpy(&bits, &v, sizeof(bits));
   PutU64(bits);
 }
@@ -89,7 +89,7 @@ Result<double> WireReader::ReadF64() {
   if (!r.ok()) {
     return r.status();
   }
-  double v;
+  double v = 0;
   uint64_t bits = *r;
   std::memcpy(&v, &bits, sizeof(v));
   return v;

@@ -1,0 +1,22 @@
+// buslint fixture: subject/pattern literals that do not parse under the grammar.
+#include <string>
+
+struct FakeBus {
+  void Publish(const std::string& subject, int payload);
+  void Subscribe(const std::string& pattern, int handler);
+};
+
+void Violations(FakeBus* bus) {
+  bus->Publish("news..equity", 1);      // empty element
+  bus->Publish("news.equity.*", 2);     // wildcard in a concrete subject
+  bus->Subscribe("news.>rest", 3);      // '>' must be a whole trailing element
+  bus->Subscribe("", 4);                // empty pattern
+}
+
+void Clean(FakeBus* bus) {
+  bus->Publish("news.equity.gmc", 1);
+  bus->Subscribe("news.*.gmc", 2);
+  bus->Subscribe("fab5.>", 3);
+  bus->Publish("_inbox.h1.p2.3", 4);    // reserved-prefix subjects are valid
+  bus->Publish("news." + std::string("x"), 5);  // partial literal: not checked
+}

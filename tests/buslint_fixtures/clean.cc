@@ -1,0 +1,30 @@
+// buslint fixture: a file with no violations under any rule, even when linted as
+// part of the deterministic core ("src/sim/clean.cc").
+#include <memory>
+#include <string>
+
+struct Message {
+  static int Unmarshal(const std::string& b);
+};
+
+struct FakeBus {
+  void Publish(const std::string& subject, int payload);
+  void Subscribe(const std::string& pattern, int handler);
+};
+
+void UseBus(FakeBus* bus) {
+  bus->Publish("fab5.cc.litho8.thick", 1);
+  bus->Subscribe("fab5.cc.*.thick", 2);
+  bus->Subscribe("news.>", 3);
+}
+
+int UseDecode(const std::string& b) {
+  int decoded = Message::Unmarshal(b);
+  return decoded;
+}
+
+std::unique_ptr<int> UseMemory() { return std::make_unique<int>(7); }
+
+// Identifiers like random_seed or timeout are fine; only the primitives are banned.
+int random_seed_default() { return 42; }
+int timeout_us() { return 100; }

@@ -1,0 +1,22 @@
+// buslint fixture: decode results discarded as bare expression statements.
+#include <string>
+
+struct Bytes {};
+struct Frame {
+  static int Unmarshal(const Bytes& b);
+};
+int ParseFrame(const Bytes& b);
+
+void Violations(const Bytes& b) {
+  Frame::Unmarshal(b);   // discarded
+  ParseFrame(b);         // discarded
+}
+
+int Clean(const Bytes& b) {
+  int v = Frame::Unmarshal(b);      // assigned
+  (void)ParseFrame(b);              // explicit discard
+  if (ParseFrame(b) > 0) {          // used in a condition
+    return v;
+  }
+  return ParseFrame(b);             // returned
+}

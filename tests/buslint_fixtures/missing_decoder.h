@@ -1,0 +1,16 @@
+// buslint fixture: wire encoders declared without their matching decoders.
+// (Pairing is checked per header file; see paired_codec.h for the clean case.)
+#ifndef TESTS_BUSLINT_FIXTURES_MISSING_DECODER_H_
+#define TESTS_BUSLINT_FIXTURES_MISSING_DECODER_H_
+
+struct Bytes {};
+struct WireWriter {};
+
+struct Orphan {
+  Bytes Marshal() const;             // no Unmarshal in this header
+  void ToWire(WireWriter* w) const;  // no FromWire in this header
+};
+
+Bytes EncodeTicket(int id);  // no DecodeTicket in this header
+
+#endif  // TESTS_BUSLINT_FIXTURES_MISSING_DECODER_H_

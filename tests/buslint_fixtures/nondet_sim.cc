@@ -1,0 +1,23 @@
+// buslint fixture: linted under the synthetic path "src/sim/nondet_sim.cc".
+// Seeded violations: std::rand, srand, std::chrono::steady_clock, getenv.
+#include <chrono>
+#include <cstdlib>
+
+namespace ibus {
+
+int JitterMicros() {
+  srand(42);
+  return std::rand() % 100;
+}
+
+long WallClockNow() {
+  auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+const char* DebugFlag() { return std::getenv("IBUS_DEBUG"); }
+
+// The allowlist escape hatch suppresses the rule on this line only:
+int SeedFromEnv() { return getenv("SEED") != nullptr; }  // buslint: allow(nondeterminism)
+
+}  // namespace ibus

@@ -1,0 +1,22 @@
+// buslint fixture: every encoder has its decoder — the decode-pair negative case.
+#ifndef TESTS_BUSLINT_FIXTURES_PAIRED_CODEC_H_
+#define TESTS_BUSLINT_FIXTURES_PAIRED_CODEC_H_
+
+struct Bytes {};
+struct WireWriter {};
+struct WireReader {};
+
+struct Packet {
+  Bytes Marshal() const;
+  static Packet Unmarshal(const Bytes& b);
+  void ToWire(WireWriter* w) const;
+  static Packet FromWire(WireReader* r);
+};
+
+Bytes EncodeTicket(int id);
+int DecodeTicket(const Bytes& b);
+
+void MarshalValue(int v, WireWriter* w);
+int UnmarshalValue(WireReader* r);
+
+#endif  // TESTS_BUSLINT_FIXTURES_PAIRED_CODEC_H_

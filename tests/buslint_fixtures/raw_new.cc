@@ -1,0 +1,25 @@
+// buslint fixture: raw new/delete outside the smart-pointer factory idiom.
+#include <memory>
+
+struct Widget {
+  Widget() = default;
+  Widget(const Widget&) = delete;  // deleted member: not a raw delete
+};
+
+Widget* Violations() {
+  int* scratch = new int[8];  // raw new
+  delete[] scratch;           // raw delete
+  return new Widget();        // raw new
+}
+
+std::unique_ptr<Widget> Clean() {
+  auto w = std::unique_ptr<Widget>(new Widget());  // factory idiom: allowed
+  return w;
+}
+
+using WidgetPtr = std::shared_ptr<Widget>;
+
+WidgetPtr CleanAlias() {
+  // Smart-pointer alias wrapping the new-expression directly: allowed.
+  return WidgetPtr(new Widget());
+}

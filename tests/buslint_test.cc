@@ -1,0 +1,117 @@
+// Tests for the buslint rules: each seeded-violation fixture must fire its rule,
+// the clean fixtures must not, and the allowlist comment must suppress.
+#include "tools/buslint/buslint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ibus::buslint {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path = std::string(BUSLINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<Violation> LintFixture(const std::string& rel_path, const std::string& name) {
+  return LintSource(rel_path, ReadFixture(name));
+}
+
+size_t CountRule(const std::vector<Violation>& vs, const std::string& rule) {
+  return static_cast<size_t>(
+      std::count_if(vs.begin(), vs.end(), [&](const Violation& v) { return v.rule == rule; }));
+}
+
+std::string Render(const std::vector<Violation>& vs) {
+  std::string out;
+  for (const auto& v : vs) {
+    out += v.ToString() + "\n";
+  }
+  return out;
+}
+
+TEST(BuslintNondeterminism, FiresOnPrimitivesInDeterministicCore) {
+  auto vs = LintFixture("src/sim/nondet_sim.cc", "nondet_sim.cc");
+  // srand, std::rand, steady_clock, std::getenv — the allow()'d getenv is suppressed.
+  EXPECT_EQ(CountRule(vs, kRuleNondeterminism), 4u) << Render(vs);
+}
+
+TEST(BuslintNondeterminism, SilentOutsideDeterministicCore) {
+  auto vs = LintFixture("bench/nondet_sim.cc", "nondet_sim.cc");
+  EXPECT_EQ(CountRule(vs, kRuleNondeterminism), 0u) << Render(vs);
+}
+
+TEST(BuslintNondeterminism, AllowCommentSuppressesSingleLine) {
+  auto vs = LintSource("src/bus/x.cc",
+                       "int a() { return rand(); }\n"
+                       "int b() { return rand(); }  // buslint: allow(nondeterminism)\n");
+  ASSERT_EQ(CountRule(vs, kRuleNondeterminism), 1u) << Render(vs);
+  EXPECT_EQ(vs[0].line, 1);
+}
+
+TEST(BuslintSubjectLiteral, FiresOnBadLiterals) {
+  auto vs = LintFixture("src/services/bad_subject.cc", "bad_subject.cc");
+  EXPECT_EQ(CountRule(vs, kRuleSubjectLiteral), 4u) << Render(vs);
+}
+
+TEST(BuslintSubjectLiteral, ValidatesPatternsAndSubjectsDifferently) {
+  // A wildcard is fine in Subscribe but a violation in Publish.
+  auto ok = LintSource("a.cc", "void f(B* b) { b->Subscribe(\"news.*\", h); }\n");
+  EXPECT_EQ(CountRule(ok, kRuleSubjectLiteral), 0u) << Render(ok);
+  auto bad = LintSource("a.cc", "void f(B* b) { b->Publish(\"news.*\", p); }\n");
+  EXPECT_EQ(CountRule(bad, kRuleSubjectLiteral), 1u) << Render(bad);
+}
+
+TEST(BuslintDecodePair, FiresOncePerMissingDecoder) {
+  auto vs = LintFixture("src/wire/missing_decoder.h", "missing_decoder.h");
+  EXPECT_EQ(CountRule(vs, kRuleDecodePair), 3u) << Render(vs);
+}
+
+TEST(BuslintDecodePair, SilentWhenPairedOrInNonHeader) {
+  auto paired = LintFixture("src/wire/paired_codec.h", "paired_codec.h");
+  EXPECT_EQ(CountRule(paired, kRuleDecodePair), 0u) << Render(paired);
+  // The same orphan declarations in a .cc are call sites, not wire contracts.
+  auto cc = LintFixture("src/wire/missing_decoder.cc", "missing_decoder.h");
+  EXPECT_EQ(CountRule(cc, kRuleDecodePair), 0u) << Render(cc);
+}
+
+TEST(BuslintDecodeChecked, FiresOnDiscardedResults) {
+  auto vs = LintFixture("src/proto/ignored_decode.cc", "ignored_decode.cc");
+  EXPECT_EQ(CountRule(vs, kRuleDecodeChecked), 2u) << Render(vs);
+}
+
+TEST(BuslintRawNewDelete, FiresOutsideFactoryIdiom) {
+  auto vs = LintFixture("src/common/raw_new.cc", "raw_new.cc");
+  EXPECT_EQ(CountRule(vs, kRuleRawNewDelete), 3u) << Render(vs);
+}
+
+TEST(BuslintClean, CleanFixtureHasNoViolationsAnywhere) {
+  auto vs = LintFixture("src/sim/clean.cc", "clean.cc");
+  EXPECT_TRUE(vs.empty()) << Render(vs);
+}
+
+TEST(BuslintScrubber, IgnoresCommentsAndStrings) {
+  auto vs = LintSource("src/sim/x.cc",
+                       "// rand() in a comment\n"
+                       "/* steady_clock in a block comment */\n"
+                       "const char* s = \"getenv srand random_device\";\n");
+  EXPECT_TRUE(vs.empty()) << Render(vs);
+}
+
+TEST(BuslintScrubber, ReportsCorrectLines) {
+  auto vs = LintSource("src/sim/x.cc", "int a;\nint b;\nint c = rand();\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].line, 3);
+}
+
+}  // namespace
+}  // namespace ibus::buslint

@@ -1,0 +1,258 @@
+// sim_replay_check: enforces the simulator's determinism contract. Each scenario is
+// run twice from identical seeds; the ordered trace of every observable event
+// (deliveries with simulated timestamps, final protocol stats) is hashed, and any
+// divergence fails the test. This is what makes the appendix-figure reproductions
+// (Fig 5-8) and the fault-injection tests trustworthy: if a nondeterminism primitive
+// sneaks into src/sim, src/bus, or src/router (see tools/buslint), the traces drift
+// and this gate trips.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bus/certified.h"
+#include "src/bus/client.h"
+#include "src/bus/daemon.h"
+#include "src/common/rng.h"
+#include "src/router/router.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+#include "src/sim/stable_store.h"
+
+namespace ibus {
+namespace {
+
+// FNV-1a over the concatenated trace records (order-sensitive by construction).
+uint64_t HashTrace(const std::vector<std::string>& events) {
+  uint64_t h = 1469598103934665603ull;
+  for (const std::string& e : events) {
+    for (char c : e) {
+      h ^= static_cast<uint8_t>(c);
+      h *= 1099511628211ull;
+    }
+    h ^= '\n';
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string Record(SimTime t, const std::string& who, const Message& m) {
+  return "t=" + std::to_string(t) + " " + who + " subj=" + m.subject +
+         " payload=" + ToString(m.payload);
+}
+
+std::unique_ptr<BusClient> MustConnect(Network* net, HostId host, const std::string& name) {
+  auto c = BusClient::Connect(net, host, name);
+  EXPECT_TRUE(c.ok()) << c.status().ToString();
+  return c.take();
+}
+
+// --- Scenario 1: LAN bus delivery under jitter/dup/loss faults ---------------------
+
+std::vector<std::string> RunBusDeliveryScenario(uint64_t seed) {
+  Simulator sim;
+  Network net(&sim, seed);
+  SegmentId seg = net.AddSegment();
+  std::vector<HostId> hosts;
+  std::vector<std::unique_ptr<BusDaemon>> daemons;
+  for (int i = 0; i < 3; ++i) {
+    hosts.push_back(net.AddHost("host" + std::to_string(i), seg));
+    auto d = BusDaemon::Start(&net, hosts.back(), BusConfig());
+    EXPECT_TRUE(d.ok());
+    daemons.push_back(d.take());
+  }
+  FaultPlan faults;
+  faults.drop_prob = 0.02;
+  faults.dup_prob = 0.01;
+  faults.jitter_us = 200;
+  net.SetFaultPlan(seg, faults);
+
+  std::vector<std::string> trace;
+  auto wide = MustConnect(&net, hosts[1], "wide");
+  auto narrow = MustConnect(&net, hosts[2], "narrow");
+  EXPECT_TRUE(wide->Subscribe("market.>", [&](const Message& m) {
+                    trace.push_back(Record(sim.Now(), "wide", m));
+                  }).ok());
+  EXPECT_TRUE(narrow->Subscribe("market.*.gmc", [&](const Message& m) {
+                      trace.push_back(Record(sim.Now(), "narrow", m));
+                    }).ok());
+  sim.RunFor(200 * kMillisecond);
+
+  auto pub = MustConnect(&net, hosts[0], "pub");
+  Rng workload(seed + 1);
+  const char* kTickers[] = {"gmc", "ibm", "att"};
+  const char* kCategories[] = {"equity", "bond"};
+  for (int i = 0; i < 40; ++i) {
+    std::string subject = std::string("market.") + kCategories[workload.NextBelow(2)] + "." +
+                          kTickers[workload.NextBelow(3)];
+    EXPECT_TRUE(pub->Publish(subject, ToBytes("msg" + std::to_string(i))).ok());
+    sim.RunFor(workload.NextInRange(100, 3000));
+  }
+  sim.RunFor(2 * kSecond);
+  trace.push_back("published=" + std::to_string(pub->stats().published) +
+                  " wide_received=" + std::to_string(wide->stats().received) +
+                  " narrow_received=" + std::to_string(narrow->stats().received));
+  return trace;
+}
+
+// --- Scenario 2: two LANs joined by an information-router pair over the WAN --------
+
+std::vector<std::string> RunRouterWanScenario(uint64_t seed) {
+  Simulator sim;
+  Network net(&sim, seed);
+  SegmentId lan_a = net.AddSegment();
+  SegmentId lan_b = net.AddSegment();
+  std::vector<HostId> a_hosts, b_hosts;
+  std::vector<std::unique_ptr<BusDaemon>> daemons;
+  for (int i = 0; i < 2; ++i) {
+    a_hosts.push_back(net.AddHost("a" + std::to_string(i), lan_a));
+    b_hosts.push_back(net.AddHost("b" + std::to_string(i), lan_b));
+  }
+  for (HostId h : a_hosts) {
+    auto d = BusDaemon::Start(&net, h, BusConfig());
+    EXPECT_TRUE(d.ok());
+    daemons.push_back(d.take());
+  }
+  for (HostId h : b_hosts) {
+    auto d = BusDaemon::Start(&net, h, BusConfig());
+    EXPECT_TRUE(d.ok());
+    daemons.push_back(d.take());
+  }
+  FaultPlan jitter;
+  jitter.jitter_us = 150;
+  net.SetFaultPlan(lan_a, jitter);
+  net.SetFaultPlan(lan_b, jitter);
+
+  auto router_bus_a = MustConnect(&net, a_hosts[0], "_router:A");
+  auto router_bus_b = MustConnect(&net, b_hosts[0], "_router:B");
+  auto ra = InfoRouter::Listen(router_bus_a.get(), "_router:A", 8700);
+  EXPECT_TRUE(ra.ok()) << ra.status().ToString();
+  sim.RunFor(50 * kMillisecond);
+  auto rb = InfoRouter::Connect(router_bus_b.get(), "_router:B", a_hosts[0], 8700);
+  EXPECT_TRUE(rb.ok()) << rb.status().ToString();
+  sim.RunFor(200 * kMillisecond);
+
+  std::vector<std::string> trace;
+  auto sub = MustConnect(&net, b_hosts[1], "consumer-b");
+  EXPECT_TRUE(sub->Subscribe("news.>", [&](const Message& m) {
+                   trace.push_back(Record(sim.Now(), "consumer-b", m));
+                 }).ok());
+  sim.RunFor(500 * kMillisecond);  // subscription event + advert cross the WAN
+
+  auto pub = MustConnect(&net, a_hosts[1], "publisher-a");
+  Rng workload(seed + 2);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(pub->Publish(i % 3 == 0 ? "news.equity.gmc" : "news.bond.att",
+                             ToBytes("story" + std::to_string(i)))
+                    .ok());
+    sim.RunFor(workload.NextInRange(500, 5000));
+  }
+  sim.RunFor(2 * kSecond);
+  const RouterStats& sa = (*ra)->stats();
+  const RouterStats& sb = (*rb)->stats();
+  trace.push_back("routerA forwarded=" + std::to_string(sa.forwarded) +
+                  " republished=" + std::to_string(sa.republished) +
+                  " adverts=" + std::to_string(sa.adverts_sent));
+  trace.push_back("routerB forwarded=" + std::to_string(sb.forwarded) +
+                  " republished=" + std::to_string(sb.republished) +
+                  " adverts=" + std::to_string(sb.adverts_sent));
+  return trace;
+}
+
+// --- Scenario 3: certified (guaranteed) delivery over a lossy segment --------------
+
+std::vector<std::string> RunCertifiedScenario(uint64_t seed) {
+  Simulator sim;
+  Network net(&sim, seed);
+  SegmentId seg = net.AddSegment();
+  std::vector<HostId> hosts;
+  std::vector<std::unique_ptr<BusDaemon>> daemons;
+  for (int i = 0; i < 2; ++i) {
+    hosts.push_back(net.AddHost("host" + std::to_string(i), seg));
+    auto d = BusDaemon::Start(&net, hosts.back(), BusConfig());
+    EXPECT_TRUE(d.ok());
+    daemons.push_back(d.take());
+  }
+
+  std::vector<std::string> trace;
+  auto sub_client = MustConnect(&net, hosts[1], "consumer");
+  auto sub = CertifiedSubscriber::Create(sub_client.get(), "orders.>", "consumer",
+                                         [&](const Message& m) {
+                                           trace.push_back(Record(sim.Now(), "consumer", m));
+                                         });
+  EXPECT_TRUE(sub.ok()) << sub.status().ToString();
+  sim.RunFor(200 * kMillisecond);
+
+  // Faults go up only after the control-plane handshake so every run starts aligned.
+  FaultPlan faults;
+  faults.drop_prob = 0.15;
+  faults.jitter_us = 500;
+  net.SetFaultPlan(seg, faults);
+
+  auto pub_client = MustConnect(&net, hosts[0], "producer");
+  MemoryStableStore store;
+  auto pub = CertifiedPublisher::Create(pub_client.get(), &store, "orders-ledger");
+  EXPECT_TRUE(pub.ok()) << pub.status().ToString();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE((*pub)->Publish("orders.new", ToBytes("order" + std::to_string(i))).ok());
+    sim.RunFor(50 * kMillisecond);
+  }
+  sim.RunFor(5 * kSecond);
+  trace.push_back("publisher published=" + std::to_string((*pub)->stats().published) +
+                  " retransmits=" + std::to_string((*pub)->stats().retransmits) +
+                  " retired=" + std::to_string((*pub)->stats().retired) +
+                  " pending=" + std::to_string((*pub)->pending()));
+  trace.push_back("subscriber delivered=" + std::to_string((*sub)->stats().delivered) +
+                  " dup_dropped=" + std::to_string((*sub)->stats().duplicates_dropped) +
+                  " acks=" + std::to_string((*sub)->stats().acks_sent));
+  return trace;
+}
+
+// --- The replay gate ---------------------------------------------------------------
+
+using ScenarioFn = std::vector<std::string> (*)(uint64_t seed);
+
+void CheckReplay(const char* name, ScenarioFn fn, uint64_t seed) {
+  std::vector<std::string> first = fn(seed);
+  std::vector<std::string> second = fn(seed);
+  ASSERT_GT(first.size(), 1u) << name << ": scenario produced no deliveries";
+  EXPECT_EQ(HashTrace(first), HashTrace(second))
+      << name << ": divergent replay with identical seed " << seed;
+  EXPECT_EQ(first, second) << name << ": trace contents diverged";
+  // A different seed must actually steer the run (guards against hashing nothing).
+  std::vector<std::string> other = fn(seed + 17);
+  EXPECT_NE(HashTrace(first), HashTrace(other))
+      << name << ": trace is seed-insensitive; the fault RNG is not being exercised";
+}
+
+TEST(SimReplayCheck, BusDeliveryIsDeterministic) {
+  CheckReplay("bus_delivery", &RunBusDeliveryScenario, 42);
+  CheckReplay("bus_delivery", &RunBusDeliveryScenario, 1993);
+}
+
+TEST(SimReplayCheck, RouterWanIsDeterministic) {
+  CheckReplay("router_wan", &RunRouterWanScenario, 42);
+  CheckReplay("router_wan", &RunRouterWanScenario, 7);
+}
+
+TEST(SimReplayCheck, CertifiedDeliveryIsDeterministic) {
+  CheckReplay("certified_delivery", &RunCertifiedScenario, 42);
+  CheckReplay("certified_delivery", &RunCertifiedScenario, 2024);
+}
+
+TEST(SimReplayCheck, CertifiedDeliveryCompletesDespiteLoss) {
+  auto trace = RunCertifiedScenario(42);
+  ASSERT_FALSE(trace.empty());
+  // All 10 published messages must eventually be delivered exactly once.
+  size_t deliveries = 0;
+  for (const std::string& e : trace) {
+    if (e.find("consumer subj=orders.new") != std::string::npos) {
+      ++deliveries;
+    }
+  }
+  EXPECT_EQ(deliveries, 10u);
+}
+
+}  // namespace
+}  // namespace ibus

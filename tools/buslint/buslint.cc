@@ -1,0 +1,497 @@
+#include "tools/buslint/buslint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/subject/subject.h"
+
+namespace ibus::buslint {
+namespace {
+
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_'; }
+
+// Source text with comments and literal *contents* blanked out (newlines kept, so
+// offsets and line numbers survive). String literals keep their quotes in `code`;
+// the original content is retrievable by the offset of the opening quote.
+struct Scrubbed {
+  std::string code;
+  // Offset of the opening '"' -> raw characters between the quotes.
+  std::unordered_map<size_t, std::string> literals;
+  // Line number (1-based) -> rules allowed by a `buslint: allow(...)` comment.
+  std::unordered_map<int, std::set<std::string>> allows;
+  std::vector<size_t> line_starts;  // offset of the first char of each line
+
+  int LineOf(size_t offset) const {
+    auto it = std::upper_bound(line_starts.begin(), line_starts.end(), offset);
+    return static_cast<int>(it - line_starts.begin());
+  }
+
+  bool Allowed(int line, const char* rule) const {
+    auto it = allows.find(line);
+    return it != allows.end() &&
+           (it->second.count(rule) > 0 || it->second.count("all") > 0);
+  }
+};
+
+// Records `buslint: allow(a,b)` found in a comment spanning [line_begin, line_end].
+void RecordAllowComment(std::string_view comment, int line, Scrubbed* out) {
+  size_t at = comment.find("buslint: allow(");
+  if (at == std::string_view::npos) {
+    return;
+  }
+  size_t open = comment.find('(', at);
+  size_t close = comment.find(')', open);
+  if (close == std::string_view::npos) {
+    return;
+  }
+  std::string rules(comment.substr(open + 1, close - open - 1));
+  std::stringstream ss(rules);
+  std::string rule;
+  while (std::getline(ss, rule, ',')) {
+    rule.erase(std::remove_if(rule.begin(), rule.end(),
+                              [](char c) { return std::isspace(static_cast<unsigned char>(c)); }),
+               rule.end());
+    if (!rule.empty()) {
+      out->allows[line].insert(rule);
+    }
+  }
+}
+
+Scrubbed Scrub(std::string_view src) {
+  Scrubbed out;
+  out.code.assign(src.size(), ' ');
+  out.line_starts.push_back(0);
+  size_t i = 0;
+  auto copy_nl = [&](size_t pos) {
+    out.code[pos] = '\n';
+    out.line_starts.push_back(pos + 1);
+  };
+  while (i < src.size()) {
+    char c = src[i];
+    if (c == '\n') {
+      copy_nl(i);
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      size_t end = src.find('\n', i);
+      if (end == std::string_view::npos) {
+        end = src.size();
+      }
+      RecordAllowComment(src.substr(i, end - i),
+                        static_cast<int>(out.line_starts.size()), &out);
+      i = end;  // newline handled by the main loop
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      size_t end = src.find("*/", i + 2);
+      if (end == std::string_view::npos) {
+        end = src.size();
+      } else {
+        end += 2;
+      }
+      for (size_t j = i; j < end; ++j) {
+        if (src[j] == '\n') {
+          copy_nl(j);
+        }
+      }
+      i = end;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      // Raw strings: R"delim( ... )delim".
+      if (c == '"' && i > 0 && src[i - 1] == 'R') {
+        size_t paren = src.find('(', i);
+        if (paren != std::string_view::npos) {
+          std::string delim(src.substr(i + 1, paren - i - 1));
+          std::string closer = ")" + delim + "\"";
+          size_t end = src.find(closer, paren + 1);
+          if (end != std::string_view::npos) {
+            out.code[i] = '"';
+            out.literals[i] = std::string(src.substr(paren + 1, end - paren - 1));
+            size_t close_q = end + closer.size() - 1;
+            out.code[close_q] = '"';
+            for (size_t j = i; j < close_q; ++j) {
+              if (src[j] == '\n') {
+                copy_nl(j);
+              }
+            }
+            i = close_q + 1;
+            continue;
+          }
+        }
+      }
+      char quote = c;
+      size_t start = i;
+      ++i;
+      std::string content;
+      while (i < src.size() && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < src.size()) {
+          content.push_back(src[i]);
+          content.push_back(src[i + 1]);
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') {  // unterminated literal; bail at line end
+          break;
+        }
+        content.push_back(src[i]);
+        ++i;
+      }
+      out.code[start] = quote;
+      if (i < src.size() && src[i] == quote) {
+        out.code[i] = quote;
+        ++i;
+      }
+      if (quote == '"') {
+        out.literals[start] = std::move(content);
+      }
+      continue;
+    }
+    out.code[i] = c;
+    ++i;
+  }
+  return out;
+}
+
+size_t SkipSpace(const std::string& s, size_t i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])) != 0) {
+    ++i;
+  }
+  return i;
+}
+
+// Walks backwards over whitespace; returns the offset of the previous meaningful
+// char, or npos at start of file.
+size_t PrevMeaningful(const std::string& s, size_t i) {
+  while (i > 0) {
+    --i;
+    if (std::isspace(static_cast<unsigned char>(s[i])) == 0) {
+      return i;
+    }
+  }
+  return std::string::npos;
+}
+
+// Offset just past the matching ')' for the '(' at `open`, or npos.
+size_t MatchParen(const std::string& s, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < s.size(); ++i) {
+    if (s[i] == '(') {
+      ++depth;
+    } else if (s[i] == ')') {
+      if (--depth == 0) {
+        return i + 1;
+      }
+    }
+  }
+  return std::string::npos;
+}
+
+// Yields every identifier token in `code` as (offset, text).
+template <typename Fn>
+void ForEachIdentifier(const std::string& code, Fn&& fn) {
+  size_t i = 0;
+  while (i < code.size()) {
+    if (IsIdentChar(code[i]) && (i == 0 || !IsIdentChar(code[i - 1])) &&
+        std::isdigit(static_cast<unsigned char>(code[i])) == 0) {
+      size_t j = i;
+      while (j < code.size() && IsIdentChar(code[j])) {
+        ++j;
+      }
+      fn(i, std::string_view(code).substr(i, j - i));
+      i = j;
+      continue;
+    }
+    ++i;
+  }
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+// ---------------------------------------------------------------------------------
+// Rule: nondeterminism
+// ---------------------------------------------------------------------------------
+
+bool PathIsDeterministicCore(const std::string& rel_path) {
+  return StartsWith(rel_path, "src/sim/") || StartsWith(rel_path, "src/bus/") ||
+         StartsWith(rel_path, "src/router/");
+}
+
+void CheckNondeterminism(const std::string& rel_path, const Scrubbed& s,
+                         std::vector<Violation>* out) {
+  if (!PathIsDeterministicCore(rel_path)) {
+    return;
+  }
+  static const std::unordered_set<std::string_view> kBanned = {
+      "srand",         "rand_r",       "drand48",
+      "random_device", "mt19937",      "mt19937_64",
+      "minstd_rand",   "default_random_engine",
+      "system_clock",  "steady_clock", "high_resolution_clock",
+      "getenv",        "gettimeofday", "clock_gettime",
+      "localtime",     "gmtime",
+  };
+  // Common words; only ban when called as a function.
+  static const std::unordered_set<std::string_view> kBannedCalls = {"rand", "time", "clock"};
+
+  ForEachIdentifier(s.code, [&](size_t off, std::string_view ident) {
+    bool banned = kBanned.count(ident) > 0;
+    if (!banned && kBannedCalls.count(ident) > 0) {
+      size_t next = SkipSpace(s.code, off + ident.size());
+      banned = next < s.code.size() && s.code[next] == '(';
+    }
+    if (!banned) {
+      return;
+    }
+    int line = s.LineOf(off);
+    if (s.Allowed(line, kRuleNondeterminism)) {
+      return;
+    }
+    out->push_back({rel_path, line, kRuleNondeterminism,
+                    "'" + std::string(ident) +
+                        "' in deterministic core (src/sim, src/bus, src/router must use "
+                        "Simulator time and seeded ibus::Rng only)"});
+  });
+}
+
+// ---------------------------------------------------------------------------------
+// Rule: subject-literal
+// ---------------------------------------------------------------------------------
+
+void CheckSubjectLiterals(const std::string& rel_path, const Scrubbed& s,
+                          std::vector<Violation>* out) {
+  // API name -> true when the argument is a pattern (wildcards allowed).
+  static const std::map<std::string_view, bool> kApis = {
+      {"Publish", false},   {"PublishObject", false},
+      {"Subscribe", true},  {"SubscribeObjects", true},
+  };
+  ForEachIdentifier(s.code, [&](size_t off, std::string_view ident) {
+    auto api = kApis.find(ident);
+    if (api == kApis.end()) {
+      return;
+    }
+    size_t p = SkipSpace(s.code, off + ident.size());
+    if (p >= s.code.size() || s.code[p] != '(') {
+      return;
+    }
+    p = SkipSpace(s.code, p + 1);
+    if (p >= s.code.size() || s.code[p] != '"') {
+      return;  // first argument is not a string literal
+    }
+    auto lit = s.literals.find(p);
+    if (lit == s.literals.end()) {
+      return;
+    }
+    size_t close = s.code.find('"', p + 1);
+    if (close == std::string::npos) {
+      return;
+    }
+    size_t after = SkipSpace(s.code, close + 1);
+    if (after >= s.code.size() || (s.code[after] != ',' && s.code[after] != ')')) {
+      return;  // literal is only part of the argument expression ("a." + x)
+    }
+    int line = s.LineOf(off);
+    if (s.Allowed(line, kRuleSubjectLiteral)) {
+      return;
+    }
+    Status status = api->second ? ValidatePattern(lit->second) : ValidateSubject(lit->second);
+    if (!status.ok()) {
+      out->push_back({rel_path, line, kRuleSubjectLiteral,
+                      std::string(ident) + "(\"" + lit->second +
+                          "\"): " + status.ToString()});
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------------
+// Rule: decode-pair (headers only)
+// ---------------------------------------------------------------------------------
+
+void CheckDecodePairs(const std::string& rel_path, const Scrubbed& s,
+                      std::vector<Violation>* out) {
+  if (rel_path.size() < 2 || rel_path.substr(rel_path.size() - 2) != ".h") {
+    return;
+  }
+  std::set<std::string> idents;
+  struct Encoder {
+    size_t off;
+    std::string name;
+    std::string expected;
+  };
+  std::vector<Encoder> encoders;
+  ForEachIdentifier(s.code, [&](size_t off, std::string_view ident) {
+    idents.insert(std::string(ident));
+    size_t next = SkipSpace(s.code, off + ident.size());
+    if (next >= s.code.size() || s.code[next] != '(') {
+      return;  // encoders are functions; ignore plain mentions
+    }
+    std::string expected;
+    if (StartsWith(ident, "Marshal")) {
+      expected = "Unmarshal" + std::string(ident.substr(7));
+    } else if (StartsWith(ident, "Encode") &&
+               (ident.size() == 6 || std::isupper(static_cast<unsigned char>(ident[6])) != 0)) {
+      expected = "Decode" + std::string(ident.substr(6));
+    } else if (ident == "ToWire") {
+      expected = "FromWire";
+    } else {
+      return;
+    }
+    encoders.push_back({off, std::string(ident), std::move(expected)});
+  });
+  std::set<std::string> reported;
+  for (const Encoder& e : encoders) {
+    if (idents.count(e.expected) > 0 || !reported.insert(e.expected).second) {
+      continue;
+    }
+    int line = s.LineOf(e.off);
+    if (s.Allowed(line, kRuleDecodePair)) {
+      continue;
+    }
+    out->push_back({rel_path, line, kRuleDecodePair,
+                    "encoder '" + e.name + "' has no matching '" + e.expected +
+                        "' in this header"});
+  }
+}
+
+// ---------------------------------------------------------------------------------
+// Rule: decode-checked
+// ---------------------------------------------------------------------------------
+
+bool IsDecodeName(std::string_view ident) {
+  auto prefixed = [&](std::string_view prefix) {
+    return StartsWith(ident, prefix) &&
+           (ident.size() == prefix.size() ||
+            std::isupper(static_cast<unsigned char>(ident[prefix.size()])) != 0);
+  };
+  return prefixed("Unmarshal") || prefixed("Decode") || prefixed("Parse") ||
+         ident == "FromWire";
+}
+
+void CheckDecodeChecked(const std::string& rel_path, const Scrubbed& s,
+                        std::vector<Violation>* out) {
+  ForEachIdentifier(s.code, [&](size_t off, std::string_view ident) {
+    if (!IsDecodeName(ident)) {
+      return;
+    }
+    size_t open = SkipSpace(s.code, off + ident.size());
+    if (open >= s.code.size() || s.code[open] != '(') {
+      return;
+    }
+    // Walk back over the receiver chain (Message::Unmarshal, msg.DecodeObject,
+    // ptr->DecodeObject) to the start of the expression.
+    size_t start = off;
+    while (start > 0) {
+      char c = s.code[start - 1];
+      if (IsIdentChar(c) || c == '.' || c == ':' || c == '>' || c == '-') {
+        --start;
+      } else {
+        break;
+      }
+    }
+    size_t prev = PrevMeaningful(s.code, start);
+    bool statement_start =
+        prev == std::string::npos ||
+        (s.code[prev] == ';' || s.code[prev] == '{' || s.code[prev] == '}');
+    if (!statement_start) {
+      return;  // assigned, returned, passed, or (void)-discarded
+    }
+    size_t end = MatchParen(s.code, open);
+    if (end == std::string::npos) {
+      return;
+    }
+    size_t after = SkipSpace(s.code, end);
+    if (after >= s.code.size() || s.code[after] != ';') {
+      return;  // result is used (.ok(), chained call, ...)
+    }
+    int line = s.LineOf(off);
+    if (s.Allowed(line, kRuleDecodeChecked)) {
+      return;
+    }
+    out->push_back({rel_path, line, kRuleDecodeChecked,
+                    "result of '" + std::string(ident) +
+                        "' is discarded; check it or cast to (void)"});
+  });
+}
+
+// ---------------------------------------------------------------------------------
+// Rule: raw-new-delete
+// ---------------------------------------------------------------------------------
+
+void CheckRawNewDelete(const std::string& rel_path, const Scrubbed& s,
+                       std::vector<Violation>* out) {
+  ForEachIdentifier(s.code, [&](size_t off, std::string_view ident) {
+    if (ident != "new" && ident != "delete") {
+      return;
+    }
+    int line = s.LineOf(off);
+    if (s.Allowed(line, kRuleRawNewDelete)) {
+      return;
+    }
+    if (ident == "delete") {
+      size_t prev = PrevMeaningful(s.code, off);
+      if (prev != std::string::npos && s.code[prev] == '=') {
+        return;  // deleted special member
+      }
+      out->push_back({rel_path, line, kRuleRawNewDelete,
+                      "raw 'delete'; use owning smart pointers"});
+      return;
+    }
+    // `new` is allowed only inside the private-constructor factory idiom:
+    // std::unique_ptr<T>(new T(...)), shared_ptr<T>(new T(...)), or a smart-pointer
+    // alias wrapping it directly, e.g. ConnectionPtr(new Connection(...)).
+    size_t stmt = off;
+    while (stmt > 0 && s.code[stmt - 1] != ';' && s.code[stmt - 1] != '{' &&
+           s.code[stmt - 1] != '}') {
+      --stmt;
+    }
+    std::string_view stmt_text = std::string_view(s.code).substr(stmt, off - stmt);
+    if (stmt_text.find("unique_ptr<") != std::string_view::npos ||
+        stmt_text.find("shared_ptr<") != std::string_view::npos) {
+      return;
+    }
+    size_t prev = PrevMeaningful(s.code, off);
+    if (prev != std::string::npos && s.code[prev] == '(') {
+      size_t id_end = prev;  // identifier directly wrapping the new-expression
+      while (id_end > 0 && IsIdentChar(s.code[id_end - 1])) {
+        --id_end;
+      }
+      std::string_view wrapper = std::string_view(s.code).substr(id_end, prev - id_end);
+      if ((wrapper.size() >= 3 && wrapper.substr(wrapper.size() - 3) == "Ptr") ||
+          (wrapper.size() >= 4 && wrapper.substr(wrapper.size() - 4) == "_ptr")) {
+        return;
+      }
+    }
+    out->push_back({rel_path, line, kRuleRawNewDelete,
+                    "raw 'new' outside the unique_ptr/shared_ptr factory idiom"});
+  });
+}
+
+}  // namespace
+
+std::string Violation::ToString() const {
+  return file + ":" + std::to_string(line) + ": [" + rule + "] " + message;
+}
+
+std::vector<Violation> LintSource(const std::string& rel_path, std::string_view content) {
+  Scrubbed s = Scrub(content);
+  std::vector<Violation> out;
+  CheckNondeterminism(rel_path, s, &out);
+  CheckSubjectLiterals(rel_path, s, &out);
+  CheckDecodePairs(rel_path, s, &out);
+  CheckDecodeChecked(rel_path, s, &out);
+  CheckRawNewDelete(rel_path, s, &out);
+  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+    return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+  });
+  return out;
+}
+
+}  // namespace ibus::buslint

@@ -1,0 +1,57 @@
+// buslint: repo-specific static checks for the Information Bus sources.
+//
+// The rules encode invariants that generic compiler warnings cannot see:
+//
+//   nondeterminism  — no wall-clock / PRNG / environment primitives under
+//                     src/sim, src/bus, src/router (simulated time and seeded
+//                     Rng only; this is what keeps Fig 5-8 reproductions and
+//                     sim_replay_check trustworthy).
+//   subject-literal — subject/pattern string literals passed to Publish*/
+//                     Subscribe* must parse under the real subject grammar
+//                     (validated by linking src/subject, not by regex).
+//   decode-pair     — every wire encoder declared in a header (Marshal*,
+//                     Encode*, ToWire) must have the matching decoder
+//                     (Unmarshal*, Decode*, FromWire) declared in the same
+//                     header.
+//   decode-checked  — a decode call (Unmarshal*, Decode*, Parse*, FromWire)
+//                     must not be discarded as a bare expression statement;
+//                     cast to (void) to discard deliberately.
+//   raw-new-delete  — no raw `new`/`delete` outside the private-constructor
+//                     factory idiom `std::unique_ptr<T>(new T(...))`.
+//
+// Any line can opt out of a rule with a trailing comment:
+//   // buslint: allow(rule-name)
+#ifndef TOOLS_BUSLINT_BUSLINT_H_
+#define TOOLS_BUSLINT_BUSLINT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ibus::buslint {
+
+struct Violation {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  // "src/sim/foo.cc:12: [nondeterminism] ..." — the format the ctest run prints.
+  std::string ToString() const;
+};
+
+// Lints one source file. `rel_path` is the path relative to the repo root; the
+// nondeterminism rule is scoped by it, so fixture tests can claim synthetic
+// paths like "src/sim/evil.cc".
+std::vector<Violation> LintSource(const std::string& rel_path, std::string_view content);
+
+// Rule names, exposed for the allowlist mechanism and the tests.
+inline constexpr char kRuleNondeterminism[] = "nondeterminism";
+inline constexpr char kRuleSubjectLiteral[] = "subject-literal";
+inline constexpr char kRuleDecodePair[] = "decode-pair";
+inline constexpr char kRuleDecodeChecked[] = "decode-checked";
+inline constexpr char kRuleRawNewDelete[] = "raw-new-delete";
+
+}  // namespace ibus::buslint
+
+#endif  // TOOLS_BUSLINT_BUSLINT_H_
