@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -119,6 +120,64 @@ inline SimTime DecodeTimestamp(const Bytes& b) {
 // The message sizes swept in Figures 5-8.
 inline std::vector<size_t> FigureSizes() {
   return {64, 128, 256, 512, 1024, 2048, 4096, 5000, 8192, 10000};
+}
+
+// Exact (sort-based, linearly interpolated) percentile over raw samples. This is
+// independent of the telemetry histograms on purpose: bench output stays exact and
+// works identically under -DIB_TELEMETRY=OFF.
+inline double Percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) {
+    return 0;
+  }
+  std::sort(xs.begin(), xs.end());
+  double rank = q * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+// One machine-readable result row for scripts/bench.sh (schema BENCH_2): latency
+// percentiles are in microseconds of simulated time; msgs_per_sec may be 0 for
+// latency-only benches.
+struct BenchResult {
+  std::string name;
+  double p50_us = 0;
+  double p90_us = 0;
+  double p99_us = 0;
+  double msgs_per_sec = 0;
+};
+
+inline BenchResult MakeLatencyResult(const std::string& name,
+                                     const std::vector<double>& latencies_us,
+                                     double msgs_per_sec = 0) {
+  BenchResult r;
+  r.name = name;
+  r.p50_us = Percentile(latencies_us, 0.50);
+  r.p90_us = Percentile(latencies_us, 0.90);
+  r.p99_us = Percentile(latencies_us, 0.99);
+  r.msgs_per_sec = msgs_per_sec;
+  return r;
+}
+
+// Appends `results` as JSON lines to the file named by $BENCH_JSON (no-op when the
+// variable is unset). scripts/bench.sh assembles the lines into BENCH_2.json.
+inline void EmitBenchJson(const std::vector<BenchResult>& results) {
+  const char* path = std::getenv("BENCH_JSON");
+  if (path == nullptr || results.empty()) {
+    return;
+  }
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) {
+    return;
+  }
+  for (const BenchResult& r : results) {
+    std::fprintf(f,
+                 "{\"name\": \"%s\", \"p50_us\": %.3f, \"p90_us\": %.3f, "
+                 "\"p99_us\": %.3f, \"msgs_per_sec\": %.3f}\n",
+                 r.name.c_str(), r.p50_us, r.p90_us, r.p99_us, r.msgs_per_sec);
+  }
+  std::fclose(f);
 }
 
 }  // namespace bench

@@ -13,17 +13,21 @@ namespace {
 
 struct LatencyResult {
   Stats ms;
+  std::vector<double> samples_us;
 };
 
 LatencyResult MeasureLatency(int n_consumers, size_t msg_size, int n_messages) {
   Testbed tb = MakeTestbed(15, /*batching=*/false, 1 + n_consumers);
   std::vector<double> latencies_ms;
+  std::vector<double> latencies_us;
   for (int i = 1; i <= n_consumers; ++i) {
     tb.clients[static_cast<size_t>(i)]
         ->Subscribe("bench.latency",
                     [&, sim = tb.sim.get()](const Message& m) {
-                      latencies_ms.push_back(
-                          static_cast<double>(sim->Now() - DecodeTimestamp(m.payload)) / 1000.0);
+                      double us =
+                          static_cast<double>(sim->Now() - DecodeTimestamp(m.payload));
+                      latencies_us.push_back(us);
+                      latencies_ms.push_back(us / 1000.0);
                     })
         .ok();
   }
@@ -34,7 +38,7 @@ LatencyResult MeasureLatency(int n_consumers, size_t msg_size, int n_messages) {
     tb.sim->RunFor(173 * kMillisecond);
   }
   tb.sim->RunFor(1 * kSecond);
-  return LatencyResult{Summarize(latencies_ms)};
+  return LatencyResult{Summarize(latencies_ms), std::move(latencies_us)};
 }
 
 void Run() {
@@ -43,10 +47,13 @@ void Run() {
               "batching OFF\n\n");
   std::printf("%10s %14s %16s %14s\n", "msg bytes", "latency (ms)", "99%-CI +/- (ms)",
               "variance");
+  std::vector<BenchResult> results;
   for (size_t size : FigureSizes()) {
     LatencyResult r = MeasureLatency(14, size, 30);
     std::printf("%10zu %14.3f %16.3f %14.5f\n", size, r.ms.mean, r.ms.ci99_half, r.ms.variance);
+    results.push_back(MakeLatencyResult("fig5_latency/" + std::to_string(size), r.samples_us));
   }
+  EmitBenchJson(results);
 
   std::printf("\n--- Claim: latency is independent of the number of consumers ---\n");
   std::printf("%12s %14s\n", "consumers", "latency (ms)");

@@ -47,14 +47,15 @@ void Run() {
               static_cast<double>(connected_at - t0) / 1000.0, 20.0);
 
   std::printf("%12s %20s\n", "arg bytes", "round trip (ms)");
+  std::vector<BenchResult> results;
   for (size_t size : {size_t{16}, size_t{256}, size_t{1024}, size_t{4096}, size_t{10000}}) {
-    std::vector<double> rtts;
+    std::vector<double> rtts_us;
     for (int i = 0; i < 30; ++i) {
       SimTime start = tb.sim->Now();
       bool done = false;
       remote->Call("echo", {Value(Bytes(size, 0x7E))}, [&](Result<Value> /*r*/) {
         done = true;
-        rtts.push_back(static_cast<double>(tb.sim->Now() - start) / 1000.0);
+        rtts_us.push_back(static_cast<double>(tb.sim->Now() - start));
       });
       tb.sim->RunFor(2 * kSecond);
       if (!done) {
@@ -62,8 +63,23 @@ void Run() {
         return;
       }
     }
-    std::printf("%12zu %20.3f\n", size, Summarize(rtts).mean);
+    std::vector<double> rtts_ms;
+    for (double us : rtts_us) {
+      rtts_ms.push_back(us / 1000.0);
+    }
+    std::printf("%12zu %20.3f\n", size, Summarize(rtts_ms).mean);
+    results.push_back(MakeLatencyResult("rmi_latency/" + std::to_string(size), rtts_us));
   }
+  // Cross-check: the client's own telemetry histogram saw the same population (the
+  // bucketed p50 is an upper bound on the exact p50). Compiled out under
+  // -DIB_TELEMETRY=OFF, where count() reads 0.
+  if (remote->rtt_histogram().count() > 0) {
+    std::printf("\ntelemetry rtt histogram: count=%llu p50<=%lldus p99<=%lldus\n",
+                static_cast<unsigned long long>(remote->rtt_histogram().count()),
+                static_cast<long long>(remote->rtt_histogram().p50()),
+                static_cast<long long>(remote->rtt_histogram().p99()));
+  }
+  EmitBenchJson(results);
   std::printf("\nShape check: round trip grows with payload (request frames +"
               " serialization both ways)\nabove a fixed floor of propagation +"
               " service time.\n");

@@ -16,6 +16,7 @@ struct ThroughputResult {
   double bytes_per_sec = 0;  // payload bytes per subscriber
   double cumulative_msgs_per_sec = 0;  // across all subscribers
   double variance_msgs = 0;  // across per-window rates
+  std::vector<double> window_rates;  // per-100ms delivery rates at consumer 0 (msgs/s)
 };
 
 // Publishes `n_messages` of `msg_size` bytes as fast as the bus accepts them, cycling
@@ -82,6 +83,7 @@ inline ThroughputResult MeasureThroughput(int n_consumers, size_t msg_size, int 
   r.bytes_per_sec = r.msgs_per_sec * static_cast<double>(msg_size);
   r.cumulative_msgs_per_sec = per_sub_rates;
   r.variance_msgs = Summarize(window_rates).variance;
+  r.window_rates = std::move(window_rates);
   return r;
 }
 

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Runs the JSON-emitting benchmarks and assembles their per-binary JSON lines into
+# BENCH_2.json (schema BENCH_2: one row per measurement with name, latency-or-rate
+# percentiles, and msgs/sec). See docs/TELEMETRY.md.
+#
+#   scripts/bench.sh                     # build in build-bench/, write BENCH_2.json
+#   BUILD_DIR=build scripts/bench.sh     # reuse an existing build dir
+#   OUT=/tmp/b.json scripts/bench.sh     # write somewhere else
+#   BENCHES="rmi_latency" scripts/bench.sh  # run a subset
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-bench}
+JOBS=${JOBS:-$(nproc)}
+OUT=${OUT:-BENCH_2.json}
+BENCHES=${BENCHES:-"rmi_latency fig5_latency fig6_throughput_msgs fig7_throughput_bytes fig8_subjects"}
+
+echo "== configure + build (${BUILD_DIR})"
+cmake -B "${BUILD_DIR}" -S . > /dev/null
+# shellcheck disable=SC2086
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target ${BENCHES}
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "${tmpdir}"' EXIT
+
+for b in ${BENCHES}; do
+  echo "== ${b}"
+  BENCH_JSON="${tmpdir}/${b}.jsonl" "${BUILD_DIR}/bench/${b}" > "${tmpdir}/${b}.log"
+  tail -3 "${tmpdir}/${b}.log" | sed 's/^/   /'
+done
+
+{
+  printf '{"schema": "BENCH_2", "results": [\n'
+  first=1
+  for b in ${BENCHES}; do
+    while IFS= read -r line; do
+      [ -n "${line}" ] || continue
+      if [ "${first}" -eq 1 ]; then first=0; else printf ',\n'; fi
+      printf '  %s' "${line}"
+    done < "${tmpdir}/${b}.jsonl"
+  done
+  printf '\n]}\n'
+} > "${OUT}"
+
+if command -v python3 > /dev/null; then
+  python3 -m json.tool "${OUT}" > /dev/null && echo "== ${OUT}: valid JSON"
+fi
+echo "== wrote ${OUT} ($(grep -c '"name"' "${OUT}") results)"

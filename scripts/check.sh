@@ -22,6 +22,9 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 echo "== tier1 tests (unit + integration + examples + sim_replay_check)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" -L tier1
 
+echo "== telemetry tests (ctest -L telemetry; no-op when built with IB_TELEMETRY=OFF)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L telemetry
+
 echo "== buslint over src/ bench/ examples/ tools/"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L lint
 

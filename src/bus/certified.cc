@@ -44,7 +44,9 @@ CertifiedPublisher::~CertifiedPublisher() {
   }
 }
 
-std::string CertifiedPublisher::ack_subject() const { return "_ibus.cert.ack." + ledger_name_; }
+std::string CertifiedPublisher::ack_subject() const {
+  return std::string(kReservedCertPrefix) + "ack." + ledger_name_;
+}
 
 Bytes CertifiedPublisher::LogRecordPublish(uint64_t id, const PendingMessage& pm) const {
   WireWriter w;
@@ -70,6 +72,7 @@ Status CertifiedPublisher::Publish(const std::string& subject, Bytes payload,
   pm.subject = subject;
   pm.type_name = std::move(type_name);
   pm.payload = std::move(payload);
+  pm.published_at = bus_->sim()->Now();
 
   auto logged = store_->Append(LogRecordPublish(id, pm));
   if (!logged.ok()) {
@@ -133,6 +136,7 @@ Status CertifiedPublisher::Recover() {
       pm.subject = subject.take();
       pm.type_name = type_name.take();
       pm.payload = payload.take();
+      pm.published_at = bus_->sim()->Now();
       pending_.emplace(*id, std::move(pm));
     } else if (*kind == kLogRetire) {
       pending_.erase(*id);
@@ -165,6 +169,7 @@ void CertifiedPublisher::HandleAck(const Message& m) {
   it->second.ackers.insert(*consumer);
   if (static_cast<int>(it->second.ackers.size()) >= config_.required_acks) {
     store_->Append(LogRecordRetire(*id));
+    retire_latency_.Record(bus_->sim()->Now() - it->second.published_at);
     pending_.erase(it);
     stats_.retired++;
   }
@@ -234,7 +239,8 @@ void CertifiedSubscriber::HandleMessage(const Message& m) {
   w.PutString(consumer_name_);
   ack.payload = w.Take();
   stats_.acks_sent++;
-  bus_->Publish(std::move(ack));
+  // The ack subject lives in the reserved namespace, so this is an internal publish.
+  bus_->PublishInternal(std::move(ack));
 }
 
 }  // namespace ibus

@@ -22,6 +22,7 @@
 
 #include "src/bus/client.h"
 #include "src/sim/stable_store.h"
+#include "src/telemetry/metrics.h"
 
 namespace ibus {
 
@@ -63,6 +64,10 @@ class CertifiedPublisher {
   const CertifiedPublisherStats& stats() const { return stats_; }
   std::string ack_subject() const;
 
+  // Publish-to-retire latency (stable write + wire + subscriber ack round trip).
+  // Only populated when built with telemetry on.
+  const telemetry::LatencyHistogram& retire_latency() const { return retire_latency_; }
+
  private:
   CertifiedPublisher(BusClient* bus, StableStore* store, std::string ledger_name,
                      const CertifiedConfig& config);
@@ -72,6 +77,7 @@ class CertifiedPublisher {
     std::string type_name;
     Bytes payload;
     std::set<std::string> ackers;
+    SimTime published_at = 0;
   };
 
   void HandleAck(const Message& m);
@@ -89,6 +95,7 @@ class CertifiedPublisher {
   uint64_t ack_sub_ = 0;
   bool retry_scheduled_ = false;
   CertifiedPublisherStats stats_;
+  telemetry::LatencyHistogram retire_latency_;
   std::shared_ptr<bool> alive_;
 };
 

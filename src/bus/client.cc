@@ -41,16 +41,58 @@ Status BusClient::SendToDaemon(uint8_t packet_type, const Bytes& payload) {
 }
 
 Status BusClient::Publish(Message m) {
-  IBUS_RETURN_IF_ERROR(ValidateSubject(m.subject));
+  return PublishScoped(std::move(m), SubjectScope::kApplication);
+}
+
+Status BusClient::PublishInternal(Message m) {
+  return PublishScoped(std::move(m), SubjectScope::kInternal);
+}
+
+Status BusClient::PublishScoped(Message m, SubjectScope scope) {
+  IBUS_RETURN_IF_ERROR(ValidateSubject(m.subject, scope));
   if (m.sender.empty()) {
     m.sender = name_;
   }
   if (m.publisher_id == 0) {
     m.publisher_id = client_id();
   }
+#if IBUS_TELEMETRY
+  bool fresh_trace = false;
+  if (config_.trace_publishes && scope == SubjectScope::kApplication && m.trace_id == 0 &&
+      m.subject[0] != '_') {
+    // Deterministic id: the stable client identity plus a per-client sequence.
+    m.trace_id = (client_id() << 20) | next_trace_++;
+    m.trace_hop = 0;
+    fresh_trace = true;
+  }
+#endif
   stats_.published++;
-  return SendToDaemon(kPktClientMessage, m.Marshal());
+  Status sent = SendToDaemon(kPktClientMessage, m.Marshal());
+#if IBUS_TELEMETRY
+  if (fresh_trace && sent.ok()) {
+    EmitHop(telemetry::HopKind::kPublish, m);
+  }
+#endif
+  return sent;
 }
+
+#if IBUS_TELEMETRY
+void BusClient::EmitHop(telemetry::HopKind kind, const Message& m) {
+  telemetry::HopRecord rec;
+  rec.trace_id = m.trace_id;
+  rec.hop = m.trace_hop;
+  rec.kind = kind;
+  rec.node = name_;
+  rec.subject = m.subject;
+  rec.at_us = sim()->Now();
+  rec.certified_id = m.certified_id;
+  Message span;
+  span.subject = telemetry::HopSubject(kind);
+  span.type_name = telemetry::kHopRecordType;
+  span.payload = rec.Marshal();
+  PublishInternal(std::move(span));
+}
+#endif
 
 Status BusClient::Publish(const std::string& subject, Bytes payload) {
   Message m;
@@ -175,6 +217,11 @@ void BusClient::HandleDatagram(const Datagram& d) {
       handler(*msg);
     }
   }
+#if IBUS_TELEMETRY
+  if (msg->trace_id != 0) {
+    EmitHop(telemetry::HopKind::kDeliver, *msg);
+  }
+#endif
 }
 
 }  // namespace ibus

@@ -14,6 +14,8 @@
 #include "src/bus/message.h"
 #include "src/common/id.h"
 #include "src/sim/network.h"
+#include "src/subject/subject.h"
+#include "src/telemetry/trace.h"
 
 namespace ibus {
 
@@ -45,9 +47,14 @@ class BusClient {
 
   // --- Publish ----------------------------------------------------------------------
   // Validates the subject and hands the message to the local daemon for broadcast.
+  // Application publishes into the reserved "_ibus." namespace are rejected.
   Status Publish(Message m);
   Status Publish(const std::string& subject, Bytes payload);
   Status PublishObject(const std::string& subject, const DataObject& obj);
+
+  // For bus-internal components (tracing, certified acks, stats, elections): same as
+  // Publish but allowed into the reserved namespace. Never assigns a trace context.
+  Status PublishInternal(Message m);
 
   // --- Subscribe --------------------------------------------------------------------
   // Subscribes to a subject pattern; the handler runs for every matching message, in
@@ -76,6 +83,11 @@ class BusClient {
 
   void HandleDatagram(const Datagram& d);
   Status SendToDaemon(uint8_t packet_type, const Bytes& payload);
+  Status PublishScoped(Message m, SubjectScope scope);
+#if IBUS_TELEMETRY
+  // Publishes a HopRecord span for `m` on the reserved trace namespace.
+  void EmitHop(telemetry::HopKind kind, const Message& m);
+#endif
 
   Network* net_;
   HostId host_;
@@ -84,6 +96,7 @@ class BusClient {
   std::unique_ptr<UdpSocket> socket_;
   uint64_t next_sub_id_ = 1;
   uint64_t next_inbox_ = 1;
+  uint64_t next_trace_ = 1;
   std::unordered_map<uint64_t, MessageHandler> handlers_;
   BusClientStats stats_;
 };

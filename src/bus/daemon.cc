@@ -18,15 +18,32 @@ Result<std::unique_ptr<BusDaemon>> BusDaemon::Start(Network* net, HostId host,
   const uint64_t stream_id = static_cast<uint64_t>(host) + 1;
   daemon->sender_ = std::make_unique<ReliableSender>(net->sim(), daemon->socket_.get(),
                                                      config.daemon_port, stream_id,
-                                                     config.reliable);
+                                                     config.reliable, &daemon->metrics_);
   daemon->receiver_ = std::make_unique<ReliableReceiver>(
       net->sim(), daemon->socket_.get(), config.reliable,
-      [d = daemon.get()](uint64_t /*stream*/, const Bytes& bytes) { d->DispatchInbound(bytes); });
+      [d = daemon.get()](uint64_t /*stream*/, const Bytes& bytes) { d->DispatchInbound(bytes); },
+      nullptr, &daemon->metrics_);
   return daemon;
 }
 
 BusDaemon::BusDaemon(Network* net, HostId host, const BusConfig& config)
-    : net_(net), host_(host), config_(config) {}
+    : net_(net),
+      host_(host),
+      config_(config),
+      publishes_(metrics_.GetCounter(kMetricPublishes)),
+      dispatched_(metrics_.GetCounter(kMetricDispatched)),
+      deliveries_(metrics_.GetCounter(kMetricDeliveries)),
+      no_match_(metrics_.GetCounter(kMetricNoMatch)),
+      subscriptions_(metrics_.GetGauge(kMetricSubscriptions)) {}
+
+DaemonStats BusDaemon::stats() const {
+  DaemonStats s;
+  s.publishes = publishes_->value();
+  s.dispatched_messages = dispatched_->value();
+  s.deliveries = deliveries_->value();
+  s.no_match = no_match_->value();
+  return s;
+}
 
 BusDaemon::~BusDaemon() = default;
 
@@ -114,6 +131,7 @@ void BusDaemon::HandleClientUnregister(const Datagram& d) {
     }
     subs_.erase(key);
   }
+  subscriptions_->Set(static_cast<int64_t>(subs_.size()));
 }
 
 void BusDaemon::HandleSubscribe(const Datagram& d, const Bytes& payload) {
@@ -137,6 +155,7 @@ void BusDaemon::HandleSubscribe(const Datagram& d, const Bytes& payload) {
   std::string pattern_copy = sub.pattern;
   std::string client_name = sub.client_name;
   subs_[key] = std::move(sub);
+  subscriptions_->Set(static_cast<int64_t>(subs_.size()));
   if (fresh) {
     AnnounceSubscription(true, pattern_copy, client_name);
   }
@@ -156,17 +175,26 @@ void BusDaemon::HandleUnsubscribe(const Datagram& d, const Bytes& payload) {
         AnnounceSubscription(false, it->second.pattern, it->second.client_name);
       }
       subs_.erase(it);
+      subscriptions_->Set(static_cast<int64_t>(subs_.size()));
       return;
     }
   }
 }
 
 void BusDaemon::HandleClientPublish(const Datagram& /*from*/, const Bytes& payload) {
-  stats_.publishes++;
+  publishes_->Inc();
   // The daemon treats the marshalled message as opaque: it goes straight onto the
   // reliable broadcast stream. Subject matching happens at every receiving daemon
   // (including this one, via medium loopback).
   sender_->Publish(payload);
+#if IBUS_TELEMETRY
+  // Peek at the envelope only when the publish is traced; untraced messages stay
+  // opaque to the daemon's send path.
+  auto msg = Message::Unmarshal(payload);
+  if (msg.ok() && msg->trace_id != 0) {
+    EmitHop(telemetry::HopKind::kWireSend, *msg);
+  }
+#endif
 }
 
 Status BusDaemon::PublishFromDaemon(const Message& m) { return sender_->Publish(m.Marshal()); }
@@ -183,10 +211,10 @@ void BusDaemon::DispatchInbound(const Bytes& message_bytes) {
   }
   std::vector<uint64_t> matches = trie_.Match(msg->subject);
   if (matches.empty()) {
-    stats_.no_match++;
+    no_match_->Inc();
     return;
   }
-  stats_.dispatched_messages++;
+  dispatched_->Inc();
   // Group matched subscriptions by client so each client gets one delivery datagram.
   std::map<Port, std::vector<uint64_t>> by_client;
   for (uint64_t key : matches) {
@@ -203,9 +231,32 @@ void BusDaemon::DispatchInbound(const Bytes& message_bytes) {
     }
     w.PutRaw(message_bytes);
     socket_->SendTo(host_, port, FrameMessage(kPktClientDeliver, w.Take()));
-    stats_.deliveries++;
+    deliveries_->Inc();
   }
+#if IBUS_TELEMETRY
+  if (msg->trace_id != 0) {
+    EmitHop(telemetry::HopKind::kDispatch, *msg);
+  }
+#endif
 }
+
+#if IBUS_TELEMETRY
+void BusDaemon::EmitHop(telemetry::HopKind kind, const Message& m) {
+  telemetry::HopRecord rec;
+  rec.trace_id = m.trace_id;
+  rec.hop = m.trace_hop;
+  rec.kind = kind;
+  rec.node = "daemon@" + std::to_string(host_);
+  rec.subject = m.subject;
+  rec.at_us = net_->sim()->Now();
+  rec.certified_id = m.certified_id;
+  Message span;
+  span.subject = telemetry::HopSubject(kind);
+  span.type_name = telemetry::kHopRecordType;
+  span.payload = rec.Marshal();
+  PublishFromDaemon(span);
+}
+#endif
 
 void BusDaemon::AnnounceSubscription(bool added, const std::string& pattern,
                                      const std::string& client_name) {

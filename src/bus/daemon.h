@@ -20,6 +20,8 @@
 #include "src/proto/reliable.h"
 #include "src/sim/network.h"
 #include "src/subject/trie.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace ibus {
 
@@ -29,14 +31,27 @@ struct BusConfig {
   // When true the daemon broadcasts subscription add/remove events on
   // kSubEventSubject and answers kSubQuerySubject — consumed by information routers.
   bool announce_subscriptions = true;
+  // When true, clients built with this config assign a trace context to every
+  // application publish and hop spans are emitted along the message path
+  // (see src/telemetry/trace.h). No effect when built with -DIB_TELEMETRY=OFF.
+  bool trace_publishes = false;
 };
 
+// Snapshot of the daemon's registry counters (kept as a struct for callers; the
+// counters themselves live in the daemon's MetricsRegistry — see docs/TELEMETRY.md).
 struct DaemonStats {
   uint64_t publishes = 0;           // accepted from local clients
   uint64_t dispatched_messages = 0; // inbound messages matching >=1 local subscription
   uint64_t deliveries = 0;          // client deliveries sent (one per client match)
   uint64_t no_match = 0;            // inbound messages with no local subscriber
 };
+
+// Registry names of the daemon-owned metrics.
+inline constexpr char kMetricPublishes[] = "bus.publishes";
+inline constexpr char kMetricDispatched[] = "bus.dispatched_messages";
+inline constexpr char kMetricDeliveries[] = "bus.deliveries";
+inline constexpr char kMetricNoMatch[] = "bus.no_match";
+inline constexpr char kMetricSubscriptions[] = "bus.subscriptions";
 
 class BusDaemon {
  public:
@@ -47,10 +62,15 @@ class BusDaemon {
   BusDaemon& operator=(const BusDaemon&) = delete;
 
   HostId host() const { return host_; }
-  const DaemonStats& stats() const { return stats_; }
-  const ReliableSenderStats& sender_stats() const { return sender_->stats(); }
-  const ReliableReceiverStats& receiver_stats() const { return receiver_->stats(); }
+  DaemonStats stats() const;
+  ReliableSenderStats sender_stats() const { return sender_->stats(); }
+  ReliableReceiverStats receiver_stats() const { return receiver_->stats(); }
   size_t subscription_count() const { return subs_.size(); }
+
+  // The host-wide registry: daemon counters plus the reliable sender/receiver
+  // counters all live here, under "bus." and "proto." name prefixes.
+  telemetry::MetricsRegistry* metrics() { return &metrics_; }
+  const telemetry::MetricsRegistry& metrics() const { return metrics_; }
 
  private:
   BusDaemon(Network* net, HostId host, const BusConfig& config);
@@ -68,6 +88,10 @@ class BusDaemon {
                             const std::string& client_name);
   void AnswerSubQuery(const Message& query);
   Status PublishFromDaemon(const Message& m);
+#if IBUS_TELEMETRY
+  // Broadcasts a HopRecord span for `m` on the reserved trace namespace.
+  void EmitHop(telemetry::HopKind kind, const Message& m);
+#endif
 
   Network* net_;
   HostId host_;
@@ -93,7 +117,13 @@ class BusDaemon {
   SubjectTrie trie_;
   std::map<std::string, int> pattern_refs_;
 
-  DaemonStats stats_;
+  telemetry::MetricsRegistry metrics_;
+  // Hot-path instruments, resolved once at construction.
+  telemetry::Counter* publishes_;
+  telemetry::Counter* dispatched_;
+  telemetry::Counter* deliveries_;
+  telemetry::Counter* no_match_;
+  telemetry::Gauge* subscriptions_;
 };
 
 }  // namespace ibus

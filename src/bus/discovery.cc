@@ -21,7 +21,9 @@ Status DiscoveryQuery::Run(BusClient* bus, const std::string& subject, SimTime t
   query.reply_subject = inbox;
   query.type_name = kDiscoveryQueryType;
   query.payload = std::move(query_payload);
-  Status s = bus->Publish(std::move(query));
+  // Internal scope: discovery is control-plane traffic, and callers may query on
+  // reserved subjects (e.g. type gossip's _ibus.types.query).
+  Status s = bus->PublishInternal(std::move(query));
   if (!s.ok()) {
     bus->Unsubscribe(sub_id);
     return s;
@@ -50,7 +52,7 @@ Result<std::unique_ptr<DiscoveryResponder>> DiscoveryResponder::Create(
     reply.subject = m.reply_subject;
     reply.type_name = kDiscoveryResponseType;
     reply.payload = std::move(description);
-    bus->Publish(std::move(reply));
+    bus->PublishInternal(std::move(reply));
   });
   if (!sub.ok()) {
     return sub.status();

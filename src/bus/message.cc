@@ -15,6 +15,8 @@ Bytes Message::Marshal() const {
   w.PutU64(publisher_id);
   w.PutU8(hops);
   w.PutString(via);
+  w.PutU64(trace_id);
+  w.PutU8(trace_hop);
   w.PutBytes(payload);
   return w.Take();
 }
@@ -30,13 +32,18 @@ Result<Message> Message::Unmarshal(const Bytes& b) {
   auto publisher = r.ReadU64();
   auto hops = r.ReadU8();
   auto via = r.ReadString();
+  auto trace_id = r.ReadU64();
+  auto trace_hop = r.ReadU8();
   auto payload = r.ReadBytes();
   if (!subject.ok() || !reply.ok() || !type_name.ok() || !sender.ok() || !certified.ok() ||
-      !publisher.ok() || !hops.ok() || !via.ok() || !payload.ok()) {
+      !publisher.ok() || !hops.ok() || !via.ok() || !trace_id.ok() || !trace_hop.ok() ||
+      !payload.ok()) {
     return DataLoss("message: truncated");
   }
   m.hops = *hops;
   m.via = via.take();
+  m.trace_id = *trace_id;
+  m.trace_hop = *trace_hop;
   m.subject = subject.take();
   m.reply_subject = reply.take();
   m.type_name = type_name.take();

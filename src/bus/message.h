@@ -22,6 +22,8 @@ struct Message {
   uint64_t publisher_id = 0;  // stable id of the publishing client (certified dedup)
   uint8_t hops = 0;           // times forwarded by information routers (loop cap)
   std::string via;            // name of the last router that forwarded this message
+  uint64_t trace_id = 0;      // nonzero when this message's path is being traced
+  uint8_t trace_hop = 0;      // bumped at each router traversal (see src/telemetry)
   Bytes payload;
 
   Bytes Marshal() const;
@@ -34,9 +36,10 @@ struct Message {
   Result<DataObjectPtr> DecodeObject() const;
 };
 
-// Well-known control subjects used by the bus control plane.
-inline constexpr char kSubQuerySubject[] = "_ibus.sub.query";
-inline constexpr char kSubEventSubject[] = "_ibus.sub.event";
+// Well-known control subjects used by the bus control plane (reserved namespace,
+// see src/subject/subject.h).
+inline constexpr char kSubQuerySubject[] = "_ibus.sub.query";  // buslint: allow(reserved-subject)
+inline constexpr char kSubEventSubject[] = "_ibus.sub.event";  // buslint: allow(reserved-subject)
 
 }  // namespace ibus
 

@@ -12,21 +12,44 @@ namespace ibus {
 // ---------------------------------------------------------------------------------
 
 ReliableSender::ReliableSender(Simulator* sim, UdpSocket* socket, Port dst_port,
-                               uint64_t stream_id, const ReliableConfig& config)
+                               uint64_t stream_id, const ReliableConfig& config,
+                               telemetry::MetricsRegistry* metrics)
     : sim_(sim),
       socket_(socket),
       dst_port_(dst_port),
       stream_id_(stream_id),
       config_(config),
-      alive_(std::make_shared<bool>(true)) {}
+      alive_(std::make_shared<bool>(true)) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<telemetry::MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  published_ = metrics->GetCounter(kMetricSenderPublished);
+  packets_sent_ = metrics->GetCounter(kMetricSenderPacketsSent);
+  batches_sent_ = metrics->GetCounter(kMetricSenderBatchesSent);
+  retransmits_ = metrics->GetCounter(kMetricSenderRetransmits);
+  naks_received_ = metrics->GetCounter(kMetricSenderNaksReceived);
+  heartbeats_sent_ = metrics->GetCounter(kMetricSenderHeartbeats);
+}
 
 ReliableSender::~ReliableSender() { *alive_ = false; }
+
+ReliableSenderStats ReliableSender::stats() const {
+  ReliableSenderStats s;
+  s.published = published_->value();
+  s.packets_sent = packets_sent_->value();
+  s.batches_sent = batches_sent_->value();
+  s.retransmits = retransmits_->value();
+  s.naks_received = naks_received_->value();
+  s.heartbeats_sent = heartbeats_sent_->value();
+  return s;
+}
 
 Status ReliableSender::Publish(Bytes message) {
   uint64_t seq = next_seq_++;
   Retain(seq, message);
   last_activity_ = sim_->Now();
-  stats_.published++;
+  published_->Inc();
 
   Status result;
   if (config_.batching_enabled && message.size() <= config_.chunk_size) {
@@ -70,8 +93,8 @@ void ReliableSender::Flush() {
     pkt.first_seq = batch_first_seq_;
     pkt.messages = std::move(batch_);
     socket_->Broadcast(dst_port_, FrameMessage(kPktBatch, pkt.Marshal()));
-    stats_.packets_sent++;
-    stats_.batches_sent++;
+    packets_sent_->Inc();
+    batches_sent_->Inc();
   }
   batch_.clear();
   batch_bytes_ = 0;
@@ -109,7 +132,7 @@ Status ReliableSender::SendMessageAsPackets(uint64_t seq, const Bytes& message) 
     pkt.chunk = Bytes(message.begin() + static_cast<ptrdiff_t>(begin),
                       message.begin() + static_cast<ptrdiff_t>(end));
     Status s = socket_->Broadcast(dst_port_, FrameMessage(kPktData, pkt.Marshal()));
-    stats_.packets_sent++;
+    packets_sent_->Inc();
     if (!s.ok()) {
       last = s;
     }
@@ -127,7 +150,7 @@ void ReliableSender::Retain(uint64_t seq, Bytes message) {
 
 void ReliableSender::HandleNak(const NakPacket& nak, HostId /*from_host*/,
                                Port /*from_port*/) {
-  stats_.naks_received++;
+  naks_received_->Inc();
   if (retained_.empty()) {
     SendHeartbeat();  // tells the receiver what is (not) retransmittable
     return;
@@ -148,7 +171,7 @@ void ReliableSender::HandleNak(const NakPacket& nak, HostId /*from_host*/,
     const Bytes& message = retained_[seq - lowest].second;
     // Rebroadcast so every receiver missing it recovers from one retransmission.
     SendMessageAsPackets(seq, message);
-    stats_.retransmits++;
+    retransmits_->Inc();
   }
   if (aged_out) {
     // The receiver asked for history we no longer hold: a heartbeat carries
@@ -180,7 +203,7 @@ void ReliableSender::SendHeartbeat() {
   pkt.highest_seq = next_seq_ - 1;
   pkt.lowest_retained = retained_.empty() ? next_seq_ : retained_.front().first;
   socket_->Broadcast(dst_port_, FrameMessage(kPktHeartbeat, pkt.Marshal()));
-  stats_.heartbeats_sent++;
+  heartbeats_sent_->Inc();
 }
 
 // ---------------------------------------------------------------------------------
@@ -189,15 +212,33 @@ void ReliableSender::SendHeartbeat() {
 
 ReliableReceiver::ReliableReceiver(Simulator* sim, UdpSocket* socket,
                                    const ReliableConfig& config, DeliverFn deliver,
-                                   GapFn on_gap)
+                                   GapFn on_gap, telemetry::MetricsRegistry* metrics)
     : sim_(sim),
       socket_(socket),
       config_(config),
       deliver_(std::move(deliver)),
       on_gap_(std::move(on_gap)),
-      alive_(std::make_shared<bool>(true)) {}
+      alive_(std::make_shared<bool>(true)) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<telemetry::MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  delivered_ = metrics->GetCounter(kMetricReceiverDelivered);
+  duplicates_dropped_ = metrics->GetCounter(kMetricReceiverDuplicates);
+  naks_sent_ = metrics->GetCounter(kMetricReceiverNaksSent);
+  gaps_ = metrics->GetCounter(kMetricReceiverGaps);
+}
 
 ReliableReceiver::~ReliableReceiver() { *alive_ = false; }
+
+ReliableReceiverStats ReliableReceiver::stats() const {
+  ReliableReceiverStats s;
+  s.delivered = delivered_->value();
+  s.duplicates_dropped = duplicates_dropped_->value();
+  s.naks_sent = naks_sent_->value();
+  s.gaps = gaps_->value();
+  return s;
+}
 
 void ReliableReceiver::NoteSender(Stream& s, HostId host, Port port) {
   s.sender_host = host;
@@ -227,7 +268,7 @@ void ReliableReceiver::HandleData(const DataPacket& pkt, HostId from_host, Port 
   Stream& s = EnsureStarted(pkt.stream_id);
   NoteSender(s, from_host, from_port);
   if ((!s.syncing && pkt.seq < s.expected) || s.ready.count(pkt.seq) > 0) {
-    stats_.duplicates_dropped++;
+    duplicates_dropped_->Inc();
     return;
   }
   if (pkt.frag_count == 1) {
@@ -242,7 +283,7 @@ void ReliableReceiver::HandleData(const DataPacket& pkt, HostId from_host, Port 
     return;  // inconsistent retransmit; ignore
   }
   if (!partial.chunks[pkt.frag_index].empty()) {
-    stats_.duplicates_dropped++;
+    duplicates_dropped_->Inc();
     return;
   }
   partial.chunks[pkt.frag_index] = pkt.chunk;
@@ -273,7 +314,7 @@ void ReliableReceiver::HandleBatch(const BatchPacket& pkt, HostId from_host, Por
     Stream& s = EnsureStarted(pkt.stream_id);
     NoteSender(s, from_host, from_port);
     if ((!s.syncing && seq < s.expected) || s.ready.count(seq) > 0) {
-      stats_.duplicates_dropped++;
+      duplicates_dropped_->Inc();
     } else {
       Ingest(pkt.stream_id, seq, m, from_host, from_port);
     }
@@ -302,7 +343,7 @@ void ReliableReceiver::HandleHeartbeat(const HeartbeatPacket& pkt, HostId from_h
     // The sender can no longer retransmit what we are missing: unrecoverable gap.
     uint64_t first = s.expected;
     uint64_t last = pkt.lowest_retained - 1;
-    stats_.gaps += last - first + 1;
+    gaps_->Inc(last - first + 1);
     if (on_gap_) {
       on_gap_(pkt.stream_id, first, last);
     }
@@ -322,7 +363,7 @@ void ReliableReceiver::Ingest(uint64_t stream_id, uint64_t seq, Bytes message,
                               HostId /*from_host*/, Port /*from_port*/) {
   Stream& s = EnsureStarted(stream_id);
   if ((!s.syncing && seq < s.expected) || s.ready.count(seq) > 0) {
-    stats_.duplicates_dropped++;
+    duplicates_dropped_->Inc();
     return;
   }
   s.highest_seen = std::max(s.highest_seen, seq);
@@ -359,7 +400,7 @@ void ReliableReceiver::DrainReady(uint64_t stream_id, Stream& s) {
     Bytes message = std::move(s.ready.begin()->second);
     s.ready.erase(s.ready.begin());
     s.expected++;
-    stats_.delivered++;
+    delivered_->Inc();
     deliver_(stream_id, message);
   }
   while (!s.partials.empty() && s.partials.begin()->first < s.expected) {
@@ -428,7 +469,7 @@ void ReliableReceiver::NakScan(uint64_t stream_id) {
   if (sim_->Now() - s.last_packet_at > config_.sender_silence_give_up_us) {
     uint64_t first = s.expected;
     uint64_t last = s.ready.empty() ? horizon : s.ready.begin()->first - 1;
-    stats_.gaps += last - first + 1;
+    gaps_->Inc(last - first + 1);
     if (on_gap_) {
       on_gap_(stream_id, first, last);
     }
@@ -444,7 +485,7 @@ void ReliableReceiver::NakScan(uint64_t stream_id) {
     nak.stream_id = stream_id;
     nak.missing = missing;
     socket_->SendTo(s.sender_host, s.sender_port, FrameMessage(kPktNak, nak.Marshal()));
-    stats_.naks_sent++;
+    naks_sent_->Inc();
     s.last_nak_at = sim_->Now();
   }
   // Exponential backoff while the same head sequence resists recovery (retransmits

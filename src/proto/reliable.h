@@ -22,6 +22,7 @@
 #include "src/proto/packets.h"
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
+#include "src/telemetry/metrics.h"
 
 namespace ibus {
 
@@ -56,6 +57,7 @@ struct ReliableConfig {
   SimTime sender_silence_give_up_us = 500 * 1000;
 };
 
+// Snapshot of the sender's registry counters (see the kMetricSender* names below).
 struct ReliableSenderStats {
   uint64_t published = 0;
   uint64_t packets_sent = 0;
@@ -65,12 +67,26 @@ struct ReliableSenderStats {
   uint64_t heartbeats_sent = 0;
 };
 
+// Registry names for the reliable-transport metrics. When the owner passes its
+// registry to the constructors these show up next to the daemon's "bus." counters.
+inline constexpr char kMetricSenderPublished[] = "proto.sender.published";
+inline constexpr char kMetricSenderPacketsSent[] = "proto.sender.packets_sent";
+inline constexpr char kMetricSenderBatchesSent[] = "proto.sender.batches_sent";
+inline constexpr char kMetricSenderRetransmits[] = "proto.sender.retransmits";
+inline constexpr char kMetricSenderNaksReceived[] = "proto.sender.naks_received";
+inline constexpr char kMetricSenderHeartbeats[] = "proto.sender.heartbeats_sent";
+inline constexpr char kMetricReceiverDelivered[] = "proto.receiver.delivered";
+inline constexpr char kMetricReceiverDuplicates[] = "proto.receiver.duplicates_dropped";
+inline constexpr char kMetricReceiverNaksSent[] = "proto.receiver.naks_sent";
+inline constexpr char kMetricReceiverGaps[] = "proto.receiver.gaps";
+
 // One broadcast stream. The daemon owns exactly one sender; `stream_id` must be unique
-// across the bus (host id works).
+// across the bus (host id works). `metrics` (optional) is the registry the counters
+// live in; without one the sender keeps a private registry.
 class ReliableSender {
  public:
   ReliableSender(Simulator* sim, UdpSocket* socket, Port dst_port, uint64_t stream_id,
-                 const ReliableConfig& config);
+                 const ReliableConfig& config, telemetry::MetricsRegistry* metrics = nullptr);
   ~ReliableSender();
   ReliableSender(const ReliableSender&) = delete;
   ReliableSender& operator=(const ReliableSender&) = delete;
@@ -87,7 +103,7 @@ class ReliableSender {
 
   uint64_t stream_id() const { return stream_id_; }
   uint64_t next_seq() const { return next_seq_; }
-  const ReliableSenderStats& stats() const { return stats_; }
+  ReliableSenderStats stats() const;
 
  private:
   Status SendMessageAsPackets(uint64_t seq, const Bytes& message);
@@ -115,10 +131,17 @@ class ReliableSender {
   bool heartbeat_scheduled_ = false;
   SimTime last_activity_ = 0;
 
-  ReliableSenderStats stats_;
+  std::unique_ptr<telemetry::MetricsRegistry> owned_metrics_;  // when none was passed
+  telemetry::Counter* published_;
+  telemetry::Counter* packets_sent_;
+  telemetry::Counter* batches_sent_;
+  telemetry::Counter* retransmits_;
+  telemetry::Counter* naks_received_;
+  telemetry::Counter* heartbeats_sent_;
   std::shared_ptr<bool> alive_;
 };
 
+// Snapshot of the receiver's registry counters (see the kMetricReceiver* names above).
 struct ReliableReceiverStats {
   uint64_t delivered = 0;
   uint64_t duplicates_dropped = 0;
@@ -136,7 +159,8 @@ class ReliableReceiver {
   using GapFn = std::function<void(uint64_t stream_id, uint64_t first, uint64_t last)>;
 
   ReliableReceiver(Simulator* sim, UdpSocket* socket, const ReliableConfig& config,
-                   DeliverFn deliver, GapFn on_gap = nullptr);
+                   DeliverFn deliver, GapFn on_gap = nullptr,
+                   telemetry::MetricsRegistry* metrics = nullptr);
   ~ReliableReceiver();
   ReliableReceiver(const ReliableReceiver&) = delete;
   ReliableReceiver& operator=(const ReliableReceiver&) = delete;
@@ -146,7 +170,7 @@ class ReliableReceiver {
   void HandleBatch(const BatchPacket& pkt, HostId from_host, Port from_port);
   void HandleHeartbeat(const HeartbeatPacket& pkt, HostId from_host, Port from_port);
 
-  const ReliableReceiverStats& stats() const { return stats_; }
+  ReliableReceiverStats stats() const;
 
  private:
   struct Partial {
@@ -188,7 +212,11 @@ class ReliableReceiver {
   DeliverFn deliver_;
   GapFn on_gap_;
   std::unordered_map<uint64_t, Stream> streams_;
-  ReliableReceiverStats stats_;
+  std::unique_ptr<telemetry::MetricsRegistry> owned_metrics_;  // when none was passed
+  telemetry::Counter* delivered_;
+  telemetry::Counter* duplicates_dropped_;
+  telemetry::Counter* naks_sent_;
+  telemetry::Counter* gaps_;
   std::shared_ptr<bool> alive_;
 };
 

@@ -46,6 +46,7 @@ void RemoteService::Call(const std::string& operation, std::vector<Value> args, 
 
   PendingCall pending;
   pending.done = std::move(done);
+  pending.sent_at = sim_->Now();
   const uint64_t id = req.request_id;
   pending.timeout_event = sim_->ScheduleAfter(call_timeout_, [this, id, alive = alive_]() {
     if (!*alive) {
@@ -81,6 +82,7 @@ void RemoteService::Describe(std::function<void(Result<TypeDescriptor>)> done) {
   req.call = RmiCall::kDescribe;
   PendingCall pending;
   pending.describe = true;
+  pending.sent_at = sim_->Now();
   pending.done = [done = std::move(done)](Result<Value> r) {
     if (!r.ok()) {
       done(r.status());
@@ -122,6 +124,7 @@ void RemoteService::HandleReply(const Bytes& bytes) {
     return;  // reply after timeout: dropped (at-most-once)
   }
   sim_->Cancel(it->second.timeout_event);
+  rtt_hist_.Record(sim_->Now() - it->second.sent_at);
   CallDone done = std::move(it->second.done);
   pending_.erase(it);
   if (reply->code == StatusCode::kOk) {

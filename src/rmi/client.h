@@ -14,6 +14,7 @@
 
 #include "src/bus/client.h"
 #include "src/rmi/protocol.h"
+#include "src/telemetry/metrics.h"
 
 namespace ibus {
 
@@ -51,6 +52,10 @@ class RemoteService {
   // Fetches the interface over the wire (exercises remote introspection).
   void Describe(std::function<void(Result<TypeDescriptor>)> done);
 
+  // Round-trip latency of completed calls (request sent -> reply handled). Only
+  // populated when telemetry is compiled in; always safe to read.
+  const telemetry::LatencyHistogram& rtt_histogram() const { return rtt_hist_; }
+
  private:
   friend class RmiClient;
   RemoteService(Simulator* sim, RmiAdvert advert, ConnectionPtr conn, SimTime call_timeout);
@@ -67,8 +72,10 @@ class RemoteService {
     CallDone done;
     EventId timeout_event = 0;
     bool describe = false;
+    SimTime sent_at = 0;
   };
   std::unordered_map<uint64_t, PendingCall> pending_;
+  telemetry::LatencyHistogram rtt_hist_;
   std::shared_ptr<bool> alive_;
 };
 

@@ -56,7 +56,7 @@ void Election::StartElection() {
   m.subject = Subject();
   m.type_name = kCandidacyType;
   m.payload = IdPayload(member_id_);
-  bus_->Publish(std::move(m));
+  bus_->PublishInternal(std::move(m));
   bus_->sim()->ScheduleAfter(config_.candidacy_window_us, [this, alive = alive_]() {
     if (!*alive) {
       return;
@@ -136,7 +136,7 @@ void Election::SendHeartbeat() {
   m.subject = Subject();
   m.type_name = kHeartbeatType;
   m.payload = IdPayload(member_id_);
-  bus_->Publish(std::move(m));
+  bus_->PublishInternal(std::move(m));
   bus_->sim()->ScheduleAfter(config_.heartbeat_interval_us, [this, alive = alive_]() {
     if (*alive && is_leader_) {
       SendHeartbeat();

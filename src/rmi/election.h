@@ -53,7 +53,7 @@ class Election {
         config_(config),
         alive_(std::make_shared<bool>(true)) {}
 
-  std::string Subject() const { return "_ibus.elect." + group_; }
+  std::string Subject() const { return kReservedElectPrefix + group_; }
   void StartElection();
   void HandleMessage(const Message& m);
   void BecomeLeader();

@@ -122,7 +122,7 @@ Status InfoRouter::Init() {
   Message query;
   query.subject = kSubQuerySubject;
   query.reply_subject = inbox;
-  return bus_->Publish(std::move(query));
+  return bus_->PublishInternal(std::move(query));
 }
 
 void InfoRouter::AttachLink(ConnectionPtr link) {
@@ -150,7 +150,7 @@ void InfoRouter::NoteLocalPattern(const std::string& pattern, const std::string&
   if (owner == bus_->name() || IsRouterOwned(owner)) {
     return;  // never advertise subscriptions created by routers (loop prevention)
   }
-  if (!config_.forward_internal && pattern.rfind("_ibus.", 0) == 0) {
+  if (!config_.forward_internal && IsReservedSubject(pattern) && !InternalForwardable(pattern)) {
     return;
   }
   bool changed = false;
@@ -281,26 +281,70 @@ void InfoRouter::ForwardToPeer(const Message& m) {
     stats_.suppressed_loop++;
     return;
   }
-  if (!config_.forward_internal && m.subject.rfind("_ibus.", 0) == 0) {
+  if (!config_.forward_internal && IsReservedSubject(m.subject) &&
+      !InternalForwardable(m.subject)) {
     return;
   }
   Message out = m;
   out.subject = RewriteSubject(m.subject);
   out.hops = static_cast<uint8_t>(m.hops + 1);
   out.via = name_;
+#if IBUS_TELEMETRY
+  if (out.trace_id != 0) {
+    out.trace_hop = static_cast<uint8_t>(m.trace_hop + 1);
+  }
+#endif
   Bytes marshalled = out.Marshal();
   if (config_.forward_log != nullptr) {
     config_.forward_log->Append(marshalled);
   }
   link_->Send(FrameMessage(kLinkMessageFrame, marshalled));
   stats_.forwarded++;
+#if IBUS_TELEMETRY
+  if (out.trace_id != 0) {
+    EmitHop(telemetry::HopKind::kRouterForward, out);
+  }
+#endif
 }
 
 void InfoRouter::RepublishFromPeer(Message m) {
   // Stamp ourselves so our own mirror subscriptions don't bounce it straight back.
   m.via = name_;
   stats_.republished++;
-  bus_->Publish(std::move(m));
+#if IBUS_TELEMETRY
+  if (m.trace_id != 0) {
+    m.trace_hop = static_cast<uint8_t>(m.trace_hop + 1);
+    EmitHop(telemetry::HopKind::kRouterRepublish, m);
+  }
+#endif
+  bus_->PublishInternal(std::move(m));
 }
+
+bool InfoRouter::InternalForwardable(const std::string& subject_or_pattern) const {
+  for (const std::string& prefix : config_.forward_internal_prefixes) {
+    if (subject_or_pattern.rfind(prefix, 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+#if IBUS_TELEMETRY
+void InfoRouter::EmitHop(telemetry::HopKind kind, const Message& m) {
+  telemetry::HopRecord rec;
+  rec.trace_id = m.trace_id;
+  rec.hop = m.trace_hop;
+  rec.kind = kind;
+  rec.node = name_;
+  rec.subject = m.subject;
+  rec.at_us = bus_->sim()->Now();
+  rec.certified_id = m.certified_id;
+  Message span;
+  span.subject = telemetry::HopSubject(kind);
+  span.type_name = telemetry::kHopRecordType;
+  span.payload = rec.Marshal();
+  bus_->PublishInternal(std::move(span));
+}
+#endif
 
 }  // namespace ibus

@@ -23,6 +23,7 @@
 
 #include "src/bus/client.h"
 #include "src/sim/stable_store.h"
+#include "src/subject/subject.h"
 
 namespace ibus {
 
@@ -44,6 +45,11 @@ struct RouterConfig {
   StableStore* forward_log = nullptr;
   // Don't forward bus-internal control subjects across the WAN.
   bool forward_internal = false;
+  // Reserved-namespace prefixes that cross the WAN even when forward_internal is
+  // false: trace spans (so a collector sees the whole path) and certified-delivery
+  // acks (so certified publishes across a router can retire).
+  std::vector<std::string> forward_internal_prefixes = {kReservedTracePrefix,
+                                                        kReservedCertPrefix};
   // Dial-side resilience: when the WAN link drops (or the first dial fails), retry
   // this often. 0 disables redialing.
   SimTime redial_interval_us = 2 * 1000 * 1000;
@@ -92,6 +98,13 @@ class InfoRouter {
   void ApplyPeerAdvert(const std::vector<std::string>& patterns);
   void ForwardToPeer(const Message& m);
   void RepublishFromPeer(Message m);
+  // True for reserved subjects/patterns allowed across the WAN regardless of
+  // forward_internal (see RouterConfig::forward_internal_prefixes).
+  bool InternalForwardable(const std::string& subject_or_pattern) const;
+#if IBUS_TELEMETRY
+  // Publishes a HopRecord span for `m` on the local LAN's trace namespace.
+  void EmitHop(telemetry::HopKind kind, const Message& m);
+#endif
   std::string RewriteSubject(const std::string& subject) const;
   // Maps a peer-requested pattern (expressed in OUR outbound namespace) back to the
   // local namespace, so the mirror subscription matches local traffic. The inverse of

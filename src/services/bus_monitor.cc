@@ -7,7 +7,7 @@
 namespace ibus {
 
 namespace {
-constexpr char kStatsPrefix[] = "_ibus.stats.";
+constexpr const char* kStatsPrefix = kReservedStatsPrefix;  // see src/subject/subject.h
 }  // namespace
 
 Bytes DaemonStatsSnapshot::Marshal() const {
@@ -67,21 +67,24 @@ Result<std::unique_ptr<StatsReporter>> StatsReporter::Create(BusClient* bus,
 StatsReporter::~StatsReporter() { *alive_ = false; }
 
 void StatsReporter::PublishSnapshot() {
+  // Every field reads straight out of the host's metrics registry: the daemon and
+  // its reliable sender/receiver all count there (no duplicated counting paths).
+  const telemetry::MetricsRegistry& metrics = daemon_->metrics();
   DaemonStatsSnapshot s;
   s.host_name = bus_->network()->HostName(bus_->host());
   s.reported_at = bus_->sim()->Now();
-  s.publishes = daemon_->stats().publishes;
-  s.dispatched = daemon_->stats().dispatched_messages;
-  s.deliveries = daemon_->stats().deliveries;
-  s.subscriptions = daemon_->subscription_count();
-  s.wire_packets_sent = daemon_->sender_stats().packets_sent;
-  s.retransmits = daemon_->sender_stats().retransmits;
-  s.receiver_gaps = daemon_->receiver_stats().gaps;
+  s.publishes = metrics.CounterValue(kMetricPublishes);
+  s.dispatched = metrics.CounterValue(kMetricDispatched);
+  s.deliveries = metrics.CounterValue(kMetricDeliveries);
+  s.subscriptions = static_cast<uint64_t>(metrics.GaugeValue(kMetricSubscriptions));
+  s.wire_packets_sent = metrics.CounterValue(kMetricSenderPacketsSent);
+  s.retransmits = metrics.CounterValue(kMetricSenderRetransmits);
+  s.receiver_gaps = metrics.CounterValue(kMetricReceiverGaps);
   Message m;
   m.subject = kStatsPrefix + s.host_name;
   m.type_name = "_ibus.stats";
   m.payload = s.Marshal();
-  if (bus_->Publish(std::move(m)).ok()) {
+  if (bus_->PublishInternal(std::move(m)).ok()) {
     reports_++;
   }
   bus_->sim()->ScheduleAfter(interval_us_, [this, alive = alive_]() {

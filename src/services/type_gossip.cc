@@ -83,7 +83,7 @@ void TypeGossip::Announce(const TypeDescriptor& desc) {
   m.subject = kTypeAnnounceSubject;
   m.type_name = "_type.announce";
   m.payload = MarshalChain(*registry_, desc.name());
-  if (bus_->Publish(std::move(m)).ok()) {
+  if (bus_->PublishInternal(std::move(m)).ok()) {
     stats_.announced++;
   }
 }

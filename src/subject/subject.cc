@@ -30,9 +30,20 @@ bool ElementHasBadChar(std::string_view e) {
 
 }  // namespace
 
-Status ValidateSubject(std::string_view subject) {
+bool IsReservedSubject(std::string_view subject_or_pattern) {
+  if (subject_or_pattern == kReservedElement) {
+    return true;
+  }
+  return subject_or_pattern.substr(0, sizeof(kReservedPrefix) - 1) == kReservedPrefix;
+}
+
+Status ValidateSubject(std::string_view subject, SubjectScope scope) {
   if (subject.empty()) {
     return InvalidArgument("subject: empty");
+  }
+  if (scope == SubjectScope::kApplication && IsReservedSubject(subject)) {
+    return InvalidArgument("subject: '" + std::string(subject) +
+                           "' is in the reserved bus-internal namespace");
   }
   for (const std::string& e : SplitSubject(subject)) {
     if (e.empty()) {

@@ -16,9 +16,32 @@ namespace ibus {
 // Splits "a.b.c" into {"a","b","c"}. No validation.
 std::vector<std::string> SplitSubject(std::string_view subject);
 
+// The "_ibus" root element is reserved for bus-internal protocols (tracing spans,
+// certified-delivery acks, stats snapshots, elections, subscription gossip). This
+// header is the single home for the reserved literals; everything else must refer to
+// these constants (enforced by the buslint `reserved-subject` rule).
+inline constexpr std::string_view kReservedElement = "_ibus";  // buslint: allow(reserved-subject)
+inline constexpr char kReservedPrefix[] = "_ibus.";            // buslint: allow(reserved-subject)
+inline constexpr char kReservedTracePrefix[] = "_ibus.trace.";  // buslint: allow(reserved-subject)
+inline constexpr char kReservedCertPrefix[] = "_ibus.cert.";    // buslint: allow(reserved-subject)
+inline constexpr char kReservedElectPrefix[] = "_ibus.elect.";  // buslint: allow(reserved-subject)
+inline constexpr char kReservedStatsPrefix[] = "_ibus.stats.";  // buslint: allow(reserved-subject)
+inline constexpr char kReservedSubPrefix[] = "_ibus.sub.";      // buslint: allow(reserved-subject)
+
+// True when the subject or pattern lives in the reserved namespace (its first
+// element is exactly "_ibus"). "_ibusx.foo" is NOT reserved.
+bool IsReservedSubject(std::string_view subject_or_pattern);
+
+// Who is publishing: application code goes through the default kApplication scope
+// and is rejected from the reserved "_ibus." namespace; bus-internal components
+// (BusClient::PublishInternal) opt in with kInternal.
+enum class SubjectScope { kApplication, kInternal };
+
 // A concrete subject must have 1+ non-empty elements without wildcards or whitespace.
-// Elements starting with '_' are reserved for bus-internal protocols but valid.
-Status ValidateSubject(std::string_view subject);
+// Under kApplication (the default) subjects in the reserved "_ibus." namespace are
+// rejected; other '_'-prefixed elements stay valid for application use.
+Status ValidateSubject(std::string_view subject,
+                       SubjectScope scope = SubjectScope::kApplication);
 
 // A pattern additionally allows '*' elements anywhere and '>' as the final element.
 Status ValidatePattern(std::string_view pattern);

@@ -1,0 +1,66 @@
+// TraceCollector: a bus service (paper §service applications — the bus monitoring the
+// bus) that subscribes to the reserved trace namespace and reconstructs, per traced
+// message, the ordered hop timeline plus per-hop-kind latency histograms. Everything
+// it sees arrives over the bus itself, so under the simulator the reconstruction is
+// fully deterministic and hashable for replay checks.
+#ifndef SRC_TELEMETRY_COLLECTOR_H_
+#define SRC_TELEMETRY_COLLECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bus/client.h"
+#include "src/common/status.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
+
+namespace ibus::telemetry {
+
+class TraceCollector {
+ public:
+  // Subscribes `bus` to the trace namespace. Fails with kFailedPrecondition when the
+  // tree was built with -DIB_TELEMETRY=OFF (no spans are ever emitted then).
+  static Result<std::unique_ptr<TraceCollector>> Create(BusClient* bus);
+  ~TraceCollector();
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  uint64_t records_received() const { return records_received_; }
+  size_t trace_count() const { return traces_.size(); }
+  // Trace ids seen so far, ascending.
+  std::vector<uint64_t> trace_ids() const;
+
+  // Hops of one trace, ordered by (time, hop, kind, node, subject). Empty when the
+  // trace id is unknown.
+  std::vector<HopRecord> Timeline(uint64_t trace_id) const;
+
+  // Human-readable timeline, one hop per line with a delta to the first hop.
+  std::string RenderTimeline(uint64_t trace_id) const;
+
+  // FNV-1a hash over the rendered timeline: identical reruns of the same seed must
+  // produce identical hashes (used by the sim replay check).
+  uint64_t TimelineHash(uint64_t trace_id) const;
+  // Hash over every timeline, in trace-id order.
+  uint64_t AllTracesHash() const;
+
+  // Latency from the previous hop in each timeline, bucketed per hop kind — e.g. the
+  // kDeliver histogram holds dispatch→deliver latencies across all traces.
+  std::map<HopKind, LatencyHistogram> HopLatencyHistograms() const;
+
+ private:
+  explicit TraceCollector(BusClient* bus) : bus_(bus) {}
+
+  void HandleSpan(const Message& m);
+
+  BusClient* bus_;
+  uint64_t sub_id_ = 0;
+  uint64_t records_received_ = 0;
+  std::map<uint64_t, std::vector<HopRecord>> traces_;
+};
+
+}  // namespace ibus::telemetry
+
+#endif  // SRC_TELEMETRY_COLLECTOR_H_

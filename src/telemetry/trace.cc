@@ -1,0 +1,81 @@
+#include "src/telemetry/trace.h"
+
+#include <sstream>
+
+#include "src/wire/wire.h"
+
+namespace ibus::telemetry {
+
+std::string_view HopKindName(HopKind k) {
+  switch (k) {
+    case HopKind::kPublish:
+      return "publish";
+    case HopKind::kWireSend:
+      return "wire_send";
+    case HopKind::kDispatch:
+      return "dispatch";
+    case HopKind::kRouterForward:
+      return "router_forward";
+    case HopKind::kRouterRepublish:
+      return "router_republish";
+    case HopKind::kDeliver:
+      return "deliver";
+  }
+  return "unknown";
+}
+
+std::string HopSubject(HopKind kind) {
+  return std::string(kReservedTracePrefix) + "hop." + std::string(HopKindName(kind));
+}
+
+Bytes HopRecord::Marshal() const {
+  WireWriter w;
+  w.PutU64(trace_id);
+  w.PutU8(hop);
+  w.PutU8(static_cast<uint8_t>(kind));
+  w.PutString(node);
+  w.PutString(subject);
+  w.PutI64(at_us);
+  w.PutU64(certified_id);
+  return w.Take();
+}
+
+Result<HopRecord> HopRecord::Unmarshal(const Bytes& b) {
+  WireReader r(b);
+  auto trace_id = r.ReadU64();
+  auto hop = r.ReadU8();
+  auto kind = r.ReadU8();
+  auto node = r.ReadString();
+  auto subject = r.ReadString();
+  auto at_us = r.ReadI64();
+  auto certified_id = r.ReadU64();
+  if (!trace_id.ok() || !hop.ok() || !kind.ok() || !node.ok() || !subject.ok() ||
+      !at_us.ok() || !certified_id.ok()) {
+    return DataLoss("trace: truncated hop record");
+  }
+  if (*kind < static_cast<uint8_t>(HopKind::kPublish) ||
+      *kind > static_cast<uint8_t>(HopKind::kDeliver)) {
+    return DataLoss("trace: bad hop kind");
+  }
+  HopRecord rec;
+  rec.trace_id = *trace_id;
+  rec.hop = *hop;
+  rec.kind = static_cast<HopKind>(*kind);
+  rec.node = node.take();
+  rec.subject = subject.take();
+  rec.at_us = *at_us;
+  rec.certified_id = *certified_id;
+  return rec;
+}
+
+std::string HopRecord::ToString() const {
+  std::ostringstream out;
+  out << "t=" << at_us << "us trace=" << trace_id << " hop=" << static_cast<int>(hop) << " "
+      << HopKindName(kind) << " node=" << node << " subject=" << subject;
+  if (certified_id != 0) {
+    out << " cert=" << certified_id;
+  }
+  return out.str();
+}
+
+}  // namespace ibus::telemetry

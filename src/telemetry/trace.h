@@ -1,0 +1,62 @@
+// Message-path tracing. A publish carries a compact trace context in the wire
+// envelope (trace id + hop counter); each hop along the path — client publish,
+// daemon wire send, daemon dispatch, router forward, router republish, subscriber
+// deliver — stamps a HopRecord and publishes it as a typed span on the reserved
+// "_ibus.trace.>" namespace, over the bus itself. A TraceCollector (collector.h)
+// subscribes there and reconstructs per-message timelines. Spans themselves carry
+// trace id 0, so tracing never traces itself.
+#ifndef SRC_TELEMETRY_TRACE_H_
+#define SRC_TELEMETRY_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/subject/subject.h"
+#include "src/telemetry/metrics.h"
+
+namespace ibus::telemetry {
+
+// Spans are published on "<kReservedTracePrefix>hop.<kind-name>".
+inline constexpr char kTracePattern[] = "_ibus.trace.>";        // buslint: allow(reserved-subject)
+inline constexpr char kHopRecordType[] = "_ibus.trace.hop";     // buslint: allow(reserved-subject)
+
+// Where along the message path a span was stamped.
+enum class HopKind : uint8_t {
+  kPublish = 1,          // client accepted an application publish
+  kWireSend = 2,         // daemon handed the message to the reliable broadcast layer
+  kDispatch = 3,         // daemon matched the message against local subscriptions
+  kRouterForward = 4,    // router sent the message over a WAN link
+  kRouterRepublish = 5,  // router re-injected the message on the far LAN
+  kDeliver = 6,          // subscribing client invoked its handler
+};
+
+std::string_view HopKindName(HopKind k);
+
+// Full span subject for a hop kind, e.g. "_ibus.trace.hop.deliver".
+std::string HopSubject(HopKind kind);
+
+// One stamped hop. `hop` is the envelope's trace_hop at stamping time (bumped once
+// per router traversal), `at_us` is simulated time, `node` identifies the stamping
+// component (client name, "daemon@host", router name).
+struct HopRecord {
+  uint64_t trace_id = 0;
+  uint8_t hop = 0;
+  HopKind kind = HopKind::kPublish;
+  std::string node;
+  std::string subject;  // the traced application subject, not the span subject
+  int64_t at_us = 0;
+  uint64_t certified_id = 0;
+
+  Bytes Marshal() const;
+  static Result<HopRecord> Unmarshal(const Bytes& b);
+
+  // Stable one-line rendering, used for timelines and determinism hashes.
+  std::string ToString() const;
+};
+
+}  // namespace ibus::telemetry
+
+#endif  // SRC_TELEMETRY_TRACE_H_

@@ -1,0 +1,22 @@
+// Fixture for the reserved-subject rule: hard-coded "_ibus" namespace literals.
+#include <string>
+
+struct Bus {
+  void Publish(const std::string&, int);
+  void Subscribe(const std::string&, int);
+};
+
+void Violations(Bus* b) {
+  b->Publish("_ibus.stats.host0", 1);              // violation: reserved literal
+  b->Subscribe("_ibus.trace.>", 2);                // violation: reserved literal
+  std::string root = "_ibus";                      // violation: bare root element
+}
+
+void Suppressed(Bus* b) {
+  b->Publish("_ibus.cert.ack.x", 3);  // buslint: allow(reserved-subject)
+}
+
+void NotReserved(Bus* b) {
+  b->Publish("_ibusx.foo", 4);   // different root element, not reserved
+  b->Publish("news._ibus", 5);   // "_ibus" not the first element; literal doesn't start with it
+}

@@ -94,6 +94,19 @@ TEST(BuslintRawNewDelete, FiresOutsideFactoryIdiom) {
   EXPECT_EQ(CountRule(vs, kRuleRawNewDelete), 3u) << Render(vs);
 }
 
+TEST(BuslintReservedSubject, FiresOnHardcodedReservedLiterals) {
+  auto vs = LintFixture("src/rmi/reserved_subject.cc", "reserved_subject.cc");
+  // Three violations; the allow()'d line and the non-reserved roots are silent.
+  EXPECT_EQ(CountRule(vs, kRuleReservedSubject), 3u) << Render(vs);
+}
+
+TEST(BuslintReservedSubject, SilentInTelemetryAndServices) {
+  auto telemetry = LintFixture("src/telemetry/reserved_subject.cc", "reserved_subject.cc");
+  EXPECT_EQ(CountRule(telemetry, kRuleReservedSubject), 0u) << Render(telemetry);
+  auto services = LintFixture("src/services/reserved_subject.cc", "reserved_subject.cc");
+  EXPECT_EQ(CountRule(services, kRuleReservedSubject), 0u) << Render(services);
+}
+
 TEST(BuslintClean, CleanFixtureHasNoViolationsAnywhere) {
   auto vs = LintFixture("src/sim/clean.cc", "clean.cc");
   EXPECT_TRUE(vs.empty()) << Render(vs);

@@ -17,6 +17,8 @@ TEST(MessageTest, FullRoundTrip) {
   m.publisher_id = 0xABCD1234;
   m.hops = 3;
   m.via = "_router:NY";
+  m.trace_id = 0x1234567890ull;
+  m.trace_hop = 5;
   m.payload = ToBytes("payload bytes");
 
   auto back = Message::Unmarshal(m.Marshal());
@@ -29,6 +31,8 @@ TEST(MessageTest, FullRoundTrip) {
   EXPECT_EQ(back->publisher_id, 0xABCD1234u);
   EXPECT_EQ(back->hops, 3);
   EXPECT_EQ(back->via, "_router:NY");
+  EXPECT_EQ(back->trace_id, 0x1234567890ull);
+  EXPECT_EQ(back->trace_hop, 5);
   EXPECT_EQ(back->payload, m.payload);
 }
 
@@ -41,6 +45,8 @@ TEST(MessageTest, DefaultsRoundTrip) {
   EXPECT_TRUE(back->reply_subject.empty());
   EXPECT_EQ(back->certified_id, 0u);
   EXPECT_EQ(back->hops, 0);
+  EXPECT_EQ(back->trace_id, 0u);
+  EXPECT_EQ(back->trace_hop, 0);
   EXPECT_TRUE(back->payload.empty());
 }
 

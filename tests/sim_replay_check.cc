@@ -19,6 +19,7 @@
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
 #include "src/sim/stable_store.h"
+#include "src/telemetry/collector.h"
 
 namespace ibus {
 namespace {
@@ -209,6 +210,86 @@ std::vector<std::string> RunCertifiedScenario(uint64_t seed) {
   return trace;
 }
 
+// --- Scenario 4: hop traces of certified publishes over a lossy WAN ----------------
+//
+// The telemetry subsystem must itself be deterministic: spans ride the same simulated
+// bus as the traffic they describe, so the reconstructed timelines (and their hashes)
+// must replay bit-identically for a given seed.
+
+#if IBUS_TELEMETRY
+std::vector<std::string> RunTracedCertifiedWanScenario(uint64_t seed) {
+  Simulator sim;
+  Network net(&sim, seed);
+  SegmentId lan_a = net.AddSegment();
+  SegmentId lan_b = net.AddSegment();
+  std::vector<HostId> a_hosts, b_hosts;
+  std::vector<std::unique_ptr<BusDaemon>> daemons;
+  BusConfig config;
+  config.trace_publishes = true;
+  for (int i = 0; i < 2; ++i) {
+    a_hosts.push_back(net.AddHost("a" + std::to_string(i), lan_a));
+    b_hosts.push_back(net.AddHost("b" + std::to_string(i), lan_b));
+  }
+  for (HostId h : a_hosts) {
+    auto d = BusDaemon::Start(&net, h, config);
+    EXPECT_TRUE(d.ok());
+    daemons.push_back(d.take());
+  }
+  for (HostId h : b_hosts) {
+    auto d = BusDaemon::Start(&net, h, config);
+    EXPECT_TRUE(d.ok());
+    daemons.push_back(d.take());
+  }
+
+  auto router_bus_a = MustConnect(&net, a_hosts[0], "_router:A");
+  auto router_bus_b = MustConnect(&net, b_hosts[0], "_router:B");
+  auto ra = InfoRouter::Listen(router_bus_a.get(), "_router:A", 8700);
+  EXPECT_TRUE(ra.ok()) << ra.status().ToString();
+  sim.RunFor(50 * kMillisecond);
+  auto rb = InfoRouter::Connect(router_bus_b.get(), "_router:B", a_hosts[0], 8700);
+  EXPECT_TRUE(rb.ok()) << rb.status().ToString();
+  sim.RunFor(200 * kMillisecond);
+
+  auto monitor_bus = MustConnect(&net, b_hosts[0], "monitor");
+  auto collector = telemetry::TraceCollector::Create(monitor_bus.get());
+  EXPECT_TRUE(collector.ok()) << collector.status().ToString();
+
+  std::vector<std::string> trace;
+  auto sub_bus = MustConnect(&net, b_hosts[1], "consumer");
+  auto sub = CertifiedSubscriber::Create(sub_bus.get(), "orders.>", "consumer",
+                                         [&](const Message& m) {
+                                           trace.push_back(Record(sim.Now(), "consumer", m));
+                                         });
+  EXPECT_TRUE(sub.ok()) << sub.status().ToString();
+  sim.RunFor(500 * kMillisecond);  // control plane (subs, adverts) crosses the WAN
+
+  // Faults only after the handshake so every replay starts aligned.
+  FaultPlan faults;
+  faults.drop_prob = 0.10;
+  faults.jitter_us = 300;
+  net.SetFaultPlan(lan_a, faults);
+  net.SetFaultPlan(lan_b, faults);
+
+  auto pub_bus = MustConnect(&net, a_hosts[1], "producer");
+  MemoryStableStore store;
+  auto pub = CertifiedPublisher::Create(pub_bus.get(), &store, "orders-ledger");
+  EXPECT_TRUE(pub.ok()) << pub.status().ToString();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE((*pub)->Publish("orders.new", ToBytes("order" + std::to_string(i))).ok());
+    sim.RunFor(100 * kMillisecond);
+  }
+  sim.RunFor(5 * kSecond);
+
+  for (uint64_t id : (*collector)->trace_ids()) {
+    trace.push_back((*collector)->RenderTimeline(id));
+  }
+  trace.push_back("records=" + std::to_string((*collector)->records_received()) +
+                  " traces=" + std::to_string((*collector)->trace_count()) +
+                  " all_hash=" + std::to_string((*collector)->AllTracesHash()));
+  return trace;
+}
+#endif  // IBUS_TELEMETRY
+
 // --- The replay gate ---------------------------------------------------------------
 
 using ScenarioFn = std::vector<std::string> (*)(uint64_t seed);
@@ -240,6 +321,13 @@ TEST(SimReplayCheck, CertifiedDeliveryIsDeterministic) {
   CheckReplay("certified_delivery", &RunCertifiedScenario, 42);
   CheckReplay("certified_delivery", &RunCertifiedScenario, 2024);
 }
+
+#if IBUS_TELEMETRY
+TEST(SimReplayCheck, TracedCertifiedWanIsDeterministic) {
+  CheckReplay("traced_certified_wan", &RunTracedCertifiedWanScenario, 42);
+  CheckReplay("traced_certified_wan", &RunTracedCertifiedWanScenario, 1993);
+}
+#endif
 
 TEST(SimReplayCheck, CertifiedDeliveryCompletesDespiteLoss) {
   auto trace = RunCertifiedScenario(42);

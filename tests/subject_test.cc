@@ -29,6 +29,30 @@ TEST(SubjectTest, ValidateSubjectRejectsBadForms) {
   EXPECT_FALSE(ValidateSubject("a.>").ok());
 }
 
+TEST(SubjectTest, ReservedNamespaceDetection) {
+  EXPECT_TRUE(IsReservedSubject("_ibus"));  // buslint: allow(reserved-subject)
+  EXPECT_TRUE(IsReservedSubject(std::string(kReservedTracePrefix) + "a"));
+  EXPECT_TRUE(IsReservedSubject(std::string(kReservedStatsPrefix) + "host0"));
+  EXPECT_FALSE(IsReservedSubject("_ibusx.foo"));
+  EXPECT_FALSE(IsReservedSubject("news._ibus.x"));  // buslint: allow(reserved-subject)
+  EXPECT_FALSE(IsReservedSubject("_inbox.h1.p5000.1"));
+}
+
+TEST(SubjectTest, ReservedNamespaceScoping) {
+  const std::string trace = std::string(kReservedTracePrefix) + "a";
+  // Application scope (the default) rejects the whole reserved namespace...
+  EXPECT_FALSE(ValidateSubject(kReservedElement).ok());
+  EXPECT_FALSE(ValidateSubject(trace).ok());
+  EXPECT_FALSE(ValidateSubject(trace, SubjectScope::kApplication).ok());
+  // ...internal scope admits it (same grammar rules still apply)...
+  EXPECT_TRUE(ValidateSubject(trace, SubjectScope::kInternal).ok());
+  EXPECT_FALSE(ValidateSubject(std::string(kReservedPrefix) + ".x",
+                               SubjectScope::kInternal).ok());
+  // ...and lookalike roots were never reserved to begin with.
+  EXPECT_TRUE(ValidateSubject("_ibusx.foo").ok());
+  EXPECT_TRUE(ValidateSubject("_ibusx.foo", SubjectScope::kInternal).ok());
+}
+
 TEST(SubjectTest, ValidatePattern) {
   EXPECT_TRUE(ValidatePattern("news.equity.gmc").ok());
   EXPECT_TRUE(ValidatePattern("news.*.gmc").ok());

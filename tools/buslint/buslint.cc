@@ -474,6 +474,33 @@ void CheckRawNewDelete(const std::string& rel_path, const Scrubbed& s,
   });
 }
 
+// ---------------------------------------------------------------------------------
+// Rule: reserved-subject
+// ---------------------------------------------------------------------------------
+
+void CheckReservedSubjects(const std::string& rel_path, const Scrubbed& s,
+                           std::vector<Violation>* out) {
+  // The telemetry subsystem and the bus services define/use the reserved namespace;
+  // everywhere else must spell it via the kReserved* constants in subject.h so the
+  // namespace stays greppable and a rename stays a one-file change.
+  if (StartsWith(rel_path, "src/telemetry/") || StartsWith(rel_path, "src/services/")) {
+    return;
+  }
+  for (const auto& [off, content] : s.literals) {
+    if (content != "_ibus" && !StartsWith(content, "_ibus.")) {  // buslint: allow(reserved-subject)
+      continue;
+    }
+    int line = s.LineOf(off);
+    if (s.Allowed(line, kRuleReservedSubject)) {
+      continue;
+    }
+    out->push_back({rel_path, line, kRuleReservedSubject,
+                    "literal \"" + content +
+                        "\" names the reserved bus-internal namespace; use the "
+                        "kReserved* constants from src/subject/subject.h"});
+  }
+}
+
 }  // namespace
 
 std::string Violation::ToString() const {
@@ -488,6 +515,7 @@ std::vector<Violation> LintSource(const std::string& rel_path, std::string_view 
   CheckDecodePairs(rel_path, s, &out);
   CheckDecodeChecked(rel_path, s, &out);
   CheckRawNewDelete(rel_path, s, &out);
+  CheckReservedSubjects(rel_path, s, &out);
   std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
     return a.line != b.line ? a.line < b.line : a.rule < b.rule;
   });

@@ -18,6 +18,10 @@
 //                     cast to (void) to discard deliberately.
 //   raw-new-delete  — no raw `new`/`delete` outside the private-constructor
 //                     factory idiom `std::unique_ptr<T>(new T(...))`.
+//   reserved-subject — no "_ibus"/"_ibus.*" string literals outside
+//                     src/telemetry and src/services; everything else must
+//                     name the reserved bus-internal namespace through the
+//                     kReserved* constants in src/subject/subject.h.
 //
 // Any line can opt out of a rule with a trailing comment:
 //   // buslint: allow(rule-name)
@@ -51,6 +55,7 @@ inline constexpr char kRuleSubjectLiteral[] = "subject-literal";
 inline constexpr char kRuleDecodePair[] = "decode-pair";
 inline constexpr char kRuleDecodeChecked[] = "decode-checked";
 inline constexpr char kRuleRawNewDelete[] = "raw-new-delete";
+inline constexpr char kRuleReservedSubject[] = "reserved-subject";
 
 }  // namespace ibus::buslint
 
