@@ -15,6 +15,7 @@
 #include "src/router/router.h"
 #include "src/services/bus_monitor.h"
 #include "src/sim/stable_store.h"
+#include "src/telemetry/busmon.h"
 
 using namespace ibus;  // NOLINT: example brevity
 
@@ -100,6 +101,13 @@ int main() {
   // collector sees its own LAN. (Run a collector per site, or set forward_internal.)
   std::printf("--- London ops console: local fleet ---\n%s\n",
               collector->RenderTable().c_str());
+
+  // --- busmon: the full console frame — flows, alerts, and a flight-recorder tail ----
+  auto mon = telemetry::BusMon::Create(ops_bus.get()).take();
+  mon->AttachRecorder(daemons[3]->flight_recorder());  // ldn-desk's own recorder
+  sim.RunFor(3 * kSecond);
+  std::printf("--- London ops console: busmon frame ---\n%s\n",
+              mon->RenderSnapshot().c_str());
 
   std::printf("wide-area example done at simulated t=%.2f s\n",
               static_cast<double>(sim.Now()) / kSecond);

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Runs the JSON-emitting benchmarks and assembles their per-binary JSON lines into
-# BENCH_2.json (schema BENCH_2: one row per measurement with name, latency-or-rate
-# percentiles, and msgs/sec). See docs/TELEMETRY.md.
+# BENCH_3.json (schema BENCH_3: one row per measurement with name, latency-or-rate
+# percentiles, and msgs/sec — same row shape as BENCH_2). Afterwards, diffs the fresh
+# numbers against the newest previous BENCH_*.json via scripts/bench_diff.py and fails
+# on a >10% latency regression. See docs/TELEMETRY.md.
 #
-#   scripts/bench.sh                     # build in build-bench/, write BENCH_2.json
+#   scripts/bench.sh                     # build in build-bench/, write BENCH_3.json
 #   BUILD_DIR=build scripts/bench.sh     # reuse an existing build dir
 #   OUT=/tmp/b.json scripts/bench.sh     # write somewhere else
 #   BENCHES="rmi_latency" scripts/bench.sh  # run a subset
@@ -12,7 +14,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-bench}
 JOBS=${JOBS:-$(nproc)}
-OUT=${OUT:-BENCH_2.json}
+OUT=${OUT:-BENCH_3.json}
 BENCHES=${BENCHES:-"rmi_latency fig5_latency fig6_throughput_msgs fig7_throughput_bytes fig8_subjects"}
 
 echo "== configure + build (${BUILD_DIR})"
@@ -30,7 +32,7 @@ for b in ${BENCHES}; do
 done
 
 {
-  printf '{"schema": "BENCH_2", "results": [\n'
+  printf '{"schema": "BENCH_3", "results": [\n'
   first=1
   for b in ${BENCHES}; do
     while IFS= read -r line; do
@@ -46,3 +48,18 @@ if command -v python3 > /dev/null; then
   python3 -m json.tool "${OUT}" > /dev/null && echo "== ${OUT}: valid JSON"
 fi
 echo "== wrote ${OUT} ($(grep -c '"name"' "${OUT}") results)"
+
+# Compare against the newest committed baseline that isn't the file just written;
+# a >10% regression on any latency percentile fails the run.
+if command -v python3 > /dev/null; then
+  baseline=""
+  for f in $(ls -1 BENCH_*.json 2> /dev/null | sort -rV); do
+    [ "${f}" != "$(basename "${OUT}")" ] && { baseline="${f}"; break; }
+  done
+  if [ -n "${baseline}" ]; then
+    echo "== bench_diff vs ${baseline}"
+    python3 scripts/bench_diff.py "${baseline}" "${OUT}"
+  else
+    echo "== bench_diff: no previous BENCH_*.json baseline; skipping"
+  fi
+fi

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files and fail on latency regressions.
+
+Usage: bench_diff.py BASELINE.json CURRENT.json [--threshold PCT]
+
+Both files carry {"schema": "BENCH_N", "results": [{"name", "p50_us", "p90_us",
+"p99_us", "msgs_per_sec"}, ...]} — the row shape is stable across schema versions.
+Rows are matched by name; for each shared row the per-percentile latency delta and
+the throughput delta are printed. Exits non-zero if any latency percentile on any
+shared row regresses by more than the threshold (default 10%). Rows present on only
+one side are reported but never fail the run (benchmarks come and go across PRs).
+
+The deterministic simulator makes bench numbers replayable, so a genuine regression
+here is a code change, not scheduler noise.
+"""
+
+import argparse
+import json
+import sys
+
+LATENCY_KEYS = ("p50_us", "p90_us", "p99_us")
+# Sub-millisecond percentiles jitter by whole simulator ticks; don't flag noise on
+# effectively-zero baselines.
+MIN_BASELINE_US = 1.0
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("results", []):
+        name = row.get("name")
+        if name:
+            rows[name] = row
+    return doc.get("schema", "?"), rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="max tolerated latency growth, percent (default 10)")
+    args = ap.parse_args()
+
+    base_schema, base = load(args.baseline)
+    cur_schema, cur = load(args.current)
+    shared = sorted(set(base) & set(cur))
+    print(f"bench_diff: {args.baseline} ({base_schema}) -> {args.current} ({cur_schema}), "
+          f"{len(shared)} shared rows, threshold {args.threshold:.0f}%")
+
+    regressions = []
+    for name in shared:
+        b, c = base[name], cur[name]
+        cells = []
+        for key in LATENCY_KEYS:
+            bv, cv = b.get(key, 0.0), c.get(key, 0.0)
+            if bv < MIN_BASELINE_US:
+                cells.append(f"{key} {bv:.0f}->{cv:.0f}us")
+                continue
+            pct = (cv - bv) / bv * 100.0
+            cells.append(f"{key} {bv:.0f}->{cv:.0f}us ({pct:+.1f}%)")
+            if pct > args.threshold:
+                regressions.append(f"{name}: {key} {bv:.1f}us -> {cv:.1f}us ({pct:+.1f}%)")
+        brate, crate = b.get("msgs_per_sec", 0.0), c.get("msgs_per_sec", 0.0)
+        if brate > 0:
+            cells.append(f"rate {brate:.0f}->{crate:.0f}/s ({(crate - brate) / brate * 100.0:+.1f}%)")
+        print(f"  {name:40s} " + "  ".join(cells))
+
+    for name in sorted(set(base) - set(cur)):
+        print(f"  {name:40s} (dropped: baseline-only row)")
+    for name in sorted(set(cur) - set(base)):
+        print(f"  {name:40s} (new: no baseline)")
+
+    if regressions:
+        print(f"bench_diff: FAIL — {len(regressions)} latency regression(s) > "
+              f"{args.threshold:.0f}%:", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        return 1
+    print("bench_diff: OK — no latency regression beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,10 +25,21 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" -L tier1
 echo "== telemetry tests (ctest -L telemetry; no-op when built with IB_TELEMETRY=OFF)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L telemetry
 
+echo "== health plane tests (ctest -L health: flows, alerts, flight recorder, busmon)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L health
+
 echo "== buslint over src/ bench/ examples/ tools/"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L lint
 
 echo "== clang-tidy (skips when not installed)"
 cmake --build "${BUILD_DIR}" --target lint-tidy
+
+# The telemetry-compiled-out configuration must stay a first-class citizen: the
+# always-on surfaces (stats, flows, flight recorder, busmon) still carry tier1.
+OFF_BUILD_DIR="${BUILD_DIR}-notelemetry"
+echo "== tier1 with -DIB_TELEMETRY=OFF (${OFF_BUILD_DIR})"
+cmake -B "${OFF_BUILD_DIR}" -S . -DIB_TELEMETRY=OFF -DIB_WERROR=ON "$@"
+cmake --build "${OFF_BUILD_DIR}" -j "${JOBS}"
+ctest --test-dir "${OFF_BUILD_DIR}" --output-on-failure -j "${JOBS}" -L tier1
 
 echo "== all checks passed"

@@ -16,13 +16,13 @@ Result<std::unique_ptr<BusDaemon>> BusDaemon::Start(Network* net, HostId host,
   daemon->socket_ = socket.take();
   // One broadcast stream per daemon; the host id keys it uniquely on the bus.
   const uint64_t stream_id = static_cast<uint64_t>(host) + 1;
-  daemon->sender_ = std::make_unique<ReliableSender>(net->sim(), daemon->socket_.get(),
-                                                     config.daemon_port, stream_id,
-                                                     config.reliable, &daemon->metrics_);
+  daemon->sender_ = std::make_unique<ReliableSender>(
+      net->sim(), daemon->socket_.get(), config.daemon_port, stream_id, config.reliable,
+      &daemon->metrics_, &daemon->recorder_);
   daemon->receiver_ = std::make_unique<ReliableReceiver>(
       net->sim(), daemon->socket_.get(), config.reliable,
       [d = daemon.get()](uint64_t /*stream*/, const Bytes& bytes) { d->DispatchInbound(bytes); },
-      nullptr, &daemon->metrics_);
+      nullptr, &daemon->metrics_, &daemon->recorder_);
   return daemon;
 }
 
@@ -30,11 +30,13 @@ BusDaemon::BusDaemon(Network* net, HostId host, const BusConfig& config)
     : net_(net),
       host_(host),
       config_(config),
+      recorder_("daemon@" + std::to_string(host), config.flight_recorder_capacity),
       publishes_(metrics_.GetCounter(kMetricPublishes)),
       dispatched_(metrics_.GetCounter(kMetricDispatched)),
       deliveries_(metrics_.GetCounter(kMetricDeliveries)),
       no_match_(metrics_.GetCounter(kMetricNoMatch)),
-      subscriptions_(metrics_.GetGauge(kMetricSubscriptions)) {}
+      subscriptions_(metrics_.GetGauge(kMetricSubscriptions)),
+      sub_churn_(metrics_.GetCounter(kMetricSubChurn)) {}
 
 DaemonStats BusDaemon::stats() const {
   DaemonStats s;
@@ -42,7 +44,20 @@ DaemonStats BusDaemon::stats() const {
   s.dispatched_messages = dispatched_->value();
   s.deliveries = deliveries_->value();
   s.no_match = no_match_->value();
+  s.sub_churn = sub_churn_->value();
   return s;
+}
+
+SubjectFlow& BusDaemon::FlowFor(std::string_view subject) {
+  std::string_view root = subject.substr(0, subject.find(kSubjectSeparator));
+  auto it = flows_.find(std::string(root));
+  if (it != flows_.end()) {
+    return it->second;
+  }
+  if (flows_.size() >= kMaxFlowSubjects) {
+    return flows_[kFlowOverflowKey];
+  }
+  return flows_[std::string(root)];
 }
 
 BusDaemon::~BusDaemon() = default;
@@ -51,6 +66,8 @@ void BusDaemon::HandleDatagram(const Datagram& d) {
   auto frame = ParseFrame(d.payload);
   if (!frame.ok()) {
     IBUS_WARN() << "daemon@" << host_ << ": dropping bad frame: " << frame.status().ToString();
+    recorder_.Record(net_->sim()->Now(), telemetry::FlightEventKind::kDrop, "",
+                     "bad frame: " + frame.status().ToString());
     return;
   }
   switch (frame->frame_type) {
@@ -130,6 +147,7 @@ void BusDaemon::HandleClientUnregister(const Datagram& d) {
       AnnounceSubscription(false, sub.pattern, sub.client_name);
     }
     subs_.erase(key);
+    sub_churn_->Inc();
   }
   subscriptions_->Set(static_cast<int64_t>(subs_.size()));
 }
@@ -156,6 +174,7 @@ void BusDaemon::HandleSubscribe(const Datagram& d, const Bytes& payload) {
   std::string client_name = sub.client_name;
   subs_[key] = std::move(sub);
   subscriptions_->Set(static_cast<int64_t>(subs_.size()));
+  sub_churn_->Inc();
   if (fresh) {
     AnnounceSubscription(true, pattern_copy, client_name);
   }
@@ -176,6 +195,7 @@ void BusDaemon::HandleUnsubscribe(const Datagram& d, const Bytes& payload) {
       }
       subs_.erase(it);
       subscriptions_->Set(static_cast<int64_t>(subs_.size()));
+      sub_churn_->Inc();
       return;
     }
   }
@@ -183,6 +203,15 @@ void BusDaemon::HandleUnsubscribe(const Datagram& d, const Bytes& payload) {
 
 void BusDaemon::HandleClientPublish(const Datagram& /*from*/, const Bytes& payload) {
   publishes_->Inc();
+  // Flow accounting reads only the leading subject field; the payload itself stays
+  // opaque on the send path.
+  if (auto subject = Message::PeekSubject(payload); subject.ok()) {
+    SubjectFlow& flow = FlowFor(*subject);
+    flow.publishes++;
+    flow.bytes_in += payload.size();
+    recorder_.Record(net_->sim()->Now(), telemetry::FlightEventKind::kPublish,
+                     subject.take(), "bytes=" + std::to_string(payload.size()));
+  }
   // The daemon treats the marshalled message as opaque: it goes straight onto the
   // reliable broadcast stream. Subject matching happens at every receiving daemon
   // (including this one, via medium loopback).
@@ -203,6 +232,8 @@ void BusDaemon::DispatchInbound(const Bytes& message_bytes) {
   auto msg = Message::Unmarshal(message_bytes);
   if (!msg.ok()) {
     IBUS_WARN() << "daemon@" << host_ << ": undecodable message: " << msg.status().ToString();
+    recorder_.Record(net_->sim()->Now(), telemetry::FlightEventKind::kDrop, "",
+                     "undecodable message: " + msg.status().ToString());
     return;
   }
   if (config_.announce_subscriptions && msg->subject == kSubQuerySubject &&
@@ -223,6 +254,7 @@ void BusDaemon::DispatchInbound(const Bytes& message_bytes) {
       by_client[it->second.client_port].push_back(it->second.client_sub_id);
     }
   }
+  SubjectFlow& flow = FlowFor(msg->subject);
   for (const auto& [port, sub_ids] : by_client) {
     WireWriter w;
     w.PutVarint(sub_ids.size());
@@ -232,6 +264,8 @@ void BusDaemon::DispatchInbound(const Bytes& message_bytes) {
     w.PutRaw(message_bytes);
     socket_->SendTo(host_, port, FrameMessage(kPktClientDeliver, w.Take()));
     deliveries_->Inc();
+    flow.deliveries++;
+    flow.bytes_out += message_bytes.size();
   }
 #if IBUS_TELEMETRY
   if (msg->trace_id != 0) {

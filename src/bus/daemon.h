@@ -20,6 +20,7 @@
 #include "src/proto/reliable.h"
 #include "src/sim/network.h"
 #include "src/subject/trie.h"
+#include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
 
@@ -35,7 +36,20 @@ struct BusConfig {
   // application publish and hop spans are emitted along the message path
   // (see src/telemetry/trace.h). No effect when built with -DIB_TELEMETRY=OFF.
   bool trace_publishes = false;
+  // Ring-buffer depth of the daemon's always-on flight recorder.
+  size_t flight_recorder_capacity = 256;
 };
+
+// Per-subject-prefix flow counters (keyed by the subject's root element). The map is
+// capped at kMaxFlowSubjects distinct prefixes; overflow traffic lands in "(other)".
+struct SubjectFlow {
+  uint64_t publishes = 0;   // local client publishes under this prefix
+  uint64_t deliveries = 0;  // client deliveries sent under this prefix
+  uint64_t bytes_in = 0;    // marshalled bytes accepted from local clients
+  uint64_t bytes_out = 0;   // marshalled bytes delivered to local clients
+};
+inline constexpr size_t kMaxFlowSubjects = 64;
+inline constexpr char kFlowOverflowKey[] = "(other)";
 
 // Snapshot of the daemon's registry counters (kept as a struct for callers; the
 // counters themselves live in the daemon's MetricsRegistry — see docs/TELEMETRY.md).
@@ -44,6 +58,7 @@ struct DaemonStats {
   uint64_t dispatched_messages = 0; // inbound messages matching >=1 local subscription
   uint64_t deliveries = 0;          // client deliveries sent (one per client match)
   uint64_t no_match = 0;            // inbound messages with no local subscriber
+  uint64_t sub_churn = 0;           // lifetime subscribe + unsubscribe operations
 };
 
 // Registry names of the daemon-owned metrics.
@@ -52,6 +67,7 @@ inline constexpr char kMetricDispatched[] = "bus.dispatched_messages";
 inline constexpr char kMetricDeliveries[] = "bus.deliveries";
 inline constexpr char kMetricNoMatch[] = "bus.no_match";
 inline constexpr char kMetricSubscriptions[] = "bus.subscriptions";
+inline constexpr char kMetricSubChurn[] = "bus.sub_churn";
 
 class BusDaemon {
  public:
@@ -72,6 +88,13 @@ class BusDaemon {
   telemetry::MetricsRegistry* metrics() { return &metrics_; }
   const telemetry::MetricsRegistry& metrics() const { return metrics_; }
 
+  // Per-subject-prefix flow counters, ordered by prefix (deterministic iteration).
+  const std::map<std::string, SubjectFlow>& subject_flows() const { return flows_; }
+
+  // The host's flight recorder; protocol components share it.
+  telemetry::FlightRecorder* flight_recorder() { return &recorder_; }
+  const telemetry::FlightRecorder& flight_recorder() const { return recorder_; }
+
  private:
   BusDaemon(Network* net, HostId host, const BusConfig& config);
 
@@ -84,6 +107,8 @@ class BusDaemon {
 
   // Called by the reliable receiver with every in-order message on the bus.
   void DispatchInbound(const Bytes& message_bytes);
+  // Flow-map entry for `subject`, keyed by its root element (capped; see above).
+  SubjectFlow& FlowFor(std::string_view subject);
   void AnnounceSubscription(bool added, const std::string& pattern,
                             const std::string& client_name);
   void AnswerSubQuery(const Message& query);
@@ -118,12 +143,15 @@ class BusDaemon {
   std::map<std::string, int> pattern_refs_;
 
   telemetry::MetricsRegistry metrics_;
+  telemetry::FlightRecorder recorder_;
+  std::map<std::string, SubjectFlow> flows_;
   // Hot-path instruments, resolved once at construction.
   telemetry::Counter* publishes_;
   telemetry::Counter* dispatched_;
   telemetry::Counter* deliveries_;
   telemetry::Counter* no_match_;
   telemetry::Gauge* subscriptions_;
+  telemetry::Counter* sub_churn_;
 };
 
 }  // namespace ibus

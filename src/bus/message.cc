@@ -54,6 +54,15 @@ Result<Message> Message::Unmarshal(const Bytes& b) {
   return m;
 }
 
+Result<std::string> Message::PeekSubject(const Bytes& b) {
+  WireReader r(b);
+  auto subject = r.ReadString();
+  if (!subject.ok()) {
+    return DataLoss("message: truncated");
+  }
+  return subject.take();
+}
+
 Message Message::ForObject(std::string subject, const DataObject& obj) {
   Message m;
   m.subject = std::move(subject);

@@ -29,6 +29,11 @@ struct Message {
   Bytes Marshal() const;
   static Result<Message> Unmarshal(const Bytes& b);
 
+  // Reads only the leading subject field from a marshalled message — cheap enough
+  // for per-subject flow accounting on the publish hot path, where a full Unmarshal
+  // (which copies the payload) would be wasteful.
+  static Result<std::string> PeekSubject(const Bytes& b);
+
   // Convenience: build a message carrying a marshalled data object.
   static Message ForObject(std::string subject, const DataObject& obj);
 

@@ -13,12 +13,14 @@ namespace ibus {
 
 ReliableSender::ReliableSender(Simulator* sim, UdpSocket* socket, Port dst_port,
                                uint64_t stream_id, const ReliableConfig& config,
-                               telemetry::MetricsRegistry* metrics)
+                               telemetry::MetricsRegistry* metrics,
+                               telemetry::FlightRecorder* recorder)
     : sim_(sim),
       socket_(socket),
       dst_port_(dst_port),
       stream_id_(stream_id),
       config_(config),
+      recorder_(recorder),
       alive_(std::make_shared<bool>(true)) {
   if (metrics == nullptr) {
     owned_metrics_ = std::make_unique<telemetry::MetricsRegistry>();
@@ -172,6 +174,11 @@ void ReliableSender::HandleNak(const NakPacket& nak, HostId /*from_host*/,
     // Rebroadcast so every receiver missing it recovers from one retransmission.
     SendMessageAsPackets(seq, message);
     retransmits_->Inc();
+    if (recorder_ != nullptr) {
+      recorder_->Record(sim_->Now(), telemetry::FlightEventKind::kRetransmit, "",
+                        "stream=" + std::to_string(stream_id_) +
+                            " seq=" + std::to_string(seq));
+    }
   }
   if (aged_out) {
     // The receiver asked for history we no longer hold: a heartbeat carries
@@ -212,12 +219,14 @@ void ReliableSender::SendHeartbeat() {
 
 ReliableReceiver::ReliableReceiver(Simulator* sim, UdpSocket* socket,
                                    const ReliableConfig& config, DeliverFn deliver,
-                                   GapFn on_gap, telemetry::MetricsRegistry* metrics)
+                                   GapFn on_gap, telemetry::MetricsRegistry* metrics,
+                                   telemetry::FlightRecorder* recorder)
     : sim_(sim),
       socket_(socket),
       config_(config),
       deliver_(std::move(deliver)),
       on_gap_(std::move(on_gap)),
+      recorder_(recorder),
       alive_(std::make_shared<bool>(true)) {
   if (metrics == nullptr) {
     owned_metrics_ = std::make_unique<telemetry::MetricsRegistry>();
@@ -344,6 +353,12 @@ void ReliableReceiver::HandleHeartbeat(const HeartbeatPacket& pkt, HostId from_h
     uint64_t first = s.expected;
     uint64_t last = pkt.lowest_retained - 1;
     gaps_->Inc(last - first + 1);
+    if (recorder_ != nullptr) {
+      recorder_->Record(sim_->Now(), telemetry::FlightEventKind::kGap, "",
+                        "stream=" + std::to_string(pkt.stream_id) +
+                            " first=" + std::to_string(first) +
+                            " last=" + std::to_string(last));
+    }
     if (on_gap_) {
       on_gap_(pkt.stream_id, first, last);
     }
@@ -396,7 +411,14 @@ void ReliableReceiver::FinishSync(uint64_t stream_id, Stream& s) {
 }
 
 void ReliableReceiver::DrainReady(uint64_t stream_id, Stream& s) {
-  while (!s.ready.empty() && s.ready.begin()->first == s.expected) {
+  // A declared gap can move `expected` past out-of-order messages already buffered in
+  // `ready`. Purge those (their window was abandoned) as we drain: a single stale
+  // entry at the front would otherwise block delivery on this stream forever.
+  while (!s.ready.empty() && s.ready.begin()->first <= s.expected) {
+    if (s.ready.begin()->first < s.expected) {
+      s.ready.erase(s.ready.begin());
+      continue;
+    }
     Bytes message = std::move(s.ready.begin()->second);
     s.ready.erase(s.ready.begin());
     s.expected++;
@@ -470,6 +492,12 @@ void ReliableReceiver::NakScan(uint64_t stream_id) {
     uint64_t first = s.expected;
     uint64_t last = s.ready.empty() ? horizon : s.ready.begin()->first - 1;
     gaps_->Inc(last - first + 1);
+    if (recorder_ != nullptr) {
+      recorder_->Record(sim_->Now(), telemetry::FlightEventKind::kGap, "",
+                        "stream=" + std::to_string(stream_id) +
+                            " first=" + std::to_string(first) +
+                            " last=" + std::to_string(last));
+    }
     if (on_gap_) {
       on_gap_(stream_id, first, last);
     }

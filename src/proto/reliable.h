@@ -22,6 +22,7 @@
 #include "src/proto/packets.h"
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
+#include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/metrics.h"
 
 namespace ibus {
@@ -85,8 +86,10 @@ inline constexpr char kMetricReceiverGaps[] = "proto.receiver.gaps";
 // live in; without one the sender keeps a private registry.
 class ReliableSender {
  public:
+  // `recorder` (optional) is the owner's flight recorder; retransmits are logged there.
   ReliableSender(Simulator* sim, UdpSocket* socket, Port dst_port, uint64_t stream_id,
-                 const ReliableConfig& config, telemetry::MetricsRegistry* metrics = nullptr);
+                 const ReliableConfig& config, telemetry::MetricsRegistry* metrics = nullptr,
+                 telemetry::FlightRecorder* recorder = nullptr);
   ~ReliableSender();
   ReliableSender(const ReliableSender&) = delete;
   ReliableSender& operator=(const ReliableSender&) = delete;
@@ -138,6 +141,7 @@ class ReliableSender {
   telemetry::Counter* retransmits_;
   telemetry::Counter* naks_received_;
   telemetry::Counter* heartbeats_sent_;
+  telemetry::FlightRecorder* recorder_;
   std::shared_ptr<bool> alive_;
 };
 
@@ -158,9 +162,11 @@ class ReliableReceiver {
   using DeliverFn = std::function<void(uint64_t stream_id, const Bytes& message)>;
   using GapFn = std::function<void(uint64_t stream_id, uint64_t first, uint64_t last)>;
 
+  // `recorder` (optional) is the owner's flight recorder; abandoned gaps are logged.
   ReliableReceiver(Simulator* sim, UdpSocket* socket, const ReliableConfig& config,
                    DeliverFn deliver, GapFn on_gap = nullptr,
-                   telemetry::MetricsRegistry* metrics = nullptr);
+                   telemetry::MetricsRegistry* metrics = nullptr,
+                   telemetry::FlightRecorder* recorder = nullptr);
   ~ReliableReceiver();
   ReliableReceiver(const ReliableReceiver&) = delete;
   ReliableReceiver& operator=(const ReliableReceiver&) = delete;
@@ -217,6 +223,7 @@ class ReliableReceiver {
   telemetry::Counter* duplicates_dropped_;
   telemetry::Counter* naks_sent_;
   telemetry::Counter* gaps_;
+  telemetry::FlightRecorder* recorder_;
   std::shared_ptr<bool> alive_;
 };
 

@@ -52,6 +52,10 @@ void Election::StartElection() {
   }
   electing_ = true;
   highest_seen_ = 0;
+  if (config_.recorder != nullptr) {
+    config_.recorder->Record(bus_->sim()->Now(), telemetry::FlightEventKind::kElection,
+                             Subject(), "candidacy id=" + std::to_string(member_id_));
+  }
   Message m;
   m.subject = Subject();
   m.type_name = kCandidacyType;
@@ -112,6 +116,10 @@ void Election::BecomeLeader() {
   }
   is_leader_ = true;
   leader_id_ = member_id_;
+  if (config_.recorder != nullptr) {
+    config_.recorder->Record(bus_->sim()->Now(), telemetry::FlightEventKind::kElection,
+                             Subject(), "leader id=" + std::to_string(member_id_));
+  }
   SendHeartbeat();
   if (on_change_) {
     on_change_(true);
@@ -124,6 +132,10 @@ void Election::StepDown(uint64_t new_leader) {
   }
   is_leader_ = false;
   leader_id_ = new_leader;
+  if (config_.recorder != nullptr) {
+    config_.recorder->Record(bus_->sim()->Now(), telemetry::FlightEventKind::kElection,
+                             Subject(), "step_down to=" + std::to_string(new_leader));
+  }
   last_leader_heartbeat_ = bus_->sim()->Now();
   WatchLeader();
   if (on_change_) {

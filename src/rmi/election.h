@@ -17,6 +17,7 @@
 #include <string>
 
 #include "src/bus/client.h"
+#include "src/telemetry/flight_recorder.h"
 
 namespace ibus {
 
@@ -24,6 +25,9 @@ struct ElectionConfig {
   SimTime candidacy_window_us = 50 * 1000;   // collect rival candidacies this long
   SimTime heartbeat_interval_us = 100 * 1000;
   SimTime leader_timeout_us = 350 * 1000;    // silence after which the leader is dead
+  // Optional: election state transitions (candidacy, leadership, step-down) are
+  // recorded here, typically the host daemon's flight recorder.
+  telemetry::FlightRecorder* recorder = nullptr;
 };
 
 class Election {

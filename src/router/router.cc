@@ -14,7 +14,23 @@ bool IsRouterOwned(const std::string& owner) { return owner.rfind("_router", 0) 
 }  // namespace
 
 InfoRouter::InfoRouter(BusClient* bus, std::string name, const RouterConfig& config)
-    : bus_(bus), name_(std::move(name)), config_(config), alive_(std::make_shared<bool>(true)) {}
+    : bus_(bus),
+      name_(std::move(name)),
+      config_(config),
+      recorder_(name_, config.flight_recorder_capacity),
+      alive_(std::make_shared<bool>(true)) {}
+
+SubjectFlow& InfoRouter::FlowFor(std::string_view subject) {
+  std::string_view root = subject.substr(0, subject.find(kSubjectSeparator));
+  auto it = flows_.find(std::string(root));
+  if (it != flows_.end()) {
+    return it->second;
+  }
+  if (flows_.size() >= kMaxFlowSubjects) {
+    return flows_[kFlowOverflowKey];
+  }
+  return flows_[std::string(root)];
+}
 
 InfoRouter::~InfoRouter() {
   *alive_ = false;
@@ -279,6 +295,8 @@ void InfoRouter::ForwardToPeer(const Message& m) {
   }
   if (m.via == name_ || m.hops >= config_.max_hops) {
     stats_.suppressed_loop++;
+    recorder_.Record(bus_->sim()->Now(), telemetry::FlightEventKind::kDrop, m.subject,
+                     m.via == name_ ? "loop: own via" : "loop: hop cap");
     return;
   }
   if (!config_.forward_internal && IsReservedSubject(m.subject) &&
@@ -300,6 +318,11 @@ void InfoRouter::ForwardToPeer(const Message& m) {
   }
   link_->Send(FrameMessage(kLinkMessageFrame, marshalled));
   stats_.forwarded++;
+  SubjectFlow& flow = FlowFor(out.subject);
+  flow.publishes++;
+  flow.bytes_in += marshalled.size();
+  recorder_.Record(bus_->sim()->Now(), telemetry::FlightEventKind::kPublish, out.subject,
+                   "forward bytes=" + std::to_string(marshalled.size()));
 #if IBUS_TELEMETRY
   if (out.trace_id != 0) {
     EmitHop(telemetry::HopKind::kRouterForward, out);
@@ -311,6 +334,11 @@ void InfoRouter::RepublishFromPeer(Message m) {
   // Stamp ourselves so our own mirror subscriptions don't bounce it straight back.
   m.via = name_;
   stats_.republished++;
+  SubjectFlow& flow = FlowFor(m.subject);
+  flow.deliveries++;
+  flow.bytes_out += m.payload.size();
+  recorder_.Record(bus_->sim()->Now(), telemetry::FlightEventKind::kPublish, m.subject,
+                   "republish bytes=" + std::to_string(m.payload.size()));
 #if IBUS_TELEMETRY
   if (m.trace_id != 0) {
     m.trace_hop = static_cast<uint8_t>(m.trace_hop + 1);

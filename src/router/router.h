@@ -22,8 +22,10 @@
 #include <vector>
 
 #include "src/bus/client.h"
+#include "src/bus/daemon.h"
 #include "src/sim/stable_store.h"
 #include "src/subject/subject.h"
+#include "src/telemetry/flight_recorder.h"
 
 namespace ibus {
 
@@ -46,10 +48,13 @@ struct RouterConfig {
   // Don't forward bus-internal control subjects across the WAN.
   bool forward_internal = false;
   // Reserved-namespace prefixes that cross the WAN even when forward_internal is
-  // false: trace spans (so a collector sees the whole path) and certified-delivery
-  // acks (so certified publishes across a router can retire).
-  std::vector<std::string> forward_internal_prefixes = {kReservedTracePrefix,
-                                                        kReservedCertPrefix};
+  // false: trace spans (so a collector sees the whole path), certified-delivery
+  // acks (so certified publishes across a router can retire), and health events (so
+  // a busmon console anywhere sees the whole fleet's alerts).
+  std::vector<std::string> forward_internal_prefixes = {
+      kReservedTracePrefix, kReservedCertPrefix, kReservedHealthPrefix};
+  // Ring-buffer depth of the router's always-on flight recorder.
+  size_t flight_recorder_capacity = 256;
   // Dial-side resilience: when the WAN link drops (or the first dial fails), retry
   // this often. 0 disables redialing.
   SimTime redial_interval_us = 2 * 1000 * 1000;
@@ -81,6 +86,13 @@ class InfoRouter {
   bool linked() const { return link_ != nullptr && link_->open(); }
   const RouterStats& stats() const { return stats_; }
 
+  // Per-subject-prefix WAN flow counters: `publishes` counts forwards to the peer,
+  // `deliveries` republishes from it (bytes likewise, marshalled sizes).
+  const std::map<std::string, SubjectFlow>& subject_flows() const { return flows_; }
+
+  telemetry::FlightRecorder* flight_recorder() { return &recorder_; }
+  const telemetry::FlightRecorder& flight_recorder() const { return recorder_; }
+
  private:
   InfoRouter(BusClient* bus, std::string name, const RouterConfig& config);
 
@@ -98,6 +110,8 @@ class InfoRouter {
   void ApplyPeerAdvert(const std::vector<std::string>& patterns);
   void ForwardToPeer(const Message& m);
   void RepublishFromPeer(Message m);
+  // Flow-map entry for `subject`, keyed by root element (capped like the daemon's).
+  SubjectFlow& FlowFor(std::string_view subject);
   // True for reserved subjects/patterns allowed across the WAN regardless of
   // forward_internal (see RouterConfig::forward_internal_prefixes).
   bool InternalForwardable(const std::string& subject_or_pattern) const;
@@ -130,6 +144,8 @@ class InfoRouter {
   std::map<std::string, uint64_t> peer_subs_;
   std::vector<uint64_t> control_subs_;
   RouterStats stats_;
+  std::map<std::string, SubjectFlow> flows_;
+  telemetry::FlightRecorder recorder_;
   std::shared_ptr<bool> alive_;
 };
 

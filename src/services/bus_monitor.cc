@@ -12,6 +12,7 @@ constexpr const char* kStatsPrefix = kReservedStatsPrefix;  // see src/subject/s
 
 Bytes DaemonStatsSnapshot::Marshal() const {
   WireWriter w;
+  w.PutU8(kWireVersion);
   w.PutString(host_name);
   w.PutI64(reported_at);
   w.PutU64(publishes);
@@ -21,11 +22,27 @@ Bytes DaemonStatsSnapshot::Marshal() const {
   w.PutU64(wire_packets_sent);
   w.PutU64(retransmits);
   w.PutU64(receiver_gaps);
+  w.PutU64(sub_churn);
+  w.PutVarint(flows.size());
+  for (const SubjectFlowEntry& f : flows) {
+    w.PutString(f.prefix);
+    w.PutU64(f.publishes);
+    w.PutU64(f.deliveries);
+    w.PutU64(f.bytes_in);
+    w.PutU64(f.bytes_out);
+  }
   return w.Take();
 }
 
 Result<DaemonStatsSnapshot> DaemonStatsSnapshot::Unmarshal(const Bytes& b) {
   WireReader r(b);
+  auto version = r.ReadU8();
+  if (!version.ok()) {
+    return DataLoss("stats snapshot: truncated");
+  }
+  if (*version != kWireVersion) {
+    return Unimplemented("stats snapshot: unknown version " + std::to_string(*version));
+  }
   DaemonStatsSnapshot s;
   auto host = r.ReadString();
   auto at = r.ReadI64();
@@ -36,8 +53,11 @@ Result<DaemonStatsSnapshot> DaemonStatsSnapshot::Unmarshal(const Bytes& b) {
   auto packets = r.ReadU64();
   auto retrans = r.ReadU64();
   auto gaps = r.ReadU64();
+  auto churn = r.ReadU64();
+  auto flow_count = r.ReadVarint();
   if (!host.ok() || !at.ok() || !pubs.ok() || !dispatched.ok() || !deliveries.ok() ||
-      !subs.ok() || !packets.ok() || !retrans.ok() || !gaps.ok()) {
+      !subs.ok() || !packets.ok() || !retrans.ok() || !gaps.ok() || !churn.ok() ||
+      !flow_count.ok()) {
     return DataLoss("stats snapshot: truncated");
   }
   s.host_name = host.take();
@@ -49,6 +69,25 @@ Result<DaemonStatsSnapshot> DaemonStatsSnapshot::Unmarshal(const Bytes& b) {
   s.wire_packets_sent = *packets;
   s.retransmits = *retrans;
   s.receiver_gaps = *gaps;
+  s.sub_churn = *churn;
+  s.flows.reserve(*flow_count);
+  for (uint64_t i = 0; i < *flow_count; ++i) {
+    SubjectFlowEntry f;
+    auto prefix = r.ReadString();
+    auto fpubs = r.ReadU64();
+    auto fdeliv = r.ReadU64();
+    auto fbin = r.ReadU64();
+    auto fbout = r.ReadU64();
+    if (!prefix.ok() || !fpubs.ok() || !fdeliv.ok() || !fbin.ok() || !fbout.ok()) {
+      return DataLoss("stats snapshot: truncated flow entry");
+    }
+    f.prefix = prefix.take();
+    f.publishes = *fpubs;
+    f.deliveries = *fdeliv;
+    f.bytes_in = *fbin;
+    f.bytes_out = *fbout;
+    s.flows.push_back(std::move(f));
+  }
   return s;
 }
 
@@ -80,6 +119,16 @@ void StatsReporter::PublishSnapshot() {
   s.wire_packets_sent = metrics.CounterValue(kMetricSenderPacketsSent);
   s.retransmits = metrics.CounterValue(kMetricSenderRetransmits);
   s.receiver_gaps = metrics.CounterValue(kMetricReceiverGaps);
+  s.sub_churn = metrics.CounterValue(kMetricSubChurn);
+  for (const auto& [prefix, flow] : daemon_->subject_flows()) {
+    SubjectFlowEntry f;
+    f.prefix = prefix;
+    f.publishes = flow.publishes;
+    f.deliveries = flow.deliveries;
+    f.bytes_in = flow.bytes_in;
+    f.bytes_out = flow.bytes_out;
+    s.flows.push_back(std::move(f));
+  }
   Message m;
   m.subject = kStatsPrefix + s.host_name;
   m.type_name = "_ibus.stats";

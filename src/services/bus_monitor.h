@@ -9,10 +9,20 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/bus/client.h"
 
 namespace ibus {
+
+// One host's per-subject flow counters as carried in the stats snapshot.
+struct SubjectFlowEntry {
+  std::string prefix;  // subject root element (or "(other)" overflow bucket)
+  uint64_t publishes = 0;
+  uint64_t deliveries = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+};
 
 struct DaemonStatsSnapshot {
   std::string host_name;
@@ -24,7 +34,13 @@ struct DaemonStatsSnapshot {
   uint64_t wire_packets_sent = 0;
   uint64_t retransmits = 0;
   uint64_t receiver_gaps = 0;
+  uint64_t sub_churn = 0;                // v2: lifetime subscribe/unsubscribe ops
+  std::vector<SubjectFlowEntry> flows;   // v2: per-subject-prefix flow accounting
 
+  // Versioned wire format (v1 had no version byte and no churn/flow fields; the
+  // format change is breaking, hence the explicit version from v2 on). Unmarshal
+  // rejects unknown versions with kUnimplemented.
+  static constexpr uint8_t kWireVersion = 2;
   Bytes Marshal() const;
   static Result<DaemonStatsSnapshot> Unmarshal(const Bytes& b);
 };

@@ -26,6 +26,7 @@ inline constexpr char kReservedTracePrefix[] = "_ibus.trace.";  // buslint: allo
 inline constexpr char kReservedCertPrefix[] = "_ibus.cert.";    // buslint: allow(reserved-subject)
 inline constexpr char kReservedElectPrefix[] = "_ibus.elect.";  // buslint: allow(reserved-subject)
 inline constexpr char kReservedStatsPrefix[] = "_ibus.stats.";  // buslint: allow(reserved-subject)
+inline constexpr char kReservedHealthPrefix[] = "_ibus.health.";  // buslint: allow(reserved-subject)
 inline constexpr char kReservedSubPrefix[] = "_ibus.sub.";      // buslint: allow(reserved-subject)
 
 // True when the subject or pattern lives in the reserved namespace (its first

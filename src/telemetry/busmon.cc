@@ -1,0 +1,169 @@
+#include "src/telemetry/busmon.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "src/telemetry/trace.h"
+
+namespace ibus::telemetry {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+// A subject prefix's aggregate traffic across every reporting host.
+struct FlowTotal {
+  std::string prefix;
+  uint64_t publishes = 0;
+  uint64_t deliveries = 0;
+  uint64_t bytes = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<BusMon>> BusMon::Create(BusClient* bus, const BusMonOptions& options) {
+  auto mon = std::unique_ptr<BusMon>(new BusMon(bus, options));
+  struct Feed {
+    std::string pattern;
+    void (BusMon::*handler)(const Message&);
+  };
+  const Feed feeds[] = {
+      {std::string(kReservedStatsPrefix) + ">", &BusMon::HandleStats},
+      {kHealthPattern, &BusMon::HandleHealth},
+      {kTracePattern, &BusMon::HandleTrace},
+  };
+  for (const Feed& feed : feeds) {
+    auto sub = mon->bus_->Subscribe(
+        feed.pattern, [m = mon.get(), h = feed.handler](const Message& msg) { (m->*h)(msg); });
+    if (!sub.ok()) {
+      return sub.status();
+    }
+    mon->subs_.push_back(*sub);
+  }
+  return mon;
+}
+
+BusMon::~BusMon() {
+  for (uint64_t sub : subs_) {
+    bus_->Unsubscribe(sub);
+  }
+}
+
+void BusMon::AttachRecorder(const FlightRecorder* recorder) {
+  recorders_.push_back(recorder);
+}
+
+void BusMon::HandleStats(const Message& m) {
+  auto s = DaemonStatsSnapshot::Unmarshal(m.payload);
+  if (s.ok()) {
+    snapshots_[s->host_name] = s.take();
+  }
+}
+
+void BusMon::HandleHealth(const Message& m) {
+  if (m.type_name != kHealthEventType) {
+    return;
+  }
+  auto e = HealthEvent::Unmarshal(m.payload);
+  if (!e.ok()) {
+    return;
+  }
+  auto key = std::make_tuple(static_cast<uint8_t>(e->kind), e->node, e->subject);
+  if (e->severity == HealthSeverity::kClear) {
+    active_alerts_.erase(key);
+  } else {
+    active_alerts_[key] = *e;
+  }
+  alert_history_.push_back(e.take());
+}
+
+void BusMon::HandleTrace(const Message& m) {
+  if (m.type_name == kHopRecordType) {
+    spans_seen_++;
+  }
+}
+
+std::string BusMon::RenderSnapshot() const {
+  std::ostringstream out;
+  out << "== busmon @ " << bus_->sim()->Now() << "us ==\n";
+
+  out << "hosts (" << snapshots_.size() << "):\n";
+  out << "  host             pubs   disp  deliv   subs  churn  retrans  gaps\n";
+  char line[200];
+  for (const auto& [host, s] : snapshots_) {
+    std::snprintf(line, sizeof(line), "  %-14s %6llu %6llu %6llu %6llu %6llu %8llu %5llu\n",
+                  host.c_str(), static_cast<unsigned long long>(s.publishes),
+                  static_cast<unsigned long long>(s.dispatched),
+                  static_cast<unsigned long long>(s.deliveries),
+                  static_cast<unsigned long long>(s.subscriptions),
+                  static_cast<unsigned long long>(s.sub_churn),
+                  static_cast<unsigned long long>(s.retransmits),
+                  static_cast<unsigned long long>(s.receiver_gaps));
+    out << line;
+  }
+
+  // Aggregate per-prefix flows across the fleet and rank by traffic.
+  std::map<std::string, FlowTotal> totals;
+  for (const auto& [host, s] : snapshots_) {
+    for (const SubjectFlowEntry& f : s.flows) {
+      FlowTotal& t = totals[f.prefix];
+      t.prefix = f.prefix;
+      t.publishes += f.publishes;
+      t.deliveries += f.deliveries;
+      t.bytes += f.bytes_in + f.bytes_out;
+    }
+  }
+  std::vector<FlowTotal> ranked;
+  ranked.reserve(totals.size());
+  for (const auto& [prefix, t] : totals) {
+    ranked.push_back(t);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const FlowTotal& a, const FlowTotal& b) {
+    uint64_t wa = a.publishes + a.deliveries;
+    uint64_t wb = b.publishes + b.deliveries;
+    return wa != wb ? wa > wb : a.prefix < b.prefix;
+  });
+  if (ranked.size() > options_.top_k) {
+    ranked.resize(options_.top_k);
+  }
+  out << "top subjects by flow:\n";
+  for (const FlowTotal& t : ranked) {
+    out << "  " << t.prefix << " pubs=" << t.publishes << " deliv=" << t.deliveries
+        << " bytes=" << t.bytes << "\n";
+  }
+
+  if (active_alerts_.empty()) {
+    out << "active alerts: none\n";
+  } else {
+    out << "active alerts (" << active_alerts_.size() << "):\n";
+    for (const auto& [key, e] : active_alerts_) {
+      out << "  " << e.ToString() << "\n";
+    }
+  }
+  out << "alert transitions seen: " << alert_history_.size() << "\n";
+  out << "trace spans seen: " << spans_seen_ << "\n";
+
+  for (const FlightRecorder* rec : recorders_) {
+    out << "flight recorder " << rec->node() << " (" << rec->total_recorded()
+        << " recorded, tail " << options_.recorder_tail << "):\n";
+    std::istringstream tail(rec->RenderTail(options_.recorder_tail));
+    std::string tail_line;
+    while (std::getline(tail, tail_line)) {
+      out << "  " << tail_line << "\n";
+    }
+  }
+  return out.str();
+}
+
+uint64_t BusMon::SnapshotHash() const {
+  uint64_t h = kFnvOffset;
+  for (char c : RenderSnapshot()) {
+    h ^= static_cast<uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace ibus::telemetry

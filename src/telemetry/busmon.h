@@ -1,0 +1,77 @@
+// BusMon: the operator's cluster console, itself just a bus client (the paper's
+// service-application pattern — the bus monitoring the bus). It subscribes to the
+// three reserved observability feeds — "_ibus.stats.>" snapshots, "_ibus.health.>"
+// alert transitions, "_ibus.trace.>" spans — and renders a fleet-wide view: per-host
+// stats table, top-K subject prefixes by flow, active alerts, and excerpts from any
+// locally attached flight recorders. RenderSnapshot() is deterministic under the
+// simulator, so replay checks can hash the whole console frame.
+#ifndef SRC_TELEMETRY_BUSMON_H_
+#define SRC_TELEMETRY_BUSMON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/bus/client.h"
+#include "src/services/bus_monitor.h"
+#include "src/telemetry/flight_recorder.h"
+#include "src/telemetry/health.h"
+
+namespace ibus::telemetry {
+
+struct BusMonOptions {
+  size_t top_k = 5;          // subject prefixes shown in the flow ranking
+  size_t recorder_tail = 4;  // events shown per attached flight recorder
+};
+
+class BusMon {
+ public:
+  // Subscribes to the stats/health/trace feeds. Works under -DIB_TELEMETRY=OFF too:
+  // the stats table stays live, health/trace sections simply stay empty (those
+  // feeds are never published in an OFF build).
+  static Result<std::unique_ptr<BusMon>> Create(BusClient* bus,
+                                                const BusMonOptions& options = BusMonOptions());
+  ~BusMon();
+  BusMon(const BusMon&) = delete;
+  BusMon& operator=(const BusMon&) = delete;
+
+  // Flight recorders are per-process state, not bus traffic; a console co-hosted
+  // with daemons/routers can attach theirs to get a post-mortem excerpt section.
+  void AttachRecorder(const FlightRecorder* recorder);
+
+  const std::map<std::string, DaemonStatsSnapshot>& snapshots() const { return snapshots_; }
+  // Raised-and-not-yet-cleared alerts, keyed (kind, node, subject).
+  size_t active_alert_count() const { return active_alerts_.size(); }
+  // Every alert transition seen, in arrival order.
+  const std::vector<HealthEvent>& alert_history() const { return alert_history_; }
+  uint64_t spans_seen() const { return spans_seen_; }
+
+  // The full console frame. Deterministic under the simulator (hashable).
+  std::string RenderSnapshot() const;
+  // FNV-1a hash of RenderSnapshot(), for replay checks.
+  uint64_t SnapshotHash() const;
+
+ private:
+  BusMon(BusClient* bus, const BusMonOptions& options) : bus_(bus), options_(options) {}
+
+  void HandleStats(const Message& m);
+  void HandleHealth(const Message& m);
+  void HandleTrace(const Message& m);
+
+  BusClient* bus_;
+  BusMonOptions options_;
+  std::vector<uint64_t> subs_;
+
+  std::map<std::string, DaemonStatsSnapshot> snapshots_;
+  std::map<std::tuple<uint8_t, std::string, std::string>, HealthEvent> active_alerts_;
+  std::vector<HealthEvent> alert_history_;
+  uint64_t spans_seen_ = 0;
+  std::vector<const FlightRecorder*> recorders_;
+};
+
+}  // namespace ibus::telemetry
+
+#endif  // SRC_TELEMETRY_BUSMON_H_

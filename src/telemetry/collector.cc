@@ -21,9 +21,13 @@ uint64_t FnvMix(uint64_t h, const std::string& s) {
 
 }  // namespace
 
-Result<std::unique_ptr<TraceCollector>> TraceCollector::Create(BusClient* bus) {
+Result<std::unique_ptr<TraceCollector>> TraceCollector::Create(
+    BusClient* bus, const TraceCollectorOptions& options) {
 #if IBUS_TELEMETRY
-  auto collector = std::unique_ptr<TraceCollector>(new TraceCollector(bus));
+  if (options.max_traces == 0) {
+    return InvalidArgument("trace collector: max_traces must be positive");
+  }
+  auto collector = std::unique_ptr<TraceCollector>(new TraceCollector(bus, options));
   auto sub = bus->Subscribe(kTracePattern,
                             [c = collector.get()](const Message& m) { c->HandleSpan(m); });
   if (!sub.ok()) {
@@ -33,6 +37,7 @@ Result<std::unique_ptr<TraceCollector>> TraceCollector::Create(BusClient* bus) {
   return collector;
 #else
   (void)bus;
+  (void)options;
   return FailedPrecondition("telemetry: built with IB_TELEMETRY=OFF, no spans are emitted");
 #endif
 }
@@ -52,7 +57,25 @@ void TraceCollector::HandleSpan(const Message& m) {
     return;
   }
   records_received_++;
-  traces_[rec->trace_id].push_back(rec.take());
+  uint64_t trace_id = rec->trace_id;
+  traces_[trace_id].push_back(rec.take());
+  TouchTrace(trace_id);
+}
+
+void TraceCollector::TouchTrace(uint64_t trace_id) {
+  auto pos = lru_pos_.find(trace_id);
+  if (pos != lru_pos_.end()) {
+    lru_.erase(pos->second);
+  }
+  lru_.push_back(trace_id);
+  lru_pos_[trace_id] = std::prev(lru_.end());
+  while (traces_.size() > options_.max_traces) {
+    uint64_t coldest = lru_.front();
+    lru_.pop_front();
+    lru_pos_.erase(coldest);
+    traces_.erase(coldest);
+    evictions_->Inc();
+  }
 }
 
 std::vector<uint64_t> TraceCollector::trace_ids() const {

@@ -7,6 +7,7 @@
 #define SRC_TELEMETRY_COLLECTOR_H_
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <string>
@@ -19,17 +20,30 @@
 
 namespace ibus::telemetry {
 
+// Counts traces evicted from the collector's LRU cache (see TraceCollectorOptions).
+inline constexpr char kMetricTraceEvictions[] = "telemetry.trace_evictions";
+
+struct TraceCollectorOptions {
+  // Most-recently-updated traces retained; older ones are evicted (a collector left
+  // running for days must not grow without bound).
+  size_t max_traces = 1024;
+};
+
 class TraceCollector {
  public:
   // Subscribes `bus` to the trace namespace. Fails with kFailedPrecondition when the
   // tree was built with -DIB_TELEMETRY=OFF (no spans are ever emitted then).
-  static Result<std::unique_ptr<TraceCollector>> Create(BusClient* bus);
+  static Result<std::unique_ptr<TraceCollector>> Create(
+      BusClient* bus, const TraceCollectorOptions& options = TraceCollectorOptions());
   ~TraceCollector();
   TraceCollector(const TraceCollector&) = delete;
   TraceCollector& operator=(const TraceCollector&) = delete;
 
   uint64_t records_received() const { return records_received_; }
   size_t trace_count() const { return traces_.size(); }
+  uint64_t evictions() const { return evictions_->value(); }
+  // The collector's own registry (currently just the eviction counter).
+  const MetricsRegistry& metrics() const { return metrics_; }
   // Trace ids seen so far, ascending.
   std::vector<uint64_t> trace_ids() const;
 
@@ -51,14 +65,25 @@ class TraceCollector {
   std::map<HopKind, LatencyHistogram> HopLatencyHistograms() const;
 
  private:
-  explicit TraceCollector(BusClient* bus) : bus_(bus) {}
+  TraceCollector(BusClient* bus, const TraceCollectorOptions& options)
+      : bus_(bus),
+        options_(options),
+        evictions_(metrics_.GetCounter(kMetricTraceEvictions)) {}
 
   void HandleSpan(const Message& m);
+  // Moves `trace_id` to the recently-used end, evicting the coldest trace over cap.
+  void TouchTrace(uint64_t trace_id);
 
   BusClient* bus_;
+  TraceCollectorOptions options_;
   uint64_t sub_id_ = 0;
   uint64_t records_received_ = 0;
   std::map<uint64_t, std::vector<HopRecord>> traces_;
+  // LRU bookkeeping: least-recently-updated trace at the front.
+  std::list<uint64_t> lru_;
+  std::map<uint64_t, std::list<uint64_t>::iterator> lru_pos_;
+  MetricsRegistry metrics_;
+  Counter* evictions_;
 };
 
 }  // namespace ibus::telemetry

@@ -1,0 +1,81 @@
+// Per-node flight recorder: a fixed-capacity ring buffer of structured events
+// (publishes, drops, retransmits, gaps, elections, health transitions). Recording is
+// always on — it is cheap enough to leave enabled in production builds (no IBUS_TELEMETRY
+// gate) — and the buffer can be dumped post-mortem as deterministic JSONL, so a replayed
+// simulation produces a bit-identical dump. Daemons and routers each own one; protocol
+// components (ReliableSender/Receiver, Election) borrow a pointer from their owner.
+#ifndef SRC_TELEMETRY_FLIGHT_RECORDER_H_
+#define SRC_TELEMETRY_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ibus::telemetry {
+
+// Values are part of the JSONL dump format; do not renumber.
+enum class FlightEventKind : uint8_t {
+  kPublish = 1,     // a message entered the bus at this node
+  kDrop = 2,        // a frame or message was discarded (undecodable, loop-suppressed)
+  kRetransmit = 3,  // the reliable sender answered a NAK
+  kGap = 4,         // the reliable receiver abandoned a sequence range
+  kElection = 5,    // election state transition (candidacy, leadership, step-down)
+  kHealth = 6,      // a health-evaluator alert transition
+};
+
+std::string_view FlightEventKindName(FlightEventKind k);
+
+struct FlightEvent {
+  int64_t at_us = 0;
+  FlightEventKind kind = FlightEventKind::kPublish;
+  std::string subject;  // message subject, or empty for protocol-level events
+  std::string detail;   // kind-specific context, e.g. "stream=3 first=10 last=12"
+
+  // One JSON object, stable field order, used for the JSONL dump.
+  std::string ToJson(const std::string& node) const;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::string node, size_t capacity = 256);
+
+  void Record(int64_t at_us, FlightEventKind kind, std::string subject,
+              std::string detail = "");
+
+  const std::string& node() const { return node_; }
+  size_t capacity() const { return capacity_; }
+  // Events currently held (<= capacity).
+  size_t size() const { return size_; }
+  // Total Record() calls over the recorder's lifetime.
+  uint64_t total_recorded() const { return total_recorded_; }
+  // How many events have been overwritten by newer ones.
+  uint64_t overwritten() const {
+    return total_recorded_ - static_cast<uint64_t>(size_);
+  }
+
+  // Retained events, oldest first.
+  std::vector<FlightEvent> Events() const;
+
+  // One JSON object per line, oldest first. Deterministic: a replayed simulation
+  // produces a byte-identical dump.
+  std::string DumpJsonl() const;
+
+  // FNV-1a hash of DumpJsonl(), for replay checks.
+  uint64_t DumpHash() const;
+
+  // The most recent `n` events as "t=..us kind subject detail" lines (for busmon).
+  std::string RenderTail(size_t n) const;
+
+ private:
+  std::string node_;
+  size_t capacity_;
+  std::vector<FlightEvent> ring_;
+  size_t next_ = 0;  // slot the next event goes into
+  size_t size_ = 0;
+  uint64_t total_recorded_ = 0;
+};
+
+}  // namespace ibus::telemetry
+
+#endif  // SRC_TELEMETRY_FLIGHT_RECORDER_H_

@@ -1,0 +1,102 @@
+#include "src/telemetry/health.h"
+
+#include <sstream>
+
+#include "src/wire/wire.h"
+
+namespace ibus::telemetry {
+
+std::string_view HealthEventKindName(HealthEventKind k) {
+  switch (k) {
+    case HealthEventKind::kSlowConsumer:
+      return "slow_consumer";
+    case HealthEventKind::kRetransmitStorm:
+      return "retransmit_storm";
+    case HealthEventKind::kSubscriptionChurn:
+      return "subscription_churn";
+    case HealthEventKind::kPartitionSuspected:
+      return "partition_suspected";
+  }
+  return "unknown";
+}
+
+std::string_view HealthSeverityName(HealthSeverity s) {
+  switch (s) {
+    case HealthSeverity::kClear:
+      return "clear";
+    case HealthSeverity::kWarning:
+      return "warning";
+    case HealthSeverity::kCritical:
+      return "critical";
+  }
+  return "unknown";
+}
+
+std::string HealthSubject(HealthEventKind kind, const std::string& node) {
+  return std::string(kReservedHealthPrefix) + std::string(HealthEventKindName(kind)) + "." +
+         node;
+}
+
+Bytes HealthEvent::Marshal() const {
+  WireWriter w;
+  w.PutU8(kWireVersion);
+  w.PutU8(static_cast<uint8_t>(kind));
+  w.PutU8(static_cast<uint8_t>(severity));
+  w.PutString(node);
+  w.PutString(subject);
+  w.PutI64(value);
+  w.PutI64(threshold);
+  w.PutI64(at_us);
+  return w.Take();
+}
+
+Result<HealthEvent> HealthEvent::Unmarshal(const Bytes& b) {
+  WireReader r(b);
+  auto version = r.ReadU8();
+  if (!version.ok()) {
+    return DataLoss("health: truncated event");
+  }
+  if (*version != kWireVersion) {
+    return Unimplemented("health: unknown event version " + std::to_string(*version));
+  }
+  auto kind = r.ReadU8();
+  auto severity = r.ReadU8();
+  auto node = r.ReadString();
+  auto subject = r.ReadString();
+  auto value = r.ReadI64();
+  auto threshold = r.ReadI64();
+  auto at_us = r.ReadI64();
+  if (!kind.ok() || !severity.ok() || !node.ok() || !subject.ok() || !value.ok() ||
+      !threshold.ok() || !at_us.ok()) {
+    return DataLoss("health: truncated event");
+  }
+  if (*kind < static_cast<uint8_t>(HealthEventKind::kSlowConsumer) ||
+      *kind > static_cast<uint8_t>(HealthEventKind::kPartitionSuspected)) {
+    return DataLoss("health: bad event kind");
+  }
+  if (*severity > static_cast<uint8_t>(HealthSeverity::kCritical)) {
+    return DataLoss("health: bad severity");
+  }
+  HealthEvent e;
+  e.kind = static_cast<HealthEventKind>(*kind);
+  e.severity = static_cast<HealthSeverity>(*severity);
+  e.node = node.take();
+  e.subject = subject.take();
+  e.value = *value;
+  e.threshold = *threshold;
+  e.at_us = *at_us;
+  return e;
+}
+
+std::string HealthEvent::ToString() const {
+  std::ostringstream out;
+  out << "t=" << at_us << "us [" << HealthSeverityName(severity) << "] "
+      << HealthEventKindName(kind) << " node=" << node;
+  if (!subject.empty()) {
+    out << " subject=" << subject;
+  }
+  out << " value=" << value << " threshold=" << threshold;
+  return out.str();
+}
+
+}  // namespace ibus::telemetry

@@ -1,0 +1,69 @@
+// Bus health events. Each daemon runs a HealthEvaluator (src/services/health_monitor.h)
+// that periodically — in simulated time, so deterministically — evaluates rules over
+// its metrics registry and publishes typed HealthEvent transitions on the reserved
+// "_ibus.health.>" namespace. Like trace spans, health events are ordinary bus
+// messages: any client anywhere on the bus (busmon, tests, operator consoles) can
+// subscribe to the alert feed, and routers forward it across the WAN by default.
+#ifndef SRC_TELEMETRY_HEALTH_H_
+#define SRC_TELEMETRY_HEALTH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/subject/subject.h"
+
+namespace ibus::telemetry {
+
+// Events are published on "<kReservedHealthPrefix><kind-name>.<node>".
+inline constexpr char kHealthPattern[] = "_ibus.health.>";       // buslint: allow(reserved-subject)
+inline constexpr char kHealthEventType[] = "_ibus.health.event"; // buslint: allow(reserved-subject)
+
+// What went wrong (or recovered). Values are wire format; do not renumber.
+enum class HealthEventKind : uint8_t {
+  kSlowConsumer = 1,        // receiver gap rate: deliveries being abandoned
+  kRetransmitStorm = 2,     // sender retransmit rate: the medium is lossy/congested
+  kSubscriptionChurn = 3,   // subscribe/unsubscribe rate: flapping clients
+  kPartitionSuspected = 4,  // a previously seen peer's stats feed went silent
+};
+
+enum class HealthSeverity : uint8_t {
+  kClear = 0,     // transition back to healthy (the alert retires)
+  kWarning = 1,   // threshold crossed
+  kCritical = 2,  // well past the threshold (see HealthConfig::critical_factor)
+};
+
+std::string_view HealthEventKindName(HealthEventKind k);
+std::string_view HealthSeverityName(HealthSeverity s);
+
+// Full event subject for a kind raised by `node`, e.g.
+// "_ibus.health.slow_consumer.host2".
+std::string HealthSubject(HealthEventKind kind, const std::string& node);
+
+// One alert transition. Events are edge-triggered: the evaluator publishes exactly
+// one raise when a rule's value crosses its raise threshold and one kClear when it
+// settles back below the clear threshold (hysteresis; no flapping while the value
+// oscillates between the two).
+struct HealthEvent {
+  HealthEventKind kind = HealthEventKind::kSlowConsumer;
+  HealthSeverity severity = HealthSeverity::kWarning;
+  std::string node;     // the reporting host (daemon host name)
+  std::string subject;  // rule-specific scope: peer host, subject prefix; may be empty
+  int64_t value = 0;      // observed value that caused the transition
+  int64_t threshold = 0;  // the threshold it was compared against
+  int64_t at_us = 0;      // simulated time of the transition
+
+  // Versioned wire format: Unmarshal rejects unknown versions with kUnimplemented.
+  static constexpr uint8_t kWireVersion = 1;
+  Bytes Marshal() const;
+  static Result<HealthEvent> Unmarshal(const Bytes& b);
+
+  // Stable one-line rendering, used for alert tables and determinism hashes.
+  std::string ToString() const;
+};
+
+}  // namespace ibus::telemetry
+
+#endif  // SRC_TELEMETRY_HEALTH_H_

@@ -10,6 +10,8 @@ void Violations(Bus* b) {
   b->Publish("_ibus.stats.host0", 1);              // violation: reserved literal
   b->Subscribe("_ibus.trace.>", 2);                // violation: reserved literal
   std::string root = "_ibus";                      // violation: bare root element
+  b->Subscribe("_ibus.health.>", 6);               // violation: health alert feed
+  b->Publish("_ibus.health.slow_consumer.h0", 7);  // violation: concrete alert subject
 }
 
 void Suppressed(Bus* b) {

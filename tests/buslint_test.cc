@@ -96,8 +96,9 @@ TEST(BuslintRawNewDelete, FiresOutsideFactoryIdiom) {
 
 TEST(BuslintReservedSubject, FiresOnHardcodedReservedLiterals) {
   auto vs = LintFixture("src/rmi/reserved_subject.cc", "reserved_subject.cc");
-  // Three violations; the allow()'d line and the non-reserved roots are silent.
-  EXPECT_EQ(CountRule(vs, kRuleReservedSubject), 3u) << Render(vs);
+  // Five violations (stats/trace/bare-root/two health feeds); the allow()'d line and
+  // the non-reserved roots are silent.
+  EXPECT_EQ(CountRule(vs, kRuleReservedSubject), 5u) << Render(vs);
 }
 
 TEST(BuslintReservedSubject, SilentInTelemetryAndServices) {

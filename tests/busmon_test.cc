@@ -1,0 +1,237 @@
+// Always-on pieces of the health plane: the flight recorder ring buffer and JSONL
+// dump, the versioned DaemonStatsSnapshot v2 (typed rejection of unknown versions),
+// per-subject flow accounting in the daemon, and the busmon console's stats view.
+// These must all work with -DIB_TELEMETRY=OFF too — only the evaluator/alert tests
+// (health_test.cc) need telemetry compiled in.
+#include <gtest/gtest.h>
+
+#include "src/services/bus_monitor.h"
+#include "src/telemetry/busmon.h"
+#include "src/telemetry/flight_recorder.h"
+#include "tests/bus_fixture.h"
+
+namespace ibus {
+namespace {
+
+using telemetry::FlightEventKind;
+using telemetry::FlightRecorder;
+
+// --- Flight recorder ---------------------------------------------------------------
+
+TEST(FlightRecorderTest, RecordsAndDumpsInOrder) {
+  FlightRecorder rec("daemon@0", 8);
+  rec.Record(100, FlightEventKind::kPublish, "market.equity.gmc", "bytes=32");
+  rec.Record(250, FlightEventKind::kGap, "", "stream=1 first=4 last=6");
+  EXPECT_EQ(rec.size(), 2u);
+  EXPECT_EQ(rec.total_recorded(), 2u);
+  EXPECT_EQ(rec.overwritten(), 0u);
+
+  auto events = rec.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at_us, 100);
+  EXPECT_EQ(events[0].kind, FlightEventKind::kPublish);
+  EXPECT_EQ(events[1].detail, "stream=1 first=4 last=6");
+
+  const std::string dump = rec.DumpJsonl();
+  EXPECT_NE(dump.find("{\"t\":100,\"node\":\"daemon@0\",\"kind\":\"publish\","
+                      "\"subject\":\"market.equity.gmc\",\"detail\":\"bytes=32\"}"),
+            std::string::npos);
+  EXPECT_NE(dump.find("\"kind\":\"gap\""), std::string::npos);
+}
+
+TEST(FlightRecorderTest, RingOverwritesOldestAtCapacity) {
+  FlightRecorder rec("r", 4);
+  for (int i = 0; i < 10; ++i) {
+    rec.Record(i, FlightEventKind::kPublish, "s" + std::to_string(i));
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.total_recorded(), 10u);
+  EXPECT_EQ(rec.overwritten(), 6u);
+  auto events = rec.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest surviving event first.
+  EXPECT_EQ(events.front().subject, "s6");
+  EXPECT_EQ(events.back().subject, "s9");
+}
+
+TEST(FlightRecorderTest, DumpHashIsStableAndContentSensitive) {
+  FlightRecorder a("n", 8);
+  FlightRecorder b("n", 8);
+  a.Record(1, FlightEventKind::kRetransmit, "", "stream=1 seq=2");
+  b.Record(1, FlightEventKind::kRetransmit, "", "stream=1 seq=2");
+  EXPECT_EQ(a.DumpHash(), b.DumpHash());
+  b.Record(2, FlightEventKind::kGap, "", "stream=1 first=3 last=3");
+  EXPECT_NE(a.DumpHash(), b.DumpHash());
+}
+
+TEST(FlightRecorderTest, JsonEscapesControlAndQuoteCharacters) {
+  FlightRecorder rec("n", 4);
+  rec.Record(5, FlightEventKind::kDrop, "a.b", "bad \"frame\"\n\ttail");
+  const std::string dump = rec.DumpJsonl();
+  EXPECT_NE(dump.find("bad \\\"frame\\\"\\n\\ttail"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, RenderTailShowsMostRecent) {
+  FlightRecorder rec("n", 8);
+  for (int i = 0; i < 6; ++i) {
+    rec.Record(i * 10, FlightEventKind::kPublish, "sub" + std::to_string(i));
+  }
+  const std::string tail = rec.RenderTail(2);
+  EXPECT_EQ(tail.find("sub3"), std::string::npos);
+  EXPECT_NE(tail.find("sub4"), std::string::npos);
+  EXPECT_NE(tail.find("sub5"), std::string::npos);
+}
+
+// --- DaemonStatsSnapshot v2 --------------------------------------------------------
+
+TEST(StatsSnapshotTest, RoundTripsV2WithFlows) {
+  DaemonStatsSnapshot s;
+  s.host_name = "host3";
+  s.reported_at = 123456;
+  s.publishes = 10;
+  s.dispatched = 9;
+  s.deliveries = 8;
+  s.subscriptions = 2;
+  s.wire_packets_sent = 20;
+  s.retransmits = 3;
+  s.receiver_gaps = 1;
+  s.sub_churn = 5;
+  s.flows.push_back({"market", 7, 6, 700, 600});
+  s.flows.push_back({"(other)", 1, 0, 64, 0});
+
+  auto back = DaemonStatsSnapshot::Unmarshal(s.Marshal());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->host_name, "host3");
+  EXPECT_EQ(back->sub_churn, 5u);
+  ASSERT_EQ(back->flows.size(), 2u);
+  EXPECT_EQ(back->flows[0].prefix, "market");
+  EXPECT_EQ(back->flows[0].publishes, 7u);
+  EXPECT_EQ(back->flows[0].bytes_out, 600u);
+  EXPECT_EQ(back->flows[1].prefix, "(other)");
+}
+
+TEST(StatsSnapshotTest, RejectsUnknownVersionWithTypedError) {
+  DaemonStatsSnapshot s;
+  s.host_name = "h";
+  Bytes b = s.Marshal();
+  ASSERT_FALSE(b.empty());
+  b[0] = 99;  // an unknown future version
+  auto back = DaemonStatsSnapshot::Unmarshal(b);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kUnimplemented);
+
+  // Truncation stays a distinct (data-loss) failure.
+  Bytes truncated(b.begin(), b.begin() + 1);
+  truncated[0] = DaemonStatsSnapshot::kWireVersion;
+  auto short_read = DaemonStatsSnapshot::Unmarshal(truncated);
+  ASSERT_FALSE(short_read.ok());
+  EXPECT_EQ(short_read.status().code(), StatusCode::kDataLoss);
+}
+
+// --- Daemon flow accounting --------------------------------------------------------
+
+class FlowAccountingTest : public BusFixture {};
+
+TEST_F(FlowAccountingTest, DaemonCountsPerSubjectPrefix) {
+  SetUpBus(2);
+  auto pub = MakeClient(0, "pub");
+  auto sub = MakeClient(1, "sub");
+  ASSERT_TRUE(sub->Subscribe("market.>", [](const Message&) {}).ok());
+  Settle();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(pub->Publish("market.equity.gmc", ToBytes("x")).ok());
+  }
+  ASSERT_TRUE(pub->Publish("news.equity.gmc", ToBytes("y")).ok());
+  Settle();
+
+  const auto& pub_flows = daemons_[0]->subject_flows();
+  ASSERT_TRUE(pub_flows.count("market"));
+  EXPECT_EQ(pub_flows.at("market").publishes, 5u);
+  EXPECT_GT(pub_flows.at("market").bytes_in, 0u);
+  ASSERT_TRUE(pub_flows.count("news"));
+  EXPECT_EQ(pub_flows.at("news").publishes, 1u);
+
+  const auto& sub_flows = daemons_[1]->subject_flows();
+  ASSERT_TRUE(sub_flows.count("market"));
+  EXPECT_EQ(sub_flows.at("market").deliveries, 5u);
+  EXPECT_GT(sub_flows.at("market").bytes_out, 0u);
+  // "news.>" had no subscriber on host1: no delivery flow there.
+  EXPECT_EQ(sub_flows.count("news"), 0u);
+}
+
+TEST_F(FlowAccountingTest, SubscriptionChurnIsCounted) {
+  SetUpBus(1);
+  auto client = MakeClient(0, "churner");
+  Settle(500 * kMillisecond);
+  const uint64_t before = daemons_[0]->stats().sub_churn;
+  auto sub = client->Subscribe("a.b", [](const Message&) {});
+  ASSERT_TRUE(sub.ok());
+  Settle(500 * kMillisecond);
+  ASSERT_TRUE(client->Unsubscribe(*sub).ok());
+  Settle(500 * kMillisecond);
+  EXPECT_EQ(daemons_[0]->stats().sub_churn, before + 2);
+}
+
+TEST_F(FlowAccountingTest, DaemonRecordsPublishesInFlightRecorder) {
+  SetUpBus(1);
+  auto pub = MakeClient(0, "pub");
+  ASSERT_TRUE(pub->Publish("fab5.cc.litho8", ToBytes("reading")).ok());
+  Settle();
+  bool saw_publish = false;
+  for (const auto& e : daemons_[0]->flight_recorder()->Events()) {
+    if (e.kind == FlightEventKind::kPublish && e.subject == "fab5.cc.litho8") {
+      saw_publish = true;
+    }
+  }
+  EXPECT_TRUE(saw_publish);
+  EXPECT_NE(daemons_[0]->flight_recorder()->DumpJsonl().find("fab5.cc.litho8"),
+            std::string::npos);
+}
+
+// --- BusMon console ----------------------------------------------------------------
+
+class BusMonTest : public BusFixture {};
+
+TEST_F(BusMonTest, RendersFleetStatsAndTopFlows) {
+  SetUpBus(2);
+  auto pub = MakeClient(0, "pub");
+  auto sub = MakeClient(1, "sub");
+  ASSERT_TRUE(sub->Subscribe("market.>", [](const Message&) {}).ok());
+
+  std::vector<std::unique_ptr<BusClient>> ops;
+  std::vector<std::unique_ptr<StatsReporter>> reporters;
+  for (int i = 0; i < 2; ++i) {
+    ops.push_back(MakeClient(i, "ops" + std::to_string(i)));
+    auto rep = StatsReporter::Create(ops.back().get(), daemons_[static_cast<size_t>(i)].get(),
+                                     500 * kMillisecond);
+    ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+    reporters.push_back(rep.take());
+  }
+  auto mon_bus = MakeClient(0, "busmon");
+  auto mon = telemetry::BusMon::Create(mon_bus.get());
+  ASSERT_TRUE(mon.ok()) << mon.status().ToString();
+  (*mon)->AttachRecorder(daemons_[0]->flight_recorder());
+
+  Settle();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pub->Publish("market.equity.gmc", ToBytes("t" + std::to_string(i))).ok());
+  }
+  Settle();
+
+  ASSERT_EQ((*mon)->snapshots().size(), 2u);
+  const std::string frame = (*mon)->RenderSnapshot();
+  EXPECT_NE(frame.find("host0"), std::string::npos);
+  EXPECT_NE(frame.find("host1"), std::string::npos);
+  EXPECT_NE(frame.find("top subjects by flow:"), std::string::npos);
+  EXPECT_NE(frame.find("market"), std::string::npos);
+  EXPECT_NE(frame.find("flight recorder daemon@0"), std::string::npos);
+#if IBUS_TELEMETRY
+  EXPECT_NE(frame.find("active alerts: none"), std::string::npos);
+#endif
+  // Rendering is pure: same state, same frame, same hash.
+  EXPECT_EQ(frame, (*mon)->RenderSnapshot());
+  EXPECT_EQ((*mon)->SnapshotHash(), (*mon)->SnapshotHash());
+}
+
+}  // namespace
+}  // namespace ibus

@@ -16,10 +16,14 @@
 #include "src/bus/daemon.h"
 #include "src/common/rng.h"
 #include "src/router/router.h"
+#include "src/services/bus_monitor.h"
+#include "src/services/health_monitor.h"
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
 #include "src/sim/stable_store.h"
+#include "src/telemetry/busmon.h"
 #include "src/telemetry/collector.h"
+#include "src/telemetry/health.h"
 
 namespace ibus {
 namespace {
@@ -290,6 +294,126 @@ std::vector<std::string> RunTracedCertifiedWanScenario(uint64_t seed) {
 }
 #endif  // IBUS_TELEMETRY
 
+// --- Scenario 5: the health plane under a loss episode ------------------------------
+//
+// A 3-host LAN with a deliberately tiny sender retain buffer rides through a burst of
+// 30% loss: retransmits age out, receivers declare gaps, and every host's
+// HealthEvaluator must raise (and later clear) alerts on "_ibus.health.>" — exactly
+// once per episode, thanks to hysteresis. The trace captures the live alert feed, the
+// per-daemon flight-recorder dump hashes, and the full busmon console frame, all of
+// which must replay bit-identically.
+
+#if IBUS_TELEMETRY
+std::vector<std::string> RunHealthPlaneScenario(uint64_t seed) {
+  Simulator sim;
+  Network net(&sim, seed);
+  SegmentId seg = net.AddSegment();
+  BusConfig config;
+  // A 2-deep retransmit buffer turns dropped retransmits into receiver gaps fast —
+  // the raw material for slow-consumer alerts.
+  config.reliable.retain_messages = 2;
+  std::vector<HostId> hosts;
+  std::vector<std::unique_ptr<BusDaemon>> daemons;
+  for (int i = 0; i < 3; ++i) {
+    hosts.push_back(net.AddHost("host" + std::to_string(i), seg));
+    auto d = BusDaemon::Start(&net, hosts.back(), config);
+    EXPECT_TRUE(d.ok());
+    daemons.push_back(d.take());
+  }
+
+  // The observability plane: every host reports stats and evaluates health rules.
+  HealthConfig hc;
+  hc.retransmit_raise = 4;
+  hc.clear_hold_intervals = 4;  // 1s of clean intervals before an alert retires
+  std::vector<std::unique_ptr<BusClient>> ops;
+  std::vector<std::unique_ptr<StatsReporter>> reporters;
+  std::vector<std::unique_ptr<HealthEvaluator>> evaluators;
+  for (int i = 0; i < 3; ++i) {
+    ops.push_back(MustConnect(&net, hosts[i], "ops" + std::to_string(i)));
+    auto rep = StatsReporter::Create(ops.back().get(), daemons[i].get(), 500 * kMillisecond);
+    EXPECT_TRUE(rep.ok()) << rep.status().ToString();
+    reporters.push_back(rep.take());
+    auto ev = HealthEvaluator::Create(ops.back().get(), daemons[i].get(), hc);
+    EXPECT_TRUE(ev.ok()) << ev.status().ToString();
+    evaluators.push_back(ev.take());
+  }
+
+  // The operator console, co-hosted with host0; it also borrows the consumer host's
+  // flight recorder for the post-mortem excerpt section.
+  auto mon_bus = MustConnect(&net, hosts[0], "busmon");
+  auto mon = telemetry::BusMon::Create(mon_bus.get());
+  EXPECT_TRUE(mon.ok()) << mon.status().ToString();
+  (*mon)->AttachRecorder(daemons[2]->flight_recorder());
+
+  std::vector<std::string> trace;
+  EXPECT_TRUE(mon_bus->Subscribe(telemetry::kHealthPattern, [&](const Message& m) {
+                     auto e = telemetry::HealthEvent::Unmarshal(m.payload);
+                     if (e.ok()) {
+                       trace.push_back("t=" + std::to_string(sim.Now()) + " alert " +
+                                       e->ToString());
+                     }
+                   }).ok());
+
+  auto consumer = MustConnect(&net, hosts[2], "consumer");
+  uint64_t received = 0;
+  EXPECT_TRUE(consumer->Subscribe("market.>", [&](const Message&) { received++; }).ok());
+  sim.RunFor(1 * kSecond);  // control plane settles, first stats snapshots land
+
+  auto pub = MustConnect(&net, hosts[0], "producer");
+  Rng workload(seed + 3);
+  // Clean warm-up.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(pub->Publish("market.equity.gmc", ToBytes("tick" + std::to_string(i))).ok());
+    sim.RunFor(workload.NextInRange(5000, 15000));
+  }
+  // The loss episode: heavy drop while publishing fast enough that dropped
+  // retransmits age out of the 2-deep retain buffer.
+  FaultPlan faults;
+  faults.drop_prob = 0.30;
+  faults.jitter_us = 300;
+  net.SetFaultPlan(seg, faults);
+  for (int i = 0; i < 60; ++i) {
+    EXPECT_TRUE(pub->Publish("market.equity.gmc", ToBytes("lossy" + std::to_string(i))).ok());
+    sim.RunFor(workload.NextInRange(5000, 10000));
+  }
+  // Heal and keep publishing cleanly so gap/retransmit rates fall back to zero.
+  net.SetFaultPlan(seg, FaultPlan());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(pub->Publish("market.equity.gmc", ToBytes("calm" + std::to_string(i))).ok());
+    sim.RunFor(100 * kMillisecond);
+  }
+  sim.RunFor(5 * kSecond);
+
+  trace.push_back("consumer received=" + std::to_string(received));
+  for (int i = 0; i < 3; ++i) {
+    // Per-kind transition counts: the hysteresis contract is one raise + one clear
+    // per episode, never a flap.
+    size_t slow_raises = 0, slow_clears = 0, storm_raises = 0, storm_clears = 0;
+    for (const telemetry::HealthEvent& e : evaluators[i]->events()) {
+      const bool clear = e.severity == telemetry::HealthSeverity::kClear;
+      if (e.kind == telemetry::HealthEventKind::kSlowConsumer) {
+        (clear ? slow_clears : slow_raises)++;
+      } else if (e.kind == telemetry::HealthEventKind::kRetransmitStorm) {
+        (clear ? storm_clears : storm_raises)++;
+      }
+    }
+    trace.push_back("health host" + std::to_string(i) + " slow_raises=" +
+                    std::to_string(slow_raises) + " slow_clears=" + std::to_string(slow_clears) +
+                    " storm_raises=" + std::to_string(storm_raises) + " storm_clears=" +
+                    std::to_string(storm_clears) + " active_end=" +
+                    std::to_string(evaluators[i]->active_alerts()));
+    trace.push_back("recorder host" + std::to_string(i) + " total=" +
+                    std::to_string(daemons[i]->flight_recorder()->total_recorded()) +
+                    " dump_hash=" + std::to_string(daemons[i]->flight_recorder()->DumpHash()));
+  }
+  trace.push_back((*mon)->RenderSnapshot());
+  trace.push_back("busmon hash=" + std::to_string((*mon)->SnapshotHash()) + " transitions=" +
+                  std::to_string((*mon)->alert_history().size()) + " active=" +
+                  std::to_string((*mon)->active_alert_count()));
+  return trace;
+}
+#endif  // IBUS_TELEMETRY
+
 // --- The replay gate ---------------------------------------------------------------
 
 using ScenarioFn = std::vector<std::string> (*)(uint64_t seed);
@@ -326,6 +450,42 @@ TEST(SimReplayCheck, CertifiedDeliveryIsDeterministic) {
 TEST(SimReplayCheck, TracedCertifiedWanIsDeterministic) {
   CheckReplay("traced_certified_wan", &RunTracedCertifiedWanScenario, 42);
   CheckReplay("traced_certified_wan", &RunTracedCertifiedWanScenario, 1993);
+}
+
+TEST(SimReplayCheck, HealthPlaneIsDeterministic) {
+  CheckReplay("health_plane", &RunHealthPlaneScenario, 42);
+  CheckReplay("health_plane", &RunHealthPlaneScenario, 1993);
+}
+
+// The hysteresis contract under a single loss episode: the consumer host raises
+// SLOW_CONSUMER exactly once and clears it exactly once — no flapping while the gap
+// rate oscillates during the episode — and the publisher host sees the retransmit
+// storm. By the end every alert has retired.
+TEST(SimReplayCheck, HealthAlertsRaiseOnceAndClearOncePerEpisode) {
+  auto trace = RunHealthPlaneScenario(42);
+  bool saw_consumer_line = false, saw_publisher_line = false;
+  for (const std::string& e : trace) {
+    if (e.rfind("health host2 ", 0) == 0) {
+      saw_consumer_line = true;
+      EXPECT_NE(e.find("slow_raises=1 slow_clears=1"), std::string::npos) << e;
+      EXPECT_NE(e.find("active_end=0"), std::string::npos) << e;
+    }
+    if (e.rfind("health host0 ", 0) == 0) {
+      saw_publisher_line = true;
+      EXPECT_EQ(e.find("storm_raises=0"), std::string::npos) << e;
+      EXPECT_NE(e.find("active_end=0"), std::string::npos) << e;
+    }
+  }
+  EXPECT_TRUE(saw_consumer_line);
+  EXPECT_TRUE(saw_publisher_line);
+  // The live "_ibus.health.>" feed must actually have carried the transitions.
+  size_t live_alerts = 0;
+  for (const std::string& e : trace) {
+    if (e.find(" alert t=") != std::string::npos) {
+      ++live_alerts;
+    }
+  }
+  EXPECT_GE(live_alerts, 4u);  // >= raise+clear on both the consumer and publisher
 }
 #endif
 

@@ -225,6 +225,44 @@ TEST_F(TelemetryBusTest, UntracedAndInternalTrafficEmitsNoSpans) {
   EXPECT_EQ((*collector)->records_received(), 0u);
 }
 
+TEST_F(TelemetryBusTest, CollectorEvictsLeastRecentTraceAtCap) {
+  BusConfig config;
+  config.trace_publishes = true;
+  SetUpBus(2, config);
+  auto monitor = MakeClient(0, "monitor");
+  telemetry::TraceCollectorOptions options;
+  options.max_traces = 0;
+  EXPECT_EQ(TraceCollector::Create(monitor.get(), options).status().code(),
+            StatusCode::kInvalidArgument);
+
+  options.max_traces = 2;
+  auto collector = TraceCollector::Create(monitor.get(), options);
+  ASSERT_TRUE(collector.ok()) << collector.status().ToString();
+
+  auto sub = MakeClient(1, "consumer");
+  ASSERT_TRUE(sub->Subscribe("news.>", [](const Message&) {}).ok());
+  Settle(200 * kMillisecond);
+
+  auto pub = MakeClient(1, "producer");
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(pub->Publish("news.item" + std::to_string(i), ToBytes("x")).ok());
+    Settle(1 * kSecond);  // each trace completes before the next starts
+  }
+
+  // Three traces flowed through a 2-deep collector: the oldest was evicted.
+  EXPECT_EQ((*collector)->trace_count(), 2u);
+  EXPECT_EQ((*collector)->evictions(), 1u);
+  std::set<std::string> kept_subjects;
+  for (uint64_t id : (*collector)->trace_ids()) {
+    for (const HopRecord& h : (*collector)->Timeline(id)) {
+      kept_subjects.insert(h.subject);
+    }
+  }
+  EXPECT_EQ(kept_subjects.count("news.item0"), 0u);
+  EXPECT_EQ(kept_subjects.count("news.item1"), 1u);
+  EXPECT_EQ(kept_subjects.count("news.item2"), 1u);
+}
+
 // --- Certified publish across the WAN under loss -----------------------------------
 
 TEST(TelemetryWanTest, CertifiedWanTraceIsComplete) {
