@@ -1,9 +1,17 @@
 // Ablation A6: information-router overhead (paper §3.1). Two Ethernets joined by a
 // router pair over a T1-class WAN link. Measures cross-LAN latency versus local
 // latency and shows that only remotely subscribed subjects consume WAN bandwidth.
+// A wire tap rides along for the whole measured phase: the per-segment bandwidth
+// breakdown (goodput / envelope / frame overhead / retransmit / internal) lands in
+// the $BENCH_BANDWIDTH_JSON file, which scripts/bench.sh embeds as the
+// "router_wan" section of BENCH_4.json.
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench/bench_util.h"
+#include "src/capture/bandwidth.h"
+#include "src/capture/capture.h"
+#include "src/capture/reassembly.h"
 #include "src/router/router.h"
 
 namespace ibus {
@@ -54,6 +62,20 @@ void Run() {
       .ok();
   sim.RunFor(500 * kMillisecond);
 
+  // Tap the steady-state phase: everything from the first measured publish to the
+  // end of the selectivity check feeds the bandwidth accountant.
+  capture::CaptureBuffer tap;
+  net.AttachTap(&tap);
+
+  std::vector<BenchResult> results;
+  auto to_us = [](const std::vector<double>& ms) {
+    std::vector<double> us;
+    us.reserve(ms.size());
+    for (double v : ms) {
+      us.push_back(v * 1000.0);
+    }
+    return us;
+  };
   for (size_t size : {size_t{256}, size_t{1024}, size_t{4096}}) {
     local_ms.clear();
     remote_ms.clear();
@@ -66,6 +88,10 @@ void Run() {
                 "%8.3f ms\n",
                 size, Summarize(local_ms).mean, Summarize(remote_ms).mean,
                 Summarize(remote_ms).mean - Summarize(local_ms).mean);
+    results.push_back(
+        MakeLatencyResult("router_wan_local/" + std::to_string(size), to_us(local_ms)));
+    results.push_back(
+        MakeLatencyResult("router_wan_cross/" + std::to_string(size), to_us(remote_ms)));
   }
 
   // Selectivity: unsubscribed traffic never crosses.
@@ -77,6 +103,19 @@ void Run() {
   std::printf("\n50 messages on locally-only subjects -> %llu crossed the WAN "
               "(router selectivity)\n",
               static_cast<unsigned long long>(ra->stats().forwarded - forwarded_before));
+
+  net.DetachTap(&tap);
+  capture::ReassemblyReport reassembly = capture::Reassemble(tap.frames());
+  capture::BandwidthReport bw = capture::AccountBandwidth(tap.frames(), reassembly);
+  std::printf("\n%s", capture::RenderBandwidthText(bw).c_str());
+
+  EmitBenchJson(results);
+  if (const char* path = std::getenv("BENCH_BANDWIDTH_JSON"); path != nullptr) {
+    if (std::FILE* f = std::fopen(path, "w"); f != nullptr) {
+      std::fprintf(f, "%s\n", capture::BandwidthJson(bw).c_str());
+      std::fclose(f);
+    }
+  }
 }
 
 }  // namespace

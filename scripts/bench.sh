@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Runs the JSON-emitting benchmarks and assembles their per-binary JSON lines into
-# BENCH_3.json (schema BENCH_3: one row per measurement with name, latency-or-rate
-# percentiles, and msgs/sec — same row shape as BENCH_2). Afterwards, diffs the fresh
-# numbers against the newest previous BENCH_*.json via scripts/bench_diff.py and fails
-# on a >10% latency regression. See docs/TELEMETRY.md.
+# BENCH_4.json (schema BENCH_4: one row per measurement with name, latency-or-rate
+# percentiles, and msgs/sec — same row shape as BENCH_2/3 — plus a "router_wan"
+# section carrying the per-segment bandwidth breakdown from the capture accountant,
+# see src/capture/bandwidth.h). Afterwards, diffs the fresh numbers against the
+# newest previous BENCH_*.json via scripts/bench_diff.py and fails on a >10%
+# latency regression or a >10% throughput-bench delivery-rate drop.
+# See docs/TELEMETRY.md.
 #
-#   scripts/bench.sh                     # build in build-bench/, write BENCH_3.json
+#   scripts/bench.sh                     # build in build-bench/, write BENCH_4.json
 #   BUILD_DIR=build scripts/bench.sh     # reuse an existing build dir
 #   OUT=/tmp/b.json scripts/bench.sh     # write somewhere else
 #   BENCHES="rmi_latency" scripts/bench.sh  # run a subset
@@ -14,8 +17,8 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-bench}
 JOBS=${JOBS:-$(nproc)}
-OUT=${OUT:-BENCH_3.json}
-BENCHES=${BENCHES:-"rmi_latency fig5_latency fig6_throughput_msgs fig7_throughput_bytes fig8_subjects"}
+OUT=${OUT:-BENCH_4.json}
+BENCHES=${BENCHES:-"rmi_latency fig5_latency fig6_throughput_msgs fig7_throughput_bytes fig8_subjects router_wan"}
 
 echo "== configure + build (${BUILD_DIR})"
 cmake -B "${BUILD_DIR}" -S . > /dev/null
@@ -27,12 +30,20 @@ trap 'rm -rf "${tmpdir}"' EXIT
 
 for b in ${BENCHES}; do
   echo "== ${b}"
-  BENCH_JSON="${tmpdir}/${b}.jsonl" "${BUILD_DIR}/bench/${b}" > "${tmpdir}/${b}.log"
+  : > "${tmpdir}/${b}.jsonl"
+  # router_wan additionally exports its bandwidth breakdown for the BENCH section.
+  BENCH_JSON="${tmpdir}/${b}.jsonl" \
+    BENCH_BANDWIDTH_JSON="${tmpdir}/${b}.bandwidth.json" \
+    "${BUILD_DIR}/bench/${b}" > "${tmpdir}/${b}.log"
   tail -3 "${tmpdir}/${b}.log" | sed 's/^/   /'
 done
 
 {
-  printf '{"schema": "BENCH_3", "results": [\n'
+  printf '{"schema": "BENCH_4",\n'
+  if [ -s "${tmpdir}/router_wan.bandwidth.json" ]; then
+    printf '"router_wan": %s,\n' "$(cat "${tmpdir}/router_wan.bandwidth.json")"
+  fi
+  printf '"results": [\n'
   first=1
   for b in ${BENCHES}; do
     while IFS= read -r line; do

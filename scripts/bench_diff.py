@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Diff two BENCH_*.json files and fail on latency regressions.
+"""Diff two BENCH_*.json files and fail on latency or throughput regressions.
 
 Usage: bench_diff.py BASELINE.json CURRENT.json [--threshold PCT]
 
@@ -7,8 +7,10 @@ Both files carry {"schema": "BENCH_N", "results": [{"name", "p50_us", "p90_us",
 "p99_us", "msgs_per_sec"}, ...]} — the row shape is stable across schema versions.
 Rows are matched by name; for each shared row the per-percentile latency delta and
 the throughput delta are printed. Exits non-zero if any latency percentile on any
-shared row regresses by more than the threshold (default 10%). Rows present on only
-one side are reported but never fail the run (benchmarks come and go across PRs).
+shared row regresses by more than the threshold (default 10%), or if the delivery
+rate (msgs_per_sec) of a throughput bench — any row whose name contains
+"throughput" — drops by more than the threshold. Rows present on only one side are
+reported but never fail the run (benchmarks come and go across PRs).
 
 The deterministic simulator makes bench numbers replayable, so a genuine regression
 here is a code change, not scheduler noise.
@@ -22,6 +24,9 @@ LATENCY_KEYS = ("p50_us", "p90_us", "p99_us")
 # Sub-millisecond percentiles jitter by whole simulator ticks; don't flag noise on
 # effectively-zero baselines.
 MIN_BASELINE_US = 1.0
+# Delivery-rate drops only fail rows that are actually throughput benches, and only
+# above a sane baseline (latency benches report token rates or zero).
+MIN_BASELINE_RATE = 1.0
 
 
 def load(path):
@@ -64,7 +69,12 @@ def main():
                 regressions.append(f"{name}: {key} {bv:.1f}us -> {cv:.1f}us ({pct:+.1f}%)")
         brate, crate = b.get("msgs_per_sec", 0.0), c.get("msgs_per_sec", 0.0)
         if brate > 0:
-            cells.append(f"rate {brate:.0f}->{crate:.0f}/s ({(crate - brate) / brate * 100.0:+.1f}%)")
+            rate_pct = (crate - brate) / brate * 100.0
+            cells.append(f"rate {brate:.0f}->{crate:.0f}/s ({rate_pct:+.1f}%)")
+            if ("throughput" in name and brate >= MIN_BASELINE_RATE
+                    and -rate_pct > args.threshold):
+                regressions.append(
+                    f"{name}: msgs_per_sec {brate:.1f}/s -> {crate:.1f}/s ({rate_pct:+.1f}%)")
         print(f"  {name:40s} " + "  ".join(cells))
 
     for name in sorted(set(base) - set(cur)):
@@ -73,12 +83,12 @@ def main():
         print(f"  {name:40s} (new: no baseline)")
 
     if regressions:
-        print(f"bench_diff: FAIL — {len(regressions)} latency regression(s) > "
+        print(f"bench_diff: FAIL — {len(regressions)} regression(s) > "
               f"{args.threshold:.0f}%:", file=sys.stderr)
         for r in regressions:
             print(f"  {r}", file=sys.stderr)
         return 1
-    print("bench_diff: OK — no latency regression beyond threshold")
+    print("bench_diff: OK — no latency or throughput regression beyond threshold")
     return 0
 
 

@@ -28,6 +28,9 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -L telemetry
 echo "== health plane tests (ctest -L health: flows, alerts, flight recorder, busmon)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L health
 
+echo "== wire capture tests (ctest -L capture: tap fates, dissection, buscap goldens)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L capture
+
 echo "== buslint over src/ bench/ examples/ tools/"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L lint
 

@@ -1,0 +1,187 @@
+#include "src/capture/bandwidth.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/capture/dissect.h"
+
+namespace ibus::capture {
+
+namespace {
+
+// Byte shares of one transmission, in classification order.
+struct Split {
+  uint64_t frame_overhead = 0;
+  uint64_t retransmit = 0;
+  uint64_t internal = 0;
+  uint64_t goodput = 0;
+  uint64_t envelope = 0;
+};
+
+void Accumulate(SegmentBandwidth* b, const Split& s, uint64_t wire_us,
+                uint64_t wire_bytes) {
+  b->transmissions++;
+  b->busy_us += wire_us;
+  b->total_bytes += wire_bytes;
+  BandwidthShare* shares[] = {&b->frame_overhead, &b->retransmit, &b->internal,
+                              &b->goodput, &b->envelope};
+  const uint64_t bytes[] = {s.frame_overhead, s.retransmit, s.internal, s.goodput,
+                            s.envelope};
+  // Integer-proportional microsecond split; the rounding remainder goes to the
+  // bucket holding the most bytes (first wins ties) so the per-segment sum is
+  // exact and deterministic.
+  uint64_t assigned = 0;
+  size_t biggest = 0;
+  for (size_t i = 0; i < 5; ++i) {
+    shares[i]->bytes += bytes[i];
+    uint64_t us = wire_bytes == 0 ? 0 : wire_us * bytes[i] / wire_bytes;
+    shares[i]->us += us;
+    assigned += us;
+    if (bytes[i] > bytes[biggest]) {
+      biggest = i;
+    }
+  }
+  shares[biggest]->us += wire_us - assigned;
+}
+
+std::string Pct(uint64_t part, uint64_t whole) {
+  if (whole == 0) {
+    return "0.0%";
+  }
+  uint64_t tenths = part * 1000 / whole;
+  return std::to_string(tenths / 10) + "." + std::to_string(tenths % 10) + "%";
+}
+
+std::string ShareJson(const char* name, const BandwidthShare& s) {
+  return std::string("\"") + name + "\": {\"us\": " + std::to_string(s.us) +
+         ", \"bytes\": " + std::to_string(s.bytes) + "}";
+}
+
+std::string SegmentJson(const SegmentBandwidth& b, bool with_segment) {
+  std::string out = "{";
+  if (with_segment) {
+    out += "\"segment\": " + std::to_string(b.segment) + ", ";
+  }
+  out += "\"transmissions\": " + std::to_string(b.transmissions) +
+         ", \"records\": " + std::to_string(b.records) +
+         ", \"busy_us\": " + std::to_string(b.busy_us) +
+         ", \"total_bytes\": " + std::to_string(b.total_bytes) + ", " +
+         ShareJson("goodput", b.goodput) + ", " + ShareJson("envelope", b.envelope) +
+         ", " + ShareJson("frame_overhead", b.frame_overhead) + ", " +
+         ShareJson("retransmit", b.retransmit) + ", " +
+         ShareJson("internal", b.internal) + "}";
+  return out;
+}
+
+}  // namespace
+
+BandwidthReport AccountBandwidth(const std::vector<CapturedFrame>& frames,
+                                 const ReassemblyReport& reassembly) {
+  BandwidthReport report;
+  std::map<SegmentId, SegmentBandwidth> by_segment;
+
+  // Connection messages span chunk records: the first chunk carries the message
+  // bytes, continuations are timing-only. Classify the group once and let the
+  // goodput budget flow across chunks in order.
+  struct ConnGroup {
+    bool internal = false;
+    uint64_t remaining_goodput = 0;
+  };
+  std::map<uint64_t, ConnGroup> conn_groups;
+  for (const CapturedFrame& f : frames) {
+    if (f.conn_id != 0 && !f.continuation) {
+      Dissection d = DissectFrame(f.payload);
+      conn_groups[f.conn_msg_id] = ConnGroup{d.internal, d.app_payload_bytes};
+    }
+  }
+
+  std::set<uint64_t> charged_tx;
+  for (const CapturedFrame& f : frames) {
+    SegmentBandwidth& seg = by_segment[f.segment];
+    seg.segment = f.segment;
+    seg.records++;
+    // Charge the medium once per transmission: skip fan-out/duplicate siblings and
+    // records that never occupied the wire (unicast fault loss, MTU rejection).
+    if (f.wire_us == 0 || !charged_tx.insert(f.tx_id).second) {
+      continue;
+    }
+    const uint64_t payload_bytes =
+        f.wire_bytes > f.frame_overhead ? f.wire_bytes - f.frame_overhead : 0;
+    Split split;
+    split.frame_overhead = f.wire_bytes - payload_bytes;
+    if (reassembly.retransmit_tx_ids.count(f.tx_id) > 0) {
+      split.retransmit = payload_bytes;
+    } else if (f.conn_id != 0) {
+      auto it = conn_groups.find(f.conn_msg_id);
+      if (it != conn_groups.end() && it->second.internal) {
+        split.internal = payload_bytes;
+      } else if (it != conn_groups.end()) {
+        split.goodput = std::min(it->second.remaining_goodput, payload_bytes);
+        it->second.remaining_goodput -= split.goodput;
+        split.envelope = payload_bytes - split.goodput;
+      } else {
+        split.envelope = payload_bytes;  // continuation without its head chunk
+      }
+    } else {
+      Dissection d = DissectFrame(f.payload);
+      if (d.internal) {
+        split.internal = payload_bytes;
+      } else {
+        split.goodput = std::min<uint64_t>(d.app_payload_bytes, payload_bytes);
+        split.envelope = payload_bytes - split.goodput;
+      }
+    }
+    Accumulate(&seg, split, static_cast<uint64_t>(f.wire_us), f.wire_bytes);
+  }
+
+  for (auto& [id, seg] : by_segment) {
+    report.segments.push_back(seg);
+    report.total.transmissions += seg.transmissions;
+    report.total.records += seg.records;
+    report.total.busy_us += seg.busy_us;
+    report.total.total_bytes += seg.total_bytes;
+    const BandwidthShare* src[] = {&seg.goodput, &seg.envelope, &seg.frame_overhead,
+                                   &seg.retransmit, &seg.internal};
+    BandwidthShare* dst[] = {&report.total.goodput, &report.total.envelope,
+                             &report.total.frame_overhead, &report.total.retransmit,
+                             &report.total.internal};
+    for (size_t i = 0; i < 5; ++i) {
+      dst[i]->us += src[i]->us;
+      dst[i]->bytes += src[i]->bytes;
+    }
+  }
+  return report;
+}
+
+std::string RenderBandwidthText(const BandwidthReport& r) {
+  std::string out = "bandwidth: segments=" + std::to_string(r.segments.size()) +
+                    " busy_us=" + std::to_string(r.total.busy_us) + "\n";
+  auto line = [](const std::string& name, const SegmentBandwidth& b) {
+    return "  " + name + ": tx=" + std::to_string(b.transmissions) + " busy_us=" +
+           std::to_string(b.busy_us) + " bytes=" + std::to_string(b.total_bytes) +
+           " | goodput=" + Pct(b.goodput.us, b.busy_us) + " envelope=" +
+           Pct(b.envelope.us, b.busy_us) + " frame=" +
+           Pct(b.frame_overhead.us, b.busy_us) + " retransmit=" +
+           Pct(b.retransmit.us, b.busy_us) + " internal=" +
+           Pct(b.internal.us, b.busy_us) + "\n";
+  };
+  for (const SegmentBandwidth& b : r.segments) {
+    out += line("segment " + std::to_string(b.segment) +
+                    (b.segment == 0 ? " (wan)" : ""),
+                b);
+  }
+  out += line("total", r.total);
+  return out;
+}
+
+std::string BandwidthJson(const BandwidthReport& r) {
+  std::string out = "{\"segments\": [";
+  for (size_t i = 0; i < r.segments.size(); ++i) {
+    out += (i ? ", " : "") + SegmentJson(r.segments[i], /*with_segment=*/true);
+  }
+  out += "], \"total\": " + SegmentJson(r.total, /*with_segment=*/false) + "}";
+  return out;
+}
+
+}  // namespace ibus::capture

@@ -1,0 +1,56 @@
+// Bandwidth accountant: splits each segment's occupied microseconds (and wire
+// bytes) into goodput / bus-envelope overhead / frame overhead / retransmit /
+// internal-namespace traffic — the appendix's overhead-per-message analysis as a
+// first-class report. Medium time is de-duplicated by transmission id, so a
+// broadcast that fans out into N capture records (or gains fault duplicates) is
+// charged exactly once.
+#ifndef SRC_CAPTURE_BANDWIDTH_H_
+#define SRC_CAPTURE_BANDWIDTH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/capture/reassembly.h"
+#include "src/sim/network.h"
+
+namespace ibus::capture {
+
+struct BandwidthShare {
+  uint64_t us = 0;
+  uint64_t bytes = 0;
+};
+
+struct SegmentBandwidth {
+  SegmentId segment = 0;
+  uint64_t transmissions = 0;  // distinct tx_ids that occupied the medium
+  uint64_t records = 0;        // capture records observed on the segment
+  uint64_t busy_us = 0;        // total serialization occupancy
+  uint64_t total_bytes = 0;
+  BandwidthShare goodput;         // application message payload bytes
+  BandwidthShare envelope;        // bus framing: frame+packet headers, Message
+                                  // envelope, and payload-less control frames
+  BandwidthShare frame_overhead;  // modelled eth/ip/udp header bytes
+  BandwidthShare retransmit;      // payload portion of retransmitted transmissions
+  BandwidthShare internal;        // reserved "_ibus." namespace traffic
+};
+
+struct BandwidthReport {
+  std::vector<SegmentBandwidth> segments;  // ordered by segment id
+  SegmentBandwidth total;                  // segment field meaningless here
+};
+
+// Classification precedence per transmission: the frame-overhead bytes always go
+// to frame_overhead; the payload portion goes to retransmit when the reassembler
+// flagged the tx, else internal when every subject is reserved, else it splits
+// into goodput (application payload bytes) and envelope (the rest).
+BandwidthReport AccountBandwidth(const std::vector<CapturedFrame>& frames,
+                                 const ReassemblyReport& reassembly);
+
+// Deterministic table rendering / JSON object ({"segments":[...],"total":{...}}).
+std::string RenderBandwidthText(const BandwidthReport& r);
+std::string BandwidthJson(const BandwidthReport& r);
+
+}  // namespace ibus::capture
+
+#endif  // SRC_CAPTURE_BANDWIDTH_H_

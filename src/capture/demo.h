@@ -1,0 +1,25 @@
+// The canonical capture scenario: certified delivery across two LANs joined by an
+// information-router pair over the lossy WAN, with a wire tap attached for the
+// whole run. Shared by tools/buscap (--demo), the capture tests, the router_wan
+// bench breakdown, and sim_replay_check scenario 6 — one definition so the golden
+// reports, the replay hashes, and the CLI all describe the same bytes.
+#ifndef SRC_CAPTURE_DEMO_H_
+#define SRC_CAPTURE_DEMO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/capture/capture.h"
+
+namespace ibus::capture {
+
+// Runs the scenario with `tap` attached to the network from the first frame
+// (nullptr runs untapped). Returns the delivery/stat trace lines the replay gate
+// hashes; on setup failure the trace carries a single "error: ..." line.
+std::vector<std::string> RunCertifiedWanCaptureScenario(uint64_t seed,
+                                                        NetworkTap* tap);
+
+}  // namespace ibus::capture
+
+#endif  // SRC_CAPTURE_DEMO_H_

@@ -1,0 +1,89 @@
+#include "src/capture/pcap.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "src/wire/wire.h"
+
+namespace ibus::capture {
+
+namespace {
+
+constexpr uint8_t kFlagBroadcast = 1u << 0;
+constexpr uint8_t kFlagDuplicate = 1u << 1;
+constexpr uint8_t kFlagContinuation = 1u << 2;
+
+}  // namespace
+
+Bytes SerializePcap(const std::vector<CapturedFrame>& frames) {
+  WireWriter w;
+  // Global header (all little-endian; the 0xa1b2c3d4 magic tells readers the
+  // byte order and that timestamps are in microseconds).
+  w.PutU32(kPcapMagic);
+  w.PutU16(2);       // version major
+  w.PutU16(4);       // version minor
+  w.PutU32(0);       // thiszone (sim time has no timezone)
+  w.PutU32(0);       // sigfigs
+  w.PutU32(65535);   // snaplen
+  w.PutU32(kPcapLinkType);
+
+  // pcap expects packets in timestamp order; capture order is fate order but
+  // fault duplicates can interleave, so sort explicitly (stable by index).
+  std::vector<const CapturedFrame*> ordered;
+  ordered.reserve(frames.size());
+  for (const CapturedFrame& f : frames) {
+    ordered.push_back(&f);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const CapturedFrame* a, const CapturedFrame* b) {
+              if (a->delivered_at != b->delivered_at) {
+                return a->delivered_at < b->delivered_at;
+              }
+              return a->index < b->index;
+            });
+
+  for (const CapturedFrame* f : ordered) {
+    const SimTime ts = f->delivered_at;
+    const uint32_t len = static_cast<uint32_t>(kPcapMetaSize + f->payload.size());
+    w.PutU32(static_cast<uint32_t>(ts / 1000000));  // ts_sec
+    w.PutU32(static_cast<uint32_t>(ts % 1000000));  // ts_usec
+    w.PutU32(len);                                  // incl_len (never truncated)
+    w.PutU32(len);                                  // orig_len
+    // The 44-byte metadata pseudo-header, fixed layout, little-endian.
+    w.PutU64(f->index);
+    w.PutU64(f->tx_id);
+    w.PutU32(f->segment);
+    w.PutU32(f->src_host);
+    w.PutU32(f->dst_host);
+    w.PutU16(f->src_port);
+    w.PutU16(f->dst_port);
+    w.PutU64(f->conn_id);
+    w.PutU8(static_cast<uint8_t>(f->fate));
+    uint8_t flags = 0;
+    flags |= f->broadcast ? kFlagBroadcast : 0;
+    flags |= f->duplicate ? kFlagDuplicate : 0;
+    flags |= f->continuation ? kFlagContinuation : 0;
+    w.PutU8(flags);
+    w.PutU16(0);  // reserved, keeps the pseudo-header at 44 bytes
+    w.PutRaw(f->payload);
+  }
+  return w.Take();
+}
+
+Status WritePcapFile(const std::string& path,
+                     const std::vector<CapturedFrame>& frames) {
+  Bytes data = SerializePcap(frames);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Unavailable("pcap: cannot open " + path + " for writing");
+  }
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  out.flush();
+  if (!out) {
+    return DataLoss("pcap: short write to " + path);
+  }
+  return OkStatus();
+}
+
+}  // namespace ibus::capture

@@ -1,0 +1,34 @@
+// Standard pcap export with a custom link type so real Wireshark opens simulator
+// traces. Each packet is a fixed 44-byte sim-metadata pseudo-header (capture index,
+// tx id, segment, endpoints, connection id, fate, flags — everything pcap's own
+// header cannot carry) followed by the raw bus frame. Timestamps are simulated
+// microseconds since sim start, not wall clock; see docs/TELEMETRY.md for the
+// caveats (LINKTYPE_USER0 needs a manual DLT mapping in Wireshark, and dropped
+// frames appear in the trace with their drop-decision time).
+#ifndef SRC_CAPTURE_PCAP_H_
+#define SRC_CAPTURE_PCAP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sim/network.h"
+
+namespace ibus::capture {
+
+// LINKTYPE_USER0: the private-use range; consumers must map it to a dissector.
+inline constexpr uint32_t kPcapMagic = 0xa1b2c3d4u;  // microsecond-resolution pcap
+inline constexpr uint32_t kPcapLinkType = 147;
+inline constexpr size_t kPcapMetaSize = 44;  // pseudo-header bytes per packet
+
+// Serializes the records as a pcap byte stream (global header + one packet per
+// record, ordered by fate time). Exposed for tests; WritePcapFile wraps it.
+Bytes SerializePcap(const std::vector<CapturedFrame>& frames);
+
+Status WritePcapFile(const std::string& path,
+                     const std::vector<CapturedFrame>& frames);
+
+}  // namespace ibus::capture
+
+#endif  // SRC_CAPTURE_PCAP_H_

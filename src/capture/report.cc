@@ -1,0 +1,180 @@
+#include "src/capture/report.h"
+
+#include <array>
+#include <map>
+
+#include "src/capture/bandwidth.h"
+#include "src/capture/capture.h"
+#include "src/capture/dissect.h"
+#include "src/capture/reassembly.h"
+
+namespace ibus::capture {
+
+namespace {
+
+std::string U(uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string TextReport(const std::vector<CapturedFrame>& frames,
+                       const ReportOptions& opts) {
+  ReassemblyReport reassembly = Reassemble(frames);
+  BandwidthReport bandwidth = AccountBandwidth(frames, reassembly);
+
+  std::map<FrameFate, uint64_t> fates;
+  std::map<std::string, uint64_t> kinds;
+  for (const CapturedFrame& f : frames) {
+    fates[f.fate]++;
+    kinds[DissectFrame(f.payload).kind]++;
+  }
+
+  std::string out;
+  out += "== capture: " + U(frames.size()) + " records, hash=" +
+         U(CaptureBuffer::CaptureHash(frames)) + "\n";
+  out += "fates:";
+  for (const auto& [fate, n] : fates) {
+    out += std::string(" ") + FrameFateName(fate) + "=" + U(n);
+  }
+  out += "\n";
+  out += "kinds:";
+  for (const auto& [kind, n] : kinds) {
+    out += " " + kind + "=" + U(n);
+  }
+  out += "\n";
+
+  out += "== frames\n";
+  size_t shown = 0;
+  for (const CapturedFrame& f : frames) {
+    if (opts.max_frames != 0 && shown >= opts.max_frames) {
+      out += "  ... " + U(frames.size() - shown) + " more records elided\n";
+      break;
+    }
+    Dissection d = DissectFrame(f.payload);
+    out += "  " + CanonicalRecord(f) + " kind=" + d.kind;
+    if (!d.subjects.empty()) {
+      out += " subjects=[";
+      for (size_t i = 0; i < d.subjects.size(); ++i) {
+        out += (i ? "," : "") + d.subjects[i];
+      }
+      out += "]";
+    }
+    out += "\n";
+    if (opts.with_trees) {
+      std::string tree = RenderTree(d.root);
+      size_t pos = 0;
+      while (pos < tree.size()) {
+        size_t nl = tree.find('\n', pos);
+        out += "    " + tree.substr(pos, nl - pos) + "\n";
+        pos = nl == std::string::npos ? tree.size() : nl + 1;
+      }
+    }
+    shown++;
+  }
+
+  out += "== reassembly\n";
+  out += RenderReassemblyText(reassembly);
+  out += "== bandwidth\n";
+  out += RenderBandwidthText(bandwidth);
+  return out;
+}
+
+std::string JsonlReport(const std::vector<CapturedFrame>& frames) {
+  ReassemblyReport reassembly = Reassemble(frames);
+  BandwidthReport bandwidth = AccountBandwidth(frames, reassembly);
+
+  std::string out;
+  for (const CapturedFrame& f : frames) {
+    Dissection d = DissectFrame(f.payload);
+    std::string line = "{\"record\": {";
+    line += "\"index\": " + U(f.index) + ", \"tx\": " + U(f.tx_id) +
+            ", \"segment\": " + U(f.segment) + ", \"src\": \"" + U(f.src_host) +
+            ":" + U(f.src_port) + "\", \"dst\": \"" + U(f.dst_host) + ":" +
+            U(f.dst_port) + "\", \"fate\": \"" + FrameFateName(f.fate) +
+            "\", \"sent_us\": " + U(static_cast<uint64_t>(f.sent_at)) +
+            ", \"at_us\": " + U(static_cast<uint64_t>(f.delivered_at)) +
+            ", \"queued_us\": " + U(static_cast<uint64_t>(f.queued_us)) +
+            ", \"wire_us\": " + U(static_cast<uint64_t>(f.wire_us)) +
+            ", \"bytes\": " + U(f.wire_bytes) + ", \"kind\": \"" +
+            JsonEscape(d.kind) + "\"";
+    if (!d.subjects.empty()) {
+      line += ", \"subjects\": [";
+      for (size_t i = 0; i < d.subjects.size(); ++i) {
+        line += (i ? ", " : "") + std::string("\"") + JsonEscape(d.subjects[i]) +
+                "\"";
+      }
+      line += "]";
+    }
+    if (!d.seqs.empty()) {
+      line += ", \"stream\": " + U(d.stream_id) + ", \"seqs\": [";
+      for (size_t i = 0; i < d.seqs.size(); ++i) {
+        line += (i ? ", " : "") + U(d.seqs[i]);
+      }
+      line += "]";
+    }
+    if (f.conn_id != 0) {
+      line += ", \"conn\": " + U(f.conn_id) + ", \"conn_msg\": " + U(f.conn_msg_id);
+    }
+    std::string flags;
+    if (f.broadcast) {
+      flags += "b";
+    }
+    if (f.duplicate) {
+      flags += "d";
+    }
+    if (f.continuation) {
+      flags += "c";
+    }
+    if (!flags.empty()) {
+      line += ", \"flags\": \"" + flags + "\"";
+    }
+    line += "}}";
+    out += line + "\n";
+  }
+
+  out += "{\"reassembly\": {\"data_records\": " + U(reassembly.data_records) +
+         ", \"seqs\": " + U(reassembly.seqs.size()) + ", \"retransmitted_seqs\": " +
+         U(reassembly.retransmitted_seqs) + ", \"drops\": " +
+         U(reassembly.total_drops) + ", \"dup_deliveries\": " +
+         U(reassembly.dup_deliveries) + ", \"naks\": " + U(reassembly.nak_frames) +
+         ", \"gaps\": " + U(reassembly.gaps.size()) +
+         ", \"gaps_filled_by_retransmit\": " +
+         U(reassembly.gaps_filled_by_retransmit) +
+         ", \"gaps_filled_by_reorder\": " + U(reassembly.gaps_filled_by_reorder) +
+         "}}\n";
+  out += "{\"bandwidth\": " + BandwidthJson(bandwidth) + "}\n";
+  out += "{\"capture_hash\": " + U(CaptureBuffer::CaptureHash(frames)) + "}\n";
+  return out;
+}
+
+}  // namespace ibus::capture

@@ -1,0 +1,33 @@
+// Deterministic capture reports for tools/buscap: a human-readable text report
+// (summary, per-frame protocol trees, reassembly annotations, bandwidth table) and
+// a machine-readable JSONL stream (one object per record plus trailing reassembly
+// and bandwidth summary objects). Output is a pure function of the capture records,
+// so replays of the same seed render byte-identically.
+#ifndef SRC_CAPTURE_REPORT_H_
+#define SRC_CAPTURE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/network.h"
+
+namespace ibus::capture {
+
+struct ReportOptions {
+  // Cap on per-frame lines in the text report (0 = unlimited). The summary,
+  // reassembly, and bandwidth sections always cover the full capture.
+  size_t max_frames = 0;
+  bool with_trees = false;  // include full protocol trees in the text report
+};
+
+std::string TextReport(const std::vector<CapturedFrame>& frames,
+                       const ReportOptions& opts = ReportOptions());
+
+std::string JsonlReport(const std::vector<CapturedFrame>& frames);
+
+// JSON string escaping for the few free-form fields (subjects, kinds).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace ibus::capture
+
+#endif  // SRC_CAPTURE_REPORT_H_

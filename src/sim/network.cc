@@ -78,9 +78,87 @@ void Connection::Close() {
 // Network
 // ---------------------------------------------------------------------------------
 
+const char* FrameFateName(FrameFate f) {
+  switch (f) {
+    case FrameFate::kDelivered:
+      return "delivered";
+    case FrameFate::kQueuedDelay:
+      return "queued_delay";
+    case FrameFate::kDroppedFault:
+      return "dropped_fault";
+    case FrameFate::kDuplicated:
+      return "duplicated";
+    case FrameFate::kMtuRejected:
+      return "mtu_rejected";
+    case FrameFate::kDroppedPartition:
+      return "dropped_partition";
+    case FrameFate::kDroppedNoListener:
+      return "dropped_no_listener";
+  }
+  return "unknown";
+}
+
 Network::Network(Simulator* sim, uint64_t fault_seed) : sim_(sim), rng_(fault_seed) {
   // Segment 0 is the implicit WAN used by cross-segment connections.
   segments_.push_back(Segment{WanConfig(), FaultPlan{}, 0, {}});
+  drop_fault_ = metrics_.GetCounter(kMetricNetDropFault);
+  drop_mtu_ = metrics_.GetCounter(kMetricNetDropMtu);
+  drop_partition_ = metrics_.GetCounter(kMetricNetDropPartition);
+  drop_no_listener_ = metrics_.GetCounter(kMetricNetDropNoListener);
+}
+
+void Network::AttachTap(NetworkTap* tap) { taps_.push_back(tap); }
+
+void Network::DetachTap(NetworkTap* tap) {
+  taps_.erase(std::remove(taps_.begin(), taps_.end(), tap), taps_.end());
+}
+
+Network::PendingTap Network::BeginTap(SegmentId segment, const TxTiming& tx,
+                                      size_t wire_bytes, uint32_t frame_overhead,
+                                      bool broadcast) {
+  PendingTap tap;
+  if (taps_.empty()) {
+    return tap;
+  }
+  tap.active = true;
+  tap.index = next_capture_index_++;
+  tap.tx_id = next_tx_id_++;
+  tap.segment = segment;
+  tap.broadcast = broadcast;
+  tap.sent_at = sim_->Now();
+  tap.queued_us = tx.queued_us;
+  tap.wire_us = tx.wire_us;
+  tap.wire_bytes = static_cast<uint32_t>(wire_bytes);
+  tap.frame_overhead = frame_overhead;
+  return tap;
+}
+
+void Network::EmitTap(const PendingTap& tap, const Datagram& d, FrameFate fate,
+                      SimTime at) {
+  if (!tap.active || taps_.empty()) {
+    return;
+  }
+  CapturedFrame f;
+  f.index = tap.index;
+  f.tx_id = tap.tx_id;
+  f.segment = tap.segment;
+  f.src_host = d.src_host;
+  f.src_port = d.src_port;
+  f.dst_host = d.dst_host;
+  f.dst_port = d.dst_port;
+  f.broadcast = tap.broadcast;
+  f.duplicate = tap.duplicate;
+  f.fate = fate;
+  f.sent_at = tap.sent_at;
+  f.delivered_at = at;
+  f.queued_us = tap.queued_us;
+  f.wire_us = tap.wire_us;
+  f.wire_bytes = tap.wire_bytes;
+  f.frame_overhead = tap.frame_overhead;
+  f.payload = d.payload;
+  for (NetworkTap* t : taps_) {
+    t->OnFrame(f);
+  }
 }
 
 SegmentId Network::AddSegment(const SegmentConfig& config) {
@@ -175,16 +253,17 @@ size_t Network::MaxDatagramPayload(HostId host) const {
   return seg.config.mtu - seg.config.frame_overhead;
 }
 
-SimTime Network::TransmitFrame(Segment& seg, size_t wire_bytes) {
+Network::TxTiming Network::TransmitFrame(Segment& seg, size_t wire_bytes) {
   const double us =
       static_cast<double>(wire_bytes) * 8.0 * 1e6 / seg.config.bandwidth_bps +
       seg.config.host_cpu_us_per_frame;
-  SimTime start = std::max(sim_->Now(), seg.busy_until);
+  SimTime now = sim_->Now();
+  SimTime start = std::max(now, seg.busy_until);
   SimTime finish = start + static_cast<SimTime>(std::llround(us));
   seg.busy_until = finish;
   stats_.frames_sent++;
   stats_.bytes_on_wire += wire_bytes;
-  return finish;
+  return TxTiming{finish, start - now, finish - start};
 }
 
 SimTime Network::LocalLoopbackDelay(size_t bytes) const {
@@ -193,18 +272,32 @@ SimTime Network::LocalLoopbackDelay(size_t bytes) const {
 }
 
 void Network::DeliverDatagram(Datagram d, SimTime at) {
+  DeliverDatagram(std::move(d), at, PendingTap());
+}
+
+void Network::DeliverDatagram(Datagram d, SimTime at, PendingTap tap) {
   HostId dst = d.dst_host;
-  sim_->ScheduleAt(at, [this, d = std::move(d), dst]() {
+  sim_->ScheduleAt(at, [this, d = std::move(d), dst, tap, at]() {
     const Host& h = hosts_.at(dst);
     if (!h.up || !CanCommunicate(d.src_host, dst)) {
       stats_.frames_dropped_down++;
+      drop_partition_->Inc();
+      EmitTap(tap, d, FrameFate::kDroppedPartition, at);
       return;
     }
     auto it = h.sockets.find(d.dst_port);
     if (it == h.sockets.end()) {
-      return;  // no listener: silently dropped, like real UDP
+      // No listener: silently dropped, like real UDP.
+      stats_.frames_dropped_no_listener++;
+      drop_no_listener_->Inc();
+      EmitTap(tap, d, FrameFate::kDroppedNoListener, at);
+      return;
     }
     stats_.frames_delivered++;
+    FrameFate fate = tap.duplicate        ? FrameFate::kDuplicated
+                     : tap.queued_us > 0  ? FrameFate::kQueuedDelay
+                                          : FrameFate::kDelivered;
+    EmitTap(tap, d, fate, at);
     UdpSocket* sock = it->second;
     if (sock->handler_) {
       sock->handler_(d);
@@ -235,28 +328,48 @@ Status Network::SendDatagram(const Datagram& d) {
   // implicit WAN (application-level routers are expected for normal bus traffic).
   SegmentId src_seg = src.segment;
   SegmentId dst_seg = hosts_.at(d.dst_host).segment;
-  Segment& seg = segments_.at(src_seg == dst_seg ? src_seg : 0);
+  SegmentId use_seg = src_seg == dst_seg ? src_seg : 0;
+  Segment& seg = segments_.at(use_seg);
   SimTime extra_prop = 0;
   if (src_seg != dst_seg) {
     extra_prop = segments_.at(src_seg).config.propagation_us +
                  segments_.at(dst_seg).config.propagation_us;
   }
-  if (d.payload.size() + seg.config.frame_overhead > seg.config.mtu) {
+  const size_t wire_bytes = d.payload.size() + seg.config.frame_overhead;
+  const uint32_t overhead = static_cast<uint32_t>(seg.config.frame_overhead);
+  if (wire_bytes > seg.config.mtu) {
+    stats_.frames_dropped_mtu++;
+    drop_mtu_->Inc();
+    EmitTap(BeginTap(use_seg, TxTiming(), wire_bytes, overhead, false), d,
+            FrameFate::kMtuRejected, sim_->Now());
     return InvalidArgument("datagram exceeds MTU");
   }
   if (seg.faults.drop_prob > 0 && rng_.Chance(seg.faults.drop_prob)) {
+    // Lost before occupying the medium: the sim charges no wire time for unicast
+    // fault loss, so the capture record carries zero wire_us.
     stats_.frames_dropped_fault++;
+    drop_fault_->Inc();
+    EmitTap(BeginTap(use_seg, TxTiming(), wire_bytes, overhead, false), d,
+            FrameFate::kDroppedFault, sim_->Now());
     return OkStatus();  // silently lost on the wire
   }
-  SimTime finish = TransmitFrame(seg, d.payload.size() + seg.config.frame_overhead);
+  TxTiming tx = TransmitFrame(seg, wire_bytes);
+  PendingTap tap = BeginTap(use_seg, tx, wire_bytes, overhead, false);
   SimTime jitter = seg.faults.jitter_us > 0
                        ? static_cast<SimTime>(rng_.NextBelow(seg.faults.jitter_us + 1))
                        : 0;
-  SimTime at = finish + seg.config.propagation_us + extra_prop + jitter;
-  DeliverDatagram(d, at);
+  SimTime at = tx.finish + seg.config.propagation_us + extra_prop + jitter;
+  DeliverDatagram(d, at, tap);
   if (seg.faults.dup_prob > 0 && rng_.Chance(seg.faults.dup_prob)) {
     stats_.frames_duplicated++;
-    DeliverDatagram(d, at + 1 + static_cast<SimTime>(rng_.NextBelow(100)));
+    PendingTap dup_tap = tap;
+    if (dup_tap.active) {
+      dup_tap.index = next_capture_index_++;
+      dup_tap.duplicate = true;
+      dup_tap.wire_us = 0;
+      dup_tap.queued_us = 0;
+    }
+    DeliverDatagram(d, at + 1 + static_cast<SimTime>(rng_.NextBelow(100)), dup_tap);
   }
   return OkStatus();
 }
@@ -270,15 +383,47 @@ Status Network::BroadcastDatagram(const Datagram& d) {
   if (!seg.config.broadcast_capable) {
     return FailedPrecondition("segment not broadcast-capable");
   }
-  if (d.payload.size() + seg.config.frame_overhead > seg.config.mtu) {
+  const size_t wire_bytes = d.payload.size() + seg.config.frame_overhead;
+  const uint32_t overhead = static_cast<uint32_t>(seg.config.frame_overhead);
+  if (wire_bytes > seg.config.mtu) {
+    stats_.frames_dropped_mtu++;
+    drop_mtu_->Inc();
+    EmitTap(BeginTap(src.segment, TxTiming(), wire_bytes, overhead, true), d,
+            FrameFate::kMtuRejected, sim_->Now());
     return InvalidArgument("datagram exceeds MTU");
   }
   // One transmission on the shared medium reaches every host on the segment; faults
   // are drawn independently per receiver (receiver-side loss).
-  SimTime finish = TransmitFrame(seg, d.payload.size() + seg.config.frame_overhead);
+  TxTiming tx = TransmitFrame(seg, wire_bytes);
+  // All per-receiver records (and fault-made duplicates) share the transmission's
+  // tx_id; each gets its own capture index. The accountant de-dups medium time by
+  // tx_id, so the one serialization is charged once.
+  PendingTap base = BeginTap(src.segment, tx, wire_bytes, overhead, true);
+  bool base_index_used = false;
+  auto next_tap = [&](bool is_dup) {
+    PendingTap t = base;
+    if (t.active) {
+      if (base_index_used) {
+        t.index = next_capture_index_++;
+      }
+      base_index_used = true;
+      if (is_dup) {
+        t.duplicate = true;
+        t.wire_us = 0;
+        t.queued_us = 0;
+      }
+    }
+    return t;
+  };
   for (HostId h : seg.hosts) {
     if (seg.faults.drop_prob > 0 && rng_.Chance(seg.faults.drop_prob)) {
       stats_.frames_dropped_fault++;
+      drop_fault_->Inc();
+      if (base.active) {
+        Datagram lost = d;
+        lost.dst_host = h;
+        EmitTap(next_tap(false), lost, FrameFate::kDroppedFault, sim_->Now());
+      }
       continue;
     }
     SimTime jitter = seg.faults.jitter_us > 0
@@ -286,13 +431,15 @@ Status Network::BroadcastDatagram(const Datagram& d) {
                          : 0;
     Datagram copy = d;
     copy.dst_host = h;
-    SimTime at = finish + seg.config.propagation_us + jitter;
+    SimTime at = tx.finish + seg.config.propagation_us + jitter;
     if (seg.faults.dup_prob > 0 && rng_.Chance(seg.faults.dup_prob)) {
       stats_.frames_duplicated++;
       Datagram dup = copy;
-      DeliverDatagram(std::move(dup), at + 1 + static_cast<SimTime>(rng_.NextBelow(100)));
+      PendingTap dup_tap = next_tap(true);
+      DeliverDatagram(std::move(dup), at + 1 + static_cast<SimTime>(rng_.NextBelow(100)),
+                      dup_tap);
     }
-    DeliverDatagram(std::move(copy), at);
+    DeliverDatagram(std::move(copy), at, next_tap(false));
   }
   return OkStatus();
 }
@@ -376,7 +523,8 @@ Status Network::ConnectionSend(Connection* conn, Bytes message) {
   if (src == dst) {
     delivery = sim_->Now() + LocalLoopbackDelay(message.size());
   } else {
-    Segment& seg = segments_.at(src_seg == dst_seg ? src_seg : 0);
+    SegmentId use_seg = src_seg == dst_seg ? src_seg : 0;
+    Segment& seg = segments_.at(use_seg);
     SimTime extra_prop = 0;
     if (src_seg != dst_seg) {
       extra_prop = segments_.at(src_seg).config.propagation_us +
@@ -385,11 +533,44 @@ Status Network::ConnectionSend(Connection* conn, Bytes message) {
     // Chunk the message into MTU frames; each consumes medium time. Delivery happens
     // when the last frame lands.
     const size_t max_payload = seg.config.mtu - seg.config.frame_overhead;
+    const uint32_t overhead = static_cast<uint32_t>(seg.config.frame_overhead);
+    const bool tapped = !taps_.empty();
+    const uint64_t conn_msg_id = tapped ? next_conn_msg_id_++ : 0;
     size_t remaining = message.size();
+    size_t chunk_idx = 0;
     SimTime finish = sim_->Now();
     do {
       size_t chunk = std::min(remaining, max_payload);
-      finish = TransmitFrame(seg, chunk + seg.config.frame_overhead);
+      TxTiming tx = TransmitFrame(seg, chunk + seg.config.frame_overhead);
+      finish = tx.finish;
+      if (tapped) {
+        // Connection chunks are loss-free (retransmission is abstracted away); only
+        // the first chunk's record carries the message bytes, continuations are
+        // timing-only.
+        CapturedFrame f;
+        f.index = next_capture_index_++;
+        f.tx_id = next_tx_id_++;
+        f.segment = use_seg;
+        f.src_host = src;
+        f.dst_host = dst;
+        f.conn_id = conn->id_;
+        f.conn_msg_id = conn_msg_id;
+        f.continuation = chunk_idx > 0;
+        f.fate = tx.queued_us > 0 ? FrameFate::kQueuedDelay : FrameFate::kDelivered;
+        f.sent_at = sim_->Now();
+        f.delivered_at = tx.finish + seg.config.propagation_us + extra_prop;
+        f.queued_us = tx.queued_us;
+        f.wire_us = tx.wire_us;
+        f.wire_bytes = static_cast<uint32_t>(chunk + seg.config.frame_overhead);
+        f.frame_overhead = overhead;
+        if (chunk_idx == 0) {
+          f.payload = message;
+        }
+        for (NetworkTap* t : taps_) {
+          t->OnFrame(f);
+        }
+      }
+      chunk_idx++;
       remaining -= chunk;
     } while (remaining > 0);
     delivery = finish + seg.config.propagation_us + extra_prop;

@@ -20,6 +20,7 @@
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/sim/simulator.h"
+#include "src/telemetry/metrics.h"
 
 namespace ibus {
 
@@ -60,6 +61,71 @@ struct Datagram {
   Port dst_port = 0;
   Bytes payload;
 };
+
+// --- Wire-level capture ---------------------------------------------------------
+//
+// Every frame that touches a segment medium can be observed by attached taps with
+// its final *fate* — the capture plane behind src/capture and tools/buscap. Host-
+// local loopback IPC (client<->daemon datagrams on one host) never occupies a
+// medium and is not captured.
+
+// Why a frame ended the way it did on the simulated medium. Values are part of the
+// capture-file and pcap formats; do not renumber.
+enum class FrameFate : uint8_t {
+  kDelivered = 1,          // handed to a bound socket with no medium queueing
+  kQueuedDelay = 2,        // delivered, but waited behind earlier frames on the medium
+  kDroppedFault = 3,       // lost to the segment's FaultPlan
+  kDuplicated = 4,         // delivered extra copy manufactured by the FaultPlan
+  kMtuRejected = 5,        // payload + frame overhead exceeded the segment MTU
+  kDroppedPartition = 6,   // receiver unreachable: down host or partition boundary
+  kDroppedNoListener = 7,  // no socket bound to the destination port
+};
+
+// Stable lower-case name ("delivered", "dropped_fault", ...) used by reports.
+const char* FrameFateName(FrameFate f);
+
+// What a tap sees for one frame. Broadcasts fan out into one record per receiver,
+// all sharing `tx_id` (the medium was occupied once); fault-made duplicates also
+// share the original's tx_id with `duplicate` set and zero `wire_us`.
+struct CapturedFrame {
+  uint64_t index = 0;        // monotonic capture sequence (assigned at send time)
+  uint64_t tx_id = 0;        // one per medium transmission
+  SegmentId segment = 0;
+  HostId src_host = kNoHost;
+  Port src_port = 0;
+  HostId dst_host = kNoHost;  // concrete receiver (never kBroadcastHost)
+  Port dst_port = 0;
+  uint64_t conn_id = 0;      // nonzero for connection (stream) chunk frames
+  uint64_t conn_msg_id = 0;  // groups the chunks of one connection message
+  bool broadcast = false;
+  bool duplicate = false;    // fault-manufactured extra copy
+  // Connection chunks 2..n of a large message: the message bytes live on the first
+  // chunk's record; continuation records carry an empty payload.
+  bool continuation = false;
+  FrameFate fate = FrameFate::kDelivered;
+  SimTime sent_at = 0;       // when the sender handed the frame to the medium
+  SimTime delivered_at = 0;  // delivery time, or when the drop was decided
+  SimTime queued_us = 0;     // time spent waiting for the shared half-duplex medium
+  SimTime wire_us = 0;       // serialization occupancy of this transmission
+  uint32_t wire_bytes = 0;   // payload + frame overhead
+  uint32_t frame_overhead = 0;
+  Bytes payload;             // the frame payload (wire-format bus frame)
+};
+
+// Observer interface; implemented by capture::CaptureBuffer. OnFrame runs
+// synchronously inside the simulation and must not mutate the network.
+class NetworkTap {
+ public:
+  virtual ~NetworkTap() = default;
+  virtual void OnFrame(const CapturedFrame& frame) = 0;
+};
+
+// Registry names of the network-owned drop counters (one per drop reason; host-down
+// drops count as "partition" — an unreachable receiver either way).
+inline constexpr char kMetricNetDropFault[] = "net.drop.fault";
+inline constexpr char kMetricNetDropMtu[] = "net.drop.mtu";
+inline constexpr char kMetricNetDropPartition[] = "net.drop.partition";
+inline constexpr char kMetricNetDropNoListener[] = "net.drop.no_listener";
 
 class Network;
 
@@ -192,17 +258,29 @@ class Network {
   void Connect(HostId src, HostId dst, Port dst_port,
                std::function<void(Result<ConnectionPtr>)> done);
 
+  // --- Capture --------------------------------------------------------------------
+  // Attaches/detaches a wire-level observer. With no taps attached the capture path
+  // costs one branch per frame. Taps see every medium frame with its fate.
+  void AttachTap(NetworkTap* tap);
+  void DetachTap(NetworkTap* tap);
+
   // --- Statistics -----------------------------------------------------------------
   struct Stats {
     uint64_t frames_sent = 0;
     uint64_t frames_delivered = 0;
     uint64_t frames_dropped_fault = 0;
     uint64_t frames_dropped_down = 0;
+    uint64_t frames_dropped_mtu = 0;
+    uint64_t frames_dropped_no_listener = 0;
     uint64_t frames_duplicated = 0;
     uint64_t bytes_on_wire = 0;  // includes frame overhead
   };
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
+
+  // Network-owned counters: the per-reason drop counters live here under "net.".
+  telemetry::MetricsRegistry* metrics() { return &metrics_; }
+  const telemetry::MetricsRegistry& metrics() const { return metrics_; }
 
  private:
   friend class UdpSocket;
@@ -238,12 +316,43 @@ class Network {
     SimTime b_to_a_tail = 0;
   };
 
+  // Occupancy of one frame on the shared medium: when it finished serializing, how
+  // long it waited for the medium, and how long it occupied it.
+  struct TxTiming {
+    SimTime finish = 0;
+    SimTime queued_us = 0;
+    SimTime wire_us = 0;
+  };
+
+  // Partially-built capture record carried from the send site to the fate site.
+  // `active` is false when no taps are attached (everything else is then unset).
+  struct PendingTap {
+    bool active = false;
+    uint64_t index = 0;
+    uint64_t tx_id = 0;
+    SegmentId segment = 0;
+    bool broadcast = false;
+    bool duplicate = false;
+    SimTime sent_at = 0;
+    SimTime queued_us = 0;
+    SimTime wire_us = 0;
+    uint32_t wire_bytes = 0;
+    uint32_t frame_overhead = 0;
+  };
+
   // Schedules delivery of one already-validated frame on a segment. `wire_bytes`
-  // includes the frame overhead. Returns the time the frame finishes serializing.
-  SimTime TransmitFrame(Segment& seg, size_t wire_bytes);
-  void DeliverDatagram(Datagram d, SimTime at);
+  // includes the frame overhead.
+  TxTiming TransmitFrame(Segment& seg, size_t wire_bytes);
+  void DeliverDatagram(Datagram d, SimTime at);  // loopback path: no tap record
+  void DeliverDatagram(Datagram d, SimTime at, PendingTap tap);
   Status SendDatagram(const Datagram& d);
   Status BroadcastDatagram(const Datagram& d);
+
+  // Capture plumbing: fills a PendingTap at the send site (no-op with no taps) and
+  // emits the finished record once the fate is known.
+  PendingTap BeginTap(SegmentId segment, const TxTiming& tx, size_t wire_bytes,
+                      uint32_t frame_overhead, bool broadcast);
+  void EmitTap(const PendingTap& tap, const Datagram& d, FrameFate fate, SimTime at);
 
   Status ConnectionSend(Connection* conn, Bytes message);
   void ConnectionClose(Connection* conn, bool notify_peer);
@@ -259,6 +368,20 @@ class Network {
   uint64_t next_conn_id_ = 1;
   std::unordered_map<uint64_t, ConnState> connections_;
   Stats stats_;
+
+  // Capture state. Counters advance only while a tap is attached, so untapped runs
+  // pay nothing and replay identically to pre-capture builds.
+  std::vector<NetworkTap*> taps_;
+  uint64_t next_capture_index_ = 1;
+  uint64_t next_tx_id_ = 1;
+  uint64_t next_conn_msg_id_ = 1;
+
+  // Network-owned drop counters; resolved once in the constructor.
+  telemetry::MetricsRegistry metrics_;
+  telemetry::Counter* drop_fault_;
+  telemetry::Counter* drop_mtu_;
+  telemetry::Counter* drop_partition_;
+  telemetry::Counter* drop_no_listener_;
 };
 
 }  // namespace ibus

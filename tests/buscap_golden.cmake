@@ -1,0 +1,35 @@
+# Golden-file gate for buscap's JSONL report (see tools/buscap/CMakeLists.txt).
+# Two demo runs with the canonical seed must render byte-identically, and must match
+# the committed golden. Regenerate the golden with:
+#   build/tools/buscap/buscap --demo --seed 42 --jsonl > tests/goldens/buscap_report.jsonl
+foreach(var BUSCAP GOLDEN WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "buscap_golden.cmake: missing -D${var}=")
+  endif()
+endforeach()
+
+execute_process(COMMAND ${BUSCAP} --demo --seed 42 --jsonl
+                OUTPUT_FILE ${WORKDIR}/buscap_run1.jsonl
+                RESULT_VARIABLE rc1)
+execute_process(COMMAND ${BUSCAP} --demo --seed 42 --jsonl
+                OUTPUT_FILE ${WORKDIR}/buscap_run2.jsonl
+                RESULT_VARIABLE rc2)
+if(NOT rc1 EQUAL 0 OR NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "buscap --demo --jsonl failed (rc=${rc1}/${rc2})")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${WORKDIR}/buscap_run1.jsonl ${WORKDIR}/buscap_run2.jsonl
+                RESULT_VARIABLE stable)
+if(NOT stable EQUAL 0)
+  message(FATAL_ERROR "buscap JSONL report is not byte-stable across identical runs")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${WORKDIR}/buscap_run1.jsonl ${GOLDEN}
+                RESULT_VARIABLE matches)
+if(NOT matches EQUAL 0)
+  message(FATAL_ERROR
+          "buscap JSONL report diverged from tests/goldens/buscap_report.jsonl; "
+          "if the change is intentional, regenerate the golden (command above)")
+endif()

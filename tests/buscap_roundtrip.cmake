@@ -1,0 +1,39 @@
+# Capture-file + pcap round-trip smoke for buscap (see tools/buscap/CMakeLists.txt):
+# saving a capture and reloading it must preserve the capture hash, and the pcap
+# export must carry the microsecond-pcap magic plus one packet per record.
+foreach(var BUSCAP WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "buscap_roundtrip.cmake: missing -D${var}=")
+  endif()
+endforeach()
+
+execute_process(COMMAND ${BUSCAP} --demo --seed 42
+                        --out ${WORKDIR}/roundtrip.ibcp --hash
+                OUTPUT_VARIABLE direct_hash
+                RESULT_VARIABLE rc1)
+execute_process(COMMAND ${BUSCAP} --in ${WORKDIR}/roundtrip.ibcp --hash
+                OUTPUT_VARIABLE loaded_hash
+                RESULT_VARIABLE rc2)
+if(NOT rc1 EQUAL 0 OR NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "buscap save/load failed (rc=${rc1}/${rc2})")
+endif()
+if(NOT direct_hash STREQUAL loaded_hash)
+  message(FATAL_ERROR "capture-file round trip changed the hash: "
+                      "'${direct_hash}' vs '${loaded_hash}'")
+endif()
+if(direct_hash MATCHES "records=0 ")
+  message(FATAL_ERROR "demo capture is empty: ${direct_hash}")
+endif()
+
+execute_process(COMMAND ${BUSCAP} --in ${WORKDIR}/roundtrip.ibcp
+                        --pcap ${WORKDIR}/roundtrip.pcap --hash
+                OUTPUT_VARIABLE pcap_hash
+                RESULT_VARIABLE rc3)
+if(NOT rc3 EQUAL 0 OR NOT pcap_hash STREQUAL direct_hash)
+  message(FATAL_ERROR "pcap export run failed or changed the hash (rc=${rc3})")
+endif()
+file(READ ${WORKDIR}/roundtrip.pcap pcap_magic LIMIT 4 HEX)
+if(NOT pcap_magic STREQUAL "d4c3b2a1")
+  message(FATAL_ERROR "pcap magic mismatch: got ${pcap_magic}, "
+                      "want d4c3b2a1 (0xa1b2c3d4 little-endian)")
+endif()

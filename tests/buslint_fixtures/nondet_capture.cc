@@ -1,0 +1,26 @@
+// buslint fixture: linted under the synthetic path "src/capture/nondet_capture.cc".
+// The capture plane is part of the deterministic core (its hashes feed the replay
+// gate), so wall clocks and env lookups are violations there too.
+// Seeded violations: gettimeofday, system_clock, getenv.
+#include <chrono>
+#include <cstdlib>
+#include <sys/time.h>
+
+namespace ibus::capture {
+
+long CaptureWallTimestamp() {
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);
+  return tv.tv_sec;
+}
+
+long CaptureEpochMillis() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+const char* CaptureDirOverride() { return std::getenv("IBUS_CAPTURE_DIR"); }
+
+// File IO on sim-derived data is fine; only ambient-state primitives are banned.
+int DeterministicChecksum(int x) { return x * 31; }
+
+}  // namespace ibus::capture

@@ -45,6 +45,13 @@ TEST(BuslintNondeterminism, FiresOnPrimitivesInDeterministicCore) {
   EXPECT_EQ(CountRule(vs, kRuleNondeterminism), 4u) << Render(vs);
 }
 
+TEST(BuslintNondeterminism, FiresInCapturePlane) {
+  // src/capture feeds the replay gate's capture hashes, so it is deterministic core:
+  // wall clocks and env lookups must trip the rule there exactly as in src/sim.
+  auto vs = LintFixture("src/capture/nondet_capture.cc", "nondet_capture.cc");
+  EXPECT_EQ(CountRule(vs, kRuleNondeterminism), 3u) << Render(vs);
+}
+
 TEST(BuslintNondeterminism, SilentOutsideDeterministicCore) {
   auto vs = LintFixture("bench/nondet_sim.cc", "nondet_sim.cc");
   EXPECT_EQ(CountRule(vs, kRuleNondeterminism), 0u) << Render(vs);

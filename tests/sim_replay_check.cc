@@ -14,6 +14,10 @@
 #include "src/bus/certified.h"
 #include "src/bus/client.h"
 #include "src/bus/daemon.h"
+#include "src/capture/bandwidth.h"
+#include "src/capture/capture.h"
+#include "src/capture/demo.h"
+#include "src/capture/reassembly.h"
 #include "src/common/rng.h"
 #include "src/router/router.h"
 #include "src/services/bus_monitor.h"
@@ -414,6 +418,26 @@ std::vector<std::string> RunHealthPlaneScenario(uint64_t seed) {
 }
 #endif  // IBUS_TELEMETRY
 
+// --- Scenario 6: wire capture of the certified-WAN run -----------------------------
+//
+// The capture plane must itself be deterministic: identical seeds yield bit-identical
+// capture hashes, fault fates included, and the analyzers (reassembler, bandwidth
+// accountant) render byte-identical reports. The scenario trace folds in the capture
+// hash plus the analyzer summaries so any drift in tap emission order, fate
+// classification, or report formatting trips the gate.
+
+std::vector<std::string> RunCaptureScenario(uint64_t seed) {
+  capture::CaptureBuffer buf;
+  std::vector<std::string> trace = capture::RunCertifiedWanCaptureScenario(seed, &buf);
+  trace.push_back("capture records=" + std::to_string(buf.frames().size()) +
+                  " seen=" + std::to_string(buf.frames_seen()) +
+                  " hash=" + std::to_string(buf.Hash()));
+  capture::ReassemblyReport r = capture::Reassemble(buf.frames());
+  trace.push_back(capture::RenderReassemblyText(r));
+  trace.push_back(capture::RenderBandwidthText(capture::AccountBandwidth(buf.frames(), r)));
+  return trace;
+}
+
 // --- The replay gate ---------------------------------------------------------------
 
 using ScenarioFn = std::vector<std::string> (*)(uint64_t seed);
@@ -488,6 +512,34 @@ TEST(SimReplayCheck, HealthAlertsRaiseOnceAndClearOncePerEpisode) {
   EXPECT_GE(live_alerts, 4u);  // >= raise+clear on both the consumer and publisher
 }
 #endif
+
+TEST(SimReplayCheck, WireCaptureIsDeterministic) {
+  CheckReplay("wire_capture", &RunCaptureScenario, 42);
+  CheckReplay("wire_capture", &RunCaptureScenario, 1993);
+}
+
+// The lossy certified-WAN capture must show the NAK protocol on the wire: dropped
+// frames, retransmits attributed to the specific drops they repaired, and a nonzero
+// retransmit share in the bandwidth breakdown.
+TEST(SimReplayCheck, CaptureShowsRetransmitShareAttributedToDrops) {
+  capture::CaptureBuffer buf;
+  auto trace = capture::RunCertifiedWanCaptureScenario(42, &buf);
+  ASSERT_FALSE(trace.empty());
+  ASSERT_NE(trace.front().rfind("error:", 0), 0u) << trace.front();
+
+  capture::ReassemblyReport r = capture::Reassemble(buf.frames());
+  EXPECT_GT(r.total_drops, 0u);
+  ASSERT_GT(r.retransmitted_seqs, 0u);
+  bool attributed = false;
+  for (const auto& [key, tl] : r.seqs) {
+    attributed = attributed || (tl.retransmitted && !tl.caused_by_drops.empty());
+  }
+  EXPECT_TRUE(attributed) << "no retransmit traced back to a dropped frame";
+
+  capture::BandwidthReport bw = capture::AccountBandwidth(buf.frames(), r);
+  EXPECT_GT(bw.total.retransmit.us, 0u);
+  EXPECT_GT(bw.total.goodput.bytes, 0u);
+}
 
 TEST(SimReplayCheck, CertifiedDeliveryCompletesDespiteLoss) {
   auto trace = RunCertifiedScenario(42);
