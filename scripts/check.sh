@@ -31,8 +31,11 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -L health
 echo "== wire capture tests (ctest -L capture: tap fates, dissection, buscap goldens)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L capture
 
-echo "== buslint over src/ bench/ examples/ tools/"
+echo "== buslint over src/ bench/ examples/ tools/  (-L lint also runs tdlcheck)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L lint
+
+echo "== tdlcheck over repo TDL scripts + embedded R\"tdl()\" blocks"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L tdlcheck
 
 echo "== clang-tidy (skips when not installed)"
 cmake --build "${BUILD_DIR}" --target lint-tidy

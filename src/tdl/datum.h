@@ -85,6 +85,20 @@ class Datum {
   // Lisp truthiness: everything except nil and false is true.
   bool Truthy() const { return !is_nil() && !(is_bool() && !AsBool()); }
 
+  // Source position (1-based), stamped by the reader on every parsed form so
+  // static tools (tdlcheck) can report file:line:col spans. 0 means "no source"
+  // (the datum was built programmatically). Positions are metadata only: they
+  // take no part in operator==, ToString, or the Value conversions, so runtime
+  // behaviour and replay determinism are untouched.
+  int line() const { return line_; }
+  int col() const { return col_; }
+  bool has_pos() const { return line_ > 0; }
+  Datum& SetPos(int line, int col) {
+    line_ = line;
+    col_ = col;
+    return *this;
+  }
+
   bool operator==(const Datum& other) const;
 
   // Reader-style rendering: (defclass story ...) prints back as s-expression text.
@@ -98,6 +112,8 @@ class Datum {
   std::variant<std::monostate, bool, int64_t, double, std::string, TdlSymbol, List,
                DataObjectPtr, std::shared_ptr<TdlLambda>, std::shared_ptr<NativeFn>>
       v_;
+  int line_ = 0;
+  int col_ = 0;
 };
 
 }  // namespace ibus

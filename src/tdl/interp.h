@@ -45,6 +45,16 @@ class TdlEnv {
     parent_.reset();
   }
 
+  // Names bound directly in this scope (not parents), unordered.
+  std::vector<std::string> Names() const {
+    std::vector<std::string> out;
+    out.reserve(vars_.size());
+    for (const auto& [name, value] : vars_) {
+      out.push_back(name);
+    }
+    return out;
+  }
+
   // Assigns in the scope where `name` is bound, or the current scope if unbound.
   void Set(const std::string& name, Datum value) {
     for (TdlEnv* env = this; env != nullptr; env = env->parent_.get()) {
@@ -84,6 +94,11 @@ class TdlInterp {
   // Host interop: expose a native function or constant to scripts.
   void DefineNative(const std::string& name, Datum::NativeFn fn);
   void DefineGlobal(const std::string& name, Datum value);
+
+  // Every name bound in the global environment (builtins + host definitions).
+  // tdlcheck's tests cross-check its static builtin table against this, so the
+  // analyzer cannot silently drift from the interpreter.
+  std::vector<std::string> GlobalNames() const { return global_->Names(); }
 
   // Calls a generic function (as defmethod'd in scripts) from C++.
   Result<Datum> CallGeneric(const std::string& name, std::vector<Datum> args);

@@ -7,16 +7,31 @@ namespace ibus {
 
 namespace {
 
+// Recursion bound for nested lists/quotes. Static tools parse untrusted
+// scripts, so pathological nesting must produce a diagnostic, not a stack
+// overflow (the checker's tree walk and ~Datum recurse to the same depth).
+constexpr int kMaxNestingDepth = 200;
+
 struct Lexer {
   std::string_view src;
   size_t pos = 0;
   int line = 1;
+  size_t line_start = 0;  // offset of the first char of the current line
+  TdlParseError* error = nullptr;
+
+  int Col(size_t offset) const { return static_cast<int>(offset - line_start) + 1; }
+  int ColHere() const { return Col(pos); }
+
+  void NewlineAt(size_t offset) {
+    ++line;
+    line_start = offset + 1;
+  }
 
   void SkipWhitespaceAndComments() {
     while (pos < src.size()) {
       char c = src[pos];
       if (c == '\n') {
-        ++line;
+        NewlineAt(pos);
         ++pos;
       } else if (std::isspace(static_cast<unsigned char>(c))) {
         ++pos;
@@ -35,9 +50,15 @@ struct Lexer {
     return pos >= src.size();
   }
 
-  Status ErrorHere(const std::string& what) {
-    return InvalidArgument("tdl parse error (line " + std::to_string(line) + "): " + what);
+  Status ErrorAt(int at_line, int at_col, const std::string& what) {
+    if (error != nullptr && error->line == 0) {
+      *error = TdlParseError{at_line, at_col, what};
+    }
+    return InvalidArgument("tdl parse error at " + std::to_string(at_line) + ":" +
+                           std::to_string(at_col) + ": " + what);
   }
+
+  Status ErrorHere(const std::string& what) { return ErrorAt(line, ColHere(), what); }
 };
 
 bool IsSymbolChar(char c) {
@@ -45,21 +66,25 @@ bool IsSymbolChar(char c) {
          c != '\'' && c != ';';
 }
 
-Result<Datum> ParseForm(Lexer& lex);
+Result<Datum> ParseForm(Lexer& lex, int depth);
 
-Result<Datum> ParseList(Lexer& lex) {
+Result<Datum> ParseList(Lexer& lex, int depth) {
+  int open_line = lex.line;
+  int open_col = lex.ColHere();
   ++lex.pos;  // consume '('
   Datum::List items;
   while (true) {
     lex.SkipWhitespaceAndComments();
     if (lex.pos >= lex.src.size()) {
-      return lex.ErrorHere("unterminated list");
+      return lex.ErrorAt(open_line, open_col, "unterminated list");
     }
     if (lex.src[lex.pos] == ')') {
       ++lex.pos;
-      return Datum(std::move(items));
+      Datum d(std::move(items));
+      d.SetPos(open_line, open_col);
+      return d;
     }
-    auto item = ParseForm(lex);
+    auto item = ParseForm(lex, depth);
     if (!item.ok()) {
       return item.status();
     }
@@ -68,12 +93,14 @@ Result<Datum> ParseList(Lexer& lex) {
 }
 
 Result<Datum> ParseString(Lexer& lex) {
+  int open_line = lex.line;
+  int open_col = lex.ColHere();
   ++lex.pos;  // consume opening quote
   std::string out;
   while (lex.pos < lex.src.size()) {
     char c = lex.src[lex.pos++];
     if (c == '"') {
-      return Datum(std::move(out));
+      return Datum(std::move(out)).SetPos(open_line, open_col);
     }
     if (c == '\\') {
       if (lex.pos >= lex.src.size()) {
@@ -99,15 +126,17 @@ Result<Datum> ParseString(Lexer& lex) {
       }
     } else {
       if (c == '\n') {
-        ++lex.line;
+        lex.NewlineAt(lex.pos - 1);
       }
       out += c;
     }
   }
-  return lex.ErrorHere("unterminated string");
+  return lex.ErrorAt(open_line, open_col, "unterminated string");
 }
 
 Result<Datum> ParseAtom(Lexer& lex) {
+  int at_line = lex.line;
+  int at_col = lex.ColHere();
   size_t start = lex.pos;
   while (lex.pos < lex.src.size() && IsSymbolChar(lex.src[lex.pos])) {
     ++lex.pos;
@@ -122,33 +151,37 @@ Result<Datum> ParseAtom(Lexer& lex) {
       token != "-") {
     long long v = std::strtoll(token.c_str(), &end, 10);
     if (end != nullptr && *end == '\0') {
-      return Datum(static_cast<int64_t>(v));
+      return Datum(static_cast<int64_t>(v)).SetPos(at_line, at_col);
     }
   }
   if (token.find_first_of("0123456789") != std::string::npos &&
       token.find_first_not_of("+-.eE0123456789") == std::string::npos) {
     double d = std::strtod(token.c_str(), &end);
     if (end != nullptr && *end == '\0') {
-      return Datum(d);
+      return Datum(d).SetPos(at_line, at_col);
     }
   }
   if (token == "nil") {
-    return Datum();
+    return Datum().SetPos(at_line, at_col);
   }
   if (token == "t") {
-    return Datum(true);
+    return Datum(true).SetPos(at_line, at_col);
   }
-  return Datum::Symbol(std::move(token));
+  return Datum::Symbol(std::move(token)).SetPos(at_line, at_col);
 }
 
-Result<Datum> ParseForm(Lexer& lex) {
+Result<Datum> ParseForm(Lexer& lex, int depth) {
+  if (depth >= kMaxNestingDepth) {
+    return lex.ErrorHere("nesting deeper than " + std::to_string(kMaxNestingDepth) +
+                         " levels");
+  }
   lex.SkipWhitespaceAndComments();
   if (lex.pos >= lex.src.size()) {
     return lex.ErrorHere("unexpected end of input");
   }
   char c = lex.src[lex.pos];
   if (c == '(') {
-    return ParseList(lex);
+    return ParseList(lex, depth + 1);
   }
   if (c == ')') {
     return lex.ErrorHere("unexpected ')'");
@@ -157,23 +190,27 @@ Result<Datum> ParseForm(Lexer& lex) {
     return ParseString(lex);
   }
   if (c == '\'') {
+    int at_line = lex.line;
+    int at_col = lex.ColHere();
     ++lex.pos;
-    auto quoted = ParseForm(lex);
+    auto quoted = ParseForm(lex, depth + 1);
     if (!quoted.ok()) {
       return quoted.status();
     }
-    return Datum(Datum::List{Datum::Symbol("quote"), quoted.take()});
+    return Datum(Datum::List{Datum::Symbol("quote").SetPos(at_line, at_col), quoted.take()})
+        .SetPos(at_line, at_col);
   }
   return ParseAtom(lex);
 }
 
 }  // namespace
 
-Result<std::vector<Datum>> ParseTdl(std::string_view source) {
+Result<std::vector<Datum>> ParseTdl(std::string_view source, TdlParseError* error) {
   Lexer lex{source};
+  lex.error = error;
   std::vector<Datum> forms;
   while (!lex.AtEnd()) {
-    auto form = ParseForm(lex);
+    auto form = ParseForm(lex, 0);
     if (!form.ok()) {
       return form.status();
     }

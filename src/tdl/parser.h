@@ -1,9 +1,15 @@
 // TDL reader: tokenizes and parses s-expression source text into Datum trees.
 // Supports integers, floats, strings with escapes, symbols, t/nil literals, quote
 // ('x => (quote x)), and ; line comments.
+//
+// Every parsed Datum is stamped with its 1-based line:col source position (see
+// Datum::line()/col()), and parse errors carry the position of the offending
+// token: "tdl parse error at <line>:<col>: <what>". Static tools (tdlcheck,
+// buslint's tdl-string rule) rely on both.
 #ifndef SRC_TDL_PARSER_H_
 #define SRC_TDL_PARSER_H_
 
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -12,8 +18,18 @@
 
 namespace ibus {
 
-// Parses a whole program: a sequence of top-level forms.
-Result<std::vector<Datum>> ParseTdl(std::string_view source);
+// Structured form of a parse failure, for tools that render their own
+// file:line:col diagnostics instead of showing the Status message verbatim.
+struct TdlParseError {
+  int line = 0;
+  int col = 0;
+  std::string what;
+};
+
+// Parses a whole program: a sequence of top-level forms. On failure, `error`
+// (when non-null) receives the position and message of the first parse error.
+Result<std::vector<Datum>> ParseTdl(std::string_view source,
+                                    TdlParseError* error = nullptr);
 
 // Parses exactly one form (convenience for REPL-style use).
 Result<Datum> ParseTdlOne(std::string_view source);

@@ -1,0 +1,648 @@
+// The tdlcheck rules engine: walks parsed TDL forms with a lexical scope stack
+// and reports diagnostics, mirroring the interpreter's runtime checks (arity
+// guards in builtins.cc, TypeRegistry::Define/Validate, subject validation)
+// without executing anything.
+#include <algorithm>
+#include <cstddef>
+#include <sstream>
+
+#include "src/subject/subject.h"
+#include "src/tdl/parser.h"
+#include "src/tdlcheck/tdlcheck.h"
+#include "src/types/type_descriptor.h"
+
+namespace ibus::tdlcheck {
+
+namespace {
+
+constexpr size_t kVariadic = static_cast<size_t>(-1);
+
+struct Arity {
+  size_t min = 0;
+  size_t max = kVariadic;
+};
+
+// What a bus binding expects in its first argument, so string literals can be
+// run through the real src/subject grammar.
+enum class SubjectKind { kNone, kSubject, kPattern };
+
+struct BuiltinSig {
+  Arity arity;
+  SubjectKind subject = SubjectKind::kNone;
+};
+
+// Argument counts are copied from the runtime guards in src/tdl/builtins.cc and
+// src/appbuilder/app_builder.cc. The BuiltinCoverage test cross-checks this
+// table against TdlInterp::GlobalNames() so it cannot silently go stale.
+const std::map<std::string, BuiltinSig>& Builtins() {
+  static const std::map<std::string, BuiltinSig> kTable = {
+      {"+", {{0, kVariadic}}},
+      {"-", {{0, kVariadic}}},
+      {"*", {{0, kVariadic}}},
+      {"/", {{2, 2}}},
+      {"mod", {{2, 2}}},
+      {"=", {{2, kVariadic}}},
+      {"<", {{2, kVariadic}}},
+      {">", {{2, kVariadic}}},
+      {"<=", {{2, kVariadic}}},
+      {">=", {{2, kVariadic}}},
+      {"eq", {{2, 2}}},
+      {"not", {{1, 1}}},
+      {"list", {{0, kVariadic}}},
+      {"first", {{1, 1}}},
+      {"rest", {{1, 1}}},
+      {"second", {{1, 1}}},
+      {"last", {{1, 1}}},
+      {"reverse", {{1, 1}}},
+      {"cons", {{2, 2}}},
+      {"append", {{0, kVariadic}}},
+      {"length", {{1, 1}}},
+      {"nth", {{2, 2}}},
+      {"mapcar", {{2, 2}}},
+      {"filter", {{2, 2}}},
+      {"assoc", {{2, 2}}},
+      {"min", {{1, kVariadic}}},
+      {"max", {{1, kVariadic}}},
+      {"abs", {{1, 1}}},
+      {"string-split", {{2, 2}}},
+      {"concat", {{0, kVariadic}}},
+      {"to-string", {{1, 1}}},
+      {"string-contains", {{2, 2}}},
+      {"string-downcase", {{1, 1}}},
+      {"make-instance", {{1, kVariadic}}},
+      {"slot-value", {{2, 2}}},
+      {"set-slot-value!", {{3, 3}}},
+      {"type-of", {{1, 1}}},
+      {"isa?", {{2, 2}}},
+      {"attributes", {{1, 1}}},
+      {"describe", {{1, 1}}},
+      {"print", {{0, kVariadic}}},
+      // Bus bindings installed by the application builder.
+      {"bus-publish", {{2, 2}, SubjectKind::kSubject}},
+      {"bus-subscribe", {{2, 2}, SubjectKind::kPattern}},
+      {"bus-invoke", {{4, 4}, SubjectKind::kSubject}},
+      {"define-service", {{3, 3}, SubjectKind::kSubject}},
+      {"list-services", {{1, 1}}},
+  };
+  return kTable;
+}
+
+const std::set<std::string>& SpecialForms() {
+  static const std::set<std::string> kForms = {
+      "quote", "if",     "cond",   "and",  "or",     "let",    "let*",     "lambda",
+      "setq",  "progn",  "when",   "unless", "dolist", "while", "defun",   "defclass",
+      "defmethod",
+  };
+  return kForms;
+}
+
+// Classes the registry pre-registers before any script runs.
+bool IsRegistryBuiltinClass(const std::string& name) {
+  return name == "object" || name == "property";
+}
+
+// Runtime dispatch (DispatchGeneric) maps non-object arguments onto these
+// fundamental type names, so they are legal defmethod specializers.
+bool IsDispatchableFundamental(const std::string& name) {
+  return name == "string" || name == "i64" || name == "f64" || name == "bool" ||
+         name == "list";
+}
+
+bool IsKeyword(const Datum& d) {
+  return d.is_symbol() && !d.AsSymbol().empty() && d.AsSymbol()[0] == ':';
+}
+
+// The Value kind a TDL literal lands in after make-instance's ToValue
+// conversion — what TypeRegistry::Validate compares against the slot type.
+// Empty string when the datum is not a checkable literal.
+std::string LiteralKind(const Datum& d) {
+  if (d.is_int()) {
+    return "i64";
+  }
+  if (d.is_double()) {
+    return "f64";
+  }
+  if (d.is_string()) {
+    return "string";
+  }
+  if (d.is_bool()) {
+    return "bool";
+  }
+  return "";
+}
+
+class Checker {
+ public:
+  Checker(std::string file, const ScriptModel& model)
+      : file_(std::move(file)), model_(model) {}
+
+  void Run(const std::vector<Datum>& forms) {
+    for (const Datum& form : forms) {
+      CheckExpr(form);
+    }
+  }
+
+  std::vector<Diagnostic> Take() { return std::move(diags_); }
+
+ private:
+  void Report(const Datum& at, const char* rule, std::string message) {
+    diags_.push_back(Diagnostic{file_, at.line(), at.col(), rule, std::move(message)});
+  }
+
+  bool IsBound(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->count(name) > 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Bind(const std::string& name) { scopes_.back().insert(name); }
+
+  struct Scope {
+    explicit Scope(Checker* c) : c_(c) { c_->scopes_.emplace_back(); }
+    ~Scope() { c_->scopes_.pop_back(); }
+    Checker* c_;
+  };
+
+  // Binds the parameter list of a lambda/defun/defmethod into the current
+  // scope; flags non-symbol parameters.
+  void BindParams(const Datum& params) {
+    for (const Datum& p : params.AsList()) {
+      if (p.is_symbol()) {
+        Bind(p.AsSymbol());
+      } else if (p.is_list() && p.AsList().size() == 2 && p.AsList()[0].is_symbol()) {
+        Bind(p.AsList()[0].AsSymbol());  // (param class) specializer pair
+      } else {
+        Report(p, kRuleMalformedForm, "parameter is not a symbol");
+      }
+    }
+  }
+
+  void CheckBody(const Datum::List& list, size_t from) {
+    for (size_t i = from; i < list.size(); ++i) {
+      CheckExpr(list[i]);
+    }
+  }
+
+  void CheckSymbol(const Datum& d) {
+    const std::string& name = d.AsSymbol();
+    if (IsKeyword(d)) {
+      return;  // keywords self-evaluate
+    }
+    if (IsBound(name) || model_.functions.count(name) > 0 ||
+        model_.generics.count(name) > 0 || model_.assigned.count(name) > 0 ||
+        IsKnownBuiltin(name)) {
+      return;
+    }
+    Report(d, kRuleUndefinedSymbol, "'" + name + "' is not defined anywhere in this script");
+  }
+
+  void CheckLet(const Datum::List& list, bool sequential) {
+    if (list.size() < 2 || !list[1].is_list()) {
+      Report(list[0], kRuleMalformedForm, "let expects a binding list");
+      return;
+    }
+    Scope scope(this);
+    for (const Datum& binding : list[1].AsList()) {
+      if (binding.is_symbol()) {
+        Bind(binding.AsSymbol());
+        continue;
+      }
+      if (!binding.is_list() || binding.AsList().size() != 2 ||
+          !binding.AsList()[0].is_symbol()) {
+        Report(binding, kRuleMalformedForm, "let binding must be (name value)");
+        continue;
+      }
+      // In let, init expressions see only the outer scope; the sequential
+      // approximation used here only mislabels a forward reference inside the
+      // same binding list — rare, and legal in let* anyway.
+      (void)sequential;
+      CheckExpr(binding.AsList()[1]);
+      Bind(binding.AsList()[0].AsSymbol());
+    }
+    CheckBody(list, 2);
+  }
+
+  void CheckDolist(const Datum::List& list) {
+    if (list.size() < 3 || !list[1].is_list() || list[1].AsList().size() != 2 ||
+        !list[1].AsList()[0].is_symbol()) {
+      Report(list[0], kRuleMalformedForm, "dolist expects ((var list-expr) body...)");
+      return;
+    }
+    CheckExpr(list[1].AsList()[1]);
+    Scope scope(this);
+    Bind(list[1].AsList()[0].AsSymbol());
+    CheckBody(list, 2);
+  }
+
+  void CheckLambda(const Datum::List& list) {
+    if (list.size() < 3 || !list[1].is_list()) {
+      Report(list[0], kRuleMalformedForm, "lambda expects (lambda (params) body...)");
+      return;
+    }
+    Scope scope(this);
+    BindParams(list[1]);
+    CheckBody(list, 2);
+  }
+
+  void CheckDefun(const Datum::List& list) {
+    if (list.size() < 4 || !list[1].is_symbol() || !list[2].is_list()) {
+      Report(list[0], kRuleMalformedForm, "defun expects (defun name (params) body...)");
+      return;
+    }
+    Scope scope(this);
+    BindParams(list[2]);
+    CheckBody(list, 3);
+  }
+
+  void CheckDefmethod(const Datum::List& list) {
+    if (list.size() < 4 || !list[1].is_symbol() || !list[2].is_list() ||
+        list[2].AsList().empty()) {
+      Report(list[0], kRuleMalformedForm,
+             "defmethod expects (defmethod name ((arg class) ...) body...)");
+      return;
+    }
+    const Datum& first = list[2].AsList()[0];
+    if (!first.is_list() || first.AsList().size() != 2 || !first.AsList()[0].is_symbol() ||
+        !first.AsList()[1].is_symbol()) {
+      Report(first, kRuleMalformedForm,
+             "defmethod's first parameter must be an (arg class) specializer pair");
+      return;
+    }
+    const std::string& spec = first.AsList()[1].AsSymbol();
+    if (!model_.HasClass(spec) && !IsRegistryBuiltinClass(spec) &&
+        !IsDispatchableFundamental(spec)) {
+      Report(first.AsList()[1], kRuleUnknownSpecializer,
+             "defmethod specializer '" + spec + "' names an undefined class");
+    }
+    Scope scope(this);
+    BindParams(list[2]);
+    CheckBody(list, 3);
+  }
+
+  void CheckDefclass(const Datum::List& list) {
+    if (list.size() < 4 || !list[1].is_symbol() || !list[2].is_list() || !list[3].is_list()) {
+      Report(list[0], kRuleMalformedForm,
+             "defclass expects (defclass name (supertype) (slots...))");
+      return;
+    }
+    const std::string& name = list[1].AsSymbol();
+    // Superclass: the registry requires the supertype to already be registered.
+    std::string super = "object";
+    if (!list[2].AsList().empty()) {
+      const Datum& s = list[2].AsList()[0];
+      if (s.is_symbol()) {
+        super = s.AsSymbol();
+        if (!model_.HasClass(super) && !IsRegistryBuiltinClass(super)) {
+          Report(s, kRuleUnknownSuperclass,
+                 "superclass '" + super + "' is not defined in this script or the registry");
+        }
+      }
+    }
+    // Slots: the registry rejects duplicates across the whole inheritance
+    // chain, so a redeclared inherited slot is an error too.
+    std::set<std::string> seen;
+    for (const SlotDecl& s : model_.AllSlots(super)) {
+      seen.insert(s.name);
+    }
+    for (const Datum& slot : list[3].AsList()) {
+      const Datum* name_datum = nullptr;
+      std::string slot_name;
+      std::string type_name = "any";
+      const Datum* type_datum = nullptr;
+      if (slot.is_symbol()) {
+        name_datum = &slot;
+        slot_name = slot.AsSymbol();
+      } else if (slot.is_list() && !slot.AsList().empty() && slot.AsList()[0].is_symbol()) {
+        const Datum::List& spec = slot.AsList();
+        name_datum = &spec[0];
+        slot_name = spec[0].AsSymbol();
+        for (size_t i = 1; i < spec.size(); i += 2) {
+          if (i + 1 >= spec.size()) {
+            Report(spec[i], kRuleMalformedForm,
+                   "slot option '" + (spec[i].is_symbol() ? spec[i].AsSymbol() : "?") +
+                       "' is missing its value");
+            break;
+          }
+          if (spec[i].is_symbol() && spec[i].AsSymbol() == ":type" &&
+              spec[i + 1].is_symbol()) {
+            type_name = spec[i + 1].AsSymbol();
+            type_datum = &spec[i + 1];
+          }
+        }
+      } else {
+        Report(slot, kRuleMalformedForm, "slot must be a symbol or (name :type type)");
+        continue;
+      }
+      if (!seen.insert(slot_name).second) {
+        Report(*name_datum, kRuleDuplicateSlot,
+               "slot '" + slot_name + "' declared more than once in '" + name +
+                   "' (inherited slots included)");
+      }
+      if (type_datum != nullptr && !IsFundamentalTypeName(type_name) &&
+          !model_.HasClass(type_name) && !IsRegistryBuiltinClass(type_name)) {
+        Report(*type_datum, kRuleUnknownSlotType,
+               "slot type '" + type_name +
+                   "' is neither a fundamental type nor a known class");
+      }
+    }
+  }
+
+  // Returns the class name when the datum is a (quote symbol) form, else "".
+  static std::string QuotedClassName(const Datum& d) {
+    if (d.is_list() && d.AsList().size() == 2 && d.AsList()[0].is_symbol() &&
+        d.AsList()[0].AsSymbol() == "quote" && d.AsList()[1].is_symbol()) {
+      return d.AsList()[1].AsSymbol();
+    }
+    return "";
+  }
+
+  void CheckMakeInstance(const Datum::List& list) {
+    if (list.size() < 2) {
+      return;  // arity check already reported
+    }
+    std::string cls = QuotedClassName(list[1]);
+    if (cls.empty()) {
+      CheckExpr(list[1]);  // class computed dynamically; nothing static to say
+    } else if (!model_.HasClass(cls) && !IsRegistryBuiltinClass(cls)) {
+      Report(list[1], kRuleUnknownClass,
+             "make-instance of '" + cls + "', which is defined nowhere in this script");
+      return;  // no class table to check the initializers against
+    }
+    std::vector<SlotDecl> slots =
+        cls.empty() ? std::vector<SlotDecl>{} : model_.AllSlots(cls);
+    for (size_t i = 2; i < list.size(); i += 2) {
+      if (!IsKeyword(list[i])) {
+        Report(list[i], kRuleMalformedForm,
+               "make-instance initializers must be :keyword value pairs");
+        CheckExpr(list[i]);
+        continue;
+      }
+      if (i + 1 >= list.size()) {
+        Report(list[i], kRuleMalformedForm,
+               "initializer '" + list[i].AsSymbol() + "' is missing its value");
+        break;
+      }
+      const std::string slot_name = list[i].AsSymbol().substr(1);
+      const SlotDecl* slot = nullptr;
+      for (const SlotDecl& s : slots) {
+        if (s.name == slot_name) {
+          slot = &s;
+          break;
+        }
+      }
+      if (!cls.empty() && slot == nullptr) {
+        Report(list[i], kRuleUnknownSlotInit,
+               "class '" + cls + "' has no slot named '" + slot_name + "'");
+      }
+      const Datum& value = list[i + 1];
+      CheckExpr(value);
+      std::string kind = LiteralKind(value);
+      if (slot != nullptr && !kind.empty() && IsFundamentalTypeName(slot->type_name) &&
+          slot->type_name != "any" && slot->type_name != "list" &&
+          slot->type_name != "null" && kind != slot->type_name) {
+        // TypeRegistry::Validate requires the value kind to equal the declared
+        // fundamental type exactly (an i64 in an f64 slot fails at publish).
+        Report(value, kRuleSlotTypeMismatch,
+               "slot '" + slot_name + "' of '" + cls + "' is declared " + slot->type_name +
+                   " but initialized with a " + kind + " literal");
+      }
+    }
+  }
+
+  // Validates a string literal passed where a bus binding expects a subject or
+  // pattern, using the real grammar from src/subject.
+  void CheckSubjectArg(const Datum& arg, SubjectKind kind, const std::string& callee) {
+    if (!arg.is_string()) {
+      return;  // computed at run-time; nothing static to say
+    }
+    Status s = kind == SubjectKind::kPattern ? ValidatePattern(arg.AsString())
+                                             : ValidateSubject(arg.AsString());
+    if (!s.ok()) {
+      Report(arg, kRuleBadSubject,
+             "\"" + arg.AsString() + "\" passed to " + callee + ": " + s.message());
+    }
+  }
+
+  void CheckCall(const Datum::List& list) {
+    const std::string& callee = list[0].AsSymbol();
+    const size_t argc = list.size() - 1;
+    auto builtin = Builtins().find(callee);
+    auto fn = model_.functions.find(callee);
+    auto generic = model_.generics.find(callee);
+    if (builtin != Builtins().end()) {
+      const Arity& a = builtin->second.arity;
+      if (argc < a.min || argc > a.max) {
+        std::ostringstream msg;
+        msg << "'" << callee << "' expects ";
+        if (a.max == kVariadic) {
+          msg << "at least " << a.min << (a.min == 1 ? " argument" : " arguments");
+        } else if (a.min == a.max) {
+          msg << a.min << (a.min == 1 ? " argument" : " arguments");
+        } else {
+          msg << "between " << a.min << " and " << a.max << " arguments";
+        }
+        msg << ", got " << argc;
+        Report(list[0], kRuleArityMismatch, msg.str());
+      }
+      if (builtin->second.subject != SubjectKind::kNone && argc >= 1) {
+        CheckSubjectArg(list[1], builtin->second.subject, callee);
+      }
+      if (callee == "make-instance") {
+        CheckMakeInstance(list);
+        return;  // argument walk handled (keywords must not hit CheckSymbol)
+      }
+    } else if (fn != model_.functions.end()) {
+      if (argc != fn->second.arity) {
+        Report(list[0], kRuleArityMismatch,
+               "'" + callee + "' expects " + std::to_string(fn->second.arity) +
+                   (fn->second.arity == 1 ? " argument" : " arguments") + ", got " +
+                   std::to_string(argc));
+      }
+    } else if (generic != model_.generics.end()) {
+      bool any = false;
+      for (const MethodDecl& m : generic->second) {
+        if (m.arity == argc) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) {
+        Report(list[0], kRuleArityMismatch,
+               "no method on '" + callee + "' accepts " + std::to_string(argc) +
+                   (argc == 1 ? " argument" : " arguments"));
+      }
+    } else if (!IsBound(callee) && model_.assigned.count(callee) == 0 &&
+               !IsKeyword(list[0])) {
+      Report(list[0], kRuleUndefinedSymbol,
+             "call to '" + callee + "', which is not defined anywhere in this script");
+    }
+    for (size_t i = 1; i < list.size(); ++i) {
+      CheckExpr(list[i]);
+    }
+  }
+
+  void CheckExpr(const Datum& d) {
+    if (d.is_symbol()) {
+      CheckSymbol(d);
+      return;
+    }
+    if (!d.is_list() || d.AsList().empty()) {
+      return;  // literals check themselves
+    }
+    const Datum::List& list = d.AsList();
+    if (!list[0].is_symbol()) {
+      // Computed head, e.g. ((lambda (x) x) 1): check everything as expressions.
+      for (const Datum& child : list) {
+        CheckExpr(child);
+      }
+      return;
+    }
+    const std::string& op = list[0].AsSymbol();
+    if (op == "quote") {
+      return;  // data, not code
+    }
+    if (op == "if" || op == "when" || op == "unless" || op == "while" || op == "and" ||
+        op == "or" || op == "progn") {
+      CheckBody(list, 1);
+      return;
+    }
+    if (op == "cond") {
+      for (size_t i = 1; i < list.size(); ++i) {
+        if (!list[i].is_list() || list[i].AsList().empty()) {
+          Report(list[i], kRuleMalformedForm, "cond clause must be (test body...)");
+          continue;
+        }
+        for (const Datum& part : list[i].AsList()) {
+          CheckExpr(part);
+        }
+      }
+      return;
+    }
+    if (op == "let" || op == "let*") {
+      CheckLet(list, op == "let*");
+      return;
+    }
+    if (op == "lambda") {
+      CheckLambda(list);
+      return;
+    }
+    if (op == "setq") {
+      if (list.size() != 3 || !list[1].is_symbol()) {
+        Report(list[0], kRuleMalformedForm, "setq expects (setq name value)");
+        return;
+      }
+      CheckExpr(list[2]);
+      return;
+    }
+    if (op == "dolist") {
+      CheckDolist(list);
+      return;
+    }
+    if (op == "defun") {
+      CheckDefun(list);
+      return;
+    }
+    if (op == "defclass") {
+      CheckDefclass(list);
+      return;
+    }
+    if (op == "defmethod") {
+      CheckDefmethod(list);
+      return;
+    }
+    CheckCall(list);
+  }
+
+  std::string file_;
+  const ScriptModel& model_;
+  std::vector<std::set<std::string>> scopes_{1};
+  std::vector<Diagnostic> diags_;
+};
+
+// Parses "; tdlcheck: allow(rule)" suppressions out of the raw source, one map
+// entry per line that carries at least one.
+std::map<int, std::set<std::string>> CollectAllows(std::string_view source) {
+  std::map<int, std::set<std::string>> allows;
+  int line = 1;
+  size_t start = 0;
+  while (start <= source.size()) {
+    size_t end = source.find('\n', start);
+    std::string_view text = source.substr(
+        start, end == std::string_view::npos ? std::string_view::npos : end - start);
+    constexpr std::string_view kMarker = "tdlcheck: allow(";
+    size_t at = text.find(kMarker);
+    while (at != std::string_view::npos) {
+      size_t open = at + kMarker.size();
+      size_t close = text.find(')', open);
+      if (close == std::string_view::npos) {
+        break;
+      }
+      allows[line].insert(std::string(text.substr(open, close - open)));
+      at = text.find(kMarker, close);
+    }
+    if (end == std::string_view::npos) {
+      break;
+    }
+    start = end + 1;
+    ++line;
+  }
+  return allows;
+}
+
+void SortDiagnostics(std::vector<Diagnostic>* diags) {
+  std::stable_sort(diags->begin(), diags->end(), [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.line != b.line) {
+      return a.line < b.line;
+    }
+    if (a.col != b.col) {
+      return a.col < b.col;
+    }
+    return a.rule < b.rule;
+  });
+}
+
+}  // namespace
+
+bool IsKnownBuiltin(const std::string& name) {
+  return SpecialForms().count(name) > 0 || Builtins().count(name) > 0;
+}
+
+std::vector<Diagnostic> CheckForms(const std::string& file, const std::vector<Datum>& forms,
+                                   const ScriptModel& model) {
+  Checker checker(file, model);
+  checker.Run(forms);
+  std::vector<Diagnostic> diags = checker.Take();
+  SortDiagnostics(&diags);
+  return diags;
+}
+
+std::vector<Diagnostic> CheckScript(const std::string& file, std::string_view source) {
+  TdlParseError parse_error;
+  auto forms = ParseTdl(source, &parse_error);
+  if (!forms.ok()) {
+    Diagnostic d;
+    d.file = file;
+    d.line = parse_error.line > 0 ? parse_error.line : 1;
+    d.col = parse_error.col > 0 ? parse_error.col : 1;
+    d.rule = kRuleParseError;
+    d.message = parse_error.line > 0 ? parse_error.what : std::string(forms.status().message());
+    return {std::move(d)};
+  }
+  ScriptModel model = CollectModel(*forms);
+  std::vector<Diagnostic> diags = CheckForms(file, *forms, model);
+  auto allows = CollectAllows(source);
+  if (!allows.empty()) {
+    diags.erase(std::remove_if(diags.begin(), diags.end(),
+                               [&allows](const Diagnostic& d) {
+                                 auto it = allows.find(d.line);
+                                 return it != allows.end() && it->second.count(d.rule) > 0;
+                               }),
+                diags.end());
+  }
+  return diags;
+}
+
+}  // namespace ibus::tdlcheck

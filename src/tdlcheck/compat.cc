@@ -1,0 +1,132 @@
+// Schema-evolution compatibility: statically diffs the class tables of two
+// script versions and classifies every change as wire-safe or wire-breaking.
+//
+// The wire model: a publisher running new.tdl emits self-describing objects
+// that subscribers compiled against old.tdl consume by attribute name (paper
+// P2/P3). A change is wire-safe when every object the new script publishes
+// still carries every slot, at the same type, that an old-script consumer may
+// read. Appending slots, adding classes, and adding methods are safe (old
+// consumers ignore what they never ask for); removing, renaming, or retyping a
+// slot — or repointing the superclass, which changes the inherited slot set —
+// strands them.
+#include "src/tdlcheck/tdlcheck.h"
+
+namespace ibus::tdlcheck {
+
+namespace {
+
+void Change(std::vector<CompatChange>* out, bool breaking, const std::string& subject,
+            std::string message) {
+  out->push_back(CompatChange{breaking, subject, std::move(message)});
+}
+
+void DiffClass(const ScriptModel& old_model, const ScriptModel& new_model,
+               const ClassDecl& oc, std::vector<CompatChange>* out) {
+  const ClassDecl& nc = new_model.classes.at(oc.name);
+  if (oc.supertype != nc.supertype) {
+    Change(out, true, oc.name,
+           "superclass changed from '" + oc.supertype + "' to '" + nc.supertype +
+               "' (inherited slot set differs)");
+  }
+  // Compare the *flattened* slot sets: a slot moving between a class and its
+  // superclass is invisible on the wire, so only the effective set matters.
+  std::vector<SlotDecl> old_slots = old_model.AllSlots(oc.name);
+  std::vector<SlotDecl> new_slots = new_model.AllSlots(nc.name);
+  auto find = [](const std::vector<SlotDecl>& slots, const std::string& name) -> const SlotDecl* {
+    for (const SlotDecl& s : slots) {
+      if (s.name == name) {
+        return &s;
+      }
+    }
+    return nullptr;
+  };
+  for (const SlotDecl& os : old_slots) {
+    const SlotDecl* ns = find(new_slots, os.name);
+    if (ns == nullptr) {
+      // A removed slot accompanied by an appearing same-typed slot reads like a
+      // rename; surface the hint, but a rename is just as breaking.
+      std::string hint;
+      for (const SlotDecl& cand : new_slots) {
+        if (cand.type_name == os.type_name && find(old_slots, cand.name) == nullptr) {
+          hint = " (renamed to '" + cand.name + "'?)";
+          break;
+        }
+      }
+      Change(out, true, oc.name, "slot '" + os.name + "' removed" + hint);
+    } else if (ns->type_name != os.type_name) {
+      Change(out, true, oc.name,
+             "slot '" + os.name + "' retyped from " + os.type_name + " to " + ns->type_name);
+    }
+  }
+  for (const SlotDecl& ns : new_slots) {
+    if (find(old_slots, ns.name) == nullptr) {
+      Change(out, false, oc.name, "slot '" + ns.name + "' appended (type " + ns.type_name + ")");
+    }
+  }
+}
+
+}  // namespace
+
+std::string CompatChange::ToString() const {
+  return subject + ": " + message + (breaking ? " [BREAKING]" : " [safe]");
+}
+
+std::vector<CompatChange> DiffModels(const ScriptModel& old_model,
+                                     const ScriptModel& new_model) {
+  std::vector<CompatChange> out;
+  // std::map iteration gives a deterministic, name-sorted report.
+  for (const auto& [name, oc] : old_model.classes) {
+    if (new_model.classes.count(name) == 0) {
+      Change(&out, true, name, "class removed");
+      continue;
+    }
+    DiffClass(old_model, new_model, oc, &out);
+  }
+  for (const auto& [name, nc] : new_model.classes) {
+    if (old_model.classes.count(name) == 0) {
+      Change(&out, false, name, "new class (supertype '" + nc.supertype + "')");
+    }
+  }
+  // Methods: dispatch is process-local, so method-set changes never break the
+  // wire; new methods are reported as safe evolution, removals stay silent on
+  // the wire but are surfaced for the reader.
+  for (const auto& [name, methods] : new_model.generics) {
+    auto old_it = old_model.generics.find(name);
+    for (const MethodDecl& m : methods) {
+      bool existed = false;
+      if (old_it != old_model.generics.end()) {
+        for (const MethodDecl& om : old_it->second) {
+          if (om.specializer == m.specializer && om.arity == m.arity) {
+            existed = true;
+            break;
+          }
+        }
+      }
+      if (!existed) {
+        Change(&out, false, name,
+               "new method specialized on '" + m.specializer + "' (local dispatch only)");
+      }
+    }
+  }
+  for (const auto& [name, methods] : old_model.generics) {
+    auto new_it = new_model.generics.find(name);
+    for (const MethodDecl& m : methods) {
+      bool still = false;
+      if (new_it != new_model.generics.end()) {
+        for (const MethodDecl& nm : new_it->second) {
+          if (nm.specializer == m.specializer && nm.arity == m.arity) {
+            still = true;
+            break;
+          }
+        }
+      }
+      if (!still) {
+        Change(&out, false, name,
+               "method specialized on '" + m.specializer + "' removed (local dispatch only)");
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ibus::tdlcheck

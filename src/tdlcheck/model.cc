@@ -1,0 +1,150 @@
+// Model collection: the static class/function/method tables tdlcheck builds
+// from a parsed script without executing it.
+#include <algorithm>
+
+#include "src/tdlcheck/tdlcheck.h"
+
+namespace ibus::tdlcheck {
+
+std::string Diagnostic::ToString() const {
+  return file + ":" + std::to_string(line) + ":" + std::to_string(col) + ": [" + rule + "] " +
+         message;
+}
+
+const SlotDecl* ClassDecl::FindSlot(const std::string& slot_name) const {
+  for (const SlotDecl& s : slots) {
+    if (s.name == slot_name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<SlotDecl> ScriptModel::AllSlots(const std::string& cls) const {
+  // Supertype-first, mirroring TypeRegistry::AllAttributes. The chain walk is
+  // cycle-safe: a (statically impossible to register, but parseable) circular
+  // hierarchy terminates at the first repeat.
+  std::vector<const ClassDecl*> chain;
+  std::set<std::string> visited;
+  for (auto it = classes.find(cls); it != classes.end(); it = classes.find(it->second.supertype)) {
+    if (!visited.insert(it->first).second) {
+      break;
+    }
+    chain.push_back(&it->second);
+  }
+  std::vector<SlotDecl> out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    out.insert(out.end(), (*it)->slots.begin(), (*it)->slots.end());
+  }
+  return out;
+}
+
+namespace {
+
+bool IsSym(const Datum& d, const char* name) { return d.is_symbol() && d.AsSymbol() == name; }
+
+// Records a (defclass name (super) (slots...)) form whose shape is close enough
+// to read a declaration out of. Structural errors are the checker's job; the
+// collector is deliberately lenient so a half-broken defclass still contributes
+// whatever it declares (fewer cascading undefined-class diagnostics).
+void CollectDefclass(const Datum::List& list, ScriptModel* model) {
+  if (list.size() < 3 || !list[1].is_symbol() || !list[2].is_list()) {
+    return;
+  }
+  ClassDecl decl;
+  decl.name = list[1].AsSymbol();
+  decl.line = list[1].line();
+  decl.col = list[1].col();
+  decl.supertype = "object";
+  if (!list[2].AsList().empty() && list[2].AsList()[0].is_symbol()) {
+    decl.supertype = list[2].AsList()[0].AsSymbol();
+  }
+  if (list.size() > 3 && list[3].is_list()) {
+    for (const Datum& slot : list[3].AsList()) {
+      SlotDecl s;
+      if (slot.is_symbol()) {
+        s = SlotDecl{slot.AsSymbol(), "any", slot.line(), slot.col()};
+      } else if (slot.is_list() && !slot.AsList().empty() && slot.AsList()[0].is_symbol()) {
+        const Datum::List& spec = slot.AsList();
+        s = SlotDecl{spec[0].AsSymbol(), "any", spec[0].line(), spec[0].col()};
+        for (size_t i = 1; i + 1 < spec.size(); i += 2) {
+          if (IsSym(spec[i], ":type") && spec[i + 1].is_symbol()) {
+            s.type_name = spec[i + 1].AsSymbol();
+          }
+        }
+      } else {
+        continue;
+      }
+      decl.slots.push_back(std::move(s));
+    }
+  }
+  model->classes[decl.name] = std::move(decl);
+}
+
+void CollectDefun(const Datum::List& list, ScriptModel* model) {
+  if (list.size() < 4 || !list[1].is_symbol() || !list[2].is_list()) {
+    return;
+  }
+  FunctionDecl decl;
+  decl.name = list[1].AsSymbol();
+  decl.arity = list[2].AsList().size();
+  decl.line = list[1].line();
+  decl.col = list[1].col();
+  model->functions[decl.name] = std::move(decl);
+}
+
+void CollectDefmethod(const Datum::List& list, ScriptModel* model) {
+  if (list.size() < 4 || !list[1].is_symbol() || !list[2].is_list() ||
+      list[2].AsList().empty()) {
+    return;
+  }
+  const Datum& first = list[2].AsList()[0];
+  if (!first.is_list() || first.AsList().size() != 2 || !first.AsList()[1].is_symbol()) {
+    return;
+  }
+  MethodDecl decl;
+  decl.specializer = first.AsList()[1].AsSymbol();
+  decl.arity = list[2].AsList().size();
+  decl.line = list[1].line();
+  decl.col = list[1].col();
+  model->generics[list[1].AsSymbol()].push_back(std::move(decl));
+}
+
+void CollectForm(const Datum& form, ScriptModel* model) {
+  if (!form.is_list() || form.AsList().empty()) {
+    return;
+  }
+  const Datum::List& list = form.AsList();
+  if (list[0].is_symbol()) {
+    const std::string& op = list[0].AsSymbol();
+    if (op == "quote") {
+      return;  // quoted data, not code
+    }
+    if (op == "defclass") {
+      CollectDefclass(list, model);
+    } else if (op == "defun") {
+      CollectDefun(list, model);
+    } else if (op == "defmethod") {
+      CollectDefmethod(list, model);
+    } else if (op == "setq" && list.size() >= 2 && list[1].is_symbol()) {
+      // setq on an unbound name defines it; collected globally so scripts that
+      // (setq s ...) at top level then reference s later check clean.
+      model->assigned.insert(list[1].AsSymbol());
+    }
+  }
+  for (const Datum& child : list) {
+    CollectForm(child, model);
+  }
+}
+
+}  // namespace
+
+ScriptModel CollectModel(const std::vector<Datum>& forms) {
+  ScriptModel model;
+  for (const Datum& form : forms) {
+    CollectForm(form, &model);
+  }
+  return model;
+}
+
+}  // namespace ibus::tdlcheck

@@ -1,0 +1,165 @@
+// tdlcheck: an AST-level static analyzer + schema-evolution compatibility
+// checker for the TDL dynamic-classing language.
+//
+// The paper's evolution story (P3: new classes defined at run-time become
+// instantly publishable) cuts both ways: a typo'd slot name, a wrong-arity
+// call, or a wire-breaking class redefinition is only discovered when an
+// adapter crashes mid-run. tdlcheck loads TDL scripts WITHOUT executing them
+// and reports diagnostics with file:line:col spans:
+//
+//   parse-error         — the script does not parse (position of the bad token)
+//   undefined-symbol    — reference to a variable/function bound nowhere:
+//                         not a builtin, bus binding, defun, defmethod generic,
+//                         defclass name, parameter, let/dolist binding, or setq
+//   arity-mismatch      — call to a builtin/defun/defmethod with an argument
+//                         count no signature accepts
+//   malformed-form      — structurally broken special form (defclass without a
+//                         slot list, make-instance with a dangling :keyword, …)
+//   duplicate-slot      — defclass slot repeated, or shadowing an inherited
+//                         slot (the registry rejects both at run-time)
+//   unknown-slot-type   — slot :type names neither a fundamental type from the
+//                         types::TypeRegistry scalar set nor a checked class
+//   unknown-superclass  — defclass supertype is not 'object', a built-in
+//                         registry type, or a class defined in the script
+//   unknown-class       — make-instance of a class defined nowhere
+//   unknown-slot-init   — make-instance :slot that the class does not declare
+//                         (inherited slots included)
+//   slot-type-mismatch  — make-instance literal initializer whose kind cannot
+//                         inhabit the declared slot type (string into f64, …)
+//   bad-subject         — subject/pattern literal passed to a bus binding that
+//                         fails the real src/subject grammar, including the
+//                         reserved "_ibus." namespace rule for publishes
+//   unknown-specializer — defmethod specializer naming an undefined class
+//
+// Any script line can opt out with a trailing comment: ; tdlcheck: allow(rule)
+//
+// The second mode statically diffs the class tables of two script versions and
+// classifies every change as wire-safe or wire-breaking (see DiffModels and
+// tools/tdlcheck --compat), making the evolution story a CI-checkable property.
+#ifndef SRC_TDLCHECK_TDLCHECK_H_
+#define SRC_TDLCHECK_TDLCHECK_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/tdl/datum.h"
+
+namespace ibus::tdlcheck {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  int col = 0;
+  std::string rule;
+  std::string message;
+
+  // "examples/scripts/x.tdl:4:12: [undefined-symbol] ..." — the exact format
+  // the golden-diagnostics test locks.
+  std::string ToString() const;
+};
+
+// Rule names, exposed for the allowlist mechanism and the tests.
+inline constexpr char kRuleParseError[] = "parse-error";
+inline constexpr char kRuleUndefinedSymbol[] = "undefined-symbol";
+inline constexpr char kRuleArityMismatch[] = "arity-mismatch";
+inline constexpr char kRuleMalformedForm[] = "malformed-form";
+inline constexpr char kRuleDuplicateSlot[] = "duplicate-slot";
+inline constexpr char kRuleUnknownSlotType[] = "unknown-slot-type";
+inline constexpr char kRuleUnknownSuperclass[] = "unknown-superclass";
+inline constexpr char kRuleUnknownClass[] = "unknown-class";
+inline constexpr char kRuleUnknownSlotInit[] = "unknown-slot-init";
+inline constexpr char kRuleSlotTypeMismatch[] = "slot-type-mismatch";
+inline constexpr char kRuleBadSubject[] = "bad-subject";
+inline constexpr char kRuleUnknownSpecializer[] = "unknown-specializer";
+
+// --- The statically collected script model -----------------------------------------
+
+struct SlotDecl {
+  std::string name;
+  std::string type_name;  // "any" when the slot spec carries no :type
+  int line = 0;
+  int col = 0;
+};
+
+struct ClassDecl {
+  std::string name;
+  std::string supertype;
+  std::vector<SlotDecl> slots;
+  int line = 0;
+  int col = 0;
+
+  const SlotDecl* FindSlot(const std::string& slot_name) const;
+};
+
+struct FunctionDecl {
+  std::string name;
+  size_t arity = 0;
+  int line = 0;
+  int col = 0;
+};
+
+struct MethodDecl {
+  std::string specializer;
+  size_t arity = 0;  // including the dispatch argument
+  int line = 0;
+  int col = 0;
+};
+
+struct ScriptModel {
+  std::map<std::string, ClassDecl> classes;
+  std::map<std::string, FunctionDecl> functions;          // defun
+  std::map<std::string, std::vector<MethodDecl>> generics;  // defmethod
+  std::set<std::string> assigned;                         // (setq name ...) targets
+
+  bool HasClass(const std::string& name) const { return classes.count(name) > 0; }
+
+  // All slots of `cls` including inherited ones along the in-model supertype
+  // chain, supertype-first (mirrors TypeRegistry::AllAttributes). Cycle-safe.
+  std::vector<SlotDecl> AllSlots(const std::string& cls) const;
+};
+
+// Collects every defclass/defun/defmethod/setq in the form tree,
+// flow-insensitively: a defclass inside a function body still registers when
+// the function runs, so the checker treats it as defined. Quoted data is not
+// descended into.
+ScriptModel CollectModel(const std::vector<Datum>& forms);
+
+// True when `name` is a special form, an interpreter builtin, or a bus binding
+// the checker knows the signature of. The tdlcheck tests cross-check this
+// against TdlInterp::GlobalNames() so the table cannot drift from the
+// interpreter.
+bool IsKnownBuiltin(const std::string& name);
+
+// Analyzes one script without executing it: parse, collect the model, run every
+// rule. `file` appears verbatim in diagnostics. Diagnostics are sorted by
+// position.
+std::vector<Diagnostic> CheckScript(const std::string& file, std::string_view source);
+
+// Checks already-parsed forms against a model (used by CheckScript; exposed for
+// hosts that already hold parsed trees).
+std::vector<Diagnostic> CheckForms(const std::string& file, const std::vector<Datum>& forms,
+                                   const ScriptModel& model);
+
+// --- Schema-evolution compatibility (tdlcheck --compat) ----------------------------
+
+struct CompatChange {
+  bool breaking = false;
+  std::string subject;  // class name (or generic name for method changes)
+  std::string message;
+
+  // "recipe: slot 'steps' removed [BREAKING]" / "...appended (type string) [safe]"
+  std::string ToString() const;
+};
+
+// Statically diffs the class tables (and method sets) of two script versions.
+// Wire-safe: slot appended, new class, new method. Wire-breaking: slot
+// removed/renamed/retyped, superclass changed, class removed.
+std::vector<CompatChange> DiffModels(const ScriptModel& old_model,
+                                     const ScriptModel& new_model);
+
+}  // namespace ibus::tdlcheck
+
+#endif  // SRC_TDLCHECK_TDLCHECK_H_

@@ -1,0 +1,21 @@
+// Fixture: TDL literals that do not parse, handed to the TDL entry points.
+#include <string>
+
+void Seeded() {
+  // Unbalanced paren inside a raw-string script.
+  app.RunScript(R"tdl(
+    (defclass recipe (object)
+      ((steps :type list))
+  )tdl");
+  // Unterminated TDL string inside an escaped C++ literal.
+  interp.EvalProgram("(print \"oops)");
+}
+
+void Clean() {
+  // Parses fine: must NOT fire.
+  app.RunScript("(+ 1 2)");
+  // Not a literal argument: nothing static to check.
+  app.RunScript(source);
+  // Suppressed by the allowlist.
+  interp.EvalProgram("(print \"oops)");  // buslint: allow(tdl-string)
+}

@@ -1,0 +1,13 @@
+// Fixture: well-formed TDL literals at every entry point; no rule may fire.
+#include <string>
+
+void AllClean() {
+  app.RunScript(R"tdl(
+    (defclass recipe (object)
+      ((steps :type list)))
+    (make-instance 'recipe :steps (list 1 2 3))
+  )tdl");
+  interp.EvalProgram("(print \"hello\\n\")");
+  auto forms = ibus::ParseTdl("(+ 1 2) (* 3 4)");
+  auto one = ibus::ParseTdlOne("'(a b c)");
+}

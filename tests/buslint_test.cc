@@ -115,6 +115,19 @@ TEST(BuslintReservedSubject, SilentInTelemetryAndServices) {
   EXPECT_EQ(CountRule(services, kRuleReservedSubject), 0u) << Render(services);
 }
 
+TEST(BuslintTdlString, FiresOnUnparsableTdlLiterals) {
+  auto vs = LintFixture("examples/embed.cc", "bad_tdl_string.cc");
+  ASSERT_EQ(CountRule(vs, kRuleTdlString), 2u) << Render(vs);
+  EXPECT_EQ(vs[0].line, 6);   // raw-string script with an unbalanced paren
+  EXPECT_EQ(vs[1].line, 11);  // escaped literal with an unterminated TDL string
+  EXPECT_NE(vs[0].message.find("does not parse"), std::string::npos);
+}
+
+TEST(BuslintTdlString, SilentOnWellFormedAndNonLiteralScripts) {
+  auto vs = LintFixture("examples/embed.cc", "good_tdl_string.cc");
+  EXPECT_TRUE(vs.empty()) << Render(vs);
+}
+
 TEST(BuslintClean, CleanFixtureHasNoViolationsAnywhere) {
   auto vs = LintFixture("src/sim/clean.cc", "clean.cc");
   EXPECT_TRUE(vs.empty()) << Render(vs);

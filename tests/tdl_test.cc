@@ -291,5 +291,76 @@ TEST_F(TdlExtrasTest, StringSplit) {
   EXPECT_EQ(Eval("(length (string-split \"a::b::\" \"::\"))").AsInt(), 3);
 }
 
+// ---------------------------------------------------------------------------------
+// Reader positions and edge cases (the tdlcheck substrate)
+// ---------------------------------------------------------------------------------
+
+TEST(TdlReader, StampsLineAndColumnOnEveryDatum) {
+  auto forms = ParseTdl("(foo 1\n  bar \"s\")");
+  ASSERT_TRUE(forms.ok());
+  const Datum& list = (*forms)[0];
+  EXPECT_EQ(list.line(), 1);
+  EXPECT_EQ(list.col(), 1);
+  EXPECT_EQ(list.AsList()[0].line(), 1);
+  EXPECT_EQ(list.AsList()[0].col(), 2);  // foo
+  EXPECT_EQ(list.AsList()[2].line(), 2);
+  EXPECT_EQ(list.AsList()[2].col(), 3);  // bar
+  EXPECT_EQ(list.AsList()[3].line(), 2);
+  EXPECT_EQ(list.AsList()[3].col(), 7);  // "s"
+}
+
+TEST(TdlReader, QuoteSugarCarriesTheQuotePosition) {
+  auto form = ParseTdlOne("\n  'sym");
+  ASSERT_TRUE(form.ok());
+  EXPECT_EQ(form->ToString(), "(quote sym)");
+  EXPECT_EQ(form->line(), 2);
+  EXPECT_EQ(form->col(), 3);
+}
+
+TEST(TdlReader, ErrorsCarryLineAndColumn) {
+  TdlParseError err;
+  EXPECT_FALSE(ParseTdl("(print 1)\n  \"unterminated", &err).ok());
+  EXPECT_EQ(err.line, 2);
+  EXPECT_EQ(err.col, 3);
+  EXPECT_EQ(err.what, "unterminated string");
+
+  err = TdlParseError{};
+  auto r = ParseTdl("(a\n  (b", &err);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(err.line, 2);
+  EXPECT_EQ(err.col, 3);  // the innermost unterminated list
+  EXPECT_NE(r.status().message().find("tdl parse error at 2:3"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(TdlReader, DeepNestingIsBoundedNotACrash) {
+  std::string deep = std::string(300, '(') + "1" + std::string(300, ')');
+  TdlParseError err;
+  auto r = ParseTdl(deep, &err);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(err.what.find("nesting deeper than"), std::string::npos);
+  std::string fine = std::string(50, '(') + "1" + std::string(50, ')');
+  EXPECT_TRUE(ParseTdl(fine).ok());
+}
+
+TEST(TdlReader, EdgeInputsDoNotCrash) {
+  auto empty = ParseTdl("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+
+  auto comment_only = ParseTdl("; just a comment with no newline");
+  ASSERT_TRUE(comment_only.ok());
+  EXPECT_TRUE(comment_only->empty());
+
+  auto trailing_comment = ParseTdl("(+ 1 2) ; trailing, no newline");
+  ASSERT_TRUE(trailing_comment.ok());
+  EXPECT_EQ(trailing_comment->size(), 1u);
+
+  EXPECT_FALSE(ParseTdl("'").ok());       // quote with nothing to quote
+  EXPECT_FALSE(ParseTdl("(a))").ok());    // stray closer after a valid form
+  EXPECT_FALSE(ParseTdlOne("1 2").ok());  // exactly-one contract
+  EXPECT_FALSE(ParseTdlOne("").ok());
+}
+
 }  // namespace
 }  // namespace ibus

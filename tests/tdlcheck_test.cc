@@ -1,0 +1,429 @@
+// tdlcheck tests: every rule fires on a seeded script and stays silent on its
+// non-triggering twin; diagnostics carry exact file:line:col spans (locked as
+// golden strings); --compat classifies schema evolution; and the builtin table
+// is cross-checked against the live interpreter so it cannot drift.
+#include "src/tdlcheck/tdlcheck.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/tdl/interp.h"
+#include "src/tdl/parser.h"
+#include "src/types/registry.h"
+
+namespace ibus::tdlcheck {
+namespace {
+
+std::vector<Diagnostic> Check(const std::string& src) { return CheckScript("test.tdl", src); }
+
+size_t CountRule(const std::vector<Diagnostic>& ds, const std::string& rule) {
+  return static_cast<size_t>(
+      std::count_if(ds.begin(), ds.end(), [&](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+std::string Render(const std::vector<Diagnostic>& ds) {
+  std::string out;
+  for (const auto& d : ds) {
+    out += d.ToString() + "\n";
+  }
+  return out;
+}
+
+ScriptModel ModelOf(const std::string& src) {
+  auto forms = ParseTdl(src);
+  EXPECT_TRUE(forms.ok()) << forms.status().ToString();
+  return CollectModel(forms.ok() ? *forms : std::vector<Datum>{});
+}
+
+// ---------------------------------------------------------------------------------
+// Diagnostic format and positions
+// ---------------------------------------------------------------------------------
+
+TEST(TdlcheckFormat, GoldenFileLineColFormat) {
+  auto ds = Check("(defun f (x) x)\n(f 1 2)\n");
+  ASSERT_EQ(ds.size(), 1u) << Render(ds);
+  EXPECT_EQ(ds[0].ToString(), "test.tdl:2:2: [arity-mismatch] 'f' expects 1 argument, got 2");
+}
+
+TEST(TdlcheckFormat, ParseErrorCarriesTokenPosition) {
+  auto ds = Check("(print 1)\n  (unclosed\n");
+  ASSERT_EQ(ds.size(), 1u) << Render(ds);
+  EXPECT_EQ(ds[0].ToString(), "test.tdl:2:3: [parse-error] unterminated list");
+}
+
+TEST(TdlcheckFormat, DiagnosticsSortedByPosition) {
+  auto ds = Check("(mod 1)\n(nosuch)\n(mod 2)\n");
+  ASSERT_EQ(ds.size(), 3u) << Render(ds);
+  EXPECT_EQ(ds[0].line, 1);
+  EXPECT_EQ(ds[1].line, 2);
+  EXPECT_EQ(ds[2].line, 3);
+}
+
+// ---------------------------------------------------------------------------------
+// undefined-symbol
+// ---------------------------------------------------------------------------------
+
+TEST(TdlcheckUndefined, FiresOnUnboundReference) {
+  auto ds = Check("(print missing-var)\n");
+  ASSERT_EQ(ds.size(), 1u) << Render(ds);
+  EXPECT_EQ(ds[0].rule, kRuleUndefinedSymbol);
+  EXPECT_EQ(ds[0].line, 1);
+  EXPECT_EQ(ds[0].col, 8);
+}
+
+TEST(TdlcheckUndefined, FiresOnCallToUndefinedFunction) {
+  auto ds = Check("(frobnicate 1 2)\n");
+  ASSERT_EQ(CountRule(ds, kRuleUndefinedSymbol), 1u) << Render(ds);
+}
+
+TEST(TdlcheckUndefined, SilentOnEveryBindingForm) {
+  auto ds = Check(
+      "(defun f (x) (+ x 1))\n"
+      "(setq counter 0)\n"
+      "(let ((a 1) (b 2)) (+ a b))\n"
+      "(let* ((a 1) (b (+ a 1))) b)\n"
+      "(dolist (item (list 1 2)) (print item))\n"
+      "((lambda (y) (* y y)) 3)\n"
+      "(print counter (f 1))\n");
+  EXPECT_TRUE(ds.empty()) << Render(ds);
+}
+
+TEST(TdlcheckUndefined, SilentOnQuotedDataAndKeywords) {
+  auto ds = Check("(print '(totally undefined symbols))\n(print :keyword)\n");
+  EXPECT_TRUE(ds.empty()) << Render(ds);
+}
+
+// ---------------------------------------------------------------------------------
+// arity-mismatch
+// ---------------------------------------------------------------------------------
+
+TEST(TdlcheckArity, FiresOnBuiltinArity) {
+  auto ds = Check("(mod 5)\n(min)\n");
+  ASSERT_EQ(ds.size(), 2u) << Render(ds);
+  EXPECT_EQ(ds[0].ToString(),
+            "test.tdl:1:2: [arity-mismatch] 'mod' expects 2 arguments, got 1");
+  EXPECT_EQ(ds[1].ToString(),
+            "test.tdl:2:2: [arity-mismatch] 'min' expects at least 1 argument, got 0");
+}
+
+TEST(TdlcheckArity, SilentOnCorrectAndVariadicCalls) {
+  auto ds = Check("(mod 5 3)\n(min 1)\n(+ 1 2 3 4 5)\n(+)\n(print)\n");
+  EXPECT_TRUE(ds.empty()) << Render(ds);
+}
+
+TEST(TdlcheckArity, FiresOnDefunArity) {
+  auto ds = Check("(defun area (w h) (* w h))\n(area 3)\n");
+  ASSERT_EQ(ds.size(), 1u) << Render(ds);
+  EXPECT_EQ(ds[0].rule, kRuleArityMismatch);
+}
+
+TEST(TdlcheckArity, GenericAcceptsAnyDefinedMethodArity) {
+  const std::string defs =
+      "(defclass shape (object) ((n :type i64)))\n"
+      "(defmethod size ((s shape)) 1)\n"
+      "(defmethod size ((s shape) scale) scale)\n";
+  EXPECT_TRUE(Check(defs + "(size (make-instance 'shape)) (size (make-instance 'shape) 2)\n")
+                  .empty());
+  auto ds = Check(defs + "(size (make-instance 'shape) 2 3)\n");
+  ASSERT_EQ(ds.size(), 1u) << Render(ds);
+  EXPECT_EQ(ds[0].ToString(),
+            "test.tdl:4:2: [arity-mismatch] no method on 'size' accepts 3 arguments");
+}
+
+// ---------------------------------------------------------------------------------
+// malformed-form
+// ---------------------------------------------------------------------------------
+
+TEST(TdlcheckMalformed, FiresOnBrokenSpecialForms) {
+  EXPECT_EQ(CountRule(Check("(setq)\n"), kRuleMalformedForm), 1u);
+  EXPECT_EQ(CountRule(Check("(let (x 1) x)\n"), kRuleMalformedForm), 1u);
+  EXPECT_EQ(CountRule(Check("(cond bare)\n"), kRuleMalformedForm), 1u);
+  EXPECT_EQ(CountRule(Check("(defclass broken)\n"), kRuleMalformedForm), 1u);
+}
+
+TEST(TdlcheckMalformed, FiresOnDanglingMakeInstanceKeyword) {
+  auto ds = Check("(defclass c (object) ((a :type i64)))\n(make-instance 'c :a)\n");
+  ASSERT_EQ(ds.size(), 1u) << Render(ds);
+  EXPECT_EQ(ds[0].rule, kRuleMalformedForm);
+  EXPECT_EQ(ds[0].line, 2);
+}
+
+TEST(TdlcheckMalformed, SilentOnWellFormedForms) {
+  auto ds = Check(
+      "(setq x 1)\n"
+      "(let ((y 2)) (cond ((> y 1) y) (t 0)))\n"
+      "(defclass c (object) ((a :type i64)))\n"
+      "(make-instance 'c :a 3)\n");
+  EXPECT_TRUE(ds.empty()) << Render(ds);
+}
+
+// ---------------------------------------------------------------------------------
+// defclass rules: duplicate-slot, unknown-slot-type, unknown-superclass
+// ---------------------------------------------------------------------------------
+
+TEST(TdlcheckDefclass, FiresOnDuplicateSlot) {
+  auto ds = Check("(defclass c (object) ((a :type i64) (a :type string)))\n");
+  ASSERT_EQ(ds.size(), 1u) << Render(ds);
+  EXPECT_EQ(ds[0].rule, kRuleDuplicateSlot);
+  EXPECT_EQ(ds[0].col, 38);
+}
+
+TEST(TdlcheckDefclass, FiresOnShadowedInheritedSlot) {
+  auto ds = Check(
+      "(defclass base (object) ((id :type string)))\n"
+      "(defclass derived (base) ((id :type string)))\n");
+  ASSERT_EQ(ds.size(), 1u) << Render(ds);
+  EXPECT_EQ(ds[0].rule, kRuleDuplicateSlot);
+  EXPECT_EQ(ds[0].line, 2);
+}
+
+TEST(TdlcheckDefclass, FiresOnUnknownSlotType) {
+  auto ds = Check("(defclass c (object) ((a :type flot)))\n");
+  ASSERT_EQ(ds.size(), 1u) << Render(ds);
+  EXPECT_EQ(ds[0].ToString(),
+            "test.tdl:1:32: [unknown-slot-type] slot type 'flot' is neither a fundamental "
+            "type nor a known class");
+}
+
+TEST(TdlcheckDefclass, SlotTypesMayNameFundamentalsOrClasses) {
+  auto ds = Check(
+      "(defclass part (object) ((sku :type string)))\n"
+      "(defclass bin (object) ((contents :type part) (count :type i64) (tags :type list)))\n");
+  EXPECT_TRUE(ds.empty()) << Render(ds);
+}
+
+TEST(TdlcheckDefclass, FiresOnUnknownSuperclass) {
+  auto ds = Check("(defclass c (widget) ())\n");
+  ASSERT_EQ(ds.size(), 1u) << Render(ds);
+  EXPECT_EQ(ds[0].rule, kRuleUnknownSuperclass);
+}
+
+TEST(TdlcheckDefclass, SuperclassMayBeForwardDefinedOrRegistryBuiltin) {
+  auto ds = Check(
+      "(defclass derived (base) ())\n"  // forward reference: fine, collection is flow-insensitive
+      "(defclass base (object) ())\n"
+      "(defclass prop (property) ())\n");
+  EXPECT_TRUE(ds.empty()) << Render(ds);
+}
+
+// ---------------------------------------------------------------------------------
+// make-instance rules: unknown-class, unknown-slot-init, slot-type-mismatch
+// ---------------------------------------------------------------------------------
+
+TEST(TdlcheckMakeInstance, FiresOnUnknownClass) {
+  auto ds = Check("(make-instance 'nosuch)\n");
+  ASSERT_EQ(ds.size(), 1u) << Render(ds);
+  EXPECT_EQ(ds[0].rule, kRuleUnknownClass);
+  EXPECT_EQ(ds[0].col, 16);
+}
+
+TEST(TdlcheckMakeInstance, FiresOnUnknownSlotInit) {
+  auto ds = Check("(defclass c (object) ((a :type i64)))\n(make-instance 'c :b 1)\n");
+  ASSERT_EQ(ds.size(), 1u) << Render(ds);
+  EXPECT_EQ(ds[0].ToString(),
+            "test.tdl:2:19: [unknown-slot-init] class 'c' has no slot named 'b'");
+}
+
+TEST(TdlcheckMakeInstance, InheritedSlotInitsAreKnown) {
+  auto ds = Check(
+      "(defclass base (object) ((id :type string)))\n"
+      "(defclass derived (base) ((extra :type i64)))\n"
+      "(make-instance 'derived :id \"x\" :extra 2)\n");
+  EXPECT_TRUE(ds.empty()) << Render(ds);
+}
+
+TEST(TdlcheckMakeInstance, FiresOnSlotTypeMismatch) {
+  const std::string defs = "(defclass c (object) ((f :type f64) (s :type string)))\n";
+  auto ds = Check(defs + "(make-instance 'c :f \"hot\" :s 3)\n");
+  ASSERT_EQ(ds.size(), 2u) << Render(ds);
+  EXPECT_EQ(ds[0].rule, kRuleSlotTypeMismatch);
+  EXPECT_EQ(ds[1].rule, kRuleSlotTypeMismatch);
+  // TypeRegistry::Validate demands exact kind equality, so an i64 literal in an
+  // f64 slot is a (real, publish-time) error too.
+  auto strict = Check(defs + "(make-instance 'c :f 42 :s \"ok\")\n");
+  ASSERT_EQ(strict.size(), 1u) << Render(strict);
+  EXPECT_EQ(strict[0].rule, kRuleSlotTypeMismatch);
+}
+
+TEST(TdlcheckMakeInstance, SilentOnMatchingNilVariableAndAnyInits) {
+  auto ds = Check(
+      "(defclass c (object) ((f :type f64) (s :type string) (x :type any) (l :type list)))\n"
+      "(setq v 1)\n"
+      "(make-instance 'c :f 1.5 :s \"ok\" :x 42 :l (list 1 2))\n"
+      "(make-instance 'c :f nil :s nil)\n"
+      "(make-instance 'c :f v)\n");
+  EXPECT_TRUE(ds.empty()) << Render(ds);
+}
+
+// ---------------------------------------------------------------------------------
+// bad-subject
+// ---------------------------------------------------------------------------------
+
+TEST(TdlcheckSubject, FiresOnInvalidPublishSubjects) {
+  auto ds = Check(
+      "(defclass c (object) ())\n"
+      "(bus-publish \"plant.*.temp\" (make-instance 'c))\n"   // wildcard in a subject
+      "(bus-publish \"_ibus.sneaky\" (make-instance 'c))\n"   // reserved namespace
+      "(bus-publish \"a..b\" (make-instance 'c))\n");          // empty element
+  EXPECT_EQ(CountRule(ds, kRuleBadSubject), 3u) << Render(ds);
+}
+
+TEST(TdlcheckSubject, FiresOnInvalidSubscribePattern) {
+  auto ds = Check("(bus-subscribe \"plant.>more\" (lambda (s o) o))\n");
+  ASSERT_EQ(ds.size(), 1u) << Render(ds);
+  EXPECT_EQ(ds[0].rule, kRuleBadSubject);
+  EXPECT_EQ(ds[0].col, 16);
+}
+
+TEST(TdlcheckSubject, SilentOnValidAndComputedSubjects) {
+  auto ds = Check(
+      "(defclass c (object) ())\n"
+      "(bus-publish \"plant.cell3.temp\" (make-instance 'c))\n"
+      "(bus-subscribe \"plant.*.temp\" (lambda (s o) o))\n"     // wildcards fine in patterns
+      "(bus-subscribe \"plant.>\" (lambda (s o) o))\n"
+      "(setq subj \"who.knows\")\n"
+      "(bus-publish (concat subj \".x\") (make-instance 'c))\n");
+  EXPECT_TRUE(ds.empty()) << Render(ds);
+}
+
+// ---------------------------------------------------------------------------------
+// unknown-specializer
+// ---------------------------------------------------------------------------------
+
+TEST(TdlcheckSpecializer, FiresOnUndefinedClass) {
+  auto ds = Check("(defmethod area ((s circle)) 1)\n");
+  ASSERT_EQ(ds.size(), 1u) << Render(ds);
+  EXPECT_EQ(ds[0].rule, kRuleUnknownSpecializer);
+  EXPECT_EQ(ds[0].col, 21);
+}
+
+TEST(TdlcheckSpecializer, SilentOnClassesAndDispatchableFundamentals) {
+  auto ds = Check(
+      "(defclass circle (object) ((r :type f64)))\n"
+      "(defmethod area ((s circle)) (* (slot-value s 'r) (slot-value s 'r)))\n"
+      "(defmethod area ((s object)) 0)\n"
+      "(defmethod stringify ((s string)) s)\n"
+      "(defmethod stringify ((i i64)) (to-string i))\n");
+  EXPECT_TRUE(ds.empty()) << Render(ds);
+}
+
+// ---------------------------------------------------------------------------------
+// Allowlist
+// ---------------------------------------------------------------------------------
+
+TEST(TdlcheckAllow, TrailingCommentSuppressesOnlyThatRule) {
+  auto ds = Check("(mod 5) ; tdlcheck: allow(arity-mismatch)\n");
+  EXPECT_TRUE(ds.empty()) << Render(ds);
+  auto wrong = Check("(mod 5) ; tdlcheck: allow(undefined-symbol)\n");
+  EXPECT_EQ(CountRule(wrong, kRuleArityMismatch), 1u) << Render(wrong);
+}
+
+// ---------------------------------------------------------------------------------
+// Builtin table cannot drift from the interpreter
+// ---------------------------------------------------------------------------------
+
+TEST(TdlcheckBuiltins, EveryInterpreterGlobalIsKnown) {
+  TypeRegistry registry;
+  TdlInterp interp(&registry);
+  for (const std::string& name : interp.GlobalNames()) {
+    EXPECT_TRUE(IsKnownBuiltin(name)) << "builtin table is missing '" << name
+                                      << "' (update Builtins() in src/tdlcheck/checker.cc)";
+  }
+}
+
+TEST(TdlcheckBuiltins, SpecialFormsAreKnown) {
+  for (const char* form : {"quote", "if", "cond", "let", "let*", "lambda", "setq", "progn",
+                           "when", "unless", "dolist", "while", "defun", "defclass",
+                           "defmethod"}) {
+    EXPECT_TRUE(IsKnownBuiltin(form)) << form;
+  }
+  EXPECT_FALSE(IsKnownBuiltin("frobnicate"));
+}
+
+// ---------------------------------------------------------------------------------
+// --compat: schema evolution
+// ---------------------------------------------------------------------------------
+
+TEST(TdlcheckCompat, IdenticalSchemasProduceNoChanges) {
+  const std::string src = "(defclass c (object) ((a :type i64)))\n";
+  EXPECT_TRUE(DiffModels(ModelOf(src), ModelOf(src)).empty());
+}
+
+TEST(TdlcheckCompat, AppendedSlotNewClassAndNewMethodAreSafe) {
+  auto old_model = ModelOf("(defclass recipe (object) ((steps :type list)))\n");
+  auto new_model = ModelOf(
+      "(defclass recipe (object) ((steps :type list) (owner :type string)))\n"
+      "(defclass audit (object) ((who :type string)))\n"
+      "(defmethod describe-it ((r recipe)) 1)\n");
+  auto changes = DiffModels(old_model, new_model);
+  ASSERT_EQ(changes.size(), 3u);
+  for (const auto& c : changes) {
+    EXPECT_FALSE(c.breaking) << c.ToString();
+  }
+  EXPECT_EQ(changes[0].ToString(), "recipe: slot 'owner' appended (type string) [safe]");
+}
+
+TEST(TdlcheckCompat, RemovedAndRetypedSlotsAreBreaking) {
+  auto old_model =
+      ModelOf("(defclass recipe (object) ((steps :type list) (temp :type f64)))\n");
+  auto removed = DiffModels(old_model, ModelOf("(defclass recipe (object) ((temp :type f64)))\n"));
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_TRUE(removed[0].breaking);
+  EXPECT_EQ(removed[0].ToString(), "recipe: slot 'steps' removed [BREAKING]");
+
+  auto retyped = DiffModels(
+      old_model, ModelOf("(defclass recipe (object) ((steps :type list) (temp :type i64)))\n"));
+  ASSERT_EQ(retyped.size(), 1u);
+  EXPECT_EQ(retyped[0].ToString(), "recipe: slot 'temp' retyped from f64 to i64 [BREAKING]");
+}
+
+TEST(TdlcheckCompat, RenamedSlotIsBreakingWithHint) {
+  auto changes = DiffModels(
+      ModelOf("(defclass c (object) ((steps :type list)))\n"),
+      ModelOf("(defclass c (object) ((stages :type list)))\n"));
+  ASSERT_EQ(changes.size(), 2u);  // removal (with hint) + the appearing slot
+  EXPECT_TRUE(changes[0].breaking);
+  EXPECT_EQ(changes[0].ToString(), "c: slot 'steps' removed (renamed to 'stages'?) [BREAKING]");
+}
+
+TEST(TdlcheckCompat, SuperclassChangeAndClassRemovalAreBreaking) {
+  auto old_model = ModelOf(
+      "(defclass base (object) ((id :type string)))\n"
+      "(defclass c (base) ())\n"
+      "(defclass doomed (object) ())\n");
+  auto new_model = ModelOf(
+      "(defclass base (object) ((id :type string)))\n"
+      "(defclass c (object) ())\n");
+  auto changes = DiffModels(old_model, new_model);
+  size_t breaking = 0;
+  bool saw_super = false;
+  bool saw_removed_class = false;
+  for (const auto& c : changes) {
+    if (c.breaking) {
+      ++breaking;
+    }
+    saw_super = saw_super || c.ToString().find("superclass changed") != std::string::npos;
+    saw_removed_class = saw_removed_class || c.ToString() == "doomed: class removed [BREAKING]";
+  }
+  EXPECT_GE(breaking, 3u);  // super change + lost inherited slot + class removal
+  EXPECT_TRUE(saw_super);
+  EXPECT_TRUE(saw_removed_class);
+}
+
+TEST(TdlcheckCompat, SlotMovedToSuperclassIsInvisibleOnTheWire) {
+  auto old_model = ModelOf(
+      "(defclass base (object) ())\n"
+      "(defclass c (base) ((id :type string)))\n");
+  auto new_model = ModelOf(
+      "(defclass base (object) ((id :type string)))\n"
+      "(defclass c (base) ())\n");
+  for (const auto& c : DiffModels(old_model, new_model)) {
+    EXPECT_FALSE(c.breaking && c.subject == "c") << c.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace ibus::tdlcheck

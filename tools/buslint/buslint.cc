@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "src/subject/subject.h"
+#include "src/tdl/parser.h"
 
 namespace ibus::buslint {
 namespace {
@@ -502,6 +503,91 @@ void CheckReservedSubjects(const std::string& rel_path, const Scrubbed& s,
   }
 }
 
+// ---------------------------------------------------------------------------------
+// Rule: tdl-string
+// ---------------------------------------------------------------------------------
+
+// Interprets the C++ escape sequences the Scrubbed literal map preserves
+// verbatim. Raw-string contents carry no C++ escapes, so this is the identity
+// for them (a lone backslash only appears there as TDL's own escape, which the
+// TDL reader handles the same way).
+std::string UnescapeCpp(std::string_view content) {
+  std::string out;
+  out.reserve(content.size());
+  for (size_t i = 0; i < content.size(); ++i) {
+    if (content[i] != '\\' || i + 1 >= content.size()) {
+      out.push_back(content[i]);
+      continue;
+    }
+    char esc = content[++i];
+    switch (esc) {
+      case 'n':
+        out.push_back('\n');
+        break;
+      case 't':
+        out.push_back('\t');
+        break;
+      case 'r':
+        out.push_back('\r');
+        break;
+      case '0':
+        out.push_back('\0');
+        break;
+      default:
+        out.push_back(esc);  // \\ \" \' and anything exotic
+        break;
+    }
+  }
+  return out;
+}
+
+void CheckTdlStrings(const std::string& rel_path, const Scrubbed& s,
+                     std::vector<Violation>* out) {
+  // Entry points that hand a C++ string straight to the TDL reader.
+  static const std::unordered_set<std::string_view> kApis = {
+      "RunScript", "EvalProgram", "ParseTdl", "ParseTdlOne"};
+  ForEachIdentifier(s.code, [&](size_t off, std::string_view ident) {
+    if (kApis.count(ident) == 0) {
+      return;
+    }
+    size_t p = SkipSpace(s.code, off + ident.size());
+    if (p >= s.code.size() || s.code[p] != '(') {
+      return;
+    }
+    p = SkipSpace(s.code, p + 1);
+    if (p + 1 < s.code.size() && s.code[p] == 'R' && s.code[p + 1] == '"') {
+      ++p;  // raw string: the literal map is keyed on the quote, not the R
+    }
+    if (p >= s.code.size() || s.code[p] != '"') {
+      return;  // script is not a literal; nothing static to check
+    }
+    auto lit = s.literals.find(p);
+    if (lit == s.literals.end()) {
+      return;
+    }
+    size_t close = s.code.find('"', p + 1);
+    if (close == std::string::npos) {
+      return;
+    }
+    size_t after = SkipSpace(s.code, close + 1);
+    if (after >= s.code.size() || (s.code[after] != ',' && s.code[after] != ')')) {
+      return;  // literal is only part of the argument expression
+    }
+    int line = s.LineOf(off);
+    if (s.Allowed(line, kRuleTdlString)) {
+      return;
+    }
+    TdlParseError err;
+    auto parsed = ParseTdl(UnescapeCpp(lit->second), &err);
+    if (!parsed.ok()) {
+      out->push_back({rel_path, line, kRuleTdlString,
+                      "TDL literal passed to '" + std::string(ident) +
+                          "' does not parse (script line " + std::to_string(err.line) + ":" +
+                          std::to_string(err.col) + ": " + err.what + ")"});
+    }
+  });
+}
+
 }  // namespace
 
 std::string Violation::ToString() const {
@@ -517,6 +603,7 @@ std::vector<Violation> LintSource(const std::string& rel_path, std::string_view 
   CheckDecodeChecked(rel_path, s, &out);
   CheckRawNewDelete(rel_path, s, &out);
   CheckReservedSubjects(rel_path, s, &out);
+  CheckTdlStrings(rel_path, s, &out);
   std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
     return a.line != b.line ? a.line < b.line : a.rule < b.rule;
   });

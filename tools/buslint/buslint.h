@@ -22,6 +22,11 @@
 //                     src/telemetry and src/services; everything else must
 //                     name the reserved bus-internal namespace through the
 //                     kReserved* constants in src/subject/subject.h.
+//   tdl-string      — string literals handed to the TDL entry points
+//                     (RunScript, EvalProgram, ParseTdl, ParseTdlOne) must
+//                     parse under the real TDL reader (validated by linking
+//                     src/tdl). A typo'd embedded script otherwise survives
+//                     until that code path runs.
 //
 // Any line can opt out of a rule with a trailing comment:
 //   // buslint: allow(rule-name)
@@ -56,6 +61,7 @@ inline constexpr char kRuleDecodePair[] = "decode-pair";
 inline constexpr char kRuleDecodeChecked[] = "decode-checked";
 inline constexpr char kRuleRawNewDelete[] = "raw-new-delete";
 inline constexpr char kRuleReservedSubject[] = "reserved-subject";
+inline constexpr char kRuleTdlString[] = "tdl-string";
 
 }  // namespace ibus::buslint
 
