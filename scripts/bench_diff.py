@@ -9,7 +9,9 @@ Rows are matched by name; for each shared row the per-percentile latency delta a
 the throughput delta are printed. Exits non-zero if any latency percentile on any
 shared row regresses by more than the threshold (default 10%), or if the delivery
 rate (msgs_per_sec) of a throughput bench — any row whose name contains
-"throughput" — drops by more than the threshold. Rows present on only one side are
+"throughput" — drops by more than the threshold, or if a row carrying the
+"allocs_per_msg" counter (the instrumented-allocator hot_path_allocs bench) grows
+it by more than the threshold on both sides. Rows present on only one side are
 reported but never fail the run (benchmarks come and go across PRs).
 
 The deterministic simulator makes bench numbers replayable, so a genuine regression
@@ -27,6 +29,9 @@ MIN_BASELINE_US = 1.0
 # Delivery-rate drops only fail rows that are actually throughput benches, and only
 # above a sane baseline (latency benches report token rates or zero).
 MIN_BASELINE_RATE = 1.0
+# The allocation gate needs a non-trivial baseline too: below one alloc per message
+# a single new first-touch allocation would read as a huge percentage.
+MIN_BASELINE_ALLOCS = 0.5
 
 
 def load(path):
@@ -75,6 +80,19 @@ def main():
                     and -rate_pct > args.threshold):
                 regressions.append(
                     f"{name}: msgs_per_sec {brate:.1f}/s -> {crate:.1f}/s ({rate_pct:+.1f}%)")
+        # Allocation gate: only rows that carry the counter on BOTH sides compare
+        # (the key first appears in BENCH_6; older baselines simply lack it).
+        if "allocs_per_msg" in b and "allocs_per_msg" in c:
+            ballocs, callocs = b["allocs_per_msg"], c["allocs_per_msg"]
+            if ballocs >= MIN_BASELINE_ALLOCS:
+                alloc_pct = (callocs - ballocs) / ballocs * 100.0
+                cells.append(f"allocs {ballocs:.1f}->{callocs:.1f}/msg ({alloc_pct:+.1f}%)")
+                if alloc_pct > args.threshold:
+                    regressions.append(
+                        f"{name}: allocs_per_msg {ballocs:.2f} -> {callocs:.2f} "
+                        f"({alloc_pct:+.1f}%)")
+            else:
+                cells.append(f"allocs {ballocs:.1f}->{callocs:.1f}/msg")
         print(f"  {name:40s} " + "  ".join(cells))
 
     for name in sorted(set(base) - set(cur)):
@@ -88,7 +106,8 @@ def main():
         for r in regressions:
             print(f"  {r}", file=sys.stderr)
         return 1
-    print("bench_diff: OK — no latency or throughput regression beyond threshold")
+    print("bench_diff: OK — no latency, throughput, or allocation regression "
+          "beyond threshold")
     return 0
 
 

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # One-shot correctness gate: configure with sanitizers + -Werror, build everything,
-# run the tier1 suite, the repo-wide buslint pass, and the determinism replay check.
+# run the tier1 suite, the repo-wide buslint + hotlint passes, and the determinism
+# replay check.
 # See docs/TOOLING.md.
 #
 #   scripts/check.sh                 # full gate in build-check/
@@ -36,6 +37,9 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -L lint
 
 echo "== tdlcheck over repo TDL scripts + embedded R\"tdl()\" blocks"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L tdlcheck
+
+echo "== hotlint over the message hot path (-L hotlint: repo scan + analyzer tests)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L hotlint
 
 echo "== clang-tidy (skips when not installed)"
 cmake --build "${BUILD_DIR}" --target lint-tidy

@@ -40,7 +40,7 @@ Status BusClient::SendToDaemon(uint8_t packet_type, const Bytes& payload) {
   return socket_->SendTo(host_, config_.daemon_port, FrameMessage(packet_type, payload));
 }
 
-Status BusClient::Publish(Message m) {
+Status BusClient::Publish(Message m) {  // hotlint: hot
   return PublishScoped(std::move(m), SubjectScope::kApplication);
 }
 
@@ -77,7 +77,7 @@ Status BusClient::PublishScoped(Message m, SubjectScope scope) {
 }
 
 #if IBUS_TELEMETRY
-void BusClient::EmitHop(telemetry::HopKind kind, const Message& m) {
+void BusClient::EmitHop(telemetry::HopKind kind, const Message& m) {  // hotlint: cold -- trace-hop emission: runs only for traced messages, not the untraced fast path
   telemetry::HopRecord rec;
   rec.trace_id = m.trace_id;
   rec.hop = m.trace_hop;
@@ -94,7 +94,7 @@ void BusClient::EmitHop(telemetry::HopKind kind, const Message& m) {
 }
 #endif
 
-Status BusClient::Publish(const std::string& subject, Bytes payload) {
+Status BusClient::Publish(const std::string& subject, Bytes payload) {  // hotlint: hot
   Message m;
   m.subject = subject;
   m.payload = std::move(payload);
@@ -184,7 +184,7 @@ std::string BusClient::CreateInboxSubject() {
          std::to_string(next_inbox_++);
 }
 
-void BusClient::HandleDatagram(const Datagram& d) {
+void BusClient::HandleDatagram(const Datagram& d) {  // hotlint: hot
   auto frame = ParseFrame(d.payload);
   if (!frame.ok() || frame->frame_type != kPktClientDeliver) {
     return;
@@ -194,7 +194,11 @@ void BusClient::HandleDatagram(const Datagram& d) {
   if (!count.ok()) {
     return;
   }
+  if (*count > r.remaining() / 8) {
+    return;
+  }
   std::vector<uint64_t> sub_ids;
+  sub_ids.reserve(*count);
   for (uint64_t i = 0; i < *count; ++i) {
     auto id = r.ReadU64();
     if (!id.ok()) {

@@ -89,7 +89,7 @@ class BusDaemon {
   const telemetry::MetricsRegistry& metrics() const { return metrics_; }
 
   // Per-subject-prefix flow counters, ordered by prefix (deterministic iteration).
-  const std::map<std::string, SubjectFlow>& subject_flows() const { return flows_; }
+  const std::map<std::string, SubjectFlow, std::less<>>& subject_flows() const { return flows_; }
 
   // The host's flight recorder; protocol components share it.
   telemetry::FlightRecorder* flight_recorder() { return &recorder_; }
@@ -144,7 +144,7 @@ class BusDaemon {
 
   telemetry::MetricsRegistry metrics_;
   telemetry::FlightRecorder recorder_;
-  std::map<std::string, SubjectFlow> flows_;
+  std::map<std::string, SubjectFlow, std::less<>> flows_;
   // Hot-path instruments, resolved once at construction.
   telemetry::Counter* publishes_;
   telemetry::Counter* dispatched_;

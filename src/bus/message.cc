@@ -5,7 +5,8 @@
 
 namespace ibus {
 
-Bytes Message::Marshal() const {
+// hotlint: hot
+Bytes Message::Marshal() const {  // hotlint: allow(hot-by-value) -- serialization boundary: NRVO into the send buffer
   WireWriter w;
   w.PutString(subject);
   w.PutString(reply_subject);
@@ -21,7 +22,7 @@ Bytes Message::Marshal() const {
   return w.Take();
 }
 
-Result<Message> Message::Unmarshal(const Bytes& b) {
+Result<Message> Message::Unmarshal(const Bytes& b) {  // hotlint: hot
   WireReader r(b);
   Message m;
   auto subject = r.ReadString();
@@ -54,13 +55,13 @@ Result<Message> Message::Unmarshal(const Bytes& b) {
   return m;
 }
 
-Result<std::string> Message::PeekSubject(const Bytes& b) {
+Result<std::string_view> Message::PeekSubject(const Bytes& b) {
   WireReader r(b);
-  auto subject = r.ReadString();
+  auto subject = r.ReadStringView();
   if (!subject.ok()) {
     return DataLoss("message: truncated");
   }
-  return subject.take();
+  return *subject;
 }
 
 Message Message::ForObject(std::string subject, const DataObject& obj) {

@@ -31,8 +31,9 @@ struct Message {
 
   // Reads only the leading subject field from a marshalled message — cheap enough
   // for per-subject flow accounting on the publish hot path, where a full Unmarshal
-  // (which copies the payload) would be wasteful.
-  static Result<std::string> PeekSubject(const Bytes& b);
+  // (which copies the payload) would be wasteful. The view aliases `b` and is valid
+  // only while `b` lives.
+  static Result<std::string_view> PeekSubject(const Bytes& b);
 
   // Convenience: build a message carrying a marshalled data object.
   static Message ForObject(std::string subject, const DataObject& obj);

@@ -30,7 +30,7 @@ const char* StatusCodeName(StatusCode code) {
   return "UNKNOWN";
 }
 
-std::string Status::ToString() const {
+std::string Status::ToString() const {  // hotlint: cold -- status rendering: runs only when an error is actually reported
   if (ok()) {
     return "OK";
   }

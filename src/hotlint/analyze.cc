@@ -1,0 +1,334 @@
+// hotlint analysis: resolves call sites against the function model (conservative
+// union over same-named functions, so overloads and virtual overriders are all
+// edges), propagates hot-path membership from the annotated roots, and turns the
+// direct effect sets of hot functions into diagnostics carrying the root->site
+// call chain. Also finds call-graph cycles reachable from a root (hot-recursion)
+// and renders the Graphviz export.
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/hotlint/hotlint.h"
+
+namespace ibus::hotlint {
+namespace {
+
+struct Graph {
+  // adjacency[i] = indices of functions function i may call.
+  std::vector<std::vector<size_t>> adjacency;
+  std::vector<bool> hot;
+  // parent[i] = caller that first reached i in the BFS (SIZE_MAX for roots).
+  std::vector<size_t> parent;
+};
+
+std::string_view LastComponent(std::string_view qualified) {
+  size_t at = qualified.rfind("::");
+  return at == std::string_view::npos ? qualified : qualified.substr(at + 2);
+}
+
+Graph BuildGraph(const Program& p) {
+  Graph g;
+  const size_t n = p.functions.size();
+  g.adjacency.resize(n);
+  g.hot.assign(n, false);
+  g.parent.assign(n, SIZE_MAX);
+
+  std::map<std::string_view, std::vector<size_t>> by_name;
+  for (size_t i = 0; i < n; ++i) {
+    by_name[p.functions[i].name].push_back(i);
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    std::set<size_t> targets;
+    for (const CallSite& c : p.functions[i].calls) {
+      auto it = by_name.find(std::string_view(c.name));
+      if (it == by_name.end()) {
+        continue;  // external (std::, libc, out-of-scan) — no edge
+      }
+      // Overload filter: a candidate must accept the site's argument count,
+      // and `obj.f()` through a non-this receiver is never a self-call.
+      std::vector<size_t> by_arity;
+      for (size_t t : it->second) {
+        const Function& cand = p.functions[t];
+        if (c.argc < cand.min_params || c.argc > cand.max_params) {
+          continue;
+        }
+        if (t == i && c.object_receiver) {
+          continue;
+        }
+        by_arity.push_back(t);
+      }
+      if (by_arity.empty()) {
+        continue;
+      }
+      if (!c.qualifier.empty()) {
+        if (c.qualifier == "std" || c.qualifier.rfind("std::", 0) == 0) {
+          continue;
+        }
+        // Prefer candidates whose qualified name matches `...Last::name`; fall
+        // back to the name union when the qualifier was only a namespace.
+        std::string_view last = LastComponent(c.qualifier);
+        std::string want = std::string(last) + "::" + c.name;
+        std::vector<size_t> exact;
+        for (size_t t : by_arity) {
+          const std::string& q = p.functions[t].qualified_name;
+          if (q == want ||
+              (q.size() >= want.size() + 2 &&
+               q.compare(q.size() - want.size() - 2, 2, "::") == 0 &&
+               q.compare(q.size() - want.size(), want.size(), want) == 0)) {
+            exact.push_back(t);
+          }
+        }
+        if (!exact.empty()) {
+          targets.insert(exact.begin(), exact.end());
+          continue;
+        }
+      }
+      targets.insert(by_arity.begin(), by_arity.end());
+    }
+    g.adjacency[i].assign(targets.begin(), targets.end());
+  }
+
+  // BFS from the hot roots; cold functions absorb the edge but go no further
+  // and are never analyzed.
+  std::deque<size_t> queue;
+  for (size_t i = 0; i < n; ++i) {
+    if (p.functions[i].hot_root && !p.functions[i].cold) {
+      g.hot[i] = true;
+      queue.push_back(i);
+    }
+  }
+  while (!queue.empty()) {
+    size_t at = queue.front();
+    queue.pop_front();
+    for (size_t t : g.adjacency[at]) {
+      if (g.hot[t] || p.functions[t].cold) {
+        continue;
+      }
+      g.hot[t] = true;
+      g.parent[t] = at;
+      queue.push_back(t);
+    }
+  }
+  return g;
+}
+
+std::string HopLabel(const Function& f) {
+  return f.qualified_name + " (" + f.file + ":" + std::to_string(f.line) + ")";
+}
+
+std::vector<std::string> ChainTo(const Program& p, const Graph& g, size_t i) {
+  std::vector<std::string> chain;
+  size_t at = i;
+  while (at != SIZE_MAX) {
+    chain.push_back(HopLabel(p.functions[at]));
+    at = g.parent[at];
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+// Functions on a cycle within the hot subgraph: self-edges, plus every member
+// of a strongly connected component with more than one node (iterative Tarjan).
+std::vector<bool> HotCycleMembers(const Program& p, const Graph& g) {
+  const size_t n = p.functions.size();
+  std::vector<bool> on_cycle(n, false);
+  std::vector<int> index(n, -1);
+  std::vector<int> low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<size_t> stack;
+  int next_index = 0;
+
+  struct Frame {
+    size_t v;
+    size_t edge = 0;
+  };
+  for (size_t start = 0; start < n; ++start) {
+    if (!g.hot[start] || index[start] != -1) {
+      continue;
+    }
+    std::vector<Frame> call_stack{{start}};
+    while (!call_stack.empty()) {
+      Frame& f = call_stack.back();
+      size_t v = f.v;
+      if (f.edge == 0) {
+        index[v] = low[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      bool descended = false;
+      while (f.edge < g.adjacency[v].size()) {
+        size_t w = g.adjacency[v][f.edge++];
+        if (!g.hot[w]) {
+          continue;
+        }
+        if (index[w] == -1) {
+          call_stack.push_back({w});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) {
+          low[v] = std::min(low[v], index[w]);
+        }
+      }
+      if (descended) {
+        continue;
+      }
+      if (low[v] == index[v]) {
+        std::vector<size_t> scc;
+        while (true) {
+          size_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          scc.push_back(w);
+          if (w == v) {
+            break;
+          }
+        }
+        bool cyclic = scc.size() > 1;
+        if (!cyclic) {
+          for (size_t t : g.adjacency[v]) {
+            if (t == v) {
+              cyclic = true;
+            }
+          }
+        }
+        if (cyclic) {
+          for (size_t w : scc) {
+            on_cycle[w] = true;
+          }
+        }
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        Frame& up = call_stack.back();
+        low[up.v] = std::min(low[up.v], low[v]);
+      }
+    }
+  }
+  return on_cycle;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> Analyze(const Program& p) {
+  Graph g = BuildGraph(p);
+  std::vector<Diagnostic> out = p.annotation_diagnostics;
+
+  for (size_t i = 0; i < p.functions.size(); ++i) {
+    if (!g.hot[i]) {
+      continue;
+    }
+    const Function& fn = p.functions[i];
+    std::vector<std::string> chain = ChainTo(p, g, i);
+    for (const Effect& e : fn.effects) {
+      Diagnostic d;
+      d.file = fn.file;
+      d.line = e.line;
+      d.col = e.col;
+      d.rule = e.rule;
+      d.message = e.detail + " in hot function '" + fn.qualified_name + "'";
+      d.chain = chain;
+      out.push_back(std::move(d));
+    }
+  }
+
+  std::vector<bool> on_cycle = HotCycleMembers(p, g);
+  for (size_t i = 0; i < p.functions.size(); ++i) {
+    if (!on_cycle[i]) {
+      continue;
+    }
+    const Function& fn = p.functions[i];
+    if (fn.sig_allows.count(kRuleRecursion) > 0 || fn.sig_allows.count("all") > 0) {
+      continue;
+    }
+    // Name the cycle: this function plus the hot callees that sit on it.
+    std::string cycle = fn.qualified_name;
+    for (size_t t : g.adjacency[i]) {
+      if (on_cycle[t]) {
+        cycle += " -> " + p.functions[t].qualified_name;
+        break;
+      }
+    }
+    Diagnostic d;
+    d.file = fn.file;
+    d.line = fn.line;
+    d.col = fn.col;
+    d.rule = kRuleRecursion;
+    d.message = "'" + fn.qualified_name +
+                "' sits on a call-graph cycle reachable from a hot root (" + cycle +
+                " -> ...)";
+    d.chain = ChainTo(p, g, i);
+    out.push_back(std::move(d));
+  }
+
+  std::sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.file != b.file) {
+      return a.file < b.file;
+    }
+    if (a.line != b.line) {
+      return a.line < b.line;
+    }
+    if (a.col != b.col) {
+      return a.col < b.col;
+    }
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+std::vector<std::string> HotRoots(const Program& p) {
+  std::set<std::string> roots;
+  for (const Function& f : p.functions) {
+    if (f.hot_root) {
+      roots.insert(f.qualified_name);
+    }
+  }
+  return {roots.begin(), roots.end()};
+}
+
+std::string DotGraph(const Program& p) {
+  Graph g = BuildGraph(p);
+  // Merge overloads: one node per qualified name; hot if any overload is hot.
+  std::map<std::string, bool> node_hot;
+  std::map<std::string, bool> node_root;
+  std::map<std::string, bool> node_cold;
+  for (size_t i = 0; i < p.functions.size(); ++i) {
+    const Function& f = p.functions[i];
+    node_hot[f.qualified_name] = node_hot[f.qualified_name] || g.hot[i];
+    node_root[f.qualified_name] = node_root[f.qualified_name] || f.hot_root;
+    node_cold[f.qualified_name] = node_cold[f.qualified_name] || f.cold;
+  }
+  std::set<std::pair<std::string, std::string>> edges;
+  for (size_t i = 0; i < p.functions.size(); ++i) {
+    for (size_t t : g.adjacency[i]) {
+      if (p.functions[i].qualified_name != p.functions[t].qualified_name) {
+        edges.insert({p.functions[i].qualified_name, p.functions[t].qualified_name});
+      }
+    }
+  }
+  std::string out = "digraph hotlint {\n  rankdir=LR;\n  node [fontsize=10];\n";
+  for (const auto& [name, hot] : node_hot) {
+    out += "  \"" + name + "\" [";
+    if (node_root[name]) {
+      out += "shape=box,";
+    }
+    if (node_cold[name]) {
+      out += "style=dashed,";
+    } else if (hot) {
+      out += "style=filled,fillcolor=lightcoral,";
+    }
+    out += "];\n";
+  }
+  for (const auto& [from, to] : edges) {
+    out += "  \"" + from + "\" -> \"" + to + "\";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ibus::hotlint

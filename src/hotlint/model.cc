@@ -1,0 +1,1416 @@
+// hotlint model builder: scrubs each source file (comments/literals blanked,
+// offsets preserved), recognizes function definitions with a forward structural
+// scan (namespace/class scope stack, brace/paren depth), and extracts the
+// per-function callee list and conservative effect set that analyze.cc turns
+// into findings. Pure text analysis in the buslint tradition — no libclang, no
+// preprocessor; the scanned file set *is* the program.
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/hotlint/hotlint.h"
+
+namespace ibus::hotlint {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// ---------------------------------------------------------------------------------
+// Annotations
+// ---------------------------------------------------------------------------------
+
+struct Annotation {
+  enum Kind { kHot, kCold, kAllow, kUnknown } kind = kUnknown;
+  int line = 0;
+  std::set<std::string> rules;  // kAllow only
+  bool justified = false;       // has a non-empty `-- reason`
+  bool claimed = false;         // kHot/kCold: attached to a function definition
+  std::string text;             // the word after "hotlint:" (diagnostics)
+};
+
+// Source text with comments, literal contents, and preprocessor lines blanked
+// (newlines kept, so offsets/line numbers survive). hotlint annotations found in
+// `//` comments are collected with their line numbers.
+struct Scrubbed {
+  std::string code;
+  std::vector<size_t> line_starts;
+  std::vector<Annotation> annotations;
+
+  int LineOf(size_t offset) const {
+    auto it = std::upper_bound(line_starts.begin(), line_starts.end(), offset);
+    return static_cast<int>(it - line_starts.begin());
+  }
+  int ColOf(size_t offset) const {
+    int line = LineOf(offset);
+    return static_cast<int>(offset - line_starts[static_cast<size_t>(line) - 1]) + 1;
+  }
+};
+
+// Parses "hotlint: hot|cold|allow(a,b) [-- justification]" out of one comment.
+void RecordAnnotation(std::string_view comment, int line, Scrubbed* out) {
+  size_t at = comment.find("hotlint:");
+  if (at == std::string_view::npos) {
+    return;
+  }
+  std::string_view rest = comment.substr(at + 8);
+  size_t p = 0;
+  while (p < rest.size() && std::isspace(static_cast<unsigned char>(rest[p])) != 0) {
+    ++p;
+  }
+  rest = rest.substr(p);
+  Annotation a;
+  a.line = line;
+  size_t dash = rest.find("--");
+  if (dash != std::string_view::npos) {
+    std::string_view why = rest.substr(dash + 2);
+    a.justified = why.find_first_not_of(" \t") != std::string_view::npos;
+  }
+  if (rest.substr(0, 6) == "allow(") {
+    size_t close = rest.find(')');
+    if (close == std::string_view::npos) {
+      a.kind = Annotation::kUnknown;
+      a.text = "allow";
+      out->annotations.push_back(std::move(a));
+      return;
+    }
+    a.kind = Annotation::kAllow;
+    std::stringstream ss{std::string(rest.substr(6, close - 6))};
+    std::string rule;
+    while (std::getline(ss, rule, ',')) {
+      rule.erase(std::remove_if(rule.begin(), rule.end(),
+                                [](char c) {
+                                  return std::isspace(static_cast<unsigned char>(c)) != 0;
+                                }),
+                 rule.end());
+      if (!rule.empty()) {
+        a.rules.insert(rule);
+      }
+    }
+  } else {
+    size_t e = 0;
+    while (e < rest.size() && IsIdentChar(rest[e])) {
+      ++e;
+    }
+    a.text = std::string(rest.substr(0, e));
+    if (a.text == "hot") {
+      a.kind = Annotation::kHot;
+    } else if (a.text == "cold") {
+      a.kind = Annotation::kCold;
+    } else {
+      a.kind = Annotation::kUnknown;
+    }
+  }
+  out->annotations.push_back(std::move(a));
+}
+
+Scrubbed Scrub(std::string_view src) {
+  Scrubbed out;
+  out.code.assign(src.size(), ' ');
+  out.line_starts.push_back(0);
+  size_t i = 0;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+  auto copy_nl = [&](size_t pos) {
+    out.code[pos] = '\n';
+    out.line_starts.push_back(pos + 1);
+    at_line_start = true;
+  };
+  while (i < src.size()) {
+    char c = src[i];
+    if (c == '\n') {
+      copy_nl(i);
+      ++i;
+      continue;
+    }
+    if (at_line_start && c == '#') {
+      // Preprocessor line (plus backslash continuations): blank it so `#if`
+      // alternatives and function-like macro bodies cannot unbalance braces.
+      while (i < src.size()) {
+        size_t end = src.find('\n', i);
+        if (end == std::string_view::npos) {
+          i = src.size();
+          break;
+        }
+        bool continued = end > i && src[end - 1] == '\\';
+        copy_nl(end);
+        i = end + 1;
+        if (!continued) {
+          break;
+        }
+      }
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+      at_line_start = false;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      size_t end = src.find('\n', i);
+      if (end == std::string_view::npos) {
+        end = src.size();
+      }
+      RecordAnnotation(src.substr(i, end - i),
+                       static_cast<int>(out.line_starts.size()), &out);
+      i = end;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      size_t end = src.find("*/", i + 2);
+      end = end == std::string_view::npos ? src.size() : end + 2;
+      for (size_t j = i; j < end; ++j) {
+        if (src[j] == '\n') {
+          copy_nl(j);
+        }
+      }
+      i = end;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      if (c == '"' && i > 0 && src[i - 1] == 'R') {
+        size_t paren = src.find('(', i);
+        if (paren != std::string_view::npos) {
+          std::string closer = ")" + std::string(src.substr(i + 1, paren - i - 1)) + "\"";
+          size_t end = src.find(closer, paren + 1);
+          if (end != std::string_view::npos) {
+            out.code[i] = '"';
+            size_t close_q = end + closer.size() - 1;
+            out.code[close_q] = '"';
+            for (size_t j = i; j < close_q; ++j) {
+              if (src[j] == '\n') {
+                copy_nl(j);
+              }
+            }
+            i = close_q + 1;
+            continue;
+          }
+        }
+      }
+      char quote = c;
+      size_t start = i;
+      ++i;
+      while (i < src.size() && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < src.size()) {
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') {
+          break;  // unterminated literal; bail at line end
+        }
+        ++i;
+      }
+      out.code[start] = quote;
+      if (i < src.size() && src[i] == quote) {
+        out.code[i] = quote;
+        ++i;
+      }
+      continue;
+    }
+    out.code[i] = c;
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------------
+// Small token helpers
+// ---------------------------------------------------------------------------------
+
+size_t SkipSpace(std::string_view s, size_t i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])) != 0) {
+    ++i;
+  }
+  return i;
+}
+
+size_t PrevMeaningful(std::string_view s, size_t i) {
+  while (i > 0) {
+    --i;
+    if (std::isspace(static_cast<unsigned char>(s[i])) == 0) {
+      return i;
+    }
+  }
+  return std::string_view::npos;
+}
+
+// Offset just past the matching ')' for the '(' at `open`, or npos.
+size_t MatchParen(std::string_view s, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < s.size(); ++i) {
+    if (s[i] == '(') {
+      ++depth;
+    } else if (s[i] == ')') {
+      if (--depth == 0) {
+        return i + 1;
+      }
+    }
+  }
+  return std::string_view::npos;
+}
+
+// Offset just past the matching '>' for the '<' at `open`, or npos. Bails on
+// chars that cannot occur inside template arguments (a lone '<' was a
+// comparison, not a template list).
+size_t MatchAngle(std::string_view s, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '<') {
+      ++depth;
+    } else if (c == '>') {
+      if (--depth == 0) {
+        return i + 1;
+      }
+    } else if (c == ';' || c == '{' || c == '}') {
+      return std::string_view::npos;
+    }
+  }
+  return std::string_view::npos;
+}
+
+template <typename Fn>
+void ForEachIdentifier(std::string_view code, size_t begin, size_t end, Fn&& fn) {
+  size_t i = begin;
+  while (i < end) {
+    if (IsIdentChar(code[i]) && (i == 0 || !IsIdentChar(code[i - 1])) &&
+        std::isdigit(static_cast<unsigned char>(code[i])) == 0) {
+      size_t j = i;
+      while (j < end && IsIdentChar(code[j])) {
+        ++j;
+      }
+      fn(i, code.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    ++i;
+  }
+}
+
+const std::unordered_set<std::string_view>& ControlKeywords() {
+  static const std::unordered_set<std::string_view> kSet = {
+      "if",       "for",     "while",   "switch",   "catch",      "return",
+      "sizeof",   "alignof", "decltype", "noexcept", "static_cast", "dynamic_cast",
+      "const_cast", "reinterpret_cast", "new", "delete", "else", "do", "case",
+      "requires", "co_await", "co_return", "co_yield", "throw", "assert",
+      "static_assert", "defined", "alignas", "typeid",
+  };
+  return kSet;
+}
+
+// ---------------------------------------------------------------------------------
+// Declaration-head classification
+// ---------------------------------------------------------------------------------
+
+struct HeadInfo {
+  enum Kind { kOther, kNamespace, kClass, kFunction } kind = kOther;
+  std::string name;            // scope name, or unqualified function name
+  size_t name_off = 0;         // function name token offset
+  std::vector<std::string> qualifiers;  // explicit A::B:: chain before the name
+  size_t params_begin = 0;     // inside the '(' ... ')' group
+  size_t params_end = 0;
+  size_t return_begin = 0;     // [return_begin, return_end): return-type text
+  size_t return_end = 0;
+  size_t tail_begin = 0;       // [tail_begin, head_end): qualifiers / ctor-init list
+};
+
+// Classifies the declaration head [begin, end) that ends at a '{'.
+HeadInfo ClassifyHead(std::string_view code, size_t begin, size_t end) {
+  HeadInfo info;
+  size_t i = SkipSpace(code, begin);
+  // Skip template<...> introducers and [[attributes]].
+  while (i < end) {
+    if (code.compare(i, 8, "template") == 0 &&
+        (i + 8 >= end || !IsIdentChar(code[i + 8]))) {
+      size_t lt = SkipSpace(code, i + 8);
+      if (lt < end && code[lt] == '<') {
+        size_t past = MatchAngle(code, lt);
+        if (past == std::string_view::npos || past > end) {
+          return info;
+        }
+        i = SkipSpace(code, past);
+        continue;
+      }
+    }
+    if (code.compare(i, 2, "[[") == 0) {
+      size_t close = code.find("]]", i + 2);
+      if (close == std::string_view::npos || close >= end) {
+        return info;
+      }
+      i = SkipSpace(code, close + 2);
+      continue;
+    }
+    break;
+  }
+  if (i >= end) {
+    return info;  // bare `{` — a plain block or an initializer
+  }
+  size_t head_begin = i;
+
+  // Scope keywords before any top-level '(' make this a scope, not a function.
+  static const std::unordered_set<std::string_view> kScopeKeywords = {
+      "namespace", "class", "struct", "union", "enum"};
+  int paren = 0;
+  size_t scope_kw_at = std::string_view::npos;
+  std::string scope_kw;
+  size_t first_paren = std::string_view::npos;
+  {
+    size_t j = head_begin;
+    int angle = 0;
+    while (j < end) {
+      char c = code[j];
+      if (IsIdentChar(c) && (j == 0 || !IsIdentChar(code[j - 1]))) {
+        size_t k = j;
+        while (k < end && IsIdentChar(code[k])) {
+          ++k;
+        }
+        std::string_view tok = code.substr(j, k - j);
+        if (paren == 0 && angle == 0 && first_paren == std::string_view::npos &&
+            kScopeKeywords.count(tok) > 0) {
+          scope_kw_at = j;
+          scope_kw = std::string(tok);
+          break;
+        }
+        j = k;
+        continue;
+      }
+      if (c == '<') {
+        size_t past = MatchAngle(code, j);
+        if (past != std::string_view::npos && past <= end) {
+          j = past;
+          continue;
+        }
+      }
+      if (c == '(') {
+        if (paren == 0 && angle == 0 && first_paren == std::string_view::npos) {
+          first_paren = j;
+        }
+        ++paren;
+      } else if (c == ')') {
+        --paren;
+      }
+      ++j;
+    }
+  }
+
+  if (scope_kw_at != std::string_view::npos) {
+    if (scope_kw == "namespace") {
+      info.kind = HeadInfo::kNamespace;
+    } else if (scope_kw == "class" || scope_kw == "struct") {
+      info.kind = HeadInfo::kClass;
+    } else {
+      info.kind = HeadInfo::kOther;  // enum/union: skip the body wholesale
+      return info;
+    }
+    // Scope name: the identifier after the keyword (skipping attributes and,
+    // for classes, stopping before bases `: public X`).
+    size_t j = SkipSpace(code, scope_kw_at + scope_kw.size());
+    while (j < end && code.compare(j, 2, "[[") == 0) {
+      size_t close = code.find("]]", j);
+      if (close == std::string_view::npos) {
+        break;
+      }
+      j = SkipSpace(code, close + 2);
+    }
+    size_t k = j;
+    while (k < end && IsIdentChar(code[k])) {
+      ++k;
+    }
+    info.name = std::string(code.substr(j, k - j));  // may be empty (anonymous)
+    return info;
+  }
+
+  if (first_paren == std::string_view::npos) {
+    return info;  // no parameter list — initializer, lambda body, etc.
+  }
+  size_t params_past = MatchParen(code, first_paren);
+  if (params_past == std::string_view::npos || params_past > end) {
+    return info;
+  }
+
+  // The token directly before '(' must be the function name (identifier,
+  // ~identifier destructor, or operator-something).
+  size_t before = PrevMeaningful(code, first_paren);
+  if (before == std::string_view::npos || before < head_begin) {
+    return info;
+  }
+  size_t name_end = before + 1;
+  size_t name_begin = name_end;
+  if (IsIdentChar(code[before])) {
+    while (name_begin > head_begin && IsIdentChar(code[name_begin - 1])) {
+      --name_begin;
+    }
+  } else {
+    // operator+ / operator== / operator() etc: symbols back to `operator`.
+    size_t sym_begin = name_end;
+    while (sym_begin > head_begin && !IsIdentChar(code[sym_begin - 1]) &&
+           std::isspace(static_cast<unsigned char>(code[sym_begin - 1])) == 0) {
+      --sym_begin;
+    }
+    size_t op_end = sym_begin;
+    size_t op_begin = op_end;
+    while (op_begin > head_begin && IsIdentChar(code[op_begin - 1])) {
+      --op_begin;
+    }
+    if (code.substr(op_begin, op_end - op_begin) != "operator") {
+      return info;
+    }
+    name_begin = op_begin;
+  }
+  std::string name(code.substr(name_begin, name_end - name_begin));
+  if (name == "operator") {
+    // `operator()` — the first paren group is part of the name; the parameter
+    // list is the next group.
+    size_t next = SkipSpace(code, params_past);
+    if (next < end && code[next] == '(') {
+      size_t past2 = MatchParen(code, next);
+      if (past2 == std::string_view::npos || past2 > end) {
+        return info;
+      }
+      name = "operator()";
+      first_paren = next;
+      params_past = past2;
+    } else {
+      name += std::string(code.substr(name_end, first_paren - name_end));
+      while (!name.empty() && std::isspace(static_cast<unsigned char>(name.back())) != 0) {
+        name.pop_back();
+      }
+    }
+  }
+  if (name.empty() || ControlKeywords().count(name) > 0) {
+    return info;
+  }
+  // Destructor tilde.
+  if (name_begin > head_begin) {
+    size_t prev = PrevMeaningful(code, name_begin);
+    if (prev != std::string_view::npos && prev >= head_begin && code[prev] == '~') {
+      name = "~" + name;
+      name_begin = prev;
+    }
+  }
+
+  // Walk the explicit qualifier chain A::B:: backwards (skipping template args).
+  size_t chain_begin = name_begin;
+  std::vector<std::string> quals;
+  while (true) {
+    size_t prev = PrevMeaningful(code, chain_begin);
+    if (prev == std::string_view::npos || prev < head_begin || prev < 1 ||
+        code[prev] != ':' || code[prev - 1] != ':') {
+      break;
+    }
+    size_t q_end_pos = PrevMeaningful(code, prev - 1);
+    if (q_end_pos == std::string_view::npos || q_end_pos < head_begin) {
+      break;
+    }
+    if (code[q_end_pos] == '>') {
+      // Foo<T>::bar — scan back to the matching '<'.
+      int depth = 0;
+      size_t j = q_end_pos + 1;
+      while (j > head_begin) {
+        --j;
+        if (code[j] == '>') {
+          ++depth;
+        } else if (code[j] == '<') {
+          if (--depth == 0) {
+            break;
+          }
+        }
+      }
+      q_end_pos = PrevMeaningful(code, j);
+      if (q_end_pos == std::string_view::npos || q_end_pos < head_begin ||
+          !IsIdentChar(code[q_end_pos])) {
+        break;
+      }
+    }
+    if (!IsIdentChar(code[q_end_pos])) {
+      break;
+    }
+    size_t q_begin = q_end_pos + 1;
+    while (q_begin > head_begin && IsIdentChar(code[q_begin - 1])) {
+      --q_begin;
+    }
+    quals.insert(quals.begin(), std::string(code.substr(q_begin, q_end_pos + 1 - q_begin)));
+    chain_begin = q_begin;
+  }
+
+  info.kind = HeadInfo::kFunction;
+  info.name = std::move(name);
+  info.name_off = name_begin;
+  info.qualifiers = std::move(quals);
+  info.params_begin = first_paren + 1;
+  info.params_end = params_past - 1;
+  info.return_begin = head_begin;
+  info.return_end = chain_begin;
+  info.tail_begin = params_past;
+  return info;
+}
+
+// ---------------------------------------------------------------------------------
+// Effect + callee extraction
+// ---------------------------------------------------------------------------------
+
+struct AllowMap {
+  // line -> justified allow rules; kRuleBadAnnotation problems are reported
+  // separately by the caller.
+  std::unordered_map<int, std::set<std::string>> lines;
+
+  bool Allowed(int line, std::string_view rule) const {
+    auto it = lines.find(line);
+    return it != lines.end() &&
+           (it->second.count(std::string(rule)) > 0 || it->second.count("all") > 0);
+  }
+};
+
+const std::unordered_set<std::string_view>& GrowthMethods() {
+  static const std::unordered_set<std::string_view> kSet = {
+      "push_back", "emplace_back", "push_front", "emplace_front",
+      "insert",    "emplace",      "resize",     "append",
+  };
+  return kSet;
+}
+
+const std::unordered_set<std::string_view>& IostreamIdents() {
+  static const std::unordered_set<std::string_view> kSet = {
+      "cout",  "cerr",   "clog",          "printf",        "fprintf",
+      "sprintf", "snprintf", "vsnprintf", "puts",          "putchar",
+      "ostringstream", "istringstream",   "stringstream",  "endl",
+      "format", "scanf",  "getline",      "IBUS_LOG",      "IBUS_WARN",
+      "IBUS_INFO", "IBUS_ERROR", "IBUS_DEBUG",
+  };
+  return kSet;
+}
+
+const std::unordered_set<std::string_view>& LockIdents() {
+  static const std::unordered_set<std::string_view> kSet = {
+      "mutex", "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+      "condition_variable", "shared_mutex", "recursive_mutex",
+  };
+  return kSet;
+}
+
+const std::unordered_set<std::string_view>& NondetIdents() {
+  static const std::unordered_set<std::string_view> kSet = {
+      "srand",         "rand_r",       "drand48",
+      "random_device", "mt19937",      "mt19937_64",
+      "minstd_rand",   "default_random_engine",
+      "system_clock",  "steady_clock", "high_resolution_clock",
+      "getenv",        "gettimeofday", "clock_gettime",
+      "localtime",     "gmtime",
+  };
+  return kSet;
+}
+
+// Identifiers that look like calls but never resolve to repo functions worth an
+// edge; keeps the callee lists small.
+const std::unordered_set<std::string_view>& UninterestingCallees() {
+  static const std::unordered_set<std::string_view> kSet = {
+      "move",  "forward", "swap",  "get",   "value", "begin", "end",
+      "size",  "empty",   "data",  "front", "back",  "reset", "release",
+      "count", "find",    "at",    "min",   "max",   "ok",
+  };
+  return kSet;
+}
+
+// Walks back over a receiver chain (`frame->payload`, `flows_`, `a.b.c`) from
+// the offset of the '.' / '->' that precedes a method name. Spaces stripped.
+std::string ReceiverChain(std::string_view code, size_t dot_off) {
+  size_t i = dot_off;
+  while (i > 0) {
+    char c = code[i - 1];
+    if (IsIdentChar(c) || c == '.' || c == '_' || c == ':' ||
+        std::isspace(static_cast<unsigned char>(c)) != 0 ||
+        (c == '>' && i >= 2 && code[i - 2] == '-') || c == '-') {
+      --i;
+      if (c == '>' ) {
+        --i;  // consumed '->' as a pair
+      }
+      continue;
+    }
+    break;
+  }
+  std::string out;
+  for (size_t j = i; j <= dot_off; ++j) {
+    if (std::isspace(static_cast<unsigned char>(code[j])) == 0) {
+      out.push_back(code[j]);
+    }
+  }
+  return out;
+}
+
+// True when the identifier at [off, off+len) is a method call receiver-ed with
+// '.' or '->'; fills `dot_off` with the offset of the '.' / '>' char.
+bool MethodContext(std::string_view code, size_t off, size_t* dot_off) {
+  size_t prev = PrevMeaningful(code, off);
+  if (prev == std::string_view::npos) {
+    return false;
+  }
+  if (code[prev] == '.') {
+    *dot_off = prev;
+    return true;
+  }
+  if (code[prev] == '>' && prev >= 1 && code[prev - 1] == '-') {
+    *dot_off = prev;
+    return true;
+  }
+  return false;
+}
+
+// Number of top-level arguments inside the '(' at `open` (0 for empty parens).
+size_t CountArgs(std::string_view code, size_t open, size_t past) {
+  size_t args = 0;
+  int paren = 0;
+  int angle = 0;
+  int brace = 0;
+  int bracket = 0;
+  bool any = false;
+  for (size_t i = open; i + 1 < past; ++i) {
+    char c = code[i];
+    if (c == '(') {
+      ++paren;
+      continue;
+    }
+    if (c == ')') {
+      --paren;
+      continue;
+    }
+    if (paren > 1) {
+      continue;
+    }
+    if (c == '<') {
+      ++angle;
+    } else if (c == '>') {
+      angle = angle > 0 ? angle - 1 : 0;
+    } else if (c == '{') {
+      ++brace;
+    } else if (c == '}') {
+      --brace;
+    } else if (c == '[') {
+      ++bracket;
+    } else if (c == ']') {
+      --bracket;
+    } else if (c == ',' && angle == 0 && brace == 0 && bracket == 0) {
+      ++args;
+    } else if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+      any = true;
+    }
+  }
+  return any ? args + 1 : 0;
+}
+
+// True if the body contains `move ( name )` (std::move'd sink parameter).
+bool IsMovedInBody(std::string_view code, size_t begin, size_t end,
+                   std::string_view name) {
+  size_t i = begin;
+  while (i < end) {
+    size_t at = code.find("move", i);
+    if (at == std::string_view::npos || at + 4 > end) {
+      return false;
+    }
+    i = at + 4;
+    if (at > 0 && IsIdentChar(code[at - 1])) {
+      continue;
+    }
+    size_t p = SkipSpace(code, at + 4);
+    if (p >= end || code[p] != '(') {
+      continue;
+    }
+    p = SkipSpace(code, p + 1);
+    if (p + name.size() > end || code.substr(p, name.size()) != name) {
+      continue;
+    }
+    size_t q = SkipSpace(code, p + name.size());
+    if (q < end && code[q] == ')') {
+      return true;
+    }
+  }
+  return false;
+}
+
+struct ParamDecl {
+  std::string text;
+  std::string name;  // last identifier, or empty
+  size_t off = 0;    // offset of the first token
+  bool has_default = false;
+  bool is_pack = false;  // parameter pack / C varargs
+};
+
+std::vector<ParamDecl> SplitParams(std::string_view code, size_t begin, size_t end) {
+  std::vector<ParamDecl> out;
+  int paren = 0;
+  int angle = 0;
+  int brace = 0;
+  size_t start = begin;
+  auto flush = [&](size_t stop) {
+    size_t s = SkipSpace(code, start);
+    if (s >= stop) {
+      return;
+    }
+    ParamDecl p;
+    p.off = s;
+    p.text = std::string(code.substr(s, stop - s));
+    // Parameter name: the last identifier before any `= default` initializer.
+    std::string_view t = code.substr(s, stop - s);
+    size_t eq = std::string_view::npos;
+    {
+      int pd = 0;
+      int ad = 0;
+      for (size_t j = 0; j < t.size(); ++j) {
+        char c = t[j];
+        if (c == '(') {
+          ++pd;
+        } else if (c == ')') {
+          --pd;
+        } else if (c == '<') {
+          ++ad;
+        } else if (c == '>') {
+          ad = ad > 0 ? ad - 1 : 0;
+        } else if (c == '=' && pd == 0 && ad == 0) {
+          eq = j;
+          break;
+        }
+      }
+    }
+    p.has_default = eq != std::string_view::npos;
+    p.is_pack = t.find("...") != std::string_view::npos;
+    std::string_view decl = eq == std::string_view::npos ? t : t.substr(0, eq);
+    size_t name_end = decl.size();
+    while (name_end > 0 &&
+           std::isspace(static_cast<unsigned char>(decl[name_end - 1])) != 0) {
+      --name_end;
+    }
+    size_t name_begin = name_end;
+    while (name_begin > 0 && IsIdentChar(decl[name_begin - 1])) {
+      --name_begin;
+    }
+    if (name_end > name_begin && decl.back() != '>' && decl.back() != '&' &&
+        decl.back() != '*') {
+      p.name = std::string(decl.substr(name_begin, name_end - name_begin));
+    }
+    out.push_back(std::move(p));
+  };
+  for (size_t i = begin; i < end; ++i) {
+    char c = code[i];
+    if (c == '(') {
+      ++paren;
+    } else if (c == ')') {
+      --paren;
+    } else if (c == '<') {
+      ++angle;
+    } else if (c == '>') {
+      angle = angle > 0 ? angle - 1 : 0;
+    } else if (c == '{') {
+      ++brace;
+    } else if (c == '}') {
+      --brace;
+    } else if (c == ',' && paren == 0 && angle == 0 && brace == 0) {
+      flush(i);
+      start = i + 1;
+    }
+  }
+  flush(end);
+  return out;
+}
+
+// Copy-expensive types the by-value rule watches for, as exact token matches
+// (so `string_view` does not count as `string`).
+const std::unordered_set<std::string_view>& ValueTypes() {
+  static const std::unordered_set<std::string_view> kSet = {
+      "string", "Bytes", "vector", "map", "unordered_map",
+      "set",    "unordered_set", "multimap", "deque", "list",
+  };
+  return kSet;
+}
+
+// First ValueTypes() token in [begin, end), or empty. Keyword/qualifier tokens
+// never collide with the type set.
+std::string FindValueType(std::string_view code, size_t begin, size_t end) {
+  std::string hit;
+  ForEachIdentifier(code, begin, end, [&](size_t, std::string_view tok) {
+    if (hit.empty() && ValueTypes().count(tok) > 0) {
+      hit = std::string(tok);
+    }
+  });
+  return hit;
+}
+
+bool ContainsChar(std::string_view code, size_t begin, size_t end, char c) {
+  for (size_t i = begin; i < end; ++i) {
+    if (code[i] == c) {
+      return true;
+    }
+  }
+  return false;
+}
+
+struct FileContext {
+  const std::string* path = nullptr;
+  const Scrubbed* scrubbed = nullptr;
+  const AllowMap* allows = nullptr;
+  const std::set<std::string>* ptr_keyed_containers = nullptr;
+};
+
+void AddEffect(const FileContext& ctx, Function* fn, const char* rule, size_t off,
+               std::string detail) {
+  int line = ctx.scrubbed->LineOf(off);
+  if (ctx.allows->Allowed(line, rule)) {
+    return;
+  }
+  fn->effects.push_back({rule, line, ctx.scrubbed->ColOf(off), std::move(detail)});
+}
+
+// Scans one body (or ctor-init-list) range for callees and direct effects.
+void ScanBody(const FileContext& ctx, size_t begin, size_t end, Function* fn) {
+  std::string_view code = ctx.scrubbed->code;
+
+  // Receivers that were reserve()d anywhere in this function: growth on them is
+  // the preallocation idiom, not a finding.
+  std::set<std::string> reserved;
+  ForEachIdentifier(code, begin, end, [&](size_t off, std::string_view ident) {
+    if (ident != "reserve") {
+      return;
+    }
+    size_t dot = 0;
+    if (MethodContext(code, off, &dot)) {
+      reserved.insert(ReceiverChain(code, dot));
+    }
+  });
+
+  std::set<std::string> seen_callees;
+  ForEachIdentifier(code, begin, end, [&](size_t off, std::string_view ident) {
+    size_t after = SkipSpace(code, off + ident.size());
+    bool direct_call = after < end && code[after] == '(';
+    bool templated_call = false;
+    if (!direct_call && after < end && code[after] == '<') {
+      size_t past = MatchAngle(code, after);
+      if (past != std::string_view::npos && past <= end) {
+        size_t p = SkipSpace(code, past);
+        templated_call = p < end && code[p] == '(';
+      }
+    }
+    bool is_call = direct_call || templated_call;
+
+    // --- effects ---
+    if (ident == "new") {
+      size_t prev = PrevMeaningful(code, off);
+      // `= delete`-style noise cannot appear with `new`; placement new is rare
+      // enough to count as allocation until proven otherwise.
+      if (prev == std::string_view::npos || code[prev] != '.') {
+        AddEffect(ctx, fn, kRuleAlloc, off, "'new' expression");
+      }
+      return;
+    }
+    if (ident == "make_unique" || ident == "make_shared") {
+      if (is_call) {
+        AddEffect(ctx, fn, kRuleAlloc, off, "'" + std::string(ident) + "' call");
+      }
+      return;
+    }
+    size_t dot = 0;
+    if (GrowthMethods().count(ident) > 0 && is_call && MethodContext(code, off, &dot)) {
+      std::string recv = ReceiverChain(code, dot);
+      if (reserved.count(recv) == 0) {
+        AddEffect(ctx, fn, kRuleContainerGrowth, off,
+                  "'" + recv + std::string(ident) +
+                      "' grows a container with no prior reserve()");
+      }
+      // growth methods are methods on std containers, not repo functions
+      return;
+    }
+    if (ident == "to_string" && is_call) {
+      // (substr is deliberately absent: string_view::substr is free and the
+      // scanner cannot see receiver types.)
+      AddEffect(ctx, fn, kRuleString, off,
+                "'" + std::string(ident) + "' constructs a std::string");
+      return;
+    }
+    if (ident == "string" && direct_call) {
+      AddEffect(ctx, fn, kRuleString, off, "std::string construction");
+      return;
+    }
+    if (ident == "function" && after < end && code[after] == '<') {
+      AddEffect(ctx, fn, kRuleStdFunction, off, "std::function construction");
+      return;
+    }
+    if (IostreamIdents().count(ident) > 0) {
+      AddEffect(ctx, fn, kRuleIostream, off,
+                "'" + std::string(ident) + "' formats/streams on the hot path");
+      return;
+    }
+    if (LockIdents().count(ident) > 0 ||
+        ((ident == "lock" || ident == "unlock" || ident == "try_lock") && is_call &&
+         MethodContext(code, off, &dot))) {
+      AddEffect(ctx, fn, kRuleLock, off, "'" + std::string(ident) + "' locks");
+      return;
+    }
+    bool nondet = NondetIdents().count(ident) > 0;
+    if (!nondet && (ident == "rand" || ident == "time" || ident == "clock")) {
+      nondet = is_call;
+    }
+    if (nondet) {
+      AddEffect(ctx, fn, kRuleNondet, off,
+                "'" + std::string(ident) + "' is nondeterministic");
+      return;
+    }
+
+    // --- range-for over a pointer-keyed unordered container ---
+    if (ident == "for" && direct_call) {
+      size_t past = MatchParen(code, after);
+      if (past != std::string_view::npos && past <= end) {
+        int angle = 0;
+        for (size_t j = after + 1; j + 1 < past; ++j) {
+          char c = code[j];
+          if (c == '<') {
+            ++angle;
+          } else if (c == '>') {
+            angle = angle > 0 ? angle - 1 : 0;
+          } else if (c == ':' && angle == 0 && code[j - 1] != ':' && code[j + 1] != ':') {
+            // Last identifier of the ranged expression.
+            std::string last;
+            ForEachIdentifier(code, j + 1, past - 1, [&](size_t, std::string_view t) {
+              last = std::string(t);
+            });
+            if (!last.empty() && ctx.ptr_keyed_containers->count(last) > 0) {
+              AddEffect(ctx, fn, kRuleNondet, off,
+                        "range-for over pointer-keyed unordered container '" + last +
+                            "' iterates in address order");
+            }
+            break;
+          }
+        }
+      }
+      return;
+    }
+
+    // --- callees ---
+    if (!is_call || ControlKeywords().count(ident) > 0 ||
+        UninterestingCallees().count(ident) > 0 || ident == "reserve") {
+      return;
+    }
+    CallSite site;
+    site.name = std::string(ident);
+    site.line = ctx.scrubbed->LineOf(off);
+    site.col = ctx.scrubbed->ColOf(off);
+    size_t args_open = direct_call ? after : SkipSpace(code, MatchAngle(code, after));
+    size_t args_past = MatchParen(code, args_open);
+    if (args_past != std::string_view::npos) {
+      site.argc = CountArgs(code, args_open, args_past);
+    }
+    size_t recv_dot = 0;
+    if (MethodContext(code, off, &recv_dot)) {
+      std::string recv = ReceiverChain(code, recv_dot);
+      site.object_receiver = recv != "this." && recv != "this->";
+    }
+    // Explicit qualifier chain: `Message::Unmarshal(`, `std::move(`.
+    size_t qb = off;
+    while (qb >= 2 && code[qb - 1] == ':' && code[qb - 2] == ':') {
+      size_t q_end = qb - 2;
+      size_t q_begin = q_end;
+      while (q_begin > 0 && IsIdentChar(code[q_begin - 1])) {
+        --q_begin;
+      }
+      if (q_begin == q_end) {
+        break;
+      }
+      std::string part(code.substr(q_begin, q_end - q_begin));
+      site.qualifier = site.qualifier.empty() ? part : part + "::" + site.qualifier;
+      qb = q_begin;
+    }
+    std::string key = site.qualifier + "::" + site.name;
+    if (seen_callees.insert(key).second) {
+      fn->calls.push_back(std::move(site));
+    }
+  });
+
+  // String-literal concatenation: `"..." + x` or `x + "..."`.
+  for (size_t i = begin; i < end; ++i) {
+    if (code[i] != '+') {
+      continue;
+    }
+    if ((i + 1 < end && (code[i + 1] == '+' || code[i + 1] == '=')) ||
+        (i > 0 && code[i - 1] == '+')) {
+      continue;  // ++ / +=
+    }
+    size_t prev = PrevMeaningful(code, i);
+    size_t next = SkipSpace(code, i + 1);
+    bool lit = (prev != std::string_view::npos && code[prev] == '"') ||
+               (next < end && code[next] == '"');
+    if (lit) {
+      AddEffect(ctx, fn, kRuleString, i, "string concatenation with a literal");
+      i = next;
+    }
+  }
+}
+
+// Signature effects: by-value std::string/Bytes/container params + returns,
+// by-value std::function params.
+void ScanSignature(const FileContext& ctx, const HeadInfo& head, size_t body_begin,
+                   size_t body_end, Function* fn) {
+  std::string_view code = ctx.scrubbed->code;
+  std::vector<ParamDecl> params = SplitParams(code, head.params_begin, head.params_end);
+  for (const ParamDecl& p : params) {
+    if (p.is_pack) {
+      fn->max_params = SIZE_MAX;
+    } else {
+      if (!p.has_default) {
+        ++fn->min_params;
+      }
+      if (fn->max_params != SIZE_MAX) {
+        ++fn->max_params;
+      }
+    }
+  }
+  for (const ParamDecl& p : params) {
+    size_t p_end = p.off + p.text.size();
+    if (ContainsChar(code, p.off, p_end, '&') || ContainsChar(code, p.off, p_end, '*')) {
+      continue;
+    }
+    bool is_function = false;
+    ForEachIdentifier(code, p.off, p_end, [&](size_t, std::string_view tok) {
+      if (tok == "function") {
+        is_function = true;
+      }
+    });
+    if (is_function) {
+      AddEffect(ctx, fn, kRuleStdFunction, p.off,
+                "by-value std::function parameter" +
+                    (p.name.empty() ? std::string() : " '" + p.name + "'") +
+                    " (converting a lambda allocates even when later moved)");
+      continue;
+    }
+    std::string hit = FindValueType(code, p.off, p_end);
+    if (hit.empty()) {
+      continue;
+    }
+    if (!p.name.empty() && IsMovedInBody(code, body_begin, body_end, p.name)) {
+      continue;  // sink parameter: moved, not copied
+    }
+    AddEffect(ctx, fn, kRuleByValue, p.off,
+              "by-value " + hit + " parameter" +
+                  (p.name.empty() ? std::string() : " '" + p.name + "'"));
+  }
+  if (head.return_end > head.return_begin &&
+      !ContainsChar(code, head.return_begin, head.return_end, '&') &&
+      !ContainsChar(code, head.return_begin, head.return_end, '*')) {
+    std::string hit = FindValueType(code, head.return_begin, head.return_end);
+    if (!hit.empty()) {
+      AddEffect(ctx, fn, kRuleByValue, head.name_off,
+                "returns a " + hit + " by value");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------------
+// File parsing
+// ---------------------------------------------------------------------------------
+
+struct ScopeFrame {
+  HeadInfo::Kind kind = HeadInfo::kOther;
+  std::string name;
+};
+
+void ScanFile(const std::string& path, const Scrubbed& s, const AllowMap& allows,
+               const std::set<std::string>& ptr_keyed, Program* out) {
+  FileContext ctx{&path, &s, &allows, &ptr_keyed};
+  std::string_view code = s.code;
+  std::vector<ScopeFrame> scopes;
+  std::vector<std::pair<int, int>> claimable;  // [first_line, last_line] per fn (unused placeholder)
+  (void)claimable;
+
+  // hot/cold annotations to attach; indexes into s.annotations.
+  std::vector<size_t> markers;
+  for (size_t i = 0; i < s.annotations.size(); ++i) {
+    const Annotation& a = s.annotations[i];
+    if (a.kind == Annotation::kHot || a.kind == Annotation::kCold) {
+      markers.push_back(i);
+    }
+  }
+  std::vector<bool> claimed(s.annotations.size(), false);
+
+  size_t i = 0;
+  size_t head_start = 0;
+  int paren_depth = 0;
+  while (i < code.size()) {
+    char c = code[i];
+    if (c == '(') {
+      ++paren_depth;
+      ++i;
+      continue;
+    }
+    if (c == ')') {
+      paren_depth = paren_depth > 0 ? paren_depth - 1 : 0;
+      ++i;
+      continue;
+    }
+    if (paren_depth > 0) {
+      ++i;
+      continue;
+    }
+    if (c == ';') {
+      head_start = i + 1;
+      ++i;
+      continue;
+    }
+    if (c == '}') {
+      if (!scopes.empty()) {
+        scopes.pop_back();
+      }
+      head_start = i + 1;
+      ++i;
+      continue;
+    }
+    if (c == ':') {
+      if (i + 1 < code.size() && code[i + 1] == ':') {
+        i += 2;
+        continue;
+      }
+      // Access specifiers reset the head; ctor-init `:` must not.
+      size_t prev = PrevMeaningful(code, i);
+      if (prev != std::string_view::npos && IsIdentChar(code[prev])) {
+        size_t b = prev + 1;
+        while (b > 0 && IsIdentChar(code[b - 1])) {
+          --b;
+        }
+        std::string_view word = code.substr(b, prev + 1 - b);
+        if (word == "public" || word == "private" || word == "protected") {
+          head_start = i + 1;
+        }
+      }
+      ++i;
+      continue;
+    }
+    if (c != '{') {
+      ++i;
+      continue;
+    }
+
+    HeadInfo head = ClassifyHead(code, head_start, i);
+    if (head.kind == HeadInfo::kNamespace || head.kind == HeadInfo::kClass) {
+      scopes.push_back({head.kind, head.name});
+      head_start = i + 1;
+      ++i;
+      continue;
+    }
+    if (head.kind != HeadInfo::kFunction) {
+      scopes.push_back({HeadInfo::kOther, ""});
+      head_start = i + 1;
+      ++i;
+      continue;
+    }
+
+    // Function body: match the closing brace.
+    int depth = 0;
+    size_t body_end = code.size();
+    for (size_t j = i; j < code.size(); ++j) {
+      if (code[j] == '{') {
+        ++depth;
+      } else if (code[j] == '}') {
+        if (--depth == 0) {
+          body_end = j;
+          break;
+        }
+      }
+    }
+
+    Function fn;
+    fn.name = head.name;
+    std::string qual;
+    for (const ScopeFrame& sf : scopes) {
+      if (sf.kind == HeadInfo::kClass && !sf.name.empty()) {
+        qual += sf.name + "::";
+      }
+    }
+    for (const std::string& q : head.qualifiers) {
+      // Skip namespace-style qualifiers already covered by scope (rare); keep all.
+      qual += q + "::";
+    }
+    fn.qualified_name = qual + fn.name;
+    fn.file = path;
+    fn.line = s.LineOf(head.name_off);
+    fn.col = s.ColOf(head.name_off);
+
+    // Attach hot/cold markers: signature lines or the line directly above.
+    int first_line = s.LineOf(head.return_begin != head.return_end
+                                  ? head.return_begin
+                                  : head.name_off);
+    int open_line = s.LineOf(i);
+    for (size_t mi : markers) {
+      const Annotation& a = s.annotations[mi];
+      if (claimed[mi] || a.line < first_line - 1 || a.line > open_line) {
+        continue;
+      }
+      claimed[mi] = true;
+      if (a.kind == Annotation::kHot) {
+        fn.hot_root = true;
+      } else if (a.justified) {
+        fn.cold = true;
+      } else {
+        out->annotation_diagnostics.push_back(
+            {path, a.line, 1, kRuleBadAnnotation,
+             "'hotlint: cold' requires a '-- justification'", {}});
+      }
+    }
+    for (int l = first_line - 1; l <= open_line; ++l) {
+      auto it = allows.lines.find(l);
+      if (it != allows.lines.end()) {
+        fn.sig_allows.insert(it->second.begin(), it->second.end());
+      }
+    }
+    if (fn.hot_root && fn.cold) {
+      out->annotation_diagnostics.push_back(
+          {path, fn.line, fn.col, kRuleBadAnnotation,
+           "'" + fn.qualified_name + "' is marked both hot and cold", {}});
+      fn.cold = false;
+    }
+
+    // The move-sink search covers the ctor-init list too (members are moved
+    // there), hence tail_begin rather than the body brace.
+    ScanSignature(ctx, head, head.tail_begin, body_end, &fn);
+    // Ctor-init lists allocate too: scan [tail_begin, i) together with the body.
+    if (head.tail_begin < i) {
+      size_t t = SkipSpace(code, head.tail_begin);
+      if (t < i && code[t] == ':') {
+        ScanBody(ctx, t + 1, i, &fn);
+      }
+    }
+    ScanBody(ctx, i + 1, body_end, &fn);
+    out->functions.push_back(std::move(fn));
+
+    i = body_end < code.size() ? body_end + 1 : code.size();
+    head_start = i;
+  }
+
+  // Annotation problems: unknown markers, unjustified allows, unclaimed hot/cold.
+  for (size_t ai = 0; ai < s.annotations.size(); ++ai) {
+    const Annotation& a = s.annotations[ai];
+    switch (a.kind) {
+      case Annotation::kUnknown:
+        out->annotation_diagnostics.push_back(
+            {path, a.line, 1, kRuleBadAnnotation,
+             "unknown hotlint annotation '" + a.text + "'", {}});
+        break;
+      case Annotation::kAllow: {
+        if (!a.justified) {
+          out->annotation_diagnostics.push_back(
+              {path, a.line, 1, kRuleBadAnnotation,
+               "hotlint: allow(...) requires a '-- justification'", {}});
+        }
+        for (const std::string& r : a.rules) {
+          if (r != "all" && KnownRules().count(r) == 0) {
+            out->annotation_diagnostics.push_back(
+                {path, a.line, 1, kRuleBadAnnotation,
+                 "allow() names unknown rule '" + r + "'", {}});
+          }
+        }
+        break;
+      }
+      case Annotation::kHot:
+      case Annotation::kCold:
+        if (!claimed[ai]) {
+          out->annotation_diagnostics.push_back(
+              {path, a.line, 1, kRuleBadAnnotation,
+               "'hotlint: " + a.text + "' does not attach to a function definition", {}});
+        }
+        break;
+    }
+  }
+}
+
+AllowMap BuildAllowMap(const Scrubbed& s) {
+  AllowMap allows;
+  for (const Annotation& a : s.annotations) {
+    if (a.kind == Annotation::kAllow && a.justified) {
+      for (const std::string& r : a.rules) {
+        allows.lines[a.line].insert(r);
+      }
+    }
+  }
+  return allows;
+}
+
+// Names of unordered_map/unordered_set variables with pointer key types, across
+// the whole program (members are declared in headers, iterated in .cc files).
+void CollectPtrKeyedContainers(const Scrubbed& s, std::set<std::string>* out) {
+  std::string_view code = s.code;
+  ForEachIdentifier(code, 0, code.size(), [&](size_t off, std::string_view ident) {
+    if (ident != "unordered_map" && ident != "unordered_set") {
+      return;
+    }
+    size_t lt = SkipSpace(code, off + ident.size());
+    if (lt >= code.size() || code[lt] != '<') {
+      return;
+    }
+    size_t past = MatchAngle(code, lt);
+    if (past == std::string_view::npos) {
+      return;
+    }
+    // Key type = first top-level template argument.
+    size_t key_end = past - 1;
+    int depth = 0;
+    for (size_t j = lt + 1; j < past - 1; ++j) {
+      char c = code[j];
+      if (c == '<') {
+        ++depth;
+      } else if (c == '>') {
+        --depth;
+      } else if (c == ',' && depth == 0) {
+        key_end = j;
+        break;
+      }
+    }
+    if (!ContainsChar(code, lt + 1, key_end, '*')) {
+      return;
+    }
+    // Declared variable name: identifier right after the closing '>'.
+    size_t n = SkipSpace(code, past);
+    size_t ne = n;
+    while (ne < code.size() && IsIdentChar(code[ne])) {
+      ++ne;
+    }
+    if (ne > n) {
+      size_t after = SkipSpace(code, ne);
+      if (after < code.size() &&
+          (code[after] == ';' || code[after] == '=' || code[after] == '{')) {
+        out->insert(std::string(code.substr(n, ne - n)));
+      }
+    }
+  });
+}
+
+}  // namespace
+
+const std::set<std::string>& KnownRules() {
+  static const std::set<std::string> kRules = {
+      kRuleAlloc,    kRuleContainerGrowth, kRuleString, kRuleByValue,
+      kRuleStdFunction, kRuleIostream,     kRuleLock,   kRuleRecursion,
+      kRuleNondet,
+  };
+  return kRules;
+}
+
+std::string Diagnostic::ToString() const {
+  return file + ":" + std::to_string(line) + ":" + std::to_string(col) + ": [" +
+         rule + "] " + message;
+}
+
+Program BuildProgram(const std::vector<SourceFile>& files) {
+  Program out;
+  std::vector<Scrubbed> scrubbed;
+  scrubbed.reserve(files.size());
+  std::set<std::string> ptr_keyed;
+  for (const SourceFile& f : files) {
+    scrubbed.push_back(Scrub(f.content));
+    CollectPtrKeyedContainers(scrubbed.back(), &ptr_keyed);
+  }
+  for (size_t i = 0; i < files.size(); ++i) {
+    AllowMap allows = BuildAllowMap(scrubbed[i]);
+    ScanFile(files[i].path, scrubbed[i], allows, ptr_keyed, &out);
+  }
+  return out;
+}
+
+}  // namespace ibus::hotlint

@@ -2,7 +2,7 @@
 
 namespace ibus {
 
-Bytes DataPacket::Marshal() const {
+Bytes DataPacket::Marshal() const {  // hotlint: allow(hot-by-value) -- serialization boundary: NRVO into the send buffer
   WireWriter w;
   w.PutU64(stream_id);
   w.PutU64(seq);
@@ -33,7 +33,7 @@ Result<DataPacket> DataPacket::Unmarshal(const Bytes& payload) {
   return p;
 }
 
-Bytes BatchPacket::Marshal() const {
+Bytes BatchPacket::Marshal() const {  // hotlint: allow(hot-by-value) -- serialization boundary: NRVO into the send buffer
   WireWriter w;
   w.PutU64(stream_id);
   w.PutU64(first_seq);
@@ -58,6 +58,7 @@ Result<BatchPacket> BatchPacket::Unmarshal(const Bytes& payload) {
   if (*count > r.remaining()) {
     return DataLoss("batch packet: implausible count");
   }
+  p.messages.reserve(*count);
   for (uint64_t i = 0; i < *count; ++i) {
     auto m = r.ReadBytes();
     if (!m.ok()) {
@@ -68,7 +69,7 @@ Result<BatchPacket> BatchPacket::Unmarshal(const Bytes& payload) {
   return p;
 }
 
-Bytes HeartbeatPacket::Marshal() const {
+Bytes HeartbeatPacket::Marshal() const {  // hotlint: allow(hot-by-value) -- serialization boundary: NRVO into the send buffer
   WireWriter w;
   w.PutU64(stream_id);
   w.PutU64(highest_seq);
@@ -91,7 +92,7 @@ Result<HeartbeatPacket> HeartbeatPacket::Unmarshal(const Bytes& payload) {
   return p;
 }
 
-Bytes NakPacket::Marshal() const {
+Bytes NakPacket::Marshal() const {  // hotlint: allow(hot-by-value) -- serialization boundary: NRVO into the send buffer
   WireWriter w;
   w.PutU64(stream_id);
   w.PutVarint(missing.size());
@@ -113,6 +114,7 @@ Result<NakPacket> NakPacket::Unmarshal(const Bytes& payload) {
   if (*count > r.remaining()) {
     return DataLoss("nak packet: implausible count");
   }
+  p.missing.reserve(*count);
   for (uint64_t i = 0; i < *count; ++i) {
     auto s = r.ReadU64();
     if (!s.ok()) {

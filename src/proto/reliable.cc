@@ -65,7 +65,7 @@ Status ReliableSender::Publish(Bytes message) {
       ScheduleBatchFlush();
     }
     batch_bytes_ += packed;
-    batch_.push_back(std::move(message));
+    batch_.push_back(std::move(message));  // hotlint: allow(hot-container-growth) -- batch buffer: amortized growth, flushed every batch window
     if (batch_bytes_ >= config_.batch_max_bytes) {
       Flush();
     }
@@ -143,7 +143,7 @@ Status ReliableSender::SendMessageAsPackets(uint64_t seq, const Bytes& message) 
 }
 
 void ReliableSender::Retain(uint64_t seq, Bytes message) {
-  retained_.emplace_back(seq, std::move(message));
+  retained_.emplace_back(seq, std::move(message));  // hotlint: allow(hot-container-growth) -- retransmit retention window, trimmed as peers acknowledge
   while (retained_.size() > config_.retain_messages) {
     last_retransmit_.erase(retained_.front().first);
     retained_.pop_front();
@@ -176,8 +176,8 @@ void ReliableSender::HandleNak(const NakPacket& nak, HostId /*from_host*/,
     retransmits_->Inc();
     if (recorder_ != nullptr) {
       recorder_->Record(sim_->Now(), telemetry::FlightEventKind::kRetransmit, "",
-                        "stream=" + std::to_string(stream_id_) +
-                            " seq=" + std::to_string(seq));
+                        "stream=" + std::to_string(stream_id_) +  // hotlint: allow(hot-string) -- loss-recovery telemetry detail: NAKs are the exception path
+                            " seq=" + std::to_string(seq));  // hotlint: allow(hot-string) -- loss-recovery telemetry detail: NAKs are the exception path
     }
   }
   if (aged_out) {
@@ -187,7 +187,7 @@ void ReliableSender::HandleNak(const NakPacket& nak, HostId /*from_host*/,
   }
 }
 
-void ReliableSender::ScheduleHeartbeat() {
+void ReliableSender::ScheduleHeartbeat() {  // hotlint: allow(hot-recursion) -- self-reschedules via a simulator timer: one frame per tick, not unbounded
   if (heartbeat_scheduled_) {
     return;
   }
@@ -286,7 +286,7 @@ void ReliableReceiver::HandleData(const DataPacket& pkt, HostId from_host, Port 
   }
   Partial& partial = s.partials[pkt.seq];
   if (partial.chunks.empty()) {
-    partial.chunks.resize(pkt.frag_count);
+    partial.chunks.resize(pkt.frag_count);  // hotlint: allow(hot-container-growth) -- this resize IS the one-shot preallocation of the reassembly buffer
   }
   if (pkt.frag_count != partial.chunks.size()) {
     return;  // inconsistent retransmit; ignore
@@ -305,7 +305,7 @@ void ReliableReceiver::HandleData(const DataPacket& pkt, HostId from_host, Port 
   if (partial.received == partial.chunks.size()) {
     Bytes whole;
     for (Bytes& c : partial.chunks) {
-      whole.insert(whole.end(), c.begin(), c.end());
+      whole.insert(whole.end(), c.begin(), c.end());  // hotlint: allow(hot-container-growth) -- reassembly concatenation into the rebuilt message
     }
     s.partials.erase(pkt.seq);
     Ingest(pkt.stream_id, pkt.seq, std::move(whole), from_host, from_port);
@@ -355,9 +355,9 @@ void ReliableReceiver::HandleHeartbeat(const HeartbeatPacket& pkt, HostId from_h
     gaps_->Inc(last - first + 1);
     if (recorder_ != nullptr) {
       recorder_->Record(sim_->Now(), telemetry::FlightEventKind::kGap, "",
-                        "stream=" + std::to_string(pkt.stream_id) +
-                            " first=" + std::to_string(first) +
-                            " last=" + std::to_string(last));
+                        "stream=" + std::to_string(pkt.stream_id) +  // hotlint: allow(hot-string) -- loss-detection telemetry detail: exception path
+                            " first=" + std::to_string(first) +  // hotlint: allow(hot-string) -- loss-detection telemetry detail: exception path
+                            " last=" + std::to_string(last));  // hotlint: allow(hot-string) -- loss-detection telemetry detail: exception path
     }
     if (on_gap_) {
       on_gap_(pkt.stream_id, first, last);
@@ -382,7 +382,7 @@ void ReliableReceiver::Ingest(uint64_t stream_id, uint64_t seq, Bytes message,
     return;
   }
   s.highest_seen = std::max(s.highest_seen, seq);
-  s.ready.emplace(seq, std::move(message));
+  s.ready.emplace(seq, std::move(message));  // hotlint: allow(hot-container-growth) -- out-of-order staging map, bounded by the receive window
   if (s.syncing) {
     return;  // delivery deferred until the hold window closes
   }
@@ -444,7 +444,7 @@ void ReliableReceiver::MaybeScheduleNak(uint64_t stream_id) {
   });
 }
 
-void ReliableReceiver::NakScan(uint64_t stream_id) {
+void ReliableReceiver::NakScan(uint64_t stream_id) {  // hotlint: allow(hot-recursion) -- self-reschedules via a simulator timer: one frame per scan interval
   auto sit = streams_.find(stream_id);
   if (sit == streams_.end()) {
     return;
@@ -469,7 +469,7 @@ void ReliableReceiver::NakScan(uint64_t stream_id) {
         sim_->Now() - pit->second.last_update < config_.partial_stall_us) {
       continue;  // reassembly in progress; don't request a full resend yet
     }
-    missing.push_back(seq);
+    missing.push_back(seq);  // hotlint: allow(hot-container-growth) -- NAK gap list, bounded by the receive window
   }
   if (missing.empty()) {
     if (!s.partials.empty()) {
@@ -494,9 +494,9 @@ void ReliableReceiver::NakScan(uint64_t stream_id) {
     gaps_->Inc(last - first + 1);
     if (recorder_ != nullptr) {
       recorder_->Record(sim_->Now(), telemetry::FlightEventKind::kGap, "",
-                        "stream=" + std::to_string(stream_id) +
-                            " first=" + std::to_string(first) +
-                            " last=" + std::to_string(last));
+                        "stream=" + std::to_string(stream_id) +  // hotlint: allow(hot-string) -- gap-repair telemetry detail: exception path
+                            " first=" + std::to_string(first) +  // hotlint: allow(hot-string) -- gap-repair telemetry detail: exception path
+                            " last=" + std::to_string(last));  // hotlint: allow(hot-string) -- gap-repair telemetry detail: exception path
     }
     if (on_gap_) {
       on_gap_(stream_id, first, last);

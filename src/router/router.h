@@ -88,7 +88,7 @@ class InfoRouter {
 
   // Per-subject-prefix WAN flow counters: `publishes` counts forwards to the peer,
   // `deliveries` republishes from it (bytes likewise, marshalled sizes).
-  const std::map<std::string, SubjectFlow>& subject_flows() const { return flows_; }
+  const std::map<std::string, SubjectFlow, std::less<>>& subject_flows() const { return flows_; }
 
   telemetry::FlightRecorder* flight_recorder() { return &recorder_; }
   const telemetry::FlightRecorder& flight_recorder() const { return recorder_; }
@@ -144,7 +144,7 @@ class InfoRouter {
   std::map<std::string, uint64_t> peer_subs_;
   std::vector<uint64_t> control_subs_;
   RouterStats stats_;
-  std::map<std::string, SubjectFlow> flows_;
+  std::map<std::string, SubjectFlow, std::less<>> flows_;
   telemetry::FlightRecorder recorder_;
   std::shared_ptr<bool> alive_;
 };

@@ -271,11 +271,11 @@ SimTime Network::LocalLoopbackDelay(size_t bytes) const {
          static_cast<SimTime>(std::llround(static_cast<double>(bytes) * kLoopbackUsPerByte));
 }
 
-void Network::DeliverDatagram(Datagram d, SimTime at) {
+void Network::DeliverDatagram(Datagram d, SimTime at) {  // hotlint: hot
   DeliverDatagram(std::move(d), at, PendingTap());
 }
 
-void Network::DeliverDatagram(Datagram d, SimTime at, PendingTap tap) {
+void Network::DeliverDatagram(Datagram d, SimTime at, PendingTap tap) {  // hotlint: hot
   HostId dst = d.dst_host;
   sim_->ScheduleAt(at, [this, d = std::move(d), dst, tap, at]() {
     const Host& h = hosts_.at(dst);
@@ -305,7 +305,7 @@ void Network::DeliverDatagram(Datagram d, SimTime at, PendingTap tap) {
   });
 }
 
-Status Network::SendDatagram(const Datagram& d) {
+Status Network::SendDatagram(const Datagram& d) {  // hotlint: hot
   const Host& src = hosts_.at(d.src_host);
   if (!src.up) {
     return Unavailable("source host down");
@@ -374,7 +374,7 @@ Status Network::SendDatagram(const Datagram& d) {
   return OkStatus();
 }
 
-Status Network::BroadcastDatagram(const Datagram& d) {
+Status Network::BroadcastDatagram(const Datagram& d) {  // hotlint: hot
   const Host& src = hosts_.at(d.src_host);
   if (!src.up) {
     return Unavailable("source host down");

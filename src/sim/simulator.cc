@@ -4,7 +4,7 @@
 
 namespace ibus {
 
-EventId Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
+EventId Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {  // hotlint: allow(hot-std-function) -- the event queue stores type-erased callables by design
   if (t < now_) {
     t = now_;
   }
@@ -15,7 +15,7 @@ EventId Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
 
 void Simulator::Cancel(EventId id) {
   if (id != 0 && id < next_id_) {
-    cancelled_.insert(id);
+    cancelled_.insert(id);  // hotlint: allow(hot-container-growth) -- cancellation set, bounded by in-flight timers
   }
 }
 

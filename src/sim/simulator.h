@@ -35,7 +35,7 @@ class Simulator {
   EventId ScheduleAt(SimTime t, std::function<void()> fn);
 
   // Schedules `fn` to run `delay` microseconds from now.
-  EventId ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  EventId ScheduleAfter(SimTime delay, std::function<void()> fn) {  // hotlint: allow(hot-std-function) -- the event queue stores type-erased callables by design
     return ScheduleAt(now_ + delay, std::move(fn));
   }
 

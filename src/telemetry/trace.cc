@@ -28,7 +28,7 @@ std::string HopSubject(HopKind kind) {
   return std::string(kReservedTracePrefix) + "hop." + std::string(HopKindName(kind));
 }
 
-Bytes HopRecord::Marshal() const {
+Bytes HopRecord::Marshal() const {  // hotlint: allow(hot-by-value) -- serialization boundary: NRVO into the send buffer
   WireWriter w;
   w.PutU64(trace_id);
   w.PutU8(hop);
@@ -68,7 +68,7 @@ Result<HopRecord> HopRecord::Unmarshal(const Bytes& b) {
   return rec;
 }
 
-std::string HopRecord::ToString() const {
+std::string HopRecord::ToString() const {  // hotlint: cold -- console/log rendering, never on the forwarding path
   std::ostringstream out;
   out << "t=" << at_us << "us trace=" << trace_id << " hop=" << static_cast<int>(hop) << " "
       << HopKindName(kind) << " node=" << node << " subject=" << subject;

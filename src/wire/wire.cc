@@ -121,7 +121,7 @@ Result<uint64_t> WireReader::ReadVarint() {
   return v;
 }
 
-Result<std::string> WireReader::ReadString() {
+Result<std::string> WireReader::ReadString() {  // hotlint: allow(hot-by-value) -- decode boundary: builds the owning copy the caller asked for; peeks use ReadStringView
   auto len = ReadVarint();
   if (!len.ok()) {
     return len.status();
@@ -132,7 +132,18 @@ Result<std::string> WireReader::ReadString() {
   return s;
 }
 
-Result<Bytes> WireReader::ReadBytes() {
+Result<std::string_view> WireReader::ReadStringView() {
+  auto len = ReadVarint();
+  if (!len.ok()) {
+    return len.status();
+  }
+  IBUS_RETURN_IF_ERROR(Need(*len));
+  std::string_view s(reinterpret_cast<const char*>(data_ + pos_), *len);
+  pos_ += *len;
+  return s;
+}
+
+Result<Bytes> WireReader::ReadBytes() {  // hotlint: allow(hot-by-value) -- decode boundary: the payload copy is the product
   auto len = ReadVarint();
   if (!len.ok()) {
     return len.status();
@@ -143,7 +154,8 @@ Result<Bytes> WireReader::ReadBytes() {
   return b;
 }
 
-Bytes FrameMessage(uint8_t frame_type, const Bytes& payload) {
+// hotlint: hot
+Bytes FrameMessage(uint8_t frame_type, const Bytes& payload) {  // hotlint: allow(hot-by-value) -- frame assembly: NRVO of the send buffer
   WireWriter w;
   w.PutU16(kFrameMagic);
   w.PutU8(kWireVersion);
@@ -154,7 +166,7 @@ Bytes FrameMessage(uint8_t frame_type, const Bytes& payload) {
   return w.Take();
 }
 
-Result<ParsedFrame> ParseFrame(const Bytes& frame) {
+Result<ParsedFrame> ParseFrame(const Bytes& frame) {  // hotlint: hot
   if (frame.size() < kFrameHeaderSize) {
     return DataLoss("frame: too short");
   }

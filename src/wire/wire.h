@@ -18,7 +18,7 @@ class WireWriter {
  public:
   WireWriter() = default;
 
-  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU8(uint8_t v) { buf_.push_back(v); }  // hotlint: allow(hot-container-growth) -- amortized encode-buffer growth: callers cannot know the final size
   void PutU16(uint16_t v);
   void PutU32(uint32_t v);
   void PutU64(uint64_t v);
@@ -34,11 +34,11 @@ class WireWriter {
   void PutBytes(const Bytes& b);
 
   // Raw append without a length prefix (caller manages framing).
-  void PutRaw(const uint8_t* data, size_t len) { buf_.insert(buf_.end(), data, data + len); }
+  void PutRaw(const uint8_t* data, size_t len) { buf_.insert(buf_.end(), data, data + len); }  // hotlint: allow(hot-container-growth) -- amortized encode-buffer growth: callers cannot know the final size
   void PutRaw(const Bytes& b) { PutRaw(b.data(), b.size()); }
 
   const Bytes& data() const { return buf_; }
-  Bytes Take() { return std::move(buf_); }
+  Bytes Take() { return std::move(buf_); }  // hotlint: allow(hot-by-value) -- moves the buffer out: no copy
   size_t size() const { return buf_.size(); }
 
  private:
@@ -59,6 +59,9 @@ class WireReader {
   Result<bool> ReadBool();
   Result<uint64_t> ReadVarint();
   Result<std::string> ReadString();
+  // Zero-copy variant: the view aliases the reader's buffer and is valid only
+  // while that buffer lives. The hot-path choice when the caller just inspects.
+  Result<std::string_view> ReadStringView();
   Result<Bytes> ReadBytes();
 
   size_t remaining() const { return size_ - pos_; }

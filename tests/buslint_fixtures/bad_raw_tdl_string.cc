@@ -1,0 +1,15 @@
+// Fixture: raw-string TDL literals that must fire — a multi-line script with an
+// unbalanced form, and a TDL escape that leaks through the )tdl" closer leaving
+// the script's string unterminated.
+#include <string>
+
+void RawSeeded() {
+  // Multi-line raw script missing a closing paren: fires at this call line.
+  app.RunScript(R"tdl(
+    (defclass order (object)
+      ((items :type list)
+  )tdl");
+  // The backslash escapes the TDL-level quote, and the C++ raw literal still
+  // terminates at )tdl" — so the script ends inside an open TDL string.
+  interp.EvalProgram(R"tdl((print "x\))tdl");
+}

@@ -1,0 +1,21 @@
+// Fixture: raw-string TDL literals that exercise the tricky lexing corners —
+// multi-line scripts, TDL-level backslash escapes that UnescapeCpp must NOT
+// fold, and escapes directly adjacent to the )tdl" closer. No rule may fire.
+#include <string>
+
+void RawClean() {
+  // Multi-line raw script: the literal spans lines, the diagnostic line is the call.
+  app.RunScript(R"tdl(
+    (defclass order (object)
+      ((items :type list)
+       (total :type number)))
+    (make-instance 'order :items (list "a" "b") :total 7)
+  )tdl");
+  // TDL string whose own backslash escapes sit right against the closer: the
+  // scanner must end the C++ literal at the first )tdl" and hand the content to
+  // the TDL reader verbatim (a C++-unescape pass would turn \\ into \" bait).
+  interp.EvalProgram(R"tdl((print "tail\\"))tdl");
+  // Escaped quotes inside a raw script: raw content carries \" through to TDL,
+  // which folds it itself.
+  interp.EvalProgram(R"tdl((print "say \"hi\""))tdl");
+}

@@ -123,6 +123,21 @@ TEST(BuslintTdlString, FiresOnUnparsableTdlLiterals) {
   EXPECT_NE(vs[0].message.find("does not parse"), std::string::npos);
 }
 
+TEST(BuslintTdlString, RawStringsReachTheReaderVerbatim) {
+  // Multi-line raw scripts, TDL-level backslash escapes, and escapes adjacent to
+  // the )tdl" closer: raw content must not be C++-unescaped before parsing.
+  auto vs = LintFixture("src/tdl/raw_tdl_string.cc", "raw_tdl_string.cc");
+  EXPECT_EQ(CountRule(vs, kRuleTdlString), 0u) << Render(vs);
+}
+
+TEST(BuslintTdlString, RawStringTriggersFireAtTheCallLine) {
+  auto vs = LintFixture("src/tdl/bad_raw_tdl_string.cc", "bad_raw_tdl_string.cc");
+  ASSERT_EQ(CountRule(vs, kRuleTdlString), 2u) << Render(vs);
+  // The multi-line script is reported at the RunScript call, not inside the literal.
+  EXPECT_EQ(vs[0].line, 8) << Render(vs);
+  EXPECT_EQ(vs[1].line, 14) << Render(vs);
+}
+
 TEST(BuslintTdlString, SilentOnWellFormedAndNonLiteralScripts) {
   auto vs = LintFixture("examples/embed.cc", "good_tdl_string.cc");
   EXPECT_TRUE(vs.empty()) << Render(vs);

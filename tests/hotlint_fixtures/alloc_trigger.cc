@@ -1,0 +1,21 @@
+// hot-alloc: the hot root reaches a heap allocation two hops down the call graph.
+#include <memory>
+
+namespace fix {
+
+struct Node {
+  int v = 0;
+};
+
+std::unique_ptr<Node> FreshNode() { return std::make_unique<Node>(); }
+
+void Stage(int v) {
+  auto n = FreshNode();
+  n->v = v;
+}
+
+void Deliver(int v) {  // hotlint: hot
+  Stage(v);
+}
+
+}  // namespace fix

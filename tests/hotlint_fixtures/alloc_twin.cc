@@ -1,0 +1,21 @@
+// Twin of alloc_trigger: the hot path reuses a preallocated slot; no heap traffic.
+namespace fix {
+
+struct Node {
+  int v = 0;
+};
+
+Node& PooledNode() {
+  static Node pool;
+  return pool;
+}
+
+void Stage(int v) {
+  PooledNode().v = v;
+}
+
+void Deliver(int v) {  // hotlint: hot
+  Stage(v);
+}
+
+}  // namespace fix

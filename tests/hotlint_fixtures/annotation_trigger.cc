@@ -1,0 +1,16 @@
+// bad-annotation: an allow with no justification, an unknown rule name, and a
+// hot marker that attaches to nothing.
+#include <memory>
+
+namespace fix {
+
+// hotlint: hot
+
+void Deliver(int v) {  // hotlint: hot
+  auto p = std::make_unique<int>(v);  // hotlint: allow(hot-alloc)
+  auto q = std::make_unique<int>(v);  // hotlint: allow(hot-malloc) -- no such rule
+  (void)p;
+  (void)q;
+}
+
+}  // namespace fix

@@ -1,0 +1,11 @@
+// Twin of annotation_trigger: every annotation is justified, known, and attached.
+#include <memory>
+
+namespace fix {
+
+void Deliver(int v) {  // hotlint: hot
+  auto p = std::make_unique<int>(v);  // hotlint: allow(hot-alloc) -- one-time warmup allocation, amortized across the run
+  (void)p;
+}
+
+}  // namespace fix

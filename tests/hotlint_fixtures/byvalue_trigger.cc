@@ -1,0 +1,17 @@
+// hot-by-value: by-value std::string parameter and by-value container return.
+#include <string>
+#include <vector>
+
+namespace fix {
+
+std::vector<int> Expand(std::string subject) {
+  (void)subject;
+  return {};
+}
+
+void Deliver(const std::string& s) {  // hotlint: hot
+  auto v = Expand(s);
+  (void)v;
+}
+
+}  // namespace fix

@@ -1,0 +1,27 @@
+// Twin of byvalue_trigger: const-ref in, out-param out, and a moved sink param.
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fix {
+
+struct Slot {
+  std::string owned;
+};
+
+void Expand(const std::string& subject, std::vector<int>* out) {
+  (void)subject;
+  out->reserve(4);
+}
+
+void Adopt(Slot& slot, std::string s) {
+  slot.owned = std::move(s);
+}
+
+void Deliver(Slot& slot, const std::string& s) {  // hotlint: hot
+  std::vector<int> v;
+  Expand(s, &v);
+  Adopt(slot, s);
+}
+
+}  // namespace fix

@@ -1,0 +1,19 @@
+// A lambda assigned to a member inside a hot function: the lambda body is part
+// of the enclosing function's effect set, and building the std::function allocates.
+#include <functional>
+#include <memory>
+
+namespace fix {
+
+struct Timer {
+  std::function<void()> on_fire;
+};
+
+void Deliver(Timer& t, int v) {  // hotlint: hot
+  t.on_fire = [v]() {
+    auto p = std::make_unique<int>(v);
+    (void)p;
+  };
+}
+
+}  // namespace fix

@@ -1,0 +1,23 @@
+// Twin of edge_lambda_member_trigger: the callback is installed once at setup
+// (not hot), and the hot path only fires it.
+#include <functional>
+#include <memory>
+
+namespace fix {
+
+struct Timer {
+  std::function<void()> on_fire;
+};
+
+void Setup(Timer& t, int v) {
+  t.on_fire = [v]() {
+    auto p = std::make_unique<int>(v);
+    (void)p;
+  };
+}
+
+void Deliver(Timer& t) {  // hotlint: hot
+  t.on_fire();
+}
+
+}  // namespace fix

@@ -1,0 +1,30 @@
+// Mutual recursion: Deliver -> Descend -> Cross -> Descend is a two-node cycle.
+namespace fix {
+
+struct Node {
+  Node* left = nullptr;
+  Node* right = nullptr;
+  int v = 0;
+};
+
+int Cross(Node* n);
+
+int Descend(Node* n) {
+  if (n == nullptr) {
+    return 0;
+  }
+  return n->v + Cross(n->left);
+}
+
+int Cross(Node* n) {
+  if (n == nullptr) {
+    return 0;
+  }
+  return Descend(n->right);
+}
+
+void Deliver(Node* n) {  // hotlint: hot
+  (void)Descend(n);
+}
+
+}  // namespace fix

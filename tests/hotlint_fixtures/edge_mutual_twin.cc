@@ -1,0 +1,31 @@
+// Twin of edge_mutual_trigger: both cycle members justify the bound on their
+// signatures.
+namespace fix {
+
+struct Node {
+  Node* left = nullptr;
+  Node* right = nullptr;
+  int v = 0;
+};
+
+int Cross(Node* n);
+
+int Descend(Node* n) {  // hotlint: allow(hot-recursion) -- alternates with Cross, one level per tree rank, depth capped at insert
+  if (n == nullptr) {
+    return 0;
+  }
+  return n->v + Cross(n->left);
+}
+
+int Cross(Node* n) {  // hotlint: allow(hot-recursion) -- alternates with Descend, one level per tree rank, depth capped at insert
+  if (n == nullptr) {
+    return 0;
+  }
+  return Descend(n->right);
+}
+
+void Deliver(Node* n) {  // hotlint: hot
+  (void)Descend(n);
+}
+
+}  // namespace fix

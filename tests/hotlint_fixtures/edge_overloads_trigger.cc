@@ -1,0 +1,21 @@
+// Overload resolution by arity: the hot site calls the 1-arg overload, and that
+// overload is the one that allocates.
+#include <memory>
+
+namespace fix {
+
+void Send(int v) {
+  auto p = std::make_unique<int>(v);
+  (void)p;
+}
+
+void Send(int v, int flags) {
+  (void)v;
+  (void)flags;
+}
+
+void Deliver(int v) {  // hotlint: hot
+  Send(v);
+}
+
+}  // namespace fix

@@ -1,0 +1,20 @@
+// Twin of edge_overloads_trigger: the allocation lives in the 2-arg overload,
+// which the 1-arg hot call site cannot reach.
+#include <memory>
+
+namespace fix {
+
+void Send(int v) {
+  (void)v;
+}
+
+void Send(int v, int flags) {
+  auto p = std::make_unique<int>(v + flags);
+  (void)p;
+}
+
+void Deliver(int v) {  // hotlint: hot
+  Send(v);
+}
+
+}  // namespace fix

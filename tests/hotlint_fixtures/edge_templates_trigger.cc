@@ -1,0 +1,20 @@
+// Template functions participate in the call graph like any other definition.
+#include <memory>
+
+namespace fix {
+
+struct Frame {
+  int v = 0;
+};
+
+template <typename T>
+void Forward(const T& t) {
+  auto copy = std::make_unique<T>(t);
+  (void)copy;
+}
+
+void Deliver(const Frame& f) {  // hotlint: hot
+  Forward(f);
+}
+
+}  // namespace fix

@@ -1,0 +1,19 @@
+// Twin of edge_templates_trigger: the template forwards by reference, no copy.
+namespace fix {
+
+struct Frame {
+  int v = 0;
+};
+
+int sink = 0;
+
+template <typename T>
+void Forward(const T& t) {
+  sink += t.v;
+}
+
+void Deliver(const Frame& f) {  // hotlint: hot
+  Forward(f);
+}
+
+}  // namespace fix

@@ -1,0 +1,30 @@
+// Virtual dispatch resolves as the conservative union over every overrider:
+// if any Deliver-reachable override allocates, the chain is reported.
+#include <memory>
+
+namespace fix {
+
+struct Handler {
+  virtual ~Handler() = default;
+  virtual void OnMessage(int v) = 0;
+};
+
+struct CountingHandler : Handler {
+  int count = 0;
+  void OnMessage(int v) override {
+    count += v;
+  }
+};
+
+struct JournalingHandler : Handler {
+  void OnMessage(int v) override {
+    auto p = std::make_unique<int>(v);
+    (void)p;
+  }
+};
+
+void Deliver(Handler* h, int v) {  // hotlint: hot
+  h->OnMessage(v);
+}
+
+}  // namespace fix

@@ -1,0 +1,26 @@
+// Twin of edge_virtual_trigger: every overrider in the union is clean.
+namespace fix {
+
+struct Handler {
+  virtual ~Handler() = default;
+  virtual void OnMessage(int v) = 0;
+};
+
+struct CountingHandler : Handler {
+  int count = 0;
+  void OnMessage(int v) override {
+    count += v;
+  }
+};
+
+struct DroppingHandler : Handler {
+  void OnMessage(int v) override {
+    (void)v;
+  }
+};
+
+void Deliver(Handler* h, int v) {  // hotlint: hot
+  h->OnMessage(v);
+}
+
+}  // namespace fix

@@ -1,0 +1,14 @@
+// hot-container-growth: push_back with no prior reserve() in the same function.
+#include <vector>
+
+namespace fix {
+
+void Collect(std::vector<int>& out, int v) {
+  out.push_back(v);
+}
+
+void Deliver(std::vector<int>& out) {  // hotlint: hot
+  Collect(out, 1);
+}
+
+}  // namespace fix

@@ -1,0 +1,15 @@
+// Twin of growth_trigger: the reserve() preallocation idiom suppresses the rule.
+#include <vector>
+
+namespace fix {
+
+void Collect(std::vector<int>& out, int v) {
+  out.reserve(8);
+  out.push_back(v);
+}
+
+void Deliver(std::vector<int>& out) {  // hotlint: hot
+  Collect(out, 1);
+}
+
+}  // namespace fix

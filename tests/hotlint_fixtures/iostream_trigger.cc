@@ -1,0 +1,18 @@
+// hot-iostream: stream formatting reached transitively from the hot root.
+#include <iostream>
+
+namespace fix {
+
+void Report(int v) {
+  std::cerr << "value " << v << "\n";
+}
+
+void Audit(int v) {
+  Report(v);
+}
+
+void Deliver(int v) {  // hotlint: hot
+  Audit(v);
+}
+
+}  // namespace fix

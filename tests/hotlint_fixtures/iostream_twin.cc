@@ -1,0 +1,19 @@
+// Twin of iostream_trigger: the report runs behind a justified allow on the
+// malformed-input error path; the steady-state path never formats.
+#include <iostream>
+
+namespace fix {
+
+void Report(int v) {
+  std::cerr << "value " << v << "\n";  // hotlint: allow(hot-iostream) -- malformed-input error path, not per-message
+}
+
+void Audit(int v) {
+  Report(v);
+}
+
+void Deliver(int v) {  // hotlint: hot
+  Audit(v);
+}
+
+}  // namespace fix

@@ -1,0 +1,20 @@
+// hot-lock: mutex acquisition on the single-threaded deterministic hot path.
+#include <mutex>
+
+namespace fix {
+
+struct Table {
+  std::mutex mu;
+  int count = 0;
+};
+
+void Bump(Table& t) {
+  std::lock_guard<std::mutex> hold(t.mu);
+  t.count++;
+}
+
+void Deliver(Table& t) {  // hotlint: hot
+  Bump(t);
+}
+
+}  // namespace fix

@@ -1,0 +1,26 @@
+// Twin of lock_trigger: the locked maintenance sweep is cut off with a justified
+// cold marker, so the hot path itself stays lock-free.
+#include <mutex>
+
+namespace fix {
+
+struct Table {
+  std::mutex mu;
+  int count = 0;
+};
+
+// hotlint: cold -- maintenance sweep: runs from the admin console, never per message
+void Compact(Table& t) {
+  std::lock_guard<std::mutex> hold(t.mu);
+  t.count = 0;
+}
+
+void Bump(Table& t) {
+  t.count++;
+}
+
+void Deliver(Table& t) {  // hotlint: hot
+  Bump(t);
+}
+
+}  // namespace fix

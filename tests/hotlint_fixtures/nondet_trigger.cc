@@ -1,0 +1,27 @@
+// hot-nondet: the hot root reaches a wall-clock read, and iterates a
+// pointer-keyed unordered container (address order leaks into behavior).
+#include <ctime>
+#include <unordered_map>
+
+namespace fix {
+
+struct Sub {
+  int id = 0;
+};
+
+struct Table {
+  std::unordered_map<Sub*, int> weights;
+};
+
+long Stamp() {
+  return time(nullptr);
+}
+
+void Deliver(Table& t) {  // hotlint: hot
+  (void)Stamp();
+  for (const auto& entry : t.weights) {
+    (void)entry;
+  }
+}
+
+}  // namespace fix

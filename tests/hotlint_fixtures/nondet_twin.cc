@@ -1,0 +1,24 @@
+// Twin of nondet_trigger: virtual time from the simulator, and an ordered map
+// keyed by id instead of address.
+#include <cstdint>
+#include <map>
+
+namespace fix {
+
+struct Table {
+  std::map<uint64_t, int> weights;
+  int64_t now_us = 0;
+};
+
+int64_t Stamp(const Table& t) {
+  return t.now_us;
+}
+
+void Deliver(Table& t) {  // hotlint: hot
+  (void)Stamp(t);
+  for (const auto& entry : t.weights) {
+    (void)entry;
+  }
+}
+
+}  // namespace fix

@@ -1,0 +1,20 @@
+// hot-recursion: a self-recursive walk reachable from the hot root.
+namespace fix {
+
+struct Node {
+  Node* next = nullptr;
+  int v = 0;
+};
+
+int Walk(Node* n) {
+  if (n == nullptr) {
+    return 0;
+  }
+  return n->v + Walk(n->next);
+}
+
+void Deliver(Node* n) {  // hotlint: hot
+  (void)Walk(n);
+}
+
+}  // namespace fix

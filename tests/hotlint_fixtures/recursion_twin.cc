@@ -1,0 +1,21 @@
+// Twin of recursion_trigger: the walk carries a justified allow on its signature
+// stating the bound.
+namespace fix {
+
+struct Node {
+  Node* next = nullptr;
+  int v = 0;
+};
+
+int Walk(Node* n) {  // hotlint: allow(hot-recursion) -- bounded by subject depth, capped at 16 elements on insert
+  if (n == nullptr) {
+    return 0;
+  }
+  return n->v + Walk(n->next);
+}
+
+void Deliver(Node* n) {  // hotlint: hot
+  (void)Walk(n);
+}
+
+}  // namespace fix

@@ -1,0 +1,20 @@
+// hot-std-function: a by-value std::function parameter converts (and allocates)
+// at every hot call site, even though the body moves it.
+#include <functional>
+#include <utility>
+
+namespace fix {
+
+struct Queue {
+  std::function<void()> pending;
+};
+
+void Enqueue(Queue& q, std::function<void()> fn) {
+  q.pending = std::move(fn);
+}
+
+void Deliver(Queue& q) {  // hotlint: hot
+  Enqueue(q, nullptr);
+}
+
+}  // namespace fix

@@ -1,0 +1,18 @@
+// Twin of stdfunction_trigger: a plain function pointer needs no type erasure.
+namespace fix {
+
+using Callback = void (*)(int);
+
+struct Queue {
+  Callback pending = nullptr;
+};
+
+void Enqueue(Queue& q, Callback fn) {
+  q.pending = fn;
+}
+
+void Deliver(Queue& q) {  // hotlint: hot
+  Enqueue(q, nullptr);
+}
+
+}  // namespace fix

@@ -1,0 +1,15 @@
+// hot-string: std::string construction, to_string, and literal concat on the hot path.
+#include <string>
+
+namespace fix {
+
+std::string Label(int v) {
+  return "seq=" + std::to_string(v);
+}
+
+void Deliver(int v) {  // hotlint: hot
+  auto s = Label(v);
+  (void)s;
+}
+
+}  // namespace fix

@@ -1,0 +1,15 @@
+// Twin of string_trigger: the hot path passes views around and never materializes.
+#include <string_view>
+
+namespace fix {
+
+std::string_view Label(std::string_view whole) {
+  return whole.substr(0, whole.find('.'));
+}
+
+void Deliver(std::string_view subject) {  // hotlint: hot
+  auto s = Label(subject);
+  (void)s;
+}
+
+}  // namespace fix

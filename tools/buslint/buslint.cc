@@ -24,6 +24,9 @@ struct Scrubbed {
   std::string code;
   // Offset of the opening '"' -> raw characters between the quotes.
   std::unordered_map<size_t, std::string> literals;
+  // Opening-quote offsets of raw strings: their contents carry no C++ escapes,
+  // so they must not be run through UnescapeCpp.
+  std::unordered_set<size_t> raw_literals;
   // Line number (1-based) -> rules allowed by a `buslint: allow(...)` comment.
   std::unordered_map<int, std::set<std::string>> allows;
   std::vector<size_t> line_starts;  // offset of the first char of each line
@@ -116,6 +119,7 @@ Scrubbed Scrub(std::string_view src) {
           if (end != std::string_view::npos) {
             out.code[i] = '"';
             out.literals[i] = std::string(src.substr(paren + 1, end - paren - 1));
+            out.raw_literals.insert(i);
             size_t close_q = end + closer.size() - 1;
             out.code[close_q] = '"';
             for (size_t j = i; j < close_q; ++j) {
@@ -578,7 +582,12 @@ void CheckTdlStrings(const std::string& rel_path, const Scrubbed& s,
       return;
     }
     TdlParseError err;
-    auto parsed = ParseTdl(UnescapeCpp(lit->second), &err);
+    // Raw strings reach the TDL reader verbatim; only ordinary literals get
+    // their C++ escapes folded first. Unescaping a raw literal would corrupt
+    // scripts whose TDL strings carry their own backslash escapes.
+    const std::string script =
+        s.raw_literals.count(p) > 0 ? lit->second : UnescapeCpp(lit->second);
+    auto parsed = ParseTdl(script, &err);
     if (!parsed.ok()) {
       out->push_back({rel_path, line, kRuleTdlString,
                       "TDL literal passed to '" + std::string(ident) +
