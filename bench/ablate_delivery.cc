@@ -7,6 +7,7 @@
 
 #include "bench/bench_util.h"
 #include "src/bus/certified.h"
+#include "src/journal/journal.h"
 #include "src/sim/stable_store.h"
 
 namespace ibus {
@@ -51,7 +52,10 @@ DeliveryResult MeasureReliable(size_t msg_size, int n) {
 DeliveryResult MeasureCertified(size_t msg_size, int n, SimTime stable_write_us) {
   Testbed tb = MakeTestbed(2, /*batching=*/false, 2);
   MemoryStableStore store(stable_write_us);
-  auto pub = CertifiedPublisher::Create(tb.publisher(), &store, "bench-ledger").take();
+  journal::JournalConfig ledger_config;
+  ledger_config.sim = tb.sim.get();  // write-through: one stable write per publish
+  auto ledger = journal::Journal::Open(&store, ledger_config).take();
+  auto pub = CertifiedPublisher::Create(tb.publisher(), ledger.get(), "bench-ledger").take();
   std::vector<double> lat;
   uint64_t received = 0;
   SimTime first = -1, last = 0;

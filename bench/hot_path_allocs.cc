@@ -22,6 +22,12 @@ bool g_counting = false;
 
 // The replaceable global operator new/delete pair below IS the counting hook;
 // the raw new/delete tokens are the functions' names, not allocation sites.
+// GCC's -Wmismatched-new-delete pairs free() against the replaced operator new[]
+// at call sites it inlines, even though both forms route through malloc/free —
+// silence the false positive for the hook definitions only.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
 void* operator new(std::size_t size) {  // buslint: allow(raw-new-delete) -- counting-hook definition
   if (g_counting) {
     ++g_allocs;

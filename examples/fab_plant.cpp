@@ -15,6 +15,7 @@
 #include "src/bus/certified.h"
 #include "src/bus/client.h"
 #include "src/bus/daemon.h"
+#include "src/journal/journal.h"
 #include "src/rmi/client.h"
 #include "src/sim/stable_store.h"
 
@@ -61,7 +62,9 @@ int main() {
 
   // --- Cell controller moves a lot with GUARANTEED delivery ---------------------------
   std::printf("--- cell controller issues a certified move (logged before send) ---\n");
-  MemoryStableStore ledger;  // the controller's disk: survives its crash
+  MemoryStableStore disk;  // the controller's disk: survives its crash
+  journal::JournalConfig wal_config;
+  wal_config.sim = &sim;  // write-through: every certified publish is one stable write
   // The WIP adapter's certified endpoint acknowledges moves (the "reply" the paper's
   // guaranteed delivery retransmits until it receives).
   auto wip_consumer =
@@ -70,8 +73,9 @@ int main() {
           .take();
   auto controller_bus = BusClient::Connect(&net, hosts[1], "cell-controller").take();
   {
+    auto ledger = journal::Journal::Open(&disk, wal_config).take();
     auto controller =
-        CertifiedPublisher::Create(controller_bus.get(), &ledger, "cell-ledger").take();
+        CertifiedPublisher::Create(controller_bus.get(), ledger.get(), "cell-ledger").take();
     auto move = registry.NewInstance("wip_move").take();
     move->Set("lot", Value("L-1041")).ok();
     move->Set("to_station", Value("implant1")).ok();
@@ -92,8 +96,10 @@ int main() {
 
   // Restart and recover from the ledger: the logged move goes out (at-least-once).
   std::printf("--- controller restarts, recovers its ledger ---\n");
+  auto recovered_ledger = journal::Journal::Open(&disk, wal_config).take();
   auto restarted =
-      CertifiedPublisher::Create(controller_bus.get(), &ledger, "cell-ledger").take();
+      CertifiedPublisher::Create(controller_bus.get(), recovered_ledger.get(), "cell-ledger")
+          .take();
   restarted->Recover().ok();
   sim.RunFor(3 * kSecond);
   std::printf("pending certified messages after recovery + ack: %zu\n\n",

@@ -1,16 +1,17 @@
 #!/usr/bin/env bash
 # Runs the JSON-emitting benchmarks and assembles their per-binary JSON lines into
-# BENCH_6.json (schema BENCH_6: one row per measurement with name, latency-or-rate
+# BENCH_7.json (schema BENCH_7: one row per measurement with name, latency-or-rate
 # percentiles, and msgs/sec — same row shape as BENCH_2..4 — plus a "router_wan"
 # section carrying the per-segment bandwidth breakdown from the capture accountant,
-# see src/capture/bandwidth.h, and a "hot_path_allocs/steady" row carrying the
-# allocs_per_msg counter from the instrumented-allocator bench). Afterwards, diffs
+# see src/capture/bandwidth.h, a "hot_path_allocs/steady" row carrying the
+# allocs_per_msg counter from the instrumented-allocator bench, and the
+# journal_append rows measuring write-ahead ledger commit cost). Afterwards, diffs
 # the fresh numbers against the newest previous BENCH_*.json via
 # scripts/bench_diff.py and fails on a >10% latency regression, a >10%
 # throughput-bench delivery-rate drop, or a >10% hot-path allocation growth.
 # See docs/TELEMETRY.md.
 #
-#   scripts/bench.sh                     # build in build-bench/, write BENCH_6.json
+#   scripts/bench.sh                     # build in build-bench/, write BENCH_7.json
 #   BUILD_DIR=build scripts/bench.sh     # reuse an existing build dir
 #   OUT=/tmp/b.json scripts/bench.sh     # write somewhere else
 #   BENCHES="rmi_latency" scripts/bench.sh  # run a subset
@@ -19,8 +20,8 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-bench}
 JOBS=${JOBS:-$(nproc)}
-OUT=${OUT:-BENCH_6.json}
-BENCHES=${BENCHES:-"rmi_latency fig5_latency fig6_throughput_msgs fig7_throughput_bytes fig8_subjects router_wan hot_path_allocs"}
+OUT=${OUT:-BENCH_7.json}
+BENCHES=${BENCHES:-"rmi_latency fig5_latency fig6_throughput_msgs fig7_throughput_bytes fig8_subjects router_wan hot_path_allocs journal_append"}
 
 echo "== configure + build (${BUILD_DIR})"
 cmake -B "${BUILD_DIR}" -S . > /dev/null
@@ -41,7 +42,7 @@ for b in ${BENCHES}; do
 done
 
 {
-  printf '{"schema": "BENCH_6",\n'
+  printf '{"schema": "BENCH_7",\n'
   if [ -s "${tmpdir}/router_wan.bandwidth.json" ]; then
     printf '"router_wan": %s,\n' "$(cat "${tmpdir}/router_wan.bandwidth.json")"
   fi

@@ -32,6 +32,9 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -L health
 echo "== wire capture tests (ctest -L capture: tap fates, dissection, buscap goldens)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L capture
 
+echo "== journal tests (ctest -L journal: ledger format, recovery, busjournal verify)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L journal
+
 echo "== buslint over src/ bench/ examples/ tools/  (-L lint also runs tdlcheck)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L lint
 

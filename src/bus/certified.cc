@@ -1,13 +1,19 @@
 #include "src/bus/certified.h"
 
+#include "src/telemetry/health.h"
 #include "src/types/codec.h"
 #include "src/wire/wire.h"
 
 namespace ibus {
 
 namespace {
+// Ledger record kinds. Values are on-ledger format; do not renumber.
 constexpr uint8_t kLogPublish = 1;
 constexpr uint8_t kLogRetire = 2;
+// Carries the id horizon (next_id). Written before compaction so a fully-compacted
+// ledger can never reset the id space — a reused certified id would be silently
+// swallowed by subscriber dedup state.
+constexpr uint8_t kLogCheckpoint = 3;
 constexpr char kAckType[] = "_cert.ack";
 }  // namespace
 
@@ -16,23 +22,24 @@ constexpr char kAckType[] = "_cert.ack";
 // ---------------------------------------------------------------------------------
 
 Result<std::unique_ptr<CertifiedPublisher>> CertifiedPublisher::Create(
-    BusClient* bus, StableStore* store, const std::string& ledger_name,
+    BusClient* bus, journal::Journal* ledger, const std::string& ledger_name,
     const CertifiedConfig& config) {
   auto pub = std::unique_ptr<CertifiedPublisher>(
-      new CertifiedPublisher(bus, store, ledger_name, config));
+      new CertifiedPublisher(bus, ledger, ledger_name, config));
   auto sub = bus->Subscribe(pub->ack_subject(),
                             [p = pub.get()](const Message& m) { p->HandleAck(m); });
   if (!sub.ok()) {
     return sub.status();
   }
   pub->ack_sub_ = *sub;
+  pub->ScanLedger();
   return pub;
 }
 
-CertifiedPublisher::CertifiedPublisher(BusClient* bus, StableStore* store,
+CertifiedPublisher::CertifiedPublisher(BusClient* bus, journal::Journal* ledger,
                                        std::string ledger_name, const CertifiedConfig& config)
     : bus_(bus),
-      store_(store),
+      ledger_(ledger),
       ledger_name_(std::move(ledger_name)),
       config_(config),
       alive_(std::make_shared<bool>(true)) {}
@@ -65,6 +72,51 @@ Bytes CertifiedPublisher::LogRecordRetire(uint64_t id) const {
   return w.Take();
 }
 
+Bytes CertifiedPublisher::LogRecordCheckpoint(uint64_t next_id) const {
+  WireWriter w;
+  w.PutU8(kLogCheckpoint);
+  w.PutU64(next_id);
+  return w.Take();
+}
+
+// hotlint: cold -- restart-only ledger replay: runs once per publisher creation
+void CertifiedPublisher::ScanLedger() {
+  // Replaying publish/retire pairs makes the scan naturally idempotent: a retire
+  // whose ack raced the crash simply erases its message here, and one that never
+  // reached the ledger leaves the message pending for Recover() to re-send.
+  uint64_t next = 1;
+  for (const journal::Record& rec : ledger_->Records()) {
+    WireReader r(rec.payload);
+    auto kind = r.ReadU8();
+    auto id = r.ReadU64();
+    if (!kind.ok() || !id.ok()) {
+      continue;  // foreign or damaged record; the journal already CRC-checked blocks
+    }
+    if (*kind == kLogPublish) {
+      PendingMessage pm;
+      auto subject = r.ReadString();
+      auto type_name = r.ReadString();
+      auto payload = r.ReadBytes();
+      if (!subject.ok() || !type_name.ok() || !payload.ok()) {
+        continue;
+      }
+      pm.subject = subject.take();
+      pm.type_name = type_name.take();
+      pm.payload = payload.take();
+      pm.published_at = bus_->sim()->Now();
+      pm.lsn = rec.lsn;
+      next = std::max(next, *id + 1);
+      pending_.insert_or_assign(*id, std::move(pm));
+    } else if (*kind == kLogRetire) {
+      next = std::max(next, *id + 1);
+      pending_.erase(*id);
+    } else if (*kind == kLogCheckpoint) {
+      next = std::max(next, *id);  // checkpoint carries next_id itself
+    }
+  }
+  next_id_ = next;
+}
+
 Status CertifiedPublisher::Publish(const std::string& subject, Bytes payload,
                                    std::string type_name) {
   uint64_t id = next_id_++;
@@ -74,13 +126,16 @@ Status CertifiedPublisher::Publish(const std::string& subject, Bytes payload,
   pm.payload = std::move(payload);
   pm.published_at = bus_->sim()->Now();
 
-  auto logged = store_->Append(LogRecordPublish(id, pm));
+  auto logged = ledger_->Append(LogRecordPublish(id, pm));
   if (!logged.ok()) {
     return logged.status();
   }
+  pm.lsn = *logged;
   stats_.published++;
-  // The paper's ordering: stable write completes before the message hits the wire.
-  bus_->sim()->ScheduleAfter(store_->WriteLatency(), [this, id, alive = alive_]() {
+  // The paper's ordering: the stable write completes before the message hits the
+  // wire. The ledger calls back once the record (and its whole group-commit block)
+  // is durable.
+  ledger_->WhenDurable(*logged, [this, id, alive = alive_]() {
     if (!*alive) {
       return;
     }
@@ -110,46 +165,51 @@ void CertifiedPublisher::SendCertified(uint64_t id, const PendingMessage& pm) {
   bus_->Publish(std::move(m));
 }
 
+// hotlint: cold -- crash-recovery entry point, not a steady-state path
 Status CertifiedPublisher::Recover() {
-  auto records = store_->ReadFrom(0);
-  if (!records.ok()) {
-    return records.status();
-  }
-  pending_.clear();
-  uint64_t max_id = 0;
-  for (const Bytes& rec : *records) {
-    WireReader r(rec);
-    auto kind = r.ReadU8();
-    auto id = r.ReadU64();
-    if (!kind.ok() || !id.ok()) {
-      continue;  // torn record; ignore
-    }
-    max_id = std::max(max_id, *id);
-    if (*kind == kLogPublish) {
-      PendingMessage pm;
-      auto subject = r.ReadString();
-      auto type_name = r.ReadString();
-      auto payload = r.ReadBytes();
-      if (!subject.ok() || !type_name.ok() || !payload.ok()) {
-        continue;
-      }
-      pm.subject = subject.take();
-      pm.type_name = type_name.take();
-      pm.payload = payload.take();
-      pm.published_at = bus_->sim()->Now();
-      pending_.emplace(*id, std::move(pm));
-    } else if (*kind == kLogRetire) {
-      pending_.erase(*id);
-    }
-  }
-  next_id_ = max_id + 1;
-  // Republish everything unacknowledged (at-least-once across the crash).
+  // The ledger scan already ran at Create; re-arming only (re)announces and
+  // (re)sends what is still pending. Subscribers dedup, so running this twice —
+  // or after retire acks raced the crash — is harmless.
+  stats_.recovered = pending_.size();
   for (const auto& [id, pm] : pending_) {
     SendCertified(id, pm);
     stats_.retransmits++;
   }
   ScheduleRetry();
+  PublishRecoveryEvent(pending_.size());
   return OkStatus();
+}
+
+void CertifiedPublisher::PublishRecoveryEvent(uint64_t rearmed) {
+  telemetry::HealthEvent e;
+  e.kind = telemetry::HealthEventKind::kRecovery;
+  e.severity = telemetry::HealthSeverity::kClear;
+  e.node = ledger_name_;
+  e.value = static_cast<int64_t>(rearmed);
+  e.threshold = static_cast<int64_t>(ledger_->stats().recovered_records);
+  e.at_us = static_cast<int64_t>(bus_->sim()->Now());
+  Message m;
+  m.subject = telemetry::HealthSubject(e.kind, ledger_name_);
+  m.type_name = telemetry::kHealthEventType;
+  m.payload = e.Marshal();
+  // Health lives in the reserved namespace, so this is an internal publish.
+  bus_->PublishInternal(std::move(m));
+}
+
+// hotlint: cold -- fires only when the pending set drains; one block per checkpoint
+Status CertifiedPublisher::Checkpoint() {
+  auto lsn = ledger_->Append(LogRecordCheckpoint(next_id_));
+  if (!lsn.ok()) {
+    return lsn.status();
+  }
+  IBUS_RETURN_IF_ERROR(ledger_->Sync());
+  // Everything below the checkpoint — and below any still-pending publish — is
+  // retired history the ledger no longer needs.
+  journal::Lsn bound = *lsn;
+  for (const auto& [id, pm] : pending_) {
+    bound = std::min(bound, pm.lsn);
+  }
+  return ledger_->Compact(bound);
 }
 
 void CertifiedPublisher::HandleAck(const Message& m) {
@@ -168,10 +228,13 @@ void CertifiedPublisher::HandleAck(const Message& m) {
   }
   it->second.ackers.insert(*consumer);
   if (static_cast<int>(it->second.ackers.size()) >= config_.required_acks) {
-    store_->Append(LogRecordRetire(*id));
+    (void)ledger_->Append(LogRecordRetire(*id));
     retire_latency_.Record(bus_->sim()->Now() - it->second.published_at);
     pending_.erase(it);
     stats_.retired++;
+    if (pending_.empty() && config_.auto_checkpoint) {
+      (void)Checkpoint();
+    }
   }
 }
 

@@ -3,13 +3,18 @@
 // least once, regardless of failures. The publisher will retransmit the message at
 // appropriate times until a reply is received."
 //
-// CertifiedPublisher writes each message to a StableStore, charges the stable-write
-// latency, then publishes with a certified id; it retransmits periodically until the
-// configured number of distinct consumers acknowledge. After a crash, Recover()
-// replays the log and resumes retransmission of unacknowledged messages.
-// CertifiedSubscriber deduplicates by (publisher, certified id) — so the application
-// sees each message exactly once when there are no failures — and acknowledges on the
-// publisher's ack subject.
+// CertifiedPublisher writes each message to a write-ahead ledger (src/journal) and
+// publishes with a certified id only once the ledger reports the record durable; it
+// then retransmits periodically until the configured number of distinct consumers
+// acknowledge. Retires are journaled too, and when the ledger fully drains the
+// publisher writes a checkpoint record (carrying the id horizon) and compacts the
+// retired history. Creating a publisher over an existing ledger replays it — the
+// scan rebuilds the pending set and the id horizon idempotently, so retire acks
+// that raced a crash are honoured and certified ids are never reused — and
+// Recover() re-arms retransmission plus announces a `_ibus.health.recovery.<node>`
+// event. CertifiedSubscriber deduplicates by (publisher, certified id) — so the
+// application sees each message exactly once when there are no failures — and
+// acknowledges on the publisher's ack subject.
 #ifndef SRC_BUS_CERTIFIED_H_
 #define SRC_BUS_CERTIFIED_H_
 
@@ -21,7 +26,7 @@
 #include <unordered_set>
 
 #include "src/bus/client.h"
-#include "src/sim/stable_store.h"
+#include "src/journal/journal.h"
 #include "src/telemetry/metrics.h"
 
 namespace ibus {
@@ -31,45 +36,54 @@ struct CertifiedConfig {
   // How many distinct consumers must acknowledge before a message is retired. With the
   // default of 1 the semantics match the paper's "until a reply is received".
   int required_acks = 1;
+  // Write a checkpoint + compact the ledger whenever the pending set drains.
+  // Tests that inspect raw ledger history can switch it off.
+  bool auto_checkpoint = true;
 };
 
 struct CertifiedPublisherStats {
   uint64_t published = 0;
   uint64_t retransmits = 0;
   uint64_t retired = 0;
+  uint64_t recovered = 0;  // pending messages re-armed by the last Recover()
 };
 
 class CertifiedPublisher {
  public:
-  // `ledger_name` must be stable across restarts of the same logical publisher; it
-  // keys the ack subject so subscribers can reach the restarted instance.
+  // `ledger_name` must be stable across restarts of the same logical publisher: it
+  // keys the ack subject so subscribers can reach the restarted instance, and names
+  // the recovery health event. Creating the publisher scans `ledger` and rebuilds
+  // pending state; nothing is retransmitted until Publish or Recover.
   static Result<std::unique_ptr<CertifiedPublisher>> Create(BusClient* bus,
-                                                            StableStore* store,
+                                                            journal::Journal* ledger,
                                                             const std::string& ledger_name,
                                                             const CertifiedConfig& config = {});
   ~CertifiedPublisher();
   CertifiedPublisher(const CertifiedPublisher&) = delete;
   CertifiedPublisher& operator=(const CertifiedPublisher&) = delete;
 
-  // Logs then publishes. The bus send happens only after the simulated stable write
-  // completes.
+  // Journals then publishes. The bus send happens only once the ledger reports the
+  // record durable (the simulated stable-write latency).
   Status Publish(const std::string& subject, Bytes payload, std::string type_name = "");
   Status PublishObject(const std::string& subject, const DataObject& obj);
 
-  // Replays the stable log after a restart: pending (unacked) messages are republished
-  // and retransmission resumes.
+  // Re-arms the ledger state scanned at Create after a restart: pending (unacked)
+  // messages are republished, retransmission resumes, and a kRecovery health event
+  // is announced on "_ibus.health.recovery.<ledger_name>". Idempotent — calling it
+  // again (or after acks raced the crash) never loses or duplicates deliveries.
   Status Recover();
 
   size_t pending() const { return pending_.size(); }
   const CertifiedPublisherStats& stats() const { return stats_; }
   std::string ack_subject() const;
+  journal::Journal* ledger() { return ledger_; }
 
   // Publish-to-retire latency (stable write + wire + subscriber ack round trip).
   // Only populated when built with telemetry on.
   const telemetry::LatencyHistogram& retire_latency() const { return retire_latency_; }
 
  private:
-  CertifiedPublisher(BusClient* bus, StableStore* store, std::string ledger_name,
+  CertifiedPublisher(BusClient* bus, journal::Journal* ledger, std::string ledger_name,
                      const CertifiedConfig& config);
 
   struct PendingMessage {
@@ -78,16 +92,22 @@ class CertifiedPublisher {
     Bytes payload;
     std::set<std::string> ackers;
     SimTime published_at = 0;
+    journal::Lsn lsn = 0;  // ledger position of the publish record
   };
 
+  void ScanLedger();
   void HandleAck(const Message& m);
   void SendCertified(uint64_t id, const PendingMessage& pm);
   void ScheduleRetry();
+  // Persists the id horizon, then retires fully-acknowledged ledger history.
+  Status Checkpoint();
+  void PublishRecoveryEvent(uint64_t rearmed);
   Bytes LogRecordPublish(uint64_t id, const PendingMessage& pm) const;
   Bytes LogRecordRetire(uint64_t id) const;
+  Bytes LogRecordCheckpoint(uint64_t next_id) const;
 
   BusClient* bus_;
-  StableStore* store_;
+  journal::Journal* ledger_;
   std::string ledger_name_;
   CertifiedConfig config_;
   uint64_t next_id_ = 1;

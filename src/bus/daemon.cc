@@ -14,8 +14,13 @@ Result<std::unique_ptr<BusDaemon>> BusDaemon::Start(Network* net, HostId host,
     return socket.status();
   }
   daemon->socket_ = socket.take();
-  // One broadcast stream per daemon; the host id keys it uniquely on the bus.
-  const uint64_t stream_id = static_cast<uint64_t>(host) + 1;
+  // One broadcast stream per daemon *boot*: the host id keys it uniquely on the
+  // bus and the boot epoch makes a restarted daemon a brand-new stream — peers
+  // still holding receiver state for the previous incarnation would otherwise
+  // drop the restarted sender's low sequence numbers as duplicates. The first
+  // boot has epoch 0, so single-boot runs keep their historical stream ids.
+  const uint64_t epoch = net->NextBootEpoch(host);
+  const uint64_t stream_id = (epoch << 32) | (static_cast<uint64_t>(host) + 1);
   daemon->sender_ = std::make_unique<ReliableSender>(
       net->sim(), daemon->socket_.get(), config.daemon_port, stream_id, config.reliable,
       &daemon->metrics_, &daemon->recorder_);

@@ -5,6 +5,7 @@
 #include "src/bus/certified.h"
 #include "src/bus/client.h"
 #include "src/bus/daemon.h"
+#include "src/journal/journal.h"
 #include "src/router/router.h"
 #include "src/sim/simulator.h"
 #include "src/sim/stable_store.h"
@@ -101,7 +102,13 @@ std::vector<std::string> RunCertifiedWanCaptureScenario(uint64_t seed,
     return fail("producer bus", pub_bus.status());
   }
   MemoryStableStore store;
-  auto pub = CertifiedPublisher::Create(pub_bus->get(), &store, "orders-ledger");
+  journal::JournalConfig ledger_config;
+  ledger_config.sim = &sim;  // write-through (deadline 0): legacy stable-write timing
+  auto ledger = journal::Journal::Open(&store, ledger_config);
+  if (!ledger.ok()) {
+    return fail("journal", ledger.status());
+  }
+  auto pub = CertifiedPublisher::Create(pub_bus->get(), ledger->get(), "orders-ledger");
   if (!pub.ok()) {
     return fail("certified publisher", pub.status());
   }

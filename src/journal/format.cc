@@ -1,0 +1,67 @@
+#include "src/journal/format.h"
+
+#include "src/wire/wire.h"
+
+namespace ibus::journal {
+
+// hotlint: cold -- group-commit boundary: encodes one block per flush, not per message
+Bytes EncodeBlock(uint32_t segment, Lsn first_lsn, const std::vector<Bytes>& payloads) {
+  WireWriter w;
+  w.PutU32(kBlockMagic);
+  w.PutU32(segment);
+  w.PutU64(first_lsn);
+  w.PutU32(static_cast<uint32_t>(payloads.size()));
+  for (const Bytes& p : payloads) {
+    w.PutU32(static_cast<uint32_t>(p.size()));
+    w.PutU32(Crc32(p));
+    w.PutRaw(p);
+  }
+  return w.Take();
+}
+
+// hotlint: cold -- recovery/verify scan path: runs at open and in tools, never per message
+Status DecodeBlock(const Bytes& block, BlockHeader* header, std::vector<Record>* out) {
+  WireReader r(block);
+  auto magic = r.ReadU32();
+  if (!magic.ok() || *magic != kBlockMagic) {
+    return DataLoss("journal block: bad magic");
+  }
+  auto segment = r.ReadU32();
+  auto first_lsn = r.ReadU64();
+  auto count = r.ReadU32();
+  if (!segment.ok() || !first_lsn.ok() || !count.ok()) {
+    return DataLoss("journal block: truncated header");
+  }
+  std::vector<Record> records;
+  records.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto len = r.ReadU32();
+    auto crc = r.ReadU32();
+    if (!len.ok() || !crc.ok()) {
+      return DataLoss("journal block: truncated record header");
+    }
+    auto payload = r.ReadRaw(*len);
+    if (!payload.ok()) {
+      return DataLoss("journal block: truncated record payload");
+    }
+    if (Crc32(*payload) != *crc) {
+      return DataLoss("journal block: record checksum mismatch");
+    }
+    Record rec;
+    rec.lsn = *first_lsn + i;
+    rec.segment = *segment;
+    rec.payload = std::move(*payload);
+    records.push_back(std::move(rec));
+  }
+  if (!r.AtEnd()) {
+    return DataLoss("journal block: trailing garbage");
+  }
+  header->segment = *segment;
+  header->first_lsn = *first_lsn;
+  header->count = *count;
+  out->insert(out->end(), std::make_move_iterator(records.begin()),
+              std::make_move_iterator(records.end()));
+  return OkStatus();
+}
+
+}  // namespace ibus::journal

@@ -1,0 +1,55 @@
+// On-device block format of the write-ahead ledger. See docs/JOURNAL.md.
+//
+// The journal writes *blocks* to its block device (a StableStore record each): one
+// block per group commit. A block carries a fixed little-endian header followed by
+// `count` records, each with its own fixed header:
+//
+//   u32 magic "IBJL" | u32 segment | u64 first_lsn | u32 count
+//   count x ( u32 payload_len | u32 crc32(payload) | payload )
+//
+// Record LSNs inside a block are dense: first_lsn, first_lsn + 1, ... Blocks are
+// the atomicity unit — a block that fails validation anywhere (magic, header,
+// length, CRC) is rejected whole, so replay stops at the last record of the last
+// intact block and never skips over damage.
+#ifndef SRC_JOURNAL_FORMAT_H_
+#define SRC_JOURNAL_FORMAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace ibus::journal {
+
+// Log sequence number: dense, monotonic, assigned at Append, never reused.
+using Lsn = uint64_t;
+
+inline constexpr uint32_t kBlockMagic = 0x4C4A4249;  // "IBJL" read as little-endian u32
+inline constexpr size_t kBlockHeaderBytes = 4 + 4 + 8 + 4;
+inline constexpr size_t kRecordHeaderBytes = 4 + 4;
+
+// One journal record as seen by readers.
+struct Record {
+  Lsn lsn = 0;
+  uint32_t segment = 0;
+  Bytes payload;
+};
+
+struct BlockHeader {
+  uint32_t segment = 0;
+  Lsn first_lsn = 0;
+  uint32_t count = 0;
+};
+
+// Encodes one block from `payloads` (their LSNs become first_lsn, first_lsn+1, ...).
+Bytes EncodeBlock(uint32_t segment, Lsn first_lsn, const std::vector<Bytes>& payloads);
+
+// Decodes one device record. On success fills *header and appends the block's
+// records to *out. Any damage — bad magic, short header, truncated record,
+// CRC mismatch, trailing garbage — returns DataLoss and appends nothing.
+Status DecodeBlock(const Bytes& block, BlockHeader* header, std::vector<Record>* out);
+
+}  // namespace ibus::journal
+
+#endif  // SRC_JOURNAL_FORMAT_H_

@@ -1,0 +1,337 @@
+#include "src/journal/journal.h"
+
+#include <algorithm>
+
+namespace ibus::journal {
+
+Journal::Journal(StableStore* device, const JournalConfig& config)
+    : device_(device), config_(config) {
+  if (config_.metrics != nullptr) {
+    m_appends_ = config_.metrics->GetCounter(kMetricJournalAppends);
+    m_flushes_ = config_.metrics->GetCounter(kMetricJournalFlushes);
+    m_rotations_ = config_.metrics->GetCounter(kMetricJournalRotations);
+    m_compactions_ = config_.metrics->GetCounter(kMetricJournalCompactions);
+    m_recovered_ = config_.metrics->GetCounter(kMetricJournalRecovered);
+    m_torn_tail_ = config_.metrics->GetCounter(kMetricJournalTornTail);
+    m_commit_latency_ = config_.metrics->GetHistogram(kMetricJournalCommitLatency);
+  }
+}
+
+Journal::~Journal() { *alive_ = false; }
+
+Result<std::unique_ptr<Journal>> Journal::Open(StableStore* device,
+                                               const JournalConfig& config) {
+  auto j = std::unique_ptr<Journal>(new Journal(device, config));
+  IBUS_RETURN_IF_ERROR(j->ScanDevice());
+  return j;
+}
+
+// hotlint: cold -- recovery scan: runs once per open, proportional to journal size
+Status Journal::ScanDevice() {
+  auto blocks = device_->ReadFrom(0);
+  if (!blocks.ok()) {
+    return blocks.status();
+  }
+  const uint64_t first_seq = device_->NextSeq() - blocks->size();
+  size_t valid = 0;
+  for (; valid < blocks->size(); ++valid) {
+    const Bytes& raw = (*blocks)[valid];
+    BlockHeader h;
+    std::vector<Record> recs;
+    Status s = DecodeBlock(raw, &h, &recs);
+    // Past the first block the header must also chain: dense LSNs, monotonic
+    // segment ids. A break there is damage too — stop, never skip.
+    bool ok = s.ok();
+    if (ok && !blocks_.empty()) {
+      ok = h.first_lsn == next_lsn_ && h.segment >= current_segment_;
+    }
+    if (!ok) {
+      break;
+    }
+    if (blocks_.empty()) {
+      first_lsn_ = h.first_lsn;
+    }
+    if (h.segment != current_segment_) {
+      current_segment_bytes_ = 0;
+    }
+    current_segment_ = h.segment;
+    current_segment_bytes_ += raw.size();
+    blocks_.push_back(BlockInfo{first_seq + valid, h.segment, h.first_lsn, h.count, raw.size()});
+    for (Record& rec : recs) {
+      records_.push_back(std::move(rec));
+    }
+    next_lsn_ = h.first_lsn + h.count;
+  }
+  if (valid < blocks->size()) {
+    // Torn or corrupt tail: count it, physically discard it so future appends
+    // extend a clean device, and replay stops at the last valid LSN.
+    stats_.torn_tail_blocks = blocks->size() - valid;
+    IBUS_RETURN_IF_ERROR(device_->TruncateFrom(first_seq + valid));
+  }
+  stats_.recovered_records = records_.size();
+  durable_up_to_ = next_lsn_;
+  if (m_recovered_ != nullptr) {
+    m_recovered_->Inc(stats_.recovered_records);
+  }
+  if (m_torn_tail_ != nullptr) {
+    m_torn_tail_->Inc(stats_.torn_tail_blocks);
+  }
+  return OkStatus();
+}
+
+Result<Lsn> Journal::Append(const Bytes& payload) {
+  if (payload.size() > config_.max_record_bytes) {
+    return InvalidArgument("journal: record exceeds max_record_bytes");
+  }
+  const Lsn lsn = next_lsn_++;
+  ++stats_.appends;
+  if (m_appends_ != nullptr) {
+    m_appends_->Inc();
+  }
+  const SimTime now = config_.sim != nullptr ? config_.sim->Now() : 0;
+  buffered_.push_back(Buffered{lsn, payload, now});  // hotlint: allow(hot-container-growth) -- group-commit buffer: cleared by every flush, bounded by flush_max_bytes
+  buffered_bytes_ += kRecordHeaderBytes + payload.size();
+  const bool write_through = config_.sim == nullptr || config_.flush_deadline_us == 0;
+  if (write_through || kBlockHeaderBytes + buffered_bytes_ >= config_.flush_max_bytes) {
+    IBUS_RETURN_IF_ERROR(Flush());
+  } else {
+    ScheduleDeadlineFlush();
+  }
+  return lsn;
+}
+
+void Journal::ScheduleDeadlineFlush() {
+  if (flush_scheduled_ || config_.sim == nullptr) {
+    return;
+  }
+  flush_scheduled_ = true;
+  config_.sim->ScheduleAfter(config_.flush_deadline_us, [this, alive = alive_] {
+    if (!*alive) {
+      return;
+    }
+    flush_scheduled_ = false;
+    (void)Flush();  // a deadline flush has no caller to report to; stats still move
+  });
+}
+
+// hotlint: cold -- group-commit boundary: one device block + barrier per flush, not per append
+Status Journal::Flush() {
+  if (buffered_.empty()) {
+    return OkStatus();
+  }
+  uint64_t block_bytes = kBlockHeaderBytes;
+  for (const Buffered& b : buffered_) {
+    block_bytes += kRecordHeaderBytes + b.payload.size();
+  }
+  // Records never span blocks and blocks never span segments: a block that would
+  // push the current segment past its budget closes it and opens the next.
+  if (current_segment_bytes_ > 0 &&
+      current_segment_bytes_ + block_bytes > config_.segment_max_bytes) {
+    ++current_segment_;
+    current_segment_bytes_ = 0;
+    ++stats_.rotations;
+    if (m_rotations_ != nullptr) {
+      m_rotations_->Inc();
+    }
+  }
+  const Lsn first = buffered_.front().lsn;
+  std::vector<Bytes> payloads;
+  payloads.reserve(buffered_.size());
+  for (Buffered& b : buffered_) {
+    payloads.push_back(std::move(b.payload));
+  }
+  Bytes block = EncodeBlock(current_segment_, first, payloads);
+  auto seq = device_->Append(block);
+  if (!seq.ok()) {
+    return seq.status();
+  }
+  IBUS_RETURN_IF_ERROR(device_->Sync());
+  blocks_.push_back(BlockInfo{*seq, current_segment_, first,
+                              static_cast<uint32_t>(payloads.size()), block.size()});
+  current_segment_bytes_ += block.size();
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    records_.push_back(Record{first + i, current_segment_, std::move(payloads[i])});
+  }
+  for (Buffered& b : buffered_) {
+    b.payload.clear();
+    in_flight_.push_back(std::move(b));
+  }
+  buffered_.clear();
+  buffered_bytes_ = 0;
+  ++stats_.flushes;
+  if (m_flushes_ != nullptr) {
+    m_flushes_->Inc();
+  }
+  const Lsn up_to = first + blocks_.back().count;
+  if (config_.sim != nullptr) {
+    config_.sim->ScheduleAfter(device_->WriteLatency(), [this, alive = alive_, up_to] {
+      if (!*alive) {
+        return;
+      }
+      AdvanceDurable(up_to);
+    });
+  } else {
+    AdvanceDurable(up_to);
+  }
+  return OkStatus();
+}
+
+void Journal::AdvanceDurable(Lsn up_to) {
+  if (up_to <= durable_up_to_) {
+    return;
+  }
+  durable_up_to_ = up_to;
+  const SimTime now = config_.sim != nullptr ? config_.sim->Now() : 0;
+  while (!in_flight_.empty() && in_flight_.front().lsn < up_to) {
+    if (m_commit_latency_ != nullptr) {
+      m_commit_latency_->Record(static_cast<int64_t>(now - in_flight_.front().appended_at));
+    }
+    in_flight_.erase(in_flight_.begin());
+  }
+  while (!waiters_.empty() && waiters_.begin()->first < durable_up_to_) {
+    auto fn = std::move(waiters_.begin()->second);
+    waiters_.erase(waiters_.begin());
+    fn();
+  }
+}
+
+void Journal::WhenDurable(Lsn lsn, std::function<void()> fn) {
+  if (lsn < durable_up_to_) {
+    fn();
+    return;
+  }
+  waiters_.emplace(lsn, std::move(fn));
+}
+
+Status Journal::Sync() {
+  IBUS_RETURN_IF_ERROR(Flush());
+  // The barrier semantics: when Sync returns, everything appended is on the
+  // device and past its Sync call. Durability waiters fire now rather than after
+  // the simulated write latency — callers that want the latency use WhenDurable.
+  AdvanceDurable(next_lsn_);
+  return OkStatus();
+}
+
+// hotlint: cold -- retention maintenance: runs when a certified ledger checkpoints
+Status Journal::Compact(Lsn retire_below) {
+  IBUS_RETURN_IF_ERROR(Flush());
+  if (blocks_.empty()) {
+    return OkStatus();
+  }
+  // Only whole closed segments retire, and never the newest one: surviving LSNs
+  // stay dense, and the journal always keeps at least its latest block (which
+  // carries next_lsn across a reopen).
+  const uint32_t newest_segment = blocks_.back().segment;
+  size_t cut = 0;
+  while (cut < blocks_.size()) {
+    const uint32_t seg = blocks_[cut].segment;
+    if (seg == newest_segment) {
+      break;
+    }
+    size_t end = cut;
+    bool droppable = true;
+    while (end < blocks_.size() && blocks_[end].segment == seg) {
+      if (blocks_[end].first_lsn + blocks_[end].count > retire_below) {
+        droppable = false;
+      }
+      ++end;
+    }
+    if (!droppable) {
+      break;
+    }
+    cut = end;
+  }
+  if (cut == 0) {
+    return OkStatus();
+  }
+  const Lsn new_first = blocks_[cut].first_lsn;
+  IBUS_RETURN_IF_ERROR(device_->TruncateBefore(blocks_[cut].device_seq));
+  blocks_.erase(blocks_.begin(), blocks_.begin() + static_cast<ptrdiff_t>(cut));
+  auto keep = std::lower_bound(records_.begin(), records_.end(), new_first,
+                               [](const Record& r, Lsn lsn) { return r.lsn < lsn; });
+  records_.erase(records_.begin(), keep);
+  first_lsn_ = new_first;
+  ++stats_.compactions;
+  if (m_compactions_ != nullptr) {
+    m_compactions_->Inc();
+  }
+  return OkStatus();
+}
+
+// hotlint: cold -- recovery/tool read path: copies the whole live journal
+std::vector<Record> Journal::Records() const {
+  std::vector<Record> out = records_;
+  out.reserve(out.size() + buffered_.size());
+  for (const Buffered& b : buffered_) {
+    out.push_back(Record{b.lsn, current_segment_, b.payload});
+  }
+  return out;
+}
+
+// hotlint: cold -- diagnostic scan shared by busjournal --verify and scenario assertions
+VerifyReport VerifyDevice(const StableStore& device) {
+  VerifyReport rep;
+  auto blocks = device.ReadFrom(0);
+  if (!blocks.ok()) {
+    rep.problems.push_back("device read failed: " + blocks.status().ToString());
+    return rep;
+  }
+  const uint64_t first_seq = device.NextSeq() - blocks->size();
+  bool have_first = false;
+  Lsn expect = 0;
+  uint32_t seg = 0;
+  for (size_t i = 0; i < blocks->size(); ++i) {
+    const std::string at = "block seq " + std::to_string(first_seq + i);
+    BlockHeader h;
+    std::vector<Record> recs;
+    Status s = DecodeBlock((*blocks)[i], &h, &recs);
+    if (!s.ok()) {
+      rep.problems.push_back(at + ": " + s.message());
+      continue;
+    }
+    if (!have_first) {
+      rep.first_lsn = h.first_lsn;
+      have_first = true;
+      ++rep.segments;
+      seg = h.segment;
+    } else {
+      if (h.first_lsn != expect) {
+        rep.problems.push_back(at + ": LSN discontinuity: expected " + std::to_string(expect) +
+                               ", found " + std::to_string(h.first_lsn));
+      }
+      if (h.segment < seg) {
+        rep.problems.push_back(at + ": segment id went backwards: " + std::to_string(seg) +
+                               " -> " + std::to_string(h.segment));
+      } else if (h.segment != seg) {
+        ++rep.segments;
+        seg = h.segment;
+      }
+    }
+    ++rep.blocks;
+    rep.records += h.count;
+    rep.bytes += (*blocks)[i].size();
+    expect = h.first_lsn + h.count;
+    rep.next_lsn = expect;
+  }
+  return rep;
+}
+
+// hotlint: cold -- diagnostic report formatting for busjournal and scenario traces
+std::string VerifyReport::ToString() const {
+  std::string s = "journal verify: blocks=" + std::to_string(blocks) +
+                  " records=" + std::to_string(records) +
+                  " segments=" + std::to_string(segments) +
+                  " bytes=" + std::to_string(bytes) + " lsn=[" + std::to_string(first_lsn) +
+                  "," + std::to_string(next_lsn) + ")";
+  if (clean()) {
+    s += " clean";
+  } else {
+    s += " problems=" + std::to_string(problems.size());
+    for (const std::string& p : problems) {
+      s += "; " + p;
+    }
+  }
+  return s;
+}
+
+}  // namespace ibus::journal

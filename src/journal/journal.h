@@ -1,0 +1,182 @@
+// Durable write-ahead ledger: append-only, checksummed, with monotonic LSNs, group
+// commit, segment rotation, and compaction. Layers on StableStore as its block
+// device — one flushed block per device record — so the same code runs against the
+// deterministic in-sim MemoryStableStore (replay hashes stay stable) and the
+// real-file FileStableStore used by tools/busjournal. See docs/JOURNAL.md.
+//
+// Durability model: Append assigns an LSN immediately and buffers the payload.
+// A flush encodes the buffer into one block, appends it to the device, and issues
+// the device Sync barrier; the record counts as *durable* one device WriteLatency
+// later (or immediately when no simulator is wired — the tool path). Callers that
+// must wait for durability before acting (certified delivery: "logged to
+// non-volatile storage before it is sent") register a WhenDurable callback.
+#ifndef SRC_JOURNAL_JOURNAL_H_
+#define SRC_JOURNAL_JOURNAL_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/journal/format.h"
+#include "src/sim/simulator.h"
+#include "src/sim/stable_store.h"
+#include "src/telemetry/metrics.h"
+
+namespace ibus::journal {
+
+struct JournalConfig {
+  // Group commit: buffered appends flush as one block once the buffered payload
+  // bytes reach flush_max_bytes, or after flush_deadline_us, whichever comes
+  // first. A deadline of 0 — or no simulator — selects write-through: every
+  // append flushes its own block immediately (the legacy StableStore timing).
+  uint64_t flush_max_bytes = 4096;
+  SimTime flush_deadline_us = 0;
+  // A new segment opens once the current one holds at least this many block
+  // bytes. Compaction retires whole segments only, keeping LSNs dense.
+  uint64_t segment_max_bytes = 64 * 1024;
+  // Appends larger than this are rejected; an oversized-but-legal record closes
+  // the current segment instead of splitting (records never span blocks).
+  uint64_t max_record_bytes = 16 * 1024 * 1024;
+  // Required for deadline flushes and simulated durability latency. Null means
+  // the tool path: flushes are synchronous and records are durable immediately.
+  Simulator* sim = nullptr;
+  // Optional registry for the journal.* counters and the commit-latency histogram.
+  telemetry::MetricsRegistry* metrics = nullptr;
+};
+
+struct JournalStats {
+  uint64_t appends = 0;
+  uint64_t flushes = 0;       // blocks written to the device
+  uint64_t rotations = 0;     // segments closed
+  uint64_t compactions = 0;   // Compact calls that dropped at least one segment
+  uint64_t recovered_records = 0;  // live records found by the Open scan
+  uint64_t torn_tail_blocks = 0;   // invalid device blocks discarded by Open
+};
+
+// Metric names registered when JournalConfig.metrics is set.
+inline constexpr char kMetricJournalAppends[] = "journal.appends";
+inline constexpr char kMetricJournalFlushes[] = "journal.flushes";
+inline constexpr char kMetricJournalRotations[] = "journal.rotations";
+inline constexpr char kMetricJournalCompactions[] = "journal.compactions";
+inline constexpr char kMetricJournalRecovered[] = "journal.recovered_records";
+inline constexpr char kMetricJournalTornTail[] = "journal.torn_tail";
+inline constexpr char kMetricJournalCommitLatency[] = "journal.commit_latency_us";
+
+class Journal {
+ public:
+  // Scans the device, validates every block (magic, header continuity, CRCs),
+  // and replays the intact prefix. A torn or corrupt tail is counted, physically
+  // discarded via StableStore::TruncateFrom, and replay stops at the last valid
+  // LSN — damage is never skipped over.
+  static Result<std::unique_ptr<Journal>> Open(StableStore* device,
+                                               const JournalConfig& config = {});
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  // Assigns the next LSN and buffers the payload per the flush policy.
+  Result<Lsn> Append(const Bytes& payload);
+
+  // Runs `fn` once every record up to and including `lsn` is durable; fires
+  // immediately when it already is. Callbacks fire in LSN order.
+  void WhenDurable(Lsn lsn, std::function<void()> fn);
+
+  // Forces a flush of buffered appends plus a device barrier; everything
+  // appended so far is durable when Sync returns.
+  Status Sync();
+
+  // Retires history: drops every *closed* segment whose records all have
+  // lsn < retire_below. Only whole leading segments go, so surviving LSNs stay
+  // dense and block headers still chain. Flushes buffered appends first.
+  Status Compact(Lsn retire_below);
+
+  // All live records in LSN order — flushed and still-buffered. Recovery/tool
+  // path; cost is proportional to the journal size.
+  std::vector<Record> Records() const;
+
+  Lsn first_lsn() const { return first_lsn_; }
+  Lsn next_lsn() const { return next_lsn_; }
+  // Exclusive durability horizon: every lsn < durable_up_to() is durable.
+  Lsn durable_up_to() const { return durable_up_to_; }
+
+  const JournalStats& stats() const { return stats_; }
+  StableStore* device() { return device_; }
+
+ private:
+  struct BlockInfo {
+    uint64_t device_seq = 0;
+    uint32_t segment = 0;
+    Lsn first_lsn = 0;
+    uint32_t count = 0;
+    uint64_t bytes = 0;
+  };
+  struct Buffered {
+    Lsn lsn = 0;
+    Bytes payload;
+    SimTime appended_at = 0;
+  };
+
+  Journal(StableStore* device, const JournalConfig& config);
+
+  Status ScanDevice();
+  Status Flush();
+  void ScheduleDeadlineFlush();
+  void AdvanceDurable(Lsn up_to);
+
+  StableStore* device_;
+  JournalConfig config_;
+
+  // Live flushed records plus their device-block index, in order.
+  std::vector<Record> records_;
+  std::vector<BlockInfo> blocks_;
+  std::vector<Buffered> buffered_;
+  uint64_t buffered_bytes_ = 0;
+  bool flush_scheduled_ = false;
+
+  uint32_t current_segment_ = 0;
+  uint64_t current_segment_bytes_ = 0;
+  Lsn first_lsn_ = 0;
+  Lsn next_lsn_ = 0;
+  Lsn durable_up_to_ = 0;
+
+  // Durability bookkeeping: appended-at times of flushed-but-not-yet-durable
+  // records (for the commit-latency histogram) and ordered waiters.
+  std::vector<Buffered> in_flight_;
+  std::multimap<Lsn, std::function<void()>> waiters_;
+
+  JournalStats stats_;
+  telemetry::Counter* m_appends_ = nullptr;
+  telemetry::Counter* m_flushes_ = nullptr;
+  telemetry::Counter* m_rotations_ = nullptr;
+  telemetry::Counter* m_compactions_ = nullptr;
+  telemetry::Counter* m_recovered_ = nullptr;
+  telemetry::Counter* m_torn_tail_ = nullptr;
+  telemetry::LatencyHistogram* m_commit_latency_ = nullptr;
+
+  // Guards scheduled flush/durability callbacks against outliving the journal.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+// Read-only integrity scan of a journal device: block-by-block magic/CRC checks,
+// LSN continuity, segment monotonicity. Shared by `busjournal --verify` and the
+// scenario assertions; never mutates the device.
+struct VerifyReport {
+  uint64_t blocks = 0;
+  uint64_t records = 0;
+  uint64_t segments = 0;
+  uint64_t bytes = 0;
+  Lsn first_lsn = 0;
+  Lsn next_lsn = 0;
+  std::vector<std::string> problems;
+  bool clean() const { return problems.empty(); }
+  // Deterministic one-line summary: "journal verify: ... clean|N problem(s)".
+  std::string ToString() const;
+};
+
+VerifyReport VerifyDevice(const StableStore& device);
+
+}  // namespace ibus::journal
+
+#endif  // SRC_JOURNAL_JOURNAL_H_

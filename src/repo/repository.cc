@@ -1,11 +1,22 @@
 #include "src/repo/repository.h"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "src/types/codec.h"
+#include "src/wire/wire.h"
 
 namespace ibus {
 
-Repository::Repository(TypeRegistry* registry, Database* db)
-    : registry_(registry), db_(db), mapper_(registry, db) {
+namespace {
+// WAL record kinds for the repository ledger. Values are on-ledger format.
+constexpr uint8_t kWalStore = 1;
+constexpr uint8_t kWalDelete = 2;
+constexpr char kOidPrefix[] = "oid-";
+}  // namespace
+
+Repository::Repository(TypeRegistry* registry, Database* db, journal::Journal* wal)
+    : registry_(registry), db_(db), mapper_(registry, db), wal_(wal) {
   // Eager schema generation whenever a new type is defined anywhere in the process
   // (e.g. a TDL defclass or a descriptor learned off the bus).
   registry_->AddDefineObserver([this](const TypeDescriptor& desc) {
@@ -13,13 +24,36 @@ Repository::Repository(TypeRegistry* registry, Database* db)
   });
 }
 
+Bytes Repository::WalRecordStore(const DataObject& obj, const std::string& id) const {
+  WireWriter w;
+  w.PutU8(kWalStore);
+  w.PutString(obj.type_name());
+  w.PutString(id);
+  MarshalObject(obj, &w);
+  return w.Take();
+}
+
+Bytes Repository::WalRecordDelete(const std::string& type_name, const std::string& id) const {
+  WireWriter w;
+  w.PutU8(kWalDelete);
+  w.PutString(type_name);
+  w.PutString(id);
+  return w.Take();
+}
+
 Result<std::string> Repository::Store(const DataObject& obj) {
   // Derive the type from the instance's self-describing payload if unknown (P2): the
   // repository accepts types it has never seen a descriptor for.
   IBUS_RETURN_IF_ERROR(DeriveTypeFromInstance(registry_, obj));
   IBUS_RETURN_IF_ERROR(mapper_.EnsureSchema(obj.type_name()));
-  std::string id = "oid-" + std::to_string(++next_id_);
+  std::string id = kOidPrefix + std::to_string(++next_id_);
   IBUS_RETURN_IF_ERROR(mapper_.StoreObject(obj, id));
+  if (wal_ != nullptr) {
+    auto logged = wal_->Append(WalRecordStore(obj, id));
+    if (!logged.ok()) {
+      return logged.status();
+    }
+  }
   ++stored_;
   return id;
 }
@@ -29,7 +63,58 @@ Result<DataObjectPtr> Repository::Load(const std::string& type_name, const std::
 }
 
 Status Repository::Delete(const std::string& type_name, const std::string& id) {
-  return mapper_.DeleteObject(type_name, id);
+  IBUS_RETURN_IF_ERROR(mapper_.DeleteObject(type_name, id));
+  if (wal_ != nullptr) {
+    auto logged = wal_->Append(WalRecordDelete(type_name, id));
+    if (!logged.ok()) {
+      return logged.status();
+    }
+  }
+  return OkStatus();
+}
+
+// hotlint: cold -- restart-only ledger replay into the in-memory database
+Result<size_t> Repository::Recover() {
+  if (wal_ == nullptr) {
+    return static_cast<size_t>(0);
+  }
+  size_t applied = 0;
+  uint64_t max_oid = next_id_;
+  for (const journal::Record& rec : wal_->Records()) {
+    WireReader r(rec.payload);
+    auto kind = r.ReadU8();
+    auto type_name = r.ReadString();
+    auto id = r.ReadString();
+    if (!kind.ok() || !type_name.ok() || !id.ok()) {
+      return DataLoss("repository: malformed WAL record at lsn " + std::to_string(rec.lsn));
+    }
+    if (*kind == kWalStore) {
+      auto obj = UnmarshalObject(&r);
+      if (!obj.ok()) {
+        return obj.status();
+      }
+      // Replay goes through the mapper directly — Store() would re-journal and
+      // mint a fresh id; recovery must land objects under their original ids.
+      IBUS_RETURN_IF_ERROR(DeriveTypeFromInstance(registry_, **obj));
+      IBUS_RETURN_IF_ERROR(mapper_.EnsureSchema((*obj)->type_name()));
+      IBUS_RETURN_IF_ERROR(mapper_.StoreObject(**obj, *id));
+      ++stored_;
+    } else if (*kind == kWalDelete) {
+      Status s = mapper_.DeleteObject(*type_name, *id);
+      if (!s.ok() && s.code() != StatusCode::kNotFound) {
+        return s;
+      }
+    } else {
+      return DataLoss("repository: unknown WAL record kind " + std::to_string(*kind));
+    }
+    // Restore the id horizon from replayed "oid-N" ids so new stores never reuse one.
+    if (id->rfind(kOidPrefix, 0) == 0) {
+      max_oid = std::max<uint64_t>(max_oid, std::strtoull(id->c_str() + 4, nullptr, 10));
+    }
+    ++applied;
+  }
+  next_id_ = max_oid;
+  return applied;
 }
 
 Result<std::vector<DataObjectPtr>> Repository::Query(const RepoQuery& query) {

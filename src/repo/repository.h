@@ -16,6 +16,7 @@
 
 #include "src/bus/client.h"
 #include "src/db/database.h"
+#include "src/journal/journal.h"
 #include "src/repo/mapper.h"
 #include "src/rmi/server.h"
 #include "src/types/registry.h"
@@ -32,7 +33,9 @@ struct RepoQuery {
 
 class Repository {
  public:
-  Repository(TypeRegistry* registry, Database* db);
+  // With a write-ahead ledger attached, every Store/Delete is journaled and
+  // Recover() can rebuild the (in-memory) database after a crash.
+  Repository(TypeRegistry* registry, Database* db, journal::Journal* wal = nullptr);
 
   // Stores a (possibly deep) object; returns its generated repository id. If the
   // object's type is unknown, a descriptor is derived from the instance itself and
@@ -47,6 +50,13 @@ class Repository {
   Result<std::vector<DataObjectPtr>> Query(const RepoQuery& query);
   Result<size_t> Count(const std::string& type_name, bool include_subtypes = true);
 
+  // Replays the attached ledger into the database after a restart: store records
+  // re-derive their type (self-describing payloads) and land under their original
+  // repository ids; delete records remove them. Restores the id horizon so new
+  // stores never reuse an id. Returns the number of records applied; a no-op
+  // without a ledger.
+  Result<size_t> Recover();
+
   TypeRegistry* registry() { return registry_; }
   Database* db() { return db_; }
   ObjectMapper* mapper() { return &mapper_; }
@@ -54,9 +64,13 @@ class Repository {
   uint64_t stored_count() const { return stored_; }
 
  private:
+  Bytes WalRecordStore(const DataObject& obj, const std::string& id) const;
+  Bytes WalRecordDelete(const std::string& type_name, const std::string& id) const;
+
   TypeRegistry* registry_;
   Database* db_;
   ObjectMapper mapper_;
+  journal::Journal* wal_;
   uint64_t next_id_ = 0;
   uint64_t stored_ = 0;
 };

@@ -148,7 +148,13 @@ Status InfoRouter::Init() {
 void InfoRouter::AttachLink(ConnectionPtr link) {
   link_ = std::move(link);
   link_->SetMessageHandler([this](const Bytes& bytes) { HandleLinkMessage(bytes); });
-  link_->SetCloseHandler([this]() { HandleLinkClosed(); });
+  // ConnectionClose copies this handler into a scheduled event, so clearing it in
+  // the destructor cannot cancel an already-queued close — guard with alive_.
+  link_->SetCloseHandler([this, alive = alive_]() {
+    if (*alive) {
+      HandleLinkClosed();
+    }
+  });
   SendAdvert();
 }
 

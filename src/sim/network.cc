@@ -182,6 +182,8 @@ SegmentId Network::HostSegment(HostId h) const { return hosts_.at(h).segment; }
 
 std::vector<HostId> Network::HostsOnSegment(SegmentId s) const { return segments_.at(s).hosts; }
 
+uint32_t Network::NextBootEpoch(HostId h) { return hosts_.at(h).boot_epochs++; }
+
 void Network::SetFaultPlan(SegmentId segment, const FaultPlan& plan) {
   segments_.at(segment).faults = plan;
 }

@@ -232,6 +232,11 @@ class Network {
   const std::string& HostName(HostId h) const;
   SegmentId HostSegment(HostId h) const;
   std::vector<HostId> HostsOnSegment(SegmentId s) const;
+  // Per-host restart counter: the first daemon boot on a host gets epoch 0, each
+  // later boot 1, 2, ... Daemons fold the epoch into their reliable stream id so a
+  // restarted daemon looks like a brand-new sender to its peers instead of an old
+  // stream whose low sequence numbers would be discarded as duplicates.
+  uint32_t NextBootEpoch(HostId h);
 
   // --- Fault injection ------------------------------------------------------------
   void SetFaultPlan(SegmentId segment, const FaultPlan& plan);
@@ -299,6 +304,7 @@ class Network {
     SegmentId segment;
     bool up = true;
     int partition_group = 0;
+    uint32_t boot_epochs = 0;
     Port next_ephemeral = 49152;
     // Local IPC is FIFO: a small datagram must not overtake a large one queued
     // earlier on the same host (kernels serialize the copy).

@@ -6,6 +6,22 @@
 namespace ibus {
 
 // ---------------------------------------------------------------------------------
+// StableStore defaults
+// ---------------------------------------------------------------------------------
+
+Status StableStore::Sync() {
+  // Memory-backed stores are durable the moment Append returns; the barrier only
+  // needs counting so group-commit cadence stays observable.
+  ++syncs_;
+  return OkStatus();
+}
+
+Status StableStore::TruncateFrom(uint64_t seq) {
+  (void)seq;
+  return Unimplemented("stable store does not support tail truncation");
+}
+
+// ---------------------------------------------------------------------------------
 // MemoryStableStore
 // ---------------------------------------------------------------------------------
 
@@ -33,12 +49,24 @@ Status MemoryStableStore::TruncateBefore(uint64_t seq) {
   return OkStatus();
 }
 
+Status MemoryStableStore::TruncateFrom(uint64_t seq) {
+  uint64_t limit = base_seq_ + records_.size();
+  if (seq >= limit) {
+    return OkStatus();
+  }
+  uint64_t cut = std::max(seq, base_seq_);
+  records_.erase(records_.begin() + static_cast<ptrdiff_t>(cut - base_seq_), records_.end());
+  return OkStatus();
+}
+
 // ---------------------------------------------------------------------------------
 // FileStableStore
 //
 // On-disk format: repeated records of
 //   u32 length | u32 crc32(payload) | payload bytes
-// in little-endian. A short or corrupt tail (torn write at crash) is dropped on open.
+// in little-endian. A short or corrupt tail (torn write at crash) is dropped on
+// open — and the file is rewritten without it, so subsequent appends never land
+// behind unreadable garbage.
 // ---------------------------------------------------------------------------------
 
 namespace {
@@ -54,70 +82,118 @@ uint32_t ReadU32(const uint8_t* p) {
          static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
 }
 
+void FrameRecord(const Bytes& record, Bytes* framed) {
+  framed->reserve(framed->size() + record.size() + 8);
+  PutU32(*framed, static_cast<uint32_t>(record.size()));
+  PutU32(*framed, Crc32(record));
+  framed->insert(framed->end(), record.begin(), record.end());
+}
+
 }  // namespace
 
 Result<std::unique_ptr<FileStableStore>> FileStableStore::Open(const std::string& path,
                                                                SimTime write_latency_us) {
   auto store = std::unique_ptr<FileStableStore>(new FileStableStore(path, write_latency_us));
-  Status s = store->LoadExisting();
+  Result<bool> dirty = store->LoadExisting();
+  if (!dirty.ok()) {
+    return dirty.status();
+  }
+  Status s = *dirty ? store->Rewrite() : store->OpenAppendHandle();
   if (!s.ok()) {
     return s;
   }
   return store;
 }
 
-Status FileStableStore::LoadExisting() {
+FileStableStore::~FileStableStore() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+Result<bool> FileStableStore::LoadExisting() {
   std::FILE* f = std::fopen(path_.c_str(), "rb");
   if (f == nullptr) {
-    return OkStatus();  // fresh log
+    return false;  // fresh log
   }
   Bytes header(8);
+  bool dirty = false;
   while (true) {
     size_t got = std::fread(header.data(), 1, 8, f);
+    if (got == 0) {
+      break;  // clean EOF
+    }
     if (got < 8) {
-      break;  // clean EOF or torn header: stop
+      dirty = true;  // torn header
+      break;
     }
     uint32_t len = ReadU32(header.data());
     uint32_t crc = ReadU32(header.data() + 4);
     if (len > 64u * 1024 * 1024) {
-      break;  // implausible length: treat as corruption
+      dirty = true;  // implausible length: treat as corruption
+      break;
     }
     Bytes payload(len);
     if (std::fread(payload.data(), 1, len, f) < len) {
-      break;  // torn record
+      dirty = true;  // torn record
+      break;
     }
     if (Crc32(payload) != crc) {
-      break;  // corrupt record: drop it and everything after
+      dirty = true;  // corrupt record: drop it and everything after
+      break;
     }
     records_.push_back(std::move(payload));
   }
   std::fclose(f);
+  return dirty;
+}
+
+Status FileStableStore::OpenAppendHandle() {
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Internal("cannot open stable log " + path_);  // hotlint: allow(hot-string) -- open-failure detail: error path, not per-append
+  }
   return OkStatus();
 }
 
-Status FileStableStore::AppendToFile(const Bytes& record) {
-  std::FILE* f = std::fopen(path_.c_str(), "ab");
+Status FileStableStore::Rewrite() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
   if (f == nullptr) {
-    return Internal("cannot open stable log " + path_);  // hotlint: allow(hot-string) -- log-file pathname assembly adjacent to disk I/O
+    return Internal("cannot rewrite stable log " + path_);
   }
   Bytes framed;
-  framed.reserve(record.size() + 8);
-  PutU32(framed, static_cast<uint32_t>(record.size()));
-  PutU32(framed, Crc32(record));
-  framed.insert(framed.end(), record.begin(), record.end());
-  size_t wrote = std::fwrite(framed.data(), 1, framed.size(), f);
-  std::fflush(f);
-  std::fclose(f);
-  if (wrote != framed.size()) {
-    return Internal("short write to stable log " + path_);  // hotlint: allow(hot-string) -- log-file pathname assembly adjacent to disk I/O
+  for (const Bytes& record : records_) {
+    framed.clear();
+    FrameRecord(record, &framed);
+    if (std::fwrite(framed.data(), 1, framed.size(), f) != framed.size()) {
+      std::fclose(f);
+      return Internal("short write rewriting stable log " + path_);
+    }
   }
-  return OkStatus();
+  if (std::fflush(f) != 0) {
+    std::fclose(f);
+    return Internal("flush failed rewriting stable log " + path_);
+  }
+  std::fclose(f);
+  return OpenAppendHandle();
 }
 
 Result<uint64_t> FileStableStore::Append(const Bytes& record) {
-  Status s = AppendToFile(record);
-  if (!s.ok()) {
-    return s;
+  if (file_ == nullptr) {
+    Status s = OpenAppendHandle();
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  Bytes framed;
+  FrameRecord(record, &framed);
+  size_t wrote = std::fwrite(framed.data(), 1, framed.size(), file_);
+  if (wrote != framed.size()) {
+    return Internal("short write to stable log " + path_);  // hotlint: allow(hot-string) -- log-file pathname assembly adjacent to disk I/O
   }
   records_.push_back(record);  // hotlint: allow(hot-container-growth) -- the stable log is append-only by definition
   return base_seq_ + records_.size() - 1;
@@ -141,6 +217,25 @@ Status FileStableStore::TruncateBefore(uint64_t seq) {
   records_.erase(records_.begin(), records_.begin() + static_cast<ptrdiff_t>(cut - base_seq_));
   base_seq_ = cut;
   return OkStatus();
+}
+
+Status FileStableStore::TruncateFrom(uint64_t seq) {
+  uint64_t limit = base_seq_ + records_.size();
+  if (seq >= limit) {
+    return OkStatus();
+  }
+  uint64_t cut = std::max(seq, base_seq_);
+  records_.erase(records_.begin() + static_cast<ptrdiff_t>(cut - base_seq_), records_.end());
+  // Tail repair must be physical: the discarded bytes would otherwise resurface
+  // as garbage under the next append.
+  return Rewrite();
+}
+
+Status FileStableStore::Sync() {
+  if (file_ != nullptr && std::fflush(file_) != 0) {
+    return Internal("flush failed on stable log " + path_);
+  }
+  return StableStore::Sync();
 }
 
 }  // namespace ibus

@@ -1,13 +1,16 @@
 // Stable (crash-surviving) storage abstraction used by guaranteed delivery and the
 // store-and-forward router. Records are opaque byte strings appended to a log.
 //
-// MemoryStableStore survives simulated host crashes (the object outlives the crashed
-// component, modelling a disk). FileStableStore persists records to a real file with
-// length-prefixed, checksummed framing, surviving process restarts.
+// This is the *block device* under src/journal: the write-ahead ledger batches its
+// group commits into single device records and calls Sync() as its durability
+// barrier. MemoryStableStore survives simulated host crashes (the object outlives
+// the crashed component, modelling a disk). FileStableStore persists records to a
+// real file with length-prefixed, checksummed framing, surviving process restarts.
 #ifndef SRC_SIM_STABLE_STORE_H_
 #define SRC_SIM_STABLE_STORE_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,13 +34,27 @@ class StableStore {
   // Logically deletes all records below `seq` (retention trimming).
   virtual Status TruncateBefore(uint64_t seq) = 0;
 
+  // Drops the record at `seq` and everything after it — tail repair after a torn
+  // write is detected one layer up (the journal). Stores that cannot physically
+  // discard a tail refuse with kUnimplemented.
+  virtual Status TruncateFrom(uint64_t seq);
+
   // Sequence number the next Append will return.
   virtual uint64_t NextSeq() const = 0;
+
+  // Durability barrier: every record appended before Sync() returns survives a
+  // crash after it. Counted so group-commit policies are observable — a batching
+  // journal performs one Sync per flushed block, not one per logical append.
+  virtual Status Sync();
+  uint64_t syncs() const { return syncs_; }
 
   // Simulated cost of a synchronous stable write, charged by protocols that must wait
   // for durability before sending (the paper: "logged to non-volatile storage before
   // it is sent").
   virtual SimTime WriteLatency() const = 0;
+
+ protected:
+  uint64_t syncs_ = 0;
 };
 
 class MemoryStableStore : public StableStore {
@@ -48,6 +65,7 @@ class MemoryStableStore : public StableStore {
   Result<uint64_t> Append(const Bytes& record) override;
   Result<std::vector<Bytes>> ReadFrom(uint64_t from_seq) const override;
   Status TruncateBefore(uint64_t seq) override;
+  Status TruncateFrom(uint64_t seq) override;
   uint64_t NextSeq() const override { return base_seq_ + records_.size(); }
   SimTime WriteLatency() const override { return write_latency_; }
 
@@ -60,14 +78,20 @@ class MemoryStableStore : public StableStore {
 class FileStableStore : public StableStore {
  public:
   // Opens (creating if needed) the log at `path` and recovers existing records.
-  // Truncated or corrupt tails are discarded.
+  // Truncated or corrupt tails are discarded — and physically trimmed, so later
+  // appends extend a clean log rather than burying garbage mid-file.
   static Result<std::unique_ptr<FileStableStore>> Open(const std::string& path,
                                                        SimTime write_latency_us = 500);
+  ~FileStableStore() override;
 
   Result<uint64_t> Append(const Bytes& record) override;
   Result<std::vector<Bytes>> ReadFrom(uint64_t from_seq) const override;
   Status TruncateBefore(uint64_t seq) override;
+  Status TruncateFrom(uint64_t seq) override;
   uint64_t NextSeq() const override { return base_seq_ + records_.size(); }
+  // Flushes buffered appends to the OS. The write handle stays open between
+  // appends, so the flush boundary is real and countable.
+  Status Sync() override;
   SimTime WriteLatency() const override { return write_latency_; }
 
   const std::string& path() const { return path_; }
@@ -76,13 +100,19 @@ class FileStableStore : public StableStore {
   FileStableStore(std::string path, SimTime write_latency_us)
       : path_(std::move(path)), write_latency_(write_latency_us) {}
 
-  Status LoadExisting();
-  Status AppendToFile(const Bytes& record);
+  // Loads existing records; returns true when the file carried trailing garbage
+  // (torn or corrupt records) that must be rewritten away.
+  Result<bool> LoadExisting();
+  // Rewrites the file to exactly the in-memory live records and reopens the
+  // append handle.
+  Status Rewrite();
+  Status OpenAppendHandle();
 
   std::string path_;
   SimTime write_latency_;
   uint64_t base_seq_ = 0;  // in-memory mirror only trims logically
   std::vector<Bytes> records_;
+  std::FILE* file_ = nullptr;
 };
 
 }  // namespace ibus

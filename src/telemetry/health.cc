@@ -16,6 +16,8 @@ std::string_view HealthEventKindName(HealthEventKind k) {
       return "subscription_churn";
     case HealthEventKind::kPartitionSuspected:
       return "partition_suspected";
+    case HealthEventKind::kRecovery:
+      return "recovery";
   }
   return "unknown";
 }
@@ -71,7 +73,7 @@ Result<HealthEvent> HealthEvent::Unmarshal(const Bytes& b) {
     return DataLoss("health: truncated event");
   }
   if (*kind < static_cast<uint8_t>(HealthEventKind::kSlowConsumer) ||
-      *kind > static_cast<uint8_t>(HealthEventKind::kPartitionSuspected)) {
+      *kind > static_cast<uint8_t>(HealthEventKind::kRecovery)) {
     return DataLoss("health: bad event kind");
   }
   if (*severity > static_cast<uint8_t>(HealthSeverity::kCritical)) {

@@ -27,6 +27,7 @@ enum class HealthEventKind : uint8_t {
   kRetransmitStorm = 2,     // sender retransmit rate: the medium is lossy/congested
   kSubscriptionChurn = 3,   // subscribe/unsubscribe rate: flapping clients
   kPartitionSuspected = 4,  // a previously seen peer's stats feed went silent
+  kRecovery = 5,            // a journaled component replayed its ledger after a crash
 };
 
 enum class HealthSeverity : uint8_t {

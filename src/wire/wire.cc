@@ -154,6 +154,13 @@ Result<Bytes> WireReader::ReadBytes() {  // hotlint: allow(hot-by-value) -- deco
   return b;
 }
 
+Result<Bytes> WireReader::ReadRaw(size_t n) {  // hotlint: allow(hot-by-value) -- decode boundary: the payload copy is the product
+  IBUS_RETURN_IF_ERROR(Need(n));
+  Bytes b(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return b;
+}
+
 // hotlint: hot
 Bytes FrameMessage(uint8_t frame_type, const Bytes& payload) {  // hotlint: allow(hot-by-value) -- frame assembly: NRVO of the send buffer
   WireWriter w;

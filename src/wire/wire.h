@@ -63,6 +63,8 @@ class WireReader {
   // while that buffer lives. The hot-path choice when the caller just inspects.
   Result<std::string_view> ReadStringView();
   Result<Bytes> ReadBytes();
+  // Raw slice without a length prefix (caller manages framing).
+  Result<Bytes> ReadRaw(size_t n);
 
   size_t remaining() const { return size_ - pos_; }
   bool AtEnd() const { return pos_ == size_; }

@@ -2,6 +2,7 @@
 
 #include "src/bus/certified.h"
 #include "src/bus/discovery.h"
+#include "src/journal/journal.h"
 #include "src/sim/stable_store.h"
 #include "src/types/data_object.h"
 #include "tests/bus_fixture.h"
@@ -371,11 +372,22 @@ TEST_F(DiscoveryTest, ResponderIgnoresOrdinaryData) {
 
 class CertifiedTest : public BusFixture {};
 
+// Certified publishers persist through a write-through journal on the store — the
+// same per-record stable-write timing as the old direct-StableStore ledger.
+std::unique_ptr<journal::Journal> OpenLedger(StableStore* store, Simulator* sim) {
+  journal::JournalConfig config;
+  config.sim = sim;
+  auto j = journal::Journal::Open(store, config);
+  EXPECT_TRUE(j.ok()) << j.status().ToString();
+  return j.ok() ? j.take() : nullptr;
+}
+
 TEST_F(CertifiedTest, DeliversExactlyOnceWithoutFailures) {
   SetUpBus(2);
   auto pub_client = MakeClient(0, "producer");
   auto sub_client = MakeClient(1, "consumer");
   MemoryStableStore store;
+  auto ledger = OpenLedger(&store, &sim_);
 
   std::vector<std::string> got;
   auto sub = CertifiedSubscriber::Create(
@@ -384,7 +396,7 @@ TEST_F(CertifiedTest, DeliversExactlyOnceWithoutFailures) {
   ASSERT_TRUE(sub.ok());
   Settle(10 * kMillisecond);
 
-  auto pub = CertifiedPublisher::Create(pub_client.get(), &store, "orders-ledger");
+  auto pub = CertifiedPublisher::Create(pub_client.get(), ledger.get(), "orders-ledger");
   ASSERT_TRUE(pub.ok());
   for (int i = 0; i < 5; ++i) {
     ASSERT_TRUE((*pub)->Publish("orders.new", ToBytes("order" + std::to_string(i))).ok());
@@ -401,7 +413,8 @@ TEST_F(CertifiedTest, RetransmitsUntilAcked) {
   // Consumer comes up late: the publisher must retransmit until someone replies.
   auto pub_client = MakeClient(0, "producer");
   MemoryStableStore store;
-  auto pub = CertifiedPublisher::Create(pub_client.get(), &store, "db-ledger");
+  auto ledger = OpenLedger(&store, &sim_);
+  auto pub = CertifiedPublisher::Create(pub_client.get(), ledger.get(), "db-ledger");
   ASSERT_TRUE(pub.ok());
   ASSERT_TRUE((*pub)->Publish("db.writes", ToBytes("row1")).ok());
   Settle(1 * kSecond);
@@ -425,7 +438,8 @@ TEST_F(CertifiedTest, SurvivesPublisherRestart) {
   MemoryStableStore store;  // the "disk" outlives the crashed process
   {
     auto pub_client = MakeClient(0, "producer");
-    auto pub = CertifiedPublisher::Create(pub_client.get(), &store, "wip-ledger");
+    auto ledger = OpenLedger(&store, &sim_);
+    auto pub = CertifiedPublisher::Create(pub_client.get(), ledger.get(), "wip-ledger");
     ASSERT_TRUE(pub.ok());
     ASSERT_TRUE((*pub)->Publish("wip.moves", ToBytes("lot42 -> litho")).ok());
     // Crash before any consumer existed; destructor = process death.
@@ -433,7 +447,8 @@ TEST_F(CertifiedTest, SurvivesPublisherRestart) {
   }
   // Restart: recover the ledger, then a consumer appears.
   auto pub_client = MakeClient(0, "producer");
-  auto pub = CertifiedPublisher::Create(pub_client.get(), &store, "wip-ledger");
+  auto ledger = OpenLedger(&store, &sim_);
+  auto pub = CertifiedPublisher::Create(pub_client.get(), ledger.get(), "wip-ledger");
   ASSERT_TRUE(pub.ok());
   ASSERT_TRUE((*pub)->Recover().ok());
   EXPECT_EQ((*pub)->pending(), 1u);
@@ -455,9 +470,10 @@ TEST_F(CertifiedTest, SubscriberDedupsAcrossRetransmits) {
   auto pub_client = MakeClient(0, "producer");
   auto sub_client = MakeClient(1, "consumer");
   MemoryStableStore store;
+  auto ledger = OpenLedger(&store, &sim_);
   CertifiedConfig cfg;
   cfg.required_acks = 2;  // never satisfied with one consumer: publisher keeps retrying
-  auto pub = CertifiedPublisher::Create(pub_client.get(), &store, "noisy-ledger", cfg);
+  auto pub = CertifiedPublisher::Create(pub_client.get(), ledger.get(), "noisy-ledger", cfg);
   ASSERT_TRUE(pub.ok());
 
   int delivered = 0;
@@ -489,8 +505,10 @@ TEST_F(CertifiedFileStoreTest, LedgerSurvivesRealProcessRestart) {
 
   {
     auto store = FileStableStore::Open(path).take();
+    auto ledger = OpenLedger(store.get(), &sim_);
     auto pub_client = MakeClient(0, "producer");
-    auto pub = CertifiedPublisher::Create(pub_client.get(), store.get(), "file-ledger").take();
+    auto pub =
+        CertifiedPublisher::Create(pub_client.get(), ledger.get(), "file-ledger").take();
     ASSERT_TRUE(pub->Publish("billing.events", ToBytes("invoice-1")).ok());
     ASSERT_TRUE(pub->Publish("billing.events", ToBytes("invoice-2")).ok());
     Settle(300 * kMillisecond);
@@ -500,8 +518,9 @@ TEST_F(CertifiedFileStoreTest, LedgerSurvivesRealProcessRestart) {
 
   // "Restart": fresh store handle reading the same file, fresh publisher, recovery.
   auto store = FileStableStore::Open(path).take();
+  auto ledger = OpenLedger(store.get(), &sim_);
   auto pub_client = MakeClient(0, "producer");
-  auto pub = CertifiedPublisher::Create(pub_client.get(), store.get(), "file-ledger").take();
+  auto pub = CertifiedPublisher::Create(pub_client.get(), ledger.get(), "file-ledger").take();
   ASSERT_TRUE(pub->Recover().ok());
   EXPECT_EQ(pub->pending(), 2u);
 
@@ -519,9 +538,10 @@ TEST_F(CertifiedFileStoreTest, LedgerSurvivesRealProcessRestart) {
 
   // A third restart finds the retirement records too: nothing left to resend.
   auto store2 = FileStableStore::Open(path).take();
+  auto ledger2 = OpenLedger(store2.get(), &sim_);
   auto pub_client2 = MakeClient(0, "producer2");
   auto pub2 =
-      CertifiedPublisher::Create(pub_client2.get(), store2.get(), "file-ledger").take();
+      CertifiedPublisher::Create(pub_client2.get(), ledger2.get(), "file-ledger").take();
   ASSERT_TRUE(pub2->Recover().ok());
   EXPECT_EQ(pub2->pending(), 0u);
   std::remove(path.c_str());

@@ -1,0 +1,32 @@
+// buslint fixture: linted under the synthetic path "src/journal/nondet_journal.cc".
+// The journal is deterministic core — its flush/durability timing feeds the replay
+// gate's trace hashes, so wall clocks, env lookups, and ambient RNGs are violations.
+// Seeded violations: clock_gettime, mt19937, time(). The allow()'d getenv is not.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace ibus::journal {
+
+long LedgerWallTimestamp() {
+  struct timespec ts;
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return ts.tv_sec;
+}
+
+unsigned JitterFlushDeadline(unsigned base_us) {
+  std::mt19937 rng(base_us);
+  return base_us + rng() % 100;
+}
+
+long SegmentNameSuffix() { return time(nullptr); }
+
+const char* LedgerDirOverride() {
+  return std::getenv("IBUS_JOURNAL_DIR");  // buslint: allow(nondeterminism)
+}
+
+// CRCs over sim-derived payloads are fine; only ambient-state primitives are banned.
+unsigned DeterministicSeed(unsigned lsn) { return lsn * 2654435761u; }
+
+}  // namespace ibus::journal

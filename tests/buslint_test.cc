@@ -52,6 +52,20 @@ TEST(BuslintNondeterminism, FiresInCapturePlane) {
   EXPECT_EQ(CountRule(vs, kRuleNondeterminism), 3u) << Render(vs);
 }
 
+TEST(BuslintNondeterminism, FiresInJournal) {
+  // src/journal's flush/durability timing feeds the replay gate, so the write-ahead
+  // ledger is deterministic core: clocks and ambient RNGs trip the rule there.
+  auto vs = LintFixture("src/journal/nondet_journal.cc", "nondet_journal.cc");
+  // clock_gettime, mt19937, time() — the allow()'d getenv is suppressed.
+  EXPECT_EQ(CountRule(vs, kRuleNondeterminism), 3u) << Render(vs);
+}
+
+TEST(BuslintNondeterminism, JournalTwinIsSilentOutsideCore) {
+  // The same source under a non-core path (a tool) must not fire.
+  auto vs = LintFixture("tools/busjournal/nondet_journal.cc", "nondet_journal.cc");
+  EXPECT_EQ(CountRule(vs, kRuleNondeterminism), 0u) << Render(vs);
+}
+
 TEST(BuslintNondeterminism, SilentOutsideDeterministicCore) {
   auto vs = LintFixture("bench/nondet_sim.cc", "nondet_sim.cc");
   EXPECT_EQ(CountRule(vs, kRuleNondeterminism), 0u) << Render(vs);

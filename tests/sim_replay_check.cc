@@ -19,6 +19,8 @@
 #include "src/capture/demo.h"
 #include "src/capture/reassembly.h"
 #include "src/common/rng.h"
+#include "src/journal/demo.h"
+#include "src/journal/journal.h"
 #include "src/router/router.h"
 #include "src/services/bus_monitor.h"
 #include "src/services/health_monitor.h"
@@ -201,7 +203,10 @@ std::vector<std::string> RunCertifiedScenario(uint64_t seed) {
 
   auto pub_client = MustConnect(&net, hosts[0], "producer");
   MemoryStableStore store;
-  auto pub = CertifiedPublisher::Create(pub_client.get(), &store, "orders-ledger");
+  journal::JournalConfig ledger_config;
+  ledger_config.sim = &sim;  // write-through: legacy stable-write timing
+  auto ledger = journal::Journal::Open(&store, ledger_config).take();
+  auto pub = CertifiedPublisher::Create(pub_client.get(), ledger.get(), "orders-ledger");
   EXPECT_TRUE(pub.ok()) << pub.status().ToString();
   for (int i = 0; i < 10; ++i) {
     EXPECT_TRUE((*pub)->Publish("orders.new", ToBytes("order" + std::to_string(i))).ok());
@@ -280,7 +285,10 @@ std::vector<std::string> RunTracedCertifiedWanScenario(uint64_t seed) {
 
   auto pub_bus = MustConnect(&net, a_hosts[1], "producer");
   MemoryStableStore store;
-  auto pub = CertifiedPublisher::Create(pub_bus.get(), &store, "orders-ledger");
+  journal::JournalConfig ledger_config;
+  ledger_config.sim = &sim;  // write-through: legacy stable-write timing
+  auto ledger = journal::Journal::Open(&store, ledger_config).take();
+  auto pub = CertifiedPublisher::Create(pub_bus.get(), ledger.get(), "orders-ledger");
   EXPECT_TRUE(pub.ok()) << pub.status().ToString();
   for (int i = 0; i < 5; ++i) {
     EXPECT_TRUE((*pub)->Publish("orders.new", ToBytes("order" + std::to_string(i))).ok());
@@ -438,6 +446,26 @@ std::vector<std::string> RunCaptureScenario(uint64_t seed) {
   return trace;
 }
 
+// --- Scenarios 7-9: the journal crash/recovery family (src/journal/demo.cc) --------
+//
+// Each scenario kills components mid-flight (daemon, routers, publisher), recovers
+// from the surviving journal device, and folds deliveries, recovery health events,
+// final stats, and the journal verify report into the replay-hashed trace.
+
+std::vector<std::string> RunJournalDaemonCrashScenario(uint64_t seed) {
+  MemoryStableStore device;
+  return journal::RunDaemonCrashScenario(seed, &device);
+}
+
+std::vector<std::string> RunJournalRouterCrashScenario(uint64_t seed) {
+  MemoryStableStore device;
+  return journal::RunRouterCrashScenario(seed, &device);
+}
+
+std::vector<std::string> RunJournalTailTruncationScenario(uint64_t seed) {
+  return journal::RunTailTruncationScenario(seed);
+}
+
 // --- The replay gate ---------------------------------------------------------------
 
 using ScenarioFn = std::vector<std::string> (*)(uint64_t seed);
@@ -539,6 +567,115 @@ TEST(SimReplayCheck, CaptureShowsRetransmitShareAttributedToDrops) {
   capture::BandwidthReport bw = capture::AccountBandwidth(buf.frames(), r);
   EXPECT_GT(bw.total.retransmit.us, 0u);
   EXPECT_GT(bw.total.goodput.bytes, 0u);
+}
+
+TEST(SimReplayCheck, JournalDaemonCrashIsDeterministic) {
+  CheckReplay("journal_daemon_crash", &RunJournalDaemonCrashScenario, 42);
+  CheckReplay("journal_daemon_crash", &RunJournalDaemonCrashScenario, 1993);
+}
+
+TEST(SimReplayCheck, JournalRouterCrashIsDeterministic) {
+  CheckReplay("journal_router_crash", &RunJournalRouterCrashScenario, 42);
+  CheckReplay("journal_router_crash", &RunJournalRouterCrashScenario, 1993);
+}
+
+TEST(SimReplayCheck, JournalTailTruncationIsDeterministic) {
+  CheckReplay("journal_tail_truncation", &RunJournalTailTruncationScenario, 42);
+  CheckReplay("journal_tail_truncation", &RunJournalTailTruncationScenario, 1993);
+}
+
+// The daemon-crash recovery must re-arm the ledger, announce itself on the health
+// plane, deliver every certified message exactly once to the surviving consumer
+// (dedup absorbs the post-recovery resends), and leave a verifiably clean journal.
+TEST(SimReplayCheck, JournalDaemonCrashRecoversExactlyOnce) {
+  MemoryStableStore device;
+  auto trace = journal::RunDaemonCrashScenario(42, &device);
+  ASSERT_FALSE(trace.empty());
+  ASSERT_NE(trace.front().rfind("error:", 0), 0u) << trace.front();
+  for (int i = 0; i < 8; ++i) {
+    const std::string payload = "payload=order" + std::to_string(i);
+    size_t deliveries = 0;
+    for (const std::string& e : trace) {
+      if (e.find(" consumer subj=") != std::string::npos &&
+          e.find(payload) != std::string::npos) {
+        ++deliveries;
+      }
+    }
+    EXPECT_EQ(deliveries, 1u) << "order" << i;
+  }
+  bool saw_reopen = false, saw_recovery_event = false, saw_clean_verify = false;
+  for (const std::string& e : trace) {
+    if (e.rfind("reopen recovered_records=", 0) == 0) {
+      saw_reopen = true;
+      EXPECT_EQ(e.find("recovered_records=0"), std::string::npos) << e;
+    }
+    if (e.find(" health ") != std::string::npos &&
+        e.find("recovery") != std::string::npos) {
+      saw_recovery_event = true;
+    }
+    if (e.rfind("journal verify:", 0) == 0) {
+      saw_clean_verify = e.find(" clean") != std::string::npos;
+      EXPECT_NE(e.find(" clean"), std::string::npos) << e;
+    }
+  }
+  EXPECT_TRUE(saw_reopen);
+  EXPECT_TRUE(saw_recovery_event);
+  EXPECT_TRUE(saw_clean_verify);
+}
+
+// The WAN outage plus publisher crash must still end with every certified message
+// across the routers exactly once: queued traffic rides the recovered retransmits.
+TEST(SimReplayCheck, JournalRouterCrashDrainsQueuedTraffic) {
+  MemoryStableStore device;
+  auto trace = journal::RunRouterCrashScenario(42, &device);
+  ASSERT_FALSE(trace.empty());
+  ASSERT_NE(trace.front().rfind("error:", 0), 0u) << trace.front();
+  for (int i = 0; i < 8; ++i) {
+    const std::string payload = "payload=order" + std::to_string(i);
+    size_t deliveries = 0;
+    for (const std::string& e : trace) {
+      if (e.find(" consumer subj=") != std::string::npos &&
+          e.find(payload) != std::string::npos) {
+        ++deliveries;
+      }
+    }
+    EXPECT_EQ(deliveries, 1u) << "order" << i;
+  }
+  bool saw_pending_zero = false;
+  for (const std::string& e : trace) {
+    if (e.rfind("publisher published=", 0) == 0) {
+      saw_pending_zero = e.find(" pending=0") != std::string::npos;
+    }
+  }
+  EXPECT_TRUE(saw_pending_zero) << "certified backlog did not drain after the outage";
+}
+
+// Every fuzzed cut must be detected (exactly one torn block), repaired, and leave a
+// clean device; the final cut recovers end to end and new publishes still flow.
+TEST(SimReplayCheck, JournalTailTruncationStopsAtLastValidLsn) {
+  auto trace = journal::RunTailTruncationScenario(42);
+  ASSERT_FALSE(trace.empty());
+  ASSERT_NE(trace.front().rfind("error:", 0), 0u) << trace.front();
+  size_t fuzz_lines = 0;
+  for (const std::string& e : trace) {
+    if (e.rfind("fuzz k=", 0) == 0 && e.find("torn_tail=") != std::string::npos) {
+      ++fuzz_lines;
+      EXPECT_NE(e.find("torn_tail=1"), std::string::npos) << e;
+    }
+    if (e.rfind("fuzz k=", 0) == 0 && e.find("journal verify:") != std::string::npos) {
+      EXPECT_NE(e.find(" clean"), std::string::npos) << e;
+    }
+  }
+  EXPECT_EQ(fuzz_lines, 3u);
+  // The post-recovery publish lands despite the truncated ledger tail.
+  size_t order8 = 0;
+  for (const std::string& e : trace) {
+    if (e.find(" consumer2 subj=") != std::string::npos &&
+        e.find("payload=order8") != std::string::npos) {
+      ++order8;
+    }
+  }
+  EXPECT_EQ(order8, 1u);
 }
 
 TEST(SimReplayCheck, CertifiedDeliveryCompletesDespiteLoss) {

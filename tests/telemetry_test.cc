@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/bus/certified.h"
+#include "src/journal/journal.h"
 #include "src/router/router.h"
 #include "src/sim/stable_store.h"
 #include "src/telemetry/collector.h"
@@ -316,7 +317,10 @@ TEST(TelemetryWanTest, CertifiedWanTraceIsComplete) {
 
   auto pub_bus = connect(a1, "producer");
   MemoryStableStore store;
-  auto pub = CertifiedPublisher::Create(pub_bus.get(), &store, "orders-ledger");
+  journal::JournalConfig ledger_config;
+  ledger_config.sim = &sim;  // write-through: legacy stable-write timing
+  auto ledger = journal::Journal::Open(&store, ledger_config).take();
+  auto pub = CertifiedPublisher::Create(pub_bus.get(), ledger.get(), "orders-ledger");
   ASSERT_TRUE(pub.ok());
   ASSERT_TRUE((*pub)->Publish("orders.new", ToBytes("order0")).ok());
   sim.RunFor(5 * kSecond);
