@@ -30,6 +30,14 @@ namespace bench {
 // 300 Kb/sec through Ethernet with a raw UDP socket").
 constexpr double kSunOsCpuUsPerFrame = 4300;
 
+// Seeded per-frame medium jitter for the latency benches. A perfectly quiet
+// simulated Ethernet delivers every same-sized message in the exact same time, which
+// collapses the sample distribution to a point (p50 == p90 == p99) and makes the
+// percentile columns meaningless. A "lightly loaded" shared medium is not quiet;
+// this uniform [0, 250]µs delay (drawn from the Network's seeded RNG, so still
+// exactly reproducible) restores a real distribution without moving the means.
+constexpr SimTime kBenchLanJitterUs = 250;
+
 struct Testbed {
   std::unique_ptr<Simulator> sim;
   std::unique_ptr<Network> net;
@@ -43,13 +51,19 @@ struct Testbed {
 };
 
 inline Testbed MakeTestbed(int n_hosts, bool batching, int n_clients = -1,
-                           double cpu_us_per_frame = kSunOsCpuUsPerFrame) {
+                           double cpu_us_per_frame = kSunOsCpuUsPerFrame,
+                           SimTime lan_jitter_us = 0) {
   Testbed tb;
   tb.sim = std::make_unique<Simulator>();
   tb.net = std::make_unique<Network>(tb.sim.get());
   SegmentConfig seg;
   seg.host_cpu_us_per_frame = cpu_us_per_frame;
   tb.lan = tb.net->AddSegment(seg);
+  if (lan_jitter_us > 0) {
+    FaultPlan plan;
+    plan.jitter_us = lan_jitter_us;
+    tb.net->SetFaultPlan(tb.lan, plan);
+  }
   tb.bus_config.reliable.batching_enabled = batching;
   // Don't flood the control plane during setup-heavy benches.
   tb.bus_config.announce_subscriptions = false;
@@ -137,7 +151,7 @@ inline double Percentile(std::vector<double> xs, double q) {
   return xs[lo] + (xs[hi] - xs[lo]) * frac;
 }
 
-// One machine-readable result row for scripts/bench.sh (schema BENCH_2): latency
+// One machine-readable result row for scripts/bench.sh (schema BENCH_8): latency
 // percentiles are in microseconds of simulated time; msgs_per_sec may be 0 for
 // latency-only benches.
 struct BenchResult {
@@ -146,6 +160,7 @@ struct BenchResult {
   double p90_us = 0;
   double p99_us = 0;
   double msgs_per_sec = 0;
+  double bytes_per_sec = 0;  // nonzero only for byte-throughput benches (fig7)
 };
 
 inline BenchResult MakeLatencyResult(const std::string& name,
@@ -161,7 +176,7 @@ inline BenchResult MakeLatencyResult(const std::string& name,
 }
 
 // Appends `results` as JSON lines to the file named by $BENCH_JSON (no-op when the
-// variable is unset). scripts/bench.sh assembles the lines into BENCH_2.json.
+// variable is unset). scripts/bench.sh assembles the lines into BENCH_8.json.
 inline void EmitBenchJson(const std::vector<BenchResult>& results) {
   const char* path = std::getenv("BENCH_JSON");
   if (path == nullptr || results.empty()) {
@@ -174,8 +189,9 @@ inline void EmitBenchJson(const std::vector<BenchResult>& results) {
   for (const BenchResult& r : results) {
     std::fprintf(f,
                  "{\"name\": \"%s\", \"p50_us\": %.3f, \"p90_us\": %.3f, "
-                 "\"p99_us\": %.3f, \"msgs_per_sec\": %.3f}\n",
-                 r.name.c_str(), r.p50_us, r.p90_us, r.p99_us, r.msgs_per_sec);
+                 "\"p99_us\": %.3f, \"msgs_per_sec\": %.3f, \"bytes_per_sec\": %.3f}\n",
+                 r.name.c_str(), r.p50_us, r.p90_us, r.p99_us, r.msgs_per_sec,
+                 r.bytes_per_sec);
   }
   std::fclose(f);
 }

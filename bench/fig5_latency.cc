@@ -17,7 +17,9 @@ struct LatencyResult {
 };
 
 LatencyResult MeasureLatency(int n_consumers, size_t msg_size, int n_messages) {
-  Testbed tb = MakeTestbed(15, /*batching=*/false, 1 + n_consumers);
+  // Seeded medium jitter so the percentile spread is real (see kBenchLanJitterUs).
+  Testbed tb = MakeTestbed(15, /*batching=*/false, 1 + n_consumers, kSunOsCpuUsPerFrame,
+                           kBenchLanJitterUs);
   std::vector<double> latencies_ms;
   std::vector<double> latencies_us;
   for (int i = 1; i <= n_consumers; ++i) {

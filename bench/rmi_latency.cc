@@ -25,7 +25,8 @@ std::shared_ptr<DynamicService> EchoService() {
 
 void Run() {
   std::printf("=== Ablation A5: RMI round-trip latency ===\n\n");
-  Testbed tb = MakeTestbed(2, /*batching=*/false, 2);
+  // Seeded medium jitter so the percentile spread is real (see kBenchLanJitterUs).
+  Testbed tb = MakeTestbed(2, /*batching=*/false, 2, kSunOsCpuUsPerFrame, kBenchLanJitterUs);
   RmiServerConfig server_cfg;
   server_cfg.service_time_us = 200;
   auto server = RmiServer::Create(tb.clients[1].get(), "svc.echo", EchoService(), server_cfg);

@@ -26,6 +26,12 @@ void Run() {
   seg.host_cpu_us_per_frame = kSunOsCpuUsPerFrame;
   SegmentId lan_a = net.AddSegment(seg);
   SegmentId lan_b = net.AddSegment(seg);
+  // Seeded medium jitter on both LANs so the percentile spread is real (see
+  // kBenchLanJitterUs); the WAN link itself stays quiet.
+  FaultPlan lan_jitter;
+  lan_jitter.jitter_us = kBenchLanJitterUs;
+  net.SetFaultPlan(lan_a, lan_jitter);
+  net.SetFaultPlan(lan_b, lan_jitter);
   std::vector<HostId> hosts{net.AddHost("a0", lan_a), net.AddHost("a1", lan_a),
                             net.AddHost("b0", lan_b), net.AddHost("b1", lan_b)};
   BusConfig cfg;

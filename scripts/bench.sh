@@ -1,32 +1,38 @@
 #!/usr/bin/env bash
 # Runs the JSON-emitting benchmarks and assembles their per-binary JSON lines into
-# BENCH_7.json (schema BENCH_7: one row per measurement with name, latency-or-rate
-# percentiles, and msgs/sec — same row shape as BENCH_2..4 — plus a "router_wan"
-# section carrying the per-segment bandwidth breakdown from the capture accountant,
-# see src/capture/bandwidth.h, a "hot_path_allocs/steady" row carrying the
-# allocs_per_msg counter from the instrumented-allocator bench, and the
-# journal_append rows measuring write-ahead ledger commit cost). Afterwards, diffs
-# the fresh numbers against the newest previous BENCH_*.json via
-# scripts/bench_diff.py and fails on a >10% latency regression, a >10%
-# throughput-bench delivery-rate drop, or a >10% hot-path allocation growth.
+# BENCH_8.json (schema BENCH_8: one row per measurement with name, latency-or-rate
+# percentiles, msgs/sec, and bytes/sec — same row shape as BENCH_2..7 plus the
+# bytes_per_sec column — plus a "router_wan" section carrying the per-segment
+# bandwidth breakdown from the capture accountant, see src/capture/bandwidth.h, a
+# "hot_path_allocs/steady" row carrying the allocs_per_msg counter from the
+# instrumented-allocator bench, the journal_append rows measuring write-ahead
+# ledger commit cost, and a "profile" section: busprof's per-stage critical-path
+# p99s and queue high-watermarks for the profiled WAN scenario, see
+# tools/busprof). Afterwards, diffs the fresh numbers against the newest previous
+# BENCH_*.json via scripts/bench_diff.py and fails on a >10% latency regression, a
+# >10% throughput-bench delivery-rate drop, a >10% hot-path allocation growth, or
+# a >10% regression in a profile stage p99 / queue high-watermark.
 # See docs/TELEMETRY.md.
 #
-#   scripts/bench.sh                     # build in build-bench/, write BENCH_7.json
+#   scripts/bench.sh                     # build in build-bench/, write BENCH_8.json
 #   BUILD_DIR=build scripts/bench.sh     # reuse an existing build dir
 #   OUT=/tmp/b.json scripts/bench.sh     # write somewhere else
 #   BENCHES="rmi_latency" scripts/bench.sh  # run a subset
+#   DIFF_THRESHOLD=25 scripts/bench.sh   # loosen the regression gate (one-off,
+#                                        # e.g. after a measurement-methodology change)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-bench}
 JOBS=${JOBS:-$(nproc)}
-OUT=${OUT:-BENCH_7.json}
+OUT=${OUT:-BENCH_8.json}
+DIFF_THRESHOLD=${DIFF_THRESHOLD:-10}
 BENCHES=${BENCHES:-"rmi_latency fig5_latency fig6_throughput_msgs fig7_throughput_bytes fig8_subjects router_wan hot_path_allocs journal_append"}
 
 echo "== configure + build (${BUILD_DIR})"
 cmake -B "${BUILD_DIR}" -S . > /dev/null
 # shellcheck disable=SC2086
-cmake --build "${BUILD_DIR}" -j "${JOBS}" --target ${BENCHES}
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target ${BENCHES} busprof
 
 tmpdir=$(mktemp -d)
 trap 'rm -rf "${tmpdir}"' EXIT
@@ -41,10 +47,19 @@ for b in ${BENCHES}; do
   tail -3 "${tmpdir}/${b}.log" | sed 's/^/   /'
 done
 
+# The profile section: busprof's deterministic critical-path + queue-occupancy
+# report for the profiled WAN scenario (empty under -DIB_TELEMETRY=OFF builds,
+# where the binary still runs but traces no paths).
+echo "== busprof"
+"${BUILD_DIR}/tools/busprof/busprof" --json --seed 42 > "${tmpdir}/profile.json"
+
 {
-  printf '{"schema": "BENCH_7",\n'
+  printf '{"schema": "BENCH_8",\n'
   if [ -s "${tmpdir}/router_wan.bandwidth.json" ]; then
     printf '"router_wan": %s,\n' "$(cat "${tmpdir}/router_wan.bandwidth.json")"
+  fi
+  if [ -s "${tmpdir}/profile.json" ]; then
+    printf '"profile": %s,\n' "$(cat "${tmpdir}/profile.json")"
   fi
   printf '"results": [\n'
   first=1
@@ -72,7 +87,7 @@ if command -v python3 > /dev/null; then
   done
   if [ -n "${baseline}" ]; then
     echo "== bench_diff vs ${baseline}"
-    python3 scripts/bench_diff.py "${baseline}" "${OUT}"
+    python3 scripts/bench_diff.py "${baseline}" "${OUT}" --threshold "${DIFF_THRESHOLD}"
   else
     echo "== bench_diff: no previous BENCH_*.json baseline; skipping"
   fi

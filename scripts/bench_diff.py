@@ -11,8 +11,16 @@ shared row regresses by more than the threshold (default 10%), or if the deliver
 rate (msgs_per_sec) of a throughput bench — any row whose name contains
 "throughput" — drops by more than the threshold, or if a row carrying the
 "allocs_per_msg" counter (the instrumented-allocator hot_path_allocs bench) grows
-it by more than the threshold on both sides. Rows present on only one side are
-reported but never fail the run (benchmarks come and go across PRs).
+it by more than the threshold on both sides, or if the byte throughput
+(bytes_per_sec, carried by fig7 from BENCH_8 on) of a throughput bench drops by
+more than the threshold. Rows present on only one side are reported but never
+fail the run (benchmarks come and go across PRs).
+
+When BOTH files carry a top-level "profile" section (busprof's critical-path
+report, embedded by scripts/bench.sh from BENCH_8 on), its per-stage p99
+latencies and per-node queue high-watermarks are gated the same way: >threshold
+growth on a stage p99 or a ".hwm" gauge fails the run. A profile present on only
+one side is reported and skipped.
 
 The deterministic simulator makes bench numbers replayable, so a genuine regression
 here is a code change, not scheduler noise.
@@ -32,6 +40,9 @@ MIN_BASELINE_RATE = 1.0
 # The allocation gate needs a non-trivial baseline too: below one alloc per message
 # a single new first-touch allocation would read as a huge percentage.
 MIN_BASELINE_ALLOCS = 0.5
+# Queue high-watermarks are small integers; a 0-or-1 baseline would turn a single
+# extra queued packet into a triple-digit percentage.
+MIN_BASELINE_HWM = 2.0
 
 
 def load(path):
@@ -42,7 +53,41 @@ def load(path):
         name = row.get("name")
         if name:
             rows[name] = row
-    return doc.get("schema", "?"), rows
+    return doc.get("schema", "?"), rows, doc
+
+
+def diff_profile(base_doc, cur_doc, threshold, regressions):
+    """Gates the busprof 'profile' section: stage p99s and queue high-watermarks."""
+    bp, cp = base_doc.get("profile"), cur_doc.get("profile")
+    if not bp or not cp:
+        if bp or cp:
+            side = "current" if cp else "baseline"
+            print(f"  profile: only the {side} file carries one; skipping")
+        return
+    bstages, cstages = bp.get("stage_p99_us", {}), cp.get("stage_p99_us", {})
+    for stage in sorted(set(bstages) & set(cstages)):
+        bv, cv = bstages[stage], cstages[stage]
+        if bv < MIN_BASELINE_US:
+            print(f"  profile.stage.{stage:26s} p99 {bv:.0f}->{cv:.0f}us")
+            continue
+        pct = (cv - bv) / bv * 100.0
+        print(f"  profile.stage.{stage:26s} p99 {bv:.0f}->{cv:.0f}us ({pct:+.1f}%)")
+        if pct > threshold:
+            regressions.append(
+                f"profile: stage {stage} p99 {bv:.1f}us -> {cv:.1f}us ({pct:+.1f}%)")
+    bq, cq = bp.get("queues", {}), cp.get("queues", {})
+    for node in sorted(set(bq) & set(cq)):
+        for gauge in sorted(set(bq[node]) & set(cq[node])):
+            if not gauge.endswith(".hwm"):
+                continue
+            bv, cv = bq[node][gauge], cq[node][gauge]
+            if bv < MIN_BASELINE_HWM:
+                continue
+            pct = (cv - bv) / bv * 100.0
+            print(f"  profile.queue {node}.{gauge} {bv:.0f}->{cv:.0f} ({pct:+.1f}%)")
+            if pct > threshold:
+                regressions.append(
+                    f"profile: queue {node}.{gauge} {bv:.0f} -> {cv:.0f} ({pct:+.1f}%)")
 
 
 def main():
@@ -53,8 +98,8 @@ def main():
                     help="max tolerated latency growth, percent (default 10)")
     args = ap.parse_args()
 
-    base_schema, base = load(args.baseline)
-    cur_schema, cur = load(args.current)
+    base_schema, base, base_doc = load(args.baseline)
+    cur_schema, cur, cur_doc = load(args.current)
     shared = sorted(set(base) & set(cur))
     print(f"bench_diff: {args.baseline} ({base_schema}) -> {args.current} ({cur_schema}), "
           f"{len(shared)} shared rows, threshold {args.threshold:.0f}%")
@@ -80,6 +125,16 @@ def main():
                     and -rate_pct > args.threshold):
                 regressions.append(
                     f"{name}: msgs_per_sec {brate:.1f}/s -> {crate:.1f}/s ({rate_pct:+.1f}%)")
+        # Byte throughput (fig7 carries it from BENCH_8 on; older baselines lack it).
+        bbytes, cbytes = b.get("bytes_per_sec", 0.0), c.get("bytes_per_sec", 0.0)
+        if bbytes > 0:
+            bytes_pct = (cbytes - bbytes) / bbytes * 100.0
+            cells.append(f"bytes {bbytes:.0f}->{cbytes:.0f}/s ({bytes_pct:+.1f}%)")
+            if ("throughput" in name and bbytes >= MIN_BASELINE_RATE
+                    and -bytes_pct > args.threshold):
+                regressions.append(
+                    f"{name}: bytes_per_sec {bbytes:.1f}/s -> {cbytes:.1f}/s "
+                    f"({bytes_pct:+.1f}%)")
         # Allocation gate: only rows that carry the counter on BOTH sides compare
         # (the key first appears in BENCH_6; older baselines simply lack it).
         if "allocs_per_msg" in b and "allocs_per_msg" in c:
@@ -100,14 +155,16 @@ def main():
     for name in sorted(set(cur) - set(base)):
         print(f"  {name:40s} (new: no baseline)")
 
+    diff_profile(base_doc, cur_doc, args.threshold, regressions)
+
     if regressions:
         print(f"bench_diff: FAIL — {len(regressions)} regression(s) > "
               f"{args.threshold:.0f}%:", file=sys.stderr)
         for r in regressions:
             print(f"  {r}", file=sys.stderr)
         return 1
-    print("bench_diff: OK — no latency, throughput, or allocation regression "
-          "beyond threshold")
+    print("bench_diff: OK — no latency, throughput, allocation, or profile "
+          "regression beyond threshold")
     return 0
 
 

@@ -35,6 +35,9 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -L capture
 echo "== journal tests (ctest -L journal: ledger format, recovery, busjournal verify)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L journal
 
+echo "== busprof tests (ctest -L prof: stage decomposition, reconciliation, replay gate)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L prof
+
 echo "== buslint over src/ bench/ examples/ tools/  (-L lint also runs tdlcheck)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L lint
 

@@ -243,17 +243,20 @@ void CertifiedPublisher::ScheduleRetry() {
     return;
   }
   retry_scheduled_ = true;
-  bus_->sim()->ScheduleAfter(config_.retry_interval_us, [this, alive = alive_]() {
-    if (!*alive) {
-      return;
-    }
-    retry_scheduled_ = false;
-    for (const auto& [id, pm] : pending_) {
-      SendCertified(id, pm);
-      stats_.retransmits++;
-    }
-    ScheduleRetry();
-  });
+  bus_->sim()->ScheduleAfter(
+      config_.retry_interval_us,
+      [this, alive = alive_]() {
+        if (!*alive) {
+          return;
+        }
+        retry_scheduled_ = false;
+        for (const auto& [id, pm] : pending_) {
+          SendCertified(id, pm);
+          stats_.retransmits++;
+        }
+        ScheduleRetry();
+      },
+      "bus.certified_retry");
 }
 
 // ---------------------------------------------------------------------------------

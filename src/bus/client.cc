@@ -160,14 +160,17 @@ Status BusClient::Request(Message m, SimTime timeout_us, RequestDone done) {
     Unsubscribe(*sub);
     return published;
   }
-  sim()->ScheduleAfter(timeout_us, [this, state, done_shared]() {
-    if (state->first) {
-      return;
-    }
-    state->first = true;
-    Unsubscribe(state->second);
-    (*done_shared)(DeadlineExceeded("request: no response"));
-  });
+  sim()->ScheduleAfter(
+      timeout_us,
+      [this, state, done_shared]() {
+        if (state->first) {
+          return;
+        }
+        state->first = true;
+        Unsubscribe(state->second);
+        (*done_shared)(DeadlineExceeded("request: no response"));
+      },
+      "bus.request_timeout");
   return OkStatus();
 }
 

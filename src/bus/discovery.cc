@@ -29,10 +29,13 @@ Status DiscoveryQuery::Run(BusClient* bus, const std::string& subject, SimTime t
     return s;
   }
 
-  bus->sim()->ScheduleAfter(timeout_us, [bus, sub_id, responses, done = std::move(done)]() {
-    bus->Unsubscribe(sub_id);
-    done(std::move(*responses));
-  });
+  bus->sim()->ScheduleAfter(
+      timeout_us,
+      [bus, sub_id, responses, done = std::move(done)]() {
+        bus->Unsubscribe(sub_id);
+        done(std::move(*responses));
+      },
+      "bus.discovery_timeout");
   return OkStatus();
 }
 

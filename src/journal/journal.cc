@@ -105,13 +105,16 @@ void Journal::ScheduleDeadlineFlush() {
     return;
   }
   flush_scheduled_ = true;
-  config_.sim->ScheduleAfter(config_.flush_deadline_us, [this, alive = alive_] {
-    if (!*alive) {
-      return;
-    }
-    flush_scheduled_ = false;
-    (void)Flush();  // a deadline flush has no caller to report to; stats still move
-  });
+  config_.sim->ScheduleAfter(
+      config_.flush_deadline_us,
+      [this, alive = alive_] {
+        if (!*alive) {
+          return;
+        }
+        flush_scheduled_ = false;
+        (void)Flush();  // a deadline flush has no caller to report to; stats still move
+      },
+      "journal.flush_deadline");
 }
 
 // hotlint: cold -- group-commit boundary: one device block + barrier per flush, not per append
@@ -164,12 +167,15 @@ Status Journal::Flush() {
   }
   const Lsn up_to = first + blocks_.back().count;
   if (config_.sim != nullptr) {
-    config_.sim->ScheduleAfter(device_->WriteLatency(), [this, alive = alive_, up_to] {
-      if (!*alive) {
-        return;
-      }
-      AdvanceDurable(up_to);
-    });
+    config_.sim->ScheduleAfter(
+        device_->WriteLatency(),
+        [this, alive = alive_, up_to] {
+          if (!*alive) {
+            return;
+          }
+          AdvanceDurable(up_to);
+        },
+        "journal.device_write");
   } else {
     AdvanceDurable(up_to);
   }

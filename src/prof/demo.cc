@@ -1,0 +1,216 @@
+#include "src/prof/demo.h"
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "src/bus/certified.h"
+#include "src/bus/client.h"
+#include "src/bus/daemon.h"
+#include "src/capture/capture.h"
+#include "src/journal/journal.h"
+#include "src/prof/profiler.h"
+#include "src/prof/sim_profiler.h"
+#include "src/proto/reliable.h"
+#include "src/router/router.h"
+#include "src/sim/simulator.h"
+#include "src/sim/stable_store.h"
+#include "src/telemetry/collector.h"
+
+namespace ibus::prof {
+
+namespace {
+
+std::string Record(SimTime t, const std::string& who, const Message& m) {
+  return "t=" + std::to_string(t) + " " + who + " subj=" + m.subject +
+         " payload=" + ToString(m.payload);
+}
+
+// One registry's queue gauges as a JSON object: each depth with its ".hwm" twin.
+std::string QueueGaugesJson(const telemetry::MetricsRegistry& registry,
+                            const std::vector<std::string>& names) {
+  std::string out = "{";
+  bool first = true;
+  for (const std::string& name : names) {
+    for (const std::string& n : {name, name + ".hwm"}) {
+      if (!first) {
+        out += ",";
+      }
+      first = false;
+      out += "\"" + n + "\":" + std::to_string(registry.GaugeValue(n));
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+ProfiledScenario RunProfiledWanScenario(uint64_t seed) {
+  ProfiledScenario result;
+  auto fail = [&result](const std::string& what, const Status& s) {
+    result.trace.clear();
+    result.trace.push_back("error: " + what + ": " + s.ToString());
+    return result;
+  };
+
+  EventCoreProfiler event_core;
+  capture::CaptureBuffer tap;
+  Simulator sim;
+  sim.SetObserver(&event_core);
+  Network net(&sim, seed);
+  net.AttachTap(&tap);
+  SegmentId lan_a = net.AddSegment();
+  SegmentId lan_b = net.AddSegment();
+  std::vector<HostId> a_hosts, b_hosts;
+  std::vector<std::unique_ptr<BusDaemon>> daemons;
+  std::vector<HostId> daemon_hosts;
+  BusConfig config;
+  config.trace_publishes = true;  // daemons + producer: assign trace ids, stamp hops
+  for (int i = 0; i < 2; ++i) {
+    a_hosts.push_back(net.AddHost("a" + std::to_string(i), lan_a));
+    b_hosts.push_back(net.AddHost("b" + std::to_string(i), lan_b));
+  }
+  for (HostId h : {a_hosts[0], a_hosts[1], b_hosts[0], b_hosts[1]}) {
+    auto d = BusDaemon::Start(&net, h, config);
+    if (!d.ok()) {
+      return fail("daemon", d.status());
+    }
+    daemons.push_back(d.take());
+    daemon_hosts.push_back(h);
+  }
+
+  auto router_bus_a = BusClient::Connect(&net, a_hosts[0], "_router:A");
+  auto router_bus_b = BusClient::Connect(&net, b_hosts[0], "_router:B");
+  if (!router_bus_a.ok() || !router_bus_b.ok()) {
+    return fail("router bus",
+                router_bus_a.ok() ? router_bus_b.status() : router_bus_a.status());
+  }
+  auto ra = InfoRouter::Listen(router_bus_a->get(), "_router:A", 8700);
+  if (!ra.ok()) {
+    return fail("router listen", ra.status());
+  }
+  sim.RunFor(50 * kMillisecond);
+  auto rb = InfoRouter::Connect(router_bus_b->get(), "_router:B", a_hosts[0], 8700);
+  if (!rb.ok()) {
+    return fail("router connect", rb.status());
+  }
+  sim.RunFor(200 * kMillisecond);
+
+  // Trace collector on the far LAN: spans cross the WAN via the routers'
+  // reserved-prefix forwarding, so one collector sees the whole path.
+  auto monitor_bus = BusClient::Connect(&net, b_hosts[0], "monitor");
+  if (!monitor_bus.ok()) {
+    return fail("monitor bus", monitor_bus.status());
+  }
+  auto collector = telemetry::TraceCollector::Create(monitor_bus->get());
+  const bool telemetry_on = collector.ok();  // false under IB_TELEMETRY=OFF
+
+  auto sub_bus = BusClient::Connect(&net, b_hosts[1], "consumer");
+  if (!sub_bus.ok()) {
+    return fail("consumer bus", sub_bus.status());
+  }
+  auto sub = CertifiedSubscriber::Create(sub_bus->get(), "orders.>", "consumer",
+                                         [&](const Message& m) {
+                                           result.trace.push_back(
+                                               Record(sim.Now(), "consumer", m));
+                                         });
+  if (!sub.ok()) {
+    return fail("certified subscriber", sub.status());
+  }
+  sim.RunFor(500 * kMillisecond);  // control plane (subs, adverts) crosses the WAN
+
+  // Faults only after the handshake so every replay starts aligned; the loss is
+  // what populates the retransmit_repair stage and the NAK/partials queues.
+  FaultPlan faults;
+  faults.drop_prob = 0.10;
+  faults.jitter_us = 300;
+  net.SetFaultPlan(lan_a, faults);
+  net.SetFaultPlan(lan_b, faults);
+
+  auto pub_bus = BusClient::Connect(&net, a_hosts[1], "producer", config);
+  if (!pub_bus.ok()) {
+    return fail("producer bus", pub_bus.status());
+  }
+  MemoryStableStore store;
+  journal::JournalConfig ledger_config;
+  ledger_config.sim = &sim;  // write-through: legacy stable-write timing
+  auto ledger = journal::Journal::Open(&store, ledger_config);
+  if (!ledger.ok()) {
+    return fail("journal", ledger.status());
+  }
+  auto pub = CertifiedPublisher::Create(pub_bus->get(), ledger->get(), "orders-ledger");
+  if (!pub.ok()) {
+    return fail("certified publisher", pub.status());
+  }
+  for (int i = 0; i < 5; ++i) {
+    Status s = (*pub)->Publish("orders.new", ToBytes("order" + std::to_string(i)));
+    if (!s.ok()) {
+      return fail("publish", s);
+    }
+    sim.RunFor(100 * kMillisecond);
+  }
+  sim.RunFor(5 * kSecond);
+
+  // Join the hop timelines against the capture and decompose.
+  CriticalPathProfiler profiler;
+  profiler.IndexCapture(tap.frames());
+  if (telemetry_on) {
+    profiler.AddCollector(**collector);
+    for (uint64_t id : (*collector)->trace_ids()) {
+      result.trace.push_back((*collector)->RenderTimeline(id));
+    }
+    result.trace.push_back("records=" + std::to_string((*collector)->records_received()) +
+                           " traces=" + std::to_string((*collector)->trace_count()) +
+                           " all_hash=" + std::to_string((*collector)->AllTracesHash()));
+  }
+
+  // Queue-occupancy plane: the daemons' proto.* depth gauges and the routers'
+  // link/mirror gauges, final values + high-watermarks.
+  const std::vector<std::string> daemon_queues = {
+      kMetricSenderRetainedDepth, kMetricSenderBatchDepth, kMetricReceiverReadyDepth,
+      kMetricReceiverPartialsDepth};
+  const std::vector<std::string> router_queues = {kMetricRouterLinkBacklogUs,
+                                                  kMetricRouterPeerSubs};
+  std::string queues = "{";
+  for (size_t i = 0; i < daemons.size(); ++i) {
+    if (i != 0) {
+      queues += ",";
+    }
+    queues += "\"daemon@" + std::to_string(daemon_hosts[i]) + "\":" +
+              QueueGaugesJson(*daemons[i]->metrics(), daemon_queues);
+  }
+  queues += ",\"_router:A\":" + QueueGaugesJson(*(*ra)->metrics(), router_queues);
+  queues += ",\"_router:B\":" + QueueGaugesJson(*(*rb)->metrics(), router_queues);
+  queues += "}";
+
+  result.json = profiler.RenderJson({{"telemetry", telemetry_on ? "true" : "false"},
+                                     {"event_core", event_core.RenderJson()},
+                                     {"queues", queues}});
+  result.collapsed = profiler.RenderCollapsed();
+  uint64_t h = capture::Fnv1a(reinterpret_cast<const uint8_t*>(result.json.data()),
+                              result.json.size());
+  result.hash = capture::Fnv1a(reinterpret_cast<const uint8_t*>(result.collapsed.data()),
+                               result.collapsed.size(), h);
+  result.paths = profiler.paths();
+  result.reconciled = profiler.Reconciled();
+  result.unattributed_share = profiler.accumulator().UnattributedShare();
+  result.frames_captured = tap.frames_kept();
+
+  result.trace.push_back("publisher published=" + std::to_string((*pub)->stats().published) +
+                         " retransmits=" + std::to_string((*pub)->stats().retransmits) +
+                         " retired=" + std::to_string((*pub)->stats().retired));
+  char share[32];
+  std::snprintf(share, sizeof(share), "%.6f", result.unattributed_share);
+  result.trace.push_back("busprof paths=" + std::to_string(result.paths.size()) +
+                         " reconciled=" + (result.reconciled ? "1" : "0") +
+                         " unattributed_share=" + share +
+                         " frames=" + std::to_string(result.frames_captured) +
+                         " hash=" + std::to_string(result.hash));
+
+  net.DetachTap(&tap);
+  sim.SetObserver(nullptr);
+  return result;
+}
+
+}  // namespace ibus::prof

@@ -1,0 +1,102 @@
+// Critical-path profiler: joins TraceCollector hop timelines with src/capture
+// frame fates to decompose every traced delivery into the exact stage taxonomy of
+// stages.h. The capture join resolves the opaque wire interval
+// [wire_send.at, dispatch.at] into daemon-queue / retransmit-repair /
+// medium-transit components by locating the message's (stream, seq) frames toward
+// the dispatching host; without a capture the interval is charged to
+// kMediumTransit wholesale. Reports (JSON + collapsed stacks) are byte-stable per
+// seed — tools/busprof and sim_replay_check hash them.
+#ifndef SRC_PROF_PROFILER_H_
+#define SRC_PROF_PROFILER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "src/prof/stages.h"
+#include "src/sim/network.h"
+#include "src/telemetry/collector.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
+
+namespace ibus::prof {
+
+// Trace header peeked from a marshalled Message prefix (frag-0 chunks are always
+// long enough: the header precedes the length-prefixed payload).
+struct TraceContext {
+  bool ok = false;
+  uint64_t trace_id = 0;
+  uint8_t trace_hop = 0;
+};
+TraceContext PeekTraceContext(const Bytes& marshalled);
+
+// Parses a daemon hop-record node name ("daemon@7" -> 7); returns false for
+// client/router nodes.
+bool ParseDaemonNode(const std::string& node, HostId* host);
+
+class CriticalPathProfiler {
+ public:
+  CriticalPathProfiler() : accumulator_(&metrics_) {}
+
+  // Indexes captured frames for the wire-interval split. Call before adding
+  // timelines; cumulative across calls.
+  void IndexCapture(const std::vector<CapturedFrame>& frames);
+
+  // Decomposes one trace timeline (collector order) and accumulates its paths.
+  void AddTimeline(const std::vector<telemetry::HopRecord>& timeline);
+  // Every trace in the collector, ascending trace id.
+  void AddCollector(const telemetry::TraceCollector& collector);
+
+  const std::vector<PathProfile>& paths() const { return paths_; }
+  const StageAccumulator& accumulator() const { return accumulator_; }
+  // Registry holding the "prof.stage.<name>" histograms.
+  const telemetry::MetricsRegistry& metrics() const { return metrics_; }
+
+  // True when every path's stage vector sums exactly to its end-to-end latency —
+  // the invariant the decomposition guarantees by construction.
+  bool Reconciled() const;
+
+  // Deterministic JSON report (schema "BUSPROF_1"): paths, stage totals and p99s,
+  // unattributed share, reconciliation flag. `extra_sections` appends
+  // pre-rendered ("key", json-value) pairs to the top-level object, e.g.
+  // {"event_core", profiler.RenderJson()} or a "queues" object.
+  std::string RenderJson(
+      const std::vector<std::pair<std::string, std::string>>& extra_sections = {}) const;
+
+  // Collapsed-stack (flamegraph-compatible) lines: "bus;<dest>;<subject>;<stage>
+  // <µs>\n", aggregated and sorted.
+  std::string RenderCollapsed() const;
+
+  // FNV-1a over RenderJson() + RenderCollapsed(): the bit-identity spine of the
+  // busprof replay gate.
+  uint64_t Hash() const;
+
+ private:
+  struct Attempt {
+    SimTime sent_at = 0;
+    SimTime delivered_at = 0;
+    FrameFate fate = FrameFate::kDelivered;
+  };
+
+  void IndexMessage(const Bytes& marshalled, uint64_t stream_id, uint64_t seq);
+  // The capture-join WireSplitFn body (see stages.h).
+  void SplitWireInterval(const telemetry::HopRecord& wire_send,
+                         const telemetry::HopRecord& dispatch, StageBreakdown* out) const;
+
+  // (trace_id, trace_hop) -> (stream_id, seq) of the frame that carried it.
+  std::map<std::pair<uint64_t, uint8_t>, std::pair<uint64_t, uint64_t>> msg_index_;
+  // (stream_id, seq, dst_host) -> every captured transmission attempt, in capture
+  // order.
+  std::map<std::tuple<uint64_t, uint64_t, HostId>, std::vector<Attempt>> attempts_;
+
+  telemetry::MetricsRegistry metrics_;
+  StageAccumulator accumulator_;
+  std::vector<PathProfile> paths_;
+};
+
+}  // namespace ibus::prof
+
+#endif  // SRC_PROF_PROFILER_H_

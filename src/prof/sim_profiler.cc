@@ -1,0 +1,78 @@
+#include "src/prof/sim_profiler.h"
+
+#include <cstdio>
+#include <string_view>
+
+namespace ibus::prof {
+
+void EventCoreProfiler::OnEventDispatched(const char* kind, SimTime at) {
+  // Hot hook: one map lookup per simulator event. The heterogeneous find keeps
+  // steady-state dispatch allocation-free; only a first-seen kind inserts.
+  std::string_view key(kind);
+  auto it = counts_.find(key);
+  if (it == counts_.end()) {
+    counts_.emplace(std::string(key), 1);
+  } else {
+    it->second++;
+  }
+  total_++;
+  if (!any_) {
+    first_at_ = at;
+    any_ = true;
+  }
+  last_at_ = at;
+}
+
+double EventCoreProfiler::WindowSeconds() const {
+  if (!any_ || last_at_ <= first_at_) {
+    return 0.0;
+  }
+  return static_cast<double>(last_at_ - first_at_) / 1e6;
+}
+
+double EventCoreProfiler::RatePerSec(const std::string& kind) const {
+  double secs = WindowSeconds();
+  if (secs <= 0.0) {
+    return 0.0;
+  }
+  auto it = counts_.find(kind);
+  if (it == counts_.end()) {
+    return 0.0;
+  }
+  return static_cast<double>(it->second) / secs;
+}
+
+std::string EventCoreProfiler::RenderText() const {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "event core: %llu events over %lld us\n",
+                static_cast<unsigned long long>(total_),
+                static_cast<long long>(any_ ? last_at_ - first_at_ : 0));
+  out += buf;
+  for (const auto& [kind, count] : counts_) {
+    std::snprintf(buf, sizeof(buf), "  %-24s %8llu  %10.1f/s\n", kind.c_str(),
+                  static_cast<unsigned long long>(count), RatePerSec(kind));
+    out += buf;
+  }
+  return out;
+}
+
+std::string EventCoreProfiler::RenderJson() const {
+  std::string out = "{\"total\":" + std::to_string(total_) +
+                    ",\"window_us\":" + std::to_string(any_ ? last_at_ - first_at_ : 0) +
+                    ",\"kinds\":{";
+  bool first = true;
+  char buf[64];
+  for (const auto& [kind, count] : counts_) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    std::snprintf(buf, sizeof(buf), "%.1f", RatePerSec(kind));
+    out += "\"" + kind + "\":{\"count\":" + std::to_string(count) + ",\"per_sec\":" + buf + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace ibus::prof

@@ -1,0 +1,51 @@
+// Event-core profiler: a SimObserver that counts every dispatched simulator
+// event by kind ("net.conn_deliver", "proto.heartbeat", ...) and reports
+// deterministic rates over the observed window. This is the sim-side third of
+// busprof's observability plane, next to the critical-path stage decomposition
+// and the queue-occupancy gauges.
+#ifndef SRC_PROF_SIM_PROFILER_H_
+#define SRC_PROF_SIM_PROFILER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/sim/simulator.h"
+
+namespace ibus::prof {
+
+// Counts dispatched events per kind. Attach with sim.SetObserver(&profiler);
+// detach (SetObserver(nullptr)) before destroying it. Deterministic: kinds are
+// compile-time string literals and the map orders them lexicographically.
+class EventCoreProfiler : public SimObserver {
+ public:
+  void OnEventDispatched(const char* kind, SimTime at) override;
+
+  uint64_t total_events() const { return total_; }
+  // Observed window [first, last] dispatch times; 0/0 before any event.
+  SimTime first_at_us() const { return first_at_; }
+  SimTime last_at_us() const { return last_at_; }
+  const std::map<std::string, uint64_t, std::less<>>& counts() const { return counts_; }
+
+  // Events/second over the observed window for one kind (0 when the window is
+  // empty or degenerate).
+  double RatePerSec(const std::string& kind) const;
+
+  // One line per kind: "  <kind>  <count>  <rate>/s" sorted by kind.
+  std::string RenderText() const;
+  // JSON object: {"total":N,"window_us":W,"kinds":{"<kind>":{"count":..,"per_sec":..},..}}
+  std::string RenderJson() const;
+
+ private:
+  double WindowSeconds() const;
+
+  std::map<std::string, uint64_t, std::less<>> counts_;
+  uint64_t total_ = 0;
+  SimTime first_at_ = 0;
+  SimTime last_at_ = 0;
+  bool any_ = false;
+};
+
+}  // namespace ibus::prof
+
+#endif  // SRC_PROF_SIM_PROFILER_H_

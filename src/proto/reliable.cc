@@ -32,6 +32,8 @@ ReliableSender::ReliableSender(Simulator* sim, UdpSocket* socket, Port dst_port,
   retransmits_ = metrics->GetCounter(kMetricSenderRetransmits);
   naks_received_ = metrics->GetCounter(kMetricSenderNaksReceived);
   heartbeats_sent_ = metrics->GetCounter(kMetricSenderHeartbeats);
+  retained_depth_ = metrics->GetQueueDepth(kMetricSenderRetainedDepth);
+  batch_depth_ = metrics->GetQueueDepth(kMetricSenderBatchDepth);
 }
 
 ReliableSender::~ReliableSender() { *alive_ = false; }
@@ -66,6 +68,7 @@ Status ReliableSender::Publish(Bytes message) {
     }
     batch_bytes_ += packed;
     batch_.push_back(std::move(message));  // hotlint: allow(hot-container-growth) -- batch buffer: amortized growth, flushed every batch window
+    batch_depth_.Set(static_cast<int64_t>(batch_.size()));
     if (batch_bytes_ >= config_.batch_max_bytes) {
       Flush();
     }
@@ -101,19 +104,23 @@ void ReliableSender::Flush() {
   batch_.clear();
   batch_bytes_ = 0;
   batch_first_seq_ = 0;
+  batch_depth_.Set(0);
 }
 
 void ReliableSender::ScheduleBatchFlush() {
   if (batch_timer_ != 0) {
     return;
   }
-  batch_timer_ = sim_->ScheduleAfter(config_.batch_delay_us, [this, alive = alive_]() {
-    if (!*alive) {
-      return;
-    }
-    batch_timer_ = 0;
-    Flush();
-  });
+  batch_timer_ = sim_->ScheduleAfter(
+      config_.batch_delay_us,
+      [this, alive = alive_]() {
+        if (!*alive) {
+          return;
+        }
+        batch_timer_ = 0;
+        Flush();
+      },
+      "proto.batch_flush");
 }
 
 Status ReliableSender::SendMessageAsPackets(uint64_t seq, const Bytes& message) {
@@ -148,6 +155,7 @@ void ReliableSender::Retain(uint64_t seq, Bytes message) {
     last_retransmit_.erase(retained_.front().first);
     retained_.pop_front();
   }
+  retained_depth_.Set(static_cast<int64_t>(retained_.size()));
 }
 
 void ReliableSender::HandleNak(const NakPacket& nak, HostId /*from_host*/,
@@ -192,16 +200,19 @@ void ReliableSender::ScheduleHeartbeat() {  // hotlint: allow(hot-recursion) -- 
     return;
   }
   heartbeat_scheduled_ = true;
-  sim_->ScheduleAfter(config_.heartbeat_interval_us, [this, alive = alive_]() {
-    if (!*alive) {
-      return;
-    }
-    heartbeat_scheduled_ = false;
-    SendHeartbeat();
-    if (sim_->Now() - last_activity_ < config_.heartbeat_idle_cutoff_us) {
-      ScheduleHeartbeat();
-    }
-  });
+  sim_->ScheduleAfter(
+      config_.heartbeat_interval_us,
+      [this, alive = alive_]() {
+        if (!*alive) {
+          return;
+        }
+        heartbeat_scheduled_ = false;
+        SendHeartbeat();
+        if (sim_->Now() - last_activity_ < config_.heartbeat_idle_cutoff_us) {
+          ScheduleHeartbeat();
+        }
+      },
+      "proto.heartbeat");
 }
 
 void ReliableSender::SendHeartbeat() {
@@ -236,6 +247,8 @@ ReliableReceiver::ReliableReceiver(Simulator* sim, UdpSocket* socket,
   duplicates_dropped_ = metrics->GetCounter(kMetricReceiverDuplicates);
   naks_sent_ = metrics->GetCounter(kMetricReceiverNaksSent);
   gaps_ = metrics->GetCounter(kMetricReceiverGaps);
+  ready_depth_ = metrics->GetQueueDepth(kMetricReceiverReadyDepth);
+  partials_depth_ = metrics->GetQueueDepth(kMetricReceiverPartialsDepth);
 }
 
 ReliableReceiver::~ReliableReceiver() { *alive_ = false; }
@@ -260,15 +273,18 @@ ReliableReceiver::Stream& ReliableReceiver::EnsureStarted(uint64_t stream_id) {
   if (!s.started) {
     s.started = true;
     s.syncing = true;
-    sim_->ScheduleAfter(config_.sync_hold_us, [this, stream_id, alive = alive_]() {
-      if (!*alive) {
-        return;
-      }
-      auto it = streams_.find(stream_id);
-      if (it != streams_.end() && it->second.syncing) {
-        FinishSync(stream_id, it->second);
-      }
-    });
+    sim_->ScheduleAfter(
+        config_.sync_hold_us,
+        [this, stream_id, alive = alive_]() {
+          if (!*alive) {
+            return;
+          }
+          auto it = streams_.find(stream_id);
+          if (it != streams_.end() && it->second.syncing) {
+            FinishSync(stream_id, it->second);
+          }
+        },
+        "proto.sync_hold");
   }
   return s;
 }
@@ -287,6 +303,7 @@ void ReliableReceiver::HandleData(const DataPacket& pkt, HostId from_host, Port 
   Partial& partial = s.partials[pkt.seq];
   if (partial.chunks.empty()) {
     partial.chunks.resize(pkt.frag_count);  // hotlint: allow(hot-container-growth) -- this resize IS the one-shot preallocation of the reassembly buffer
+    partials_depth_.Set(++partials_total_);
   }
   if (pkt.frag_count != partial.chunks.size()) {
     return;  // inconsistent retransmit; ignore
@@ -308,6 +325,7 @@ void ReliableReceiver::HandleData(const DataPacket& pkt, HostId from_host, Port 
       whole.insert(whole.end(), c.begin(), c.end());  // hotlint: allow(hot-container-growth) -- reassembly concatenation into the rebuilt message
     }
     s.partials.erase(pkt.seq);
+    partials_depth_.Set(--partials_total_);
     Ingest(pkt.stream_id, pkt.seq, std::move(whole), from_host, from_port);
   } else {
     // A fragmented message implies in-flight sequences; watch for loss.
@@ -366,6 +384,7 @@ void ReliableReceiver::HandleHeartbeat(const HeartbeatPacket& pkt, HostId from_h
     // Drop stale partial state below the new horizon.
     while (!s.partials.empty() && s.partials.begin()->first < s.expected) {
       s.partials.erase(s.partials.begin());
+      partials_depth_.Set(--partials_total_);
     }
     DrainReady(pkt.stream_id, s);
   }
@@ -383,6 +402,7 @@ void ReliableReceiver::Ingest(uint64_t stream_id, uint64_t seq, Bytes message,
   }
   s.highest_seen = std::max(s.highest_seen, seq);
   s.ready.emplace(seq, std::move(message));  // hotlint: allow(hot-container-growth) -- out-of-order staging map, bounded by the receive window
+  ready_depth_.Set(++ready_total_);
   if (s.syncing) {
     return;  // delivery deferred until the hold window closes
   }
@@ -417,16 +437,19 @@ void ReliableReceiver::DrainReady(uint64_t stream_id, Stream& s) {
   while (!s.ready.empty() && s.ready.begin()->first <= s.expected) {
     if (s.ready.begin()->first < s.expected) {
       s.ready.erase(s.ready.begin());
+      ready_depth_.Set(--ready_total_);
       continue;
     }
     Bytes message = std::move(s.ready.begin()->second);
     s.ready.erase(s.ready.begin());
+    ready_depth_.Set(--ready_total_);
     s.expected++;
     delivered_->Inc();
     deliver_(stream_id, message);
   }
   while (!s.partials.empty() && s.partials.begin()->first < s.expected) {
     s.partials.erase(s.partials.begin());
+    partials_depth_.Set(--partials_total_);
   }
 }
 
@@ -436,12 +459,15 @@ void ReliableReceiver::MaybeScheduleNak(uint64_t stream_id) {
     return;
   }
   s.nak_scheduled = true;
-  sim_->ScheduleAfter(config_.nak_delay_us, [this, stream_id, alive = alive_]() {
-    if (!*alive) {
-      return;
-    }
-    NakScan(stream_id);
-  });
+  sim_->ScheduleAfter(
+      config_.nak_delay_us,
+      [this, stream_id, alive = alive_]() {
+        if (!*alive) {
+          return;
+        }
+        NakScan(stream_id);
+      },
+      "proto.nak_scan");
 }
 
 void ReliableReceiver::NakScan(uint64_t stream_id) {  // hotlint: allow(hot-recursion) -- self-reschedules via a simulator timer: one frame per scan interval
@@ -475,11 +501,14 @@ void ReliableReceiver::NakScan(uint64_t stream_id) {  // hotlint: allow(hot-recu
     if (!s.partials.empty()) {
       // Nothing to request yet, but reassemblies are pending: keep watching so a
       // stalled partial (lost final fragment) eventually gets NAKed.
-      sim_->ScheduleAfter(config_.nak_retry_us, [this, stream_id, alive = alive_]() {
-        if (*alive) {
-          NakScan(stream_id);
-        }
-      });
+      sim_->ScheduleAfter(
+          config_.nak_retry_us,
+          [this, stream_id, alive = alive_]() {
+            if (*alive) {
+              NakScan(stream_id);
+            }
+          },
+          "proto.nak_scan");
       return;
     }
     s.nak_scheduled = false;
@@ -524,12 +553,15 @@ void ReliableReceiver::NakScan(uint64_t stream_id) {  // hotlint: allow(hot-recu
     s.gap_head_seq = missing.front();
     s.cur_nak_retry = config_.nak_retry_us;
   }
-  sim_->ScheduleAfter(s.cur_nak_retry, [this, stream_id, alive = alive_]() {
-    if (!*alive) {
-      return;
-    }
-    NakScan(stream_id);
-  });
+  sim_->ScheduleAfter(
+      s.cur_nak_retry,
+      [this, stream_id, alive = alive_]() {
+        if (!*alive) {
+          return;
+        }
+        NakScan(stream_id);
+      },
+      "proto.nak_scan");
 }
 
 }  // namespace ibus

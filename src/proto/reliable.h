@@ -80,6 +80,12 @@ inline constexpr char kMetricReceiverDelivered[] = "proto.receiver.delivered";
 inline constexpr char kMetricReceiverDuplicates[] = "proto.receiver.duplicates_dropped";
 inline constexpr char kMetricReceiverNaksSent[] = "proto.receiver.naks_sent";
 inline constexpr char kMetricReceiverGaps[] = "proto.receiver.gaps";
+// Queue-occupancy gauges (each name also has a monotone "<name>.hwm" twin; see
+// telemetry::QueueDepthGauge). These are what busprof's queue plane reads.
+inline constexpr char kMetricSenderRetainedDepth[] = "proto.sender.retained_depth";
+inline constexpr char kMetricSenderBatchDepth[] = "proto.sender.batch_depth";
+inline constexpr char kMetricReceiverReadyDepth[] = "proto.receiver.ready_depth";
+inline constexpr char kMetricReceiverPartialsDepth[] = "proto.receiver.partials_depth";
 
 // One broadcast stream. The daemon owns exactly one sender; `stream_id` must be unique
 // across the bus (host id works). `metrics` (optional) is the registry the counters
@@ -141,6 +147,8 @@ class ReliableSender {
   telemetry::Counter* retransmits_;
   telemetry::Counter* naks_received_;
   telemetry::Counter* heartbeats_sent_;
+  telemetry::QueueDepthGauge retained_depth_{nullptr, nullptr};
+  telemetry::QueueDepthGauge batch_depth_{nullptr, nullptr};
   telemetry::FlightRecorder* recorder_;
   std::shared_ptr<bool> alive_;
 };
@@ -223,6 +231,12 @@ class ReliableReceiver {
   telemetry::Counter* duplicates_dropped_;
   telemetry::Counter* naks_sent_;
   telemetry::Counter* gaps_;
+  // Aggregate staging occupancy across all streams (the per-site deltas keep the
+  // gauge updates allocation-free).
+  int64_t ready_total_ = 0;
+  int64_t partials_total_ = 0;
+  telemetry::QueueDepthGauge ready_depth_{nullptr, nullptr};
+  telemetry::QueueDepthGauge partials_depth_{nullptr, nullptr};
   telemetry::FlightRecorder* recorder_;
   std::shared_ptr<bool> alive_;
 };

@@ -48,17 +48,20 @@ void RemoteService::Call(const std::string& operation, std::vector<Value> args, 
   pending.done = std::move(done);
   pending.sent_at = sim_->Now();
   const uint64_t id = req.request_id;
-  pending.timeout_event = sim_->ScheduleAfter(call_timeout_, [this, id, alive = alive_]() {
-    if (!*alive) {
-      return;
-    }
-    auto it = pending_.find(id);
-    if (it != pending_.end()) {
-      CallDone done = std::move(it->second.done);
-      pending_.erase(it);
-      done(DeadlineExceeded("rmi call timed out"));
-    }
-  });
+  pending.timeout_event = sim_->ScheduleAfter(
+      call_timeout_,
+      [this, id, alive = alive_]() {
+        if (!*alive) {
+          return;
+        }
+        auto it = pending_.find(id);
+        if (it != pending_.end()) {
+          CallDone done = std::move(it->second.done);
+          pending_.erase(it);
+          done(DeadlineExceeded("rmi call timed out"));
+        }
+      },
+      "rmi.call_timeout");
   pending_.emplace(id, std::move(pending));
   Status s = conn_->Send(FrameMessage(kRmiRequestFrame, req.Marshal()));
   if (!s.ok()) {
@@ -95,17 +98,20 @@ void RemoteService::Describe(std::function<void(Result<TypeDescriptor>)> done) {
     done(TypeDescriptor::Unmarshal(r->AsBytes()));
   };
   const uint64_t id = req.request_id;
-  pending.timeout_event = sim_->ScheduleAfter(call_timeout_, [this, id, alive = alive_]() {
-    if (!*alive) {
-      return;
-    }
-    auto it = pending_.find(id);
-    if (it != pending_.end()) {
-      CallDone done = std::move(it->second.done);
-      pending_.erase(it);
-      done(DeadlineExceeded("rmi describe timed out"));
-    }
-  });
+  pending.timeout_event = sim_->ScheduleAfter(
+      call_timeout_,
+      [this, id, alive = alive_]() {
+        if (!*alive) {
+          return;
+        }
+        auto it = pending_.find(id);
+        if (it != pending_.end()) {
+          CallDone done = std::move(it->second.done);
+          pending_.erase(it);
+          done(DeadlineExceeded("rmi describe timed out"));
+        }
+      },
+      "rmi.call_timeout");
   pending_.emplace(id, std::move(pending));
   conn_->Send(FrameMessage(kRmiRequestFrame, req.Marshal()));
 }

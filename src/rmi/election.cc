@@ -61,20 +61,23 @@ void Election::StartElection() {
   m.type_name = kCandidacyType;
   m.payload = IdPayload(member_id_);
   bus_->PublishInternal(std::move(m));
-  bus_->sim()->ScheduleAfter(config_.candidacy_window_us, [this, alive = alive_]() {
-    if (!*alive) {
-      return;
-    }
-    electing_ = false;
-    if (highest_seen_ <= member_id_) {
-      BecomeLeader();
-    } else {
-      // A rival with a higher id is out there; wait for its heartbeats.
-      leader_id_ = highest_seen_;
-      last_leader_heartbeat_ = bus_->sim()->Now();
-      WatchLeader();
-    }
-  });
+  bus_->sim()->ScheduleAfter(
+      config_.candidacy_window_us,
+      [this, alive = alive_]() {
+        if (!*alive) {
+          return;
+        }
+        electing_ = false;
+        if (highest_seen_ <= member_id_) {
+          BecomeLeader();
+        } else {
+          // A rival with a higher id is out there; wait for its heartbeats.
+          leader_id_ = highest_seen_;
+          last_leader_heartbeat_ = bus_->sim()->Now();
+          WatchLeader();
+        }
+      },
+      "rmi.election");
 }
 
 void Election::HandleMessage(const Message& m) {
@@ -149,24 +152,30 @@ void Election::SendHeartbeat() {
   m.type_name = kHeartbeatType;
   m.payload = IdPayload(member_id_);
   bus_->PublishInternal(std::move(m));
-  bus_->sim()->ScheduleAfter(config_.heartbeat_interval_us, [this, alive = alive_]() {
-    if (*alive && is_leader_) {
-      SendHeartbeat();
-    }
-  });
+  bus_->sim()->ScheduleAfter(
+      config_.heartbeat_interval_us,
+      [this, alive = alive_]() {
+        if (*alive && is_leader_) {
+          SendHeartbeat();
+        }
+      },
+      "rmi.election");
 }
 
 void Election::WatchLeader() {
-  bus_->sim()->ScheduleAfter(config_.leader_timeout_us, [this, alive = alive_]() {
-    if (!*alive || is_leader_ || electing_) {
-      return;
-    }
-    if (bus_->sim()->Now() - last_leader_heartbeat_ >= config_.leader_timeout_us) {
-      StartElection();  // the leader went silent
-    } else {
-      WatchLeader();
-    }
-  });
+  bus_->sim()->ScheduleAfter(
+      config_.leader_timeout_us,
+      [this, alive = alive_]() {
+        if (!*alive || is_leader_ || electing_) {
+          return;
+        }
+        if (bus_->sim()->Now() - last_leader_heartbeat_ >= config_.leader_timeout_us) {
+          StartElection();  // the leader went silent
+        } else {
+          WatchLeader();
+        }
+      },
+      "rmi.election");
 }
 
 }  // namespace ibus

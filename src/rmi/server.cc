@@ -116,16 +116,18 @@ void RmiServer::HandleRequest(const ConnectionPtr& conn, const Bytes& bytes) {
   }
   // Charge the configured service time, then reply (exactly-once under normal
   // operation; a crash before the reply leaves the client with at-most-once).
-  bus_->sim()->ScheduleAfter(config_.service_time_us,
-                             [this, conn, reply = std::move(reply), alive = alive_]() {
-                               if (!*alive) {
-                                 return;
-                               }
-                               in_flight_--;
-                               if (conn->open()) {
-                                 conn->Send(FrameMessage(kRmiReplyFrame, reply.Marshal()));
-                               }
-                             });
+  bus_->sim()->ScheduleAfter(
+      config_.service_time_us,
+      [this, conn, reply = std::move(reply), alive = alive_]() {
+        if (!*alive) {
+          return;
+        }
+        in_flight_--;
+        if (conn->open()) {
+          conn->Send(FrameMessage(kRmiReplyFrame, reply.Marshal()));
+        }
+      },
+      "rmi.service_time");
 }
 
 }  // namespace ibus

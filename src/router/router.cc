@@ -18,7 +18,10 @@ InfoRouter::InfoRouter(BusClient* bus, std::string name, const RouterConfig& con
       name_(std::move(name)),
       config_(config),
       recorder_(name_, config.flight_recorder_capacity),
-      alive_(std::make_shared<bool>(true)) {}
+      alive_(std::make_shared<bool>(true)) {
+  link_backlog_ = metrics_.GetQueueDepth(kMetricRouterLinkBacklogUs);
+  peer_subs_gauge_ = metrics_.GetQueueDepth(kMetricRouterPeerSubs);
+}
 
 SubjectFlow& InfoRouter::FlowFor(std::string_view subject) {
   std::string_view root = subject.substr(0, subject.find(kSubjectSeparator));
@@ -92,11 +95,14 @@ void InfoRouter::Dial() {
           return;
         }
         if (config_.redial_interval_us > 0) {
-          bus_->sim()->ScheduleAfter(config_.redial_interval_us, [this, alive]() {
-            if (*alive) {
-              Dial();
-            }
-          });
+          bus_->sim()->ScheduleAfter(
+              config_.redial_interval_us,
+              [this, alive]() {
+                if (*alive) {
+                  Dial();
+                }
+              },
+              "router.redial");
         }
       });
 }
@@ -163,11 +169,14 @@ void InfoRouter::HandleLinkClosed() {
   // Peer subscriptions are kept: messages simply stop flowing until a reconnect, and
   // the next advert re-syncs the peer. The dialing side re-establishes the link.
   if (peer_host_ != kNoHost && config_.redial_interval_us > 0) {
-    bus_->sim()->ScheduleAfter(config_.redial_interval_us, [this, alive = alive_]() {
-      if (*alive) {
-        Dial();
-      }
-    });
+    bus_->sim()->ScheduleAfter(
+        config_.redial_interval_us,
+        [this, alive = alive_]() {
+          if (*alive) {
+            Dial();
+          }
+        },
+        "router.redial");
   }
 }
 
@@ -202,22 +211,25 @@ void InfoRouter::SendAdvert() {
     return;  // coalesce bursts (startup sweeps arrive as many events)
   }
   advert_pending_ = true;
-  bus_->sim()->ScheduleAfter(kMillisecond, [this, alive = alive_]() {
-    if (!*alive) {
-      return;
-    }
-    advert_pending_ = false;
-    if (link_ == nullptr || !link_->open()) {
-      return;
-    }
-    WireWriter w;
-    w.PutVarint(local_patterns_.size());
-    for (const auto& [pattern, refs] : local_patterns_) {
-      w.PutString(pattern);
-    }
-    link_->Send(FrameMessage(kLinkAdvertFrame, w.Take()));
-    stats_.adverts_sent++;
-  });
+  bus_->sim()->ScheduleAfter(
+      kMillisecond,
+      [this, alive = alive_]() {
+        if (!*alive) {
+          return;
+        }
+        advert_pending_ = false;
+        if (link_ == nullptr || !link_->open()) {
+          return;
+        }
+        WireWriter w;
+        w.PutVarint(local_patterns_.size());
+        for (const auto& [pattern, refs] : local_patterns_) {
+          w.PutString(pattern);
+        }
+        link_->Send(FrameMessage(kLinkAdvertFrame, w.Take()));
+        stats_.adverts_sent++;
+      },
+      "router.advert");
 }
 
 void InfoRouter::HandleLinkMessage(const Bytes& bytes) {
@@ -273,6 +285,7 @@ void InfoRouter::ApplyPeerAdvert(const std::vector<std::string>& patterns) {
     }
   }
   stats_.remote_patterns = peer_subs_.size();
+  peer_subs_gauge_.Set(static_cast<int64_t>(peer_subs_.size()));
 }
 
 std::string InfoRouter::InverseRewritePattern(const std::string& pattern) const {
@@ -328,6 +341,7 @@ void InfoRouter::ForwardToPeer(const Message& m) {  // hotlint: hot
   }
   link_->Send(FrameMessage(kLinkMessageFrame, marshalled));
   stats_.forwarded++;
+  link_backlog_.Set(link_->BacklogUs());
   SubjectFlow& flow = FlowFor(out.subject);
   flow.publishes++;
   flow.bytes_in += marshalled.size();

@@ -26,6 +26,7 @@
 #include "src/sim/stable_store.h"
 #include "src/subject/subject.h"
 #include "src/telemetry/flight_recorder.h"
+#include "src/telemetry/metrics.h"
 
 namespace ibus {
 
@@ -60,6 +61,11 @@ struct RouterConfig {
   SimTime redial_interval_us = 2 * 1000 * 1000;
 };
 
+// Registry names of the router-owned gauges (see InfoRouter::metrics()). Both
+// carry a monotone "<name>.hwm" twin.
+inline constexpr char kMetricRouterLinkBacklogUs[] = "router.link_backlog_us";
+inline constexpr char kMetricRouterPeerSubs[] = "router.peer_subs";
+
 struct RouterStats {
   uint64_t forwarded = 0;       // messages sent to the peer
   uint64_t republished = 0;     // messages received from the peer and republished
@@ -92,6 +98,13 @@ class InfoRouter {
 
   telemetry::FlightRecorder* flight_recorder() { return &recorder_; }
   const telemetry::FlightRecorder& flight_recorder() const { return recorder_; }
+
+  // Router-owned gauges: "router.link_backlog_us" (+ ".hwm") tracks how far the
+  // WAN link's outbound FIFO runs ahead of now at each forward, and
+  // "router.peer_subs" the peer-requested mirror count. busprof's queue plane
+  // reads these next to the daemon's "proto.*" depths.
+  telemetry::MetricsRegistry* metrics() { return &metrics_; }
+  const telemetry::MetricsRegistry& metrics() const { return metrics_; }
 
  private:
   InfoRouter(BusClient* bus, std::string name, const RouterConfig& config);
@@ -145,6 +158,9 @@ class InfoRouter {
   std::vector<uint64_t> control_subs_;
   RouterStats stats_;
   std::map<std::string, SubjectFlow, std::less<>> flows_;
+  telemetry::MetricsRegistry metrics_;
+  telemetry::QueueDepthGauge link_backlog_{nullptr, nullptr};
+  telemetry::QueueDepthGauge peer_subs_gauge_{nullptr, nullptr};
   telemetry::FlightRecorder recorder_;
   std::shared_ptr<bool> alive_;
 };

@@ -23,6 +23,14 @@ Bytes DaemonStatsSnapshot::Marshal() const {
   w.PutU64(retransmits);
   w.PutU64(receiver_gaps);
   w.PutU64(sub_churn);
+  w.PutU64(sender_retained_depth);
+  w.PutU64(sender_retained_hwm);
+  w.PutU64(sender_batch_depth);
+  w.PutU64(sender_batch_hwm);
+  w.PutU64(receiver_ready_depth);
+  w.PutU64(receiver_ready_hwm);
+  w.PutU64(receiver_partials_depth);
+  w.PutU64(receiver_partials_hwm);
   w.PutVarint(flows.size());
   for (const SubjectFlowEntry& f : flows) {
     w.PutString(f.prefix);
@@ -54,11 +62,19 @@ Result<DaemonStatsSnapshot> DaemonStatsSnapshot::Unmarshal(const Bytes& b) {
   auto retrans = r.ReadU64();
   auto gaps = r.ReadU64();
   auto churn = r.ReadU64();
+  // v3 queue-occupancy plane: depth/hwm pairs in declaration order.
+  Result<uint64_t> queue_fields[8] = {r.ReadU64(), r.ReadU64(), r.ReadU64(), r.ReadU64(),
+                                      r.ReadU64(), r.ReadU64(), r.ReadU64(), r.ReadU64()};
   auto flow_count = r.ReadVarint();
   if (!host.ok() || !at.ok() || !pubs.ok() || !dispatched.ok() || !deliveries.ok() ||
       !subs.ok() || !packets.ok() || !retrans.ok() || !gaps.ok() || !churn.ok() ||
       !flow_count.ok()) {
     return DataLoss("stats snapshot: truncated");
+  }
+  for (const auto& f : queue_fields) {
+    if (!f.ok()) {
+      return DataLoss("stats snapshot: truncated");
+    }
   }
   s.host_name = host.take();
   s.reported_at = *at;
@@ -70,6 +86,14 @@ Result<DaemonStatsSnapshot> DaemonStatsSnapshot::Unmarshal(const Bytes& b) {
   s.retransmits = *retrans;
   s.receiver_gaps = *gaps;
   s.sub_churn = *churn;
+  s.sender_retained_depth = *queue_fields[0];
+  s.sender_retained_hwm = *queue_fields[1];
+  s.sender_batch_depth = *queue_fields[2];
+  s.sender_batch_hwm = *queue_fields[3];
+  s.receiver_ready_depth = *queue_fields[4];
+  s.receiver_ready_hwm = *queue_fields[5];
+  s.receiver_partials_depth = *queue_fields[6];
+  s.receiver_partials_hwm = *queue_fields[7];
   s.flows.reserve(*flow_count);
   for (uint64_t i = 0; i < *flow_count; ++i) {
     SubjectFlowEntry f;
@@ -120,6 +144,20 @@ void StatsReporter::PublishSnapshot() {
   s.retransmits = metrics.CounterValue(kMetricSenderRetransmits);
   s.receiver_gaps = metrics.CounterValue(kMetricReceiverGaps);
   s.sub_churn = metrics.CounterValue(kMetricSubChurn);
+  auto depth = [&metrics](const char* name) {
+    return static_cast<uint64_t>(metrics.GaugeValue(name));
+  };
+  auto hwm = [&metrics](const char* name) {
+    return static_cast<uint64_t>(metrics.GaugeValue(std::string(name) + ".hwm"));
+  };
+  s.sender_retained_depth = depth(kMetricSenderRetainedDepth);
+  s.sender_retained_hwm = hwm(kMetricSenderRetainedDepth);
+  s.sender_batch_depth = depth(kMetricSenderBatchDepth);
+  s.sender_batch_hwm = hwm(kMetricSenderBatchDepth);
+  s.receiver_ready_depth = depth(kMetricReceiverReadyDepth);
+  s.receiver_ready_hwm = hwm(kMetricReceiverReadyDepth);
+  s.receiver_partials_depth = depth(kMetricReceiverPartialsDepth);
+  s.receiver_partials_hwm = hwm(kMetricReceiverPartialsDepth);
   for (const auto& [prefix, flow] : daemon_->subject_flows()) {
     SubjectFlowEntry f;
     f.prefix = prefix;
@@ -136,11 +174,14 @@ void StatsReporter::PublishSnapshot() {
   if (bus_->PublishInternal(std::move(m)).ok()) {
     reports_++;
   }
-  bus_->sim()->ScheduleAfter(interval_us_, [this, alive = alive_]() {
-    if (*alive) {
-      PublishSnapshot();
-    }
-  });
+  bus_->sim()->ScheduleAfter(
+      interval_us_,
+      [this, alive = alive_]() {
+        if (*alive) {
+          PublishSnapshot();
+        }
+      },
+      "stats.report");
 }
 
 Result<std::unique_ptr<StatsCollector>> StatsCollector::Create(BusClient* bus) {

@@ -35,12 +35,23 @@ struct DaemonStatsSnapshot {
   uint64_t retransmits = 0;
   uint64_t receiver_gaps = 0;
   uint64_t sub_churn = 0;                // v2: lifetime subscribe/unsubscribe ops
+  // v3: queue-occupancy plane — live depth plus monotone high-watermark for each
+  // daemon-side protocol queue (the "proto.*_depth" gauges in src/proto/reliable.h).
+  uint64_t sender_retained_depth = 0;
+  uint64_t sender_retained_hwm = 0;
+  uint64_t sender_batch_depth = 0;
+  uint64_t sender_batch_hwm = 0;
+  uint64_t receiver_ready_depth = 0;
+  uint64_t receiver_ready_hwm = 0;
+  uint64_t receiver_partials_depth = 0;
+  uint64_t receiver_partials_hwm = 0;
   std::vector<SubjectFlowEntry> flows;   // v2: per-subject-prefix flow accounting
 
   // Versioned wire format (v1 had no version byte and no churn/flow fields; the
-  // format change is breaking, hence the explicit version from v2 on). Unmarshal
-  // rejects unknown versions with kUnimplemented.
-  static constexpr uint8_t kWireVersion = 2;
+  // format change is breaking, hence the explicit version from v2 on; v3 adds the
+  // eight queue-occupancy fields). Unmarshal rejects unknown versions with
+  // kUnimplemented.
+  static constexpr uint8_t kWireVersion = 3;
   Bytes Marshal() const;
   static Result<DaemonStatsSnapshot> Unmarshal(const Bytes& b);
 };

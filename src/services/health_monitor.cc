@@ -26,12 +26,14 @@ Result<std::unique_ptr<HealthEvaluator>> HealthEvaluator::Create(BusClient* bus,
     return sub.status();
   }
   evaluator->stats_sub_ = *sub;
-  bus->sim()->ScheduleAfter(config.interval_us,
-                            [e = evaluator.get(), alive = evaluator->alive_]() {
-                              if (*alive) {
-                                e->Tick();
-                              }
-                            });
+  bus->sim()->ScheduleAfter(
+      config.interval_us,
+      [e = evaluator.get(), alive = evaluator->alive_]() {
+        if (*alive) {
+          e->Tick();
+        }
+      },
+      "health.tick");
   return evaluator;
 #else
   (void)bus;
@@ -108,11 +110,14 @@ void HealthEvaluator::Tick() {
                  config_.peer_silence_us, config_.peer_silence_us - 1);
   }
 
-  bus_->sim()->ScheduleAfter(config_.interval_us, [this, alive = alive_]() {
-    if (*alive) {
-      Tick();
-    }
-  });
+  bus_->sim()->ScheduleAfter(
+      config_.interval_us,
+      [this, alive = alive_]() {
+        if (*alive) {
+          Tick();
+        }
+      },
+      "health.tick");
 }
 
 void HealthEvaluator::EvaluateRule(RuleState& state, HealthEventKind kind,

@@ -68,6 +68,10 @@ Status Connection::Send(Bytes message) {
   return net_->ConnectionSend(this, std::move(message));
 }
 
+SimTime Connection::BacklogUs() const {
+  return open_ ? net_->ConnectionBacklogUs(this) : 0;
+}
+
 void Connection::Close() {
   if (open_) {
     net_->ConnectionClose(this, /*notify_peer=*/true);
@@ -279,32 +283,35 @@ void Network::DeliverDatagram(Datagram d, SimTime at) {  // hotlint: hot
 
 void Network::DeliverDatagram(Datagram d, SimTime at, PendingTap tap) {  // hotlint: hot
   HostId dst = d.dst_host;
-  sim_->ScheduleAt(at, [this, d = std::move(d), dst, tap, at]() {
-    const Host& h = hosts_.at(dst);
-    if (!h.up || !CanCommunicate(d.src_host, dst)) {
-      stats_.frames_dropped_down++;
-      drop_partition_->Inc();
-      EmitTap(tap, d, FrameFate::kDroppedPartition, at);
-      return;
-    }
-    auto it = h.sockets.find(d.dst_port);
-    if (it == h.sockets.end()) {
-      // No listener: silently dropped, like real UDP.
-      stats_.frames_dropped_no_listener++;
-      drop_no_listener_->Inc();
-      EmitTap(tap, d, FrameFate::kDroppedNoListener, at);
-      return;
-    }
-    stats_.frames_delivered++;
-    FrameFate fate = tap.duplicate        ? FrameFate::kDuplicated
-                     : tap.queued_us > 0  ? FrameFate::kQueuedDelay
-                                          : FrameFate::kDelivered;
-    EmitTap(tap, d, fate, at);
-    UdpSocket* sock = it->second;
-    if (sock->handler_) {
-      sock->handler_(d);
-    }
-  });
+  sim_->ScheduleAt(
+      at,
+      [this, d = std::move(d), dst, tap, at]() {
+        const Host& h = hosts_.at(dst);
+        if (!h.up || !CanCommunicate(d.src_host, dst)) {
+          stats_.frames_dropped_down++;
+          drop_partition_->Inc();
+          EmitTap(tap, d, FrameFate::kDroppedPartition, at);
+          return;
+        }
+        auto it = h.sockets.find(d.dst_port);
+        if (it == h.sockets.end()) {
+          // No listener: silently dropped, like real UDP.
+          stats_.frames_dropped_no_listener++;
+          drop_no_listener_->Inc();
+          EmitTap(tap, d, FrameFate::kDroppedNoListener, at);
+          return;
+        }
+        stats_.frames_delivered++;
+        FrameFate fate = tap.duplicate        ? FrameFate::kDuplicated
+                         : tap.queued_us > 0  ? FrameFate::kQueuedDelay
+                                              : FrameFate::kDelivered;
+        EmitTap(tap, d, fate, at);
+        UdpSocket* sock = it->second;
+        if (sock->handler_) {
+          sock->handler_(d);
+        }
+      },
+      "net.datagram_deliver");
 }
 
 Status Network::SendDatagram(const Datagram& d) {  // hotlint: hot
@@ -484,25 +491,39 @@ void Network::Connect(HostId src, HostId dst, Port dst_port,
                            segments_.at(dst_seg).config.propagation_us;
   // Three-way handshake: 1.5 round trips before the connection is usable.
   SimTime handshake = 3 * prop;
-  sim_->ScheduleAfter(handshake, [this, src, dst, dst_port, done = std::move(done)]() {
-    if (!CanCommunicate(src, dst)) {
-      done(Unavailable("connect: host unreachable"));
-      return;
-    }
-    const Host& h = hosts_.at(dst);
-    auto it = h.listeners.find(dst_port);
-    if (it == h.listeners.end()) {
-      done(Unavailable("connect: connection refused"));
-      return;
-    }
-    uint64_t id = next_conn_id_++;
-    ConnState state;
-    state.a = ConnectionPtr(new Connection(this, id, src, dst));
-    state.b = ConnectionPtr(new Connection(this, id, dst, src));
-    connections_[id] = state;
-    it->second->handler_(state.b);
-    done(state.a);
-  });
+  sim_->ScheduleAfter(
+      handshake,
+      [this, src, dst, dst_port, done = std::move(done)]() {
+        if (!CanCommunicate(src, dst)) {
+          done(Unavailable("connect: host unreachable"));
+          return;
+        }
+        const Host& h = hosts_.at(dst);
+        auto it = h.listeners.find(dst_port);
+        if (it == h.listeners.end()) {
+          done(Unavailable("connect: connection refused"));
+          return;
+        }
+        uint64_t id = next_conn_id_++;
+        ConnState state;
+        state.a = ConnectionPtr(new Connection(this, id, src, dst));
+        state.b = ConnectionPtr(new Connection(this, id, dst, src));
+        connections_[id] = state;
+        it->second->handler_(state.b);
+        done(state.a);
+      },
+      "net.handshake");
+}
+
+SimTime Network::ConnectionBacklogUs(const Connection* conn) const {
+  auto it = connections_.find(conn->id_);
+  if (it == connections_.end()) {
+    return 0;
+  }
+  const ConnState& state = it->second;
+  const bool from_a = conn == state.a.get();
+  SimTime tail = from_a ? state.a_to_b_tail : state.b_to_a_tail;
+  return tail > sim_->Now() ? tail - sim_->Now() : 0;
 }
 
 Status Network::ConnectionSend(Connection* conn, Bytes message) {
@@ -576,6 +597,13 @@ Status Network::ConnectionSend(Connection* conn, Bytes message) {
       remaining -= chunk;
     } while (remaining > 0);
     delivery = finish + seg.config.propagation_us + extra_prop;
+    // Connections ride the same medium as datagrams, so the segment's configured
+    // jitter delays their arrival too (the FIFO clamp below keeps ordering; tap
+    // records keep the un-jittered wire timing, as jitter models receive-path
+    // scheduling rather than medium occupancy).
+    if (seg.faults.jitter_us > 0) {
+      delivery += static_cast<SimTime>(rng_.NextBelow(seg.faults.jitter_us + 1));
+    }
   }
 
   // Preserve per-direction FIFO ordering.
@@ -585,20 +613,23 @@ Status Network::ConnectionSend(Connection* conn, Bytes message) {
 
   uint64_t id = conn->id_;
   const bool to_b = from_a;
-  sim_->ScheduleAt(delivery, [this, id, to_b, message = std::move(message)]() {
-    auto cit = connections_.find(id);
-    if (cit == connections_.end()) {
-      return;
-    }
-    ConnectionPtr receiver = to_b ? cit->second.b : cit->second.a;
-    if (!CanCommunicate(receiver->local_host(), receiver->remote_host())) {
-      ConnectionClose(receiver.get(), /*notify_peer=*/true);
-      return;
-    }
-    if (receiver->on_message_) {
-      receiver->on_message_(message);
-    }
-  });
+  sim_->ScheduleAt(
+      delivery,
+      [this, id, to_b, message = std::move(message)]() {
+        auto cit = connections_.find(id);
+        if (cit == connections_.end()) {
+          return;
+        }
+        ConnectionPtr receiver = to_b ? cit->second.b : cit->second.a;
+        if (!CanCommunicate(receiver->local_host(), receiver->remote_host())) {
+          ConnectionClose(receiver.get(), /*notify_peer=*/true);
+          return;
+        }
+        if (receiver->on_message_) {
+          receiver->on_message_(message);
+        }
+      },
+      "net.conn_deliver");
   return OkStatus();
 }
 
@@ -616,12 +647,12 @@ void Network::ConnectionClose(Connection* conn, bool notify_peer) {
   ConnectionPtr peer = conn == state.a.get() ? state.b : state.a;
   if (self->on_close_) {
     auto cb = self->on_close_;
-    sim_->ScheduleAfter(0, [cb]() { cb(); });
+    sim_->ScheduleAfter(0, [cb]() { cb(); }, "net.conn_close");
   }
   if (notify_peer && peer->on_close_) {
     SimTime prop = segments_.at(hosts_.at(peer->local_host()).segment).config.propagation_us;
     auto cb = peer->on_close_;
-    sim_->ScheduleAfter(prop, [cb]() { cb(); });
+    sim_->ScheduleAfter(prop, [cb]() { cb(); }, "net.conn_close");
   }
 }
 

@@ -175,6 +175,11 @@ class Connection {
   bool open() const { return open_; }
 
   Status Send(Bytes message);
+  // Outbound FIFO backlog of this side: how far the last in-flight message's
+  // delivery time is ahead of now, i.e. how long a message sent now would queue
+  // behind earlier sends. 0 when idle or closed. Feeds the router's link-backlog
+  // gauge (see src/router).
+  SimTime BacklogUs() const;
   void SetMessageHandler(MessageHandler handler) { on_message_ = std::move(handler); }
   void SetCloseHandler(CloseHandler handler) { on_close_ = std::move(handler); }
   void Close();
@@ -361,6 +366,7 @@ class Network {
   void EmitTap(const PendingTap& tap, const Datagram& d, FrameFate fate, SimTime at);
 
   Status ConnectionSend(Connection* conn, Bytes message);
+  SimTime ConnectionBacklogUs(const Connection* conn) const;
   void ConnectionClose(Connection* conn, bool notify_peer);
   void CloseSocket(UdpSocket* s);
   void CloseListener(Listener* l);

@@ -4,12 +4,13 @@
 
 namespace ibus {
 
-EventId Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {  // hotlint: allow(hot-std-function) -- the event queue stores type-erased callables by design
+EventId Simulator::ScheduleAt(SimTime t, std::function<void()> fn,  // hotlint: allow(hot-std-function) -- the event queue stores type-erased callables by design
+                              const char* kind) {
   if (t < now_) {
     t = now_;
   }
   EventId id = next_id_++;
-  heap_.push(Event{t, id, std::move(fn)});
+  heap_.push(Event{t, id, kind, std::move(fn)});
   return id;
 }
 
@@ -29,6 +30,9 @@ bool Simulator::Step() {
       continue;
     }
     now_ = ev.time;
+    if (observer_ != nullptr) {
+      observer_->OnEventDispatched(ev.kind, ev.time);
+    }
     ev.fn();
     return true;
   }

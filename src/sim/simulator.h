@@ -23,6 +23,16 @@ constexpr SimTime kSecond = 1000 * 1000;
 // A cancellable handle for a scheduled event.
 using EventId = uint64_t;
 
+// Observes every dispatched event. The profiler (src/prof/sim_profiler.h) hangs
+// off this to count events/sec by kind; `kind` is the static string the
+// scheduling site passed, so observers must not retain it past the callback
+// unless they copy it.
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+  virtual void OnEventDispatched(const char* kind, SimTime at) = 0;
+};
+
 class Simulator {
  public:
   Simulator() = default;
@@ -32,12 +42,18 @@ class Simulator {
   SimTime Now() const { return now_; }
 
   // Schedules `fn` to run at absolute simulated time `t` (clamped to Now()).
-  EventId ScheduleAt(SimTime t, std::function<void()> fn);
+  // `kind` labels the event for the sim profiler; pass a string literal (the
+  // pointer is stored, not copied).
+  EventId ScheduleAt(SimTime t, std::function<void()> fn, const char* kind = "event");
 
   // Schedules `fn` to run `delay` microseconds from now.
-  EventId ScheduleAfter(SimTime delay, std::function<void()> fn) {  // hotlint: allow(hot-std-function) -- the event queue stores type-erased callables by design
-    return ScheduleAt(now_ + delay, std::move(fn));
+  EventId ScheduleAfter(SimTime delay, std::function<void()> fn,  // hotlint: allow(hot-std-function) -- the event queue stores type-erased callables by design
+                        const char* kind = "event") {
+    return ScheduleAt(now_ + delay, std::move(fn), kind);
   }
+
+  // Installs (or clears, with nullptr) the dispatch observer.
+  void SetObserver(SimObserver* observer) { observer_ = observer; }
 
   // Cancels a pending event. Safe to call on already-fired or unknown ids.
   void Cancel(EventId id);
@@ -60,6 +76,7 @@ class Simulator {
   struct Event {
     SimTime time;
     EventId id;
+    const char* kind;
     std::function<void()> fn;
   };
   struct Later {
@@ -74,6 +91,7 @@ class Simulator {
 
   SimTime now_ = 0;
   EventId next_id_ = 1;
+  SimObserver* observer_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   std::unordered_set<EventId> cancelled_;
 };

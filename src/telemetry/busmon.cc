@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <sstream>
+#include <tuple>
 
+#include "src/prof/stages.h"
 #include "src/telemetry/trace.h"
 
 namespace ibus::telemetry {
@@ -80,8 +82,19 @@ void BusMon::HandleHealth(const Message& m) {
 }
 
 void BusMon::HandleTrace(const Message& m) {
-  if (m.type_name == kHopRecordType) {
-    spans_seen_++;
+  if (m.type_name != kHopRecordType) {
+    return;
+  }
+  spans_seen_++;
+  auto rec = HopRecord::Unmarshal(m.payload);
+  if (!rec.ok()) {
+    return;
+  }
+  traces_[rec->trace_id].push_back(rec.take());
+  // Bounded buffer: evict the lowest trace id (ids are allocated monotonically per
+  // client, so the lowest is the oldest publish).
+  while (traces_.size() > options_.max_traces) {
+    traces_.erase(traces_.begin());
   }
 }
 
@@ -101,6 +114,26 @@ std::string BusMon::RenderSnapshot() const {
                   static_cast<unsigned long long>(s.sub_churn),
                   static_cast<unsigned long long>(s.retransmits),
                   static_cast<unsigned long long>(s.receiver_gaps));
+    out << line;
+  }
+
+  // Queue-occupancy plane (snapshot v3): live depth / monotone high-watermark for
+  // each daemon-side protocol queue.
+  out << "queue occupancy (depth/hwm):\n";
+  out << "  host            retained      batch      ready   partials\n";
+  for (const auto& [host, s] : snapshots_) {
+    char cell[4][24];
+    const uint64_t pairs[4][2] = {{s.sender_retained_depth, s.sender_retained_hwm},
+                                  {s.sender_batch_depth, s.sender_batch_hwm},
+                                  {s.receiver_ready_depth, s.receiver_ready_hwm},
+                                  {s.receiver_partials_depth, s.receiver_partials_hwm}};
+    for (int i = 0; i < 4; ++i) {
+      std::snprintf(cell[i], sizeof(cell[i]), "%llu/%llu",
+                    static_cast<unsigned long long>(pairs[i][0]),
+                    static_cast<unsigned long long>(pairs[i][1]));
+    }
+    std::snprintf(line, sizeof(line), "  %-14s %9s %10s %10s %10s\n", host.c_str(), cell[0],
+                  cell[1], cell[2], cell[3]);
     out << line;
   }
 
@@ -144,6 +177,39 @@ std::string BusMon::RenderSnapshot() const {
   }
   out << "alert transitions seen: " << alert_history_.size() << "\n";
   out << "trace spans seen: " << spans_seen_ << "\n";
+
+  // Per-stage latency from the buffered trace spans, via the profiler's back-chain
+  // decomposition. Hop-only split: the console has no wire capture, so the whole
+  // wire interval lands in medium_transit (see docs/TELEMETRY.md "Profiling").
+  MetricsRegistry stage_registry;
+  prof::StageAccumulator acc(&stage_registry);
+  for (const auto& [id, unsorted] : traces_) {
+    std::vector<HopRecord> timeline = unsorted;
+    std::sort(timeline.begin(), timeline.end(), [](const HopRecord& a, const HopRecord& b) {
+      return std::tie(a.at_us, a.hop, a.kind, a.node, a.subject) <
+             std::tie(b.at_us, b.hop, b.kind, b.node, b.subject);
+    });
+    for (const prof::PathProfile& p : prof::DecomposeTimeline(timeline)) {
+      acc.Add(p);
+    }
+  }
+  out << "stage latency (" << acc.paths() << " paths over " << traces_.size()
+      << " traces):\n";
+  for (size_t i = 0; i < prof::kStageCount; ++i) {
+    auto k = static_cast<prof::StageKind>(i);
+    const LatencyHistogram* h = acc.histogram(k);
+    if (acc.total_us(k) == 0 && (h == nullptr || h->count() == 0)) {
+      continue;
+    }
+    std::snprintf(line, sizeof(line),
+                  "  %-18s count=%llu p50=%lldus p90=%lldus p99=%lldus total=%lldus\n",
+                  prof::StageName(k), static_cast<unsigned long long>(h ? h->count() : 0),
+                  static_cast<long long>(h ? h->p50() : 0),
+                  static_cast<long long>(h ? h->p90() : 0),
+                  static_cast<long long>(h ? h->p99() : 0),
+                  static_cast<long long>(acc.total_us(k)));
+    out << line;
+  }
 
   for (const FlightRecorder* rec : recorders_) {
     out << "flight recorder " << rec->node() << " (" << rec->total_recorded()

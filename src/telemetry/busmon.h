@@ -2,9 +2,11 @@
 // service-application pattern — the bus monitoring the bus). It subscribes to the
 // three reserved observability feeds — "_ibus.stats.>" snapshots, "_ibus.health.>"
 // alert transitions, "_ibus.trace.>" spans — and renders a fleet-wide view: per-host
-// stats table, top-K subject prefixes by flow, active alerts, and excerpts from any
-// locally attached flight recorders. RenderSnapshot() is deterministic under the
-// simulator, so replay checks can hash the whole console frame.
+// stats table, queue occupancy (depth/high-watermark per daemon protocol queue,
+// from snapshot v3), top-K subject prefixes by flow, active alerts, per-stage
+// latency derived from buffered trace spans (src/prof back-chain decomposition),
+// and excerpts from any locally attached flight recorders. RenderSnapshot() is
+// deterministic under the simulator, so replay checks can hash the whole frame.
 #ifndef SRC_TELEMETRY_BUSMON_H_
 #define SRC_TELEMETRY_BUSMON_H_
 
@@ -19,12 +21,16 @@
 #include "src/services/bus_monitor.h"
 #include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/health.h"
+#include "src/telemetry/trace.h"
 
 namespace ibus::telemetry {
 
 struct BusMonOptions {
   size_t top_k = 5;          // subject prefixes shown in the flow ranking
   size_t recorder_tail = 4;  // events shown per attached flight recorder
+  // Hop-record buffer bound: the console keeps the most recent traces (by trace
+  // id) for the per-stage latency section and evicts the oldest beyond this.
+  size_t max_traces = 256;
 };
 
 class BusMon {
@@ -48,6 +54,8 @@ class BusMon {
   // Every alert transition seen, in arrival order.
   const std::vector<HealthEvent>& alert_history() const { return alert_history_; }
   uint64_t spans_seen() const { return spans_seen_; }
+  // Buffered hop records per trace id (arrival order; bounded by max_traces).
+  const std::map<uint64_t, std::vector<HopRecord>>& traces() const { return traces_; }
 
   // The full console frame. Deterministic under the simulator (hashable).
   std::string RenderSnapshot() const;
@@ -69,6 +77,7 @@ class BusMon {
   std::map<std::tuple<uint8_t, std::string, std::string>, HealthEvent> active_alerts_;
   std::vector<HealthEvent> alert_history_;
   uint64_t spans_seen_ = 0;
+  std::map<uint64_t, std::vector<HopRecord>> traces_;
   std::vector<const FlightRecorder*> recorders_;
 };
 

@@ -94,6 +94,31 @@ class LatencyHistogram {
   int64_t max_ = 0;
 };
 
+// Queue occupancy instrument: a depth gauge paired with a monotone high-watermark.
+// Components resolve it once (the paired gauges live in the registry under
+// "<name>" and "<name>.hwm") and call Set at every queue mutation; Set is two
+// stores and a compare, so it is safe on the hot path. Always functional, like
+// Gauge: queue depths feed the stats plane, not just telemetry.
+class QueueDepthGauge {
+ public:
+  QueueDepthGauge(Gauge* depth, Gauge* hwm) : depth_(depth), hwm_(hwm) {}
+
+  void Set(int64_t v) {
+    depth_->Set(v);
+    if (v > hwm_->value()) {
+      hwm_->Set(v);
+    }
+  }
+  void Add(int64_t d) { Set(depth_->value() + d); }
+
+  int64_t depth() const { return depth_->value(); }
+  int64_t high_watermark() const { return hwm_->value(); }
+
+ private:
+  Gauge* depth_;
+  Gauge* hwm_;
+};
+
 // Owns named metrics with stable pointers: components resolve their instruments once
 // at construction and increment through the pointer on the hot path. Iteration order
 // is the name order (std::map), so rendered output is deterministic.
@@ -106,6 +131,11 @@ class MetricsRegistry {
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
   LatencyHistogram* GetHistogram(const std::string& name);
+
+  // Resolves the "<name>" / "<name>.hwm" gauge pair behind a QueueDepthGauge.
+  QueueDepthGauge GetQueueDepth(const std::string& name) {
+    return QueueDepthGauge(GetGauge(name), GetGauge(name + ".hwm"));
+  }
 
   // Read-side lookups for reporters/dashboards; absent names read as zero/null.
   uint64_t CounterValue(const std::string& name) const;

@@ -1,0 +1,35 @@
+// buslint fixture: linted under the synthetic path "src/prof/nondet_prof.cc".
+// The profiler is deterministic core — stage decomposition and queue gauges feed
+// busprof's replay-gated JSON hashes, so wall clocks, env lookups, and ambient
+// RNGs are violations. Seeded violations: clock_gettime, mt19937, time(). The
+// allow()'d getenv is not.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace ibus::prof {
+
+long ProfileWallTimestamp() {
+  struct timespec ts;
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return ts.tv_sec;
+}
+
+unsigned SampleStageJitter(unsigned stage_us) {
+  std::mt19937 rng(stage_us);
+  return stage_us + rng() % 50;
+}
+
+long ReportNameSuffix() { return time(nullptr); }
+
+const char* ProfileOutOverride() {
+  return std::getenv("IBUS_BUSPROF_OUT");  // buslint: allow(nondeterminism)
+}
+
+// Hashing sim-derived stage vectors is fine; only ambient-state primitives are banned.
+unsigned DeterministicStageHash(unsigned stage_sum_us) {
+  return stage_sum_us * 2654435761u;
+}
+
+}  // namespace ibus::prof

@@ -60,6 +60,20 @@ TEST(BuslintNondeterminism, FiresInJournal) {
   EXPECT_EQ(CountRule(vs, kRuleNondeterminism), 3u) << Render(vs);
 }
 
+TEST(BuslintNondeterminism, FiresInProfiler) {
+  // src/prof's stage decomposition feeds busprof's replay-gated hashes, so the
+  // profiler is deterministic core: clocks and ambient RNGs trip the rule there.
+  auto vs = LintFixture("src/prof/nondet_prof.cc", "nondet_prof.cc");
+  // clock_gettime, mt19937, time() — the allow()'d getenv is suppressed.
+  EXPECT_EQ(CountRule(vs, kRuleNondeterminism), 3u) << Render(vs);
+}
+
+TEST(BuslintNondeterminism, ProfilerTwinIsSilentOutsideCore) {
+  // The same source under the CLI tool's path must not fire.
+  auto vs = LintFixture("tools/busprof/nondet_prof.cc", "nondet_prof.cc");
+  EXPECT_EQ(CountRule(vs, kRuleNondeterminism), 0u) << Render(vs);
+}
+
 TEST(BuslintNondeterminism, JournalTwinIsSilentOutsideCore) {
   // The same source under a non-core path (a tool) must not fire.
   auto vs = LintFixture("tools/busjournal/nondet_journal.cc", "nondet_journal.cc");

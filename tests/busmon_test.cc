@@ -1,6 +1,7 @@
 // Always-on pieces of the health plane: the flight recorder ring buffer and JSONL
-// dump, the versioned DaemonStatsSnapshot v2 (typed rejection of unknown versions),
-// per-subject flow accounting in the daemon, and the busmon console's stats view.
+// dump, the versioned DaemonStatsSnapshot (typed rejection of unknown versions,
+// v3 queue-occupancy fields), per-subject flow accounting in the daemon, and the
+// busmon console's stats/queue/stage views.
 // These must all work with -DIB_TELEMETRY=OFF too — only the evaluator/alert tests
 // (health_test.cc) need telemetry compiled in.
 #include <gtest/gtest.h>
@@ -108,6 +109,30 @@ TEST(StatsSnapshotTest, RoundTripsV2WithFlows) {
   EXPECT_EQ(back->flows[0].publishes, 7u);
   EXPECT_EQ(back->flows[0].bytes_out, 600u);
   EXPECT_EQ(back->flows[1].prefix, "(other)");
+}
+
+TEST(StatsSnapshotTest, RoundTripsV3QueueOccupancy) {
+  DaemonStatsSnapshot s;
+  s.host_name = "host7";
+  s.sender_retained_depth = 7;
+  s.sender_retained_hwm = 12;
+  s.sender_batch_depth = 1;
+  s.sender_batch_hwm = 4;
+  s.receiver_ready_depth = 0;
+  s.receiver_ready_hwm = 3;
+  s.receiver_partials_depth = 2;
+  s.receiver_partials_hwm = 2;
+
+  auto back = DaemonStatsSnapshot::Unmarshal(s.Marshal());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->sender_retained_depth, 7u);
+  EXPECT_EQ(back->sender_retained_hwm, 12u);
+  EXPECT_EQ(back->sender_batch_depth, 1u);
+  EXPECT_EQ(back->sender_batch_hwm, 4u);
+  EXPECT_EQ(back->receiver_ready_depth, 0u);
+  EXPECT_EQ(back->receiver_ready_hwm, 3u);
+  EXPECT_EQ(back->receiver_partials_depth, 2u);
+  EXPECT_EQ(back->receiver_partials_hwm, 2u);
 }
 
 TEST(StatsSnapshotTest, RejectsUnknownVersionWithTypedError) {
@@ -232,6 +257,78 @@ TEST_F(BusMonTest, RendersFleetStatsAndTopFlows) {
   EXPECT_EQ(frame, (*mon)->RenderSnapshot());
   EXPECT_EQ((*mon)->SnapshotHash(), (*mon)->SnapshotHash());
 }
+
+TEST_F(BusMonTest, RendersQueueOccupancyFromSnapshots) {
+  SetUpBus(2);
+  auto pub = MakeClient(0, "pub");
+  auto sub = MakeClient(1, "sub");
+  ASSERT_TRUE(sub->Subscribe("fab5.>", [](const Message&) {}).ok());
+
+  std::vector<std::unique_ptr<BusClient>> ops;
+  std::vector<std::unique_ptr<StatsReporter>> reporters;
+  for (int i = 0; i < 2; ++i) {
+    ops.push_back(MakeClient(i, "ops" + std::to_string(i)));
+    auto rep = StatsReporter::Create(ops.back().get(), daemons_[static_cast<size_t>(i)].get(),
+                                     500 * kMillisecond);
+    ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+    reporters.push_back(rep.take());
+  }
+  auto mon_bus = MakeClient(0, "busmon");
+  auto mon = telemetry::BusMon::Create(mon_bus.get());
+  ASSERT_TRUE(mon.ok()) << mon.status().ToString();
+
+  Settle();
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(pub->Publish("fab5.cc.litho8", ToBytes("r" + std::to_string(i))).ok());
+  }
+  Settle();
+
+  ASSERT_EQ((*mon)->snapshots().size(), 2u);
+  const std::string frame = (*mon)->RenderSnapshot();
+  EXPECT_NE(frame.find("queue occupancy (depth/hwm):"), std::string::npos);
+  EXPECT_NE(frame.find("retained"), std::string::npos);
+  EXPECT_NE(frame.find("partials"), std::string::npos);
+#if IBUS_TELEMETRY
+  // The publisher host retains unacked packets, so its retained hwm is nonzero.
+  const DaemonStatsSnapshot& s0 = (*mon)->snapshots().at("host0");
+  EXPECT_GT(s0.sender_retained_hwm, 0u);
+#endif
+}
+
+#if IBUS_TELEMETRY
+TEST_F(BusMonTest, DerivesStageLatencyFromBufferedTraceSpans) {
+  BusConfig config;
+  config.trace_publishes = true;
+  SetUpBus(2, config);
+  auto pub = MakeClient(0, "pub");
+  auto sub = MakeClient(1, "sub");
+  ASSERT_TRUE(sub->Subscribe("orders.>", [](const Message&) {}).ok());
+
+  telemetry::BusMonOptions options;
+  options.max_traces = 2;
+  auto mon_bus = MakeClient(1, "busmon");
+  auto mon = telemetry::BusMon::Create(mon_bus.get(), options);
+  ASSERT_TRUE(mon.ok()) << mon.status().ToString();
+
+  Settle();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(pub->Publish("orders.new", ToBytes("o" + std::to_string(i))).ok());
+  }
+  Settle();
+
+  EXPECT_GT((*mon)->spans_seen(), 0u);
+  // The hop buffer is bounded: 3 traces published, only max_traces retained.
+  EXPECT_EQ((*mon)->traces().size(), 2u);
+
+  const std::string frame = (*mon)->RenderSnapshot();
+  EXPECT_NE(frame.find("stage latency ("), std::string::npos);
+  // Hop-only decomposition of a LAN path: marshal, transit, and dispatch stages.
+  EXPECT_NE(frame.find("publish_marshal"), std::string::npos);
+  EXPECT_NE(frame.find("medium_transit"), std::string::npos);
+  EXPECT_NE(frame.find("deliver_dispatch"), std::string::npos);
+  EXPECT_EQ(frame.find("unattributed"), std::string::npos);
+}
+#endif
 
 }  // namespace
 }  // namespace ibus

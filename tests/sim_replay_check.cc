@@ -21,6 +21,8 @@
 #include "src/common/rng.h"
 #include "src/journal/demo.h"
 #include "src/journal/journal.h"
+#include "src/prof/demo.h"
+#include "src/prof/stages.h"
 #include "src/router/router.h"
 #include "src/services/bus_monitor.h"
 #include "src/services/health_monitor.h"
@@ -283,7 +285,11 @@ std::vector<std::string> RunTracedCertifiedWanScenario(uint64_t seed) {
   net.SetFaultPlan(lan_a, faults);
   net.SetFaultPlan(lan_b, faults);
 
-  auto pub_bus = MustConnect(&net, a_hosts[1], "producer");
+  // The producer's own client must carry trace_publishes too — trace ids are
+  // assigned client-side, not by the daemon.
+  auto pub_bus_r = BusClient::Connect(&net, a_hosts[1], "producer", config);
+  EXPECT_TRUE(pub_bus_r.ok()) << pub_bus_r.status().ToString();
+  auto pub_bus = pub_bus_r.take();
   MemoryStableStore store;
   journal::JournalConfig ledger_config;
   ledger_config.sim = &sim;  // write-through: legacy stable-write timing
@@ -466,6 +472,23 @@ std::vector<std::string> RunJournalTailTruncationScenario(uint64_t seed) {
   return journal::RunTailTruncationScenario(seed);
 }
 
+// --- Scenario 10: busprof critical-path profiles (src/prof/demo.cc) ----------------
+//
+// The profiler joins three deterministic planes — hop timelines, capture fates, and
+// queue gauges — so its JSON and collapsed-stack reports must be bit-identical per
+// seed. The trace folds in the complete reports (not just their hash) so any drift
+// in stage attribution, rendering, or gauge values trips the gate with a diff.
+
+#if IBUS_TELEMETRY
+std::vector<std::string> RunBusprofScenario(uint64_t seed) {
+  prof::ProfiledScenario run = prof::RunProfiledWanScenario(seed);
+  std::vector<std::string> trace = run.trace;
+  trace.push_back("busprof json=" + run.json);
+  trace.push_back("busprof collapsed=" + run.collapsed);
+  return trace;
+}
+#endif  // IBUS_TELEMETRY
+
 // --- The replay gate ---------------------------------------------------------------
 
 using ScenarioFn = std::vector<std::string> (*)(uint64_t seed);
@@ -568,6 +591,27 @@ TEST(SimReplayCheck, CaptureShowsRetransmitShareAttributedToDrops) {
   EXPECT_GT(bw.total.retransmit.us, 0u);
   EXPECT_GT(bw.total.goodput.bytes, 0u);
 }
+
+#if IBUS_TELEMETRY
+TEST(SimReplayCheck, BusprofProfileIsDeterministic) {
+  CheckReplay("busprof_profile", &RunBusprofScenario, 42);
+  CheckReplay("busprof_profile", &RunBusprofScenario, 1993);
+}
+
+// The acceptance invariant: for every traced delivery the integer-µs stage
+// decomposition sums exactly to the measured end-to-end latency, and the explicit
+// unattributed residue stays under 1% on the stock scenario.
+TEST(SimReplayCheck, BusprofStagesReconcileWithEndToEndLatency) {
+  prof::ProfiledScenario run = prof::RunProfiledWanScenario(42);
+  ASSERT_GT(run.paths.size(), 0u);
+  for (const prof::PathProfile& p : run.paths) {
+    EXPECT_EQ(p.stages.total_us(), p.end_to_end_us)
+        << "trace " << p.trace_id << " -> " << p.dest << " (hop " << int(p.hop) << ")";
+  }
+  EXPECT_TRUE(run.reconciled);
+  EXPECT_LT(run.unattributed_share, 0.01);
+}
+#endif  // IBUS_TELEMETRY
 
 TEST(SimReplayCheck, JournalDaemonCrashIsDeterministic) {
   CheckReplay("journal_daemon_crash", &RunJournalDaemonCrashScenario, 42);

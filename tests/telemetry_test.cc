@@ -72,6 +72,45 @@ TEST(LatencyHistogramTest, EmptyHistogramReadsZero) {
   EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
 }
 
+TEST(LatencyHistogramTest, SingleSampleDrivesEveryPercentile) {
+  LatencyHistogram h;
+  h.Record(300);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 300);
+  EXPECT_EQ(h.max(), 300);
+  // Every percentile reports the one occupied bucket's upper bound ([256, 511]).
+  EXPECT_EQ(h.p50(), 511);
+  EXPECT_EQ(h.p90(), 511);
+  EXPECT_EQ(h.p99(), 511);
+  EXPECT_DOUBLE_EQ(h.Mean(), 300.0);
+
+  // A single zero/negative sample stays pinned to bucket 0.
+  LatencyHistogram z;
+  z.Record(-7);
+  EXPECT_EQ(z.count(), 1u);
+  EXPECT_EQ(z.p50(), 0);
+  EXPECT_EQ(z.p99(), 0);
+}
+
+TEST(LatencyHistogramTest, PercentilesAreMonotoneInRank) {
+  // Skewed population across several buckets: quantile ordering must hold.
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) {
+    h.Record(100);
+  }
+  for (int i = 0; i < 9; ++i) {
+    h.Record(5000);
+  }
+  h.Record(200000);
+  EXPECT_LE(h.p50(), h.p90());
+  EXPECT_LE(h.p90(), h.p99());
+  EXPECT_LE(h.p99(), h.Percentile(1.0));
+  EXPECT_LE(h.Percentile(0.0), h.p50());
+  // The tail sample is only visible at the very top of the distribution.
+  EXPECT_LT(h.p90(), LatencyHistogram::BucketUpper(LatencyHistogram::BucketOf(200000)));
+  EXPECT_EQ(h.Percentile(1.0), LatencyHistogram::BucketUpper(LatencyHistogram::BucketOf(200000)));
+}
+
 // --- Registry ----------------------------------------------------------------------
 
 TEST(MetricsRegistryTest, InstrumentsHaveStableIdentity) {

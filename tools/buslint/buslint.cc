@@ -229,7 +229,7 @@ bool StartsWith(std::string_view s, std::string_view prefix) {
 bool PathIsDeterministicCore(const std::string& rel_path) {
   return StartsWith(rel_path, "src/sim/") || StartsWith(rel_path, "src/bus/") ||
          StartsWith(rel_path, "src/router/") || StartsWith(rel_path, "src/capture/") ||
-         StartsWith(rel_path, "src/journal/");
+         StartsWith(rel_path, "src/journal/") || StartsWith(rel_path, "src/prof/");
 }
 
 void CheckNondeterminism(const std::string& rel_path, const Scrubbed& s,
@@ -264,8 +264,8 @@ void CheckNondeterminism(const std::string& rel_path, const Scrubbed& s,
     out->push_back({rel_path, line, kRuleNondeterminism,
                     "'" + std::string(ident) +
                         "' in deterministic core (src/sim, src/bus, src/router, "
-                        "src/capture must use Simulator time and seeded ibus::Rng "
-                        "only)"});
+                        "src/capture, src/journal, src/prof must use Simulator time "
+                        "and seeded ibus::Rng only)"});
   });
 }
 
