@@ -1,20 +1,23 @@
 #!/usr/bin/env bash
 # Runs the JSON-emitting benchmarks and assembles their per-binary JSON lines into
-# BENCH_8.json (schema BENCH_8: one row per measurement with name, latency-or-rate
-# percentiles, msgs/sec, and bytes/sec — same row shape as BENCH_2..7 plus the
-# bytes_per_sec column — plus a "router_wan" section carrying the per-segment
-# bandwidth breakdown from the capture accountant, see src/capture/bandwidth.h, a
-# "hot_path_allocs/steady" row carrying the allocs_per_msg counter from the
-# instrumented-allocator bench, the journal_append rows measuring write-ahead
-# ledger commit cost, and a "profile" section: busprof's per-stage critical-path
-# p99s and queue high-watermarks for the profiled WAN scenario, see
-# tools/busprof). Afterwards, diffs the fresh numbers against the newest previous
-# BENCH_*.json via scripts/bench_diff.py and fails on a >10% latency regression, a
-# >10% throughput-bench delivery-rate drop, a >10% hot-path allocation growth, or
-# a >10% regression in a profile stage p99 / queue high-watermark.
+# BENCH_9.json (schema BENCH_9: one row per measurement with name, latency-or-rate
+# percentiles, msgs/sec, and bytes/sec — same row shape as BENCH_2..8 — plus a
+# "router_wan" section carrying the per-segment bandwidth breakdown from the
+# capture accountant, see src/capture/bandwidth.h, a "hot_path_allocs/steady" row
+# carrying the allocs_per_msg counter from the instrumented-allocator bench, the
+# journal_append rows measuring write-ahead ledger commit cost, a "profile"
+# section: busprof's per-stage critical-path p99s and queue high-watermarks for
+# the profiled WAN scenario, see tools/busprof, and from BENCH_9 on the
+# telemetry_overhead rows carrying the stats plane's self-measured overhead_ratio
+# at trace-sampling periods {1, 64, off} — the bench binary itself fails if the
+# ratio reaches 5% at the default 1/64 sampling). Afterwards, diffs the fresh
+# numbers against the newest previous BENCH_*.json via scripts/bench_diff.py and
+# fails on a >10% latency regression, a >10% throughput-bench delivery-rate drop,
+# a >10% hot-path allocation growth, a >10% regression in a profile stage p99 /
+# queue high-watermark, or a >10% overhead_ratio growth.
 # See docs/TELEMETRY.md.
 #
-#   scripts/bench.sh                     # build in build-bench/, write BENCH_8.json
+#   scripts/bench.sh                     # build in build-bench/, write BENCH_9.json
 #   BUILD_DIR=build scripts/bench.sh     # reuse an existing build dir
 #   OUT=/tmp/b.json scripts/bench.sh     # write somewhere else
 #   BENCHES="rmi_latency" scripts/bench.sh  # run a subset
@@ -25,9 +28,9 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-bench}
 JOBS=${JOBS:-$(nproc)}
-OUT=${OUT:-BENCH_8.json}
+OUT=${OUT:-BENCH_9.json}
 DIFF_THRESHOLD=${DIFF_THRESHOLD:-10}
-BENCHES=${BENCHES:-"rmi_latency fig5_latency fig6_throughput_msgs fig7_throughput_bytes fig8_subjects router_wan hot_path_allocs journal_append"}
+BENCHES=${BENCHES:-"rmi_latency fig5_latency fig6_throughput_msgs fig7_throughput_bytes fig8_subjects router_wan hot_path_allocs journal_append telemetry_overhead"}
 
 echo "== configure + build (${BUILD_DIR})"
 cmake -B "${BUILD_DIR}" -S . > /dev/null
@@ -54,7 +57,7 @@ echo "== busprof"
 "${BUILD_DIR}/tools/busprof/busprof" --json --seed 42 > "${tmpdir}/profile.json"
 
 {
-  printf '{"schema": "BENCH_8",\n'
+  printf '{"schema": "BENCH_9",\n'
   if [ -s "${tmpdir}/router_wan.bandwidth.json" ]; then
     printf '"router_wan": %s,\n' "$(cat "${tmpdir}/router_wan.bandwidth.json")"
   fi

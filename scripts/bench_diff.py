@@ -13,8 +13,12 @@ rate (msgs_per_sec) of a throughput bench — any row whose name contains
 "allocs_per_msg" counter (the instrumented-allocator hot_path_allocs bench) grows
 it by more than the threshold on both sides, or if the byte throughput
 (bytes_per_sec, carried by fig7 from BENCH_8 on) of a throughput bench drops by
-more than the threshold. Rows present on only one side are reported but never
-fail the run (benchmarks come and go across PRs).
+more than the threshold, or if the telemetry self-overhead ratio (overhead_ratio,
+carried by the telemetry_overhead bench from BENCH_9 on) grows by more than the
+threshold on both sides. Rows, sections, and keys present on only one side are
+reported as new/dropped series but never fail the run (benchmarks and their
+columns come and go across PRs — a newer schema must always diff cleanly against
+an older baseline).
 
 When BOTH files carry a top-level "profile" section (busprof's critical-path
 report, embedded by scripts/bench.sh from BENCH_8 on), its per-stage p99
@@ -43,6 +47,9 @@ MIN_BASELINE_ALLOCS = 0.5
 # Queue high-watermarks are small integers; a 0-or-1 baseline would turn a single
 # extra queued packet into a triple-digit percentage.
 MIN_BASELINE_HWM = 2.0
+# A near-zero overhead baseline (tracing off) would turn any nonzero reading into
+# a huge percentage; only gate series that already pay measurable overhead.
+MIN_BASELINE_OVERHEAD = 0.001
 
 
 def load(path):
@@ -135,6 +142,21 @@ def main():
                 regressions.append(
                     f"{name}: bytes_per_sec {bbytes:.1f}/s -> {cbytes:.1f}/s "
                     f"({bytes_pct:+.1f}%)")
+        # Telemetry self-overhead gate (BENCH_9 on): the stats plane must not creep.
+        # Like every newer key, rows carrying it on only one side are tolerated —
+        # they surface below as new/dropped series, never as a KeyError.
+        if "overhead_ratio" in b and "overhead_ratio" in c:
+            bo, co = b["overhead_ratio"], c["overhead_ratio"]
+            if bo >= MIN_BASELINE_OVERHEAD:
+                over_pct = (co - bo) / bo * 100.0
+                cells.append(f"overhead {bo:.4f}->{co:.4f} ({over_pct:+.1f}%)")
+                if over_pct > args.threshold:
+                    regressions.append(
+                        f"{name}: overhead_ratio {bo:.4f} -> {co:.4f} ({over_pct:+.1f}%)")
+            else:
+                cells.append(f"overhead {bo:.4f}->{co:.4f}")
+        elif "overhead_ratio" in c:
+            cells.append(f"overhead (new series) {c['overhead_ratio']:.4f}")
         # Allocation gate: only rows that carry the counter on BOTH sides compare
         # (the key first appears in BENCH_6; older baselines simply lack it).
         if "allocs_per_msg" in b and "allocs_per_msg" in c:

@@ -38,6 +38,9 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -L journal
 echo "== busprof tests (ctest -L prof: stage decomposition, reconciliation, replay gate)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L prof
 
+echo "== busstat tests (ctest -L stats: sketches, sampling, time-series codec, replay gate)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L stats
+
 echo "== buslint over src/ bench/ examples/ tools/  (-L lint also runs tdlcheck)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L lint
 

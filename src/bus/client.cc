@@ -60,10 +60,16 @@ Status BusClient::PublishScoped(Message m, SubjectScope scope) {
   bool fresh_trace = false;
   if (config_.trace_publishes && scope == SubjectScope::kApplication && m.trace_id == 0 &&
       m.subject[0] != '_') {
-    // Deterministic id: the stable client identity plus a per-client sequence.
-    m.trace_id = (client_id() << 20) | next_trace_++;
-    m.trace_hop = 0;
-    fresh_trace = true;
+    // Deterministic id: the stable client identity plus a per-client sequence. The
+    // ordinal always advances — sampling must not shift later candidates — but only
+    // publishes whose id hashes into the sample get a trace context; the rest stay
+    // untraced and cost nothing downstream (see docs/TELEMETRY.md).
+    const uint64_t candidate = (client_id() << 20) | next_trace_++;
+    if (telemetry::ShouldSampleTrace(candidate, config_.trace_sample_period)) {
+      m.trace_id = candidate;
+      m.trace_hop = 0;
+      fresh_trace = true;
+    }
   }
 #endif
   stats_.published++;

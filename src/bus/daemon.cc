@@ -36,12 +36,18 @@ BusDaemon::BusDaemon(Network* net, HostId host, const BusConfig& config)
       host_(host),
       config_(config),
       recorder_("daemon@" + std::to_string(host), config.flight_recorder_capacity),
+      subject_sketch_(config.sketch_capacity),
+      peer_sketch_(config.sketch_capacity),
       publishes_(metrics_.GetCounter(kMetricPublishes)),
       dispatched_(metrics_.GetCounter(kMetricDispatched)),
       deliveries_(metrics_.GetCounter(kMetricDeliveries)),
       no_match_(metrics_.GetCounter(kMetricNoMatch)),
       subscriptions_(metrics_.GetGauge(kMetricSubscriptions)),
-      sub_churn_(metrics_.GetCounter(kMetricSubChurn)) {}
+      sub_churn_(metrics_.GetCounter(kMetricSubChurn)),
+      publish_bytes_(metrics_.GetCounter(kMetricPublishBytes)),
+      self_bytes_(metrics_.GetCounter(kMetricSelfBytes)),
+      self_msgs_(metrics_.GetCounter(kMetricSelfMsgs)),
+      publish_size_(metrics_.GetHistogram(kMetricPublishSize)) {}
 
 DaemonStats BusDaemon::stats() const {
   DaemonStats s;
@@ -212,12 +218,21 @@ void BusDaemon::HandleUnsubscribe(const Datagram& d, const Bytes& payload) {
 
 void BusDaemon::HandleClientPublish(const Datagram& /*from*/, const Bytes& payload) {  // hotlint: hot
   publishes_->Inc();
+  publish_bytes_->Inc(payload.size());
+  publish_size_->Record(static_cast<int64_t>(payload.size()));
   // Flow accounting reads only the leading subject field; the payload itself stays
   // opaque on the send path.
   if (auto subject = Message::PeekSubject(payload); subject.ok()) {
     SubjectFlow& flow = FlowFor(*subject);
     flow.publishes++;
     flow.bytes_in += payload.size();
+    // Self-overhead accounting: bytes the observability plane injects through local
+    // clients (trace spans, stats snapshots, health beacons) attribute to
+    // telemetry.self.* at this choke point.
+    if (IsObservabilitySubject(*subject)) {
+      self_bytes_->Inc(payload.size());
+      self_msgs_->Inc();
+    }
     recorder_.Record(net_->sim()->Now(), telemetry::FlightEventKind::kPublish,
                      std::string(*subject), "bytes=" + std::to_string(payload.size()));  // hotlint: allow(hot-string) -- flight-recorder entry: the ring stores owning strings by design
   }
@@ -235,7 +250,17 @@ void BusDaemon::HandleClientPublish(const Datagram& /*from*/, const Bytes& paylo
 #endif
 }
 
-Status BusDaemon::PublishFromDaemon(const Message& m) { return sender_->Publish(m.Marshal()); }
+Status BusDaemon::PublishFromDaemon(const Message& m) {
+  Bytes bytes = m.Marshal();
+  publish_bytes_->Inc(bytes.size());
+  // Daemon-originated traffic (hop spans, sub gossip) runs through the same
+  // self-overhead classifier as client publishes.
+  if (IsObservabilitySubject(m.subject)) {
+    self_bytes_->Inc(bytes.size());
+    self_msgs_->Inc();
+  }
+  return sender_->Publish(bytes);
+}
 
 void BusDaemon::DispatchInbound(const Bytes& message_bytes) {  // hotlint: hot
   auto msg = Message::Unmarshal(message_bytes);
@@ -244,6 +269,13 @@ void BusDaemon::DispatchInbound(const Bytes& message_bytes) {  // hotlint: hot
     recorder_.Record(net_->sim()->Now(), telemetry::FlightEventKind::kDrop, "",
                      "undecodable message: " + msg.status().ToString());  // hotlint: allow(hot-string) -- undecodable-message drop detail: error path
     return;
+  }
+  // Heavy-hitter accounting: every in-order message on the bus (including the
+  // observability plane's own) feeds the fixed-memory sketches. O(capacity) scans,
+  // no steady-state allocation — see src/telemetry/sketch.h.
+  subject_sketch_.Offer(msg->subject);
+  if (!msg->sender.empty()) {
+    peer_sketch_.Offer(msg->sender);
   }
   if (config_.announce_subscriptions && msg->subject == kSubQuerySubject &&
       !msg->reply_subject.empty()) {

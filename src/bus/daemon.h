@@ -22,6 +22,7 @@
 #include "src/subject/trie.h"
 #include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/sketch.h"
 #include "src/telemetry/trace.h"
 
 namespace ibus {
@@ -32,10 +33,18 @@ struct BusConfig {
   // When true the daemon broadcasts subscription add/remove events on
   // kSubEventSubject and answers kSubQuerySubject — consumed by information routers.
   bool announce_subscriptions = true;
-  // When true, clients built with this config assign a trace context to every
-  // application publish and hop spans are emitted along the message path
+  // When true, clients built with this config assign a trace context to sampled
+  // application publishes and hop spans are emitted along the message path
   // (see src/telemetry/trace.h). No effect when built with -DIB_TELEMETRY=OFF.
   bool trace_publishes = false;
+  // Publisher-side sampling period: 1 traces every publish (the pre-busstat
+  // behavior; scenario code that asserts on complete timelines sets this), N
+  // traces ~1/N chosen by a deterministic hash of the trace id, 0 disables
+  // tracing even when trace_publishes is set. See docs/TELEMETRY.md.
+  uint32_t trace_sample_period = telemetry::kDefaultTraceSamplePeriod;
+  // Slot capacity of the daemon's per-subject and per-peer heavy-hitter sketches
+  // (fixed memory regardless of distinct-subject count; see src/telemetry/sketch.h).
+  size_t sketch_capacity = telemetry::TopKSketch::kDefaultCapacity;
   // Ring-buffer depth of the daemon's always-on flight recorder.
   size_t flight_recorder_capacity = 256;
 };
@@ -68,6 +77,17 @@ inline constexpr char kMetricDeliveries[] = "bus.deliveries";
 inline constexpr char kMetricNoMatch[] = "bus.no_match";
 inline constexpr char kMetricSubscriptions[] = "bus.subscriptions";
 inline constexpr char kMetricSubChurn[] = "bus.sub_churn";
+// Telemetry self-overhead accounting: every marshalled byte the daemon puts on the
+// wire counts into bus.publish_bytes; the subset whose subject belongs to the
+// observability plane (IsObservabilitySubject) also counts into telemetry.self.*.
+// The ratio self.bytes / publish_bytes is the plane's self-measured overhead.
+inline constexpr char kMetricPublishBytes[] = "bus.publish_bytes";
+inline constexpr char kMetricSelfBytes[] = "telemetry.self.bytes";
+inline constexpr char kMetricSelfMsgs[] = "telemetry.self.msgs";
+// Log-bucketed payload-size distribution per publish (telemetry-gated, like every
+// histogram). Per-node histograms merge losslessly into a fleet size distribution
+// through busstat's StatsAggregator.
+inline constexpr char kMetricPublishSize[] = "bus.publish_size";
 
 class BusDaemon {
  public:
@@ -94,6 +114,11 @@ class BusDaemon {
   // The host's flight recorder; protocol components share it.
   telemetry::FlightRecorder* flight_recorder() { return &recorder_; }
   const telemetry::FlightRecorder& flight_recorder() const { return recorder_; }
+
+  // Fixed-memory heavy-hitter sketches fed from the dispatch path: which subjects
+  // and which publishing peers dominate this host's traffic (src/telemetry/sketch.h).
+  const telemetry::TopKSketch& subject_sketch() const { return subject_sketch_; }
+  const telemetry::TopKSketch& peer_sketch() const { return peer_sketch_; }
 
  private:
   BusDaemon(Network* net, HostId host, const BusConfig& config);
@@ -145,6 +170,8 @@ class BusDaemon {
   telemetry::MetricsRegistry metrics_;
   telemetry::FlightRecorder recorder_;
   std::map<std::string, SubjectFlow, std::less<>> flows_;
+  telemetry::TopKSketch subject_sketch_;
+  telemetry::TopKSketch peer_sketch_;
   // Hot-path instruments, resolved once at construction.
   telemetry::Counter* publishes_;
   telemetry::Counter* dispatched_;
@@ -152,6 +179,10 @@ class BusDaemon {
   telemetry::Counter* no_match_;
   telemetry::Gauge* subscriptions_;
   telemetry::Counter* sub_churn_;
+  telemetry::Counter* publish_bytes_;
+  telemetry::Counter* self_bytes_;
+  telemetry::Counter* self_msgs_;
+  telemetry::LatencyHistogram* publish_size_;
 };
 
 }  // namespace ibus

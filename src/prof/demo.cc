@@ -67,6 +67,7 @@ ProfiledScenario RunProfiledWanScenario(uint64_t seed) {
   std::vector<HostId> daemon_hosts;
   BusConfig config;
   config.trace_publishes = true;  // daemons + producer: assign trace ids, stamp hops
+  config.trace_sample_period = 1;  // profiling wants every path, not a sample
   for (int i = 0; i < 2; ++i) {
     a_hosts.push_back(net.AddHost("a" + std::to_string(i), lan_a));
     b_hosts.push_back(net.AddHost("b" + std::to_string(i), lan_b));

@@ -17,6 +17,8 @@ InfoRouter::InfoRouter(BusClient* bus, std::string name, const RouterConfig& con
     : bus_(bus),
       name_(std::move(name)),
       config_(config),
+      subject_sketch_(config.sketch_capacity),
+      peer_sketch_(config.sketch_capacity),
       recorder_(name_, config.flight_recorder_capacity),
       alive_(std::make_shared<bool>(true)) {
   link_backlog_ = metrics_.GetQueueDepth(kMetricRouterLinkBacklogUs);
@@ -341,6 +343,10 @@ void InfoRouter::ForwardToPeer(const Message& m) {  // hotlint: hot
   }
   link_->Send(FrameMessage(kLinkMessageFrame, marshalled));
   stats_.forwarded++;
+  subject_sketch_.Offer(out.subject);
+  if (!out.sender.empty()) {
+    peer_sketch_.Offer(out.sender);
+  }
   link_backlog_.Set(link_->BacklogUs());
   SubjectFlow& flow = FlowFor(out.subject);
   flow.publishes++;
@@ -358,6 +364,10 @@ void InfoRouter::RepublishFromPeer(Message m) {  // hotlint: hot
   // Stamp ourselves so our own mirror subscriptions don't bounce it straight back.
   m.via = name_;
   stats_.republished++;
+  subject_sketch_.Offer(m.subject);
+  if (!m.sender.empty()) {
+    peer_sketch_.Offer(m.sender);
+  }
   SubjectFlow& flow = FlowFor(m.subject);
   flow.deliveries++;
   flow.bytes_out += m.payload.size();

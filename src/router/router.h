@@ -27,6 +27,7 @@
 #include "src/subject/subject.h"
 #include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/sketch.h"
 
 namespace ibus {
 
@@ -50,12 +51,17 @@ struct RouterConfig {
   bool forward_internal = false;
   // Reserved-namespace prefixes that cross the WAN even when forward_internal is
   // false: trace spans (so a collector sees the whole path), certified-delivery
-  // acks (so certified publishes across a router can retire), and health events (so
-  // a busmon console anywhere sees the whole fleet's alerts).
+  // acks (so certified publishes across a router can retire), health events (so
+  // a busmon console anywhere sees the whole fleet's alerts), and busstat
+  // time-series records (so a StatsAggregator anywhere merges the whole fleet;
+  // the legacy per-host "_ibus.stats.<host>" snapshots stay LAN-local).
   std::vector<std::string> forward_internal_prefixes = {
-      kReservedTracePrefix, kReservedCertPrefix, kReservedHealthPrefix};
+      kReservedTracePrefix, kReservedCertPrefix, kReservedHealthPrefix,
+      kReservedStatsTsPrefix};
   // Ring-buffer depth of the router's always-on flight recorder.
   size_t flight_recorder_capacity = 256;
+  // Slot capacity of the router's WAN heavy-hitter sketches (src/telemetry/sketch.h).
+  size_t sketch_capacity = telemetry::TopKSketch::kDefaultCapacity;
   // Dial-side resilience: when the WAN link drops (or the first dial fails), retry
   // this often. 0 disables redialing.
   SimTime redial_interval_us = 2 * 1000 * 1000;
@@ -98,6 +104,11 @@ class InfoRouter {
 
   telemetry::FlightRecorder* flight_recorder() { return &recorder_; }
   const telemetry::FlightRecorder& flight_recorder() const { return recorder_; }
+
+  // Fixed-memory heavy-hitter sketches over WAN-crossing traffic: which subjects
+  // and which publishing peers dominate this router's link (src/telemetry/sketch.h).
+  const telemetry::TopKSketch& subject_sketch() const { return subject_sketch_; }
+  const telemetry::TopKSketch& peer_sketch() const { return peer_sketch_; }
 
   // Router-owned gauges: "router.link_backlog_us" (+ ".hwm") tracks how far the
   // WAN link's outbound FIFO runs ahead of now at each forward, and
@@ -158,6 +169,8 @@ class InfoRouter {
   std::vector<uint64_t> control_subs_;
   RouterStats stats_;
   std::map<std::string, SubjectFlow, std::less<>> flows_;
+  telemetry::TopKSketch subject_sketch_{telemetry::TopKSketch::kDefaultCapacity};
+  telemetry::TopKSketch peer_sketch_{telemetry::TopKSketch::kDefaultCapacity};
   telemetry::MetricsRegistry metrics_;
   telemetry::QueueDepthGauge link_backlog_{nullptr, nullptr};
   telemetry::QueueDepthGauge peer_subs_gauge_{nullptr, nullptr};

@@ -42,6 +42,13 @@ bool IsReservedSubject(std::string_view subject_or_pattern) {
   return subject_or_pattern.substr(0, sizeof(kReservedPrefix) - 1) == kReservedPrefix;
 }
 
+bool IsObservabilitySubject(std::string_view subject) {
+  // Prefix compares only — this runs at the daemon's publish choke points.
+  return subject.substr(0, sizeof(kReservedTracePrefix) - 1) == kReservedTracePrefix ||
+         subject.substr(0, sizeof(kReservedStatsPrefix) - 1) == kReservedStatsPrefix ||
+         subject.substr(0, sizeof(kReservedHealthPrefix) - 1) == kReservedHealthPrefix;
+}
+
 Status ValidateSubject(std::string_view subject, SubjectScope scope) {
   if (subject.empty()) {
     return InvalidArgument("subject: empty");

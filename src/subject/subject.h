@@ -26,12 +26,21 @@ inline constexpr char kReservedTracePrefix[] = "_ibus.trace.";  // buslint: allo
 inline constexpr char kReservedCertPrefix[] = "_ibus.cert.";    // buslint: allow(reserved-subject)
 inline constexpr char kReservedElectPrefix[] = "_ibus.elect.";  // buslint: allow(reserved-subject)
 inline constexpr char kReservedStatsPrefix[] = "_ibus.stats.";  // buslint: allow(reserved-subject)
+// Per-node busstat time-series records ("_ibus.stats.ts.<node>"); a sub-namespace of
+// the stats prefix so legacy "_ibus.stats.>" subscribers see (and version-skip) them.
+inline constexpr char kReservedStatsTsPrefix[] = "_ibus.stats.ts.";  // buslint: allow(reserved-subject)
 inline constexpr char kReservedHealthPrefix[] = "_ibus.health.";  // buslint: allow(reserved-subject)
 inline constexpr char kReservedSubPrefix[] = "_ibus.sub.";      // buslint: allow(reserved-subject)
 
 // True when the subject or pattern lives in the reserved namespace (its first
 // element is exactly "_ibus"). "_ibusx.foo" is NOT reserved.
 bool IsReservedSubject(std::string_view subject_or_pattern);
+
+// True when the subject belongs to the observability plane itself (trace spans,
+// stats snapshots, health beacons). The daemon classifies every byte it injects
+// with this predicate to maintain the telemetry self-overhead counters — the
+// plane measures its own cost (see docs/TELEMETRY.md, "Sampling & sketches").
+bool IsObservabilitySubject(std::string_view subject);
 
 // Who is publishing: application code goes through the default kApplication scope
 // and is rejected from the reserved "_ibus." namespace; bus-internal components

@@ -58,6 +58,13 @@ void BusMon::AttachRecorder(const FlightRecorder* recorder) {
 }
 
 void BusMon::HandleStats(const Message& m) {
+  // The stats namespace carries two record families: legacy full snapshots
+  // ("_ibus.stats.<host>") and busstat time-series samples ("_ibus.stats.ts.*").
+  // Route by leading version byte — the two sets are deliberately disjoint.
+  if (!m.payload.empty() && m.payload[0] == kTsWireVersion) {
+    timeseries_.Consume(m.payload);
+    return;
+  }
   auto s = DaemonStatsSnapshot::Unmarshal(m.payload);
   if (s.ok()) {
     snapshots_[s->host_name] = s.take();
@@ -165,6 +172,50 @@ std::string BusMon::RenderSnapshot() const {
   for (const FlowTotal& t : ranked) {
     out << "  " << t.prefix << " pubs=" << t.publishes << " deliv=" << t.deliveries
         << " bytes=" << t.bytes << "\n";
+  }
+
+  // The busstat time-series plane: per-node sampling rates plus the merged
+  // heavy-hitter sketches. All map-ordered, so the frame stays byte-deterministic.
+  std::vector<std::string> ts_nodes = timeseries_.Nodes();
+  if (ts_nodes.empty()) {
+    out << "stats time series: none\n";
+  } else {
+    out << "stats time series (" << ts_nodes.size() << " nodes, "
+        << timeseries_.samples_consumed() << " samples, " << timeseries_.desyncs()
+        << " desyncs):\n";
+    for (const std::string& node : ts_nodes) {
+      const DecodedSample* s = timeseries_.Latest(node);
+      if (s == nullptr) {
+        continue;
+      }
+      const char* sampling = s->sample_period == 0   ? "off"
+                             : s->sample_period == 1 ? "all"
+                                                     : "1/";
+      out << "  " << node << " seq=" << s->seq << " sampling=" << sampling;
+      if (s->sample_period > 1) {
+        out << s->sample_period;
+      }
+      out << "\n";
+    }
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.6f", timeseries_.OverheadRatio());
+    out << "telemetry overhead ratio: " << ratio << "\n";
+    struct SketchSection {
+      const char* title;
+      TopKSketch sketch;
+    };
+    const SketchSection sections[] = {
+        {"top subjects (heavy-hitter sketch):", timeseries_.MergedSubjectSketch()},
+        {"top peers (heavy-hitter sketch):", timeseries_.MergedPeerSketch()},
+    };
+    for (const SketchSection& sec : sections) {
+      out << sec.title << "\n";
+      std::istringstream tbl(sec.sketch.RenderTable());
+      std::string tbl_line;
+      while (std::getline(tbl, tbl_line)) {
+        out << "  " << tbl_line << "\n";
+      }
+    }
   }
 
   if (active_alerts_.empty()) {

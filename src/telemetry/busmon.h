@@ -19,6 +19,7 @@
 
 #include "src/bus/client.h"
 #include "src/services/bus_monitor.h"
+#include "src/telemetry/busstat.h"
 #include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/health.h"
 #include "src/telemetry/trace.h"
@@ -49,6 +50,10 @@ class BusMon {
   void AttachRecorder(const FlightRecorder* recorder);
 
   const std::map<std::string, DaemonStatsSnapshot>& snapshots() const { return snapshots_; }
+  // The embedded busstat aggregator: "_ibus.stats.ts.*" records arriving on the
+  // same stats subscription route here by version byte (kTsWireVersion), giving
+  // the console merged sketches, quantiles, and per-node sampling rates.
+  const StatsAggregator& timeseries() const { return timeseries_; }
   // Raised-and-not-yet-cleared alerts, keyed (kind, node, subject).
   size_t active_alert_count() const { return active_alerts_.size(); }
   // Every alert transition seen, in arrival order.
@@ -74,6 +79,7 @@ class BusMon {
   std::vector<uint64_t> subs_;
 
   std::map<std::string, DaemonStatsSnapshot> snapshots_;
+  StatsAggregator timeseries_;
   std::map<std::tuple<uint8_t, std::string, std::string>, HealthEvent> active_alerts_;
   std::vector<HealthEvent> alert_history_;
   uint64_t spans_seen_ = 0;

@@ -1,5 +1,6 @@
 #include "src/telemetry/metrics.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <limits>
@@ -23,6 +24,38 @@ int64_t LatencyHistogram::BucketUpper(size_t b) {
     return std::numeric_limits<int64_t>::max();
   }
   return (int64_t{1} << b) - 1;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.total_ == 0) {
+    return;
+  }
+  if (total_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (size_t b = 0; b < kBuckets; b++) {
+    counts_[b] += other.counts_[b];
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+void LatencyHistogram::RestoreBucket(size_t b, uint64_t count) {
+  if (b >= kBuckets) {
+    b = kBuckets - 1;
+  }
+  counts_[b] += count;
+  total_ += count;
+}
+
+void LatencyHistogram::RestoreStats(int64_t sum, int64_t min, int64_t max) {
+  sum_ = sum;
+  min_ = min;
+  max_ = max;
 }
 
 double LatencyHistogram::Mean() const {

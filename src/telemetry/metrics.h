@@ -73,9 +73,23 @@ class LatencyHistogram {
 #endif
   }
 
+  // Folds another histogram in: log buckets from different nodes line up exactly,
+  // so bucket counts, totals, and sums add and min/max combine — per-node
+  // histograms merge losslessly into fleet quantiles (busstat's StatsAggregator).
+  // Not gated on IBUS_TELEMETRY: merging decoded wire records must work even in a
+  // telemetry-off aggregator process.
+  void Merge(const LatencyHistogram& other);
+
+  // Restore path for the busstat wire codec: adds `count` observations to bucket
+  // `b` (clamped) and bumps the total, without touching sum/min/max — the decoder
+  // restores those separately via RestoreStats once all buckets are in.
+  void RestoreBucket(size_t b, uint64_t count);
+  void RestoreStats(int64_t sum, int64_t min, int64_t max);
+
   uint64_t count() const { return total_; }
   int64_t min() const { return total_ == 0 ? 0 : min_; }
   int64_t max() const { return total_ == 0 ? 0 : max_; }
+  int64_t sum() const { return sum_; }
   double Mean() const;
 
   // Upper bound of the bucket holding the q-quantile (q in [0,1]); 0 when empty.

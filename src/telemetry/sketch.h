@@ -1,0 +1,88 @@
+// Fixed-memory streaming sketches for the busstat plane (docs/TELEMETRY.md,
+// "Sampling & sketches"). At Internet scale the bus cannot afford per-subject or
+// per-peer state proportional to the number of distinct keys it has ever seen; the
+// space-saving TopKSketch answers "who is hot" in O(capacity) memory no matter how
+// many distinct subjects flow, with deterministic tie-breaking so replayed runs
+// produce bit-identical tables and hashes. Sketches from different nodes merge into
+// one fleet view (StatsAggregator), the same way LatencyHistogram::Merge combines
+// per-node quantiles.
+#ifndef SRC_TELEMETRY_SKETCH_H_
+#define SRC_TELEMETRY_SKETCH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ibus {
+class WireReader;
+class WireWriter;
+}  // namespace ibus
+
+namespace ibus::telemetry {
+
+// Space-saving heavy-hitter sketch (Metwally/Agrawal/El Abbadi). Tracks at most
+// `capacity` keys; when a new key arrives with all slots taken, the smallest
+// tracked count is evicted and the newcomer inherits that count as its error bound
+// (true count is always within [count - error, count]). Lookup is a linear scan:
+// capacity is small (default 16) and the slots reuse their string storage, so the
+// steady state allocates nothing — this is what lets the daemon call Offer on the
+// message hot path.
+//
+// Determinism contract: the victim on eviction is the slot with the smallest
+// count, ties broken by the lexicographically greatest key. Both the eviction rule
+// and the Entries() ranking (count desc, then key asc) are pure functions of the
+// offered key sequence, so replays hash bit-identically.
+class TopKSketch {
+ public:
+  struct Entry {
+    std::string key;
+    uint64_t count = 0;  // upper bound on the key's true count
+    uint64_t error = 0;  // max overestimate: true count >= count - error
+  };
+
+  static constexpr size_t kDefaultCapacity = 16;
+
+  explicit TopKSketch(size_t capacity = kDefaultCapacity);
+
+  // Counts `weight` occurrences of `key`. O(capacity) scan, no steady-state
+  // allocation (slot strings are reused on eviction).
+  void Offer(std::string_view key, uint64_t weight = 1);
+
+  // Folds another sketch in: counts and error bounds of shared keys add, the union
+  // is re-ranked, and only the top `capacity()` keys survive (their evicted mass is
+  // NOT redistributed — merged counts stay upper bounds). Deterministic for any
+  // pair of deterministic inputs.
+  void Merge(const TopKSketch& other);
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return slots_.size(); }
+  // Total weight ever offered (survives evictions; merges add).
+  uint64_t offered() const { return offered_; }
+
+  // Tracked entries ranked by (count desc, key asc) — the deterministic top-k.
+  std::vector<Entry> Entries() const;
+
+  // "key count error" per line in Entries() order, prefixed by a summary line.
+  std::string RenderTable() const;
+
+  // FNV-1a over RenderTable(): the replay-check fingerprint.
+  uint64_t Hash() const;
+
+  // Wire codec for the busstat time-series records: capacity, offered, then the
+  // ranked entries. Decode enforces `max_capacity` so a hostile record cannot make
+  // the decoder allocate unboundedly.
+  void Encode(WireWriter* w) const;
+  static Result<TopKSketch> Decode(WireReader* r, size_t max_capacity = 1024);
+
+ private:
+  size_t capacity_;
+  uint64_t offered_ = 0;
+  std::vector<Entry> slots_;  // unordered working set, <= capacity_ entries
+};
+
+}  // namespace ibus::telemetry
+
+#endif  // SRC_TELEMETRY_SKETCH_H_

@@ -28,6 +28,24 @@ std::string HopSubject(HopKind kind) {
   return std::string(kReservedTracePrefix) + "hop." + std::string(HopKindName(kind));
 }
 
+uint64_t TraceIdHash(uint64_t candidate_id) {
+  // SplitMix64 finalizer: cheap, stateless, and fully avalanched.
+  uint64_t z = candidate_id + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+bool ShouldSampleTrace(uint64_t candidate_id, uint32_t period) {
+  if (period == 0) {
+    return false;
+  }
+  if (period == 1) {
+    return true;
+  }
+  return TraceIdHash(candidate_id) % period == 0;
+}
+
 Bytes HopRecord::Marshal() const {  // hotlint: allow(hot-by-value) -- serialization boundary: NRVO into the send buffer
   WireWriter w;
   w.PutU64(trace_id);

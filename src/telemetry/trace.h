@@ -38,6 +38,22 @@ std::string_view HopKindName(HopKind k);
 // Full span subject for a hop kind, e.g. "_ibus.trace.hop.deliver".
 std::string HopSubject(HopKind kind);
 
+// Deterministic trace sampling (docs/TELEMETRY.md, "Sampling & sketches"). The
+// publisher decides once, by hashing the candidate trace id; every downstream hop
+// just checks trace_id != 0, so one decision bounds TraceCollector memory and
+// "_ibus.trace.>" wire bytes fleet-wide. The hash (a SplitMix64 finalizer) is a
+// pure function of the id, which is itself a pure function of (client identity,
+// publish ordinal) — so a replay of the same seed samples the same messages and
+// hashes bit-identically.
+inline constexpr uint32_t kDefaultTraceSamplePeriod = 64;
+
+// Avalanching mix of the candidate id; sequential ids map to spread-out values so
+// "every Nth hash residue" is an unbiased 1/N of traffic, not a striped artifact.
+uint64_t TraceIdHash(uint64_t candidate_id);
+
+// period 0 = tracing off, 1 = trace everything, N = sample ~1/N of publishes.
+bool ShouldSampleTrace(uint64_t candidate_id, uint32_t period);
+
 // One stamped hop. `hop` is the envelope's trace_hop at stamping time (bumped once
 // per router traversal), `at_us` is simulated time, `node` identifies the stamping
 // component (client name, "daemon@host", router name).

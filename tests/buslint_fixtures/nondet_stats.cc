@@ -1,0 +1,32 @@
+// buslint fixture: linted under the synthetic path "src/telemetry/nondet_stats.cc".
+// The telemetry plane is deterministic core — sketch tables, histogram buckets, and
+// the busstat keyframe/delta stream feed busstat's replay-gated JSON hashes, so wall
+// clocks, env lookups, and ambient RNGs are violations. Seeded violations:
+// system_clock, mt19937_64, rand(). The allow()'d getenv is not.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace ibus::telemetry {
+
+long SnapshotWallTimestamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+unsigned long SketchSalt(unsigned long node_id) {
+  std::mt19937_64 rng(node_id);
+  return rng();
+}
+
+int SampleCoinFlip() { return rand() % 2; }
+
+const char* StatsCadenceOverride() {
+  return std::getenv("IBUS_BUSSTAT_CADENCE");  // buslint: allow(nondeterminism)
+}
+
+// Hashing a sim-derived trace id is fine; only ambient-state primitives are banned.
+unsigned long DeterministicTraceHash(unsigned long id) {
+  return id * 2654435761ul;
+}
+
+}  // namespace ibus::telemetry

@@ -12,6 +12,7 @@ void Violations(Bus* b) {
   std::string root = "_ibus";                      // violation: bare root element
   b->Subscribe("_ibus.health.>", 6);               // violation: health alert feed
   b->Publish("_ibus.health.slow_consumer.h0", 7);  // violation: concrete alert subject
+  b->Publish("_ibus.stats.ts.host0", 8);           // violation: busstat time-series feed
 }
 
 void Suppressed(Bus* b) {

@@ -80,6 +80,21 @@ TEST(BuslintNondeterminism, JournalTwinIsSilentOutsideCore) {
   EXPECT_EQ(CountRule(vs, kRuleNondeterminism), 0u) << Render(vs);
 }
 
+TEST(BuslintNondeterminism, FiresInStatsPlane) {
+  // src/telemetry's sketches, histograms, and the busstat keyframe/delta stream feed
+  // busstat's replay-gated hashes, so the stats plane is deterministic core: wall
+  // clocks and ambient RNGs trip the rule there.
+  auto vs = LintFixture("src/telemetry/nondet_stats.cc", "nondet_stats.cc");
+  // system_clock, mt19937_64, rand() — the allow()'d getenv is suppressed.
+  EXPECT_EQ(CountRule(vs, kRuleNondeterminism), 3u) << Render(vs);
+}
+
+TEST(BuslintNondeterminism, StatsTwinIsSilentOutsideCore) {
+  // The same source under the CLI tool's path must not fire.
+  auto vs = LintFixture("tools/busstat/nondet_stats.cc", "nondet_stats.cc");
+  EXPECT_EQ(CountRule(vs, kRuleNondeterminism), 0u) << Render(vs);
+}
+
 TEST(BuslintNondeterminism, SilentOutsideDeterministicCore) {
   auto vs = LintFixture("bench/nondet_sim.cc", "nondet_sim.cc");
   EXPECT_EQ(CountRule(vs, kRuleNondeterminism), 0u) << Render(vs);
@@ -131,9 +146,9 @@ TEST(BuslintRawNewDelete, FiresOutsideFactoryIdiom) {
 
 TEST(BuslintReservedSubject, FiresOnHardcodedReservedLiterals) {
   auto vs = LintFixture("src/rmi/reserved_subject.cc", "reserved_subject.cc");
-  // Five violations (stats/trace/bare-root/two health feeds); the allow()'d line and
-  // the non-reserved roots are silent.
-  EXPECT_EQ(CountRule(vs, kRuleReservedSubject), 5u) << Render(vs);
+  // Six violations (stats/trace/bare-root/two health feeds/busstat time series); the
+  // allow()'d line and the non-reserved roots are silent.
+  EXPECT_EQ(CountRule(vs, kRuleReservedSubject), 6u) << Render(vs);
 }
 
 TEST(BuslintReservedSubject, SilentInTelemetryAndServices) {

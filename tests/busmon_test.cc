@@ -299,6 +299,7 @@ TEST_F(BusMonTest, RendersQueueOccupancyFromSnapshots) {
 TEST_F(BusMonTest, DerivesStageLatencyFromBufferedTraceSpans) {
   BusConfig config;
   config.trace_publishes = true;
+  config.trace_sample_period = 1;
   SetUpBus(2, config);
   auto pub = MakeClient(0, "pub");
   auto sub = MakeClient(1, "sub");

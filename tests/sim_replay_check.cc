@@ -30,6 +30,7 @@
 #include "src/sim/simulator.h"
 #include "src/sim/stable_store.h"
 #include "src/telemetry/busmon.h"
+#include "src/telemetry/busstat_demo.h"
 #include "src/telemetry/collector.h"
 #include "src/telemetry/health.h"
 
@@ -241,6 +242,7 @@ std::vector<std::string> RunTracedCertifiedWanScenario(uint64_t seed) {
   std::vector<std::unique_ptr<BusDaemon>> daemons;
   BusConfig config;
   config.trace_publishes = true;
+  config.trace_sample_period = 1;  // this scenario asserts on complete timelines
   for (int i = 0; i < 2; ++i) {
     a_hosts.push_back(net.AddHost("a" + std::to_string(i), lan_a));
     b_hosts.push_back(net.AddHost("b" + std::to_string(i), lan_b));
@@ -489,6 +491,23 @@ std::vector<std::string> RunBusprofScenario(uint64_t seed) {
 }
 #endif  // IBUS_TELEMETRY
 
+// --- Scenario 11: the busstat stats plane (src/telemetry/busstat_demo.cc) ----------
+//
+// The scale-ready telemetry plane joins sketches, delta-encoded time series, and
+// publisher-side trace sampling — all of which must replay bit-identically: the
+// trace folds in the full merged JSON and console table (not just their hash) so
+// any drift in sketch tie-breaking, delta encoding, or sampling decisions trips
+// the gate with a readable diff. Runs with sampling ON (the default 1/64): the
+// determinism contract must hold under sampling, not just with tracing saturated.
+
+std::vector<std::string> RunBusstatScenario(uint64_t seed) {
+  telemetry::BusStatScenario run = telemetry::RunBusstatWanScenario(seed);
+  std::vector<std::string> trace = run.trace;
+  trace.push_back("busstat json=" + run.json);
+  trace.push_back("busstat table=" + run.table);
+  return trace;
+}
+
 // --- The replay gate ---------------------------------------------------------------
 
 using ScenarioFn = std::vector<std::string> (*)(uint64_t seed);
@@ -720,6 +739,32 @@ TEST(SimReplayCheck, JournalTailTruncationStopsAtLastValidLsn) {
     }
   }
   EXPECT_EQ(order8, 1u);
+}
+
+TEST(SimReplayCheck, BusstatStatsPlaneIsDeterministic) {
+  CheckReplay("busstat_stats_plane", &RunBusstatScenario, 42);
+  CheckReplay("busstat_stats_plane", &RunBusstatScenario, 1993);
+}
+
+// The stats plane's acceptance invariants on the stock scenario: the aggregator
+// decodes samples from every node without a single delta desync (loss repair is
+// below it), the fleet self-overhead stays under the 5% budget at the default
+// 1/64 sampling, and the workload itself is unharmed (all 300 publishes land).
+TEST(SimReplayCheck, BusstatOverheadStaysUnderBudget) {
+  telemetry::BusStatScenario run = telemetry::RunBusstatWanScenario(42);
+  ASSERT_FALSE(run.trace.empty());
+  ASSERT_NE(run.trace.front().rfind("error:", 0), 0u) << run.trace.front();
+  EXPECT_EQ(run.delivered, 300u);
+  EXPECT_GT(run.samples_consumed, 0u);
+  EXPECT_EQ(run.desyncs, 0u);
+  EXPECT_GT(run.publish_bytes, 0u);
+  EXPECT_LT(run.overhead_ratio, 0.05) << "telemetry self-overhead above the 5% budget";
+  EXPECT_NE(run.hash, 0u);
+#if IBUS_TELEMETRY
+  // Sampling at 1/64 must still let some traces through on 300 publishes.
+  EXPECT_GT(run.traces_collected, 0u);
+  EXPECT_LT(run.traces_collected, 30u) << "1/64 sampling is not thinning traces";
+#endif
 }
 
 TEST(SimReplayCheck, CertifiedDeliveryCompletesDespiteLoss) {

@@ -199,6 +199,7 @@ TEST_F(TelemetryBusTest, ApplicationPublishesCannotEnterReservedNamespace) {
 TEST_F(TelemetryBusTest, TracedPublishYieldsFullHopTimeline) {
   BusConfig config;
   config.trace_publishes = true;
+  config.trace_sample_period = 1;
   SetUpBus(3, config);
   auto monitor = MakeClient(0, "monitor");
   auto collector = TraceCollector::Create(monitor.get());
@@ -247,6 +248,7 @@ TEST_F(TelemetryBusTest, TracedPublishYieldsFullHopTimeline) {
 TEST_F(TelemetryBusTest, UntracedAndInternalTrafficEmitsNoSpans) {
   BusConfig config;
   config.trace_publishes = true;
+  config.trace_sample_period = 1;
   SetUpBus(2, config);
   auto monitor = MakeClient(0, "monitor");
   auto collector = TraceCollector::Create(monitor.get());
@@ -268,6 +270,7 @@ TEST_F(TelemetryBusTest, UntracedAndInternalTrafficEmitsNoSpans) {
 TEST_F(TelemetryBusTest, CollectorEvictsLeastRecentTraceAtCap) {
   BusConfig config;
   config.trace_publishes = true;
+  config.trace_sample_period = 1;
   SetUpBus(2, config);
   auto monitor = MakeClient(0, "monitor");
   telemetry::TraceCollectorOptions options;
@@ -303,6 +306,49 @@ TEST_F(TelemetryBusTest, CollectorEvictsLeastRecentTraceAtCap) {
   EXPECT_EQ(kept_subjects.count("news.item2"), 1u);
 }
 
+TEST_F(TelemetryBusTest, CollectorEvictionUnderSamplingTracksSampledSubsetOnly) {
+  BusConfig config;
+  config.trace_publishes = true;
+  config.trace_sample_period = 4;
+  SetUpBus(2, config);
+  auto monitor = MakeClient(0, "monitor");
+  telemetry::TraceCollectorOptions options;
+  options.max_traces = 2;
+  auto collector = TraceCollector::Create(monitor.get(), options);
+  ASSERT_TRUE(collector.ok()) << collector.status().ToString();
+
+  auto sub = MakeClient(1, "consumer");
+  ASSERT_TRUE(sub->Subscribe("news.>", [](const Message&) {}).ok());
+  Settle(200 * kMillisecond);
+
+  auto pub = MakeClient(1, "producer");
+  constexpr int kPublishes = 64;
+  for (int i = 0; i < kPublishes; ++i) {
+    ASSERT_TRUE(pub->Publish("news.item" + std::to_string(i), ToBytes("x")).ok());
+    Settle(1 * kSecond);  // each trace completes before the next starts
+  }
+
+  // Mirror the publisher's candidate-id scheme (stable client id, 1-based ordinal)
+  // to predict exactly which publishes the hash sampled.
+  uint64_t sampled = 0;
+  for (uint64_t ordinal = 1; ordinal <= kPublishes; ++ordinal) {
+    const uint64_t candidate = (pub->client_id() << 20) | ordinal;
+    if (telemetry::ShouldSampleTrace(candidate, config.trace_sample_period)) {
+      sampled++;
+    }
+  }
+  EXPECT_GT(sampled, options.max_traces);  // enough sampled traffic to force eviction
+  EXPECT_LT(sampled, kPublishes / 2u);     // but the sampler really did thin the stream
+
+  // The cap and the eviction counter see only the sampled subset: untraced
+  // publishes never reach the collector, so they neither occupy slots nor evict.
+  EXPECT_EQ((*collector)->trace_count(), options.max_traces);
+  EXPECT_EQ((*collector)->evictions(), sampled - options.max_traces);
+  for (uint64_t id : (*collector)->trace_ids()) {
+    EXPECT_TRUE(telemetry::ShouldSampleTrace(id, config.trace_sample_period)) << id;
+  }
+}
+
 // --- Certified publish across the WAN under loss -----------------------------------
 
 TEST(TelemetryWanTest, CertifiedWanTraceIsComplete) {
@@ -316,6 +362,7 @@ TEST(TelemetryWanTest, CertifiedWanTraceIsComplete) {
   HostId b1 = net.AddHost("b1", lan_b);
   BusConfig config;
   config.trace_publishes = true;
+  config.trace_sample_period = 1;
   std::vector<std::unique_ptr<BusDaemon>> daemons;
   for (HostId h : {a0, a1, b0, b1}) {
     auto d = BusDaemon::Start(&net, h, config);

@@ -23,6 +23,7 @@
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
 #include "src/telemetry/busmon.h"
+#include "src/telemetry/busstat.h"
 
 using namespace ibus;  // NOLINT: tool brevity
 
@@ -91,6 +92,23 @@ int main(int argc, char** argv) {
       // Built with IB_TELEMETRY=OFF: stats and flows still flow, alerts don't.
       std::fprintf(stderr, "note: %s\n", ev.status().ToString().c_str());
     }
+  }
+  // The busstat time-series plane beside the legacy snapshots: sketches, delta
+  // streams, and the advertised trace-sampling rate feed the console's new section.
+  std::vector<std::unique_ptr<telemetry::BusStatReporter>> ts_reporters;
+  for (int i = 0; i < 3; ++i) {
+    telemetry::BusStatReporterOptions topts;
+    topts.sample_period = config.trace_sample_period;
+    auto rep = telemetry::BusStatReporter::Create(
+        ops[static_cast<size_t>(i)].get(), "host" + std::to_string(i),
+        daemons[static_cast<size_t>(i)]->metrics(),
+        &daemons[static_cast<size_t>(i)]->subject_sketch(),
+        &daemons[static_cast<size_t>(i)]->peer_sketch(), topts);
+    if (!rep.ok()) {
+      std::fprintf(stderr, "busstat reporter failed: %s\n", rep.status().ToString().c_str());
+      return 1;
+    }
+    ts_reporters.push_back(rep.take());
   }
 
   auto mon_bus = BusClient::Connect(&net, hosts[0], "busmon").take();
