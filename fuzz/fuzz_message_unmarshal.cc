@@ -1,0 +1,10 @@
+// Fuzz target: the Message envelope decoder — every payload that survives
+// framing lands here, so it must reject arbitrary bytes without crashing.
+#include "fuzz/driver.h"
+#include "src/bus/message.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  ibus::Bytes input(data, data + size);
+  (void)ibus::Message::Unmarshal(input);
+  return 0;
+}

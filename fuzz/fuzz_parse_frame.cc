@@ -1,0 +1,10 @@
+// Fuzz target: the transport frame parser — the first code hostile bytes from a
+// socket ever touch. Any input must produce ok-or-error, never a crash.
+#include "fuzz/driver.h"
+#include "src/wire/wire.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  ibus::Bytes input(data, data + size);
+  (void)ibus::ParseFrame(input);
+  return 0;
+}

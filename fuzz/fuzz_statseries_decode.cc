@@ -1,0 +1,33 @@
+// Fuzz target: the busstat keyframe/delta sample decoder — the most stateful
+// codec on the bus (dictionary carry-over between samples). A fresh decoder per
+// input keeps runs independent; a second pass feeds a keyframe first so the
+// delta path (which needs prior dictionary state) gets fuzzed too.
+#include "fuzz/driver.h"
+#include "src/telemetry/busstat.h"
+#include "src/telemetry/metrics.h"
+
+namespace {
+
+ibus::Bytes ValidKeyframe() {
+  ibus::telemetry::MetricsRegistry registry;
+  registry.GetCounter("bus.publishes")->Inc(3);
+  ibus::telemetry::StatSeriesEncoder enc("fuzz-node", 4);
+  return enc.EncodeSample(registry, nullptr, nullptr, 100, 1);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  ibus::Bytes input(data, data + size);
+  {
+    ibus::telemetry::StatSeriesDecoder dec;
+    (void)dec.DecodeSample(input);
+  }
+  {
+    static const ibus::Bytes keyframe = ValidKeyframe();
+    ibus::telemetry::StatSeriesDecoder dec;
+    (void)dec.DecodeSample(keyframe);
+    (void)dec.DecodeSample(input);
+  }
+  return 0;
+}

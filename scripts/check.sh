@@ -50,6 +50,21 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -L tdlcheck
 echo "== hotlint over the message hot path (-L hotlint: repo scan + analyzer tests)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L hotlint
 
+echo "== wirecheck over every codec (-L wirecheck: schema goldens, symmetry, decode safety)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L wirecheck
+
+# Optional fuzz smoke: IB_FUZZ=ON scripts/check.sh spends ~30 s fuzzing the three
+# frontline decoders (libFuzzer under clang; deterministic corpus replay on GCC).
+if [[ "${IB_FUZZ:-OFF}" == "ON" ]]; then
+  echo "== fuzz smoke (IB_FUZZ=ON: 3 x 10 s over frame/message/statseries decoders)"
+  cmake -B "${BUILD_DIR}" -S . -DIB_FUZZ=ON
+  cmake --build "${BUILD_DIR}" -j "${JOBS}" \
+    --target fuzz_parse_frame fuzz_message_unmarshal fuzz_statseries_decode
+  for t in parse_frame message_unmarshal statseries_decode; do
+    "./${BUILD_DIR}/fuzz/fuzz_${t}" -max_total_time=10 "fuzz/corpus/${t}"
+  done
+fi
+
 echo "== clang-tidy (skips when not installed)"
 cmake --build "${BUILD_DIR}" --target lint-tidy
 

@@ -1,5 +1,7 @@
 #include "src/bus/certified.h"
 
+#include <optional>
+
 #include "src/telemetry/health.h"
 #include "src/types/codec.h"
 #include "src/wire/wire.h"
@@ -15,6 +17,34 @@ constexpr uint8_t kLogRetire = 2;
 // swallowed by subscriber dedup state.
 constexpr uint8_t kLogCheckpoint = 3;
 constexpr char kAckType[] = "_cert.ack";
+
+// The ack payload that consumers send back on the reply subject.
+struct CertAck {
+  uint64_t id = 0;
+  std::string consumer;
+};
+
+// wirecheck: codec(cert_ack, version=0)
+Bytes MarshalAck(uint64_t certified_id, const std::string& consumer) {
+  WireWriter w;
+  w.PutU64(certified_id);
+  w.PutString(consumer);
+  return w.Take();
+}
+
+// wirecheck: codec(cert_ack, version=0)
+std::optional<CertAck> ParseAck(const Bytes& payload) {
+  WireReader r(payload);
+  auto id = r.ReadU64();
+  auto consumer = r.ReadString();
+  if (!id.ok() || !consumer.ok() || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  CertAck ack;
+  ack.id = *id;
+  ack.consumer = consumer.take();
+  return ack;
+}
 }  // namespace
 
 // ---------------------------------------------------------------------------------
@@ -216,19 +246,17 @@ void CertifiedPublisher::HandleAck(const Message& m) {
   if (m.type_name != kAckType) {
     return;
   }
-  WireReader r(m.payload);
-  auto id = r.ReadU64();
-  auto consumer = r.ReadString();
-  if (!id.ok() || !consumer.ok()) {
+  std::optional<CertAck> ack = ParseAck(m.payload);
+  if (!ack.has_value()) {
     return;
   }
-  auto it = pending_.find(*id);
+  auto it = pending_.find(ack->id);
   if (it == pending_.end()) {
     return;  // already retired
   }
-  it->second.ackers.insert(*consumer);
+  it->second.ackers.insert(ack->consumer);
   if (static_cast<int>(it->second.ackers.size()) >= config_.required_acks) {
-    (void)ledger_->Append(LogRecordRetire(*id));
+    (void)ledger_->Append(LogRecordRetire(ack->id));
     retire_latency_.Record(bus_->sim()->Now() - it->second.published_at);
     pending_.erase(it);
     stats_.retired++;
@@ -300,10 +328,7 @@ void CertifiedSubscriber::HandleMessage(const Message& m) {
   Message ack;
   ack.subject = m.reply_subject;
   ack.type_name = kAckType;
-  WireWriter w;
-  w.PutU64(m.certified_id);
-  w.PutString(consumer_name_);
-  ack.payload = w.Take();
+  ack.payload = MarshalAck(m.certified_id, consumer_name_);
   stats_.acks_sent++;
   // The ack subject lives in the reserved namespace, so this is an internal publish.
   bus_->PublishInternal(std::move(ack));

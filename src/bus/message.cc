@@ -5,6 +5,7 @@
 
 namespace ibus {
 
+// wirecheck: codec(message, version=0)
 // hotlint: hot
 Bytes Message::Marshal() const {  // hotlint: allow(hot-by-value) -- serialization boundary: NRVO into the send buffer
   WireWriter w;
@@ -22,6 +23,7 @@ Bytes Message::Marshal() const {  // hotlint: allow(hot-by-value) -- serializati
   return w.Take();
 }
 
+// wirecheck: codec(message, version=0)
 Result<Message> Message::Unmarshal(const Bytes& b) {  // hotlint: hot
   WireReader r(b);
   Message m;
@@ -40,6 +42,9 @@ Result<Message> Message::Unmarshal(const Bytes& b) {  // hotlint: hot
       !publisher.ok() || !hops.ok() || !via.ok() || !trace_id.ok() || !trace_hop.ok() ||
       !payload.ok()) {
     return DataLoss("message: truncated");
+  }
+  if (!r.AtEnd()) {
+    return DataLoss("message: trailing bytes");
   }
   m.hops = *hops;
   m.via = via.take();

@@ -95,6 +95,7 @@ uint64_t CaptureBuffer::CaptureHash(const std::vector<CapturedFrame>& frames) {
   return h;
 }
 
+// wirecheck: codec(capture_file, version=1)
 Bytes SerializeCapture(const std::vector<CapturedFrame>& frames) {
   WireWriter w;
   w.PutU32(kCaptureMagic);
@@ -127,6 +128,7 @@ Bytes SerializeCapture(const std::vector<CapturedFrame>& frames) {
   return w.Take();
 }
 
+// wirecheck: codec(capture_file, version=1)
 Result<std::vector<CapturedFrame>> DeserializeCapture(const Bytes& data) {
   WireReader r(data);
   auto magic = r.ReadU32();
@@ -140,6 +142,11 @@ Result<std::vector<CapturedFrame>> DeserializeCapture(const Bytes& data) {
   auto count = r.ReadVarint();
   if (!count.ok()) {
     return DataLoss("capture: truncated header");
+  }
+  // Each record is dozens of bytes on the wire; a count beyond the remaining
+  // byte budget is corrupt and must not size an allocation.
+  if (*count > r.remaining()) {
+    return DataLoss("capture: implausible frame count");
   }
   std::vector<CapturedFrame> frames;
   frames.reserve(*count);
@@ -196,6 +203,9 @@ Result<std::vector<CapturedFrame>> DeserializeCapture(const Bytes& data) {
     f.frame_overhead = *frame_overhead;
     f.payload = payload.take();
     frames.push_back(std::move(f));
+  }
+  if (!r.AtEnd()) {
+    return DataLoss("capture: trailing bytes after last record");
   }
   return frames;
 }

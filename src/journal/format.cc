@@ -4,6 +4,7 @@
 
 namespace ibus::journal {
 
+// wirecheck: codec(journal_block, version=0)
 // hotlint: cold -- group-commit boundary: encodes one block per flush, not per message
 Bytes EncodeBlock(uint32_t segment, Lsn first_lsn, const std::vector<Bytes>& payloads) {
   WireWriter w;
@@ -19,6 +20,7 @@ Bytes EncodeBlock(uint32_t segment, Lsn first_lsn, const std::vector<Bytes>& pay
   return w.Take();
 }
 
+// wirecheck: codec(journal_block, version=0)
 // hotlint: cold -- recovery/verify scan path: runs at open and in tools, never per message
 Status DecodeBlock(const Bytes& block, BlockHeader* header, std::vector<Record>* out) {
   WireReader r(block);
@@ -32,6 +34,11 @@ Status DecodeBlock(const Bytes& block, BlockHeader* header, std::vector<Record>*
   if (!segment.ok() || !first_lsn.ok() || !count.ok()) {
     return DataLoss("journal block: truncated header");
   }
+  // Every record costs at least its 8-byte header, so a plausible count can
+  // never exceed the bytes left in the block.
+  if (*count > r.remaining()) {
+    return DataLoss("journal block: implausible record count");
+  }
   std::vector<Record> records;
   records.reserve(*count);
   for (uint32_t i = 0; i < *count; ++i) {
@@ -39,6 +46,9 @@ Status DecodeBlock(const Bytes& block, BlockHeader* header, std::vector<Record>*
     auto crc = r.ReadU32();
     if (!len.ok() || !crc.ok()) {
       return DataLoss("journal block: truncated record header");
+    }
+    if (*len > r.remaining()) {
+      return DataLoss("journal block: record length exceeds block");
     }
     auto payload = r.ReadRaw(*len);
     if (!payload.ok()) {

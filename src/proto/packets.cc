@@ -2,6 +2,7 @@
 
 namespace ibus {
 
+// wirecheck: codec(data_packet, version=0)
 Bytes DataPacket::Marshal() const {  // hotlint: allow(hot-by-value) -- serialization boundary: NRVO into the send buffer
   WireWriter w;
   w.PutU64(stream_id);
@@ -12,6 +13,7 @@ Bytes DataPacket::Marshal() const {  // hotlint: allow(hot-by-value) -- serializ
   return w.Take();
 }
 
+// wirecheck: codec(data_packet, version=0)
 Result<DataPacket> DataPacket::Unmarshal(const Bytes& payload) {
   WireReader r(payload);
   DataPacket p;
@@ -29,10 +31,12 @@ Result<DataPacket> DataPacket::Unmarshal(const Bytes& payload) {
   if (p.frag_count == 0 || p.frag_index >= p.frag_count) {
     return DataLoss("data packet: bad fragment indices");
   }
+  // wirecheck: op(raw) -- the fragment chunk is the unread tail of the packet, sliced without a length prefix
   p.chunk = Bytes(payload.begin() + static_cast<ptrdiff_t>(r.position()), payload.end());
   return p;
 }
 
+// wirecheck: codec(batch_packet, version=0)
 Bytes BatchPacket::Marshal() const {  // hotlint: allow(hot-by-value) -- serialization boundary: NRVO into the send buffer
   WireWriter w;
   w.PutU64(stream_id);
@@ -44,6 +48,7 @@ Bytes BatchPacket::Marshal() const {  // hotlint: allow(hot-by-value) -- seriali
   return w.Take();
 }
 
+// wirecheck: codec(batch_packet, version=0)
 Result<BatchPacket> BatchPacket::Unmarshal(const Bytes& payload) {
   WireReader r(payload);
   BatchPacket p;
@@ -66,9 +71,13 @@ Result<BatchPacket> BatchPacket::Unmarshal(const Bytes& payload) {
     }
     p.messages.push_back(m.take());
   }
+  if (!r.AtEnd()) {
+    return DataLoss("batch packet: trailing bytes");
+  }
   return p;
 }
 
+// wirecheck: codec(heartbeat_packet, version=0)
 Bytes HeartbeatPacket::Marshal() const {  // hotlint: allow(hot-by-value) -- serialization boundary: NRVO into the send buffer
   WireWriter w;
   w.PutU64(stream_id);
@@ -77,6 +86,7 @@ Bytes HeartbeatPacket::Marshal() const {  // hotlint: allow(hot-by-value) -- ser
   return w.Take();
 }
 
+// wirecheck: codec(heartbeat_packet, version=0)
 Result<HeartbeatPacket> HeartbeatPacket::Unmarshal(const Bytes& payload) {
   WireReader r(payload);
   HeartbeatPacket p;
@@ -86,12 +96,16 @@ Result<HeartbeatPacket> HeartbeatPacket::Unmarshal(const Bytes& payload) {
   if (!stream.ok() || !high.ok() || !low.ok()) {
     return DataLoss("heartbeat packet: truncated");
   }
+  if (!r.AtEnd()) {
+    return DataLoss("heartbeat packet: trailing bytes");
+  }
   p.stream_id = *stream;
   p.highest_seq = *high;
   p.lowest_retained = *low;
   return p;
 }
 
+// wirecheck: codec(nak_packet, version=0)
 Bytes NakPacket::Marshal() const {  // hotlint: allow(hot-by-value) -- serialization boundary: NRVO into the send buffer
   WireWriter w;
   w.PutU64(stream_id);
@@ -102,6 +116,7 @@ Bytes NakPacket::Marshal() const {  // hotlint: allow(hot-by-value) -- serializa
   return w.Take();
 }
 
+// wirecheck: codec(nak_packet, version=0)
 Result<NakPacket> NakPacket::Unmarshal(const Bytes& payload) {
   WireReader r(payload);
   NakPacket p;
@@ -121,6 +136,9 @@ Result<NakPacket> NakPacket::Unmarshal(const Bytes& payload) {
       return s.status();
     }
     p.missing.push_back(*s);
+  }
+  if (!r.AtEnd()) {
+    return DataLoss("nak packet: trailing bytes");
   }
   return p;
 }

@@ -12,6 +12,7 @@ namespace {
 constexpr char kIdColumn[] = "_id";
 constexpr char kPropsColumn[] = "_props";
 
+// wirecheck: codec(repo_props, version=0)
 Bytes MarshalProps(const DataObject& obj) {
   WireWriter w;
   w.PutVarint(obj.properties().size());
@@ -22,11 +23,16 @@ Bytes MarshalProps(const DataObject& obj) {
   return w.Take();
 }
 
+// wirecheck: codec(repo_props, version=0)
 Status UnmarshalProps(const Bytes& b, DataObject* obj) {
   WireReader r(b);
   auto count = r.ReadVarint();
   if (!count.ok()) {
     return count.status();
+  }
+  // Each property costs at least two bytes on the wire; clamp before looping.
+  if (*count > r.remaining()) {
+    return DataLoss("repo props: implausible property count");
   }
   for (uint64_t i = 0; i < *count; ++i) {
     auto name = r.ReadString();
@@ -38,6 +44,9 @@ Status UnmarshalProps(const Bytes& b, DataObject* obj) {
       return value.status();
     }
     obj->SetProperty(*name, value.take());
+  }
+  if (!r.AtEnd()) {
+    return DataLoss("repo props: trailing bytes");
   }
   return OkStatus();
 }

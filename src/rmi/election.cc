@@ -8,16 +8,21 @@ namespace {
 constexpr char kCandidacyType[] = "_elect.candidacy";
 constexpr char kHeartbeatType[] = "_elect.heartbeat";
 
+// wirecheck: codec(election_id, version=0)
 Bytes IdPayload(uint64_t id) {
   WireWriter w;
   w.PutU64(id);
   return w.Take();
 }
 
+// wirecheck: codec(election_id, version=0)
 uint64_t ReadId(const Bytes& b) {
   WireReader r(b);
   auto id = r.ReadU64();
-  return id.ok() ? *id : 0;
+  if (!id.ok() || !r.AtEnd()) {
+    return 0;  // malformed or trailing bytes: treat as "no id"
+  }
+  return *id;
 }
 }  // namespace
 

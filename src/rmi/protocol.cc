@@ -5,6 +5,7 @@
 
 namespace ibus {
 
+// wirecheck: codec(rmi_advert, version=0)
 Bytes RmiAdvert::Marshal() const {
   WireWriter w;
   w.PutString(server_name);
@@ -16,6 +17,7 @@ Bytes RmiAdvert::Marshal() const {
   return w.Take();
 }
 
+// wirecheck: codec(rmi_advert, version=0)
 Result<RmiAdvert> RmiAdvert::Unmarshal(const Bytes& b) {
   WireReader r(b);
   RmiAdvert a;
@@ -37,9 +39,13 @@ Result<RmiAdvert> RmiAdvert::Unmarshal(const Bytes& b) {
     return iface.status();
   }
   a.interface = iface.take();
+  if (!r.AtEnd()) {
+    return DataLoss("rmi advert: trailing bytes");
+  }
   return a;
 }
 
+// wirecheck: codec(rmi_request, version=0)
 Bytes RmiRequest::Marshal() const {
   WireWriter w;
   w.PutU64(request_id);
@@ -52,6 +58,7 @@ Bytes RmiRequest::Marshal() const {
   return w.Take();
 }
 
+// wirecheck: codec(rmi_request, version=0)
 Result<RmiRequest> RmiRequest::Unmarshal(const Bytes& b) {
   WireReader r(b);
   RmiRequest req;
@@ -75,9 +82,13 @@ Result<RmiRequest> RmiRequest::Unmarshal(const Bytes& b) {
     }
     req.args.push_back(v.take());
   }
+  if (!r.AtEnd()) {
+    return DataLoss("rmi request: trailing bytes");
+  }
   return req;
 }
 
+// wirecheck: codec(rmi_reply, version=0)
 Bytes RmiReply::Marshal() const {
   WireWriter w;
   w.PutU64(request_id);
@@ -87,6 +98,7 @@ Bytes RmiReply::Marshal() const {
   return w.Take();
 }
 
+// wirecheck: codec(rmi_reply, version=0)
 Result<RmiReply> RmiReply::Unmarshal(const Bytes& b) {
   WireReader r(b);
   RmiReply rep;
@@ -104,6 +116,9 @@ Result<RmiReply> RmiReply::Unmarshal(const Bytes& b) {
     return v.status();
   }
   rep.result = v.take();
+  if (!r.AtEnd()) {
+    return DataLoss("rmi reply: trailing bytes");
+  }
   return rep;
 }
 

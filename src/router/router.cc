@@ -1,5 +1,7 @@
 #include "src/router/router.h"
 
+#include <optional>
+
 #include "src/common/logging.h"
 #include "src/subject/subject.h"
 #include "src/wire/wire.h"
@@ -11,6 +13,44 @@ constexpr uint8_t kLinkAdvertFrame = 50;
 constexpr uint8_t kLinkMessageFrame = 51;
 
 bool IsRouterOwned(const std::string& owner) { return owner.rfind("_router", 0) == 0; }
+
+// The link advert payload: the router's current local subscription patterns.
+// wirecheck: codec(router_advert, version=0)
+Bytes MarshalAdvert(const std::map<std::string, int>& patterns) {
+  WireWriter w;
+  w.PutVarint(patterns.size());
+  for (const auto& [pattern, refs] : patterns) {
+    w.PutString(pattern);
+  }
+  return w.Take();
+}
+
+// wirecheck: codec(router_advert, version=0)
+std::optional<std::vector<std::string>> ParseAdvert(const Bytes& payload) {
+  WireReader r(payload);
+  auto count = r.ReadVarint();
+  if (!count.ok()) {
+    return std::nullopt;
+  }
+  // Every pattern costs at least its length byte on the wire, so a plausible
+  // count can never exceed the remaining payload.
+  if (*count > r.remaining()) {
+    return std::nullopt;
+  }
+  std::vector<std::string> patterns;
+  patterns.reserve(*count);
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto p = r.ReadString();
+    if (!p.ok()) {
+      return std::nullopt;
+    }
+    patterns.push_back(p.take());
+  }
+  if (!r.AtEnd()) {
+    return std::nullopt;
+  }
+  return patterns;
+}
 }  // namespace
 
 InfoRouter::InfoRouter(BusClient* bus, std::string name, const RouterConfig& config)
@@ -223,12 +263,7 @@ void InfoRouter::SendAdvert() {
         if (link_ == nullptr || !link_->open()) {
           return;
         }
-        WireWriter w;
-        w.PutVarint(local_patterns_.size());
-        for (const auto& [pattern, refs] : local_patterns_) {
-          w.PutString(pattern);
-        }
-        link_->Send(FrameMessage(kLinkAdvertFrame, w.Take()));
+        link_->Send(FrameMessage(kLinkAdvertFrame, MarshalAdvert(local_patterns_)));
         stats_.adverts_sent++;
       },
       "router.advert");
@@ -240,20 +275,11 @@ void InfoRouter::HandleLinkMessage(const Bytes& bytes) {
     return;
   }
   if (frame->frame_type == kLinkAdvertFrame) {
-    WireReader r(frame->payload);
-    auto count = r.ReadVarint();
-    if (!count.ok()) {
+    auto patterns = ParseAdvert(frame->payload);
+    if (!patterns.has_value()) {
       return;
     }
-    std::vector<std::string> patterns;
-    for (uint64_t i = 0; i < *count; ++i) {
-      auto p = r.ReadString();
-      if (!p.ok()) {
-        return;
-      }
-      patterns.push_back(p.take());
-    }
-    ApplyPeerAdvert(patterns);
+    ApplyPeerAdvert(*patterns);
   } else if (frame->frame_type == kLinkMessageFrame) {
     auto m = Message::Unmarshal(frame->payload);
     if (m.ok()) {

@@ -10,6 +10,7 @@ namespace {
 constexpr const char* kStatsPrefix = kReservedStatsPrefix;  // see src/subject/subject.h
 }  // namespace
 
+// wirecheck: codec(stats_snapshot, version=3)
 Bytes DaemonStatsSnapshot::Marshal() const {
   WireWriter w;
   w.PutU8(kWireVersion);
@@ -42,6 +43,7 @@ Bytes DaemonStatsSnapshot::Marshal() const {
   return w.Take();
 }
 
+// wirecheck: codec(stats_snapshot, version=3)
 Result<DaemonStatsSnapshot> DaemonStatsSnapshot::Unmarshal(const Bytes& b) {
   WireReader r(b);
   auto version = r.ReadU8();
@@ -86,7 +88,7 @@ Result<DaemonStatsSnapshot> DaemonStatsSnapshot::Unmarshal(const Bytes& b) {
   s.retransmits = *retrans;
   s.receiver_gaps = *gaps;
   s.sub_churn = *churn;
-  s.sender_retained_depth = *queue_fields[0];
+  s.sender_retained_depth = *queue_fields[0];  // wirecheck: allow(truncation-unsafe) -- the range-for above ok-checks every element before any deref
   s.sender_retained_hwm = *queue_fields[1];
   s.sender_batch_depth = *queue_fields[2];
   s.sender_batch_hwm = *queue_fields[3];
@@ -94,6 +96,11 @@ Result<DaemonStatsSnapshot> DaemonStatsSnapshot::Unmarshal(const Bytes& b) {
   s.receiver_ready_hwm = *queue_fields[5];
   s.receiver_partials_depth = *queue_fields[6];
   s.receiver_partials_hwm = *queue_fields[7];
+  // Each flow entry costs at least five bytes on the wire; a count beyond the
+  // remaining buffer is garbage and must not size the allocation below.
+  if (*flow_count > r.remaining()) {
+    return DataLoss("stats snapshot: implausible flow count");
+  }
   s.flows.reserve(*flow_count);
   for (uint64_t i = 0; i < *flow_count; ++i) {
     SubjectFlowEntry f;
@@ -111,6 +118,9 @@ Result<DaemonStatsSnapshot> DaemonStatsSnapshot::Unmarshal(const Bytes& b) {
     f.bytes_in = *fbin;
     f.bytes_out = *fbout;
     s.flows.push_back(std::move(f));
+  }
+  if (!r.AtEnd()) {
+    return DataLoss("stats snapshot: trailing bytes");
   }
   return s;
 }

@@ -10,6 +10,7 @@ bool IsBuiltin(const std::string& name) { return name == kRootTypeName || name =
 
 // Marshals the descriptor chain for `name`, supertype-first (so a learner can define
 // them in order), excluding builtins every registry already has.
+// wirecheck: codec(type_chain, version=0)
 Bytes MarshalChain(const TypeRegistry& registry, const std::string& name) {
   std::vector<const TypeDescriptor*> chain;
   std::string cur = name;
@@ -97,11 +98,17 @@ Status TypeGossip::AnnounceAll() {
   return OkStatus();
 }
 
+// wirecheck: codec(type_chain, version=0)
 Status TypeGossip::LearnChain(const Bytes& payload) {
   WireReader r(payload);
   auto count = r.ReadVarint();
   if (!count.ok()) {
     return count.status();
+  }
+  // Each descriptor costs many bytes on the wire; a count beyond the payload
+  // budget is hostile or corrupt.
+  if (*count > r.remaining()) {
+    return DataLoss("type gossip: implausible chain length");
   }
   announcing_ = true;  // learned types must not echo back as announcements
   Status last;
@@ -121,6 +128,9 @@ Status TypeGossip::LearnChain(const Bytes& payload) {
     }
   }
   announcing_ = false;
+  if (!r.AtEnd()) {
+    return DataLoss("type gossip: trailing bytes after chain");
+  }
   return last;
 }
 

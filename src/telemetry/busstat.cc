@@ -119,6 +119,7 @@ void AppendSketchJson(std::string* out, const char* key, const TopKSketch& sk) {
 // ---------------------------------------------------------------------------
 // Encoder
 
+// wirecheck: codec(stat_series, version=181)
 Bytes StatSeriesEncoder::EncodeSample(const MetricsRegistry& registry,
                                       const TopKSketch* subject_sketch,
                                       const TopKSketch* peer_sketch, int64_t at_us,
@@ -289,6 +290,7 @@ Bytes StatSeriesEncoder::EncodeSample(const MetricsRegistry& registry,
 // ---------------------------------------------------------------------------
 // Decoder
 
+// wirecheck: codec(stat_series, version=181)
 Status StatSeriesDecoder::DecodeSample(const Bytes& record) {
   WireReader r(record);
   auto version = r.ReadU8();
@@ -328,6 +330,11 @@ Status StatSeriesDecoder::DecodeSample(const Bytes& record) {
     if (!n.ok()) {
       return DataLoss("busstat: truncated scalar dict");
     }
+    // Each dictionary entry costs at least three bytes; a count beyond the
+    // remaining buffer is garbage, not a big dictionary.
+    if (*n > r.remaining()) {
+      return DataLoss("busstat: implausible scalar dict size");
+    }
     for (uint64_t i = 0; i < *n; i++) {
       auto tag = r.ReadU8();
       auto name = r.ReadString();
@@ -343,6 +350,9 @@ Status StatSeriesDecoder::DecodeSample(const Bytes& record) {
     if (!fresh.ok()) {
       return DataLoss("busstat: truncated scalar appends");
     }
+    if (*fresh > r.remaining()) {
+      return DataLoss("busstat: implausible scalar append count");
+    }
     for (uint64_t i = 0; i < *fresh; i++) {
       auto tag = r.ReadU8();
       auto name = r.ReadString();
@@ -356,6 +366,9 @@ Status StatSeriesDecoder::DecodeSample(const Bytes& record) {
     auto changed = r.ReadVarint();
     if (!changed.ok()) {
       return DataLoss("busstat: truncated scalar deltas");
+    }
+    if (*changed > r.remaining()) {
+      return DataLoss("busstat: implausible scalar delta count");
     }
     for (uint64_t i = 0; i < *changed; i++) {
       auto index = r.ReadVarint();
@@ -382,6 +395,9 @@ Status StatSeriesDecoder::DecodeSample(const Bytes& record) {
     if (!name.ok() || !sum.ok() || !min.ok() || !max.ok() || !nonzero.ok()) {
       return DataLoss("busstat: truncated histogram");
     }
+    if (*nonzero > r.remaining()) {
+      return DataLoss("busstat: implausible histogram bucket count");
+    }
     LatencyHistogram h;
     for (uint64_t b = 0; b < *nonzero; b++) {
       auto idx = r.ReadVarint();
@@ -401,6 +417,9 @@ Status StatSeriesDecoder::DecodeSample(const Bytes& record) {
     if (!n.ok()) {
       return DataLoss("busstat: truncated histogram dict");
     }
+    if (*n > r.remaining()) {
+      return DataLoss("busstat: implausible histogram dict size");
+    }
     for (uint64_t i = 0; i < *n; i++) {
       IBUS_RETURN_IF_ERROR(decode_absolute_hist());
     }
@@ -409,12 +428,18 @@ Status StatSeriesDecoder::DecodeSample(const Bytes& record) {
     if (!fresh.ok()) {
       return DataLoss("busstat: truncated histogram appends");
     }
+    if (*fresh > r.remaining()) {
+      return DataLoss("busstat: implausible histogram append count");
+    }
     for (uint64_t i = 0; i < *fresh; i++) {
       IBUS_RETURN_IF_ERROR(decode_absolute_hist());
     }
     auto changed = r.ReadVarint();
     if (!changed.ok()) {
       return DataLoss("busstat: truncated histogram deltas");
+    }
+    if (*changed > r.remaining()) {
+      return DataLoss("busstat: implausible histogram delta count");
     }
     for (uint64_t i = 0; i < *changed; i++) {
       auto index = r.ReadVarint();
@@ -424,6 +449,9 @@ Status StatSeriesDecoder::DecodeSample(const Bytes& record) {
       auto nbuckets = r.ReadVarint();
       if (!index.ok() || !sum.ok() || !min.ok() || !max.ok() || !nbuckets.ok()) {
         return DataLoss("busstat: truncated histogram delta");
+      }
+      if (*nbuckets > r.remaining()) {
+        return DataLoss("busstat: implausible delta bucket count");
       }
       if (*index >= hist_dict_.size()) {
         desyncs_++;
@@ -467,6 +495,9 @@ Status StatSeriesDecoder::DecodeSample(const Bytes& record) {
     latest_.peer_sketch = sk.take();
   }
 
+  if (!r.AtEnd()) {
+    return DataLoss("busstat: trailing bytes after sample");
+  }
   latest_.node = node.take();
   latest_.seq = *seq;
   latest_.at_us = *at_us;

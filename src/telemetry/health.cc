@@ -39,6 +39,7 @@ std::string HealthSubject(HealthEventKind kind, const std::string& node) {
          node;
 }
 
+// wirecheck: codec(health_event, version=1)
 Bytes HealthEvent::Marshal() const {  // hotlint: allow(hot-by-value) -- serialization boundary: NRVO into the send buffer
   WireWriter w;
   w.PutU8(kWireVersion);
@@ -52,6 +53,7 @@ Bytes HealthEvent::Marshal() const {  // hotlint: allow(hot-by-value) -- seriali
   return w.Take();
 }
 
+// wirecheck: codec(health_event, version=1)
 Result<HealthEvent> HealthEvent::Unmarshal(const Bytes& b) {
   WireReader r(b);
   auto version = r.ReadU8();
@@ -78,6 +80,9 @@ Result<HealthEvent> HealthEvent::Unmarshal(const Bytes& b) {
   }
   if (*severity > static_cast<uint8_t>(HealthSeverity::kCritical)) {
     return DataLoss("health: bad severity");
+  }
+  if (!r.AtEnd()) {
+    return DataLoss("health: trailing bytes after event");
   }
   HealthEvent e;
   e.kind = static_cast<HealthEventKind>(*kind);

@@ -114,6 +114,7 @@ uint64_t TopKSketch::Hash() const {
   return h;
 }
 
+// wirecheck: codec(topk_sketch, version=0)
 void TopKSketch::Encode(WireWriter* w) const {
   w->PutVarint(capacity_);
   w->PutVarint(offered_);
@@ -126,6 +127,7 @@ void TopKSketch::Encode(WireWriter* w) const {
   }
 }
 
+// wirecheck: codec(topk_sketch, version=0)
 Result<TopKSketch> TopKSketch::Decode(WireReader* r, size_t max_capacity) {
   Result<uint64_t> capacity = r->ReadVarint();
   if (!capacity.ok()) {

@@ -46,6 +46,7 @@ bool ShouldSampleTrace(uint64_t candidate_id, uint32_t period) {
   return TraceIdHash(candidate_id) % period == 0;
 }
 
+// wirecheck: codec(hop_record, version=0)
 Bytes HopRecord::Marshal() const {  // hotlint: allow(hot-by-value) -- serialization boundary: NRVO into the send buffer
   WireWriter w;
   w.PutU64(trace_id);
@@ -58,6 +59,7 @@ Bytes HopRecord::Marshal() const {  // hotlint: allow(hot-by-value) -- serializa
   return w.Take();
 }
 
+// wirecheck: codec(hop_record, version=0)
 Result<HopRecord> HopRecord::Unmarshal(const Bytes& b) {
   WireReader r(b);
   auto trace_id = r.ReadU64();
@@ -74,6 +76,9 @@ Result<HopRecord> HopRecord::Unmarshal(const Bytes& b) {
   if (*kind < static_cast<uint8_t>(HopKind::kPublish) ||
       *kind > static_cast<uint8_t>(HopKind::kDeliver)) {
     return DataLoss("trace: bad hop kind");
+  }
+  if (!r.AtEnd()) {
+    return DataLoss("trace: trailing bytes after hop record");
   }
   HopRecord rec;
   rec.trace_id = *trace_id;

@@ -10,6 +10,7 @@ Result<Value> UnmarshalValueDepth(WireReader* r, int depth);
 Result<DataObjectPtr> UnmarshalObjectDepth(WireReader* r, int depth);
 }  // namespace
 
+// wirecheck: codec(value, version=0)
 void MarshalValue(const Value& v, WireWriter* w) {
   w->PutU8(static_cast<uint8_t>(v.kind()));
   switch (v.kind()) {
@@ -55,6 +56,7 @@ void MarshalValue(const Value& v, WireWriter* w) {
 
 namespace {
 
+// wirecheck: codec(value, version=0)
 Result<Value> UnmarshalValueDepth(WireReader* r, int depth) {
   if (depth > kMaxDepth) {
     return DataLoss("value: nesting too deep");
@@ -145,6 +147,7 @@ Result<Value> UnmarshalValueDepth(WireReader* r, int depth) {
   return DataLoss("value: unknown kind tag");
 }
 
+// wirecheck: codec(data_object, version=0)
 Result<DataObjectPtr> UnmarshalObjectDepth(WireReader* r, int depth) {
   if (depth > kMaxDepth) {
     return DataLoss("object: nesting too deep");
@@ -197,6 +200,7 @@ Result<DataObjectPtr> UnmarshalObjectDepth(WireReader* r, int depth) {
 
 Result<Value> UnmarshalValue(WireReader* r) { return UnmarshalValueDepth(r, 0); }
 
+// wirecheck: codec(data_object, version=0)
 void MarshalObject(const DataObject& obj, WireWriter* w) {
   w->PutString(obj.type_name());
   w->PutVarint(obj.attributes().size());

@@ -38,6 +38,7 @@ const OperationDef* TypeDescriptor::FindOperation(const std::string& name) const
   return nullptr;
 }
 
+// wirecheck: codec(type_descriptor, version=0)
 void TypeDescriptor::ToWire(WireWriter* w) const {
   w->PutString(name_);
   w->PutString(supertype_);
@@ -59,6 +60,7 @@ void TypeDescriptor::ToWire(WireWriter* w) const {
   }
 }
 
+// wirecheck: codec(type_descriptor, version=0)
 Result<TypeDescriptor> TypeDescriptor::FromWire(WireReader* r) {
   auto name = r->ReadString();
   if (!name.ok()) {
@@ -78,6 +80,9 @@ Result<TypeDescriptor> TypeDescriptor::FromWire(WireReader* r) {
   if (!attr_count.ok()) {
     return attr_count.status();
   }
+  if (*attr_count > r->remaining()) {
+    return DataLoss("descriptor: implausible attribute count");
+  }
   for (uint64_t i = 0; i < *attr_count; ++i) {
     auto an = r->ReadString();
     auto at = r->ReadString();
@@ -90,6 +95,9 @@ Result<TypeDescriptor> TypeDescriptor::FromWire(WireReader* r) {
   if (!op_count.ok()) {
     return op_count.status();
   }
+  if (*op_count > r->remaining()) {
+    return DataLoss("descriptor: implausible operation count");
+  }
   for (uint64_t i = 0; i < *op_count; ++i) {
     OperationDef op;
     auto on = r->ReadString();
@@ -100,6 +108,9 @@ Result<TypeDescriptor> TypeDescriptor::FromWire(WireReader* r) {
     }
     op.name = *on;
     op.result_type = *ot;
+    if (*pc > r->remaining()) {
+      return DataLoss("descriptor: implausible parameter count");
+    }
     for (uint64_t j = 0; j < *pc; ++j) {
       auto pn = r->ReadString();
       auto pt = r->ReadString();

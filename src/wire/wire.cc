@@ -161,6 +161,7 @@ Result<Bytes> WireReader::ReadRaw(size_t n) {  // hotlint: allow(hot-by-value) -
   return b;
 }
 
+// wirecheck: codec(frame, version=1)
 // hotlint: hot
 Bytes FrameMessage(uint8_t frame_type, const Bytes& payload) {  // hotlint: allow(hot-by-value) -- frame assembly: NRVO of the send buffer
   WireWriter w;
@@ -173,6 +174,7 @@ Bytes FrameMessage(uint8_t frame_type, const Bytes& payload) {  // hotlint: allo
   return w.Take();
 }
 
+// wirecheck: codec(frame, version=1)
 Result<ParsedFrame> ParseFrame(const Bytes& frame) {  // hotlint: hot
   if (frame.size() < kFrameHeaderSize) {
     return DataLoss("frame: too short");
@@ -197,6 +199,7 @@ Result<ParsedFrame> ParseFrame(const Bytes& frame) {  // hotlint: hot
   }
   ParsedFrame out;
   out.frame_type = *type;
+  // wirecheck: op(raw) -- the payload tail is sliced straight from the frame buffer, not read via the reader API
   out.payload = Bytes(frame.begin() + static_cast<ptrdiff_t>(kFrameHeaderSize), frame.end());
   if (Crc32(out.payload) != *crc) {
     return DataLoss("frame: checksum failure");

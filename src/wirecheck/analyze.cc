@@ -1,0 +1,456 @@
+// wirecheck analysis: Encode/Decode symmetry proofs, program-level rules
+// (missing-pair, trailing-bytes, unbounded-recursion), schema rendering, and
+// the wire-safe vs wire-breaking golden diff classification.
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+#include "src/wirecheck/wirecheck.h"
+
+namespace ibus::wirecheck {
+namespace {
+
+bool AllDigitsSv(std::string_view s) {
+  if (s.empty()) {
+    return false;
+  }
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Describe(const Op& op, const std::string& file) {
+  std::string text(OpKindName(op.kind));
+  if (op.kind == Op::kRef) {
+    text += " -> " + op.ref;
+  } else if (op.kind == Op::kRepeat && !op.count.empty()) {
+    text += "(count=" + op.count + ")";
+  } else if (!op.label.empty()) {
+    text += " '" + op.label + "'";
+  }
+  if (op.line > 0) {
+    text += " (" + file + ":" + std::to_string(op.line) + ")";
+  }
+  return text;
+}
+
+struct Mismatch {
+  bool found = false;
+  std::string message;
+  int line = 0;
+  int col = 0;
+};
+
+// Lockstep unification of the write tree against the read tree. Fills `m` with
+// the first structural divergence, carrying both sides.
+void Unify(const std::vector<Op>& enc, const std::vector<Op>& dec,
+           const std::string& enc_file, const std::string& dec_file,
+           Mismatch* m) {
+  size_t n = std::min(enc.size(), dec.size());
+  for (size_t i = 0; i < n && !m->found; ++i) {
+    const Op& e = enc[i];
+    const Op& d = dec[i];
+    if (d.line > 0) {
+      m->line = d.line;
+      m->col = d.col;
+    }
+    if (e.kind != d.kind) {
+      m->found = true;
+      m->message = "encode writes " + Describe(e, enc_file) +
+                   " where decode reads " + Describe(d, dec_file);
+      return;
+    }
+    switch (e.kind) {
+      case Op::kRef:
+        if (e.ref != d.ref) {
+          m->found = true;
+          m->message = "encode references codec '" + e.ref +
+                       "' where decode references '" + d.ref + "'";
+        }
+        break;
+      case Op::kRepeat:
+        if (AllDigitsSv(e.count) && AllDigitsSv(d.count) && e.count != d.count) {
+          m->found = true;
+          m->message = "encode repeats " + e.count + " time(s) (" + enc_file +
+                       ":" + std::to_string(e.line) + ") where decode repeats " +
+                       d.count + " time(s)";
+          return;
+        }
+        Unify(e.arms[0], d.arms[0], enc_file, dec_file, m);
+        break;
+      case Op::kOptional:
+        Unify(e.arms[0], d.arms[0], enc_file, dec_file, m);
+        break;
+      case Op::kBranch:
+        if (e.arms.size() != d.arms.size()) {
+          m->found = true;
+          m->message = "encode branches into " + std::to_string(e.arms.size()) +
+                       " arm(s) (" + enc_file + ":" + std::to_string(e.line) +
+                       ") where decode branches into " +
+                       std::to_string(d.arms.size());
+          return;
+        }
+        for (size_t a = 0; a < e.arms.size() && !m->found; ++a) {
+          Unify(e.arms[a], d.arms[a], enc_file, dec_file, m);
+        }
+        break;
+      default:
+        break;  // primitive kinds already matched
+    }
+  }
+  if (m->found || enc.size() == dec.size()) {
+    return;
+  }
+  m->found = true;
+  if (enc.size() > dec.size()) {
+    m->message = "encode writes " + std::to_string(enc.size() - dec.size()) +
+                 " more op(s) starting with " + Describe(enc[n], enc_file) +
+                 " after the decode side ends";
+    m->line = enc[n].line;
+    m->col = enc[n].col;
+  } else {
+    m->message = "decode reads " + std::to_string(dec.size() - enc.size()) +
+                 " more op(s) starting with " + Describe(dec[n], dec_file) +
+                 " after the encode side ends";
+    m->line = dec[n].line;
+    m->col = dec[n].col;
+  }
+}
+
+void CollectRefs(const std::vector<Op>& ops, std::set<std::string>* out) {
+  for (const Op& op : ops) {
+    if (op.kind == Op::kRef) {
+      out->insert(op.ref);
+    }
+    for (const std::vector<Op>& arm : op.arms) {
+      CollectRefs(arm, out);
+    }
+  }
+}
+
+bool Allowed(const Codec& codec, std::string_view rule) {
+  return codec.encode.fn_allows.count(std::string(rule)) > 0 ||
+         codec.decode.fn_allows.count(std::string(rule)) > 0;
+}
+
+// DFS cycle detection over the codec reference graph.
+bool OnCycle(const std::string& start,
+             const std::map<std::string, std::set<std::string>>& graph) {
+  std::vector<std::string> stack = {start};
+  std::set<std::string> visited;
+  while (!stack.empty()) {
+    std::string cur = stack.back();
+    stack.pop_back();
+    auto it = graph.find(cur);
+    if (it == graph.end()) {
+      continue;
+    }
+    for (const std::string& next : it->second) {
+      if (next == start) {
+        return true;
+      }
+      if (visited.insert(next).second) {
+        stack.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+void RenderOps(const std::vector<Op>& enc, const std::vector<Op>* dec,
+               int indent, std::string* out) {
+  for (size_t i = 0; i < enc.size(); ++i) {
+    const Op& op = enc[i];
+    const Op* twin =
+        dec != nullptr && i < dec->size() && (*dec)[i].kind == op.kind
+            ? &(*dec)[i]
+            : nullptr;
+    out->append(static_cast<size_t>(indent) * 2, ' ');
+    switch (op.kind) {
+      case Op::kRef:
+        *out += "ref " + op.ref + "\n";
+        break;
+      case Op::kRepeat: {
+        std::string count = !op.count.empty()
+                                ? op.count
+                                : twin != nullptr ? twin->count : "";
+        *out += count.empty() ? "repeat\n" : "repeat count=" + count + "\n";
+        RenderOps(op.arms[0], twin != nullptr ? &twin->arms[0] : nullptr,
+                  indent + 1, out);
+        break;
+      }
+      case Op::kOptional:
+        *out += "optional\n";
+        RenderOps(op.arms[0], twin != nullptr ? &twin->arms[0] : nullptr,
+                  indent + 1, out);
+        break;
+      case Op::kBranch:
+        *out += "branch\n";
+        for (size_t a = 0; a < op.arms.size(); ++a) {
+          out->append(static_cast<size_t>(indent + 1) * 2, ' ');
+          std::string label = a < op.arm_labels.size() ? op.arm_labels[a] : "";
+          if (label.empty() && twin != nullptr && a < twin->arm_labels.size()) {
+            label = twin->arm_labels[a];
+          }
+          *out += label.empty() ? "arm\n" : "arm " + label + "\n";
+          RenderOps(op.arms[a],
+                    twin != nullptr && a < twin->arms.size() ? &twin->arms[a]
+                                                             : nullptr,
+                    indent + 2, out);
+        }
+        break;
+      default: {
+        std::string label =
+            !op.label.empty() ? op.label : twin != nullptr ? twin->label : "";
+        *out += std::string(OpKindName(op.kind));
+        if (!label.empty()) {
+          *out += " " + label;
+        }
+        *out += "\n";
+        break;
+      }
+    }
+  }
+}
+
+std::vector<std::string> SchemaLines(std::string_view text) {
+  std::vector<std::string> lines;
+  size_t i = 0;
+  while (i <= text.size()) {
+    size_t nl = text.find('\n', i);
+    if (nl == std::string_view::npos) {
+      nl = text.size();
+    }
+    std::string line(text.substr(i, nl - i));
+    i = nl + 1;
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') {
+      if (nl == text.size()) {
+        break;
+      }
+      continue;
+    }
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    lines.push_back(line);
+    if (nl == text.size()) {
+      break;
+    }
+  }
+  return lines;
+}
+
+// The structure-bearing part of a schema line: labels, count expressions (when
+// not literal), function/file provenance, and the version line are wire-safe;
+// everything else is wire-breaking.
+std::string StructuralKey(const std::string& line) {
+  size_t indent = line.find_first_not_of(' ');
+  std::string lead = line.substr(0, indent);
+  std::string_view body = std::string_view(line).substr(indent);
+  size_t space = body.find(' ');
+  std::string_view word = body.substr(0, space);
+  if (word == "encode" || word == "decode" || word == "version") {
+    return "";  // provenance / version: wire-safe by definition
+  }
+  if (word == "arm") {
+    return lead + "arm";
+  }
+  if (word == "repeat") {
+    std::string_view rest =
+        space == std::string_view::npos ? std::string_view() : body.substr(space + 1);
+    if (rest.size() > 6 && rest.substr(0, 6) == "count=" &&
+        AllDigitsSv(rest.substr(6))) {
+      return lead + std::string(body);  // literal counts are structural
+    }
+    return lead + "repeat";
+  }
+  if (word == "ref" || word == "codec") {
+    return lead + std::string(body);  // referenced codec / codec name matter
+  }
+  return lead + std::string(word);  // primitive kind without its label
+}
+
+int ParseVersionLine(const std::vector<std::string>& lines) {
+  for (const std::string& line : lines) {
+    if (line.rfind("version ", 0) == 0) {
+      return std::atoi(line.c_str() + 8);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> Analyze(const Program& program) {
+  std::vector<Diagnostic> diags = program.scan_diagnostics;
+
+  // Which codecs are referenced from inside another codec's tree? Those are
+  // sub-decoders sharing the caller's reader; trailing-byte discipline is the
+  // top-level decoder's job.
+  std::set<std::string> referenced;
+  std::map<std::string, std::set<std::string>> ref_graph;
+  for (const Codec& codec : program.codecs) {
+    std::set<std::string> refs;
+    CollectRefs(codec.encode.ops, &refs);
+    CollectRefs(codec.decode.ops, &refs);
+    ref_graph[codec.name] = refs;
+    for (const std::string& r : refs) {
+      if (r != codec.name) {
+        referenced.insert(r);
+      }
+    }
+  }
+
+  for (const Codec& codec : program.codecs) {
+    if (codec.encode.present != codec.decode.present) {
+      const CodecSide& side = codec.encode.present ? codec.encode : codec.decode;
+      if (!Allowed(codec, kRuleMissingPair)) {
+        diags.push_back({side.file, side.line, side.col, kRuleMissingPair,
+                         "codec '" + codec.name + "' has " +
+                             (codec.encode.present ? "an encode ('" + side.function +
+                                                         "') but no decode"
+                                                   : "a decode ('" + side.function +
+                                                         "') but no encode")});
+      }
+      continue;
+    }
+    if (!codec.encode.present) {
+      continue;
+    }
+
+    if (!Allowed(codec, kRuleSymmetry)) {
+      Mismatch m;
+      m.line = codec.decode.line;
+      m.col = codec.decode.col;
+      Unify(codec.encode.ops, codec.decode.ops, codec.encode.file,
+            codec.decode.file, &m);
+      if (m.found) {
+        diags.push_back({codec.decode.file, m.line, m.col, kRuleSymmetry,
+                         "codec '" + codec.name + "' does not round-trip: " +
+                             m.message});
+      }
+    }
+
+    if (referenced.count(codec.name) == 0 && !codec.decode.checks_trailing &&
+        !Allowed(codec, kRuleTrailingBytes)) {
+      diags.push_back(
+          {codec.decode.file, codec.decode.line, codec.decode.col,
+           kRuleTrailingBytes,
+           "top-level decoder '" + codec.decode.function +
+               "' neither checks AtEnd()/remaining() nor consumes a raw tail "
+               "— trailing garbage is silently accepted"});
+    }
+
+    if (OnCycle(codec.name, ref_graph) && !codec.decode.has_depth_guard &&
+        !Allowed(codec, kRuleRecursion)) {
+      diags.push_back({codec.decode.file, codec.decode.line, codec.decode.col,
+                       kRuleRecursion,
+                       "decoder '" + codec.decode.function +
+                           "' sits on a codec reference cycle without a depth "
+                           "limit — crafted input can exhaust the stack"});
+    }
+  }
+
+  std::sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    return std::tie(a.file, a.line, a.col, a.rule, a.message) <
+           std::tie(b.file, b.line, b.col, b.rule, b.message);
+  });
+  diags.erase(std::unique(diags.begin(), diags.end(),
+                          [](const Diagnostic& a, const Diagnostic& b) {
+                            return std::tie(a.file, a.line, a.col, a.rule,
+                                            a.message) ==
+                                   std::tie(b.file, b.line, b.col, b.rule,
+                                            b.message);
+                          }),
+              diags.end());
+  return diags;
+}
+
+std::string RenderSchema(const Codec& codec) {
+  std::string out;
+  out += "# wirecheck golden schema -- regenerate with: wirecheck --update\n";
+  out += "codec " + codec.name + "\n";
+  out += "version " + std::to_string(codec.version) + "\n";
+  if (codec.encode.present) {
+    out += "encode " + codec.encode.function + " @ " + codec.encode.file + "\n";
+  }
+  if (codec.decode.present) {
+    out += "decode " + codec.decode.function + " @ " + codec.decode.file + "\n";
+  }
+  out += "fields\n";
+  if (codec.encode.present) {
+    RenderOps(codec.encode.ops,
+              codec.decode.present ? &codec.decode.ops : nullptr, 1, &out);
+  } else if (codec.decode.present) {
+    RenderOps(codec.decode.ops, nullptr, 1, &out);
+  }
+  out += "end\n";
+  return out;
+}
+
+SchemaDiff DiffSchema(std::string_view golden, std::string_view current) {
+  SchemaDiff diff;
+  std::vector<std::string> old_lines = SchemaLines(golden);
+  std::vector<std::string> new_lines = SchemaLines(current);
+  diff.old_version = ParseVersionLine(old_lines);
+  diff.new_version = ParseVersionLine(new_lines);
+
+  std::vector<std::string> old_struct;
+  std::vector<std::string> new_struct;
+  for (const std::string& l : old_lines) {
+    std::string key = StructuralKey(l);
+    if (!key.empty()) {
+      old_struct.push_back(key);
+    }
+  }
+  for (const std::string& l : new_lines) {
+    std::string key = StructuralKey(l);
+    if (!key.empty()) {
+      new_struct.push_back(key);
+    }
+  }
+  size_t n = std::max(old_struct.size(), new_struct.size());
+  for (size_t i = 0; i < n; ++i) {
+    std::string o = i < old_struct.size() ? old_struct[i] : "<end>";
+    std::string c = i < new_struct.size() ? new_struct[i] : "<end>";
+    if (o != c) {
+      diff.kind = SchemaDiff::kWireBreaking;
+      diff.detail = "golden '" + o + "' vs current '" + c + "'";
+      return diff;
+    }
+  }
+  size_t m = std::max(old_lines.size(), new_lines.size());
+  for (size_t i = 0; i < m; ++i) {
+    std::string o = i < old_lines.size() ? old_lines[i] : "<end>";
+    std::string c = i < new_lines.size() ? new_lines[i] : "<end>";
+    if (o != c) {
+      diff.kind = SchemaDiff::kWireSafe;
+      diff.detail = "golden '" + o + "' vs current '" + c + "'";
+      return diff;
+    }
+  }
+  diff.kind = SchemaDiff::kSame;
+  return diff;
+}
+
+std::vector<std::string> CodecNames(const Program& program) {
+  std::vector<std::string> names;
+  names.reserve(program.codecs.size());
+  for (const Codec& codec : program.codecs) {
+    names.push_back(codec.name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace ibus::wirecheck

@@ -1,0 +1,42 @@
+// The reserve() runs before the count is validated: the attacker picks the
+// allocation size even though the loop itself is clamped correctly below.
+#include "src/wire/wire.h"
+
+namespace fix {
+
+// wirecheck: codec(greedy_rec, version=0)
+Bytes EncodeGreedyRec(const std::vector<uint64_t>& items) {
+  WireWriter w;
+  w.PutVarint(items.size());
+  for (uint64_t v : items) {
+    w.PutU64(v);
+  }
+  return w.Take();
+}
+
+// wirecheck: codec(greedy_rec, version=0)
+Result<std::vector<uint64_t>> DecodeGreedyRec(const Bytes& in) {
+  WireReader r(in);
+  auto count = r.ReadVarint();
+  if (!count.ok()) {
+    return DataLoss("greedy_rec: truncated");
+  }
+  std::vector<uint64_t> items;
+  items.reserve(*count);
+  if (*count > r.remaining()) {
+    return DataLoss("greedy_rec: implausible count");
+  }
+  for (uint64_t i = 0; i < *count; i++) {
+    auto v = r.ReadU64();
+    if (!v.ok()) {
+      return DataLoss("greedy_rec: truncated item");
+    }
+    items.push_back(*v);
+  }
+  if (!r.AtEnd()) {
+    return DataLoss("greedy_rec: trailing bytes");
+  }
+  return items;
+}
+
+}  // namespace fix

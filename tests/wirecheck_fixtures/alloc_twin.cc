@@ -1,0 +1,41 @@
+// Twin of alloc_trigger: validate first, then size the allocation. Clean.
+#include "src/wire/wire.h"
+
+namespace fix {
+
+// wirecheck: codec(frugal_rec, version=0)
+Bytes EncodeFrugalRec(const std::vector<uint64_t>& items) {
+  WireWriter w;
+  w.PutVarint(items.size());
+  for (uint64_t v : items) {
+    w.PutU64(v);
+  }
+  return w.Take();
+}
+
+// wirecheck: codec(frugal_rec, version=0)
+Result<std::vector<uint64_t>> DecodeFrugalRec(const Bytes& in) {
+  WireReader r(in);
+  auto count = r.ReadVarint();
+  if (!count.ok()) {
+    return DataLoss("frugal_rec: truncated");
+  }
+  if (*count > r.remaining()) {
+    return DataLoss("frugal_rec: implausible count");
+  }
+  std::vector<uint64_t> items;
+  items.reserve(*count);
+  for (uint64_t i = 0; i < *count; i++) {
+    auto v = r.ReadU64();
+    if (!v.ok()) {
+      return DataLoss("frugal_rec: truncated item");
+    }
+    items.push_back(*v);
+  }
+  if (!r.AtEnd()) {
+    return DataLoss("frugal_rec: trailing bytes");
+  }
+  return items;
+}
+
+}  // namespace fix

@@ -1,0 +1,37 @@
+// Broken annotations: a codec marker that attaches to nothing, an allow()
+// without justification, and an allow() naming a rule that does not exist.
+// None of the broken allows may suppress the real truncation bug below.
+
+// wirecheck: codec(ghost_rec, version=0)
+
+#include "src/wire/wire.h"
+
+namespace fix {
+
+struct BadRec {
+  uint64_t id = 0;
+};
+
+// wirecheck: codec(bad_rec, version=0)
+Bytes EncodeBadRec(uint64_t id) {
+  WireWriter w;
+  w.PutU64(id);
+  return w.Take();
+}
+
+// wirecheck: codec(bad_rec, version=0)
+Result<uint64_t> DecodeBadRec(const Bytes& in) {
+  WireReader r(in);
+  auto id = r.ReadU64();
+  uint64_t out = *id;  // wirecheck: allow(truncation-unsafe)
+  if (!id.ok()) {
+    return DataLoss("bad_rec: truncated");
+  }
+  // wirecheck: allow(use-after-free) -- no such rule exists
+  if (!r.AtEnd()) {
+    return DataLoss("bad_rec: trailing bytes");
+  }
+  return out;
+}
+
+}  // namespace fix

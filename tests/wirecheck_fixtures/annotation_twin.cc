@@ -1,0 +1,29 @@
+// Twin of annotation_trigger: every annotation is well-formed and attached,
+// and a justified allow legitimately suppresses a rule the author has argued
+// about. Clean.
+#include "src/wire/wire.h"
+
+namespace fix {
+
+// wirecheck: codec(argued_rec, version=0)
+Bytes EncodeArguedRec(uint64_t id) {
+  WireWriter w;
+  w.PutU64(id);
+  return w.Take();
+}
+
+// wirecheck: codec(argued_rec, version=0)
+Result<uint64_t> DecodeArguedRec(const Bytes& in) {
+  WireReader r(in);
+  auto id = r.ReadU64();
+  uint64_t out = *id;  // wirecheck: allow(truncation-unsafe) -- the caller guarantees at least eight bytes before dispatching here
+  if (!id.ok()) {
+    return DataLoss("argued_rec: truncated");
+  }
+  if (!r.AtEnd()) {
+    return DataLoss("argued_rec: trailing bytes");
+  }
+  return out;
+}
+
+}  // namespace fix

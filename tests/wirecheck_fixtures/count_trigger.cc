@@ -1,0 +1,39 @@
+// Deliberately unclamped count: the decoder trusts a varint straight off the
+// wire to bound its item loop. A hostile count spins the loop (and every
+// ReadU64 failure path) 2^64 times in the worst shape of this bug.
+#include "src/wire/wire.h"
+
+namespace fix {
+
+// wirecheck: codec(count_rec, version=0)
+Bytes EncodeCountRec(const std::vector<uint64_t>& items) {
+  WireWriter w;
+  w.PutVarint(items.size());
+  for (uint64_t v : items) {
+    w.PutU64(v);
+  }
+  return w.Take();
+}
+
+// wirecheck: codec(count_rec, version=0)
+Result<std::vector<uint64_t>> DecodeCountRec(const Bytes& in) {
+  WireReader r(in);
+  auto count = r.ReadVarint();
+  if (!count.ok()) {
+    return DataLoss("count_rec: truncated");
+  }
+  std::vector<uint64_t> items;
+  for (uint64_t i = 0; i < *count; i++) {
+    auto v = r.ReadU64();
+    if (!v.ok()) {
+      return DataLoss("count_rec: truncated item");
+    }
+    items.push_back(*v);
+  }
+  if (!r.AtEnd()) {
+    return DataLoss("count_rec: trailing bytes");
+  }
+  return items;
+}
+
+}  // namespace fix

@@ -1,0 +1,41 @@
+// Twin of count_trigger: the count is clamped against the remaining buffer
+// before it bounds anything. Clean.
+#include "src/wire/wire.h"
+
+namespace fix {
+
+// wirecheck: codec(clamped_rec, version=0)
+Bytes EncodeClampedRec(const std::vector<uint64_t>& items) {
+  WireWriter w;
+  w.PutVarint(items.size());
+  for (uint64_t v : items) {
+    w.PutU64(v);
+  }
+  return w.Take();
+}
+
+// wirecheck: codec(clamped_rec, version=0)
+Result<std::vector<uint64_t>> DecodeClampedRec(const Bytes& in) {
+  WireReader r(in);
+  auto count = r.ReadVarint();
+  if (!count.ok()) {
+    return DataLoss("clamped_rec: truncated");
+  }
+  if (*count > r.remaining()) {
+    return DataLoss("clamped_rec: implausible count");
+  }
+  std::vector<uint64_t> items;
+  for (uint64_t i = 0; i < *count; i++) {
+    auto v = r.ReadU64();
+    if (!v.ok()) {
+      return DataLoss("clamped_rec: truncated item");
+    }
+    items.push_back(*v);
+  }
+  if (!r.AtEnd()) {
+    return DataLoss("clamped_rec: trailing bytes");
+  }
+  return items;
+}
+
+}  // namespace fix

@@ -1,0 +1,27 @@
+// A decoded byte indexes a fixed table without a range check: bytes 8..255
+// read past the end of the table.
+#include "src/wire/wire.h"
+
+namespace fix {
+
+// wirecheck: codec(pick_rec, version=0)
+Bytes EncodePickRec(uint8_t slot) {
+  WireWriter w;
+  w.PutU8(slot);
+  return w.Take();
+}
+
+// wirecheck: codec(pick_rec, version=0)
+Result<int> DecodePickRec(const Bytes& in) {
+  WireReader r(in);
+  auto slot = r.ReadU8();
+  if (!slot.ok()) {
+    return DataLoss("pick_rec: truncated");
+  }
+  if (!r.AtEnd()) {
+    return DataLoss("pick_rec: trailing bytes");
+  }
+  return kSlotTable[*slot];
+}
+
+}  // namespace fix

@@ -1,0 +1,30 @@
+// Twin of index_trigger: the slot is range-checked before it indexes the
+// table. Clean.
+#include "src/wire/wire.h"
+
+namespace fix {
+
+// wirecheck: codec(ranged_rec, version=0)
+Bytes EncodeRangedRec(uint8_t slot) {
+  WireWriter w;
+  w.PutU8(slot);
+  return w.Take();
+}
+
+// wirecheck: codec(ranged_rec, version=0)
+Result<int> DecodeRangedRec(const Bytes& in) {
+  WireReader r(in);
+  auto slot = r.ReadU8();
+  if (!slot.ok()) {
+    return DataLoss("ranged_rec: truncated");
+  }
+  if (*slot >= kSlotTableSize) {
+    return DataLoss("ranged_rec: slot out of range");
+  }
+  if (!r.AtEnd()) {
+    return DataLoss("ranged_rec: trailing bytes");
+  }
+  return kSlotTable[*slot];
+}
+
+}  // namespace fix

@@ -1,0 +1,14 @@
+// A codec annotation with only the encode side present: the schema cannot be
+// proven round-trippable because there is nothing to prove it against.
+#include "src/wire/wire.h"
+
+namespace fix {
+
+// wirecheck: codec(lonely_rec, version=0)
+Bytes EncodeLonelyRec(uint64_t id) {
+  WireWriter w;
+  w.PutU64(id);
+  return w.Take();
+}
+
+}  // namespace fix

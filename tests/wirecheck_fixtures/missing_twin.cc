@@ -1,0 +1,26 @@
+// Twin of missing_trigger: both sides present and symmetric. Clean.
+#include "src/wire/wire.h"
+
+namespace fix {
+
+// wirecheck: codec(paired_rec, version=0)
+Bytes EncodePairedRec(uint64_t id) {
+  WireWriter w;
+  w.PutU64(id);
+  return w.Take();
+}
+
+// wirecheck: codec(paired_rec, version=0)
+Result<uint64_t> DecodePairedRec(const Bytes& in) {
+  WireReader r(in);
+  auto id = r.ReadU64();
+  if (!id.ok()) {
+    return DataLoss("paired_rec: truncated");
+  }
+  if (!r.AtEnd()) {
+    return DataLoss("paired_rec: trailing bytes");
+  }
+  return *id;
+}
+
+}  // namespace fix

@@ -1,0 +1,32 @@
+// ReadRaw sized by a decoded length that was never validated against the
+// remaining buffer.
+#include "src/wire/wire.h"
+
+namespace fix {
+
+// wirecheck: codec(blob_rec, version=0)
+Bytes EncodeBlobRec(const Bytes& body) {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(body.size()));
+  w.PutRaw(body);
+  return w.Take();
+}
+
+// wirecheck: codec(blob_rec, version=0)
+Result<Bytes> DecodeBlobRec(const Bytes& in) {
+  WireReader r(in);
+  auto len = r.ReadU32();
+  if (!len.ok()) {
+    return DataLoss("blob_rec: truncated");
+  }
+  auto body = r.ReadRaw(*len);
+  if (!body.ok()) {
+    return DataLoss("blob_rec: truncated body");
+  }
+  if (!r.AtEnd()) {
+    return DataLoss("blob_rec: trailing bytes");
+  }
+  return body.take();
+}
+
+}  // namespace fix

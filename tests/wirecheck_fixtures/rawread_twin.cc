@@ -1,0 +1,35 @@
+// Twin of rawread_trigger: the length is checked against remaining() before it
+// reaches ReadRaw. Clean.
+#include "src/wire/wire.h"
+
+namespace fix {
+
+// wirecheck: codec(bounded_rec, version=0)
+Bytes EncodeBoundedRec(const Bytes& body) {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(body.size()));
+  w.PutRaw(body);
+  return w.Take();
+}
+
+// wirecheck: codec(bounded_rec, version=0)
+Result<Bytes> DecodeBoundedRec(const Bytes& in) {
+  WireReader r(in);
+  auto len = r.ReadU32();
+  if (!len.ok()) {
+    return DataLoss("bounded_rec: truncated");
+  }
+  if (*len > r.remaining()) {
+    return DataLoss("bounded_rec: length exceeds buffer");
+  }
+  auto body = r.ReadRaw(*len);
+  if (!body.ok()) {
+    return DataLoss("bounded_rec: truncated body");
+  }
+  if (!r.AtEnd()) {
+    return DataLoss("bounded_rec: trailing bytes");
+  }
+  return body.take();
+}
+
+}  // namespace fix

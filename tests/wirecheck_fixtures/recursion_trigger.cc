@@ -1,0 +1,57 @@
+// Two codecs that reference each other with no depth limit anywhere on the
+// decode path: a crafted record nests until the stack dies.
+#include "src/wire/wire.h"
+
+namespace fix {
+
+// wirecheck: codec(tree_node, version=0)
+void EncodeTreeNode(const TreeNode& n, WireWriter* w) {
+  w->PutU8(n.tag);
+  w->PutBool(n.child != nullptr);
+  if (n.child != nullptr) {
+    EncodeTreeLink(*n.child, w);
+  }
+}
+
+// wirecheck: codec(tree_link, version=0)
+void EncodeTreeLink(const TreeLink& l, WireWriter* w) {
+  w->PutU32(l.weight);
+  EncodeTreeNode(l.node, w);
+}
+
+// wirecheck: codec(tree_node, version=0)
+Result<TreeNode> DecodeTreeNode(WireReader* r) {
+  auto tag = r->ReadU8();
+  auto has_child = r->ReadBool();
+  if (!tag.ok() || !has_child.ok()) {
+    return DataLoss("tree_node: truncated");
+  }
+  TreeNode out;
+  out.tag = *tag;
+  if (*has_child) {
+    auto child = DecodeTreeLink(r);
+    if (!child.ok()) {
+      return child.status();
+    }
+    out.AdoptChild(child.take());
+  }
+  return out;
+}
+
+// wirecheck: codec(tree_link, version=0)
+Result<TreeLink> DecodeTreeLink(WireReader* r) {
+  auto weight = r->ReadU32();
+  if (!weight.ok()) {
+    return DataLoss("tree_link: truncated");
+  }
+  auto node = DecodeTreeNode(r);
+  if (!node.ok()) {
+    return node.status();
+  }
+  TreeLink out;
+  out.weight = *weight;
+  out.node = node.take();
+  return out;
+}
+
+}  // namespace fix

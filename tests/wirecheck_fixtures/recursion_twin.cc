@@ -1,0 +1,63 @@
+// Twin of recursion_trigger: the same mutual shape, but the decode path
+// carries a depth limit that bounds the nesting. Clean.
+#include "src/wire/wire.h"
+
+namespace fix {
+
+// wirecheck: codec(safe_node, version=0)
+void EncodeSafeNode(const SafeNode& n, WireWriter* w) {
+  w->PutU8(n.tag);
+  w->PutBool(n.child != nullptr);
+  if (n.child != nullptr) {
+    EncodeSafeLink(*n.child, w);
+  }
+}
+
+// wirecheck: codec(safe_link, version=0)
+void EncodeSafeLink(const SafeLink& l, WireWriter* w) {
+  w->PutU32(l.weight);
+  EncodeSafeNode(l.node, w);
+}
+
+// wirecheck: codec(safe_node, version=0)
+Result<SafeNode> DecodeSafeNode(WireReader* r, int depth) {
+  if (depth > kMaxSafeDepth) {
+    return DataLoss("safe_node: nesting too deep");
+  }
+  auto tag = r->ReadU8();
+  auto has_child = r->ReadBool();
+  if (!tag.ok() || !has_child.ok()) {
+    return DataLoss("safe_node: truncated");
+  }
+  SafeNode out;
+  out.tag = *tag;
+  if (*has_child) {
+    auto child = DecodeSafeLink(r, depth + 1);
+    if (!child.ok()) {
+      return child.status();
+    }
+    out.AdoptChild(child.take());
+  }
+  return out;
+}
+
+// wirecheck: codec(safe_link, version=0)
+Result<SafeLink> DecodeSafeLink(WireReader* r, int depth) {
+  if (depth > kMaxSafeDepth) {
+    return DataLoss("safe_link: nesting too deep");
+  }
+  auto weight = r->ReadU32();
+  if (!weight.ok()) {
+    return DataLoss("safe_link: truncated");
+  }
+  auto node = DecodeSafeNode(r, depth + 1);
+  if (!node.ok()) {
+    return node.status();
+  }
+  SafeLink out;
+  out.weight = *weight;
+  out.node = node.take();
+  return out;
+}
+
+}  // namespace fix

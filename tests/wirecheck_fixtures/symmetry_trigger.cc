@@ -1,0 +1,33 @@
+// Deliberately reordered field: Encode writes seq then name, Decode reads name
+// then seq. The wire bytes cannot round-trip, and wirecheck must say so with
+// both sides of the first mismatching op.
+#include "src/wire/wire.h"
+
+namespace fix {
+
+// wirecheck: codec(reorder_rec, version=0)
+Bytes EncodeReorderRec(uint32_t seq, const std::string& name) {
+  WireWriter w;
+  w.PutU32(seq);
+  w.PutString(name);
+  return w.Take();
+}
+
+// wirecheck: codec(reorder_rec, version=0)
+Result<ReorderRec> DecodeReorderRec(const Bytes& in) {
+  WireReader r(in);
+  auto name = r.ReadString();
+  auto seq = r.ReadU32();
+  if (!name.ok() || !seq.ok()) {
+    return DataLoss("reorder_rec: truncated");
+  }
+  if (!r.AtEnd()) {
+    return DataLoss("reorder_rec: trailing bytes");
+  }
+  ReorderRec out;
+  out.name = name.take();
+  out.seq = *seq;
+  return out;
+}
+
+}  // namespace fix

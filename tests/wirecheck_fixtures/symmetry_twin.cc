@@ -1,0 +1,32 @@
+// Twin of symmetry_trigger: same record with the fields in matching order on
+// both sides. Must produce no findings.
+#include "src/wire/wire.h"
+
+namespace fix {
+
+// wirecheck: codec(order_rec, version=0)
+Bytes EncodeOrderRec(uint32_t seq, const std::string& name) {
+  WireWriter w;
+  w.PutU32(seq);
+  w.PutString(name);
+  return w.Take();
+}
+
+// wirecheck: codec(order_rec, version=0)
+Result<OrderRec> DecodeOrderRec(const Bytes& in) {
+  WireReader r(in);
+  auto seq = r.ReadU32();
+  auto name = r.ReadString();
+  if (!seq.ok() || !name.ok()) {
+    return DataLoss("order_rec: truncated");
+  }
+  if (!r.AtEnd()) {
+    return DataLoss("order_rec: trailing bytes");
+  }
+  OrderRec out;
+  out.seq = *seq;
+  out.name = name.take();
+  return out;
+}
+
+}  // namespace fix

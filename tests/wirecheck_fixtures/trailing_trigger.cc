@@ -1,0 +1,24 @@
+// A top-level decoder that never decides what trailing bytes mean: garbage
+// appended to a valid record decodes successfully and the corruption travels.
+#include "src/wire/wire.h"
+
+namespace fix {
+
+// wirecheck: codec(tail_rec, version=0)
+Bytes EncodeTailRec(uint64_t id) {
+  WireWriter w;
+  w.PutU64(id);
+  return w.Take();
+}
+
+// wirecheck: codec(tail_rec, version=0)
+Result<uint64_t> DecodeTailRec(const Bytes& in) {
+  WireReader r(in);
+  auto id = r.ReadU64();
+  if (!id.ok()) {
+    return DataLoss("tail_rec: truncated");
+  }
+  return *id;
+}
+
+}  // namespace fix

@@ -1,0 +1,26 @@
+// Twin of trailing_trigger: trailing bytes are rejected explicitly. Clean.
+#include "src/wire/wire.h"
+
+namespace fix {
+
+// wirecheck: codec(sealed_rec, version=0)
+Bytes EncodeSealedRec(uint64_t id) {
+  WireWriter w;
+  w.PutU64(id);
+  return w.Take();
+}
+
+// wirecheck: codec(sealed_rec, version=0)
+Result<uint64_t> DecodeSealedRec(const Bytes& in) {
+  WireReader r(in);
+  auto id = r.ReadU64();
+  if (!id.ok()) {
+    return DataLoss("sealed_rec: truncated");
+  }
+  if (!r.AtEnd()) {
+    return DataLoss("sealed_rec: trailing bytes");
+  }
+  return *id;
+}
+
+}  // namespace fix

@@ -1,0 +1,28 @@
+// The decoded Result is dereferenced before its ok() check: on truncated input
+// the deref is undefined behavior, not an error return.
+#include "src/wire/wire.h"
+
+namespace fix {
+
+// wirecheck: codec(eager_rec, version=0)
+Bytes EncodeEagerRec(uint64_t id) {
+  WireWriter w;
+  w.PutU64(id);
+  return w.Take();
+}
+
+// wirecheck: codec(eager_rec, version=0)
+Result<uint64_t> DecodeEagerRec(const Bytes& in) {
+  WireReader r(in);
+  auto id = r.ReadU64();
+  uint64_t out = *id;
+  if (!id.ok()) {
+    return DataLoss("eager_rec: truncated");
+  }
+  if (!r.AtEnd()) {
+    return DataLoss("eager_rec: trailing bytes");
+  }
+  return out;
+}
+
+}  // namespace fix

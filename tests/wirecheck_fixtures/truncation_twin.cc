@@ -1,0 +1,26 @@
+// Twin of truncation_trigger: ok() is consulted before any deref. Clean.
+#include "src/wire/wire.h"
+
+namespace fix {
+
+// wirecheck: codec(patient_rec, version=0)
+Bytes EncodePatientRec(uint64_t id) {
+  WireWriter w;
+  w.PutU64(id);
+  return w.Take();
+}
+
+// wirecheck: codec(patient_rec, version=0)
+Result<uint64_t> DecodePatientRec(const Bytes& in) {
+  WireReader r(in);
+  auto id = r.ReadU64();
+  if (!id.ok()) {
+    return DataLoss("patient_rec: truncated");
+  }
+  if (!r.AtEnd()) {
+    return DataLoss("patient_rec: trailing bytes");
+  }
+  return *id;
+}
+
+}  // namespace fix

@@ -1,0 +1,29 @@
+// A versioned codec whose decoder reads the version byte but never compares it:
+// a v3 record would be decoded with v2 semantics and silently corrupt fields.
+#include "src/wire/wire.h"
+
+namespace fix {
+
+// wirecheck: codec(ver_rec, version=2)
+Bytes EncodeVerRec(uint64_t id) {
+  WireWriter w;
+  w.PutU8(kVerRecVersion);
+  w.PutU64(id);
+  return w.Take();
+}
+
+// wirecheck: codec(ver_rec, version=2)
+Result<uint64_t> DecodeVerRec(const Bytes& in) {
+  WireReader r(in);
+  auto version = r.ReadU8();
+  auto id = r.ReadU64();
+  if (!version.ok() || !id.ok()) {
+    return DataLoss("ver_rec: truncated");
+  }
+  if (!r.AtEnd()) {
+    return DataLoss("ver_rec: trailing bytes");
+  }
+  return *id;
+}
+
+}  // namespace fix

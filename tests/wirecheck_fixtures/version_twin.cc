@@ -1,0 +1,35 @@
+// Twin of version_trigger: the decoder rejects unknown versions before
+// trusting any later field. Clean.
+#include "src/wire/wire.h"
+
+namespace fix {
+
+// wirecheck: codec(gated_rec, version=2)
+Bytes EncodeGatedRec(uint64_t id) {
+  WireWriter w;
+  w.PutU8(kGatedRecVersion);
+  w.PutU64(id);
+  return w.Take();
+}
+
+// wirecheck: codec(gated_rec, version=2)
+Result<uint64_t> DecodeGatedRec(const Bytes& in) {
+  WireReader r(in);
+  auto version = r.ReadU8();
+  if (!version.ok()) {
+    return DataLoss("gated_rec: truncated");
+  }
+  if (*version != kGatedRecVersion) {
+    return Unimplemented("gated_rec: unknown version");
+  }
+  auto id = r.ReadU64();
+  if (!id.ok()) {
+    return DataLoss("gated_rec: truncated");
+  }
+  if (!r.AtEnd()) {
+    return DataLoss("gated_rec: trailing bytes");
+  }
+  return *id;
+}
+
+}  // namespace fix
